@@ -1,0 +1,20 @@
+//! # parcfl-andersen — inclusion-based whole-program baseline
+//!
+//! Andersen's analysis \[2\] is the algorithm every prior parallel pointer
+//! analysis in the paper's Table II parallelises. It is implemented here as
+//! a runnable substrate so the Table II comparison can be backed by a
+//! quantitative sidebar: whole-program cost versus `k` on-demand
+//! CFL-reachability queries ("why demand-driven analysis exists").
+//!
+//! Field-sensitive (Java-style `(object, field)` slots), context- and
+//! flow-insensitive. [`analyze`] is the sequential difference-propagation
+//! worklist; [`analyze_parallel`] is a round-based bulk-synchronous
+//! parallelisation in the spirit of Méndez-Lojo et al. \[8\].
+
+#![warn(missing_docs)]
+
+pub mod parallel;
+pub mod solver;
+
+pub use parallel::analyze_parallel;
+pub use solver::{analyze, AndersenResult};

@@ -1,0 +1,31 @@
+//! Criterion micro-benchmarks for schedule construction: grouping,
+//! connection distances and dependence depths over a mid-sized benchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use parcfl_sched::{build_schedule, Groups, ScheduleOptions};
+use parcfl_synth::{build_bench, table1_profiles};
+
+fn bench_scheduling(c: &mut Criterion) {
+    let profile = table1_profiles()
+        .into_iter()
+        .find(|p| p.name == "avrora")
+        .unwrap();
+    let b = build_bench(&profile);
+
+    let mut g = c.benchmark_group("scheduling");
+    g.sample_size(20);
+    g.bench_function("group_queries", |bench| {
+        bench.iter(|| std::hint::black_box(Groups::build(&b.pag, &b.queries)))
+    });
+    g.bench_function("full_schedule", |bench| {
+        let opts = ScheduleOptions::default();
+        bench.iter(|| std::hint::black_box(build_schedule(&b.pag, &b.queries, &opts)))
+    });
+    g.bench_function("type_levels", |bench| {
+        bench.iter(|| std::hint::black_box(b.pag.types().levels()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_scheduling);
+criterion_main!(benches);

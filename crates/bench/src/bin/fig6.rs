@@ -1,0 +1,48 @@
+//! Regenerates **Fig. 6** — speedups of the parallel implementation (in
+//! its various configurations) normalised with respect to `SeqCFL`:
+//! `ParCFL¹_naive`, `ParCFL¹⁶_naive`, `ParCFL¹⁶_D`, `ParCFL¹⁶_DQ`.
+//!
+//! Shape expectations (paper): naive¹ ≈ 1×; naive¹⁶ < D¹⁶ ≤ DQ¹⁶ on
+//! average; superlinear speedups on benchmarks with high `R_S`.
+
+use parcfl_bench::{average, run_mode, speedup};
+use parcfl_runtime::{run_seq, Mode};
+
+fn main() {
+    println!(
+        "{:<16} {:>10} {:>11} {:>8} {:>9}",
+        "Benchmark", "naive(1)", "naive(16)", "D(16)", "DQ(16)"
+    );
+    let suite = parcfl_synth::build_suite();
+    let mut cols: [Vec<f64>; 4] = Default::default();
+    for b in &suite {
+        let seq = run_seq(&b.pag, &b.queries, &b.solver);
+        let base = seq.stats.makespan;
+        let n1 = speedup(base, &run_mode(b, Mode::Naive, 1));
+        let n16 = speedup(base, &run_mode(b, Mode::Naive, 16));
+        let d16 = speedup(base, &run_mode(b, Mode::DataSharing, 16));
+        let dq16 = speedup(base, &run_mode(b, Mode::DataSharingSched, 16));
+        for (c, v) in cols.iter_mut().zip([n1, n16, d16, dq16]) {
+            c.push(v);
+        }
+        println!(
+            "{:<16} {:>9.2}x {:>10.2}x {:>7.1}x {:>8.1}x",
+            b.name, n1, n16, d16, dq16
+        );
+    }
+    println!(
+        "{:<16} {:>9.2}x {:>10.2}x {:>7.1}x {:>8.1}x",
+        "AVERAGE",
+        average(&cols[0]),
+        average(&cols[1]),
+        average(&cols[2]),
+        average(&cols[3]),
+    );
+    let superlinear: Vec<&str> = suite
+        .iter()
+        .zip(&cols[2])
+        .filter(|(_, &s)| s > 16.0)
+        .map(|(b, _)| b.name.as_str())
+        .collect();
+    println!("\nsuperlinear under D(16): {}", superlinear.join(", "));
+}

@@ -1,0 +1,58 @@
+//! Regenerates **Fig. 8** — speedups of the DQ mode with different thread
+//! counts (1, 2, 4, 8, 16) normalised with respect to `SeqCFL`.
+//!
+//! Shape expectations (paper): DQ(1) already beats SeqCFL (data sharing
+//! removes redundant traversals even on one thread, avg 8.1×); speedups
+//! grow with threads, scaling well to 8 and gaining slightly from 8 → 16
+//! on average.
+
+use parcfl_bench::{average, run_mode, speedup};
+use parcfl_runtime::{run_seq, Mode};
+
+const THREADS: [usize; 5] = [1, 2, 4, 8, 16];
+
+fn main() {
+    println!(
+        "{:<16} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "Benchmark", "DQ(1)", "DQ(2)", "DQ(4)", "DQ(8)", "DQ(16)"
+    );
+    let suite = parcfl_synth::build_suite();
+    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); THREADS.len()];
+    for b in &suite {
+        let seq = run_seq(&b.pag, &b.queries, &b.solver);
+        let base = seq.stats.makespan;
+        let mut line = format!("{:<16}", b.name);
+        for (i, &t) in THREADS.iter().enumerate() {
+            let s = speedup(base, &run_mode(b, Mode::DataSharingSched, t));
+            cols[i].push(s);
+            line.push_str(&format!(" {:>7.1}x", s));
+        }
+        println!("{line}");
+    }
+    let mut line = format!("{:<16}", "AVERAGE");
+    for c in &cols {
+        line.push_str(&format!(" {:>7.1}x", average(c)));
+    }
+    println!("{line}");
+
+    // Paper §IV-D4 also notes per-benchmark 8→16 regressions are possible
+    // (worst −31% at _209_db on their machine) while the average improves.
+    let drops: Vec<String> = suite
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| cols[4][*i] < cols[3][*i])
+        .map(|(i, b)| {
+            format!(
+                "{} ({:+.0}%)",
+                b.name,
+                (cols[4][i] / cols[3][i] - 1.0) * 100.0
+            )
+        })
+        .collect();
+    println!(
+        "\n8→16 threads: average {:.1}x → {:.1}x; per-benchmark drops: {}",
+        average(&cols[3]),
+        average(&cols[4]),
+        if drops.is_empty() { "none".into() } else { drops.join(", ") }
+    );
+}

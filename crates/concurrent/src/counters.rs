@@ -1,0 +1,120 @@
+//! Cache-padded atomic statistics counters aggregated across
+//! query-processing threads (steps traversed, jmp edges added, early
+//! terminations, …).
+
+use crossbeam::utils::CachePadded;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A relaxed, cache-padded monotonic counter.
+#[derive(Default)]
+pub struct Counter(CachePadded<AtomicU64>);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero.
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Counter({})", self.get())
+    }
+}
+
+/// A relaxed atomic maximum tracker (used for peak-memory accounting).
+#[derive(Default)]
+pub struct MaxTracker(CachePadded<AtomicU64>);
+
+impl MaxTracker {
+    /// Creates a zeroed tracker.
+    pub fn new() -> Self {
+        MaxTracker::default()
+    }
+
+    /// Records `v`, keeping the running maximum.
+    pub fn record(&self, v: u64) {
+        self.0.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// The maximum recorded so far.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero.
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::new();
+        c.incr();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+        c.reset();
+        assert_eq!(c.get(), 0);
+        assert_eq!(format!("{c:?}"), "Counter(0)");
+    }
+
+    #[test]
+    fn counter_is_exact_under_contention() {
+        let c = Arc::new(Counter::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let c = Arc::clone(&c);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        c.incr();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), 80_000);
+    }
+
+    #[test]
+    fn max_tracker() {
+        let m = MaxTracker::new();
+        m.record(5);
+        m.record(3);
+        m.record(9);
+        m.record(7);
+        assert_eq!(m.get(), 9);
+        m.reset();
+        assert_eq!(m.get(), 0);
+    }
+}

@@ -1,0 +1,24 @@
+//! # parcfl-concurrent — concurrency substrate
+//!
+//! The shared-memory building blocks of the parallel analysis:
+//!
+//! * [`fxhash`] — the Fx hash function plus `FxHashMap`/`FxHashSet`
+//!   aliases used for all hot hash tables;
+//! * [`sharded_map::ShardedMap`] — a sharded concurrent map, our equivalent
+//!   of the `ConcurrentHashMap` the paper uses to manage `jmp` edges, with
+//!   first-writer-wins `try_insert` matching the paper's race rules;
+//! * [`worklist::SharedWorkList`] — the lock-protected shared query work
+//!   list of Section III-A;
+//! * [`counters`] — cache-padded atomic statistics counters.
+
+#![warn(missing_docs)]
+
+pub mod counters;
+pub mod fxhash;
+pub mod sharded_map;
+pub mod worklist;
+
+pub use counters::{Counter, MaxTracker};
+pub use fxhash::{FxHashMap, FxHashSet};
+pub use sharded_map::ShardedMap;
+pub use worklist::SharedWorkList;

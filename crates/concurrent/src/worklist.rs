@@ -1,0 +1,114 @@
+//! The lock-protected shared work list of the paper's parallelisation
+//! strategies (Section III-A): threads repeatedly fetch the next query (or
+//! group of queries) until the list is empty.
+
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+
+/// A FIFO work list shared by query-processing threads.
+///
+/// The naive strategy pushes individual queries; the scheduled strategy
+/// pushes whole groups (reducing synchronisation, Section III-C) — the
+/// element type `T` is either a query or a `Vec` of queries.
+pub struct SharedWorkList<T> {
+    queue: Mutex<VecDeque<T>>,
+}
+
+impl<T> SharedWorkList<T> {
+    /// Creates an empty work list.
+    pub fn new() -> Self {
+        SharedWorkList {
+            queue: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Creates a work list pre-filled in order.
+    pub fn with_items(items: impl IntoIterator<Item = T>) -> Self {
+        SharedWorkList {
+            queue: Mutex::new(items.into_iter().collect()),
+        }
+    }
+
+    /// Appends an item at the back.
+    pub fn push(&self, item: T) {
+        self.queue.lock().push_back(item);
+    }
+
+    /// Fetches the next item, or `None` when the list is (momentarily)
+    /// empty.
+    pub fn pop(&self) -> Option<T> {
+        self.queue.lock().pop_front()
+    }
+
+    /// Fetches up to `n` items in one lock acquisition.
+    pub fn pop_batch(&self, n: usize) -> Vec<T> {
+        let mut q = self.queue.lock();
+        let take = n.min(q.len());
+        q.drain(..take).collect()
+    }
+
+    /// Number of queued items.
+    pub fn len(&self) -> usize {
+        self.queue.lock().len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.lock().is_empty()
+    }
+}
+
+impl<T> Default for SharedWorkList<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order() {
+        let w = SharedWorkList::with_items([1, 2, 3]);
+        assert_eq!(w.pop(), Some(1));
+        w.push(4);
+        assert_eq!(w.pop(), Some(2));
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(w.pop(), Some(4));
+        assert_eq!(w.pop(), None);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn pop_batch_bounds() {
+        let w = SharedWorkList::with_items(0..10);
+        assert_eq!(w.pop_batch(3), vec![0, 1, 2]);
+        assert_eq!(w.pop_batch(100), (3..10).collect::<Vec<_>>());
+        assert!(w.pop_batch(5).is_empty());
+    }
+
+    #[test]
+    fn concurrent_drain_is_exact() {
+        let w: Arc<SharedWorkList<u32>> = Arc::new(SharedWorkList::with_items(0..10_000));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let w = Arc::clone(&w);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(x) = w.pop() {
+                        got.push(x);
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut all: Vec<u32> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10_000).collect::<Vec<_>>(), "every item exactly once");
+    }
+}

@@ -1,0 +1,106 @@
+//! Solver configuration.
+
+/// Tunable parameters of the demand-driven analysis.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SolverConfig {
+    /// The per-query budget `B`: the maximum number of node traversals
+    /// (steps) any single query may perform, counting all nested recursive
+    /// traversals. The paper sets 75,000.
+    pub budget: u64,
+    /// `τF`: a finished `jmp` set is published only when its recomputation
+    /// cost (total steps of the `ReachableNodes` call) is at least this
+    /// (paper: 100). Filters out cheap shortcuts whose map-synchronisation
+    /// cost exceeds their benefit (Section IV-A).
+    pub tau_finished: u64,
+    /// `τU`: an unfinished `jmp(s) ⇒ O` edge is published only when
+    /// `s ≥ τU` (paper: 10,000).
+    pub tau_unfinished: u64,
+    /// Whether the data-sharing scheme (Algorithm 2) is active. Off for
+    /// `SeqCFL` and the naive parallel mode.
+    pub data_sharing: bool,
+    /// Whether calling contexts are tracked (`param`/`ret` matched as
+    /// balanced parentheses). Off = field-sensitive-only analysis, grammar
+    /// (2) with all assignment kinds merged.
+    pub context_sensitive: bool,
+    /// Per-query memoisation of nested `PointsTo`/`FlowsTo` calls — the
+    /// "ad-hoc caching" some prior sequential implementations bolt on.
+    /// **Off by default**: Algorithm 1 re-traverses, and that redundancy
+    /// is exactly what the paper's data-sharing scheme eliminates (with
+    /// budget accounting that matches re-traversal costs). The ablation
+    /// benches compare the two mechanisms.
+    pub memoize: bool,
+    /// Abort (treating it as out-of-budget) when the mutual recursion
+    /// between `PointsTo`/`FlowsTo`/`ReachableNodes` exceeds this depth.
+    /// Guards the OS stack; the paper's algorithm would reach the same
+    /// outcome by exhausting `B` a little later.
+    pub max_recursion_depth: u32,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            budget: 75_000,
+            tau_finished: 100,
+            tau_unfinished: 10_000,
+            data_sharing: false,
+            context_sensitive: true,
+            memoize: false,
+            max_recursion_depth: 512,
+        }
+    }
+}
+
+impl SolverConfig {
+    /// The paper's sequential baseline `SeqCFL`.
+    pub fn sequential() -> Self {
+        SolverConfig::default()
+    }
+
+    /// Data sharing enabled (the `D` of `ParCFL_D`).
+    pub fn with_data_sharing(mut self) -> Self {
+        self.data_sharing = true;
+        self
+    }
+
+    /// Overrides the budget.
+    pub fn with_budget(mut self, budget: u64) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Disables the selective-insertion thresholds (for the τ ablation of
+    /// Section IV-D2: all jmp edges are recorded).
+    pub fn without_tau_thresholds(mut self) -> Self {
+        self.tau_finished = 0;
+        self.tau_unfinished = 0;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = SolverConfig::default();
+        assert_eq!(c.budget, 75_000);
+        assert_eq!(c.tau_finished, 100);
+        assert_eq!(c.tau_unfinished, 10_000);
+        assert!(!c.data_sharing);
+        assert!(c.context_sensitive);
+        assert!(!c.memoize);
+    }
+
+    #[test]
+    fn builders() {
+        let c = SolverConfig::sequential()
+            .with_data_sharing()
+            .with_budget(5)
+            .without_tau_thresholds();
+        assert!(c.data_sharing);
+        assert_eq!(c.budget, 5);
+        assert_eq!(c.tau_finished, 0);
+        assert_eq!(c.tau_unfinished, 0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Calling contexts: call-site strings manipulated during CFL-reachability
+//! traversals (the `c` of `PointsTo(l, c)`).
+//!
+//! The context is a stack of call sites. A backward (`PointsTo`) traversal
+//! pushes on `ret_i` edges and matches/pops on `param_i` edges; a forward
+//! (`FlowsTo`) traversal does the opposite. Matching allows a partially
+//! balanced prefix: when the stack is empty, any `param_i` (backward) or
+//! `ret_i` (forward) may be taken, because "a realizable path may not start
+//! and end in the same method" (paper Section II-B2).
+//!
+//! Call-graph recursion cycles are collapsed before extraction, so stacks
+//! are bounded by the acyclic call depth of the program.
+
+use parcfl_pag::CallSiteId;
+
+/// An immutable call-site stack. `push`/`pop` return new contexts.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ctx {
+    // Bottom-to-top order; top is the last element.
+    stack: Vec<u32>,
+}
+
+impl Ctx {
+    /// The empty context (a query's starting context, written `∅`).
+    pub fn empty() -> Self {
+        Ctx::default()
+    }
+
+    /// Whether the stack is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.stack.is_empty()
+    }
+
+    /// The topmost call site, if any.
+    #[inline]
+    pub fn top(&self) -> Option<CallSiteId> {
+        self.stack.last().map(|&i| CallSiteId::new(i))
+    }
+
+    /// Stack depth.
+    #[inline]
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Returns a context with `site` pushed on top.
+    #[must_use]
+    pub fn push(&self, site: CallSiteId) -> Ctx {
+        let mut stack = Vec::with_capacity(self.stack.len() + 1);
+        stack.extend_from_slice(&self.stack);
+        stack.push(site.raw());
+        Ctx { stack }
+    }
+
+    /// Returns a context with the top removed. Popping the empty context
+    /// yields the empty context (callers guard with [`Ctx::top`] first).
+    #[must_use]
+    pub fn pop(&self) -> Ctx {
+        let mut stack = self.stack.clone();
+        stack.pop();
+        Ctx { stack }
+    }
+
+    /// Backward-traversal step over a `param_i` edge: allowed when the
+    /// stack is empty (partially balanced) or the top matches `site`.
+    /// Returns the context to continue with, or `None` when the path is
+    /// unrealisable.
+    pub fn match_backward_param(&self, site: CallSiteId) -> Option<Ctx> {
+        if self.is_empty() {
+            Some(self.clone())
+        } else if self.top() == Some(site) {
+            Some(self.pop())
+        } else {
+            None
+        }
+    }
+
+    /// Forward-traversal step over a `ret_i` edge (the dual of
+    /// [`Ctx::match_backward_param`]).
+    pub fn match_forward_ret(&self, site: CallSiteId) -> Option<Ctx> {
+        self.match_backward_param(site)
+    }
+}
+
+impl std::fmt::Display for Ctx {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[")?;
+        for (i, s) in self.stack.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{s}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_top() {
+        let c = Ctx::empty();
+        assert!(c.is_empty());
+        assert_eq!(c.top(), None);
+        let c1 = c.push(CallSiteId::new(3));
+        let c2 = c1.push(CallSiteId::new(7));
+        assert_eq!(c2.depth(), 2);
+        assert_eq!(c2.top(), Some(CallSiteId::new(7)));
+        assert_eq!(c2.pop(), c1);
+        assert_eq!(c1.pop(), c);
+        assert_eq!(c.pop(), c, "popping empty stays empty");
+        // push is persistent: c1 unchanged.
+        assert_eq!(c1.depth(), 1);
+    }
+
+    #[test]
+    fn backward_param_matching() {
+        let i = CallSiteId::new(5);
+        let j = CallSiteId::new(6);
+        let empty = Ctx::empty();
+        // Empty context: partially balanced paths allowed; context stays
+        // empty.
+        assert_eq!(empty.match_backward_param(i), Some(Ctx::empty()));
+        let c = empty.push(i);
+        assert_eq!(c.match_backward_param(i), Some(Ctx::empty()));
+        assert_eq!(c.match_backward_param(j), None, "mismatched site is unrealisable");
+    }
+
+    #[test]
+    fn display_and_order() {
+        let c = Ctx::empty().push(CallSiteId::new(1)).push(CallSiteId::new(2));
+        assert_eq!(c.to_string(), "[1,2]");
+        assert_eq!(Ctx::empty().to_string(), "[]");
+        assert!(Ctx::empty() < c);
+    }
+
+    #[test]
+    fn hash_equality_by_content() {
+        use std::collections::HashSet;
+        let a = Ctx::empty().push(CallSiteId::new(1));
+        let b = Ctx::empty().push(CallSiteId::new(1));
+        let mut s = HashSet::new();
+        s.insert(a);
+        assert!(!s.insert(b), "structurally equal contexts collide");
+    }
+}
+
+#[cfg(test)]
+mod depth_tests {
+    use super::*;
+
+    #[test]
+    fn deep_stacks_behave() {
+        let mut c = Ctx::empty();
+        for i in 0..1000 {
+            c = c.push(CallSiteId::new(i));
+        }
+        assert_eq!(c.depth(), 1000);
+        assert_eq!(c.top(), Some(CallSiteId::new(999)));
+        for _ in 0..1000 {
+            c = c.pop();
+        }
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn match_forward_ret_is_dual_of_backward_param() {
+        let i = CallSiteId::new(3);
+        let c = Ctx::empty().push(i);
+        assert_eq!(c.match_forward_ret(i), c.match_backward_param(i));
+        assert_eq!(
+            Ctx::empty().match_forward_ret(i),
+            Ctx::empty().match_backward_param(i)
+        );
+    }
+}

@@ -1,0 +1,348 @@
+//! The `jmp` shortcut-edge store — the data-sharing scheme of Section III-B,
+//! recast as a graph-rewriting overlay on the read-only PAG (paper Fig. 4).
+//!
+//! Two kinds of entries live under a `(node, context)` key:
+//!
+//! * **Finished** (Fig. 3a): the complete `rch` result of a
+//!   `ReachableNodes(x, c)` call together with its recomputation cost in
+//!   steps. A later query takes the shortcut instead of re-traversing.
+//! * **Unfinished** (Fig. 3b): `x ⇐jmp(s)= O` — evidence that any query
+//!   reaching `(x, c)` with remaining budget below `s` will inevitably run
+//!   out; such queries terminate early.
+//!
+//! Race rules follow the paper (Section IV-A): finished sets are inserted
+//! atomically under their key; for unfinished entries the first writer wins
+//! (selecting the larger `s` was judged cost-ineffective). A finished entry
+//! may upgrade an unfinished one — it is strictly more informative.
+//!
+//! Every entry carries the *virtual time* of its creation. The threaded
+//! backend ignores it; the deterministic simulator only lets a query observe
+//! entries created at or before its own current virtual time, modelling the
+//! interleaving-dependent visibility of shared data (see DESIGN.md).
+
+use crate::context::Ctx;
+use parcfl_concurrent::ShardedMap;
+use parcfl_pag::NodeId;
+use std::sync::Arc;
+
+/// Traversal direction of the `ReachableNodes` call a jmp entry summarises.
+///
+/// The paper details sharing for the `PointsTo`-side `ReachableNodes` and
+/// notes `FlowsTo` "is analogous ... and thus omitted"; we share both, and
+/// the direction is part of the key so a node serving as both a load
+/// destination (backward) and a store source (forward) cannot collide.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Dir {
+    /// Backward traversal (`PointsTo`): shortcut over incoming loads.
+    Bwd,
+    /// Forward traversal (`FlowsTo`): shortcut over outgoing stores.
+    Fwd,
+}
+
+/// Key of a jmp entry: direction, node and context of the `ReachableNodes`
+/// call.
+pub type JmpKey = (Dir, NodeId, Ctx);
+
+/// The recorded reachable set of a finished `ReachableNodes(x, c)` call:
+/// `(y, c'')` pairs, shared immutably.
+pub type RchSet = Arc<Vec<(NodeId, Ctx)>>;
+
+/// One jmp entry.
+#[derive(Clone, Debug)]
+pub enum JmpEntry {
+    /// Fig. 3(a): the complete result, reusable as a shortcut.
+    Finished {
+        /// Steps the original computation took (the `s` of `jmp(s)`); a
+        /// reader pays this once instead of re-traversing.
+        total_steps: u64,
+        /// The recorded `rch` set.
+        rch: RchSet,
+        /// Virtual creation time.
+        created_at: u64,
+    },
+    /// Fig. 3(b): `x ⇐jmp(s)= O` — early-termination evidence.
+    Unfinished {
+        /// A query with remaining budget `< s` at this key will run out.
+        s: u64,
+        /// Virtual creation time.
+        created_at: u64,
+    },
+}
+
+impl JmpEntry {
+    fn created_at(&self) -> u64 {
+        match self {
+            JmpEntry::Finished { created_at, .. } | JmpEntry::Unfinished { created_at, .. } => {
+                *created_at
+            }
+        }
+    }
+}
+
+/// Aggregate statistics over a jmp store (Table I columns and Fig. 7).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct JmpStoreStats {
+    /// Number of finished entries (recorded `ReachableNodes` results).
+    pub finished_entries: usize,
+    /// Number of individual finished jmp edges (sum of `rch` sizes) —
+    /// Table I's `#Jumps` counts edges.
+    pub finished_edges: usize,
+    /// Number of unfinished entries/edges.
+    pub unfinished: usize,
+}
+
+impl JmpStoreStats {
+    /// Total jmp edges (`#Jumps` in Table I).
+    pub fn total_edges(&self) -> usize {
+        self.finished_edges + self.unfinished
+    }
+}
+
+/// Abstract jmp store: the solver is generic over whether/how sharing
+/// happens.
+pub trait JmpStore: Sync {
+    /// Looks up the entry under `key` visible at virtual time `now`.
+    fn lookup(&self, key: &JmpKey, now: u64) -> Option<JmpEntry>;
+
+    /// Publishes a finished entry (already filtered by `τF` at the call
+    /// site). Returns `true` if the entry was stored.
+    fn publish_finished(&self, key: JmpKey, total_steps: u64, rch: RchSet, now: u64) -> bool;
+
+    /// Publishes an unfinished entry (already filtered by `τU`). First
+    /// writer wins. Returns `true` if stored.
+    fn publish_unfinished(&self, key: JmpKey, s: u64, now: u64) -> bool;
+
+    /// Store-wide statistics.
+    fn stats(&self) -> JmpStoreStats;
+
+    /// Visits every entry (for Fig. 7 histograms).
+    fn for_each(&self, f: &mut dyn FnMut(&JmpKey, &JmpEntry));
+
+    /// Approximate extra memory held by the store, in bytes (Section
+    /// IV-D5).
+    fn approx_bytes(&self) -> usize;
+}
+
+/// A store that never shares anything: `SeqCFL` and the naive parallel
+/// strategy.
+#[derive(Debug, Default)]
+pub struct NoJmpStore;
+
+impl JmpStore for NoJmpStore {
+    fn lookup(&self, _key: &JmpKey, _now: u64) -> Option<JmpEntry> {
+        None
+    }
+
+    fn publish_finished(&self, _k: JmpKey, _t: u64, _r: RchSet, _n: u64) -> bool {
+        false
+    }
+
+    fn publish_unfinished(&self, _k: JmpKey, _s: u64, _n: u64) -> bool {
+        false
+    }
+
+    fn stats(&self) -> JmpStoreStats {
+        JmpStoreStats::default()
+    }
+
+    fn for_each(&self, _f: &mut dyn FnMut(&JmpKey, &JmpEntry)) {}
+
+    fn approx_bytes(&self) -> usize {
+        0
+    }
+}
+
+/// The concurrent shared store (the paper's `ConcurrentHashMap`).
+pub struct SharedJmpStore {
+    map: ShardedMap<JmpKey, JmpEntry>,
+    /// When set, `lookup` enforces virtual-time visibility (the simulator
+    /// backend); when clear, every entry is visible (the threaded backend).
+    timestamped: bool,
+}
+
+impl SharedJmpStore {
+    /// A store for real threads: publication is immediately visible.
+    pub fn new() -> Self {
+        SharedJmpStore {
+            map: ShardedMap::new(),
+            timestamped: false,
+        }
+    }
+
+    /// A store for the deterministic simulator: entries become visible only
+    /// at virtual times ≥ their creation time.
+    pub fn timestamped() -> Self {
+        SharedJmpStore {
+            map: ShardedMap::new(),
+            timestamped: true,
+        }
+    }
+}
+
+impl Default for SharedJmpStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl JmpStore for SharedJmpStore {
+    fn lookup(&self, key: &JmpKey, now: u64) -> Option<JmpEntry> {
+        let e = self.map.get_cloned(key)?;
+        if self.timestamped && e.created_at() > now {
+            return None;
+        }
+        Some(e)
+    }
+
+    fn publish_finished(&self, key: JmpKey, total_steps: u64, rch: RchSet, now: u64) -> bool {
+        // First writer wins, regardless of kind: Algorithm 2 tests the
+        // unfinished case *before* the finished one, so once an unfinished
+        // edge exists at a key its finished branch is unreachable — the
+        // paper's store keeps unfinished edges permanently (its Fig. 7
+        // counts them in the final state). Replacing them here would
+        // silently erase the early-termination evidence.
+        self.map.update_with(key, |cur| match cur {
+            None => Some(JmpEntry::Finished {
+                total_steps,
+                rch,
+                created_at: now,
+            }),
+            Some(_) => None,
+        })
+    }
+
+    fn publish_unfinished(&self, key: JmpKey, s: u64, now: u64) -> bool {
+        self.map.try_insert(
+            key,
+            JmpEntry::Unfinished {
+                s,
+                created_at: now,
+            },
+        )
+    }
+
+    fn stats(&self) -> JmpStoreStats {
+        let mut st = JmpStoreStats::default();
+        self.map.for_each(|_, e| match e {
+            JmpEntry::Finished { rch, .. } => {
+                st.finished_entries += 1;
+                st.finished_edges += rch.len();
+            }
+            JmpEntry::Unfinished { .. } => st.unfinished += 1,
+        });
+        st
+    }
+
+    fn for_each(&self, f: &mut dyn FnMut(&JmpKey, &JmpEntry)) {
+        self.map.for_each(|k, v| f(k, v));
+    }
+
+    fn approx_bytes(&self) -> usize {
+        let mut bytes = self.map.approx_bytes();
+        self.map.for_each(|(_, _, c), e| {
+            bytes += c.depth() * 4;
+            if let JmpEntry::Finished { rch, .. } = e {
+                bytes += rch
+                    .iter()
+                    .map(|(_, c)| 24 + c.depth() * 4)
+                    .sum::<usize>();
+            }
+        });
+        bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: u32) -> JmpKey {
+        (Dir::Bwd, NodeId::new(n), Ctx::empty())
+    }
+
+    #[test]
+    fn no_store_is_inert() {
+        let s = NoJmpStore;
+        assert!(!s.publish_finished(key(1), 10, Arc::new(vec![]), 0));
+        assert!(!s.publish_unfinished(key(1), 10, 0));
+        assert!(s.lookup(&key(1), u64::MAX).is_none());
+        assert_eq!(s.stats().total_edges(), 0);
+        assert_eq!(s.approx_bytes(), 0);
+    }
+
+    #[test]
+    fn finished_roundtrip_and_stats() {
+        let s = SharedJmpStore::new();
+        let rch = Arc::new(vec![(NodeId::new(9), Ctx::empty())]);
+        assert!(s.publish_finished(key(1), 250, rch, 0));
+        match s.lookup(&key(1), 0) {
+            Some(JmpEntry::Finished { total_steps, rch, .. }) => {
+                assert_eq!(total_steps, 250);
+                assert_eq!(rch.len(), 1);
+            }
+            other => panic!("expected finished entry, got {other:?}"),
+        }
+        let st = s.stats();
+        assert_eq!(st.finished_entries, 1);
+        assert_eq!(st.finished_edges, 1);
+        assert_eq!(st.unfinished, 0);
+        assert_eq!(st.total_edges(), 1);
+        assert!(s.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn unfinished_first_writer_wins() {
+        let s = SharedJmpStore::new();
+        assert!(s.publish_unfinished(key(2), 100, 0));
+        assert!(!s.publish_unfinished(key(2), 999, 0), "first writer wins");
+        match s.lookup(&key(2), 0) {
+            Some(JmpEntry::Unfinished { s, .. }) => assert_eq!(s, 100),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn first_writer_wins_across_kinds() {
+        // An unfinished edge is permanent: Algorithm 2's unfinished check
+        // precedes the finished one, so the finished branch is unreachable
+        // at that key and recording a finished set would erase the
+        // early-termination evidence.
+        let s = SharedJmpStore::new();
+        assert!(s.publish_unfinished(key(3), 50, 0));
+        assert!(!s.publish_finished(key(3), 70, Arc::new(vec![]), 0));
+        assert!(matches!(
+            s.lookup(&key(3), 0),
+            Some(JmpEntry::Unfinished { s: 50, .. })
+        ));
+        // A second finished publish after a first finished one is a no-op.
+        assert!(s.publish_finished(key(4), 70, Arc::new(vec![]), 0));
+        assert!(!s.publish_finished(key(4), 71, Arc::new(vec![]), 0));
+        match s.lookup(&key(4), 0) {
+            Some(JmpEntry::Finished { total_steps, .. }) => assert_eq!(total_steps, 70),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn timestamp_visibility() {
+        let s = SharedJmpStore::timestamped();
+        s.publish_unfinished(key(4), 10, 500);
+        assert!(s.lookup(&key(4), 499).is_none(), "not yet visible");
+        assert!(s.lookup(&key(4), 500).is_some());
+        assert!(s.lookup(&key(4), 501).is_some());
+        // Untimestamped store ignores `now`.
+        let s2 = SharedJmpStore::new();
+        s2.publish_unfinished(key(4), 10, 500);
+        assert!(s2.lookup(&key(4), 0).is_some());
+    }
+
+    #[test]
+    fn distinct_contexts_are_distinct_keys() {
+        let s = SharedJmpStore::new();
+        let c1 = Ctx::empty().push(parcfl_pag::CallSiteId::new(1));
+        s.publish_unfinished((Dir::Bwd, NodeId::new(5), c1.clone()), 10, 0);
+        assert!(s.lookup(&(Dir::Bwd, NodeId::new(5), Ctx::empty()), 0).is_none());
+        assert!(s.lookup(&(Dir::Fwd, NodeId::new(5), c1.clone()), 0).is_none());
+        assert!(s.lookup(&(Dir::Bwd, NodeId::new(5), c1), 0).is_some());
+    }
+}

@@ -1,0 +1,663 @@
+//! The demand-driven CFL-reachability solver: Algorithm 1 (`PointsTo`,
+//! `FlowsTo`, `ReachableNodes`) with the data-sharing revision of
+//! Algorithm 2.
+//!
+//! A `PointsTo(l, c)` query traverses the PAG *backwards* along value flow
+//! with a work list, matching calling contexts as balanced parentheses
+//! (grammar (3)) and field accesses via alias tests (grammar (2)):
+//!
+//! * `new` edges contribute `⟨o, c⟩` to the result;
+//! * `assign_l` keeps the context, `assign_g` clears it (globals are
+//!   context-insensitive);
+//! * `param_i` is taken when the context is empty or its top is `i`
+//!   (popping it); `ret_i` pushes `i`;
+//! * an incoming load `x ←ld(f)− p` triggers `ReachableNodes(x, c)`, which
+//!   for every store `q ←st(f)− y` tests whether `p` and `q` are aliases by
+//!   composing `PointsTo(p, c)` with `FlowsTo(o, c′)` — the mutually
+//!   recursive calls of Algorithm 1 lines 17–25.
+//!
+//! `FlowsTo` is the exact dual (forward traversal, `param`/`ret` roles
+//! swapped, stores/loads swapped).
+//!
+//! Cost accounting: every work-list pop is one *step*. Steps are
+//! query-local and shared by all nested traversals; exceeding the budget
+//! `B` aborts the query (`OutOfBudget`). With data sharing enabled, taking
+//! a finished shortcut charges its recorded cost against the budget
+//! (Algorithm 2 line 5) without performing the traversal — the gap between
+//! *charged* and *traversed* steps is exactly the redundant work the paper's
+//! scheme eliminates.
+
+use crate::config::SolverConfig;
+use crate::context::Ctx;
+use crate::jmp::{Dir, JmpEntry, JmpStore, RchSet};
+use crate::stats::{Answer, QueryOutput, QueryStats};
+use crate::witness::{Trace, Via};
+use parcfl_concurrent::{FxHashMap, FxHashSet};
+use parcfl_pag::{EdgeKind, NodeId, Pag};
+use std::sync::Arc;
+
+/// A `(node, context)` pair — the traversal state of Algorithm 1.
+pub type CtxNode = (NodeId, Ctx);
+
+/// The solver: immutable analysis state shared by every query.
+pub struct Solver<'a> {
+    pag: &'a Pag,
+    cfg: &'a SolverConfig,
+    jmp: &'a dyn JmpStore,
+}
+
+impl<'a> Solver<'a> {
+    /// Creates a solver over `pag` with the given configuration and jmp
+    /// store (use [`crate::jmp::NoJmpStore`] when sharing is disabled).
+    pub fn new(pag: &'a Pag, cfg: &'a SolverConfig, jmp: &'a dyn JmpStore) -> Self {
+        Solver { pag, cfg, jmp }
+    }
+
+    /// Answers `PointsTo(l, ∅)`: the context-sensitive points-to set of
+    /// variable `l`. `vtime_base` is the query's virtual start time (0 for
+    /// real-thread execution).
+    pub fn points_to_query(&self, l: NodeId, vtime_base: u64) -> QueryOutput {
+        self.run(l, vtime_base, Dir::Bwd)
+    }
+
+    /// Answers `FlowsTo(o, ∅)`: the variables object `o` may flow to.
+    pub fn flows_to_query(&self, o: NodeId, vtime_base: u64) -> QueryOutput {
+        self.run(o, vtime_base, Dir::Fwd)
+    }
+
+    /// Like [`Solver::points_to_query`], but records the discovery forest
+    /// so [`Trace::witness`] can explain *why* each object is in the
+    /// answer. Tracing covers the top-level traversal; heap hops appear as
+    /// single `alias` steps.
+    pub fn traced_points_to_query(&self, l: NodeId, vtime_base: u64) -> (QueryOutput, Trace) {
+        let mut q = QueryState::new(self.pag, self.cfg, self.jmp, vtime_base);
+        q.trace = Some(Trace::default());
+        if let Some(t) = q.trace.as_mut() {
+            t.parent
+                .insert((l, Ctx::empty()), ((l, Ctx::empty()), Via::Root));
+        }
+        let result = q.points_to(l, &Ctx::empty());
+        let answer = match result {
+            Ok(set) => {
+                let mut v: Vec<CtxNode> = set.as_ref().clone();
+                v.sort_unstable();
+                v.dedup();
+                Answer::Complete(v)
+            }
+            Err(_oob) => Answer::OutOfBudget,
+        };
+        q.stats.charged_steps = q.steps;
+        q.stats.traversed_steps = q.work;
+        q.stats.mem_items = q.work
+            + q.memo_pts.values().map(|v| v.len() as u64).sum::<u64>()
+            + q.memo_flows.values().map(|v| v.len() as u64).sum::<u64>()
+            + q.memo_rch.values().map(|v| v.len() as u64).sum::<u64>();
+        let trace = q.trace.take().unwrap_or_default();
+        (
+            QueryOutput {
+                answer,
+                stats: q.stats,
+            },
+            trace,
+        )
+    }
+
+    fn run(&self, start: NodeId, vtime_base: u64, dir: Dir) -> QueryOutput {
+        let mut q = QueryState::new(self.pag, self.cfg, self.jmp, vtime_base);
+        let result = match dir {
+            Dir::Bwd => q.points_to(start, &Ctx::empty()),
+            Dir::Fwd => q.flows_to(start, &Ctx::empty()),
+        };
+        let answer = match result {
+            Ok(set) => {
+                let mut v: Vec<CtxNode> = set.as_ref().clone();
+                v.sort_unstable();
+                v.dedup();
+                Answer::Complete(v)
+            }
+            Err(_oob) => Answer::OutOfBudget,
+        };
+        q.stats.charged_steps = q.steps;
+        q.stats.traversed_steps = q.work;
+        q.stats.mem_items = q.work
+            + q.memo_pts.values().map(|v| v.len() as u64).sum::<u64>()
+            + q.memo_flows.values().map(|v| v.len() as u64).sum::<u64>()
+            + q.memo_rch.values().map(|v| v.len() as u64).sum::<u64>();
+        QueryOutput {
+            answer,
+            stats: q.stats,
+        }
+    }
+}
+
+/// Marker error: the query exhausted its budget (Algorithm 1's `exit()`).
+#[derive(Debug)]
+struct Oob;
+
+/// Visited-state set keyed `node → contexts`, probing by reference so the
+/// hot traversal loops only clone a call-string when a state is genuinely
+/// new (duplicate hits — the common case on dense graphs — cost no
+/// allocation).
+#[derive(Default)]
+struct VisitSet {
+    map: FxHashMap<NodeId, FxHashSet<Ctx>>,
+}
+
+impl VisitSet {
+    /// Records `(n, c)`; returns `true` iff the state was new.
+    #[inline]
+    fn insert_ref(&mut self, n: NodeId, c: &Ctx) -> bool {
+        let set = self.map.entry(n).or_default();
+        if set.contains(c) {
+            false
+        } else {
+            set.insert(c.clone());
+            true
+        }
+    }
+}
+
+/// A successor produced by one edge: either the current context carries
+/// over unchanged, or a new context was computed (push/pop/clear).
+enum Step {
+    Same(NodeId),
+    New(NodeId, Ctx),
+}
+
+/// Query-local mutable state shared by every nested traversal.
+struct QueryState<'a> {
+    pag: &'a Pag,
+    cfg: &'a SolverConfig,
+    jmp: &'a dyn JmpStore,
+    /// Steps charged against the budget (`steps` in the paper).
+    steps: u64,
+    /// Steps actually traversed (work-list pops performed).
+    work: u64,
+    vtime_base: u64,
+    /// The paper's `S`: in-progress `ReachableNodes` frames
+    /// `(dir, x, c, s0)`, used by `OutOfBudget` to record unfinished jmps.
+    in_progress: Vec<(Dir, NodeId, Ctx, u64)>,
+    /// Per-query memoisation of completed nested calls (ad-hoc caching, as
+    /// in the baseline [18]).
+    memo_pts: FxHashMap<CtxNode, Arc<Vec<CtxNode>>>,
+    memo_flows: FxHashMap<CtxNode, Arc<Vec<CtxNode>>>,
+    memo_rch: FxHashMap<(Dir, NodeId, Ctx), RchSet>,
+    /// In-flight call detection: identical re-entrant calls would loop
+    /// until the budget drained; we reach the same out-of-budget verdict
+    /// immediately (see DESIGN.md). One set per call kind — `PointsTo(x,c)`
+    /// legitimately invokes `ReachableNodes(x,c)`.
+    on_stack_pts: FxHashSet<CtxNode>,
+    on_stack_flows: FxHashSet<CtxNode>,
+    on_stack_rch: FxHashSet<(Dir, NodeId, Ctx)>,
+    depth: u32,
+    stats: QueryStats,
+    /// Discovery forest for witness reconstruction; recorded only for the
+    /// top-level traversal (depth 1) and only when tracing is requested.
+    trace: Option<Trace>,
+}
+
+impl<'a> QueryState<'a> {
+    fn new(pag: &'a Pag, cfg: &'a SolverConfig, jmp: &'a dyn JmpStore, vtime_base: u64) -> Self {
+        QueryState {
+            pag,
+            cfg,
+            jmp,
+            steps: 0,
+            work: 0,
+            vtime_base,
+            in_progress: Vec::new(),
+            memo_pts: FxHashMap::default(),
+            memo_flows: FxHashMap::default(),
+            memo_rch: FxHashMap::default(),
+            on_stack_pts: FxHashSet::default(),
+            on_stack_flows: FxHashSet::default(),
+            on_stack_rch: FxHashSet::default(),
+            depth: 0,
+            stats: QueryStats::default(),
+            trace: None,
+        }
+    }
+
+    /// Virtual now: queries observe shared entries created at or before
+    /// this instant (real traversal work advances it; charged-but-skipped
+    /// steps do not).
+    #[inline]
+    fn now(&self) -> u64 {
+        self.vtime_base + self.work
+    }
+
+    /// One node traversal (Algorithm 1 lines 5–6).
+    #[inline]
+    fn tick(&mut self) -> Result<(), Oob> {
+        self.steps += 1;
+        self.work += 1;
+        if self.steps > self.cfg.budget {
+            Err(self.out_of_budget(0, false))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Algorithm 2's `OutOfBudget(BDG)`: records an unfinished jmp edge for
+    /// every in-progress `ReachableNodes` frame, then aborts the query.
+    fn out_of_budget(&mut self, bdg: u64, early: bool) -> Oob {
+        self.stats.out_of_budget = true;
+        if early {
+            self.stats.early_terminated = true;
+        }
+        if self.cfg.data_sharing {
+            let frames = std::mem::take(&mut self.in_progress);
+            for (dir, x, c, s0) in frames {
+                let s_val = self
+                    .cfg
+                    .budget
+                    .min(bdg + (self.steps - s0));
+                if s_val >= self.cfg.tau_unfinished
+                    && self.jmp.publish_unfinished((dir, x, c), s_val, self.now())
+                {
+                    self.stats.unfinished_published += 1;
+                }
+            }
+        }
+        Oob
+    }
+
+    /// Recursion-depth guard for the mutual recursion; the paper's
+    /// algorithm would reach out-of-budget later by re-traversing, so the
+    /// guard burns the remaining budget (see [`Self::burn_remaining`]).
+    fn enter(&mut self) -> Result<(), Oob> {
+        self.depth += 1;
+        if self.depth > self.cfg.max_recursion_depth {
+            Err(self.burn_remaining())
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Models the budget exhaustion Algorithm 1 reaches on re-entrant
+    /// (cyclically dependent) computations: a nested call identical to an
+    /// in-flight one re-traverses forever, so the paper's analysis burns
+    /// whatever budget remains and then exits. We charge that burn to both
+    /// the budget and the work clock (it is real traversal time in the
+    /// paper's implementation) without actually spinning, then take the
+    /// normal OutOfBudget path — which records unfinished jmp edges with
+    /// the large `s` values that make early terminations possible for
+    /// later queries.
+    fn burn_remaining(&mut self) -> Oob {
+        let remaining = self.cfg.budget.saturating_sub(self.steps) + 1;
+        self.steps += remaining;
+        self.work += remaining;
+        self.out_of_budget(0, false)
+    }
+
+    // ----- POINTSTO -----
+
+    fn points_to(&mut self, l: NodeId, c: &Ctx) -> Result<Arc<Vec<CtxNode>>, Oob> {
+        let key = (l, c.clone());
+        if self.cfg.memoize {
+            if let Some(r) = self.memo_pts.get(&key) {
+                return Ok(Arc::clone(r));
+            }
+        }
+        self.enter()?;
+        if !self.on_stack_pts.insert(key.clone()) {
+            return Err(self.burn_remaining());
+        }
+        let out = self.points_to_inner(l, c)?;
+        self.on_stack_pts.remove(&key);
+        self.depth -= 1;
+        let out = Arc::new(out);
+        if self.cfg.memoize {
+            self.memo_pts.insert(key, Arc::clone(&out));
+        }
+        Ok(out)
+    }
+
+    fn points_to_inner(&mut self, l: NodeId, c: &Ctx) -> Result<Vec<CtxNode>, Oob> {
+        let ctx_sens = self.cfg.context_sensitive;
+        let mut pts_seen = VisitSet::default();
+        let mut pts: Vec<CtxNode> = Vec::new();
+        let mut visited = VisitSet::default();
+        let mut w: Vec<CtxNode> = Vec::new();
+        visited.insert_ref(l, c);
+        w.push((l, c.clone()));
+
+        // Tracing is recorded for the outermost traversal only.
+        let tracing = self.depth == 1 && self.trace.is_some();
+        while let Some((x, cx)) = w.pop() {
+            self.tick()?;
+            let mut has_load = false;
+            for e in self.pag.incoming(x) {
+                let step: Option<Step> = match e.kind {
+                    EdgeKind::New => {
+                        if pts_seen.insert_ref(e.src, &cx) {
+                            pts.push((e.src, cx.clone()));
+                            if tracing {
+                                if let Some(t) = self.trace.as_mut() {
+                                    t.object_from
+                                        .entry((e.src, cx.clone()))
+                                        .or_insert_with(|| (x, cx.clone()));
+                                }
+                            }
+                        }
+                        None
+                    }
+                    EdgeKind::AssignLocal => Some(Step::Same(e.src)),
+                    EdgeKind::AssignGlobal => {
+                        if ctx_sens {
+                            Some(Step::New(e.src, Ctx::empty()))
+                        } else {
+                            Some(Step::Same(e.src))
+                        }
+                    }
+                    EdgeKind::Param(i) => {
+                        if !ctx_sens || cx.is_empty() {
+                            Some(Step::Same(e.src))
+                        } else if cx.top() == Some(i) {
+                            Some(Step::New(e.src, cx.pop()))
+                        } else {
+                            None
+                        }
+                    }
+                    EdgeKind::Ret(i) => {
+                        if ctx_sens {
+                            Some(Step::New(e.src, cx.push(i)))
+                        } else {
+                            Some(Step::Same(e.src))
+                        }
+                    }
+                    EdgeKind::Load(_) => {
+                        has_load = true;
+                        None
+                    }
+                    // A store into `x.f` does not flow into `x` itself.
+                    EdgeKind::Store(_) => None,
+                };
+                if let Some(step) = step {
+                    let (n2, cref): (NodeId, &Ctx) = match &step {
+                        Step::Same(n) => (*n, &cx),
+                        Step::New(n, c2) => (*n, c2),
+                    };
+                    if visited.insert_ref(n2, cref) {
+                        if tracing {
+                            let label = e.kind.label();
+                            let parent_key = (n2, cref.clone());
+                            if let Some(t) = self.trace.as_mut() {
+                                t.parent
+                                    .insert(parent_key, ((x, cx.clone()), Via::Edge(label)));
+                            }
+                        }
+                        let owned = match step {
+                            Step::Same(_) => cx.clone(),
+                            Step::New(_, c2) => c2,
+                        };
+                        w.push((n2, owned));
+                    }
+                }
+            }
+            if has_load {
+                let rch = self.reachable_nodes(x, &cx, Dir::Bwd)?;
+                for (n2, c2) in rch.iter() {
+                    if visited.insert_ref(*n2, c2) {
+                        if tracing {
+                            if let Some(t) = self.trace.as_mut() {
+                                t.parent
+                                    .insert((*n2, c2.clone()), ((x, cx.clone()), Via::Alias));
+                            }
+                        }
+                        w.push((*n2, c2.clone()));
+                    }
+                }
+            }
+        }
+        pts.sort_unstable();
+        Ok(pts)
+    }
+
+    // ----- FLOWSTO -----
+
+    fn flows_to(&mut self, o: NodeId, c: &Ctx) -> Result<Arc<Vec<CtxNode>>, Oob> {
+        let key = (o, c.clone());
+        if self.cfg.memoize {
+            if let Some(r) = self.memo_flows.get(&key) {
+                return Ok(Arc::clone(r));
+            }
+        }
+        self.enter()?;
+        if !self.on_stack_flows.insert(key.clone()) {
+            return Err(self.burn_remaining());
+        }
+        let out = self.flows_to_inner(o, c)?;
+        self.on_stack_flows.remove(&key);
+        self.depth -= 1;
+        let out = Arc::new(out);
+        if self.cfg.memoize {
+            self.memo_flows.insert(key, Arc::clone(&out));
+        }
+        Ok(out)
+    }
+
+    fn flows_to_inner(&mut self, o: NodeId, c: &Ctx) -> Result<Vec<CtxNode>, Oob> {
+        let ctx_sens = self.cfg.context_sensitive;
+        // Every state is popped exactly once (pushes are gated by the
+        // visited set), so reached variables can be collected in a Vec.
+        let mut reached: Vec<CtxNode> = Vec::new();
+        let mut visited = VisitSet::default();
+        let mut w: Vec<CtxNode> = Vec::new();
+        visited.insert_ref(o, c);
+        w.push((o, c.clone()));
+
+        while let Some((n, cn)) = w.pop() {
+            self.tick()?;
+            if self.pag.kind(n).is_variable() {
+                reached.push((n, cn.clone()));
+            }
+            let mut has_store = false;
+            for e in self.pag.outgoing(n) {
+                let step: Option<Step> = match e.kind {
+                    EdgeKind::New | EdgeKind::AssignLocal => Some(Step::Same(e.dst)),
+                    EdgeKind::AssignGlobal => {
+                        if ctx_sens {
+                            Some(Step::New(e.dst, Ctx::empty()))
+                        } else {
+                            Some(Step::Same(e.dst))
+                        }
+                    }
+                    EdgeKind::Param(i) => {
+                        if ctx_sens {
+                            Some(Step::New(e.dst, cn.push(i)))
+                        } else {
+                            Some(Step::Same(e.dst))
+                        }
+                    }
+                    EdgeKind::Ret(i) => {
+                        if !ctx_sens || cn.is_empty() {
+                            Some(Step::Same(e.dst))
+                        } else if cn.top() == Some(i) {
+                            Some(Step::New(e.dst, cn.pop()))
+                        } else {
+                            None
+                        }
+                    }
+                    EdgeKind::Store(_) => {
+                        has_store = true;
+                        None
+                    }
+                    // A load `y = n.f` does not receive `n` itself.
+                    EdgeKind::Load(_) => None,
+                };
+                if let Some(step) = step {
+                    let (n2, cref): (NodeId, &Ctx) = match &step {
+                        Step::Same(nn) => (*nn, &cn),
+                        Step::New(nn, c2) => (*nn, c2),
+                    };
+                    if visited.insert_ref(n2, cref) {
+                        let owned = match step {
+                            Step::Same(_) => cn.clone(),
+                            Step::New(_, c2) => c2,
+                        };
+                        w.push((n2, owned));
+                    }
+                }
+            }
+            if has_store {
+                let rch = self.reachable_nodes(n, &cn, Dir::Fwd)?;
+                for (n2, c2) in rch.iter() {
+                    if visited.insert_ref(*n2, c2) {
+                        w.push((*n2, c2.clone()));
+                    }
+                }
+            }
+        }
+        reached.sort_unstable();
+        reached.dedup();
+        Ok(reached)
+    }
+
+    // ----- REACHABLENODES (Algorithm 2) -----
+
+    fn reachable_nodes(&mut self, x: NodeId, c: &Ctx, dir: Dir) -> Result<RchSet, Oob> {
+        let key = (dir, x, c.clone());
+        if self.cfg.memoize {
+            if let Some(r) = self.memo_rch.get(&key) {
+                return Ok(Arc::clone(r));
+            }
+        }
+
+        if self.cfg.data_sharing {
+            match self.jmp.lookup(&key, self.now()) {
+                // Algorithm 2 lines 2–3: early termination when the
+                // remaining budget cannot cover the recorded lower bound.
+                // An unfinished entry with enough budget left falls through
+                // to the recomputation below.
+                Some(JmpEntry::Unfinished { s, .. })
+                    if self.cfg.budget.saturating_sub(self.steps) < s =>
+                {
+                    return Err(self.out_of_budget(s, true));
+                }
+                Some(JmpEntry::Unfinished { .. }) => {}
+                Some(JmpEntry::Finished {
+                    total_steps, rch, ..
+                }) => {
+                    // Lines 4–8: take the shortcuts. The recorded cost is
+                    // charged against the budget (precision argument in
+                    // Section III-B2) but not traversed.
+                    self.steps += total_steps;
+                    self.work += 1;
+                    self.stats.shortcuts_taken += 1;
+                    self.stats.steps_saved += total_steps;
+                    if self.cfg.memoize {
+                        self.memo_rch.insert(key, Arc::clone(&rch));
+                    }
+                    return Ok(rch);
+                }
+                None => {}
+            }
+        }
+
+        // Lines 9–22: compute, tracking the frame for OutOfBudget.
+        let s0 = self.steps;
+        self.in_progress.push((dir, x, c.clone(), s0));
+        if !self.on_stack_rch.insert(key.clone()) {
+            return Err(self.burn_remaining());
+        }
+        let out = match dir {
+            Dir::Bwd => self.reachable_inner_bwd(x, c)?,
+            Dir::Fwd => self.reachable_inner_fwd(x, c)?,
+        };
+        self.on_stack_rch.remove(&key);
+        self.in_progress.pop();
+
+        let rch: RchSet = Arc::new(out);
+        if self.cfg.data_sharing {
+            let total = self.steps - s0;
+            if total >= self.cfg.tau_finished
+                && self
+                    .jmp
+                    .publish_finished(key.clone(), total, Arc::clone(&rch), self.now())
+            {
+                self.stats.finished_published += rch.len().max(1) as u64;
+            }
+        }
+        if self.cfg.memoize {
+            self.memo_rch.insert(key, Arc::clone(&rch));
+        }
+        Ok(rch)
+    }
+
+    /// Backward: `x` has incoming loads `x ←ld(f)− p`; for every store
+    /// `q ←st(f)− y` with `p alias q`, `(y, c'')` is reachable.
+    fn reachable_inner_bwd(&mut self, x: NodeId, c: &Ctx) -> Result<Vec<CtxNode>, Oob> {
+        let mut out: FxHashSet<CtxNode> = FxHashSet::default();
+        let loads: Vec<(NodeId, parcfl_pag::FieldId)> = self
+            .pag
+            .incoming(x)
+            .iter()
+            .filter_map(|e| match e.kind {
+                EdgeKind::Load(f) => Some((e.src, f)),
+                _ => None,
+            })
+            .collect();
+        for (p, f) in loads {
+            if self.pag.stores_of(f).is_empty() {
+                continue;
+            }
+            // alias = ∪ FlowsTo(o, c') for (o, c') ∈ PointsTo(p, c).
+            let mut alias: FxHashMap<NodeId, Vec<Ctx>> = FxHashMap::default();
+            let pts = self.points_to(p, c)?;
+            for (o, c0) in pts.iter() {
+                let ft = self.flows_to(*o, c0)?;
+                for (q2, c2) in ft.iter() {
+                    alias.entry(*q2).or_default().push(c2.clone());
+                }
+            }
+            for &(q, y) in self.pag.stores_of(f) {
+                if let Some(ctxs) = alias.get(&q) {
+                    for c2 in ctxs {
+                        out.insert((y, c2.clone()));
+                    }
+                }
+            }
+        }
+        let mut v: Vec<CtxNode> = out.into_iter().collect();
+        v.sort_unstable();
+        Ok(v)
+    }
+
+    /// Forward dual: `y` has outgoing stores `q ←st(f)− y`; for every load
+    /// `x ←ld(f)− p` with `q alias p`, `(x, c'')` is reachable.
+    fn reachable_inner_fwd(&mut self, y: NodeId, c: &Ctx) -> Result<Vec<CtxNode>, Oob> {
+        let mut out: FxHashSet<CtxNode> = FxHashSet::default();
+        let stores: Vec<(NodeId, parcfl_pag::FieldId)> = self
+            .pag
+            .outgoing(y)
+            .filter_map(|e| match e.kind {
+                EdgeKind::Store(f) => Some((e.dst, f)),
+                _ => None,
+            })
+            .collect();
+        for (q, f) in stores {
+            if self.pag.loads_of(f).is_empty() {
+                continue;
+            }
+            let mut alias: FxHashMap<NodeId, Vec<Ctx>> = FxHashMap::default();
+            let pts = self.points_to(q, c)?;
+            for (o, c0) in pts.iter() {
+                let ft = self.flows_to(*o, c0)?;
+                for (p2, c2) in ft.iter() {
+                    alias.entry(*p2).or_default().push(c2.clone());
+                }
+            }
+            for &(p, x) in self.pag.loads_of(f) {
+                if let Some(ctxs) = alias.get(&p) {
+                    for c2 in ctxs {
+                        out.insert((x, c2.clone()));
+                    }
+                }
+            }
+        }
+        let mut v: Vec<CtxNode> = out.into_iter().collect();
+        v.sort_unstable();
+        Ok(v)
+    }
+}

@@ -1,0 +1,169 @@
+//! Per-query and aggregate statistics, plus the Fig. 7 jmp-edge histogram.
+
+use crate::jmp::{JmpEntry, JmpStore};
+
+/// Statistics of a single query.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Steps charged against the budget `B` (includes the recorded cost of
+    /// every shortcut taken, per Algorithm 2 line 5).
+    pub charged_steps: u64,
+    /// Steps actually traversed (worklist pops performed). This is the
+    /// real-work measure wall-clock scales with; `charged - traversed` is
+    /// work the shortcuts avoided.
+    pub traversed_steps: u64,
+    /// Finished shortcuts taken.
+    pub shortcuts_taken: u64,
+    /// Steps saved by taking finished shortcuts (the recorded cost of each
+    /// shortcut, which would otherwise have been re-traversed).
+    pub steps_saved: u64,
+    /// Finished jmp *edges* this query published (sum of set sizes).
+    pub finished_published: u64,
+    /// Unfinished jmp edges this query published.
+    pub unfinished_published: u64,
+    /// Whether the query ran out of budget.
+    pub out_of_budget: bool,
+    /// Whether the query was cut short by an unfinished jmp edge (an early
+    /// termination, Section III-B; implies `out_of_budget`).
+    pub early_terminated: bool,
+    /// Allocation-volume proxy: work-list/visited-set insertions plus
+    /// memoised result entries held by this query. Used by the
+    /// memory-usage experiment (Section IV-D5).
+    pub mem_items: u64,
+}
+
+/// Result of one points-to (or flows-to) query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Answer {
+    /// The analysis completed within budget; the context-sensitive result
+    /// set, sorted and deduplicated.
+    Complete(Vec<(parcfl_pag::NodeId, crate::context::Ctx)>),
+    /// Budget exhausted: the client must assume the worst.
+    OutOfBudget,
+}
+
+impl Answer {
+    /// The result set, if complete.
+    pub fn complete(&self) -> Option<&[(parcfl_pag::NodeId, crate::context::Ctx)]> {
+        match self {
+            Answer::Complete(v) => Some(v),
+            Answer::OutOfBudget => None,
+        }
+    }
+
+    /// Context-insensitive projection: sorted, deduplicated node ids.
+    pub fn nodes(&self) -> Option<Vec<parcfl_pag::NodeId>> {
+        self.complete().map(|v| {
+            let mut ns: Vec<_> = v.iter().map(|(n, _)| *n).collect();
+            ns.sort_unstable();
+            ns.dedup();
+            ns
+        })
+    }
+}
+
+/// One answered query with its cost profile.
+#[derive(Clone, Debug)]
+pub struct QueryOutput {
+    /// The answer.
+    pub answer: Answer,
+    /// Cost/effect statistics.
+    pub stats: QueryStats,
+}
+
+/// Fig. 7: histogram of jmp edges bucketed by the number of steps each
+/// saves, in powers of two `2^0 .. 2^16` (plus one overflow bucket).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct JmpHistogram {
+    /// Finished edges per bucket (Fig. 3a).
+    pub finished: [u64; 18],
+    /// Unfinished edges per bucket (Fig. 3b).
+    pub unfinished: [u64; 18],
+}
+
+impl JmpHistogram {
+    /// Bucket index for a step count: `floor(log2(s))` clamped to `0..=17`.
+    pub fn bucket(s: u64) -> usize {
+        if s == 0 {
+            0
+        } else {
+            (63 - s.leading_zeros() as usize).min(17)
+        }
+    }
+
+    /// Builds the histogram from a store's current contents. Each finished
+    /// entry contributes one edge per recorded `(y, c'')` pair, all at the
+    /// entry's total cost; each unfinished entry contributes one edge.
+    pub fn of(store: &dyn JmpStore) -> Self {
+        let mut h = JmpHistogram::default();
+        store.for_each(&mut |_, e| match e {
+            JmpEntry::Finished {
+                total_steps, rch, ..
+            } => {
+                h.finished[Self::bucket(*total_steps)] += rch.len().max(1) as u64;
+            }
+            JmpEntry::Unfinished { s, .. } => {
+                h.unfinished[Self::bucket(*s)] += 1;
+            }
+        });
+        h
+    }
+
+    /// Total finished edges.
+    pub fn finished_total(&self) -> u64 {
+        self.finished.iter().sum()
+    }
+
+    /// Total unfinished edges.
+    pub fn unfinished_total(&self) -> u64 {
+        self.unfinished.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Ctx;
+    use crate::jmp::{Dir, SharedJmpStore};
+    use parcfl_pag::NodeId;
+    use std::sync::Arc;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(JmpHistogram::bucket(0), 0);
+        assert_eq!(JmpHistogram::bucket(1), 0);
+        assert_eq!(JmpHistogram::bucket(2), 1);
+        assert_eq!(JmpHistogram::bucket(3), 1);
+        assert_eq!(JmpHistogram::bucket(4), 2);
+        assert_eq!(JmpHistogram::bucket(1 << 16), 16);
+        assert_eq!(JmpHistogram::bucket(u64::MAX), 17);
+    }
+
+    #[test]
+    fn histogram_of_store() {
+        let s = SharedJmpStore::new();
+        let rch = Arc::new(vec![
+            (NodeId::new(1), Ctx::empty()),
+            (NodeId::new(2), Ctx::empty()),
+        ]);
+        s.publish_finished((Dir::Bwd, NodeId::new(0), Ctx::empty()), 130, rch, 0);
+        s.publish_unfinished((Dir::Bwd, NodeId::new(3), Ctx::empty()), 20_000, 0);
+        let h = JmpHistogram::of(&s);
+        assert_eq!(h.finished_total(), 2, "two edges in one finished set");
+        assert_eq!(h.unfinished_total(), 1);
+        assert_eq!(h.finished[JmpHistogram::bucket(130)], 2);
+        assert_eq!(h.unfinished[JmpHistogram::bucket(20_000)], 1);
+    }
+
+    #[test]
+    fn answer_projection() {
+        let a = Answer::Complete(vec![
+            (NodeId::new(3), Ctx::empty()),
+            (NodeId::new(1), Ctx::empty().push(parcfl_pag::CallSiteId::new(0))),
+            (NodeId::new(1), Ctx::empty()),
+        ]);
+        assert_eq!(a.nodes().unwrap(), vec![NodeId::new(1), NodeId::new(3)]);
+        assert!(Answer::OutOfBudget.nodes().is_none());
+        assert!(Answer::OutOfBudget.complete().is_none());
+    }
+}

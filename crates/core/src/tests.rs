@@ -1,0 +1,764 @@
+//! Solver unit tests over small programs lowered by the real frontend.
+
+use crate::config::SolverConfig;
+use crate::jmp::{JmpStore, NoJmpStore, SharedJmpStore};
+use crate::solver::Solver;
+use crate::stats::Answer;
+use parcfl_frontend::build_pag;
+use parcfl_pag::{NodeId, Pag};
+
+fn pag(src: &str) -> Pag {
+    build_pag(src).unwrap().pag
+}
+
+fn node(pag: &Pag, name: &str) -> NodeId {
+    pag.node_by_name(name)
+        .unwrap_or_else(|| panic!("no node named {name}"))
+}
+
+/// Runs a points-to query and returns the context-insensitive object set as
+/// sorted names.
+fn pts_names(pag: &Pag, cfg: &SolverConfig, store: &dyn JmpStore, var: &str) -> Vec<String> {
+    let solver = Solver::new(pag, cfg, store);
+    let out = solver.points_to_query(node(pag, var), 0);
+    let nodes = out
+        .answer
+        .nodes()
+        .unwrap_or_else(|| panic!("query on {var} ran out of budget"));
+    let mut names: Vec<String> = nodes.iter().map(|&n| pag.node(n).name.clone()).collect();
+    names.sort();
+    names
+}
+
+#[test]
+fn direct_allocation() {
+    let p = pag("class Obj { }
+                 class A { method m() { var x: Obj; x = new Obj; } }");
+    let cfg = SolverConfig::default();
+    assert_eq!(pts_names(&p, &cfg, &NoJmpStore, "x@A.m"), vec!["o0@A.m"]);
+}
+
+#[test]
+fn assignment_chain() {
+    let p = pag("class Obj { }
+                 class A { method m() {
+                   var a: Obj; var b: Obj; var c: Obj;
+                   a = new Obj; b = a; c = b;
+                 } }");
+    let cfg = SolverConfig::default();
+    assert_eq!(pts_names(&p, &cfg, &NoJmpStore, "c@A.m"), vec!["o0@A.m"]);
+    // a does not point to anything b/c points to (flow is directional).
+    assert_eq!(pts_names(&p, &cfg, &NoJmpStore, "a@A.m"), vec!["o0@A.m"]);
+}
+
+#[test]
+fn globals_flow_context_insensitively() {
+    let p = pag("class Obj { }
+                 class A {
+                   static field g: Obj;
+                   method set() { var t: Obj; t = new Obj; A.g = t; }
+                   method get() { var u: Obj; u = A.g; }
+                 }");
+    let cfg = SolverConfig::default();
+    assert_eq!(pts_names(&p, &cfg, &NoJmpStore, "u@A.get"), vec!["o0@A.set"]);
+}
+
+/// The classic context-sensitivity litmus test: an identity method called
+/// from two sites must not conflate its arguments (the paper's Fig. 2
+/// `s1main`/`o20` discussion).
+#[test]
+fn context_sensitivity_rejects_unrealisable_paths() {
+    let src = "class Obj { }
+               class P extends Obj { }
+               class Q extends Obj { }
+               class A {
+                 method id(o: Obj): Obj { return o; }
+                 method m() {
+                   var a: Obj; var b: Obj; var x: Obj; var y: Obj;
+                   a = new P;
+                   b = new Q;
+                   x = call this.id(a);
+                   y = call this.id(b);
+                 }
+               }";
+    let p = pag(src);
+    let cfg = SolverConfig::default();
+    assert_eq!(pts_names(&p, &cfg, &NoJmpStore, "x@A.m"), vec!["o0@A.m"]);
+    assert_eq!(pts_names(&p, &cfg, &NoJmpStore, "y@A.m"), vec!["o1@A.m"]);
+
+    // A context-INsensitive run conflates the two.
+    let ci = SolverConfig {
+        context_sensitive: false,
+        ..SolverConfig::default()
+    };
+    assert_eq!(
+        pts_names(&p, &ci, &NoJmpStore, "x@A.m"),
+        vec!["o0@A.m", "o1@A.m"]
+    );
+}
+
+#[test]
+fn field_sensitivity_through_alias() {
+    // q.f = y; x = p.f; with p, q aliases of the same object: x sees y's
+    // object. A second, non-aliased container must stay separate.
+    let src = "class Obj { }
+               class Box { field f: Obj; }
+               class A {
+                 method m() {
+                   var p: Box; var q: Box; var r: Box;
+                   var x: Obj; var y: Obj; var z: Obj;
+                   p = new Box;
+                   q = p;
+                   r = new Box;
+                   y = new Obj;
+                   z = new Obj;
+                   q.f = y;
+                   r.f = z;
+                   x = p.f;
+                 }
+               }";
+    let p = pag(src);
+    let cfg = SolverConfig::default();
+    // x = p.f must see only y's object (through the p/q alias), not z's.
+    assert_eq!(pts_names(&p, &cfg, &NoJmpStore, "x@A.m"), vec!["o3@A.m"]);
+}
+
+#[test]
+fn field_sensitivity_distinguishes_fields() {
+    let src = "class Obj { }
+               class Box { field f: Obj; field g: Obj; }
+               class A {
+                 method m() {
+                   var b: Box; var x: Obj; var y: Obj; var u: Obj; var v: Obj;
+                   b = new Box;
+                   x = new Obj;
+                   y = new Obj;
+                   b.f = x;
+                   b.g = y;
+                   u = b.f;
+                   v = b.g;
+                 }
+               }";
+    let p = pag(src);
+    let cfg = SolverConfig::default();
+    assert_eq!(pts_names(&p, &cfg, &NoJmpStore, "u@A.m"), vec!["o1@A.m"]);
+    assert_eq!(pts_names(&p, &cfg, &NoJmpStore, "v@A.m"), vec!["o2@A.m"]);
+}
+
+#[test]
+fn array_collapse_conflates_elements() {
+    let src = "class Obj { }
+               class A {
+                 method m() {
+                   var arr: Obj[]; var x: Obj; var y: Obj; var u: Obj;
+                   arr = new Obj[];
+                   x = new Obj; y = new Obj;
+                   arr[] = x;
+                   arr[] = y;
+                   u = arr[];
+                 }
+               }";
+    let p = pag(src);
+    let cfg = SolverConfig::default();
+    // All elements collapse into `arr`: u sees both stores.
+    assert_eq!(
+        pts_names(&p, &cfg, &NoJmpStore, "u@A.m"),
+        vec!["o1@A.m", "o2@A.m"]
+    );
+}
+
+#[test]
+fn flows_to_is_dual_of_points_to() {
+    let src = "class Obj { }
+               class A { method m() {
+                 var a: Obj; var b: Obj;
+                 a = new Obj; b = a;
+               } }";
+    let p = pag(src);
+    let cfg = SolverConfig::default();
+    let solver = Solver::new(&p, &cfg, &NoJmpStore);
+    let o = node(&p, "o0@A.m");
+    let out = solver.flows_to_query(o, 0);
+    let mut names: Vec<String> = out
+        .answer
+        .nodes()
+        .unwrap()
+        .iter()
+        .map(|&n| p.node(n).name.clone())
+        .collect();
+    names.sort();
+    assert_eq!(names, vec!["a@A.m", "b@A.m"]);
+}
+
+#[test]
+fn budget_exhaustion_reports_out_of_budget() {
+    let src = "class Obj { }
+               class A { method m() {
+                 var a: Obj; var b: Obj; var c: Obj; var d: Obj;
+                 a = new Obj; b = a; c = b; d = c;
+               } }";
+    let p = pag(src);
+    let cfg = SolverConfig::default().with_budget(2);
+    let solver = Solver::new(&p, &cfg, &NoJmpStore);
+    let out = solver.points_to_query(node(&p, "d@A.m"), 0);
+    assert_eq!(out.answer, Answer::OutOfBudget);
+    assert!(out.stats.out_of_budget);
+    assert!(!out.stats.early_terminated);
+    assert_eq!(out.stats.charged_steps, 3, "aborts on the tick after B");
+}
+
+#[test]
+fn steps_are_counted_per_pop() {
+    let src = "class Obj { }
+               class A { method m() { var a: Obj; a = new Obj; } }";
+    let p = pag(src);
+    let cfg = SolverConfig::default();
+    let solver = Solver::new(&p, &cfg, &NoJmpStore);
+    let out = solver.points_to_query(node(&p, "a@A.m"), 0);
+    assert_eq!(out.stats.charged_steps, 1);
+    assert_eq!(out.stats.traversed_steps, 1);
+}
+
+/// Data sharing: a second query that traverses *through* a node whose
+/// `ReachableNodes` result was recorded must take the finished shortcut,
+/// produce the same answer, and traverse fewer steps.
+#[test]
+fn finished_shortcut_reused_across_queries() {
+    let src = "class Obj { }
+               class Box { field f: Obj; }
+               class A {
+                 method m() {
+                   var p: Box; var q: Box;
+                   var x1: Obj; var w: Obj; var y: Obj;
+                   p = new Box;
+                   q = p;
+                   y = new Obj;
+                   q.f = y;
+                   x1 = p.f;
+                   w = x1;
+                 }
+               }";
+    let p = pag(src);
+    let cfg = SolverConfig {
+        data_sharing: true,
+        tau_finished: 0, // record every shortcut for this test
+        tau_unfinished: 0,
+        ..SolverConfig::default()
+    };
+    let store = SharedJmpStore::new();
+
+    let baseline = pts_names(&p, &SolverConfig::default(), &NoJmpStore, "w@A.m");
+
+    let solver = Solver::new(&p, &cfg, &store);
+    let first = solver.points_to_query(node(&p, "x1@A.m"), 0);
+    assert!(first.stats.finished_published > 0, "first query records jmps");
+    assert!(store.stats().finished_entries > 0);
+
+    // The second query reaches x1 via `w = x1` and takes x1's shortcut
+    // instead of redoing the alias computation.
+    let second = solver.points_to_query(node(&p, "w@A.m"), 0);
+    assert!(second.stats.shortcuts_taken > 0, "second query takes shortcuts");
+    assert!(second.stats.steps_saved > 0);
+    assert!(
+        second.stats.charged_steps > second.stats.traversed_steps,
+        "charged includes the shortcut cost: {:?}",
+        second.stats
+    );
+
+    // Same answer as without sharing.
+    let mut names: Vec<String> = second
+        .answer
+        .nodes()
+        .unwrap()
+        .iter()
+        .map(|&n| p.node(n).name.clone())
+        .collect();
+    names.sort();
+    assert_eq!(names, baseline);
+}
+
+/// An out-of-budget query must leave unfinished jmp evidence that lets an
+/// identical later query terminate early (fewer traversed steps).
+#[test]
+fn unfinished_jmp_causes_early_termination() {
+    // The alias computation for `x1 = p.f` must itself exhaust the budget,
+    // so the failure happens inside the ReachableNodes(x1) frame: the base
+    // pointer p is at the end of a long assignment chain.
+    let src = "class Obj { }
+               class Box { field f: Obj; }
+               class A {
+                 method m() {
+                   var p0: Box; var c1: Box; var c2: Box; var c3: Box;
+                   var c4: Box; var c5: Box; var p: Box;
+                   var x1: Obj; var y: Obj;
+                   p0 = new Box;
+                   c1 = p0; c2 = c1; c3 = c2; c4 = c3; c5 = c4; p = c5;
+                   y = new Obj;
+                   p0.f = y;
+                   x1 = p.f;
+                 }
+               }";
+    let p = pag(src);
+    let cfg = SolverConfig {
+        data_sharing: true,
+        tau_finished: 0,
+        tau_unfinished: 0,
+        budget: 5,
+        ..SolverConfig::default()
+    };
+    let store = SharedJmpStore::new();
+    let solver = Solver::new(&p, &cfg, &store);
+
+    let first = solver.points_to_query(node(&p, "x1@A.m"), 0);
+    assert_eq!(first.answer, Answer::OutOfBudget);
+    assert!(
+        first.stats.unfinished_published > 0,
+        "OOB query must record unfinished jmps: {:?}",
+        first.stats
+    );
+    assert!(store.stats().unfinished > 0);
+
+    let second = solver.points_to_query(node(&p, "x1@A.m"), 0);
+    assert_eq!(second.answer, Answer::OutOfBudget);
+    assert!(second.stats.early_terminated, "{:?}", second.stats);
+    assert!(second.stats.traversed_steps < first.stats.traversed_steps);
+}
+
+/// Sharing must never change answers, only costs: sweep every
+/// application-code variable of a program with heap traffic and compare.
+#[test]
+fn sharing_preserves_answers_program_wide() {
+    let src = "class Obj { }
+               class Node { field next: Node; field val: Obj; }
+               class A {
+                 method build(): Node {
+                   var n1: Node; var n2: Node; var v: Obj;
+                   n1 = new Node;
+                   n2 = new Node;
+                   v = new Obj;
+                   n1.next = n2;
+                   n2.val = v;
+                   return n1;
+                 }
+                 method m() {
+                   var h: Node; var t: Node; var x: Obj;
+                   h = call this.build();
+                   t = h.next;
+                   x = t.val;
+                 }
+               }";
+    let p = pag(src);
+    let plain = SolverConfig::default();
+    let sharing = SolverConfig {
+        data_sharing: true,
+        tau_finished: 0,
+        tau_unfinished: 0,
+        ..SolverConfig::default()
+    };
+    let store = SharedJmpStore::new();
+    let s1 = Solver::new(&p, &plain, &NoJmpStore);
+    let s2 = Solver::new(&p, &sharing, &store);
+    for v in p.application_locals() {
+        let a = s1.points_to_query(v, 0).answer;
+        let b = s2.points_to_query(v, 0).answer;
+        assert_eq!(a, b, "answers diverged on {}", p.node(v).name);
+    }
+    // The chained loads above must have resolved through the call.
+    let x = pts_names(&p, &plain, &NoJmpStore, "x@A.m");
+    assert_eq!(x, vec!["o2@A.build"]);
+}
+
+#[test]
+fn tau_thresholds_suppress_publication() {
+    let src = "class Obj { }
+               class Box { field f: Obj; }
+               class A {
+                 method m() {
+                   var p: Box; var y: Obj; var x: Obj;
+                   p = new Box;
+                   y = new Obj;
+                   p.f = y;
+                   x = p.f;
+                 }
+               }";
+    let p = pag(src);
+    // This tiny program's ReachableNodes costs only a handful of steps, far
+    // below the paper's τF = 100: nothing may be recorded.
+    let cfg = SolverConfig::default().with_data_sharing();
+    let store = SharedJmpStore::new();
+    let solver = Solver::new(&p, &cfg, &store);
+    let out = solver.points_to_query(node(&p, "x@A.m"), 0);
+    assert!(matches!(out.answer, Answer::Complete(_)));
+    assert_eq!(store.stats().total_edges(), 0, "τF filters small shortcuts");
+}
+
+#[test]
+fn recursion_guard_degrades_to_out_of_budget() {
+    // Mutually-dependent heap loads force re-entrant alias computations;
+    // the solver must give up (OutOfBudget), never hang or overflow.
+    let src = "class Obj { }
+               class Box { field f: Box; }
+               class A {
+                 method m() {
+                   var p: Box; var q: Box;
+                   p = new Box;
+                   q = p.f;
+                   q.f = p;
+                   p = q.f;
+                 }
+               }";
+    let p = pag(src);
+    let cfg = SolverConfig::default();
+    let solver = Solver::new(&p, &cfg, &NoJmpStore);
+    // Must terminate; answer may be complete or OOB depending on structure.
+    let _ = solver.points_to_query(node(&p, "p@A.m"), 0);
+}
+
+#[test]
+fn query_on_isolated_variable_is_empty() {
+    let src = "class Obj { }
+               class A { method m() { var lonely: Obj; return; } }";
+    let p = pag(src);
+    let cfg = SolverConfig::default();
+    let solver = Solver::new(&p, &cfg, &NoJmpStore);
+    let out = solver.points_to_query(node(&p, "lonely@A.m"), 0);
+    assert_eq!(out.answer, Answer::Complete(vec![]));
+}
+
+/// Virtual-time visibility: with a timestamped store, a query starting
+/// before an entry's creation must not see it; one starting after must.
+#[test]
+fn timestamped_store_gates_visibility() {
+    let src = "class Obj { }
+               class Box { field f: Obj; }
+               class A {
+                 method m() {
+                   var p: Box; var q: Box; var x1: Obj; var x2: Obj; var y: Obj;
+                   p = new Box;
+                   q = p;
+                   y = new Obj;
+                   q.f = y;
+                   x1 = p.f;
+                   x2 = p.f;
+                 }
+               }";
+    let p = pag(src);
+    let cfg = SolverConfig {
+        data_sharing: true,
+        tau_finished: 0,
+        tau_unfinished: 0,
+        ..SolverConfig::default()
+    };
+    let store = SharedJmpStore::timestamped();
+    let solver = Solver::new(&p, &cfg, &store);
+
+    // Query 1 runs at virtual times [1000, ...): publishes entries ~1000+.
+    let first = solver.points_to_query(node(&p, "x1@A.m"), 1000);
+    let published_work = first.stats.traversed_steps;
+
+    // A query whose whole execution precedes the publication sees nothing.
+    let early = solver.points_to_query(node(&p, "x2@A.m"), 0);
+    assert_eq!(early.stats.shortcuts_taken, 0, "entries not yet visible");
+
+    // A query starting after the publication takes the shortcut.
+    let late = solver.points_to_query(node(&p, "x2@A.m"), 1000 + published_work + 1);
+    assert!(late.stats.shortcuts_taken > 0);
+    assert_eq!(early.answer, late.answer);
+}
+
+#[test]
+fn three_level_call_chain_contexts_match() {
+    // Values threaded through three nested calls must keep their origins
+    // separate at every level.
+    let src = "class Obj { }
+               class P extends Obj { }
+               class Q extends Obj { }
+               class A {
+                 method l3(o: Obj): Obj { return o; }
+                 method l2(o: Obj): Obj { var r: Obj; r = call this.l3(o); return r; }
+                 method l1(o: Obj): Obj { var r: Obj; r = call this.l2(o); return r; }
+                 method m() {
+                   var a: Obj; var b: Obj; var x: Obj; var y: Obj;
+                   a = new P;
+                   b = new Q;
+                   x = call this.l1(a);
+                   y = call this.l1(b);
+                 }
+               }";
+    let p = pag(src);
+    let cfg = SolverConfig::default();
+    assert_eq!(pts_names(&p, &cfg, &NoJmpStore, "x@A.m"), vec!["o0@A.m"]);
+    assert_eq!(pts_names(&p, &cfg, &NoJmpStore, "y@A.m"), vec!["o1@A.m"]);
+}
+
+#[test]
+fn flows_to_respects_contexts_forward() {
+    // Forward duality of the wrapper test: the P object flows to a and x
+    // but NOT to y (which only receives the Q object).
+    let src = "class Obj { }
+               class P extends Obj { }
+               class Q extends Obj { }
+               class A {
+                 method id(o: Obj): Obj { return o; }
+                 method m() {
+                   var a: Obj; var b: Obj; var x: Obj; var y: Obj;
+                   a = new P;
+                   b = new Q;
+                   x = call this.id(a);
+                   y = call this.id(b);
+                 }
+               }";
+    let p = pag(src);
+    let cfg = SolverConfig::default();
+    let solver = Solver::new(&p, &cfg, &NoJmpStore);
+    let o_p = node(&p, "o0@A.m");
+    let reached = solver.flows_to_query(o_p, 0).answer.nodes().unwrap();
+    let names: Vec<String> = reached.iter().map(|&n| p.node(n).name.clone()).collect();
+    assert!(names.contains(&"a@A.m".to_string()), "{names:?}");
+    assert!(names.contains(&"x@A.m".to_string()), "{names:?}");
+    assert!(
+        !names.contains(&"y@A.m".to_string()),
+        "P must not flow to y: {names:?}"
+    );
+}
+
+#[test]
+fn globals_clear_context_in_both_directions() {
+    // Values stored into a static from one call chain are visible from
+    // any other chain (globals are context-insensitive), even though the
+    // local paths would be unrealisable.
+    let src = "class Obj { }
+               class A {
+                 static field g: Obj;
+                 method put(o: Obj) { A.g = o; }
+                 method take(): Obj { var r: Obj; r = A.g; return r; }
+                 method m() {
+                   var v: Obj; var w: Obj;
+                   v = new Obj;
+                   call this.put(v);
+                   w = call this.take();
+                 }
+               }";
+    let p = pag(src);
+    let cfg = SolverConfig::default();
+    assert_eq!(pts_names(&p, &cfg, &NoJmpStore, "w@A.m"), vec!["o0@A.m"]);
+}
+
+#[test]
+fn mismatched_return_site_blocks_flow() {
+    // w takes from `take`, but nothing ever flows into A.g from this
+    // program path: the *other* static f is written instead.
+    let src = "class Obj { }
+               class A {
+                 static field g: Obj;
+                 static field h: Obj;
+                 method m() {
+                   var v: Obj; var w: Obj;
+                   v = new Obj;
+                   A.h = v;
+                   w = A.g;
+                 }
+               }";
+    let p = pag(src);
+    let cfg = SolverConfig::default();
+    assert_eq!(
+        pts_names(&p, &cfg, &NoJmpStore, "w@A.m"),
+        Vec::<String>::new(),
+        "distinct statics do not conflate"
+    );
+}
+
+#[test]
+fn charged_steps_equal_traversed_without_sharing() {
+    let src = "class Obj { }
+               class A { method m() { var a: Obj; var b: Obj; a = new Obj; b = a; } }";
+    let p = pag(src);
+    let cfg = SolverConfig::default();
+    let solver = Solver::new(&p, &cfg, &NoJmpStore);
+    let out = solver.points_to_query(node(&p, "b@A.m"), 0);
+    assert_eq!(out.stats.charged_steps, out.stats.traversed_steps);
+    assert_eq!(out.stats.steps_saved, 0);
+    assert_eq!(out.stats.shortcuts_taken, 0);
+    assert!(out.stats.mem_items >= out.stats.traversed_steps);
+}
+
+#[test]
+fn early_termination_implies_out_of_budget_flag() {
+    // Structural invariant over a whole shared batch: ET ⇒ OOB.
+    let src = "class Obj { }
+               class Box { field f: Obj; }
+               class A {
+                 method m() {
+                   var p0: Box; var c1: Box; var c2: Box; var c3: Box; var p: Box;
+                   var x1: Obj; var x2: Obj; var y: Obj;
+                   p0 = new Box;
+                   c1 = p0; c2 = c1; c3 = c2; p = c3;
+                   y = new Obj;
+                   p0.f = y;
+                   x1 = p.f;
+                   x2 = p.f;
+                 }
+               }";
+    let p = pag(src);
+    let cfg = SolverConfig {
+        data_sharing: true,
+        tau_finished: 0,
+        tau_unfinished: 0,
+        budget: 5,
+        ..SolverConfig::default()
+    };
+    let store = SharedJmpStore::new();
+    let solver = Solver::new(&p, &cfg, &store);
+    for v in p.application_locals() {
+        let out = solver.points_to_query(v, 0);
+        if out.stats.early_terminated {
+            assert!(out.stats.out_of_budget);
+            assert_eq!(out.answer, Answer::OutOfBudget);
+        }
+    }
+}
+
+#[test]
+fn memoized_run_produces_same_answers_cheaper() {
+    let src = "class Obj { }
+               class Box { field f: Obj; }
+               class A {
+                 method mk(): Box {
+                   var b: Box; var v: Obj;
+                   b = new Box; v = new Obj; b.f = v;
+                   return b;
+                 }
+                 method m() {
+                   var p: Box; var x: Obj; var y: Obj;
+                   p = call this.mk();
+                   x = p.f;
+                   y = p.f;
+                 }
+               }";
+    let p = pag(src);
+    let plain = SolverConfig::default();
+    let memo = SolverConfig {
+        memoize: true,
+        ..SolverConfig::default()
+    };
+    let s1 = Solver::new(&p, &plain, &NoJmpStore);
+    let s2 = Solver::new(&p, &memo, &NoJmpStore);
+    for v in p.application_locals() {
+        let a = s1.points_to_query(v, 0);
+        let b = s2.points_to_query(v, 0);
+        assert_eq!(a.answer, b.answer, "{}", p.node(v).name);
+        assert!(b.stats.traversed_steps <= a.stats.traversed_steps);
+    }
+}
+
+mod witness_tests {
+    use super::*;
+    use crate::witness::Via;
+
+    #[test]
+    fn witness_for_assignment_chain() {
+        let p = pag("class Obj { }
+                     class A { method m() {
+                       var a: Obj; var b: Obj; var c: Obj;
+                       a = new Obj; b = a; c = b;
+                     } }");
+        let cfg = SolverConfig::default();
+        let solver = Solver::new(&p, &cfg, &NoJmpStore);
+        let c = node(&p, "c@A.m");
+        let (out, trace) = solver.traced_points_to_query(c, 0);
+        let objs = out.answer.complete().unwrap().to_vec();
+        assert_eq!(objs.len(), 1);
+        let (o, ctx) = &objs[0];
+        let w = trace.witness(*o, ctx).expect("witness exists");
+        let names: Vec<String> = w
+            .steps
+            .iter()
+            .map(|s| p.node(s.node).name.clone())
+            .collect();
+        assert_eq!(names, vec!["c@A.m", "b@A.m", "a@A.m", "o0@A.m"]);
+        assert!(matches!(w.steps[0].via, Via::Edge(_)));
+        assert!(matches!(w.steps[2].via, Via::New));
+        assert!(matches!(w.steps[3].via, Via::Object));
+        assert!(!w.is_empty());
+        assert_eq!(w.len(), 4);
+        // Rendering mentions every node once.
+        let text = w.render(&p);
+        for n in names {
+            assert!(text.contains(&n), "{text}");
+        }
+    }
+
+    #[test]
+    fn witness_through_heap_hop_is_alias_step() {
+        let p = pag("class Obj { }
+                     class Box { field f: Obj; }
+                     class A { method m() {
+                       var bx: Box; var v: Obj; var r: Obj;
+                       bx = new Box;
+                       v = new Obj;
+                       bx.f = v;
+                       r = bx.f;
+                     } }");
+        let cfg = SolverConfig::default();
+        let solver = Solver::new(&p, &cfg, &NoJmpStore);
+        let r = node(&p, "r@A.m");
+        let (out, trace) = solver.traced_points_to_query(r, 0);
+        let objs = out.answer.complete().unwrap().to_vec();
+        assert_eq!(objs.len(), 1);
+        let (o, ctx) = &objs[0];
+        let w = trace.witness(*o, ctx).unwrap();
+        // r -[alias]-> v -[new]-> o1.
+        assert!(
+            w.steps.iter().any(|s| matches!(s.via, Via::Alias)),
+            "{:?}",
+            w.steps
+        );
+    }
+
+    #[test]
+    fn witness_none_for_foreign_object() {
+        let p = pag("class Obj { }
+                     class A { method m() {
+                       var a: Obj; var z: Obj;
+                       a = new Obj; z = new Obj;
+                     } }");
+        let cfg = SolverConfig::default();
+        let solver = Solver::new(&p, &cfg, &NoJmpStore);
+        let a = node(&p, "a@A.m");
+        let (_, trace) = solver.traced_points_to_query(a, 0);
+        // z's object never reaches a.
+        let z_obj = node(&p, "o1@A.m");
+        assert!(trace.witness(z_obj, &crate::Ctx::empty()).is_none());
+    }
+
+    #[test]
+    fn traced_answers_match_untraced() {
+        let p = pag("class Obj { }
+                     class A {
+                       method id(o: Obj): Obj { return o; }
+                       method m() {
+                         var a: Obj; var x: Obj;
+                         a = new Obj;
+                         x = call this.id(a);
+                       }
+                     }");
+        let cfg = SolverConfig::default();
+        let solver = Solver::new(&p, &cfg, &NoJmpStore);
+        for v in p.application_locals() {
+            let plain = solver.points_to_query(v, 0);
+            let (traced, trace) = solver.traced_points_to_query(v, 0);
+            assert_eq!(plain.answer, traced.answer);
+            // Every object in the answer has a witness.
+            if let Some(objs) = traced.answer.complete() {
+                for (o, c) in objs {
+                    assert!(
+                        trace.witness(*o, c).is_some(),
+                        "missing witness for {} in pts({})",
+                        p.node(*o).name,
+                        p.node(v).name
+                    );
+                }
+            }
+        }
+    }
+}

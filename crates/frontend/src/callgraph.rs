@@ -1,0 +1,222 @@
+//! CHA call-graph construction and recursion-cycle detection.
+//!
+//! The paper (Section IV-A) collapses "recursion cycles of the call graph":
+//! call sites whose caller and callee belong to the same strongly connected
+//! component of the call graph are treated context-insensitively during PAG
+//! extraction (their `param_i`/`ret_i` edges become plain assignments),
+//! which keeps call-string contexts finite.
+
+use crate::hierarchy::Hierarchy;
+use crate::ir::{Stmt, TypeRef};
+use parcfl_pag::algo::{tarjan_scc, SccResult};
+use std::collections::HashMap;
+
+/// A dense method index across the whole program.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MethodIdx(pub u32);
+
+/// The program-wide method table plus the CHA call graph.
+pub struct CallGraph {
+    /// `(class index, method index within class)` for each dense method.
+    pub methods: Vec<(usize, usize)>,
+    /// Reverse map from `(class, method)` to dense index.
+    pub index: HashMap<(usize, usize), MethodIdx>,
+    /// Successor methods (call targets) per method, deduplicated.
+    pub callees: Vec<Vec<MethodIdx>>,
+    scc: SccResult,
+}
+
+impl CallGraph {
+    /// Builds the call graph for a resolved program. Call statements whose
+    /// target cannot be resolved are skipped (they contribute no edges);
+    /// `warnings` records them.
+    pub fn build(h: &Hierarchy<'_>, warnings: &mut Vec<String>) -> CallGraph {
+        let mut methods = Vec::new();
+        let mut index = HashMap::new();
+        for (ci, c) in h.program.classes.iter().enumerate() {
+            for (mi, _) in c.methods.iter().enumerate() {
+                index.insert((ci, mi), MethodIdx(methods.len() as u32));
+                methods.push((ci, mi));
+            }
+        }
+
+        let mut callees: Vec<Vec<MethodIdx>> = vec![Vec::new(); methods.len()];
+        for (&(ci, mi), &midx) in &index {
+            let method = &h.program.classes[ci].methods[mi];
+            let mut add_targets = |targets: Vec<(usize, usize)>| {
+                for t in targets {
+                    let tidx = index[&t];
+                    if !callees[midx.0 as usize].contains(&tidx) {
+                        callees[midx.0 as usize].push(tidx);
+                    }
+                }
+            };
+            for stmt in &method.body {
+                match stmt {
+                    Stmt::VirtualCall { recv: _, method: name, .. } => {
+                        // Dispatch from the declared type of the receiver.
+                        match receiver_decl_class(h, ci, mi, stmt) {
+                            Some(decl) => {
+                                let targets = h.dispatch(decl, name);
+                                if targets.is_empty() {
+                                    warnings.push(format!(
+                                        "unresolved virtual call to `{name}` in {}.{}",
+                                        h.program.classes[ci].name, method.name
+                                    ));
+                                }
+                                add_targets(targets);
+                            }
+                            None => warnings.push(format!(
+                                "virtual call on receiver of non-class type in {}.{}",
+                                h.program.classes[ci].name, method.name
+                            )),
+                        }
+                    }
+                    Stmt::StaticCall { class, method: name, .. } => {
+                        match h
+                            .class_index(class)
+                            .and_then(|c| h.resolve_method(c, name))
+                        {
+                            Some(t) => add_targets(vec![t]),
+                            None => warnings.push(format!(
+                                "unresolved static call `{class}.{name}` in {}.{}",
+                                h.program.classes[ci].name, method.name
+                            )),
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        // Sort callee lists so construction order cannot leak into anything
+        // downstream.
+        for c in &mut callees {
+            c.sort_unstable();
+        }
+
+        let n = methods.len();
+        let scc = tarjan_scc(n, |v| callees[v].iter().map(|m| m.0 as usize));
+        CallGraph {
+            methods,
+            index,
+            callees,
+            scc,
+        }
+    }
+
+    /// Number of methods.
+    pub fn len(&self) -> usize {
+        self.methods.len()
+    }
+
+    /// Whether there are no methods.
+    pub fn is_empty(&self) -> bool {
+        self.methods.is_empty()
+    }
+
+    /// Whether a call from `caller` to `callee` is recursive (both in the
+    /// same call-graph SCC). Self-calls are trivially recursive.
+    pub fn is_recursive_call(&self, caller: MethodIdx, callee: MethodIdx) -> bool {
+        self.scc.component_of(caller.0 as usize) == self.scc.component_of(callee.0 as usize)
+    }
+
+    /// Dense index for a `(class, method)` pair.
+    pub fn method_idx(&self, class: usize, method: usize) -> MethodIdx {
+        self.index[&(class, method)]
+    }
+}
+
+/// Declared class of the receiver of a virtual-call statement, resolved
+/// against the caller's parameters, locals, and implicit `this`.
+fn receiver_decl_class(
+    h: &Hierarchy<'_>,
+    class_idx: usize,
+    method_idx: usize,
+    stmt: &Stmt,
+) -> Option<usize> {
+    let Stmt::VirtualCall { recv, .. } = stmt else {
+        return None;
+    };
+    let crate::ir::VarRef::Local(name) = recv else {
+        return None; // receivers must be locals (the parser guarantees it)
+    };
+    let method = &h.program.classes[class_idx].methods[method_idx];
+    if !method.is_static && name == "this" {
+        return Some(class_idx);
+    }
+    let decl = method
+        .params
+        .iter()
+        .chain(method.locals.iter())
+        .find(|l| &l.name == name)?;
+    match &decl.ty {
+        TypeRef::Class(c) => h.class_index(c),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn graph(src: &str) -> (CallGraph, Vec<String>) {
+        let p = parse(src).unwrap();
+        let p = Box::leak(Box::new(p)); // tests only: extend lifetime
+        let h = Hierarchy::new(p).unwrap();
+        let mut w = Vec::new();
+        (CallGraph::build(&h, &mut w), w)
+    }
+
+    #[test]
+    fn direct_and_virtual_edges() {
+        let (cg, w) = graph(
+            "class A { method m(x: B) { call x.f(); } }
+             class B { method f() { } }
+             class C extends B { method f() { } }",
+        );
+        assert!(w.is_empty());
+        let am = cg.method_idx(0, 0);
+        // A.m can reach B.f and C.f via CHA on declared type B.
+        assert_eq!(cg.callees[am.0 as usize].len(), 2);
+    }
+
+    #[test]
+    fn recursion_detection() {
+        let (cg, _) = graph(
+            "class A {
+               method f() { call this.g(); }
+               method g() { call this.f(); }
+               method h() { call this.h(); }
+               method k() { call this.f(); }
+             }",
+        );
+        let f = cg.method_idx(0, 0);
+        let g = cg.method_idx(0, 1);
+        let hh = cg.method_idx(0, 2);
+        let k = cg.method_idx(0, 3);
+        assert!(cg.is_recursive_call(f, g));
+        assert!(cg.is_recursive_call(g, f));
+        assert!(cg.is_recursive_call(hh, hh)); // self-recursion
+        assert!(!cg.is_recursive_call(k, f)); // k calls into the cycle but is outside it
+    }
+
+    #[test]
+    fn unresolved_calls_warn() {
+        let (cg, w) = graph("class A { method m() { call this.ghost(); } }");
+        assert_eq!(w.len(), 1);
+        assert!(w[0].contains("ghost"));
+        assert_eq!(cg.len(), 1);
+    }
+
+    #[test]
+    fn static_call_resolution() {
+        let (cg, w) = graph(
+            "class A { static method s() { } method m() { call A.s(); } }",
+        );
+        assert!(w.is_empty());
+        let m = cg.method_idx(0, 1);
+        let s = cg.method_idx(0, 0);
+        assert_eq!(cg.callees[m.0 as usize], vec![s]);
+    }
+}

@@ -1,0 +1,185 @@
+//! Points-to cycle elimination (paper Section IV-A: "points-to cycles are
+//! eliminated as described in \[18\]").
+//!
+//! Variables connected by a cycle of `assign_l` edges necessarily have
+//! identical context-sensitive points-to sets (an `assign_l` edge preserves
+//! the calling context in both traversal directions), so each such strongly
+//! connected component is merged into a single representative node. This is
+//! a precision-preserving graph shrink that removes points-to cycles before
+//! any query runs.
+//!
+//! Only `assign_l` cycles are merged: `assign_g` edges reset the context and
+//! `param`/`ret` edges manipulate it, so cycles through them are *not*
+//! generally equivalence classes.
+
+use parcfl_pag::algo::tarjan_scc;
+use parcfl_pag::{EdgeKind, NodeId, NodeInfo, Pag, PagBuilder};
+
+/// The output of [`collapse_assign_cycles`].
+pub struct Collapsed {
+    /// The shrunken graph.
+    pub pag: Pag,
+    /// Maps every old node id to its node in the new graph (members of a
+    /// merged cycle all map to the representative).
+    pub remap: Vec<NodeId>,
+    /// Number of nodes eliminated by merging.
+    pub merged_nodes: usize,
+}
+
+/// Merges every `assign_l`-cycle of `pag` into a single node.
+pub fn collapse_assign_cycles(pag: &Pag) -> Collapsed {
+    let n = pag.node_count();
+    // Successors restricted to assign_l edges.
+    let mut succ: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for e in pag.edges() {
+        if e.kind == EdgeKind::AssignLocal {
+            succ[e.src.index()].push(e.dst.index());
+        }
+    }
+    let scc = tarjan_scc(n, |v| succ[v].iter().copied());
+
+    // Representative per component: the smallest member id, so output is
+    // deterministic.
+    let mut rep = vec![usize::MAX; scc.component_count()];
+    for v in 0..n {
+        let c = scc.component_of(v);
+        if rep[c] == usize::MAX || v < rep[c] {
+            rep[c] = v;
+        }
+    }
+
+    let mut builder = PagBuilder::with_types(pag.types().clone());
+    for m in 0..pag.method_count() {
+        builder.add_method(pag.method_name(parcfl_pag::MethodId::from_usize(m)));
+    }
+    for _ in 0..pag.call_site_count() {
+        builder.fresh_call_site();
+    }
+
+    // Create new nodes for representatives in old-id order; map members.
+    let mut remap = vec![NodeId::new(0); n];
+    let mut merged_nodes = 0usize;
+    for v in 0..n {
+        let c = scc.component_of(v);
+        if rep[c] != v {
+            continue; // handled when we reach the representative
+        }
+        let members: Vec<usize> = scc.members_usize(c).collect();
+        let old = pag.node(NodeId::from_usize(v));
+        let info = NodeInfo {
+            kind: old.kind,
+            ty: old.ty,
+            name: if members.len() > 1 {
+                format!("{}+{}", old.name, members.len() - 1)
+            } else {
+                old.name.clone()
+            },
+            is_application: members
+                .iter()
+                .any(|&m| pag.node(NodeId::from_usize(m)).is_application),
+        };
+        let new_id = builder.add_node(info);
+        for &m in &members {
+            remap[m] = new_id;
+        }
+        merged_nodes += members.len() - 1;
+    }
+
+    for e in pag.edges() {
+        let s = remap[e.src.index()];
+        let d = remap[e.dst.index()];
+        // assign_l self-loops created by merging carry no information.
+        if s == d && e.kind == EdgeKind::AssignLocal {
+            continue;
+        }
+        builder.add_edge(s, d, e.kind);
+    }
+
+    Collapsed {
+        pag: builder.freeze(),
+        remap,
+        merged_nodes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::extract;
+    use crate::parser::parse;
+
+    fn pag_of(src: &str) -> Pag {
+        extract(&parse(src).unwrap()).unwrap().pag
+    }
+
+    #[test]
+    fn merges_assign_cycle() {
+        let pag = pag_of(
+            "class Obj { }
+             class A {
+               method m() {
+                 var x: Obj; var y: Obj; var z: Obj;
+                 x = new Obj;
+                 y = x;
+                 x = y;
+                 z = y;
+               }
+             }",
+        );
+        let before = pag.node_count();
+        let c = collapse_assign_cycles(&pag);
+        assert_eq!(c.merged_nodes, 1); // x and y merged
+        assert_eq!(c.pag.node_count(), before - 1);
+        // x and y map to the same node, z does not.
+        let x = pag.node_by_name("x@A.m").unwrap();
+        let y = pag.node_by_name("y@A.m").unwrap();
+        let z = pag.node_by_name("z@A.m").unwrap();
+        assert_eq!(c.remap[x.index()], c.remap[y.index()]);
+        assert_ne!(c.remap[x.index()], c.remap[z.index()]);
+        // The merged node kept an incoming new edge and outgoing assign to z.
+        let merged = c.remap[x.index()];
+        assert!(c
+            .pag
+            .incoming(merged)
+            .iter()
+            .any(|e| e.kind == EdgeKind::New));
+        assert!(c
+            .pag
+            .outgoing(merged)
+            .any(|e| e.kind == EdgeKind::AssignLocal && e.dst == c.remap[z.index()]));
+    }
+
+    #[test]
+    fn no_cycles_is_identity_shape() {
+        let pag = pag_of(
+            "class Obj { }
+             class A { method m() { var x: Obj; x = new Obj; } }",
+        );
+        let c = collapse_assign_cycles(&pag);
+        assert_eq!(c.merged_nodes, 0);
+        assert_eq!(c.pag.node_count(), pag.node_count());
+        assert_eq!(c.pag.edge_count(), pag.edge_count());
+    }
+
+    #[test]
+    fn merged_marks_application_if_any_member_is() {
+        // A cycle spanning app and lib code keeps the app flag.
+        let pag = pag_of(
+            "lib class Obj { }
+             lib class L {
+               method id(o: Obj): Obj { return o; }
+             }
+             app class A {
+               method m(l: L) {
+                 var a: Obj; var b: Obj;
+                 a = new Obj;
+                 a = b;
+                 b = a;
+               }
+             }",
+        );
+        let c = collapse_assign_cycles(&pag);
+        let a = pag.node_by_name("a@A.m").unwrap();
+        assert!(c.pag.node(c.remap[a.index()]).is_application);
+    }
+}

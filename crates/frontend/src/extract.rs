@@ -1,0 +1,853 @@
+//! PAG extraction: lowers a resolved mini-Java [`Program`] to the
+//! [`Pag`] of the paper's Fig. 1.
+//!
+//! Normalisations performed here (mirroring what Soot's PAG builder does):
+//!
+//! * every use of a static field in a non-assignment position goes through a
+//!   fresh temporary local, so that `ld(f)`/`st(f)`/`param`/`ret` edges
+//!   connect only locals (Fig. 1 permits globals only on `assign_g` edges);
+//! * array loads/stores collapse into the distinguished `arr` field;
+//! * virtual calls are resolved by CHA against the receiver's declared type;
+//!   one call-site id is shared by all dispatch targets of a statement;
+//! * calls inside a call-graph recursion cycle are lowered to plain
+//!   assignments (`assign_l`) instead of `param_i`/`ret_i` — the paper's
+//!   "recursion cycles of the call graph are collapsed" (Section IV-A),
+//!   which keeps calling contexts finite.
+
+use crate::callgraph::{CallGraph, MethodIdx};
+use crate::hierarchy::{Hierarchy, HierarchyError};
+use crate::ir::{Program, Stmt, TypeRef, VarRef};
+use parcfl_pag::{EdgeKind, FieldId, MethodId, NodeId, NodeInfo, NodeKind, Pag, PagBuilder, TypeId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// An extraction failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExtractError {
+    /// Hierarchy resolution failed.
+    Hierarchy(HierarchyError),
+    /// A statement references an undeclared variable.
+    UndeclaredVariable {
+        /// Enclosing class.
+        class: String,
+        /// Enclosing method.
+        method: String,
+        /// The missing variable name.
+        var: String,
+    },
+    /// A statement references an unknown static field.
+    UnknownStatic {
+        /// The class named in the reference.
+        class: String,
+        /// The field name.
+        field: String,
+    },
+}
+
+impl fmt::Display for ExtractError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExtractError::Hierarchy(e) => write!(f, "{e}"),
+            ExtractError::UndeclaredVariable { class, method, var } => {
+                write!(f, "undeclared variable `{var}` in {class}.{method}")
+            }
+            ExtractError::UnknownStatic { class, field } => {
+                write!(f, "unknown static field `{class}.{field}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExtractError {}
+
+impl From<HierarchyError> for ExtractError {
+    fn from(e: HierarchyError) -> Self {
+        ExtractError::Hierarchy(e)
+    }
+}
+
+/// The result of PAG extraction.
+#[derive(Debug)]
+pub struct Extraction {
+    /// The frozen graph.
+    pub pag: Pag,
+    /// Non-fatal findings (unresolved calls, arity mismatches, …).
+    pub warnings: Vec<String>,
+}
+
+/// Extracts the PAG of `program`.
+pub fn extract(program: &Program) -> Result<Extraction, ExtractError> {
+    let hierarchy = Hierarchy::new(program)?;
+    let mut warnings = Vec::new();
+    let callgraph = CallGraph::build(&hierarchy, &mut warnings);
+    let mut ex = Extractor {
+        h: &hierarchy,
+        cg: &callgraph,
+        builder: PagBuilder::new(),
+        type_map: HashMap::new(),
+        field_map: HashMap::new(),
+        class_ty: Vec::new(),
+        globals: HashMap::new(),
+        global_types: HashMap::new(),
+        method_ids: Vec::new(),
+        envs: Vec::new(),
+        formals: Vec::new(),
+        ret_nodes: Vec::new(),
+        warnings,
+        tmp_counter: 0,
+    };
+    ex.intern_types();
+    ex.declare_globals()?;
+    ex.declare_methods();
+    ex.lower_bodies()?;
+    Ok(Extraction {
+        pag: ex.builder.freeze(),
+        warnings: ex.warnings,
+    })
+}
+
+struct Extractor<'p> {
+    h: &'p Hierarchy<'p>,
+    cg: &'p CallGraph,
+    builder: PagBuilder,
+    /// Canonical type name → id.
+    type_map: HashMap<String, TypeId>,
+    field_map: HashMap<String, FieldId>,
+    /// Class index → type id.
+    class_ty: Vec<TypeId>,
+    /// (class index, static field name) → global node.
+    globals: HashMap<(usize, String), NodeId>,
+    /// Global node → its declared type (for typing temps).
+    global_types: HashMap<NodeId, TypeId>,
+    /// Dense method index → PAG method id.
+    method_ids: Vec<MethodId>,
+    /// Dense method index → name → local node.
+    envs: Vec<HashMap<String, NodeId>>,
+    /// Dense method index → formal-parameter nodes (`this` first for
+    /// instance methods).
+    formals: Vec<Vec<NodeId>>,
+    /// Dense method index → return-value node.
+    ret_nodes: Vec<Option<NodeId>>,
+    warnings: Vec<String>,
+    tmp_counter: u32,
+}
+
+impl<'p> Extractor<'p> {
+    // ----- types -----
+
+    fn intern_types(&mut self) {
+        // Intern `int` and all classes first so fields can refer to any
+        // class (including forward references).
+        self.type_map.insert(
+            "int".into(),
+            self.builder.types_mut().add_type(parcfl_pag::types::TypeInfo {
+                name: "int".into(),
+                is_ref: false,
+                fields: Vec::new(),
+                supertype: None,
+            }),
+        );
+        for c in &self.h.program.classes {
+            let id = self.builder.types_mut().add_type(parcfl_pag::types::TypeInfo {
+                name: c.name.clone(),
+                is_ref: true,
+                fields: Vec::new(),
+                supertype: None,
+            });
+            self.type_map.insert(c.name.clone(), id);
+            self.class_ty.push(id);
+        }
+        // Patch superclass links and instance fields (may intern array
+        // types and field names as a side effect).
+        for (ci, c) in self.h.program.classes.iter().enumerate() {
+            let sup = c
+                .superclass
+                .as_ref()
+                .and_then(|s| self.h.class_index(s))
+                .map(|si| self.class_ty[si]);
+            let mut resolved = Vec::new();
+            for fd in &c.fields {
+                let fid = self.field_id(&fd.name);
+                let fty = self.type_id(&fd.ty);
+                resolved.push((fid, fty));
+            }
+            let info = self.builder.types_mut().get_mut(self.class_ty[ci]);
+            info.supertype = sup;
+            info.fields = resolved;
+        }
+    }
+
+    fn type_id(&mut self, ty: &TypeRef) -> TypeId {
+        let key = ty.display();
+        if let Some(&id) = self.type_map.get(&key) {
+            return id;
+        }
+        let id = match ty {
+            TypeRef::Int => unreachable!("int interned eagerly"),
+            TypeRef::Class(c) => {
+                // Undefined class used as a type: intern an opaque ref type
+                // and warn once.
+                self.warnings.push(format!("reference to undefined class `{c}`"));
+                self.builder.types_mut().add_type(parcfl_pag::types::TypeInfo {
+                    name: c.clone(),
+                    is_ref: true,
+                    fields: Vec::new(),
+                    supertype: None,
+                })
+            }
+            TypeRef::Array(elem) => {
+                let elem_id = self.type_id(elem);
+                self.builder.types_mut().add_type(parcfl_pag::types::TypeInfo {
+                    name: key.clone(),
+                    is_ref: true,
+                    fields: vec![(FieldId::ARR, elem_id)],
+                    supertype: None,
+                })
+            }
+        };
+        self.type_map.insert(key, id);
+        id
+    }
+
+    fn field_id(&mut self, name: &str) -> FieldId {
+        if let Some(&id) = self.field_map.get(name) {
+            return id;
+        }
+        let id = self.builder.types_mut().add_field(name);
+        self.field_map.insert(name.to_string(), id);
+        id
+    }
+
+    // ----- declarations -----
+
+    fn declare_globals(&mut self) -> Result<(), ExtractError> {
+        for (ci, c) in self.h.program.classes.iter().enumerate() {
+            for sf in &c.statics {
+                let ty = self.type_id(&sf.ty);
+                let node = self.builder.add_node(NodeInfo {
+                    kind: NodeKind::Global,
+                    ty,
+                    name: format!("{}.{}", c.name, sf.name),
+                    is_application: c.is_application,
+                });
+                self.globals.insert((ci, sf.name.clone()), node);
+                self.global_types.insert(node, ty);
+            }
+        }
+        Ok(())
+    }
+
+    fn declare_methods(&mut self) {
+        for &(ci, mi) in &self.cg.methods {
+            let class = &self.h.program.classes[ci];
+            let method = &class.methods[mi];
+            let mid = self.builder.add_method(format!("{}.{}", class.name, method.name));
+            self.method_ids.push(mid);
+
+            let mut env = HashMap::new();
+            let mut formals = Vec::new();
+            let app = class.is_application;
+            let add_local = |b: &mut PagBuilder, name: String, ty: TypeId| {
+                b.add_node(NodeInfo {
+                    kind: NodeKind::Local { method: mid },
+                    ty,
+                    name,
+                    is_application: app,
+                })
+            };
+
+            if !method.is_static {
+                let this_ty = self.class_ty[ci];
+                let n = add_local(
+                    &mut self.builder,
+                    format!("this@{}.{}", class.name, method.name),
+                    this_ty,
+                );
+                env.insert("this".to_string(), n);
+                formals.push(n);
+            }
+            for p in &method.params {
+                let ty = self.type_id(&p.ty);
+                let n = add_local(
+                    &mut self.builder,
+                    format!("{}@{}.{}", p.name, class.name, method.name),
+                    ty,
+                );
+                env.insert(p.name.clone(), n);
+                formals.push(n);
+            }
+            for l in &method.locals {
+                let ty = self.type_id(&l.ty);
+                let n = add_local(
+                    &mut self.builder,
+                    format!("{}@{}.{}", l.name, class.name, method.name),
+                    ty,
+                );
+                env.insert(l.name.clone(), n);
+            }
+            let ret = method.ret.as_ref().map(|rt| {
+                let ty = self.type_id(rt);
+                add_local(
+                    &mut self.builder,
+                    format!("$ret@{}.{}", class.name, method.name),
+                    ty,
+                )
+            });
+            self.envs.push(env);
+            self.formals.push(formals);
+            self.ret_nodes.push(ret);
+        }
+    }
+
+    // ----- body lowering -----
+
+    fn lower_bodies(&mut self) -> Result<(), ExtractError> {
+        for midx in 0..self.cg.methods.len() {
+            let (ci, mi) = self.cg.methods[midx];
+            let body = &self.h.program.classes[ci].methods[mi].body;
+            for (si, stmt) in body.iter().enumerate() {
+                self.lower_stmt(MethodIdx(midx as u32), ci, mi, si, stmt)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn local(
+        &self,
+        midx: MethodIdx,
+        ci: usize,
+        mi: usize,
+        name: &str,
+    ) -> Result<NodeId, ExtractError> {
+        self.envs[midx.0 as usize].get(name).copied().ok_or_else(|| {
+            ExtractError::UndeclaredVariable {
+                class: self.h.program.classes[ci].name.clone(),
+                method: self.h.program.classes[ci].methods[mi].name.clone(),
+                var: name.to_string(),
+            }
+        })
+    }
+
+    fn global(&self, class: &str, field: &str) -> Result<NodeId, ExtractError> {
+        let ci = self
+            .h
+            .class_index(class)
+            .ok_or_else(|| ExtractError::UnknownStatic {
+                class: class.to_string(),
+                field: field.to_string(),
+            })?;
+        // Statics are inherited: walk up the superclass chain.
+        let mut cur = Some(ci);
+        while let Some(c) = cur {
+            if let Some(&n) = self.globals.get(&(c, field.to_string())) {
+                return Ok(n);
+            }
+            cur = self.h.parent(c);
+        }
+        Err(ExtractError::UnknownStatic {
+            class: class.to_string(),
+            field: field.to_string(),
+        })
+    }
+
+    fn fresh_tmp(&mut self, midx: MethodIdx, ty: TypeId) -> NodeId {
+        let mid = self.method_ids[midx.0 as usize];
+        let (ci, _) = self.cg.methods[midx.0 as usize];
+        self.tmp_counter += 1;
+        self.builder.add_node(NodeInfo {
+            kind: NodeKind::Local { method: mid },
+            ty,
+            name: format!("$tmp{}", self.tmp_counter),
+            is_application: self.h.program.classes[ci].is_application,
+        })
+    }
+
+    /// Materialises a readable local for `v`: statics go through a fresh
+    /// temp via an `assign_g` edge.
+    fn read(
+        &mut self,
+        midx: MethodIdx,
+        ci: usize,
+        mi: usize,
+        v: &VarRef,
+    ) -> Result<NodeId, ExtractError> {
+        match v {
+            VarRef::Local(name) => self.local(midx, ci, mi, name),
+            VarRef::Static(class, field) => {
+                let g = self.global(class, field)?;
+                let gty = self.global_type(g);
+                let tmp = self.fresh_tmp(midx, gty);
+                self.builder.add_edge(g, tmp, EdgeKind::AssignGlobal);
+                Ok(tmp)
+            }
+        }
+    }
+
+    /// The declared type of a global node (recorded when it was created).
+    fn global_type(&self, n: NodeId) -> TypeId {
+        *self
+            .global_types
+            .get(&n)
+            .expect("global type recorded at declaration")
+    }
+
+    /// Writes `src_local` into `dst`: locals get `assign_l`, statics get
+    /// `assign_g`.
+    fn write(
+        &mut self,
+        midx: MethodIdx,
+        ci: usize,
+        mi: usize,
+        dst: &VarRef,
+        src_local: NodeId,
+        kind_for_local: EdgeKind,
+    ) -> Result<(), ExtractError> {
+        match dst {
+            VarRef::Local(name) => {
+                let d = self.local(midx, ci, mi, name)?;
+                self.builder.add_edge(src_local, d, kind_for_local);
+            }
+            VarRef::Static(class, field) => {
+                let g = self.global(class, field)?;
+                self.builder.add_edge(src_local, g, EdgeKind::AssignGlobal);
+            }
+        }
+        Ok(())
+    }
+
+    fn lower_stmt(
+        &mut self,
+        midx: MethodIdx,
+        ci: usize,
+        mi: usize,
+        si: usize,
+        stmt: &Stmt,
+    ) -> Result<(), ExtractError> {
+        match stmt {
+            Stmt::New { dst, ty } => {
+                let tid = self.type_id(ty);
+                let mid = self.method_ids[midx.0 as usize];
+                let class = &self.h.program.classes[ci];
+                let obj = self.builder.add_node(NodeInfo {
+                    kind: NodeKind::Object { method: mid },
+                    ty: tid,
+                    name: format!("o{}@{}.{}", si, class.name, class.methods[mi].name),
+                    is_application: class.is_application,
+                });
+                match dst {
+                    VarRef::Local(name) => {
+                        let d = self.local(midx, ci, mi, name)?;
+                        self.builder.add_edge(obj, d, EdgeKind::New);
+                    }
+                    VarRef::Static(cl, f) => {
+                        // new edges must target locals: go through a temp.
+                        let tmp = self.fresh_tmp(midx, tid);
+                        self.builder.add_edge(obj, tmp, EdgeKind::New);
+                        let g = self.global(cl, f)?;
+                        self.builder.add_edge(tmp, g, EdgeKind::AssignGlobal);
+                    }
+                }
+            }
+            Stmt::Assign { dst, src } => match (dst, src) {
+                // Exactly-one-global assignments become a single assign_g
+                // edge, as in Fig. 1.
+                (VarRef::Local(dn), VarRef::Static(sc, sf)) => {
+                    let g = self.global(sc, sf)?;
+                    let d = self.local(midx, ci, mi, dn)?;
+                    self.builder.add_edge(g, d, EdgeKind::AssignGlobal);
+                }
+                (VarRef::Static(dc, df), VarRef::Local(sn)) => {
+                    let s = self.local(midx, ci, mi, sn)?;
+                    let g = self.global(dc, df)?;
+                    self.builder.add_edge(s, g, EdgeKind::AssignGlobal);
+                }
+                _ => {
+                    let s = self.read(midx, ci, mi, src)?;
+                    self.write(midx, ci, mi, dst, s, EdgeKind::AssignLocal)?;
+                }
+            },
+            Stmt::Load { dst, base, field } => {
+                let f = self.field_id(field);
+                self.lower_load(midx, ci, mi, dst, base, f)?;
+            }
+            Stmt::ArrayLoad { dst, base } => {
+                self.lower_load(midx, ci, mi, dst, base, FieldId::ARR)?;
+            }
+            Stmt::Store { base, field, src } => {
+                let f = self.field_id(field);
+                self.lower_store(midx, ci, mi, base, src, f)?;
+            }
+            Stmt::ArrayStore { base, src } => {
+                self.lower_store(midx, ci, mi, base, src, FieldId::ARR)?;
+            }
+            Stmt::VirtualCall {
+                dst,
+                recv,
+                method,
+                args,
+            } => {
+                let recv_node = self.read(midx, ci, mi, recv)?;
+                let decl = self.receiver_decl(midx, ci, mi, recv);
+                let targets = match decl {
+                    Some(d) => self.h.dispatch(d, method),
+                    None => Vec::new(),
+                };
+                self.lower_call(midx, ci, mi, Some(recv_node), &targets, args, dst)?;
+            }
+            Stmt::StaticCall {
+                dst,
+                class,
+                method,
+                args,
+            } => {
+                let targets: Vec<_> = self
+                    .h
+                    .class_index(class)
+                    .and_then(|c| self.h.resolve_method(c, method))
+                    .into_iter()
+                    .collect();
+                self.lower_call(midx, ci, mi, None, &targets, args, dst)?;
+            }
+            Stmt::Return { val } => {
+                if let Some(v) = val {
+                    if let Some(ret) = self.ret_nodes[midx.0 as usize] {
+                        let s = self.read(midx, ci, mi, v)?;
+                        self.builder.add_edge(s, ret, EdgeKind::AssignLocal);
+                    } else {
+                        self.warnings.push(format!(
+                            "return with value in void method {}.{}",
+                            self.h.program.classes[ci].name,
+                            self.h.program.classes[ci].methods[mi].name
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn lower_load(
+        &mut self,
+        midx: MethodIdx,
+        ci: usize,
+        mi: usize,
+        dst: &VarRef,
+        base: &VarRef,
+        f: FieldId,
+    ) -> Result<(), ExtractError> {
+        let b = self.read(midx, ci, mi, base)?;
+        match dst {
+            VarRef::Local(name) => {
+                let d = self.local(midx, ci, mi, name)?;
+                self.builder.add_edge(b, d, EdgeKind::Load(f));
+            }
+            VarRef::Static(cl, fld) => {
+                let g = self.global(cl, fld)?;
+                let gty = self.global_type(g);
+                let tmp = self.fresh_tmp(midx, gty);
+                self.builder.add_edge(b, tmp, EdgeKind::Load(f));
+                self.builder.add_edge(tmp, g, EdgeKind::AssignGlobal);
+            }
+        }
+        Ok(())
+    }
+
+    fn lower_store(
+        &mut self,
+        midx: MethodIdx,
+        ci: usize,
+        mi: usize,
+        base: &VarRef,
+        src: &VarRef,
+        f: FieldId,
+    ) -> Result<(), ExtractError> {
+        let b = self.read(midx, ci, mi, base)?;
+        let s = self.read(midx, ci, mi, src)?;
+        // Store dst.f = src: edge src -> base labelled st(f).
+        self.builder.add_edge(s, b, EdgeKind::Store(f));
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn lower_call(
+        &mut self,
+        midx: MethodIdx,
+        ci: usize,
+        mi: usize,
+        recv: Option<NodeId>,
+        targets: &[(usize, usize)],
+        args: &[VarRef],
+        dst: &Option<VarRef>,
+    ) -> Result<(), ExtractError> {
+        if targets.is_empty() {
+            // Already warned during call-graph construction.
+            return Ok(());
+        }
+        let site = self.builder.fresh_call_site();
+        // Read actuals once (temps for statics are shared across targets).
+        let mut actual_nodes = Vec::with_capacity(args.len());
+        for a in args {
+            actual_nodes.push(self.read(midx, ci, mi, a)?);
+        }
+        for &(tci, tmi) in targets {
+            let tidx = self.cg.method_idx(tci, tmi);
+            let recursive = self.cg.is_recursive_call(midx, tidx);
+            let param_kind = if recursive {
+                EdgeKind::AssignLocal
+            } else {
+                EdgeKind::Param(site)
+            };
+            let ret_kind = if recursive {
+                EdgeKind::AssignLocal
+            } else {
+                EdgeKind::Ret(site)
+            };
+            let formals = &self.formals[tidx.0 as usize];
+            let target_is_static = self.h.program.classes[tci].methods[tmi].is_static;
+            let mut fslot = 0usize;
+            if let Some(r) = recv {
+                if !target_is_static {
+                    if let Some(&fthis) = formals.first() {
+                        self.builder.add_edge(r, fthis, param_kind);
+                    }
+                    fslot = 1;
+                }
+            }
+            let formal_params = &formals[fslot.min(formals.len())..];
+            if formal_params.len() != actual_nodes.len() {
+                self.warnings.push(format!(
+                    "arity mismatch calling {}.{} from {}.{}: {} actuals vs {} formals",
+                    self.h.program.classes[tci].name,
+                    self.h.program.classes[tci].methods[tmi].name,
+                    self.h.program.classes[ci].name,
+                    self.h.program.classes[ci].methods[mi].name,
+                    actual_nodes.len(),
+                    formal_params.len()
+                ));
+            }
+            for (&a, &fp) in actual_nodes.iter().zip(formal_params.iter()) {
+                self.builder.add_edge(a, fp, param_kind);
+            }
+            if let Some(d) = dst {
+                match self.ret_nodes[tidx.0 as usize] {
+                    Some(ret) => {
+                        // Normalise a static destination through a temp so
+                        // ret edges connect locals only.
+                        match d {
+                            VarRef::Local(name) => {
+                                let dn = self.local(midx, ci, mi, name)?;
+                                self.builder.add_edge(ret, dn, ret_kind);
+                            }
+                            VarRef::Static(cl, f) => {
+                                let g = self.global(cl, f)?;
+                                let gty = self.global_type(g);
+                                let tmp = self.fresh_tmp(midx, gty);
+                                self.builder.add_edge(ret, tmp, ret_kind);
+                                self.builder.add_edge(tmp, g, EdgeKind::AssignGlobal);
+                            }
+                        }
+                    }
+                    None => self.warnings.push(format!(
+                        "call result assigned from void method {}.{}",
+                        self.h.program.classes[tci].name,
+                        self.h.program.classes[tci].methods[tmi].name
+                    )),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn receiver_decl(
+        &self,
+        midx: MethodIdx,
+        ci: usize,
+        _mi: usize,
+        recv: &VarRef,
+    ) -> Option<usize> {
+        let VarRef::Local(name) = recv else { return None };
+        let (rci, rmi) = self.cg.methods[midx.0 as usize];
+        let method = &self.h.program.classes[rci].methods[rmi];
+        if !method.is_static && name == "this" {
+            return Some(ci);
+        }
+        let decl = method
+            .params
+            .iter()
+            .chain(method.locals.iter())
+            .find(|l| &l.name == name)?;
+        match &decl.ty {
+            TypeRef::Class(c) => self.h.class_index(c),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use parcfl_pag::stats::PagStats;
+
+    fn ex(src: &str) -> Extraction {
+        extract(&parse(src).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn allocation_and_assign() {
+        let e = ex("class Obj { }
+                    class A { method m() { var x: Obj; var y: Obj; x = new Obj; y = x; } }");
+        let s = PagStats::of(&e.pag);
+        assert_eq!(s.new_edges, 1);
+        assert_eq!(s.assign_local, 1);
+        assert_eq!(s.objects, 1);
+        let x = e.pag.node_by_name("x@A.m").unwrap();
+        let y = e.pag.node_by_name("y@A.m").unwrap();
+        assert!(e.pag.incoming(x).iter().any(|ed| ed.kind == EdgeKind::New));
+        assert!(e.pag.incoming(y).iter().any(|ed| ed.src == x));
+    }
+
+    #[test]
+    fn loads_stores_and_arrays() {
+        let e = ex("class Obj { }
+                    class A { field f: Obj;
+                      method m(o: Obj) {
+                        var t: Obj; var a: Obj[];
+                        t = this.f;
+                        this.f = o;
+                        a = new Obj[];
+                        t = a[];
+                        a[] = o;
+                      } }");
+        let s = PagStats::of(&e.pag);
+        assert_eq!(s.loads, 2);
+        assert_eq!(s.stores, 2);
+        // Array accesses use the distinguished ARR field.
+        assert_eq!(e.pag.loads_of(FieldId::ARR).len(), 1);
+        assert_eq!(e.pag.stores_of(FieldId::ARR).len(), 1);
+    }
+
+    #[test]
+    fn store_edge_orientation() {
+        // this.f = o  ==>  edge o -> this labelled st(f).
+        let e = ex("class Obj { }
+                    class A { field f: Obj; method m(o: Obj) { this.f = o; } }");
+        let this = e.pag.node_by_name("this@A.m").unwrap();
+        let o = e.pag.node_by_name("o@A.m").unwrap();
+        let stores: Vec<_> = e
+            .pag
+            .edges()
+            .iter()
+            .filter(|ed| matches!(ed.kind, EdgeKind::Store(_)))
+            .collect();
+        assert_eq!(stores.len(), 1);
+        assert_eq!(stores[0].src, o);
+        assert_eq!(stores[0].dst, this);
+    }
+
+    #[test]
+    fn static_access_normalised_through_temp() {
+        let e = ex("class Obj { }
+                    class A { static field g: Obj;
+                      method m() { var t: Obj; t = A.g; A.g = t; } }");
+        let s = PagStats::of(&e.pag);
+        // Exactly-one-global assignments are single assign_g edges (no temp).
+        assert_eq!(s.assign_global, 2);
+        assert_eq!(s.globals, 1);
+        let g = e.pag.node_by_name("A.g").unwrap();
+        assert!(e.pag.kind(g).is_global());
+    }
+
+    #[test]
+    fn call_edges_param_ret() {
+        let e = ex("class Obj { }
+                    class A {
+                      method id(o: Obj): Obj { return o; }
+                      method m(x: Obj) { var r: Obj; r = call this.id(x); }
+                    }");
+        let s = PagStats::of(&e.pag);
+        // param edges: receiver->this and x->o; ret edge: $ret->r.
+        assert_eq!(s.params, 2);
+        assert_eq!(s.rets, 1);
+        // return o; lowers to o -> $ret assign_l.
+        let ret = e.pag.node_by_name("$ret@A.id").unwrap();
+        let o = e.pag.node_by_name("o@A.id").unwrap();
+        assert!(e.pag.incoming(ret).iter().any(|ed| ed.src == o));
+    }
+
+    #[test]
+    fn recursive_calls_become_assignments() {
+        let e = ex("class Obj { }
+                    class A {
+                      method f(o: Obj): Obj { var r: Obj; r = call this.g(o); return r; }
+                      method g(o: Obj): Obj { var r: Obj; r = call this.f(o); return r; }
+                    }");
+        let s = PagStats::of(&e.pag);
+        assert_eq!(s.params, 0, "recursive cycle params must be collapsed");
+        assert_eq!(s.rets, 0);
+        assert!(s.assign_local > 0);
+    }
+
+    #[test]
+    fn virtual_dispatch_produces_edges_per_target() {
+        let e = ex("class Obj { }
+                    class B { method f(o: Obj): Obj { return o; } }
+                    class C extends B { method f(o: Obj): Obj { return o; } }
+                    class A { method m(b: B, x: Obj) { var r: Obj; r = call b.f(x); } }");
+        let s = PagStats::of(&e.pag);
+        // Two targets: (recv + arg) x 2 params, 2 ret edges, one shared site.
+        assert_eq!(s.params, 4);
+        assert_eq!(s.rets, 2);
+        assert_eq!(e.pag.call_site_count(), 1);
+    }
+
+    #[test]
+    fn undeclared_variable_is_error() {
+        let err = extract(&parse("class A { method m() { x = y; } }").unwrap()).unwrap_err();
+        assert!(matches!(err, ExtractError::UndeclaredVariable { .. }));
+        assert!(err.to_string().contains('`'));
+    }
+
+    #[test]
+    fn unknown_static_is_error() {
+        let err = extract(
+            &parse("class A { method m() { var t: A; t = A.ghost; } }").unwrap(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ExtractError::UnknownStatic { .. }));
+    }
+
+    #[test]
+    fn inherited_static_resolves() {
+        let e = ex("class P { static field g: P; }
+                    class A extends P { method m() { var t: P; t = A.g; } }");
+        assert_eq!(PagStats::of(&e.pag).globals, 1);
+    }
+
+    #[test]
+    fn application_flag_propagates() {
+        let e = ex("lib class L { method m() { var x: L; x = new L; } }
+                    app class A { method m() { var y: L; y = new L; } }");
+        let x = e.pag.node_by_name("x@L.m").unwrap();
+        let y = e.pag.node_by_name("y@A.m").unwrap();
+        assert!(!e.pag.node(x).is_application);
+        assert!(e.pag.node(y).is_application);
+    }
+
+    #[test]
+    fn void_return_value_warns() {
+        let p = parse("class A { method m() { var t: A; t = new A; return t; } }").unwrap();
+        let e = extract(&p).unwrap();
+        assert!(e.warnings.iter().any(|w| w.contains("void")));
+    }
+
+    #[test]
+    fn arity_mismatch_warns() {
+        let e = ex("class Obj { }
+                    class A {
+                      method f(a: Obj, b: Obj) { }
+                      method m(x: Obj) { call this.f(x); }
+                    }");
+        assert!(e.warnings.iter().any(|w| w.contains("arity")));
+    }
+}

@@ -1,0 +1,246 @@
+//! The mini-Java intermediate representation.
+//!
+//! This IR plays the role Soot's Jimple plays in the paper: a typed,
+//! three-address representation of an object-oriented program from which the
+//! Pointer Assignment Graph is extracted. It supports exactly the features
+//! the analysis is sensitive to: classes with single inheritance, instance
+//! fields, static fields (globals), virtual and static calls, allocations,
+//! assignments, field loads/stores, and array accesses (collapsed into the
+//! distinguished `arr` field, as in the paper).
+
+/// A type reference, by name.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum TypeRef {
+    /// The `int` primitive (stands in for all primitives).
+    Int,
+    /// A class type, by name.
+    Class(String),
+    /// An array of some element type.
+    Array(Box<TypeRef>),
+}
+
+impl TypeRef {
+    /// Whether this is a reference type.
+    pub fn is_ref(&self) -> bool {
+        !matches!(self, TypeRef::Int)
+    }
+
+    /// Canonical display name (`Obj`, `Obj[]`, `int`).
+    pub fn display(&self) -> String {
+        match self {
+            TypeRef::Int => "int".to_string(),
+            TypeRef::Class(c) => c.clone(),
+            TypeRef::Array(e) => format!("{}[]", e.display()),
+        }
+    }
+}
+
+/// A reference to a storage location in statements.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum VarRef {
+    /// A method-local variable (including parameters and `this`).
+    Local(String),
+    /// A static field `Class.field` — a global.
+    Static(String, String),
+}
+
+/// One statement of a method body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Stmt {
+    /// `dst = new C` (also used for array allocations with `C` an array type).
+    New {
+        /// Destination variable.
+        dst: VarRef,
+        /// Allocated type.
+        ty: TypeRef,
+    },
+    /// `dst = src`.
+    Assign {
+        /// Destination.
+        dst: VarRef,
+        /// Source.
+        src: VarRef,
+    },
+    /// `dst = base.field`.
+    Load {
+        /// Destination.
+        dst: VarRef,
+        /// Base object reference.
+        base: VarRef,
+        /// Field name.
+        field: String,
+    },
+    /// `base.field = src`.
+    Store {
+        /// Base object reference.
+        base: VarRef,
+        /// Field name.
+        field: String,
+        /// Source.
+        src: VarRef,
+    },
+    /// `dst = base[]` — array element load (collapsed `arr` field).
+    ArrayLoad {
+        /// Destination.
+        dst: VarRef,
+        /// Array reference.
+        base: VarRef,
+    },
+    /// `base[] = src` — array element store.
+    ArrayStore {
+        /// Array reference.
+        base: VarRef,
+        /// Source.
+        src: VarRef,
+    },
+    /// A virtual call `dst = recv.method(args...)`; dispatch is resolved by
+    /// CHA from the declared type of `recv`.
+    VirtualCall {
+        /// Optional destination for the return value.
+        dst: Option<VarRef>,
+        /// Receiver.
+        recv: VarRef,
+        /// Method name.
+        method: String,
+        /// Actual arguments.
+        args: Vec<VarRef>,
+    },
+    /// A static call `dst = C.method(args...)`.
+    StaticCall {
+        /// Optional destination for the return value.
+        dst: Option<VarRef>,
+        /// Class owning the static method.
+        class: String,
+        /// Method name.
+        method: String,
+        /// Actual arguments.
+        args: Vec<VarRef>,
+    },
+    /// `return x;` (only reference-typed returns are modelled).
+    Return {
+        /// Returned value, if any.
+        val: Option<VarRef>,
+    },
+}
+
+/// A declared field (instance or static).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FieldDecl {
+    /// Field name.
+    pub name: String,
+    /// Declared type.
+    pub ty: TypeRef,
+}
+
+/// A local-variable declaration (`var x: T;`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LocalDecl {
+    /// Variable name.
+    pub name: String,
+    /// Declared type.
+    pub ty: TypeRef,
+}
+
+/// A method definition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MethodDecl {
+    /// Method name (no overloading: names are unique per class).
+    pub name: String,
+    /// Whether the method is static (no implicit `this`).
+    pub is_static: bool,
+    /// Declared parameters (excluding the implicit `this`).
+    pub params: Vec<LocalDecl>,
+    /// Return type, if the method returns a value.
+    pub ret: Option<TypeRef>,
+    /// Declared locals.
+    pub locals: Vec<LocalDecl>,
+    /// The body.
+    pub body: Vec<Stmt>,
+}
+
+/// A class definition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClassDecl {
+    /// Class name.
+    pub name: String,
+    /// Direct superclass name, if any.
+    pub superclass: Option<String>,
+    /// Whether the class belongs to application code (queries are issued for
+    /// application-code locals only).
+    pub is_application: bool,
+    /// Instance fields.
+    pub fields: Vec<FieldDecl>,
+    /// Static fields (globals).
+    pub statics: Vec<FieldDecl>,
+    /// Methods.
+    pub methods: Vec<MethodDecl>,
+}
+
+/// A whole program.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Program {
+    /// All classes.
+    pub classes: Vec<ClassDecl>,
+}
+
+impl Program {
+    /// Looks up a class by name.
+    pub fn class(&self, name: &str) -> Option<&ClassDecl> {
+        self.classes.iter().find(|c| c.name == name)
+    }
+
+    /// Total number of methods.
+    pub fn method_count(&self) -> usize {
+        self.classes.iter().map(|c| c.methods.len()).sum()
+    }
+
+    /// Total number of statements.
+    pub fn stmt_count(&self) -> usize {
+        self.classes
+            .iter()
+            .flat_map(|c| &c.methods)
+            .map(|m| m.body.len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_ref_display_and_refness() {
+        assert_eq!(TypeRef::Int.display(), "int");
+        assert!(!TypeRef::Int.is_ref());
+        let arr = TypeRef::Array(Box::new(TypeRef::Class("Obj".into())));
+        assert_eq!(arr.display(), "Obj[]");
+        assert!(arr.is_ref());
+        let arr2 = TypeRef::Array(Box::new(arr));
+        assert_eq!(arr2.display(), "Obj[][]");
+    }
+
+    #[test]
+    fn program_lookups() {
+        let p = Program {
+            classes: vec![ClassDecl {
+                name: "A".into(),
+                superclass: None,
+                is_application: true,
+                fields: vec![],
+                statics: vec![],
+                methods: vec![MethodDecl {
+                    name: "m".into(),
+                    is_static: false,
+                    params: vec![],
+                    ret: None,
+                    locals: vec![],
+                    body: vec![Stmt::Return { val: None }],
+                }],
+            }],
+        };
+        assert!(p.class("A").is_some());
+        assert!(p.class("B").is_none());
+        assert_eq!(p.method_count(), 1);
+        assert_eq!(p.stmt_count(), 1);
+    }
+}

@@ -1,0 +1,232 @@
+//! Lexer for the `.mj` mini-Java textual format.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword candidate.
+    Ident(String),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `:`
+    Colon,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `=`
+    Eq,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::LBrace => write!(f, "`{{`"),
+            Tok::RBrace => write!(f, "`}}`"),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::LBracket => write!(f, "`[`"),
+            Tok::RBracket => write!(f, "`]`"),
+            Tok::Colon => write!(f, "`:`"),
+            Tok::Semi => write!(f, "`;`"),
+            Tok::Comma => write!(f, "`,`"),
+            Tok::Dot => write!(f, "`.`"),
+            Tok::Eq => write!(f, "`=`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token paired with the 1-based line it starts on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// A lexing error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based source line of the offending character.
+    pub line: u32,
+    /// The offending character.
+    pub ch: char,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: unexpected character {:?}", self.line, self.ch)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenises `src`. Supports `//` line comments and `<` `>` inside
+/// identifiers (for constructor names like `<init>`).
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let mut toks = Vec::new();
+    let mut line: u32 = 1;
+    let mut chars = src.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '/' => {
+                chars.next();
+                if chars.peek() == Some(&'/') {
+                    for c in chars.by_ref() {
+                        if c == '\n' {
+                            line += 1;
+                            break;
+                        }
+                    }
+                } else {
+                    return Err(LexError { line, ch: '/' });
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' || c == '<' => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' || c == '<' || c == '>' || c == '$' {
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Spanned {
+                    tok: Tok::Ident(s),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                // Numbers appear only in identifiers like benchmark names;
+                // treat a digit-run as an identifier too (e.g. `_200_check`).
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Spanned {
+                    tok: Tok::Ident(s),
+                    line,
+                });
+            }
+            _ => {
+                let tok = match c {
+                    '{' => Tok::LBrace,
+                    '}' => Tok::RBrace,
+                    '(' => Tok::LParen,
+                    ')' => Tok::RParen,
+                    '[' => Tok::LBracket,
+                    ']' => Tok::RBracket,
+                    ':' => Tok::Colon,
+                    ';' => Tok::Semi,
+                    ',' => Tok::Comma,
+                    '.' => Tok::Dot,
+                    '=' => Tok::Eq,
+                    other => return Err(LexError { line, ch: other }),
+                };
+                chars.next();
+                toks.push(Spanned { tok, line });
+            }
+        }
+    }
+    toks.push(Spanned {
+        tok: Tok::Eof,
+        line,
+    });
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds("x = y.f;"),
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Eq,
+                Tok::Ident("y".into()),
+                Tok::Dot,
+                Tok::Ident("f".into()),
+                Tok::Semi,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_lines() {
+        let toks = lex("a // comment\nb").unwrap();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks.len(), 3);
+    }
+
+    #[test]
+    fn angle_bracket_identifiers() {
+        assert_eq!(kinds("<init>")[0], Tok::Ident("<init>".into()));
+    }
+
+    #[test]
+    fn array_brackets() {
+        assert_eq!(
+            kinds("Obj[]"),
+            vec![
+                Tok::Ident("Obj".into()),
+                Tok::LBracket,
+                Tok::RBracket,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let err = lex("a # b").unwrap_err();
+        assert_eq!(err.ch, '#');
+        assert_eq!(err.line, 1);
+        assert!(err.to_string().contains("unexpected"));
+    }
+
+    #[test]
+    fn leading_digit_identifier() {
+        assert_eq!(kinds("_200_check")[0], Tok::Ident("_200_check".into()));
+        assert_eq!(kinds("200x")[0], Tok::Ident("200x".into()));
+    }
+}

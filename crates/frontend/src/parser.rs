@@ -1,0 +1,561 @@
+//! Recursive-descent parser for the `.mj` mini-Java format.
+//!
+//! ```text
+//! program := class*
+//! class   := ("app" | "lib")? "class" IDENT ("extends" IDENT)? "{" member* "}"
+//! member  := "static"? "field" IDENT ":" type ";"
+//!          | "static"? "method" IDENT "(" params? ")" (":" type)? "{" local* stmt* "}"
+//! local   := "var" IDENT ":" type ";"
+//! type    := ("int" | IDENT) ("[" "]")*
+//! stmt    := varref "=" "new" type ";"
+//!          | varref "=" "call" callee ";"
+//!          | varref "=" varref ";"                 (assign / load / static read)
+//!          | varref "." IDENT "=" varref ";"       (store)
+//!          | varref "[" "]" "=" varref ";"         (array store)
+//!          | varref "=" varref "[" "]" ";"         (array load)
+//!          | "call" callee ";"
+//!          | "return" varref? ";"
+//! callee  := IDENT "." IDENT "(" (varref ("," varref)*)? ")"
+//! varref  := IDENT | IDENT "." IDENT      (the latter is Class.static if the
+//!                                          base names a class)
+//! ```
+//!
+//! Instance methods implicitly receive a `this` parameter of the enclosing
+//! class type. Whether `a.b` is a static-field reference or a field access
+//! is decided by whether `a` names a class — the parser pre-scans all class
+//! names before parsing bodies, as a Java compiler's symbol table would.
+
+use crate::ir::{ClassDecl, FieldDecl, LocalDecl, MethodDecl, Program, Stmt, TypeRef, VarRef};
+use crate::lexer::{lex, Spanned, Tok};
+use std::collections::HashSet;
+use std::fmt;
+
+/// A parse error with the offending line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: u32,
+    /// Description of what went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a complete `.mj` program.
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    let toks = lex(src).map_err(|e| ParseError {
+        line: e.line,
+        msg: e.to_string(),
+    })?;
+    // Pre-scan class names so `Name.x` can be classified.
+    let mut class_names = HashSet::new();
+    for w in toks.windows(2) {
+        if let (Tok::Ident(kw), Tok::Ident(name)) = (&w[0].tok, &w[1].tok) {
+            if kw == "class" {
+                class_names.insert(name.clone());
+            }
+        }
+    }
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        class_names,
+    };
+    p.program()
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+    class_names: HashSet<String>,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn line(&self) -> u32 {
+        self.toks[self.pos].line
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            line: self.line(),
+            msg: msg.into(),
+        })
+    }
+
+    fn expect(&mut self, want: &Tok) -> Result<(), ParseError> {
+        if self.peek() == want {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected {}, found {}", want, self.peek()))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found {other}")),
+        }
+    }
+
+    /// Consumes an identifier equal to `kw` if present.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Tok::Ident(s) if s == kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s == kw)
+    }
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut classes = Vec::new();
+        while self.peek() != &Tok::Eof {
+            classes.push(self.class()?);
+        }
+        Ok(Program { classes })
+    }
+
+    fn class(&mut self) -> Result<ClassDecl, ParseError> {
+        let is_application = if self.eat_kw("lib") {
+            false
+        } else {
+            self.eat_kw("app"); // optional; application is the default
+            true
+        };
+        if !self.eat_kw("class") {
+            return self.err(format!("expected `class`, found {}", self.peek()));
+        }
+        let name = self.ident()?;
+        let superclass = if self.eat_kw("extends") {
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        self.expect(&Tok::LBrace)?;
+        let mut fields = Vec::new();
+        let mut statics = Vec::new();
+        let mut methods = Vec::new();
+        while self.peek() != &Tok::RBrace {
+            let is_static = self.eat_kw("static");
+            if self.eat_kw("field") {
+                let fname = self.ident()?;
+                self.expect(&Tok::Colon)?;
+                let ty = self.type_ref()?;
+                self.expect(&Tok::Semi)?;
+                let decl = FieldDecl { name: fname, ty };
+                if is_static {
+                    statics.push(decl);
+                } else {
+                    fields.push(decl);
+                }
+            } else if self.eat_kw("method") {
+                methods.push(self.method(is_static)?);
+            } else {
+                return self.err(format!(
+                    "expected `field` or `method`, found {}",
+                    self.peek()
+                ));
+            }
+        }
+        self.expect(&Tok::RBrace)?;
+        Ok(ClassDecl {
+            name,
+            superclass,
+            is_application,
+            fields,
+            statics,
+            methods,
+        })
+    }
+
+    fn method(&mut self, is_static: bool) -> Result<MethodDecl, ParseError> {
+        let name = self.ident()?;
+        self.expect(&Tok::LParen)?;
+        let mut params = Vec::new();
+        if self.peek() != &Tok::RParen {
+            loop {
+                let pname = self.ident()?;
+                self.expect(&Tok::Colon)?;
+                let ty = self.type_ref()?;
+                params.push(LocalDecl { name: pname, ty });
+                if self.peek() == &Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::RParen)?;
+        let ret = if self.peek() == &Tok::Colon {
+            self.bump();
+            Some(self.type_ref()?)
+        } else {
+            None
+        };
+        self.expect(&Tok::LBrace)?;
+        let mut locals = Vec::new();
+        while self.at_kw("var") {
+            self.bump();
+            let lname = self.ident()?;
+            self.expect(&Tok::Colon)?;
+            let ty = self.type_ref()?;
+            self.expect(&Tok::Semi)?;
+            locals.push(LocalDecl { name: lname, ty });
+        }
+        let mut body = Vec::new();
+        while self.peek() != &Tok::RBrace {
+            body.push(self.stmt()?);
+        }
+        self.expect(&Tok::RBrace)?;
+        Ok(MethodDecl {
+            name,
+            is_static,
+            params,
+            ret,
+            locals,
+            body,
+        })
+    }
+
+    fn type_ref(&mut self) -> Result<TypeRef, ParseError> {
+        let base = self.ident()?;
+        let mut ty = if base == "int" {
+            TypeRef::Int
+        } else {
+            TypeRef::Class(base)
+        };
+        while self.peek() == &Tok::LBracket {
+            self.bump();
+            self.expect(&Tok::RBracket)?;
+            ty = TypeRef::Array(Box::new(ty));
+        }
+        Ok(ty)
+    }
+
+    /// Parses `IDENT` or `IDENT . IDENT`; classifies `Class.x` as a static
+    /// reference. Returns `(varref, trailing_field)`: for a non-class base,
+    /// `a.b` yields `(Local(a), Some(b))` so callers can build loads/stores.
+    fn place(&mut self) -> Result<(VarRef, Option<String>), ParseError> {
+        let base = self.ident()?;
+        if self.peek() == &Tok::Dot {
+            // Peek past the dot: could be `.field` or the callee of a call,
+            // which the caller handles before invoking `place`.
+            self.bump();
+            let member = self.ident()?;
+            if self.class_names.contains(&base) {
+                Ok((VarRef::Static(base, member), None))
+            } else {
+                Ok((VarRef::Local(base), Some(member)))
+            }
+        } else {
+            Ok((VarRef::Local(base), None))
+        }
+    }
+
+    fn call_args(&mut self) -> Result<Vec<VarRef>, ParseError> {
+        self.expect(&Tok::LParen)?;
+        let mut args = Vec::new();
+        if self.peek() != &Tok::RParen {
+            loop {
+                let (v, field) = self.place()?;
+                if field.is_some() {
+                    return self.err("field accesses are not allowed as call arguments");
+                }
+                args.push(v);
+                if self.peek() == &Tok::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(&Tok::RParen)?;
+        Ok(args)
+    }
+
+    /// Parses `callee(args)` where callee is `recv.method` or
+    /// `Class.method`.
+    fn call(&mut self, dst: Option<VarRef>) -> Result<Stmt, ParseError> {
+        let base = self.ident()?;
+        self.expect(&Tok::Dot)?;
+        let method = self.ident()?;
+        let args = self.call_args()?;
+        if self.class_names.contains(&base) {
+            Ok(Stmt::StaticCall {
+                dst,
+                class: base,
+                method,
+                args,
+            })
+        } else {
+            Ok(Stmt::VirtualCall {
+                dst,
+                recv: VarRef::Local(base),
+                method,
+                args,
+            })
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        if self.eat_kw("return") {
+            let val = if self.peek() == &Tok::Semi {
+                None
+            } else {
+                let (v, field) = self.place()?;
+                if field.is_some() {
+                    return self.err("cannot return a field access; load into a local first");
+                }
+                Some(v)
+            };
+            self.expect(&Tok::Semi)?;
+            return Ok(Stmt::Return { val });
+        }
+        if self.eat_kw("call") {
+            let s = self.call(None)?;
+            self.expect(&Tok::Semi)?;
+            return Ok(s);
+        }
+
+        // An assignment-like statement. Parse the left-hand side.
+        let (lhs, lhs_field) = self.place()?;
+        if self.peek() == &Tok::LBracket {
+            // `x[] = y;`
+            if lhs_field.is_some() {
+                return self.err("array store base must be a simple variable");
+            }
+            self.bump();
+            self.expect(&Tok::RBracket)?;
+            self.expect(&Tok::Eq)?;
+            let (src, f) = self.place()?;
+            if f.is_some() {
+                return self.err("array store source must be a simple variable");
+            }
+            self.expect(&Tok::Semi)?;
+            return Ok(Stmt::ArrayStore { base: lhs, src });
+        }
+        if let Some(field) = lhs_field {
+            // `x.f = y;`
+            self.expect(&Tok::Eq)?;
+            let (src, f) = self.place()?;
+            if f.is_some() {
+                return self.err("store source must be a simple variable");
+            }
+            self.expect(&Tok::Semi)?;
+            return Ok(Stmt::Store {
+                base: lhs,
+                field,
+                src,
+            });
+        }
+
+        // `lhs = ...`
+        self.expect(&Tok::Eq)?;
+        if self.eat_kw("new") {
+            let ty = self.type_ref()?;
+            self.expect(&Tok::Semi)?;
+            return Ok(Stmt::New { dst: lhs, ty });
+        }
+        if self.eat_kw("call") {
+            let s = self.call(Some(lhs))?;
+            self.expect(&Tok::Semi)?;
+            return Ok(s);
+        }
+        let (rhs, rhs_field) = self.place()?;
+        if self.peek() == &Tok::LBracket {
+            if rhs_field.is_some() {
+                return self.err("array load base must be a simple variable");
+            }
+            self.bump();
+            self.expect(&Tok::RBracket)?;
+            self.expect(&Tok::Semi)?;
+            return Ok(Stmt::ArrayLoad {
+                dst: lhs,
+                base: rhs,
+            });
+        }
+        self.expect(&Tok::Semi)?;
+        if let Some(field) = rhs_field {
+            Ok(Stmt::Load {
+                dst: lhs,
+                base: rhs,
+                field,
+            })
+        } else {
+            Ok(Stmt::Assign { dst: lhs, src: rhs })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_class() {
+        let p = parse("class A { }").unwrap();
+        assert_eq!(p.classes.len(), 1);
+        assert_eq!(p.classes[0].name, "A");
+        assert!(p.classes[0].is_application);
+    }
+
+    #[test]
+    fn parses_lib_and_extends() {
+        let p = parse("lib class B extends A { }").unwrap();
+        assert!(!p.classes[0].is_application);
+        assert_eq!(p.classes[0].superclass.as_deref(), Some("A"));
+    }
+
+    #[test]
+    fn parses_fields_and_statics() {
+        let p = parse(
+            "class A { field x: A; static field g: A[]; field n: int; }",
+        )
+        .unwrap();
+        let c = &p.classes[0];
+        assert_eq!(c.fields.len(), 2);
+        assert_eq!(c.statics.len(), 1);
+        assert_eq!(c.statics[0].ty, TypeRef::Array(Box::new(TypeRef::Class("A".into()))));
+    }
+
+    #[test]
+    fn parses_method_statements() {
+        let src = r#"
+            class Obj { }
+            class A {
+                static field g: Obj;
+                method m(e: Obj): Obj {
+                    var t: Obj;
+                    var u: Obj;
+                    t = new Obj;
+                    u = t;
+                    u = this.f;
+                    this.f = e;
+                    u = t[];
+                    t[] = e;
+                    A.g = t;
+                    u = A.g;
+                    u = call t.m(e);
+                    call t.m(e);
+                    u = call A.s(e);
+                    return u;
+                }
+            }
+        "#;
+        let p = parse(src).unwrap();
+        let m = &p.classes[1].methods[0];
+        assert_eq!(m.locals.len(), 2);
+        assert_eq!(m.body.len(), 12);
+        assert!(matches!(m.body[0], Stmt::New { .. }));
+        assert!(matches!(m.body[1], Stmt::Assign { .. }));
+        assert!(matches!(m.body[2], Stmt::Load { .. }));
+        assert!(matches!(m.body[3], Stmt::Store { .. }));
+        assert!(matches!(m.body[4], Stmt::ArrayLoad { .. }));
+        assert!(matches!(m.body[5], Stmt::ArrayStore { .. }));
+        assert!(matches!(
+            m.body[6],
+            Stmt::Assign { dst: VarRef::Static(..), .. }
+        ));
+        assert!(matches!(
+            m.body[7],
+            Stmt::Assign { src: VarRef::Static(..), .. }
+        ));
+        assert!(matches!(m.body[8], Stmt::VirtualCall { dst: Some(_), .. }));
+        assert!(matches!(m.body[9], Stmt::VirtualCall { dst: None, .. }));
+        assert!(matches!(m.body[10], Stmt::StaticCall { .. }));
+        assert!(matches!(m.body[11], Stmt::Return { val: Some(_) }));
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let err = parse("class A {\n junk\n}").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("expected"));
+    }
+
+    #[test]
+    fn constructor_names() {
+        let p = parse("class A { method <init>() { return; } }").unwrap();
+        assert_eq!(p.classes[0].methods[0].name, "<init>");
+    }
+
+    #[test]
+    fn static_method_flag() {
+        let p = parse("class A { static method m() { } method n() { } }").unwrap();
+        assert!(p.classes[0].methods[0].is_static);
+        assert!(!p.classes[0].methods[1].is_static);
+    }
+}
+
+#[cfg(test)]
+mod error_tests {
+    use super::parse;
+
+    fn err(src: &str) -> String {
+        parse(src).unwrap_err().to_string()
+    }
+
+    #[test]
+    fn missing_semicolons_and_braces() {
+        assert!(err("class A { method m() { return } }").contains("expected"));
+        assert!(err("class A { field x: A }").contains("expected"));
+        assert!(err("class A { method m() {").contains("expected"));
+    }
+
+    #[test]
+    fn bad_member_and_type() {
+        assert!(err("class A { banana x; }").contains("field"));
+        assert!(err("class A { field x: ; }").contains("identifier"));
+    }
+
+    #[test]
+    fn call_argument_restrictions() {
+        assert!(err("class A { method m(x: A) { call x.m(x.f); } }")
+            .contains("call arguments"));
+    }
+
+    #[test]
+    fn chained_field_access_rejected() {
+        // a.b.c is not expressible; the error surfaces at the second dot.
+        assert!(parse("class A { method m() { var t: A; t = t.f.g; } }").is_err());
+    }
+
+    #[test]
+    fn empty_input_is_empty_program() {
+        let p = parse("").unwrap();
+        assert!(p.classes.is_empty());
+        let p = parse("  // just a comment\n").unwrap();
+        assert!(p.classes.is_empty());
+    }
+
+    #[test]
+    fn return_of_field_access_rejected() {
+        assert!(err("class A { method m(): A { return this.f; } }").contains("load into a local"));
+    }
+}

@@ -1,0 +1,126 @@
+//! Property tests for PAG extraction: the structural discipline of the
+//! paper's Fig. 1 must hold for every extracted graph.
+
+use parcfl_frontend::cycles::collapse_assign_cycles;
+use parcfl_frontend::extract::extract;
+use parcfl_pag::{EdgeKind, NodeKind, Pag};
+use proptest::prelude::*;
+
+// The generator lives in parcfl-synth, which depends on this crate; to
+// avoid a dev-dependency cycle the tests build programs through the parser
+// from assembled source instead.
+fn program_source(seed: u64, classes: usize, stmts: usize) -> String {
+    // A small deterministic pseudo-random program: classes with fields,
+    // statics, helpers and bodies mixing every statement kind.
+    let mut s = String::from("lib class Obj { }\n");
+    let mut rng = seed;
+    let mut next = move || {
+        rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (rng >> 33) as usize
+    };
+    for c in 0..classes {
+        let sup = if c > 0 && next() % 3 == 0 {
+            format!(" extends C{}", next() % c)
+        } else {
+            String::new()
+        };
+        s.push_str(&format!(
+            "class C{c}{sup} {{\n  field f: Obj;\n  static field g: Obj;\n"
+        ));
+        s.push_str("  method id(x: Obj): Obj { return x; }\n");
+        s.push_str("  method m(p: Obj) {\n");
+        let locals = 4 + next() % 4;
+        for l in 0..locals {
+            s.push_str(&format!("    var v{l}: Obj;\n"));
+        }
+        s.push_str("    v0 = new Obj;\n");
+        for _ in 0..stmts {
+            let a = next() % locals;
+            let b = next() % locals;
+            match next() % 7 {
+                0 => s.push_str(&format!("    v{a} = new Obj;\n")),
+                1 => s.push_str(&format!("    v{a} = v{b};\n")),
+                2 => s.push_str(&format!("    v{a} = this.f;\n")),
+                3 => s.push_str(&format!("    this.f = v{a};\n")),
+                4 => s.push_str(&format!("    C{}.g = v{a};\n", next() % classes)),
+                5 => s.push_str(&format!("    v{a} = C{}.g;\n", next() % classes)),
+                _ => s.push_str(&format!("    v{a} = call this.id(v{b});\n")),
+            }
+        }
+        s.push_str("  }\n}\n");
+    }
+    s
+}
+
+fn check_fig1_discipline(pag: &Pag) -> Result<(), TestCaseError> {
+    for e in pag.edges() {
+        let src = pag.kind(e.src);
+        let dst = pag.kind(e.dst);
+        match e.kind {
+            EdgeKind::New => {
+                prop_assert!(src.is_object(), "new src must be object");
+                prop_assert!(dst.is_local(), "new dst must be local");
+            }
+            EdgeKind::AssignLocal => {
+                prop_assert!(src.is_local() && dst.is_local(), "assign_l connects locals");
+            }
+            EdgeKind::AssignGlobal => {
+                prop_assert!(
+                    src.is_variable() && dst.is_variable(),
+                    "assign_g connects variables"
+                );
+                prop_assert!(
+                    matches!(src, NodeKind::Global) || matches!(dst, NodeKind::Global),
+                    "assign_g has at least one global side"
+                );
+            }
+            EdgeKind::Load(_) | EdgeKind::Store(_) | EdgeKind::Param(_) | EdgeKind::Ret(_) => {
+                prop_assert!(
+                    src.is_local() && dst.is_local(),
+                    "{:?} must connect locals only (Fig. 1)",
+                    e.kind
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every extracted PAG obeys Fig. 1: globals appear only on assign_g
+    /// edges; objects only as new-edge sources.
+    #[test]
+    fn extraction_obeys_fig1(seed in 0u64..100_000, classes in 1usize..5, stmts in 1usize..12) {
+        let src = program_source(seed, classes, stmts);
+        let prog = parcfl_frontend::parse(&src).expect("generated source parses");
+        let e = extract(&prog).expect("extracts");
+        check_fig1_discipline(&e.pag)?;
+    }
+
+    /// Extraction is deterministic: same program, identical graph.
+    #[test]
+    fn extraction_is_deterministic(seed in 0u64..100_000) {
+        let src = program_source(seed, 3, 8);
+        let prog = parcfl_frontend::parse(&src).unwrap();
+        let a = extract(&prog).unwrap().pag;
+        let b = extract(&prog).unwrap().pag;
+        prop_assert_eq!(a.node_count(), b.node_count());
+        prop_assert_eq!(a.edges(), b.edges());
+    }
+
+    /// Cycle collapsing is idempotent and preserves Fig. 1 discipline.
+    #[test]
+    fn collapsing_is_idempotent(seed in 0u64..100_000) {
+        let src = program_source(seed, 3, 10);
+        let prog = parcfl_frontend::parse(&src).unwrap();
+        let e = extract(&prog).unwrap();
+        let once = collapse_assign_cycles(&e.pag);
+        check_fig1_discipline(&once.pag)?;
+        let twice = collapse_assign_cycles(&once.pag);
+        prop_assert_eq!(twice.merged_nodes, 0, "second collapse finds nothing");
+        prop_assert_eq!(twice.pag.node_count(), once.pag.node_count());
+        prop_assert_eq!(twice.pag.edge_count(), once.pag.edge_count());
+    }
+}

@@ -1,0 +1,407 @@
+//! The frozen Pointer Assignment Graph and its builder.
+//!
+//! The graph is built once by the frontend (or the synthetic generator) and
+//! then frozen into an immutable, cache-friendly CSR representation that is
+//! shared read-only by all query-processing threads. The `jmp` shortcut
+//! edges of the paper's extended PAG (Fig. 4) are *not* stored here — they
+//! are added on the fly during the analysis and live in the solver's
+//! concurrent jmp store, which overlays this read-only graph.
+
+use crate::edge::{Edge, EdgeKind};
+use crate::ids::{FieldId, MethodId, NodeId};
+use crate::node::{NodeInfo, NodeKind};
+use crate::types::TypeTable;
+
+/// Mutable accumulator for PAG construction.
+#[derive(Default)]
+pub struct PagBuilder {
+    nodes: Vec<NodeInfo>,
+    edges: Vec<Edge>,
+    types: TypeTable,
+    method_names: Vec<String>,
+    call_sites: u32,
+}
+
+impl PagBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        PagBuilder {
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            types: TypeTable::new(),
+            method_names: Vec::new(),
+            call_sites: 0,
+        }
+    }
+
+    /// Creates a builder that takes ownership of an already-populated type
+    /// table (the frontend interns types while parsing).
+    pub fn with_types(types: TypeTable) -> Self {
+        PagBuilder {
+            types,
+            ..PagBuilder::new()
+        }
+    }
+
+    /// Adds a node and returns its id.
+    pub fn add_node(&mut self, info: NodeInfo) -> NodeId {
+        let id = NodeId::from_usize(self.nodes.len());
+        self.nodes.push(info);
+        id
+    }
+
+    /// Adds an edge between existing nodes.
+    pub fn add_edge(&mut self, src: NodeId, dst: NodeId, kind: EdgeKind) {
+        debug_assert!(src.index() < self.nodes.len(), "src out of range");
+        debug_assert!(dst.index() < self.nodes.len(), "dst out of range");
+        self.edges.push(Edge { src, dst, kind });
+    }
+
+    /// Registers a method name and returns its id.
+    pub fn add_method(&mut self, name: impl Into<String>) -> MethodId {
+        let id = MethodId::from_usize(self.method_names.len());
+        self.method_names.push(name.into());
+        id
+    }
+
+    /// Allocates a fresh call-site id.
+    pub fn fresh_call_site(&mut self) -> crate::ids::CallSiteId {
+        let id = crate::ids::CallSiteId::new(self.call_sites);
+        self.call_sites += 1;
+        id
+    }
+
+    /// Read access to the type table during construction.
+    pub fn types(&self) -> &TypeTable {
+        &self.types
+    }
+
+    /// Mutable access to the type table during construction.
+    pub fn types_mut(&mut self) -> &mut TypeTable {
+        &mut self.types
+    }
+
+    /// Number of nodes added so far.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges added so far (before dedup).
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Freezes the builder into an immutable [`Pag`], deduplicating edges
+    /// and constructing the traversal indexes.
+    pub fn freeze(mut self) -> Pag {
+        let n = self.nodes.len();
+
+        // Deduplicate edges: duplicate statements add nothing to
+        // reachability and only slow traversals down.
+        self.edges.sort_unstable_by_key(|e| (e.dst, e.src, edge_sort_key(e.kind)));
+        self.edges.dedup();
+        let m = self.edges.len();
+
+        // Incoming CSR (edges sorted by dst already).
+        let mut in_start = vec![0u32; n + 1];
+        for e in &self.edges {
+            in_start[e.dst.index() + 1] += 1;
+        }
+        for i in 1..=n {
+            in_start[i] += in_start[i - 1];
+        }
+        // self.edges is the in-order edge array itself.
+
+        // Outgoing CSR: indices into `edges`, sorted by src.
+        let mut out_deg = vec![0u32; n + 1];
+        for e in &self.edges {
+            out_deg[e.src.index() + 1] += 1;
+        }
+        for i in 1..=n {
+            out_deg[i] += out_deg[i - 1];
+        }
+        let out_start = out_deg.clone();
+        let mut cursor = out_deg;
+        let mut out_edges = vec![0u32; m];
+        for (idx, e) in self.edges.iter().enumerate() {
+            out_edges[cursor[e.src.index()] as usize] = idx as u32;
+            cursor[e.src.index()] += 1;
+        }
+
+        // Field indexes for the alias-matching step of ReachableNodes.
+        let nf = self.types.field_count();
+        let mut loads_by_field: Vec<Vec<(NodeId, NodeId)>> = vec![Vec::new(); nf];
+        let mut stores_by_field: Vec<Vec<(NodeId, NodeId)>> = vec![Vec::new(); nf];
+        for e in &self.edges {
+            match e.kind {
+                // Load dst = src.f: base is src.
+                EdgeKind::Load(f) => loads_by_field[f.index()].push((e.src, e.dst)),
+                // Store dst.f = src: base is dst.
+                EdgeKind::Store(f) => stores_by_field[f.index()].push((e.dst, e.src)),
+                _ => {}
+            }
+        }
+
+        Pag {
+            nodes: self.nodes,
+            edges: self.edges,
+            in_start,
+            out_start,
+            out_edges,
+            loads_by_field,
+            stores_by_field,
+            types: self.types,
+            method_names: self.method_names,
+            call_sites: self.call_sites,
+        }
+    }
+}
+
+/// Total order over edge kinds used for deterministic dedup.
+fn edge_sort_key(kind: EdgeKind) -> (u8, u32) {
+    match kind {
+        EdgeKind::New => (0, 0),
+        EdgeKind::AssignLocal => (1, 0),
+        EdgeKind::AssignGlobal => (2, 0),
+        EdgeKind::Load(f) => (3, f.raw()),
+        EdgeKind::Store(f) => (4, f.raw()),
+        EdgeKind::Param(i) => (5, i.raw()),
+        EdgeKind::Ret(i) => (6, i.raw()),
+    }
+}
+
+/// The frozen, immutable Pointer Assignment Graph.
+#[derive(Debug)]
+pub struct Pag {
+    nodes: Vec<NodeInfo>,
+    /// All edges, sorted by `dst` (this *is* the incoming-edge array).
+    edges: Vec<Edge>,
+    in_start: Vec<u32>,
+    out_start: Vec<u32>,
+    out_edges: Vec<u32>,
+    loads_by_field: Vec<Vec<(NodeId, NodeId)>>,
+    stores_by_field: Vec<Vec<(NodeId, NodeId)>>,
+    types: TypeTable,
+    method_names: Vec<String>,
+    call_sites: u32,
+}
+
+impl Pag {
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of (deduplicated) edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of call sites.
+    #[inline]
+    pub fn call_site_count(&self) -> usize {
+        self.call_sites as usize
+    }
+
+    /// Number of methods.
+    #[inline]
+    pub fn method_count(&self) -> usize {
+        self.method_names.len()
+    }
+
+    /// Metadata for node `n`.
+    #[inline]
+    pub fn node(&self, n: NodeId) -> &NodeInfo {
+        &self.nodes[n.index()]
+    }
+
+    /// Kind of node `n`.
+    #[inline]
+    pub fn kind(&self, n: NodeId) -> NodeKind {
+        self.nodes[n.index()].kind
+    }
+
+    /// Name of method `m`.
+    pub fn method_name(&self, m: MethodId) -> &str {
+        &self.method_names[m.index()]
+    }
+
+    /// The program's type table.
+    #[inline]
+    pub fn types(&self) -> &TypeTable {
+        &self.types
+    }
+
+    /// All edges flowing **into** `n` (traversed by `PointsTo`).
+    #[inline]
+    pub fn incoming(&self, n: NodeId) -> &[Edge] {
+        let lo = self.in_start[n.index()] as usize;
+        let hi = self.in_start[n.index() + 1] as usize;
+        &self.edges[lo..hi]
+    }
+
+    /// All edges flowing **out of** `n` (traversed by `FlowsTo`).
+    #[inline]
+    pub fn outgoing(&self, n: NodeId) -> impl Iterator<Item = &Edge> + '_ {
+        let lo = self.out_start[n.index()] as usize;
+        let hi = self.out_start[n.index() + 1] as usize;
+        self.out_edges[lo..hi].iter().map(move |&i| &self.edges[i as usize])
+    }
+
+    /// All store edges on field `f`, as `(base, rhs)` pairs
+    /// (statement `base.f = rhs`).
+    #[inline]
+    pub fn stores_of(&self, f: FieldId) -> &[(NodeId, NodeId)] {
+        &self.stores_by_field[f.index()]
+    }
+
+    /// All load edges on field `f`, as `(base, dst)` pairs
+    /// (statement `dst = base.f`).
+    #[inline]
+    pub fn loads_of(&self, f: FieldId) -> &[(NodeId, NodeId)] {
+        &self.loads_by_field[f.index()]
+    }
+
+    /// Iterates over all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len()).map(NodeId::from_usize)
+    }
+
+    /// Iterates over all edges.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// The local variables of application code — the paper's query set
+    /// ("queries ... are issued for all the local variables in its
+    /// application code").
+    pub fn application_locals(&self) -> Vec<NodeId> {
+        self.node_ids()
+            .filter(|&n| {
+                let info = &self.nodes[n.index()];
+                info.is_application && info.kind.is_local()
+            })
+            .collect()
+    }
+
+    /// Looks up a node by name; linear scan, intended for tests and small
+    /// examples only.
+    pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        self.nodes
+            .iter()
+            .position(|n| n.name == name)
+            .map(NodeId::from_usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{CallSiteId, TypeId};
+    use crate::types::TypeInfo;
+
+    fn mini() -> (Pag, Vec<NodeId>) {
+        let mut b = PagBuilder::new();
+        let m = b.add_method("main");
+        let t = b.types_mut().add_type(TypeInfo {
+            name: "T".into(),
+            is_ref: true,
+            fields: Vec::new(),
+            supertype: None,
+        });
+        let f = b.types_mut().add_field("f");
+        let mk = |name: &str, kind: NodeKind| NodeInfo {
+            kind,
+            ty: t,
+            name: name.into(),
+            is_application: true,
+        };
+        let o = b.add_node(mk("o", NodeKind::Object { method: m }));
+        let x = b.add_node(mk("x", NodeKind::Local { method: m }));
+        let y = b.add_node(mk("y", NodeKind::Local { method: m }));
+        let p = b.add_node(mk("p", NodeKind::Local { method: m }));
+        b.add_edge(o, x, EdgeKind::New);
+        b.add_edge(x, y, EdgeKind::AssignLocal);
+        // Duplicate edge must be deduplicated.
+        b.add_edge(x, y, EdgeKind::AssignLocal);
+        b.add_edge(p, y, EdgeKind::Load(f));
+        b.add_edge(p, x, EdgeKind::Store(f));
+        (b.freeze(), vec![o, x, y, p])
+    }
+
+    #[test]
+    fn dedup_and_counts() {
+        let (g, _) = mini();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4); // one duplicate removed
+    }
+
+    #[test]
+    fn incoming_outgoing() {
+        let (g, ids) = mini();
+        let (o, x, y, p) = (ids[0], ids[1], ids[2], ids[3]);
+        let inc_x: Vec<_> = g.incoming(x).iter().map(|e| (e.src, e.kind)).collect();
+        // x receives the allocation and the store x.f = p.
+        assert_eq!(inc_x.len(), 2);
+        assert!(inc_x.contains(&(o, EdgeKind::New)));
+        assert!(inc_x.iter().any(|&(s, k)| s == p && matches!(k, EdgeKind::Store(_))));
+        let inc_y: Vec<_> = g.incoming(y).to_vec();
+        assert_eq!(inc_y.len(), 2);
+        assert!(inc_y.iter().any(|e| e.src == x && e.kind == EdgeKind::AssignLocal));
+        let out_p: Vec<_> = g.outgoing(p).map(|e| e.kind).collect();
+        assert_eq!(out_p.len(), 2);
+        let out_o: Vec<_> = g.outgoing(o).collect();
+        assert_eq!(out_o.len(), 1);
+        assert_eq!(out_o[0].dst, x);
+    }
+
+    #[test]
+    fn field_indexes() {
+        let (g, ids) = mini();
+        let (x, y, p) = (ids[1], ids[2], ids[3]);
+        let f = FieldId(1); // first interned after builtin ARR
+        assert_eq!(g.loads_of(f), &[(p, y)]); // y = p.f
+        assert_eq!(g.stores_of(f), &[(x, p)]); // x.f = p
+        assert!(g.loads_of(FieldId::ARR).is_empty());
+    }
+
+    #[test]
+    fn application_locals_excludes_objects() {
+        let (g, _) = mini();
+        let app = g.application_locals();
+        assert_eq!(app.len(), 3); // x, y, p but not object o
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let (g, ids) = mini();
+        assert_eq!(g.node_by_name("p"), Some(ids[3]));
+        assert_eq!(g.node_by_name("zzz"), None);
+    }
+
+    #[test]
+    fn call_site_allocation() {
+        let mut b = PagBuilder::new();
+        assert_eq!(b.fresh_call_site(), CallSiteId(0));
+        assert_eq!(b.fresh_call_site(), CallSiteId(1));
+        let g = b.freeze();
+        assert_eq!(g.call_site_count(), 2);
+    }
+
+    #[test]
+    fn type_table_passthrough() {
+        let mut tt = TypeTable::new();
+        tt.add_type(TypeInfo {
+            name: "X".into(),
+            is_ref: true,
+            fields: Vec::new(),
+            supertype: None,
+        });
+        let b = PagBuilder::with_types(tt);
+        let g = b.freeze();
+        assert_eq!(g.types().len(), 1);
+        assert_eq!(g.types().get(TypeId(0)).name, "X");
+    }
+}

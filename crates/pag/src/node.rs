@@ -1,0 +1,104 @@
+//! PAG nodes: variables (local or global) and allocation-site objects.
+//!
+//! Mirrors the node syntax of the paper's Fig. 1:
+//! `n := v | o`, `v := l | g`.
+
+use crate::ids::{MethodId, TypeId};
+
+/// The kind of a PAG node.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// A local variable `l`, owned by a method.
+    Local {
+        /// The method the local belongs to.
+        method: MethodId,
+    },
+    /// A global variable `g` (a static field of some class). Globals are
+    /// analysed context-insensitively (Algorithm 1, line 9).
+    Global,
+    /// An abstract object `o` named by its allocation site.
+    Object {
+        /// The method containing the allocation site.
+        method: MethodId,
+    },
+}
+
+impl NodeKind {
+    /// Whether the node is a variable (local or global), as opposed to an
+    /// object.
+    #[inline]
+    pub fn is_variable(self) -> bool {
+        !matches!(self, NodeKind::Object { .. })
+    }
+
+    /// Whether the node is an allocation-site object.
+    #[inline]
+    pub fn is_object(self) -> bool {
+        matches!(self, NodeKind::Object { .. })
+    }
+
+    /// Whether the node is a local variable.
+    #[inline]
+    pub fn is_local(self) -> bool {
+        matches!(self, NodeKind::Local { .. })
+    }
+
+    /// Whether the node is a global variable.
+    #[inline]
+    pub fn is_global(self) -> bool {
+        matches!(self, NodeKind::Global)
+    }
+
+    /// The owning method, if the node is method-scoped.
+    #[inline]
+    pub fn method(self) -> Option<MethodId> {
+        match self {
+            NodeKind::Local { method } | NodeKind::Object { method } => Some(method),
+            NodeKind::Global => None,
+        }
+    }
+}
+
+/// Per-node metadata stored by the [`crate::Pag`].
+#[derive(Clone, Debug)]
+pub struct NodeInfo {
+    /// What kind of node this is.
+    pub kind: NodeKind,
+    /// The static (declared) type of the variable, or the concrete type of
+    /// the object. Used by query scheduling to estimate dependence depths.
+    pub ty: TypeId,
+    /// Human-readable name (e.g. `v1@main` or `o@Vector.<init>:6`), used in
+    /// reports and DOT dumps only.
+    pub name: String,
+    /// Whether the node belongs to application code (as opposed to library
+    /// code). The paper issues queries for all application-code locals.
+    pub is_application: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_predicates() {
+        let l = NodeKind::Local { method: MethodId(0) };
+        let g = NodeKind::Global;
+        let o = NodeKind::Object { method: MethodId(1) };
+        assert!(l.is_variable() && l.is_local() && !l.is_global() && !l.is_object());
+        assert!(g.is_variable() && g.is_global() && !g.is_local() && !g.is_object());
+        assert!(o.is_object() && !o.is_variable());
+    }
+
+    #[test]
+    fn owning_method() {
+        assert_eq!(
+            NodeKind::Local { method: MethodId(3) }.method(),
+            Some(MethodId(3))
+        );
+        assert_eq!(NodeKind::Global.method(), None);
+        assert_eq!(
+            NodeKind::Object { method: MethodId(5) }.method(),
+            Some(MethodId(5))
+        );
+    }
+}

@@ -1,0 +1,129 @@
+//! Property tests for the shared graph algorithms.
+
+use parcfl_pag::algo::{longest_path_through, tarjan_scc, UnionFind};
+use proptest::prelude::*;
+
+/// Random directed graph as an edge list over n vertices.
+fn graph(max_n: usize) -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
+    (2..max_n).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n, 0..n), 0..n * 3);
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every vertex is in exactly one component, and mutually reachable
+    /// vertices share a component (checked via simple reachability).
+    #[test]
+    fn scc_partitions_and_respects_mutual_reachability((n, edges) in graph(24)) {
+        let mut adj = vec![Vec::new(); n];
+        for &(u, v) in &edges {
+            adj[u].push(v);
+        }
+        let scc = tarjan_scc(n, |v| adj[v].iter().copied());
+        // Partition: component ids in range, members cover every vertex once.
+        let mut seen = vec![false; n];
+        for c in 0..scc.component_count() {
+            for v in scc.members_usize(c) {
+                prop_assert!(!seen[v], "vertex in two components");
+                seen[v] = true;
+                prop_assert_eq!(scc.component_of(v), c);
+            }
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+
+        // Reachability closure for the mutual-reachability check.
+        let reach = |from: usize| {
+            let mut vis = vec![false; n];
+            let mut stack = vec![from];
+            while let Some(v) = stack.pop() {
+                if std::mem::replace(&mut vis[v], true) { continue; }
+                stack.extend(adj[v].iter().copied());
+            }
+            vis
+        };
+        for u in 0..n.min(8) {
+            let ru = reach(u);
+            for (v, &ruv) in ru.iter().enumerate() {
+                if u == v { continue; }
+                let same = scc.component_of(u) == scc.component_of(v);
+                let mutual = ruv && reach(v)[u];
+                prop_assert_eq!(same, mutual, "u={} v={}", u, v);
+            }
+        }
+    }
+
+    /// Condensation order: an edge u→v across components implies v's
+    /// component id is smaller (reverse topological numbering).
+    #[test]
+    fn scc_component_numbering_is_reverse_topological((n, edges) in graph(24)) {
+        let mut adj = vec![Vec::new(); n];
+        for &(u, v) in &edges {
+            adj[u].push(v);
+        }
+        let scc = tarjan_scc(n, |v| adj[v].iter().copied());
+        for &(u, v) in &edges {
+            let (cu, cv) = (scc.component_of(u), scc.component_of(v));
+            if cu != cv {
+                prop_assert!(cv < cu, "edge {}→{} but comps {} !> {}", u, v, cu, cv);
+            }
+        }
+    }
+
+    /// Longest-path-through on the condensation DAG: result at each vertex
+    /// is at least the length of any single condensation edge chain we can
+    /// greedily build through it (sanity lower bound = per-edge ≥ 1 where
+    /// edges exist), and zero for isolated vertices.
+    #[test]
+    fn longest_path_bounds((n, edges) in graph(20)) {
+        let mut adj = vec![Vec::new(); n];
+        for &(u, v) in &edges {
+            adj[u].push(v);
+        }
+        let scc = tarjan_scc(n, |v| adj[v].iter().copied());
+        let m = scc.component_count();
+        let mut cedges: Vec<(u32, u32)> = edges
+            .iter()
+            .map(|&(u, v)| (scc.component_of(u) as u32, scc.component_of(v) as u32))
+            .filter(|(a, b)| a != b)
+            .collect();
+        cedges.sort_unstable();
+        cedges.dedup();
+        let lp = longest_path_through(m, &cedges);
+        prop_assert!(lp.len() == m);
+        for &(a, b) in &cedges {
+            prop_assert!(lp[a as usize] >= 1);
+            prop_assert!(lp[b as usize] >= 1);
+        }
+        prop_assert!(lp.iter().all(|&l| l < m as u64), "path length bounded by vertices");
+    }
+
+    /// Union-find agrees with connectivity of the undirected edge set.
+    #[test]
+    fn union_find_matches_connectivity((n, edges) in graph(24)) {
+        let mut uf = UnionFind::new(n);
+        let mut adj = vec![Vec::new(); n];
+        for &(u, v) in &edges {
+            uf.union(u, v);
+            adj[u].push(v);
+            adj[v].push(u);
+        }
+        let reach = |from: usize| {
+            let mut vis = vec![false; n];
+            let mut stack = vec![from];
+            while let Some(v) = stack.pop() {
+                if std::mem::replace(&mut vis[v], true) { continue; }
+                stack.extend(adj[v].iter().copied());
+            }
+            vis
+        };
+        for u in 0..n.min(6) {
+            let r = reach(u);
+            for (v, &rv) in r.iter().enumerate() {
+                prop_assert_eq!(uf.same(u, v), rv);
+            }
+        }
+    }
+}

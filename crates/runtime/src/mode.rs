@@ -1,0 +1,123 @@
+//! Run configuration: parallelisation strategy × execution backend.
+
+use parcfl_core::SolverConfig;
+
+/// The paper's three parallelisation strategies (Section III / IV-C).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// `ParCFL_naive`: shared work list only, no sharing, no scheduling.
+    Naive,
+    /// `ParCFL_D`: naive + the data-sharing scheme (Algorithm 2).
+    DataSharing,
+    /// `ParCFL_DQ`: data sharing + query scheduling (Section III-C).
+    DataSharingSched,
+}
+
+impl Mode {
+    /// Whether the jmp store is active in this mode.
+    pub fn shares_data(self) -> bool {
+        !matches!(self, Mode::Naive)
+    }
+
+    /// Whether the DQ schedule is used (vs. input order, one query per
+    /// fetch).
+    pub fn schedules_queries(self) -> bool {
+        matches!(self, Mode::DataSharingSched)
+    }
+
+    /// Display label matching the paper's notation.
+    pub fn label(self) -> &'static str {
+        match self {
+            Mode::Naive => "naive",
+            Mode::DataSharing => "D",
+            Mode::DataSharingSched => "DQ",
+        }
+    }
+}
+
+/// How the parallel run executes.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// Real OS threads (correct anywhere; speedups require real cores).
+    Threaded,
+    /// Deterministic discrete-event simulation in traversal-step virtual
+    /// time — the substitution for the paper's 16-core machine (see
+    /// DESIGN.md). Jmp-store visibility is gated by virtual timestamps.
+    Simulated,
+}
+
+/// A complete parallel-run configuration.
+#[derive(Clone, Debug)]
+pub struct RunConfig {
+    /// Strategy.
+    pub mode: Mode,
+    /// Worker-thread count `t` (real or simulated).
+    pub threads: usize,
+    /// Execution backend.
+    pub backend: Backend,
+    /// Base solver configuration; its `data_sharing` flag is overridden by
+    /// the mode.
+    pub solver: SolverConfig,
+    /// Simulated cost (in steps) of one shared-work-list fetch — the
+    /// locking overhead of Section III-A. Small by design; the paper found
+    /// it negligible at query granularity.
+    pub fetch_cost: u64,
+    /// Overrides the DQ schedule's group-size cap (None = the default
+    /// thread-aware cap). Used by ablation experiments to separate the
+    /// effect of *ordering* (cap = 1) from *grouping*.
+    pub group_cap: Option<usize>,
+}
+
+impl RunConfig {
+    /// A configuration with paper defaults.
+    pub fn new(mode: Mode, threads: usize, backend: Backend) -> Self {
+        RunConfig {
+            mode,
+            threads,
+            backend,
+            solver: SolverConfig::default(),
+            fetch_cost: 1,
+            group_cap: None,
+        }
+    }
+
+    /// Overrides the solver configuration.
+    pub fn with_solver(mut self, solver: SolverConfig) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// The solver configuration this run will actually use (mode applied).
+    pub fn effective_solver(&self) -> SolverConfig {
+        let mut s = self.solver.clone();
+        s.data_sharing = self.mode.shares_data();
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_properties() {
+        assert!(!Mode::Naive.shares_data());
+        assert!(Mode::DataSharing.shares_data());
+        assert!(Mode::DataSharingSched.shares_data());
+        assert!(!Mode::Naive.schedules_queries());
+        assert!(!Mode::DataSharing.schedules_queries());
+        assert!(Mode::DataSharingSched.schedules_queries());
+        assert_eq!(Mode::Naive.label(), "naive");
+        assert_eq!(Mode::DataSharing.label(), "D");
+        assert_eq!(Mode::DataSharingSched.label(), "DQ");
+    }
+
+    #[test]
+    fn effective_solver_applies_mode() {
+        let cfg = RunConfig::new(Mode::Naive, 4, Backend::Simulated)
+            .with_solver(SolverConfig::default().with_data_sharing());
+        assert!(!cfg.effective_solver().data_sharing, "mode wins");
+        let cfg = RunConfig::new(Mode::DataSharing, 4, Backend::Simulated);
+        assert!(cfg.effective_solver().data_sharing);
+    }
+}

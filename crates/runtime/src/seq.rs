@@ -1,0 +1,61 @@
+//! `SeqCFL` — the sequential baseline: Algorithm 1 (no sharing, no
+//! scheduling), queries processed in input order.
+
+use crate::stats::{RunResult, RunStats};
+use parcfl_core::{NoJmpStore, Solver, SolverConfig};
+use parcfl_pag::{NodeId, Pag};
+
+/// Runs every query sequentially with data sharing disabled.
+pub fn run_seq(pag: &Pag, queries: &[NodeId], solver_cfg: &SolverConfig) -> RunResult {
+    let mut cfg = solver_cfg.clone();
+    cfg.data_sharing = false;
+    let store = NoJmpStore;
+    let solver = Solver::new(pag, &cfg, &store);
+
+    let start = std::time::Instant::now();
+    let mut stats = RunStats::default();
+    let mut answers = Vec::with_capacity(queries.len());
+    for &q in queries {
+        let out = solver.points_to_query(q, 0);
+        stats.absorb(&out.stats, &out.answer);
+        answers.push((q, out.answer));
+    }
+    stats.wall = start.elapsed();
+    // Sequential virtual time is simply the total traversed work.
+    stats.makespan = stats.traversed_steps;
+    stats.avg_group_size = 1.0;
+    RunResult { answers, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parcfl_frontend::build_pag;
+
+    #[test]
+    fn seq_answers_every_query() {
+        let src = "class Obj { }
+                   class A { method m() {
+                     var a: Obj; var b: Obj;
+                     a = new Obj; b = a;
+                   } }";
+        let pag = build_pag(src).unwrap().pag;
+        let queries = pag.application_locals();
+        let r = run_seq(&pag, &queries, &SolverConfig::default());
+        assert_eq!(r.stats.queries, queries.len());
+        assert_eq!(r.stats.completed, queries.len());
+        assert_eq!(r.answers.len(), queries.len());
+        assert_eq!(r.stats.makespan, r.stats.traversed_steps);
+        assert!(r.stats.steps_saved == 0, "no sharing in SeqCFL");
+    }
+
+    #[test]
+    fn seq_force_disables_sharing() {
+        let src = "class Obj { }
+                   class A { method m() { var a: Obj; a = new Obj; } }";
+        let pag = build_pag(src).unwrap().pag;
+        let cfg = SolverConfig::default().with_data_sharing();
+        let r = run_seq(&pag, &pag.application_locals(), &cfg);
+        assert_eq!(r.stats.shortcuts_taken, 0);
+    }
+}

@@ -1,0 +1,262 @@
+//! The deterministic virtual-time backend — the substitution for the
+//! paper's 16-core Xeon (this container has one core; see DESIGN.md).
+//!
+//! A discrete-event simulation of `t` worker threads. Cost is measured in
+//! *traversal steps*, the unit the paper itself uses for all of its
+//! analysis-side statistics (`#S`, the budget `B`, every `jmp(s)` label).
+//! Each simulated thread carries a virtual clock; the scheduler always
+//! advances the thread with the smallest clock, which fetches the next
+//! query group from the shared (FIFO) work list, pays a small `fetch_cost`
+//! for the lock, and runs the group's queries. A query starting at virtual
+//! time `v` advances the clock by its *traversed* steps (shortcut-charged
+//! steps are budget accounting, not work).
+//!
+//! Data-sharing visibility is modelled faithfully: every jmp entry is
+//! timestamped with the virtual instant of its creation, and a lookup at
+//! virtual time `now` only observes entries with `created_at <= now` —
+//! exactly the information a truly concurrent thread could have seen.
+//! Because groups are dispatched in increasing start-time order, the
+//! simulation is conservative: it can only under-count sharing relative to
+//! a real interleaving, never invent it (a publication from a query that
+//! *starts* later in virtual time but would have overlapped is missed).
+//!
+//! The resulting makespan (maximum final clock) is the parallel "runtime";
+//! speedups over `SeqCFL` are ratios of virtual times. Superlinear
+//! speedups emerge exactly as in the paper: data sharing removes redundant
+//! traversals, so total work shrinks below the sequential total.
+
+use crate::mode::RunConfig;
+use crate::schedule_with_cap;
+use crate::stats::{RunResult, RunStats};
+use parcfl_core::{JmpStore, SharedJmpStore, Solver};
+use parcfl_pag::{NodeId, Pag};
+
+/// Runs the configured analysis under the virtual-time simulator.
+pub fn run_simulated(pag: &Pag, queries: &[NodeId], cfg: &RunConfig) -> RunResult {
+    run_simulated_with_store(pag, queries, cfg).0
+}
+
+/// Snapshot of the jmp store left behind by a simulated run (Fig. 7 needs
+/// the histogram, so the store must outlive the run).
+///
+/// Always executes on the virtual-time simulator regardless of
+/// `cfg.backend` — the threaded backend has no store-snapshot path; use
+/// [`crate::run`] when backend dispatch is wanted.
+pub fn run_simulated_with_store(
+    pag: &Pag,
+    queries: &[NodeId],
+    cfg: &RunConfig,
+) -> (RunResult, SharedJmpStore) {
+    let solver_cfg = cfg.effective_solver();
+    let store = SharedJmpStore::timestamped();
+    let schedule = schedule_with_cap(pag, queries, cfg.mode, cfg.group_cap);
+    let start = std::time::Instant::now();
+    let t = cfg.threads.max(1);
+    let mut clocks: Vec<u64> = vec![0; t];
+    let mut next_group = 0usize;
+    let mut stats = RunStats::default();
+    let mut answers = Vec::with_capacity(queries.len());
+    let mut makespan = 0u64;
+    {
+        let solver = Solver::new(pag, &solver_cfg, &store);
+        while next_group < schedule.groups.len() {
+            let tid = (0..t).min_by_key(|&i| (clocks[i], i)).unwrap();
+            let group = &schedule.groups[next_group];
+            next_group += 1;
+            let mut v = clocks[tid] + cfg.fetch_cost;
+            for &q in group {
+                let out = solver.points_to_query(q, v);
+                v += out.stats.traversed_steps;
+                stats.absorb(&out.stats, &out.answer);
+                answers.push((q, out.answer));
+            }
+            clocks[tid] = v;
+            makespan = makespan.max(v);
+        }
+    }
+    stats.wall = start.elapsed();
+    stats.makespan = makespan;
+    stats.jmp_edges = store.stats().total_edges();
+    stats.jmp_bytes = store.approx_bytes();
+    stats.avg_group_size = schedule.avg_group_size;
+    (RunResult { answers, stats }, store)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mode::{Backend, Mode};
+    use crate::seq::run_seq;
+    use parcfl_core::SolverConfig;
+    use parcfl_frontend::build_pag;
+
+    const SRC: &str = "class Obj { }
+        class Box { field f: Obj; }
+        class A {
+          method mk(): Box {
+            var b: Box; var v: Obj;
+            b = new Box;
+            v = new Obj;
+            b.f = v;
+            return b;
+          }
+          method m() {
+            var p: Box; var q: Box; var x1: Obj; var x2: Obj; var x3: Obj;
+            p = call this.mk();
+            q = call this.mk();
+            x1 = p.f;
+            x2 = x1;
+            x3 = x2;
+          }
+        }";
+
+    fn cfg(mode: Mode, threads: usize) -> RunConfig {
+        let mut c = RunConfig::new(mode, threads, Backend::Simulated);
+        c.solver = SolverConfig::default().without_tau_thresholds();
+        c
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let pag = build_pag(SRC).unwrap().pag;
+        let queries = pag.application_locals();
+        let a = run_simulated(&pag, &queries, &cfg(Mode::DataSharingSched, 4));
+        let b = run_simulated(&pag, &queries, &cfg(Mode::DataSharingSched, 4));
+        assert_eq!(a.sorted_answers(), b.sorted_answers());
+        assert_eq!(a.stats.makespan, b.stats.makespan);
+        assert_eq!(a.stats.traversed_steps, b.stats.traversed_steps);
+        assert_eq!(a.stats.jmp_edges, b.stats.jmp_edges);
+    }
+
+    #[test]
+    fn answers_match_sequential_in_all_modes() {
+        let pag = build_pag(SRC).unwrap().pag;
+        let queries = pag.application_locals();
+        let seq = run_seq(&pag, &queries, &SolverConfig::default());
+        for mode in [Mode::Naive, Mode::DataSharing, Mode::DataSharingSched] {
+            for threads in [1, 2, 16] {
+                let r = run_simulated(&pag, &queries, &cfg(mode, threads));
+                assert_eq!(
+                    r.sorted_answers(),
+                    seq.sorted_answers(),
+                    "{mode:?} x{threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn one_thread_naive_equals_seq_work() {
+        // PARCFL(1, naive) must be as efficient as SeqCFL apart from the
+        // fetch overhead (paper Section IV-D1).
+        let pag = build_pag(SRC).unwrap().pag;
+        let queries = pag.application_locals();
+        let seq = run_seq(&pag, &queries, &SolverConfig::default());
+        let naive1 = run_simulated(&pag, &queries, &cfg(Mode::Naive, 1));
+        assert_eq!(naive1.stats.traversed_steps, seq.stats.traversed_steps);
+        let fetch_overhead = queries.len() as u64; // one fetch per query
+        assert_eq!(naive1.stats.makespan, seq.stats.makespan + fetch_overhead);
+    }
+
+    #[test]
+    fn more_threads_never_increase_virtual_makespan_naive() {
+        // Without sharing, queries are independent: makespan decreases (or
+        // stays) as threads grow.
+        let pag = build_pag(SRC).unwrap().pag;
+        let queries = pag.application_locals();
+        let m1 = run_simulated(&pag, &queries, &cfg(Mode::Naive, 1)).stats.makespan;
+        let m4 = run_simulated(&pag, &queries, &cfg(Mode::Naive, 4)).stats.makespan;
+        assert!(m4 <= m1, "makespan {m4} vs {m1}");
+    }
+
+    #[test]
+    fn data_sharing_reduces_total_work() {
+        let pag = build_pag(SRC).unwrap().pag;
+        let queries = pag.application_locals();
+        let naive = run_simulated(&pag, &queries, &cfg(Mode::Naive, 1));
+        let shared = run_simulated(&pag, &queries, &cfg(Mode::DataSharing, 1));
+        assert!(
+            shared.stats.traversed_steps < naive.stats.traversed_steps,
+            "sharing {} vs naive {}",
+            shared.stats.traversed_steps,
+            naive.stats.traversed_steps
+        );
+        assert!(shared.stats.steps_saved > 0);
+        assert!(shared.stats.shortcuts_taken > 0);
+    }
+
+    #[test]
+    fn store_snapshot_exposes_histogram() {
+        let pag = build_pag(SRC).unwrap().pag;
+        let queries = pag.application_locals();
+        let (r, store) = run_simulated_with_store(&pag, &queries, &cfg(Mode::DataSharing, 2));
+        let h = parcfl_core::JmpHistogram::of(&store);
+        assert_eq!(
+            h.finished_total() + h.unfinished_total(),
+            r.stats.jmp_edges as u64
+        );
+    }
+}
+
+#[cfg(test)]
+mod edge_case_tests {
+    use crate::mode::{Backend, Mode, RunConfig};
+    use crate::sim::run_simulated;
+    use parcfl_frontend::build_pag;
+
+    #[test]
+    fn empty_query_set() {
+        let pag = build_pag("class A { }").unwrap().pag;
+        let r = run_simulated(&pag, &[], &RunConfig::new(Mode::DataSharingSched, 4, Backend::Simulated));
+        assert_eq!(r.stats.queries, 0);
+        assert_eq!(r.stats.makespan, 0);
+        assert!(r.answers.is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_queries() {
+        let pag = build_pag(
+            "class Obj { } class A { method m() { var a: Obj; a = new Obj; } }",
+        )
+        .unwrap()
+        .pag;
+        let qs = pag.application_locals();
+        let r = run_simulated(&pag, &qs, &RunConfig::new(Mode::Naive, 64, Backend::Simulated));
+        assert_eq!(r.stats.queries, qs.len());
+        // Makespan = the single most expensive query + one fetch.
+        assert!(r.stats.makespan <= r.stats.traversed_steps + qs.len() as u64);
+    }
+
+    #[test]
+    fn fetch_cost_adds_to_makespan() {
+        let pag = build_pag(
+            "class Obj { } class A { method m() { var a: Obj; var b: Obj; a = new Obj; b = a; } }",
+        )
+        .unwrap()
+        .pag;
+        let qs = pag.application_locals();
+        let mut cheap = RunConfig::new(Mode::Naive, 1, Backend::Simulated);
+        cheap.fetch_cost = 1;
+        let mut pricey = cheap.clone();
+        pricey.fetch_cost = 100;
+        let a = run_simulated(&pag, &qs, &cheap);
+        let b = run_simulated(&pag, &qs, &pricey);
+        assert_eq!(
+            b.stats.makespan - a.stats.makespan,
+            99 * qs.len() as u64,
+            "fetch overhead is per dispatch unit"
+        );
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let pag = build_pag(
+            "class Obj { } class A { method m() { var a: Obj; a = new Obj; } }",
+        )
+        .unwrap()
+        .pag;
+        let qs = pag.application_locals();
+        let r = run_simulated(&pag, &qs, &RunConfig::new(Mode::Naive, 0, Backend::Simulated));
+        assert_eq!(r.stats.queries, qs.len());
+    }
+}

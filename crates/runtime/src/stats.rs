@@ -1,0 +1,161 @@
+//! Aggregate run statistics — the raw material of Table I, Fig. 6 and
+//! Fig. 8.
+
+use parcfl_core::{Answer, QueryStats};
+use parcfl_pag::NodeId;
+
+/// Aggregated statistics of one analysis run (sequential or parallel).
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// Queries issued.
+    pub queries: usize,
+    /// Queries answered within budget.
+    pub completed: usize,
+    /// Queries that ran out of budget.
+    pub out_of_budget: usize,
+    /// Early terminations (`#ETs`): out-of-budget verdicts reached through
+    /// an unfinished jmp edge.
+    pub early_terminations: usize,
+    /// Total steps charged against budgets.
+    pub charged_steps: u64,
+    /// Total steps actually traversed — `#S` when sharing is off; the
+    /// real-work measure wall-clock scales with.
+    pub traversed_steps: u64,
+    /// Total steps saved by finished shortcuts.
+    pub steps_saved: u64,
+    /// Finished shortcuts taken.
+    pub shortcuts_taken: u64,
+    /// jmp edges in the store at the end (`#Jumps`).
+    pub jmp_edges: usize,
+    /// Approximate bytes held by the jmp store.
+    pub jmp_bytes: usize,
+    /// Allocation-volume proxy summed over queries (Section IV-D5).
+    pub mem_items: u64,
+    /// Virtual-time makespan (simulated backend) — the parallel "runtime".
+    pub makespan: u64,
+    /// Wall-clock duration of the run.
+    pub wall: std::time::Duration,
+    /// Average group size of the schedule (`S_g`; 1.0 when unscheduled).
+    pub avg_group_size: f64,
+}
+
+impl RunStats {
+    /// Folds one query's stats in.
+    pub fn absorb(&mut self, qs: &QueryStats, answer: &Answer) {
+        self.queries += 1;
+        match answer {
+            Answer::Complete(_) => self.completed += 1,
+            Answer::OutOfBudget => self.out_of_budget += 1,
+        }
+        if qs.early_terminated {
+            self.early_terminations += 1;
+        }
+        self.charged_steps += qs.charged_steps;
+        self.traversed_steps += qs.traversed_steps;
+        self.steps_saved += qs.steps_saved;
+        self.shortcuts_taken += qs.shortcuts_taken;
+        self.mem_items += qs.mem_items;
+    }
+
+    /// Merges another accumulator (per-thread partials).
+    pub fn merge(&mut self, other: &RunStats) {
+        self.queries += other.queries;
+        self.completed += other.completed;
+        self.out_of_budget += other.out_of_budget;
+        self.early_terminations += other.early_terminations;
+        self.charged_steps += other.charged_steps;
+        self.traversed_steps += other.traversed_steps;
+        self.steps_saved += other.steps_saved;
+        self.shortcuts_taken += other.shortcuts_taken;
+        self.mem_items += other.mem_items;
+    }
+
+    /// `R_S` (Table I): steps saved per step traversed.
+    pub fn rs_ratio(&self) -> f64 {
+        if self.traversed_steps == 0 {
+            0.0
+        } else {
+            self.steps_saved as f64 / self.traversed_steps as f64
+        }
+    }
+}
+
+/// Everything a run produces: per-query answers plus the aggregate.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// `(query variable, answer)` in completion order.
+    pub answers: Vec<(NodeId, Answer)>,
+    /// Aggregate statistics.
+    pub stats: RunStats,
+}
+
+impl RunResult {
+    /// Answers sorted by query node for cross-run comparison.
+    pub fn sorted_answers(&self) -> Vec<(NodeId, Answer)> {
+        let mut v = self.answers.clone();
+        v.sort_by_key(|(n, _)| *n);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn qs(charged: u64, traversed: u64, saved: u64, et: bool) -> QueryStats {
+        QueryStats {
+            charged_steps: charged,
+            traversed_steps: traversed,
+            steps_saved: saved,
+            early_terminated: et,
+            out_of_budget: et,
+            ..QueryStats::default()
+        }
+    }
+
+    #[test]
+    fn absorb_and_ratios() {
+        let mut r = RunStats::default();
+        r.absorb(&qs(10, 10, 0, false), &Answer::Complete(vec![]));
+        r.absorb(&qs(30, 10, 20, false), &Answer::Complete(vec![]));
+        r.absorb(&qs(5, 5, 0, true), &Answer::OutOfBudget);
+        assert_eq!(r.queries, 3);
+        assert_eq!(r.completed, 2);
+        assert_eq!(r.out_of_budget, 1);
+        assert_eq!(r.early_terminations, 1);
+        assert_eq!(r.charged_steps, 45);
+        assert_eq!(r.traversed_steps, 25);
+        assert!((r.rs_ratio() - 20.0 / 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let mut a = RunStats::default();
+        a.absorb(&qs(10, 10, 0, false), &Answer::Complete(vec![]));
+        let mut b = RunStats::default();
+        b.absorb(&qs(7, 7, 0, true), &Answer::OutOfBudget);
+        a.merge(&b);
+        assert_eq!(a.queries, 2);
+        assert_eq!(a.charged_steps, 17);
+        assert_eq!(a.early_terminations, 1);
+    }
+
+    #[test]
+    fn rs_ratio_empty_run_is_zero() {
+        assert_eq!(RunStats::default().rs_ratio(), 0.0);
+    }
+
+    #[test]
+    fn sorted_answers_orders_by_node() {
+        let r = RunResult {
+            answers: vec![
+                (NodeId::new(5), Answer::OutOfBudget),
+                (NodeId::new(1), Answer::Complete(vec![])),
+            ],
+            stats: RunStats::default(),
+        };
+        let s = r.sorted_answers();
+        assert_eq!(s[0].0, NodeId::new(1));
+        assert_eq!(s[1].0, NodeId::new(5));
+    }
+}

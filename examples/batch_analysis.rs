@@ -1,0 +1,70 @@
+//! Batch-mode analysis — the paper's deployment scenario: a client
+//! requests points-to information for *all* locals of the application code
+//! at once, and the parallel runtime answers them with data sharing and
+//! query scheduling.
+//!
+//! Generates a Table I-shaped synthetic benchmark, runs `SeqCFL` and
+//! `ParCFL` in its three configurations, and prints the speedup breakdown.
+//!
+//! ```sh
+//! cargo run --release --example batch_analysis [benchmark-name]
+//! ```
+
+use parcfl::runtime::{run_seq, run_simulated, Backend, Mode, RunConfig};
+use parcfl::synth::{build_bench, table1_profiles};
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "_202_jess".into());
+    let profile = table1_profiles()
+        .into_iter()
+        .find(|p| p.name == name)
+        .unwrap_or_else(|| {
+            eprintln!("unknown benchmark `{name}`; available:");
+            for p in table1_profiles() {
+                eprintln!("  {}", p.name);
+            }
+            std::process::exit(1);
+        });
+
+    println!("benchmark {name}: generating and extracting...");
+    let b = build_bench(&profile);
+    println!(
+        "  PAG: {} nodes, {} edges; {} queries; budget B = {}",
+        b.raw_nodes,
+        b.raw_edges,
+        b.queries.len(),
+        b.solver.budget
+    );
+
+    let seq = run_seq(&b.pag, &b.queries, &b.solver);
+    println!(
+        "\nSeqCFL: {} steps traversed, {} queries answered, {} out of budget ({:?} wall)",
+        seq.stats.traversed_steps,
+        seq.stats.completed,
+        seq.stats.out_of_budget,
+        seq.stats.wall
+    );
+
+    for (label, mode, threads) in [
+        ("ParCFL(16, naive)", Mode::Naive, 16),
+        ("ParCFL(16, D)    ", Mode::DataSharing, 16),
+        ("ParCFL(16, DQ)   ", Mode::DataSharingSched, 16),
+    ] {
+        let mut cfg = RunConfig::new(mode, threads, Backend::Simulated);
+        cfg.solver = b.solver.clone();
+        let r = run_simulated(&b.pag, &b.queries, &cfg);
+        assert_eq!(r.stats.queries, b.queries.len());
+        println!(
+            "{label}: speedup {:>6.1}x | traversed {:>10} | saved {:>10} | jmps {:>6} | ETs {}",
+            seq.stats.makespan as f64 / r.stats.makespan as f64,
+            r.stats.traversed_steps,
+            r.stats.steps_saved,
+            r.stats.jmp_edges,
+            r.stats.early_terminations,
+        );
+    }
+    println!(
+        "\n(simulated 16-thread virtual time; see DESIGN.md for the \
+         single-core substitution argument)"
+    );
+}

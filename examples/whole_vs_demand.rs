@@ -1,0 +1,90 @@
+//! Whole-program vs demand-driven analysis — the motivation of the
+//! paper's introduction: "for many clients … the points-to information is
+//! needed on-demand only for some but not all variables".
+//!
+//! Runs Andersen's whole-program analysis (the algorithm every prior
+//! parallel pointer analysis in Table II implements) and the demand-driven
+//! CFL analysis on the same PAG, then compares (a) the cost profile as the
+//! number of queried variables grows and (b) precision on wrapper-heavy
+//! code, where context-sensitivity pays.
+//!
+//! ```sh
+//! cargo run --release --example whole_vs_demand
+//! ```
+
+use parcfl::andersen;
+use parcfl::core::{NoJmpStore, Solver};
+use parcfl::synth::{build_bench, table1_profiles};
+
+fn main() {
+    let profile = table1_profiles()
+        .into_iter()
+        .find(|p| p.name == "avrora")
+        .unwrap();
+    let b = build_bench(&profile);
+    println!(
+        "benchmark {}: {} nodes, {} edges, {} candidate queries",
+        b.name,
+        b.pag.node_count(),
+        b.pag.edge_count(),
+        b.queries.len()
+    );
+
+    // Whole-program: pays the full cost regardless of client interest.
+    let t0 = std::time::Instant::now();
+    let whole = andersen::analyze(&b.pag);
+    let whole_wall = t0.elapsed();
+    println!(
+        "\nAndersen (whole-program): {:?}, {} propagations, {} field slots",
+        whole_wall, whole.propagations, whole.field_slots
+    );
+
+    // Demand-driven: cost scales with the client's question count.
+    let store = NoJmpStore;
+    let solver = Solver::new(&b.pag, &b.solver, &store);
+    println!("\nCFL-reachability (demand-driven):");
+    for k in [1usize, 5, 25, 125] {
+        let t = std::time::Instant::now();
+        let mut answered = 0;
+        for &q in b.queries.iter().take(k) {
+            if solver.points_to_query(q, 0).answer.complete().is_some() {
+                answered += 1;
+            }
+        }
+        println!(
+            "  {k:>4} queries: {:?} ({answered} answered within budget)",
+            t.elapsed()
+        );
+    }
+
+    // Precision: count variables where the context-sensitive demand answer
+    // is strictly smaller than Andersen's.
+    let mut refined = 0;
+    let mut equal = 0;
+    let mut sampled = 0;
+    for &q in b.queries.iter().take(300) {
+        let Some(cfl) = solver.points_to_query(q, 0).answer.nodes() else {
+            continue;
+        };
+        sampled += 1;
+        let a = whole.pts_of(q);
+        if cfl.len() < a.len() {
+            refined += 1;
+        } else {
+            equal += 1;
+        }
+        // Soundness cross-check while we're here.
+        for o in &cfl {
+            assert!(a.contains(o), "CFL answer must be within Andersen's");
+        }
+    }
+    println!(
+        "\nprecision on {sampled} sampled variables: {refined} strictly \
+         refined by context-sensitivity, {equal} equal"
+    );
+    println!(
+        "takeaway: demand-driven answers arrive in microseconds per query \
+         and are at least as precise; whole-program analysis only wins when \
+         the client truly needs every variable."
+    );
+}

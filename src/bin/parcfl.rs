@@ -1,0 +1,312 @@
+//! The `parcfl` command-line tool: analyse `.mj` programs from the shell.
+//!
+//! ```text
+//! parcfl query <file.mj> [--var NAME]... [--budget N] [--insensitive]
+//! parcfl alias <file.mj> --var A --var B [--budget N]
+//! parcfl stats <file.mj>
+//! parcfl dot   <file.mj>
+//! parcfl bench <benchmark-name> [--threads N] [--mode naive|d|dq]
+//! ```
+
+use parcfl::core::{NoJmpStore, Solver, SolverConfig};
+use parcfl::frontend::build_pag;
+use parcfl::pag::Pag;
+use parcfl::runtime::{run_seq, run_simulated, Backend, Mode, RunConfig};
+use std::io::Write;
+use std::process::exit;
+
+/// Prints a line to stdout, exiting quietly when the downstream pipe has
+/// been closed (e.g. `parcfl query … | head`): EPIPE is a normal way for a
+/// consumer to say "enough", not a crash.
+fn out(line: std::fmt::Arguments<'_>) {
+    let mut stdout = std::io::stdout().lock();
+    if writeln!(stdout, "{line}").is_err() {
+        exit(0);
+    }
+}
+
+macro_rules! outln {
+    ($($arg:tt)*) => { out(format_args!($($arg)*)) };
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        usage();
+        exit(2);
+    };
+    match cmd.as_str() {
+        "query" => cmd_query(&args[1..]),
+        "alias" => cmd_alias(&args[1..]),
+        "stats" => cmd_stats(&args[1..]),
+        "dot" => cmd_dot(&args[1..]),
+        "bench" => cmd_bench(&args[1..]),
+        "gen" => cmd_gen(&args[1..]),
+        "why" => cmd_why(&args[1..]),
+        "--help" | "-h" | "help" => usage(),
+        other => {
+            eprintln!("unknown command `{other}`");
+            usage();
+            exit(2);
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "parcfl — demand-driven CFL-reachability pointer analysis
+
+USAGE:
+  parcfl query <file.mj> [--var NAME]... [--budget N] [--insensitive]
+      Print points-to sets (all application locals, or the named variables;
+      names match the `local@Class.method` form, or any suffix of it).
+  parcfl alias <file.mj> --var A --var B [--budget N]
+      May-alias verdict for two variables.
+  parcfl stats <file.mj>
+      PAG statistics after extraction and cycle collapsing.
+  parcfl dot <file.mj>
+      Graphviz DOT of the PAG on stdout.
+  parcfl bench <name> [--threads N] [--mode naive|d|dq]
+      Run one Table-I benchmark and report the speedup over SeqCFL.
+  parcfl gen <name>
+      Print a Table-I benchmark's generated mini-Java source on stdout
+      (feed it back through `parcfl query`/`stats`/`dot`).
+  parcfl why <file.mj> --var NAME [--budget N]
+      Explain each object in NAME's points-to set with a witness path."
+    );
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn flag_values(args: &[String], flag: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == flag {
+            if let Some(v) = args.get(i + 1) {
+                out.push(v.clone());
+                i += 1;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+fn load(args: &[String]) -> (Pag, Vec<parcfl::pag::NodeId>) {
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        eprintln!("expected a .mj file path");
+        exit(2);
+    };
+    let src = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(1);
+    });
+    // The CLI analyses the *uncollapsed* graph: assign-cycle collapsing is
+    // a batch-mode optimisation that renames merged variables, which would
+    // make `--var` lookups fail for non-representative members. Queries on
+    // the original graph are equally precise.
+    let e = build_pag(&src).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        exit(1);
+    });
+    let queries = e.pag.application_locals();
+    (e.pag, queries)
+}
+
+fn solver_config(args: &[String]) -> SolverConfig {
+    let mut cfg = SolverConfig::default();
+    if let Some(b) = flag_value(args, "--budget") {
+        cfg.budget = b.parse().unwrap_or_else(|_| {
+            eprintln!("--budget expects an integer");
+            exit(2);
+        });
+    }
+    if args.iter().any(|a| a == "--insensitive") {
+        cfg.context_sensitive = false;
+    }
+    cfg
+}
+
+fn resolve(pag: &Pag, name: &str) -> parcfl::pag::NodeId {
+    // Exact match first, then unique suffix match.
+    if let Some(n) = pag.node_by_name(name) {
+        return n;
+    }
+    let matches: Vec<_> = pag
+        .node_ids()
+        .filter(|&n| {
+            let full = &pag.node(n).name;
+            full.ends_with(name) || full.starts_with(&format!("{name}@"))
+        })
+        .collect();
+    match matches.as_slice() {
+        [one] => *one,
+        [] => {
+            eprintln!("no variable matches `{name}`");
+            exit(1);
+        }
+        many => {
+            eprintln!("`{name}` is ambiguous:");
+            for &m in many {
+                eprintln!("  {}", pag.node(m).name);
+            }
+            exit(1);
+        }
+    }
+}
+
+fn cmd_query(args: &[String]) {
+    let (pag, all) = load(args);
+    let cfg = solver_config(args);
+    let store = NoJmpStore;
+    let solver = Solver::new(&pag, &cfg, &store);
+    let wanted = flag_values(args, "--var");
+    let targets: Vec<_> = if wanted.is_empty() {
+        all
+    } else {
+        wanted.iter().map(|w| resolve(&pag, w)).collect()
+    };
+    for v in targets {
+        let out = solver.points_to_query(v, 0);
+        match out.answer.nodes() {
+            Some(objs) => {
+                let names: Vec<_> = objs.iter().map(|&o| pag.node(o).name.clone()).collect();
+                outln!(
+                    "{:<32} -> {{{}}} ({} steps)",
+                    pag.node(v).name,
+                    names.join(", "),
+                    out.stats.traversed_steps
+                );
+            }
+            None => outln!("{:<32} -> out of budget", pag.node(v).name),
+        }
+    }
+}
+
+fn cmd_alias(args: &[String]) {
+    let (pag, _) = load(args);
+    let cfg = solver_config(args);
+    let vars = flag_values(args, "--var");
+    if vars.len() != 2 {
+        eprintln!("alias requires exactly two --var arguments");
+        exit(2);
+    }
+    let store = NoJmpStore;
+    let c = parcfl::clients::client(&pag, &cfg, &store);
+    let a = resolve(&pag, &vars[0]);
+    let b = resolve(&pag, &vars[1]);
+    outln!(
+        "{} ~ {} : {:?}",
+        pag.node(a).name,
+        pag.node(b).name,
+        c.may_alias(a, b)
+    );
+}
+
+fn cmd_stats(args: &[String]) {
+    let (pag, queries) = load(args);
+    outln!("{}", parcfl::pag::stats::PagStats::of(&pag));
+    outln!("application-code query candidates: {}", queries.len());
+}
+
+fn cmd_dot(args: &[String]) {
+    let (pag, _) = load(args);
+    let _ = std::io::stdout().lock().write_all(parcfl::pag::dot::to_dot(&pag).as_bytes());
+}
+
+fn cmd_gen(args: &[String]) {
+    let Some(name) = args.first() else {
+        eprintln!("expected a benchmark name");
+        exit(2);
+    };
+    let Some(profile) = parcfl::synth::table1_profiles()
+        .into_iter()
+        .find(|p| &p.name == name)
+    else {
+        eprintln!("unknown benchmark `{name}`");
+        exit(1);
+    };
+    let program = parcfl::synth::generate(&profile);
+    let _ = std::io::stdout()
+        .lock()
+        .write_all(parcfl::frontend::pretty::pretty(&program).as_bytes());
+}
+
+fn cmd_why(args: &[String]) {
+    let (pag, _) = load(args);
+    let cfg = solver_config(args);
+    let vars = flag_values(args, "--var");
+    let [name] = vars.as_slice() else {
+        eprintln!("why requires exactly one --var argument");
+        exit(2);
+    };
+    let v = resolve(&pag, name);
+    let store = NoJmpStore;
+    let solver = Solver::new(&pag, &cfg, &store);
+    let (out, trace) = solver.traced_points_to_query(v, 0);
+    match out.answer.complete() {
+        None => outln!("{}: out of budget", pag.node(v).name),
+        Some([]) => {
+            outln!("{}: points to nothing", pag.node(v).name)
+        }
+        Some(objs) => {
+            for (o, c) in objs {
+                outln!("--- {} may point to {} ---", pag.node(v).name, pag.node(*o).name);
+                match trace.witness(*o, c) {
+                    Some(w) => outln!("{}", w.render(&pag)),
+                    None => outln!("(no witness recorded)"),
+                }
+            }
+        }
+    }
+}
+
+fn cmd_bench(args: &[String]) {
+    let Some(name) = args.first().filter(|a| !a.starts_with("--")) else {
+        eprintln!("expected a benchmark name; one of:");
+        for p in parcfl::synth::table1_profiles() {
+            eprintln!("  {}", p.name);
+        }
+        exit(2);
+    };
+    let Some(profile) = parcfl::synth::table1_profiles()
+        .into_iter()
+        .find(|p| &p.name == name)
+    else {
+        eprintln!("unknown benchmark `{name}`");
+        exit(1);
+    };
+    let threads: usize = flag_value(args, "--threads")
+        .map(|t| t.parse().expect("--threads expects an integer"))
+        .unwrap_or(16);
+    let mode = match flag_value(args, "--mode").as_deref() {
+        None | Some("dq") => Mode::DataSharingSched,
+        Some("d") => Mode::DataSharing,
+        Some("naive") => Mode::Naive,
+        Some(other) => {
+            eprintln!("unknown mode `{other}` (naive|d|dq)");
+            exit(2);
+        }
+    };
+    let b = parcfl::synth::build_bench(&profile);
+    let seq = run_seq(&b.pag, &b.queries, &b.solver);
+    let mut cfg = RunConfig::new(mode, threads, Backend::Simulated);
+    cfg.solver = b.solver.clone();
+    let par = run_simulated(&b.pag, &b.queries, &cfg);
+    outln!(
+        "{name}: {} queries; SeqCFL {} steps; ParCFL({threads}, {}) speedup {:.1}x \
+         (jmps {}, ETs {}, wall {:?})",
+        b.queries.len(),
+        seq.stats.makespan,
+        mode.label(),
+        seq.stats.makespan as f64 / par.stats.makespan as f64,
+        par.stats.jmp_edges,
+        par.stats.early_terminations,
+        par.stats.wall
+    );
+}

@@ -1,0 +1,117 @@
+//! Cross-mode equivalence: the parallel strategies must never change what
+//! the analysis computes, only what it costs.
+//!
+//! With a budget high enough that no query aborts, every mode × backend ×
+//! thread-count combination must return exactly the same answers as the
+//! sequential baseline. (With tight budgets, out-of-budget verdicts may
+//! legitimately differ across modes — shortcut charges depend on what was
+//! shared — so there the invariant is: queries completed by *both* runs
+//! agree.)
+
+use parcfl::core::{Answer, SolverConfig};
+use parcfl::runtime::{run, run_seq, Backend, Mode, RunConfig};
+use parcfl::synth::{build_bench, Profile};
+
+fn bench() -> parcfl::synth::Bench {
+    build_bench(&Profile::tiny(1234))
+}
+
+#[test]
+fn all_modes_agree_with_ample_budget() {
+    let b = bench();
+    let solver = SolverConfig::default().with_budget(5_000_000);
+    let seq = run_seq(&b.pag, &b.queries, &solver);
+    assert_eq!(
+        seq.stats.out_of_budget, 0,
+        "budget must be ample for this test"
+    );
+    for mode in [Mode::Naive, Mode::DataSharing, Mode::DataSharingSched] {
+        for backend in [Backend::Simulated, Backend::Threaded] {
+            for threads in [1, 3, 16] {
+                let mut cfg = RunConfig::new(mode, threads, backend);
+                cfg.solver = solver.clone();
+                let r = run(&b.pag, &b.queries, &cfg);
+                assert_eq!(
+                    r.sorted_answers(),
+                    seq.sorted_answers(),
+                    "{mode:?}/{backend:?} x{threads}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn tight_budget_completed_answers_agree() {
+    let b = bench();
+    let solver = SolverConfig::default().with_budget(400);
+    let seq = run_seq(&b.pag, &b.queries, &solver);
+    for mode in [Mode::DataSharing, Mode::DataSharingSched] {
+        let mut cfg = RunConfig::new(mode, 4, Backend::Simulated);
+        cfg.solver = solver.clone();
+        let par = run(&b.pag, &b.queries, &cfg);
+        let seq_sorted = seq.sorted_answers();
+        let par_sorted = par.sorted_answers();
+        assert_eq!(seq_sorted.len(), par_sorted.len());
+        let mut compared = 0;
+        for ((qa, a), (qb, b)) in seq_sorted.iter().zip(par_sorted.iter()) {
+            assert_eq!(qa, qb);
+            if let (Answer::Complete(_), Answer::Complete(_)) = (a, b) {
+                assert_eq!(a, b, "completed answers diverge on {qa:?} under {mode:?}");
+                compared += 1;
+            }
+        }
+        assert!(compared > 0, "some queries complete under the tight budget");
+    }
+}
+
+#[test]
+fn simulated_run_is_reproducible_across_invocations() {
+    let b = bench();
+    let mk = || {
+        let mut cfg = RunConfig::new(Mode::DataSharingSched, 8, Backend::Simulated);
+        cfg.solver = b.solver.clone();
+        run(&b.pag, &b.queries, &cfg)
+    };
+    let a = mk();
+    let c = mk();
+    assert_eq!(a.sorted_answers(), c.sorted_answers());
+    assert_eq!(a.stats.makespan, c.stats.makespan);
+    assert_eq!(a.stats.traversed_steps, c.stats.traversed_steps);
+    assert_eq!(a.stats.charged_steps, c.stats.charged_steps);
+    assert_eq!(a.stats.jmp_edges, c.stats.jmp_edges);
+    assert_eq!(a.stats.early_terminations, c.stats.early_terminations);
+}
+
+#[test]
+fn budget_monotonicity() {
+    // Raising the budget can only move queries from OutOfBudget to
+    // Complete, never change a completed answer.
+    let b = bench();
+    let lo = run_seq(&b.pag, &b.queries, &SolverConfig::default().with_budget(40));
+    let hi = run_seq(
+        &b.pag,
+        &b.queries,
+        &SolverConfig::default().with_budget(5_000_000),
+    );
+    assert_eq!(hi.stats.out_of_budget, 0);
+    assert!(lo.stats.out_of_budget > 0, "test needs a binding low budget");
+    for ((qa, a), (qb, h)) in lo.sorted_answers().iter().zip(hi.sorted_answers().iter()) {
+        assert_eq!(qa, qb);
+        if let Answer::Complete(_) = a {
+            assert_eq!(a, h, "low-budget completion differs on {qa:?}");
+        }
+    }
+}
+
+#[test]
+fn threaded_and_simulated_agree_on_sharing_runs_with_ample_budget() {
+    let b = bench();
+    let solver = SolverConfig::default().with_budget(5_000_000);
+    let mut cfg = RunConfig::new(Mode::DataSharing, 4, Backend::Threaded);
+    cfg.solver = solver.clone();
+    let thr = run(&b.pag, &b.queries, &cfg);
+    cfg.backend = Backend::Simulated;
+    let sim = run(&b.pag, &b.queries, &cfg);
+    assert_eq!(thr.sorted_answers(), sim.sorted_answers());
+}
