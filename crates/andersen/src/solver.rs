@@ -223,7 +223,10 @@ mod tests {
 
     fn pts_names(pag: &Pag, r: &AndersenResult, var: &str) -> Vec<String> {
         let v = pag.node_by_name(var).unwrap();
-        r.pts_of(v).iter().map(|&o| pag.node(o).name.clone()).collect()
+        r.pts_of(v)
+            .iter()
+            .map(|&o| pag.node(o).name.clone())
+            .collect()
     }
 
     #[test]

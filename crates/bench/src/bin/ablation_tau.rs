@@ -38,11 +38,7 @@ fn main() {
         let off = run_simulated(&b.pag, &b.queries, &cfg0);
         println!(
             "{:<16} {:>10} {:>12} {:>11} {:>12}",
-            b.name,
-            on.stats.jmp_edges,
-            off.stats.jmp_edges,
-            on.stats.makespan,
-            off.stats.makespan
+            b.name, on.stats.jmp_edges, off.stats.jmp_edges, on.stats.makespan, off.stats.makespan
         );
         rows.push((seq.stats.makespan, on, off));
     }

@@ -53,6 +53,10 @@ fn main() {
         "\n8→16 threads: average {:.1}x → {:.1}x; per-benchmark drops: {}",
         average(&cols[3]),
         average(&cols[4]),
-        if drops.is_empty() { "none".into() } else { drops.join(", ") }
+        if drops.is_empty() {
+            "none".into()
+        } else {
+            drops.join(", ")
+        }
     );
 }

@@ -6,13 +6,19 @@
 //! saved per step traversed with sharing), `S_g` (average query-group
 //! size), `#ETs` (early terminations without scheduling) and `R_ET` (the
 //! ratio of ETs with scheduling over without).
+//!
+//! Three session columns extend the paper's table: a bounded
+//! [`AnalysisSession`] (store capped at half the one-shot residency,
+//! minimum 4) answers the batch twice, and we report `#Ent` (entries
+//! resident at the end), `Warm` (second-batch hits on first-batch
+//! entries) and `Evict` (entries evicted to hold the budget).
 
 use parcfl_bench::run_mode;
-use parcfl_runtime::{run_seq, Mode};
+use parcfl_runtime::{run_seq, AnalysisSession, Backend, Mode};
 
 fn main() {
     println!(
-        "{:<16} {:>8} {:>8} {:>8} {:>8} {:>8} {:>10} {:>8} {:>10} {:>7} {:>6} {:>6} {:>6}",
+        "{:<16} {:>8} {:>8} {:>8} {:>8} {:>8} {:>10} {:>8} {:>10} {:>7} {:>6} {:>6} {:>6} {:>6} {:>7} {:>6}",
         "Benchmark",
         "#Classes",
         "#Methods",
@@ -25,7 +31,10 @@ fn main() {
         "RS",
         "Sg",
         "#ETs",
-        "RET"
+        "RET",
+        "#Ent",
+        "Warm",
+        "Evict"
     );
     let suite = parcfl_synth::build_suite();
     let mut tot = [0.0f64; 6];
@@ -35,8 +44,8 @@ fn main() {
         // the paper's Columns 8-13 (ETs "without query scheduling").
         let d = run_mode(b, Mode::DataSharing, 16);
         let dq = run_mode(b, Mode::DataSharingSched, 16);
-        let sg = parcfl_runtime::schedule_for(&b.pag, &b.queries, Mode::DataSharingSched)
-            .avg_group_size;
+        let sg =
+            parcfl_runtime::schedule_for(&b.pag, &b.queries, Mode::DataSharingSched).avg_group_size;
         // R_ET is only meaningful when the unscheduled run produced enough
         // early terminations for a ratio; tiny denominators print as "-".
         let ret = if d.stats.early_terminations >= 5 {
@@ -46,8 +55,16 @@ fn main() {
         } else {
             None
         };
+        // Session residency columns: bounded two-batch warm run.
+        let budget = (d.stats.store_entries / 2).max(4);
+        let mut sess = AnalysisSession::new(&b.pag)
+            .with_threads(16)
+            .with_solver(b.solver.clone())
+            .with_store_budget(budget);
+        sess.submit(&b.queries, Mode::DataSharingSched, Backend::Simulated);
+        let warm = sess.submit(&b.queries, Mode::DataSharingSched, Backend::Simulated);
         println!(
-            "{:<16} {:>8} {:>8} {:>8} {:>8} {:>8} {:>10.2} {:>8} {:>10} {:>7.2} {:>6.1} {:>6} {:>6}",
+            "{:<16} {:>8} {:>8} {:>8} {:>8} {:>8} {:>10.2} {:>8} {:>10} {:>7.2} {:>6.1} {:>6} {:>6} {:>6} {:>7} {:>6}",
             b.name,
             b.classes,
             b.methods,
@@ -61,6 +78,9 @@ fn main() {
             sg,
             d.stats.early_terminations,
             ret.map_or("-".to_string(), |r| format!("{r:.2}")),
+            sess.store_entries(),
+            warm.stats.warm_hits,
+            sess.evictions(),
         );
         tot[0] += b.queries.len() as f64;
         tot[1] += seq.stats.wall.as_secs_f64() * 1e3;
@@ -71,8 +91,8 @@ fn main() {
     }
     let n = suite.len() as f64;
     println!(
-        "{:<16} {:>8} {:>8} {:>8} {:>8} {:>8.0} {:>10.2} {:>8.0} {:>10.0} {:>7.2} {:>6.1} {:>6} {:>6}",
+        "{:<16} {:>8} {:>8} {:>8} {:>8} {:>8.0} {:>10.2} {:>8.0} {:>10.0} {:>7.2} {:>6.1} {:>6} {:>6} {:>6} {:>7} {:>6}",
         "Average", "-", "-", "-", "-", tot[0] / n, tot[1] / n, tot[2] / n, tot[3] / n,
-        tot[4] / n, tot[5] / n, "-", "-"
+        tot[4] / n, tot[5] / n, "-", "-", "-", "-", "-"
     );
 }

@@ -18,18 +18,94 @@ struct Row {
 }
 
 const ROWS: [Row; 8] = [
-    Row { work: "[8] Mendez-Lojo+", algorithm: "Andersen's", on_demand: false, context: false, field: true,  flow: "no",      applications: "C",    platform: "CPU" },
-    Row { work: "[3] Edvinsson+",   algorithm: "Andersen's", on_demand: false, context: false, field: false, flow: "partial", applications: "Java", platform: "CPU" },
-    Row { work: "[7] Mendez-Lojo+", algorithm: "Andersen's", on_demand: false, context: false, field: true,  flow: "no",      applications: "C",    platform: "GPU" },
-    Row { work: "[14] Putta+Nasre", algorithm: "Andersen's", on_demand: false, context: true,  field: false, flow: "no",      applications: "C",    platform: "CPU" },
-    Row { work: "[9] Nagaraj+Gov.", algorithm: "Andersen's", on_demand: false, context: false, field: true,  flow: "yes",     applications: "C",    platform: "CPU" },
-    Row { work: "[10] Nasre",       algorithm: "Andersen's", on_demand: false, context: false, field: true,  flow: "yes",     applications: "C",    platform: "GPU" },
-    Row { work: "[20] Su+",         algorithm: "Andersen's", on_demand: false, context: false, field: true,  flow: "no",      applications: "C",    platform: "CPU-GPU" },
-    Row { work: "this paper",       algorithm: "CFL-Reachability", on_demand: true, context: true, field: true, flow: "no",   applications: "Java", platform: "CPU" },
+    Row {
+        work: "[8] Mendez-Lojo+",
+        algorithm: "Andersen's",
+        on_demand: false,
+        context: false,
+        field: true,
+        flow: "no",
+        applications: "C",
+        platform: "CPU",
+    },
+    Row {
+        work: "[3] Edvinsson+",
+        algorithm: "Andersen's",
+        on_demand: false,
+        context: false,
+        field: false,
+        flow: "partial",
+        applications: "Java",
+        platform: "CPU",
+    },
+    Row {
+        work: "[7] Mendez-Lojo+",
+        algorithm: "Andersen's",
+        on_demand: false,
+        context: false,
+        field: true,
+        flow: "no",
+        applications: "C",
+        platform: "GPU",
+    },
+    Row {
+        work: "[14] Putta+Nasre",
+        algorithm: "Andersen's",
+        on_demand: false,
+        context: true,
+        field: false,
+        flow: "no",
+        applications: "C",
+        platform: "CPU",
+    },
+    Row {
+        work: "[9] Nagaraj+Gov.",
+        algorithm: "Andersen's",
+        on_demand: false,
+        context: false,
+        field: true,
+        flow: "yes",
+        applications: "C",
+        platform: "CPU",
+    },
+    Row {
+        work: "[10] Nasre",
+        algorithm: "Andersen's",
+        on_demand: false,
+        context: false,
+        field: true,
+        flow: "yes",
+        applications: "C",
+        platform: "GPU",
+    },
+    Row {
+        work: "[20] Su+",
+        algorithm: "Andersen's",
+        on_demand: false,
+        context: false,
+        field: true,
+        flow: "no",
+        applications: "C",
+        platform: "CPU-GPU",
+    },
+    Row {
+        work: "this paper",
+        algorithm: "CFL-Reachability",
+        on_demand: true,
+        context: true,
+        field: true,
+        flow: "no",
+        applications: "Java",
+        platform: "CPU",
+    },
 ];
 
 fn tick(b: bool) -> &'static str {
-    if b { "yes" } else { "no" }
+    if b {
+        "yes"
+    } else {
+        "no"
+    }
 }
 
 fn main() {

@@ -1,0 +1,103 @@
+//! Warm-session benchmark: what a persistent [`AnalysisSession`] buys
+//! over one-shot runs when query batches overlap.
+//!
+//! For every suite benchmark, three configurations answer the full query
+//! batch under DQ × 16 simulated threads:
+//!
+//! * **cold** — the one-shot [`run_simulated`] baseline (fresh store);
+//! * **warm** — a session primed with the first half of the queries, then
+//!   given the full (overlapping) batch;
+//! * **bounded** — the same two-batch session with the store capped at
+//!   half the unbounded residency, so eviction is exercised.
+//!
+//! The acceptance properties are asserted, not just printed: the warm
+//! batch must traverse strictly fewer steps than cold with identical
+//! sorted answers, and the bounded session must never exceed its entry
+//! budget (still answering identically).
+//!
+//! All three configurations run with the τ insertion thresholds disabled
+//! (every jmp edge recorded, cold included): the smallest benchmarks never
+//! clear the paper's τF under their scaled profiles, and an empty store
+//! has nothing to stay warm. τ policy itself is the `ablation_tau` bench's
+//! subject, not this one's.
+
+use parcfl_bench::cfg_for;
+use parcfl_core::SolverConfig;
+use parcfl_runtime::{run_simulated, AnalysisSession, Backend, Mode};
+
+fn main() {
+    println!(
+        "{:<16} {:>10} {:>10} {:>7} {:>7} {:>6} {:>8} {:>8} {:>7}",
+        "Benchmark", "ColdS", "WarmS", "Saved%", "WarmHit", "#Ent", "Budget", "BndEnt", "Evict"
+    );
+    let suite = parcfl_synth::build_suite();
+    for b in &suite {
+        let half = &b.queries[..b.queries.len() / 2];
+        let mode = Mode::DataSharingSched;
+        let solver: SolverConfig = b.solver.clone().without_tau_thresholds();
+
+        let mut cold_cfg = cfg_for(b, mode, 16);
+        cold_cfg.solver = solver.clone();
+        let cold = run_simulated(&b.pag, &b.queries, &cold_cfg);
+
+        let mut warm_sess = AnalysisSession::new(&b.pag)
+            .with_threads(16)
+            .with_solver(solver.clone());
+        warm_sess.submit(half, mode, Backend::Simulated);
+        let warm = warm_sess.submit(&b.queries, mode, Backend::Simulated);
+
+        assert_eq!(
+            warm.sorted_answers(),
+            cold.sorted_answers(),
+            "{}: warm answers diverged from cold",
+            b.name
+        );
+        assert!(
+            warm.stats.traversed_steps < cold.stats.traversed_steps,
+            "{}: warm batch {} steps !< cold {}",
+            b.name,
+            warm.stats.traversed_steps,
+            cold.stats.traversed_steps
+        );
+
+        let budget = (warm_sess.store_entries() / 2).max(4);
+        let mut bounded_sess = AnalysisSession::new(&b.pag)
+            .with_threads(16)
+            .with_solver(solver.clone())
+            .with_store_budget(budget);
+        bounded_sess.submit(half, mode, Backend::Simulated);
+        let bounded = bounded_sess.submit(&b.queries, mode, Backend::Simulated);
+
+        assert_eq!(
+            bounded.sorted_answers(),
+            cold.sorted_answers(),
+            "{}: bounded answers diverged from cold",
+            b.name
+        );
+        assert!(
+            bounded_sess.store_entries() <= budget,
+            "{}: resident {} exceeds budget {}",
+            b.name,
+            bounded_sess.store_entries(),
+            budget
+        );
+
+        let saved =
+            100.0 * (1.0 - warm.stats.traversed_steps as f64 / cold.stats.traversed_steps as f64);
+        println!(
+            "{:<16} {:>10} {:>10} {:>6.1}% {:>7} {:>6} {:>8} {:>8} {:>7}",
+            b.name,
+            cold.stats.traversed_steps,
+            warm.stats.traversed_steps,
+            saved,
+            warm.stats.warm_hits,
+            warm_sess.store_entries(),
+            budget,
+            bounded_sess.store_entries(),
+            bounded_sess.evictions(),
+        );
+    }
+    println!(
+        "\nall benchmarks: warm < cold traversals, identical answers, bounded residency ≤ budget"
+    );
+}

@@ -117,6 +117,39 @@ impl<K: Eq + Hash, V> ShardedMap<K, V> {
         }
     }
 
+    /// Keeps only the entries for which `f` returns `true`, taking one
+    /// shard's write lock at a time (entries inserted into an
+    /// already-visited shard during the sweep survive untouched). Returns
+    /// the number of entries removed — the jmp-store eviction path uses it
+    /// to count victims.
+    pub fn retain(&self, mut f: impl FnMut(&K, &mut V) -> bool) -> usize {
+        let mut removed = 0;
+        for s in &self.shards {
+            let mut guard = s.write();
+            let before = guard.len();
+            guard.retain(|k, v| f(k, v));
+            removed += before - guard.len();
+        }
+        removed
+    }
+
+    /// Number of shards (always a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Visits every entry of shard `shard` under its read lock. Together
+    /// with [`Self::shard_count`] this lets callers sweep the map
+    /// incrementally without holding more than one shard lock at a time.
+    ///
+    /// # Panics
+    /// If `shard >= self.shard_count()`.
+    pub fn for_each_in_shard(&self, shard: usize, mut f: impl FnMut(&K, &V)) {
+        for (k, v) in self.shards[shard].read().iter() {
+            f(k, v);
+        }
+    }
+
     /// Visits every entry under per-shard read locks.
     pub fn for_each(&self, mut f: impl FnMut(&K, &V)) {
         for s in &self.shards {
@@ -237,6 +270,37 @@ mod tests {
         // Replace only when the old value is smaller.
         assert!(m.update_with(1, |cur| (cur < Some(&99)).then_some(99)));
         assert_eq!(m.get_cloned(&1), Some(99));
+    }
+
+    #[test]
+    fn retain_filters_and_counts() {
+        let m: ShardedMap<u32, u32> = ShardedMap::with_shards(4);
+        for i in 0..100 {
+            m.insert(i, i);
+        }
+        let removed = m.retain(|_, v| *v % 2 == 0);
+        assert_eq!(removed, 50);
+        assert_eq!(m.len(), 50);
+        m.for_each(|_, v| assert_eq!(*v % 2, 0));
+        assert_eq!(m.retain(|_, _| true), 0, "no-op retain removes nothing");
+    }
+
+    #[test]
+    fn shard_iteration_covers_every_entry() {
+        let m: ShardedMap<u32, u32> = ShardedMap::with_shards(8);
+        for i in 0..64 {
+            m.insert(i, i * 3);
+        }
+        assert_eq!(m.shard_count(), 8);
+        let mut seen = Vec::new();
+        for s in 0..m.shard_count() {
+            m.for_each_in_shard(s, |k, v| {
+                assert_eq!(*v, *k * 3);
+                seen.push(*k);
+            });
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..64).collect::<Vec<_>>());
     }
 
     #[test]

@@ -109,6 +109,10 @@ mod tests {
             .flat_map(|h| h.join().unwrap())
             .collect();
         all.sort_unstable();
-        assert_eq!(all, (0..10_000).collect::<Vec<_>>(), "every item exactly once");
+        assert_eq!(
+            all,
+            (0..10_000).collect::<Vec<_>>(),
+            "every item exactly once"
+        );
     }
 }

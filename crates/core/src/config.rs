@@ -34,6 +34,13 @@ pub struct SolverConfig {
     /// Guards the OS stack; the paper's algorithm would reach the same
     /// outcome by exhausting `B` a little later.
     pub max_recursion_depth: u32,
+    /// Session accounting boundary: a jmp-store hit on an entry created
+    /// *before* this virtual instant counts as a warm (cross-batch) hit in
+    /// [`crate::QueryStats::warm_hits`]. Batch runners set it to the
+    /// batch's base virtual time; 0 (the default) means every entry is
+    /// same-batch and nothing counts as warm. Pure accounting — it never
+    /// affects answers or visibility.
+    pub warm_floor: u64,
 }
 
 impl Default for SolverConfig {
@@ -46,6 +53,7 @@ impl Default for SolverConfig {
             context_sensitive: true,
             memoize: false,
             max_recursion_depth: 512,
+            warm_floor: 0,
         }
     }
 }
@@ -73,6 +81,12 @@ impl SolverConfig {
     pub fn without_tau_thresholds(mut self) -> Self {
         self.tau_finished = 0;
         self.tau_unfinished = 0;
+        self
+    }
+
+    /// Sets the warm-hit accounting boundary (see the field docs).
+    pub fn with_warm_floor(mut self, floor: u64) -> Self {
+        self.warm_floor = floor;
         self
     }
 }

@@ -126,12 +126,18 @@ mod tests {
         assert_eq!(empty.match_backward_param(i), Some(Ctx::empty()));
         let c = empty.push(i);
         assert_eq!(c.match_backward_param(i), Some(Ctx::empty()));
-        assert_eq!(c.match_backward_param(j), None, "mismatched site is unrealisable");
+        assert_eq!(
+            c.match_backward_param(j),
+            None,
+            "mismatched site is unrealisable"
+        );
     }
 
     #[test]
     fn display_and_order() {
-        let c = Ctx::empty().push(CallSiteId::new(1)).push(CallSiteId::new(2));
+        let c = Ctx::empty()
+            .push(CallSiteId::new(1))
+            .push(CallSiteId::new(2));
         assert_eq!(c.to_string(), "[1,2]");
         assert_eq!(Ctx::empty().to_string(), "[]");
         assert!(Ctx::empty() < c);

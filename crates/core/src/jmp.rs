@@ -19,10 +19,25 @@
 //! backend ignores it; the deterministic simulator only lets a query observe
 //! entries created at or before its own current virtual time, modelling the
 //! interleaving-dependent visibility of shared data (see DESIGN.md).
+//!
+//! ## Persistence and eviction (DESIGN.md §7)
+//!
+//! [`SharedJmpStore`] is cheaply cloneable (`Arc`-backed): an
+//! `AnalysisSession` keeps one store alive across query batches so later
+//! batches warm-start from earlier batches' entries. Long-lived stores need
+//! bounded memory, so a store may carry an entry budget
+//! ([`SharedJmpStore::with_max_entries`]). When a publish pushes the store
+//! over budget, victims are evicted least-recently-used first, preferring
+//! **finished** entries over unfinished ones and, within a recency class,
+//! the entries that save the fewest steps: a finished set is large and can
+//! always be recomputed, while an unfinished edge is a single number whose
+//! early-termination evidence cannot be cheaply rediscovered. Eviction only
+//! ever *removes* shared information, so it can change cost, never answers.
 
 use crate::context::Ctx;
-use parcfl_concurrent::ShardedMap;
+use parcfl_concurrent::{FxHashSet, ShardedMap};
 use parcfl_pag::NodeId;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Traversal direction of the `ReachableNodes` call a jmp entry summarises.
@@ -70,11 +85,26 @@ pub enum JmpEntry {
 }
 
 impl JmpEntry {
-    fn created_at(&self) -> u64 {
+    /// Virtual time the entry was published at.
+    pub fn created_at(&self) -> u64 {
         match self {
             JmpEntry::Finished { created_at, .. } | JmpEntry::Unfinished { created_at, .. } => {
                 *created_at
             }
+        }
+    }
+
+    /// Whether this is a finished (complete-result) entry.
+    pub fn is_finished(&self) -> bool {
+        matches!(self, JmpEntry::Finished { .. })
+    }
+
+    /// The steps figure of the entry: recomputation cost for finished,
+    /// the early-termination bound `s` for unfinished.
+    pub fn steps(&self) -> u64 {
+        match self {
+            JmpEntry::Finished { total_steps, .. } => *total_steps,
+            JmpEntry::Unfinished { s, .. } => *s,
         }
     }
 }
@@ -89,12 +119,21 @@ pub struct JmpStoreStats {
     pub finished_edges: usize,
     /// Number of unfinished entries/edges.
     pub unfinished: usize,
+    /// Entries evicted over the store's lifetime (0 when unbounded).
+    pub evictions: u64,
+    /// Successful (visible) lookups served over the store's lifetime.
+    pub lookup_hits: u64,
 }
 
 impl JmpStoreStats {
     /// Total jmp edges (`#Jumps` in Table I).
     pub fn total_edges(&self) -> usize {
         self.finished_edges + self.unfinished
+    }
+
+    /// Entries currently resident.
+    pub fn entries(&self) -> usize {
+        self.finished_entries + self.unfinished
     }
 }
 
@@ -121,6 +160,24 @@ pub trait JmpStore: Sync {
     /// Approximate extra memory held by the store, in bytes (Section
     /// IV-D5).
     fn approx_bytes(&self) -> usize;
+
+    /// Entries currently resident (0 for stores that never hold any).
+    fn entry_count(&self) -> usize {
+        0
+    }
+
+    /// Keeps only the entries for which `f` returns `true`; returns the
+    /// number removed. Sessions use this to drop stale entries wholesale.
+    fn retain(&self, _f: &mut dyn FnMut(&JmpKey, &JmpEntry) -> bool) -> usize {
+        0
+    }
+
+    /// Enforces the store's entry budget, evicting down to it if
+    /// exceeded; returns the number of entries evicted. A no-op for
+    /// unbounded stores.
+    fn evict_to_budget(&self) -> usize {
+        0
+    }
 }
 
 /// A store that never shares anything: `SeqCFL` and the naive parallel
@@ -152,30 +209,189 @@ impl JmpStore for NoJmpStore {
     }
 }
 
+/// A stored entry plus its access accounting: how often it was served and
+/// the (store-local) logical instant it was last useful. Both are atomics
+/// so lookups can bump them under the shard's *read* lock.
+struct Stored {
+    entry: JmpEntry,
+    hits: AtomicU64,
+    last_use: AtomicU64,
+}
+
+/// The state shared by every handle (clone/view) of a [`SharedJmpStore`].
+struct StoreInner {
+    map: ShardedMap<JmpKey, Stored>,
+    /// Logical access clock: ticks on every insert and visible lookup,
+    /// giving `last_use` its LRU order.
+    access_clock: AtomicU64,
+    /// Entry budget; `None` = unbounded.
+    max_entries: Option<usize>,
+    /// Entries evicted over the store's lifetime.
+    evictions: AtomicU64,
+    /// Visible lookups served over the store's lifetime.
+    lookup_hits: AtomicU64,
+}
+
 /// The concurrent shared store (the paper's `ConcurrentHashMap`).
+///
+/// `Arc`-backed: [`Clone`] and the `*_view` constructors produce handles to
+/// the *same* underlying entries, so a session can hand a long-lived store
+/// to successive batch runs (and to real-thread workers) without copying.
 pub struct SharedJmpStore {
-    map: ShardedMap<JmpKey, JmpEntry>,
+    inner: Arc<StoreInner>,
     /// When set, `lookup` enforces virtual-time visibility (the simulator
     /// backend); when clear, every entry is visible (the threaded backend).
     timestamped: bool,
 }
 
+impl Clone for SharedJmpStore {
+    /// A handle to the same store (entries, accounting and budget shared).
+    fn clone(&self) -> Self {
+        SharedJmpStore {
+            inner: Arc::clone(&self.inner),
+            timestamped: self.timestamped,
+        }
+    }
+}
+
 impl SharedJmpStore {
+    fn with_flags(timestamped: bool, max_entries: Option<usize>) -> Self {
+        SharedJmpStore {
+            inner: Arc::new(StoreInner {
+                map: ShardedMap::new(),
+                access_clock: AtomicU64::new(0),
+                max_entries,
+                evictions: AtomicU64::new(0),
+                lookup_hits: AtomicU64::new(0),
+            }),
+            timestamped,
+        }
+    }
+
     /// A store for real threads: publication is immediately visible.
     pub fn new() -> Self {
-        SharedJmpStore {
-            map: ShardedMap::new(),
-            timestamped: false,
-        }
+        Self::with_flags(false, None)
     }
 
     /// A store for the deterministic simulator: entries become visible only
     /// at virtual times ≥ their creation time.
     pub fn timestamped() -> Self {
+        Self::with_flags(true, None)
+    }
+
+    /// Bounds the store to at most `max` entries: any publish that leaves
+    /// the store over budget triggers an eviction sweep back down to `max`.
+    /// Construction-time builder — it rebuilds the (still empty) inner
+    /// state, so apply it immediately after [`Self::new`]/
+    /// [`Self::timestamped`], before entries or other handles exist.
+    /// Budget 0 is clamped to 1.
+    pub fn with_max_entries(self, max: usize) -> Self {
+        Self::with_flags(self.timestamped, Some(max.max(1)))
+    }
+
+    /// A handle onto the same entries with virtual-time visibility OFF —
+    /// what a session hands to the real-thread backend, whose workers must
+    /// see every entry regardless of timestamps.
+    pub fn untimestamped_view(&self) -> SharedJmpStore {
         SharedJmpStore {
-            map: ShardedMap::new(),
+            inner: Arc::clone(&self.inner),
+            timestamped: false,
+        }
+    }
+
+    /// A handle onto the same entries with virtual-time visibility ON.
+    pub fn timestamped_view(&self) -> SharedJmpStore {
+        SharedJmpStore {
+            inner: Arc::clone(&self.inner),
             timestamped: true,
         }
+    }
+
+    /// Whether lookups on this handle enforce virtual-time visibility.
+    pub fn is_timestamped(&self) -> bool {
+        self.timestamped
+    }
+
+    /// The configured entry budget, if any.
+    pub fn max_entries(&self) -> Option<usize> {
+        self.inner.max_entries
+    }
+
+    /// Entries evicted over the store's lifetime.
+    pub fn evictions(&self) -> u64 {
+        self.inner.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Visible lookups served over the store's lifetime.
+    pub fn lookup_hits(&self) -> u64 {
+        self.inner.lookup_hits.load(Ordering::Relaxed)
+    }
+
+    /// Removes every entry (accounting totals are kept).
+    pub fn clear(&self) {
+        self.inner.map.clear();
+    }
+
+    /// Visits every entry together with its access accounting
+    /// `(hits, last_use)`.
+    pub fn for_each_with_meta(&self, mut f: impl FnMut(&JmpKey, &JmpEntry, u64, u64)) {
+        self.inner.map.for_each(|k, st| {
+            f(
+                k,
+                &st.entry,
+                st.hits.load(Ordering::Relaxed),
+                st.last_use.load(Ordering::Relaxed),
+            )
+        });
+    }
+
+    #[inline]
+    fn tick(&self) -> u64 {
+        self.inner.access_clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    fn stored(&self, entry: JmpEntry) -> Stored {
+        Stored {
+            entry,
+            hits: AtomicU64::new(0),
+            last_use: AtomicU64::new(self.tick()),
+        }
+    }
+
+    /// Evicts down to the budget if over it. Victim order: finished
+    /// entries before unfinished, then least-recently-used, then fewest
+    /// steps saved (see the module docs for the policy rationale). The
+    /// count is a snapshot — concurrent publishes may transiently leave
+    /// the store slightly over budget until the next publish sweeps again.
+    fn enforce_budget(&self) -> usize {
+        let Some(budget) = self.inner.max_entries else {
+            return 0;
+        };
+        let len = self.inner.map.len();
+        if len <= budget {
+            return 0;
+        }
+        let excess = len - budget;
+        // (unfinished?, last_use, steps, key): the natural tuple order is
+        // exactly the victim priority — finished (false) first, stale
+        // first, cheap first.
+        let mut candidates: Vec<(bool, u64, u64, JmpKey)> = Vec::with_capacity(len);
+        self.inner.map.for_each(|k, st| {
+            candidates.push((
+                !st.entry.is_finished(),
+                st.last_use.load(Ordering::Relaxed),
+                st.entry.steps(),
+                k.clone(),
+            ));
+        });
+        candidates.sort_unstable_by(|a, b| (a.0, a.1, a.2, &a.3).cmp(&(b.0, b.1, b.2, &b.3)));
+        candidates.truncate(excess);
+        let victims: FxHashSet<JmpKey> = candidates.into_iter().map(|(_, _, _, k)| k).collect();
+        let removed = self.inner.map.retain(|k, _| !victims.contains(k));
+        self.inner
+            .evictions
+            .fetch_add(removed as u64, Ordering::Relaxed);
+        removed
     }
 }
 
@@ -187,11 +403,24 @@ impl Default for SharedJmpStore {
 
 impl JmpStore for SharedJmpStore {
     fn lookup(&self, key: &JmpKey, now: u64) -> Option<JmpEntry> {
-        let e = self.map.get_cloned(key)?;
-        if self.timestamped && e.created_at() > now {
-            return None;
-        }
-        Some(e)
+        let timestamped = self.timestamped;
+        let hit = self
+            .inner
+            .map
+            .with(key, |st| {
+                if timestamped && st.entry.created_at() > now {
+                    return None;
+                }
+                st.hits.fetch_add(1, Ordering::Relaxed);
+                st.last_use.store(
+                    self.inner.access_clock.fetch_add(1, Ordering::Relaxed) + 1,
+                    Ordering::Relaxed,
+                );
+                Some(st.entry.clone())
+            })
+            .flatten()?;
+        self.inner.lookup_hits.fetch_add(1, Ordering::Relaxed);
+        Some(hit)
     }
 
     fn publish_finished(&self, key: JmpKey, total_steps: u64, rch: RchSet, now: u64) -> bool {
@@ -201,29 +430,39 @@ impl JmpStore for SharedJmpStore {
         // paper's store keeps unfinished edges permanently (its Fig. 7
         // counts them in the final state). Replacing them here would
         // silently erase the early-termination evidence.
-        self.map.update_with(key, |cur| match cur {
-            None => Some(JmpEntry::Finished {
-                total_steps,
-                rch,
-                created_at: now,
-            }),
+        let stored = self.stored(JmpEntry::Finished {
+            total_steps,
+            rch,
+            created_at: now,
+        });
+        let inserted = self.inner.map.update_with(key, |cur| match cur {
+            None => Some(stored),
             Some(_) => None,
-        })
+        });
+        if inserted {
+            self.enforce_budget();
+        }
+        inserted
     }
 
     fn publish_unfinished(&self, key: JmpKey, s: u64, now: u64) -> bool {
-        self.map.try_insert(
+        let inserted = self.inner.map.try_insert(
             key,
-            JmpEntry::Unfinished {
-                s,
-                created_at: now,
-            },
-        )
+            self.stored(JmpEntry::Unfinished { s, created_at: now }),
+        );
+        if inserted {
+            self.enforce_budget();
+        }
+        inserted
     }
 
     fn stats(&self) -> JmpStoreStats {
-        let mut st = JmpStoreStats::default();
-        self.map.for_each(|_, e| match e {
+        let mut st = JmpStoreStats {
+            evictions: self.evictions(),
+            lookup_hits: self.lookup_hits(),
+            ..JmpStoreStats::default()
+        };
+        self.inner.map.for_each(|_, stored| match &stored.entry {
             JmpEntry::Finished { rch, .. } => {
                 st.finished_entries += 1;
                 st.finished_edges += rch.len();
@@ -234,21 +473,34 @@ impl JmpStore for SharedJmpStore {
     }
 
     fn for_each(&self, f: &mut dyn FnMut(&JmpKey, &JmpEntry)) {
-        self.map.for_each(|k, v| f(k, v));
+        self.inner.map.for_each(|k, st| f(k, &st.entry));
     }
 
     fn approx_bytes(&self) -> usize {
-        let mut bytes = self.map.approx_bytes();
-        self.map.for_each(|(_, _, c), e| {
+        let mut bytes = self.inner.map.approx_bytes();
+        self.inner.map.for_each(|(_, _, c), st| {
             bytes += c.depth() * 4;
-            if let JmpEntry::Finished { rch, .. } = e {
-                bytes += rch
-                    .iter()
-                    .map(|(_, c)| 24 + c.depth() * 4)
-                    .sum::<usize>();
+            if let JmpEntry::Finished { rch, .. } = &st.entry {
+                bytes += rch.iter().map(|(_, c)| 24 + c.depth() * 4).sum::<usize>();
             }
         });
         bytes
+    }
+
+    fn entry_count(&self) -> usize {
+        self.inner.map.len()
+    }
+
+    fn retain(&self, f: &mut dyn FnMut(&JmpKey, &JmpEntry) -> bool) -> usize {
+        let removed = self.inner.map.retain(|k, st| f(k, &st.entry));
+        self.inner
+            .evictions
+            .fetch_add(removed as u64, Ordering::Relaxed);
+        removed
+    }
+
+    fn evict_to_budget(&self) -> usize {
+        self.enforce_budget()
     }
 }
 
@@ -268,6 +520,8 @@ mod tests {
         assert!(s.lookup(&key(1), u64::MAX).is_none());
         assert_eq!(s.stats().total_edges(), 0);
         assert_eq!(s.approx_bytes(), 0);
+        assert_eq!(s.entry_count(), 0);
+        assert_eq!(s.evict_to_budget(), 0);
     }
 
     #[test]
@@ -276,7 +530,9 @@ mod tests {
         let rch = Arc::new(vec![(NodeId::new(9), Ctx::empty())]);
         assert!(s.publish_finished(key(1), 250, rch, 0));
         match s.lookup(&key(1), 0) {
-            Some(JmpEntry::Finished { total_steps, rch, .. }) => {
+            Some(JmpEntry::Finished {
+                total_steps, rch, ..
+            }) => {
                 assert_eq!(total_steps, 250);
                 assert_eq!(rch.len(), 1);
             }
@@ -287,7 +543,11 @@ mod tests {
         assert_eq!(st.finished_edges, 1);
         assert_eq!(st.unfinished, 0);
         assert_eq!(st.total_edges(), 1);
+        assert_eq!(st.entries(), 1);
+        assert_eq!(st.lookup_hits, 1);
+        assert_eq!(st.evictions, 0);
         assert!(s.approx_bytes() > 0);
+        assert_eq!(s.entry_count(), 1);
     }
 
     #[test]
@@ -341,8 +601,119 @@ mod tests {
         let s = SharedJmpStore::new();
         let c1 = Ctx::empty().push(parcfl_pag::CallSiteId::new(1));
         s.publish_unfinished((Dir::Bwd, NodeId::new(5), c1.clone()), 10, 0);
-        assert!(s.lookup(&(Dir::Bwd, NodeId::new(5), Ctx::empty()), 0).is_none());
-        assert!(s.lookup(&(Dir::Fwd, NodeId::new(5), c1.clone()), 0).is_none());
+        assert!(s
+            .lookup(&(Dir::Bwd, NodeId::new(5), Ctx::empty()), 0)
+            .is_none());
+        assert!(s
+            .lookup(&(Dir::Fwd, NodeId::new(5), c1.clone()), 0)
+            .is_none());
         assert!(s.lookup(&(Dir::Bwd, NodeId::new(5), c1), 0).is_some());
+    }
+
+    #[test]
+    fn views_share_entries_and_toggle_visibility() {
+        let master = SharedJmpStore::timestamped();
+        master.publish_unfinished(key(7), 10, 900);
+        assert!(master.lookup(&key(7), 0).is_none(), "timestamped hides it");
+        let view = master.untimestamped_view();
+        assert!(view.lookup(&key(7), 0).is_some(), "view sees everything");
+        // Writes through the view land in the shared entries.
+        view.publish_unfinished(key(8), 20, 950);
+        assert_eq!(master.entry_count(), 2);
+        assert!(master.lookup(&key(8), 950).is_some());
+        assert!(master.timestamped_view().is_timestamped());
+        assert!(!view.is_timestamped());
+        let cloned = master.clone();
+        assert_eq!(cloned.entry_count(), 2);
+        assert!(cloned.is_timestamped());
+    }
+
+    #[test]
+    fn lookup_accounting_tracks_hits_and_recency() {
+        let s = SharedJmpStore::new();
+        s.publish_unfinished(key(1), 10, 0);
+        s.publish_unfinished(key(2), 10, 0);
+        for _ in 0..3 {
+            s.lookup(&key(2), 0);
+        }
+        let mut meta = Vec::new();
+        s.for_each_with_meta(|k, _, hits, last_use| meta.push((k.clone(), hits, last_use)));
+        meta.sort_by_key(|(k, _, _)| k.clone());
+        assert_eq!(meta[0].1, 0, "key 1 never looked up");
+        assert_eq!(meta[1].1, 3, "key 2 hit three times");
+        assert!(meta[1].2 > meta[0].2, "key 2 more recently used");
+        assert_eq!(s.lookup_hits(), 3);
+        // A timestamped miss is not a hit and does not touch recency.
+        let t = SharedJmpStore::timestamped();
+        t.publish_unfinished(key(3), 10, 100);
+        assert!(t.lookup(&key(3), 50).is_none());
+        assert_eq!(t.lookup_hits(), 0);
+    }
+
+    #[test]
+    fn eviction_enforces_budget_lru_least_saving_first() {
+        let s = SharedJmpStore::new().with_max_entries(3);
+        assert_eq!(s.max_entries(), Some(3));
+        // Three finished entries with distinct costs.
+        for (n, cost) in [(1u32, 500u64), (2, 100), (3, 900)] {
+            assert!(s.publish_finished(key(n), cost, Arc::new(vec![]), 0));
+        }
+        assert_eq!(s.entry_count(), 3);
+        assert_eq!(s.evictions(), 0, "at budget, nothing evicted");
+        // Touch 1 and 2 so entry 3 is the least recently used... then
+        // publish a fourth: 3 must be the victim (stalest; cost is the
+        // tie-break within a recency class, not across).
+        s.lookup(&key(1), 0);
+        s.lookup(&key(2), 0);
+        assert!(s.publish_finished(key(4), 50, Arc::new(vec![]), 0));
+        assert_eq!(s.entry_count(), 3, "budget enforced");
+        assert_eq!(s.evictions(), 1);
+        assert!(s.lookup(&key(3), 0).is_none(), "LRU entry evicted");
+        assert!(s.lookup(&key(1), 0).is_some());
+        assert!(s.lookup(&key(2), 0).is_some());
+        assert!(s.lookup(&key(4), 0).is_some());
+        assert_eq!(s.stats().evictions, 1);
+    }
+
+    #[test]
+    fn eviction_prefers_finished_over_unfinished() {
+        let s = SharedJmpStore::new().with_max_entries(2);
+        // An old unfinished edge, then a newer finished one, then overflow:
+        // the finished entry is evicted even though the unfinished one is
+        // staler — unfinished evidence is irreplaceable (DESIGN.md §7).
+        assert!(s.publish_unfinished(key(1), 10_000, 0));
+        assert!(s.publish_finished(key(2), 5_000, Arc::new(vec![]), 0));
+        assert!(s.publish_unfinished(key(3), 20_000, 0));
+        assert_eq!(s.entry_count(), 2);
+        assert!(s.lookup(&key(2), 0).is_none(), "finished entry sacrificed");
+        assert!(s.lookup(&key(1), 0).is_some());
+        assert!(s.lookup(&key(3), 0).is_some());
+        // When only unfinished entries remain, the budget still binds.
+        assert!(s.publish_unfinished(key(4), 30_000, 0));
+        assert_eq!(s.entry_count(), 2);
+        assert_eq!(s.evictions(), 2);
+    }
+
+    #[test]
+    fn retain_drops_matching_entries_and_counts_as_eviction() {
+        let s = SharedJmpStore::new();
+        s.publish_unfinished(key(1), 10, 0);
+        s.publish_finished(key(2), 200, Arc::new(vec![]), 0);
+        let removed = JmpStore::retain(&s, &mut |_, e| e.is_finished());
+        assert_eq!(removed, 1);
+        assert_eq!(s.entry_count(), 1);
+        assert!(s.lookup(&key(2), 0).is_some());
+        assert_eq!(s.evictions(), 1);
+    }
+
+    #[test]
+    fn unbounded_store_never_evicts() {
+        let s = SharedJmpStore::new();
+        for n in 0..100u32 {
+            s.publish_unfinished(key(n), 10, 0);
+        }
+        assert_eq!(s.entry_count(), 100);
+        assert_eq!(s.evict_to_budget(), 0);
+        assert_eq!(s.evictions(), 0);
     }
 }

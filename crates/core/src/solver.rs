@@ -248,10 +248,7 @@ impl<'a> QueryState<'a> {
         if self.cfg.data_sharing {
             let frames = std::mem::take(&mut self.in_progress);
             for (dir, x, c, s0) in frames {
-                let s_val = self
-                    .cfg
-                    .budget
-                    .min(bdg + (self.steps - s0));
+                let s_val = self.cfg.budget.min(bdg + (self.steps - s0));
                 if s_val >= self.cfg.tau_unfinished
                     && self.jmp.publish_unfinished((dir, x, c), s_val, self.now())
                 {
@@ -530,14 +527,19 @@ impl<'a> QueryState<'a> {
                 // remaining budget cannot cover the recorded lower bound.
                 // An unfinished entry with enough budget left falls through
                 // to the recomputation below.
-                Some(JmpEntry::Unfinished { s, .. })
+                Some(JmpEntry::Unfinished { s, created_at })
                     if self.cfg.budget.saturating_sub(self.steps) < s =>
                 {
+                    if created_at < self.cfg.warm_floor {
+                        self.stats.warm_hits += 1;
+                    }
                     return Err(self.out_of_budget(s, true));
                 }
                 Some(JmpEntry::Unfinished { .. }) => {}
                 Some(JmpEntry::Finished {
-                    total_steps, rch, ..
+                    total_steps,
+                    rch,
+                    created_at,
                 }) => {
                     // Lines 4–8: take the shortcuts. The recorded cost is
                     // charged against the budget (precision argument in
@@ -546,6 +548,9 @@ impl<'a> QueryState<'a> {
                     self.work += 1;
                     self.stats.shortcuts_taken += 1;
                     self.stats.steps_saved += total_steps;
+                    if created_at < self.cfg.warm_floor {
+                        self.stats.warm_hits += 1;
+                    }
                     if self.cfg.memoize {
                         self.memo_rch.insert(key, Arc::clone(&rch));
                     }

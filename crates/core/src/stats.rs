@@ -14,6 +14,10 @@ pub struct QueryStats {
     pub traversed_steps: u64,
     /// Finished shortcuts taken.
     pub shortcuts_taken: u64,
+    /// Jmp-store hits (shortcuts *or* early terminations) served by entries
+    /// created before the query's warm floor — i.e. published by an earlier
+    /// batch of the owning session. 0 unless a session set a warm floor.
+    pub warm_hits: u64,
     /// Steps saved by taking finished shortcuts (the recorded cost of each
     /// shortcut, which would otherwise have been re-traversed).
     pub steps_saved: u64,
@@ -159,7 +163,10 @@ mod tests {
     fn answer_projection() {
         let a = Answer::Complete(vec![
             (NodeId::new(3), Ctx::empty()),
-            (NodeId::new(1), Ctx::empty().push(parcfl_pag::CallSiteId::new(0))),
+            (
+                NodeId::new(1),
+                Ctx::empty().push(parcfl_pag::CallSiteId::new(0)),
+            ),
             (NodeId::new(1), Ctx::empty()),
         ]);
         assert_eq!(a.nodes().unwrap(), vec![NodeId::new(1), NodeId::new(3)]);

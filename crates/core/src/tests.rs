@@ -60,7 +60,10 @@ fn globals_flow_context_insensitively() {
                    method get() { var u: Obj; u = A.g; }
                  }");
     let cfg = SolverConfig::default();
-    assert_eq!(pts_names(&p, &cfg, &NoJmpStore, "u@A.get"), vec!["o0@A.set"]);
+    assert_eq!(
+        pts_names(&p, &cfg, &NoJmpStore, "u@A.get"),
+        vec!["o0@A.set"]
+    );
 }
 
 /// The classic context-sensitivity litmus test: an identity method called
@@ -251,13 +254,19 @@ fn finished_shortcut_reused_across_queries() {
 
     let solver = Solver::new(&p, &cfg, &store);
     let first = solver.points_to_query(node(&p, "x1@A.m"), 0);
-    assert!(first.stats.finished_published > 0, "first query records jmps");
+    assert!(
+        first.stats.finished_published > 0,
+        "first query records jmps"
+    );
     assert!(store.stats().finished_entries > 0);
 
     // The second query reaches x1 via `w = x1` and takes x1's shortcut
     // instead of redoing the alias computation.
     let second = solver.points_to_query(node(&p, "w@A.m"), 0);
-    assert!(second.stats.shortcuts_taken > 0, "second query takes shortcuts");
+    assert!(
+        second.stats.shortcuts_taken > 0,
+        "second query takes shortcuts"
+    );
     assert!(second.stats.steps_saved > 0);
     assert!(
         second.stats.charged_steps > second.stats.traversed_steps,

@@ -80,9 +80,7 @@ impl Witness {
             if i > 0 {
                 out.push('\n');
             }
-            out.push_str(&format!(
-                "{:>3}. {} {} ", i, pag.node(s.node).name, s.ctx
-            ));
+            out.push_str(&format!("{:>3}. {} {} ", i, pag.node(s.node).name, s.ctx));
             out.push_str(&format!("[{}]", s.via));
         }
         out

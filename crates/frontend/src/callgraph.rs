@@ -53,7 +53,11 @@ impl CallGraph {
             };
             for stmt in &method.body {
                 match stmt {
-                    Stmt::VirtualCall { recv: _, method: name, .. } => {
+                    Stmt::VirtualCall {
+                        recv: _,
+                        method: name,
+                        ..
+                    } => {
                         // Dispatch from the declared type of the receiver.
                         match receiver_decl_class(h, ci, mi, stmt) {
                             Some(decl) => {
@@ -72,18 +76,17 @@ impl CallGraph {
                             )),
                         }
                     }
-                    Stmt::StaticCall { class, method: name, .. } => {
-                        match h
-                            .class_index(class)
-                            .and_then(|c| h.resolve_method(c, name))
-                        {
-                            Some(t) => add_targets(vec![t]),
-                            None => warnings.push(format!(
-                                "unresolved static call `{class}.{name}` in {}.{}",
-                                h.program.classes[ci].name, method.name
-                            )),
-                        }
-                    }
+                    Stmt::StaticCall {
+                        class,
+                        method: name,
+                        ..
+                    } => match h.class_index(class).and_then(|c| h.resolve_method(c, name)) {
+                        Some(t) => add_targets(vec![t]),
+                        None => warnings.push(format!(
+                            "unresolved static call `{class}.{name}` in {}.{}",
+                            h.program.classes[ci].name, method.name
+                        )),
+                    },
                     _ => {}
                 }
             }
@@ -211,9 +214,7 @@ mod tests {
 
     #[test]
     fn static_call_resolution() {
-        let (cg, w) = graph(
-            "class A { static method s() { } method m() { call A.s(); } }",
-        );
+        let (cg, w) = graph("class A { static method s() { } method m() { call A.s(); } }");
         assert!(w.is_empty());
         let m = cg.method_idx(0, 1);
         let s = cg.method_idx(0, 0);

@@ -17,7 +17,9 @@
 use crate::callgraph::{CallGraph, MethodIdx};
 use crate::hierarchy::{Hierarchy, HierarchyError};
 use crate::ir::{Program, Stmt, TypeRef, VarRef};
-use parcfl_pag::{EdgeKind, FieldId, MethodId, NodeId, NodeInfo, NodeKind, Pag, PagBuilder, TypeId};
+use parcfl_pag::{
+    EdgeKind, FieldId, MethodId, NodeId, NodeInfo, NodeKind, Pag, PagBuilder, TypeId,
+};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -140,20 +142,25 @@ impl<'p> Extractor<'p> {
         // class (including forward references).
         self.type_map.insert(
             "int".into(),
-            self.builder.types_mut().add_type(parcfl_pag::types::TypeInfo {
-                name: "int".into(),
-                is_ref: false,
-                fields: Vec::new(),
-                supertype: None,
-            }),
+            self.builder
+                .types_mut()
+                .add_type(parcfl_pag::types::TypeInfo {
+                    name: "int".into(),
+                    is_ref: false,
+                    fields: Vec::new(),
+                    supertype: None,
+                }),
         );
         for c in &self.h.program.classes {
-            let id = self.builder.types_mut().add_type(parcfl_pag::types::TypeInfo {
-                name: c.name.clone(),
-                is_ref: true,
-                fields: Vec::new(),
-                supertype: None,
-            });
+            let id = self
+                .builder
+                .types_mut()
+                .add_type(parcfl_pag::types::TypeInfo {
+                    name: c.name.clone(),
+                    is_ref: true,
+                    fields: Vec::new(),
+                    supertype: None,
+                });
             self.type_map.insert(c.name.clone(), id);
             self.class_ty.push(id);
         }
@@ -187,22 +194,27 @@ impl<'p> Extractor<'p> {
             TypeRef::Class(c) => {
                 // Undefined class used as a type: intern an opaque ref type
                 // and warn once.
-                self.warnings.push(format!("reference to undefined class `{c}`"));
-                self.builder.types_mut().add_type(parcfl_pag::types::TypeInfo {
-                    name: c.clone(),
-                    is_ref: true,
-                    fields: Vec::new(),
-                    supertype: None,
-                })
+                self.warnings
+                    .push(format!("reference to undefined class `{c}`"));
+                self.builder
+                    .types_mut()
+                    .add_type(parcfl_pag::types::TypeInfo {
+                        name: c.clone(),
+                        is_ref: true,
+                        fields: Vec::new(),
+                        supertype: None,
+                    })
             }
             TypeRef::Array(elem) => {
                 let elem_id = self.type_id(elem);
-                self.builder.types_mut().add_type(parcfl_pag::types::TypeInfo {
-                    name: key.clone(),
-                    is_ref: true,
-                    fields: vec![(FieldId::ARR, elem_id)],
-                    supertype: None,
-                })
+                self.builder
+                    .types_mut()
+                    .add_type(parcfl_pag::types::TypeInfo {
+                        name: key.clone(),
+                        is_ref: true,
+                        fields: vec![(FieldId::ARR, elem_id)],
+                        supertype: None,
+                    })
             }
         };
         self.type_map.insert(key, id);
@@ -241,7 +253,9 @@ impl<'p> Extractor<'p> {
         for &(ci, mi) in &self.cg.methods {
             let class = &self.h.program.classes[ci];
             let method = &class.methods[mi];
-            let mid = self.builder.add_method(format!("{}.{}", class.name, method.name));
+            let mid = self
+                .builder
+                .add_method(format!("{}.{}", class.name, method.name));
             self.method_ids.push(mid);
 
             let mut env = HashMap::new();
@@ -319,13 +333,14 @@ impl<'p> Extractor<'p> {
         mi: usize,
         name: &str,
     ) -> Result<NodeId, ExtractError> {
-        self.envs[midx.0 as usize].get(name).copied().ok_or_else(|| {
-            ExtractError::UndeclaredVariable {
+        self.envs[midx.0 as usize]
+            .get(name)
+            .copied()
+            .ok_or_else(|| ExtractError::UndeclaredVariable {
                 class: self.h.program.classes[ci].name.clone(),
                 method: self.h.program.classes[ci].methods[mi].name.clone(),
                 var: name.to_string(),
-            }
-        })
+            })
     }
 
     fn global(&self, class: &str, field: &str) -> Result<NodeId, ExtractError> {
@@ -665,7 +680,9 @@ impl<'p> Extractor<'p> {
         _mi: usize,
         recv: &VarRef,
     ) -> Option<usize> {
-        let VarRef::Local(name) = recv else { return None };
+        let VarRef::Local(name) = recv else {
+            return None;
+        };
         let (rci, rmi) = self.cg.methods[midx.0 as usize];
         let method = &self.h.program.classes[rci].methods[rmi];
         if !method.is_static && name == "this" {
@@ -810,10 +827,8 @@ mod tests {
 
     #[test]
     fn unknown_static_is_error() {
-        let err = extract(
-            &parse("class A { method m() { var t: A; t = A.ghost; } }").unwrap(),
-        )
-        .unwrap_err();
+        let err = extract(&parse("class A { method m() { var t: A; t = A.ghost; } }").unwrap())
+            .unwrap_err();
         assert!(matches!(err, ExtractError::UnknownStatic { .. }));
     }
 

@@ -434,14 +434,14 @@ mod tests {
 
     #[test]
     fn parses_fields_and_statics() {
-        let p = parse(
-            "class A { field x: A; static field g: A[]; field n: int; }",
-        )
-        .unwrap();
+        let p = parse("class A { field x: A; static field g: A[]; field n: int; }").unwrap();
         let c = &p.classes[0];
         assert_eq!(c.fields.len(), 2);
         assert_eq!(c.statics.len(), 1);
-        assert_eq!(c.statics[0].ty, TypeRef::Array(Box::new(TypeRef::Class("A".into()))));
+        assert_eq!(
+            c.statics[0].ty,
+            TypeRef::Array(Box::new(TypeRef::Class("A".into())))
+        );
     }
 
     #[test]
@@ -480,11 +480,17 @@ mod tests {
         assert!(matches!(m.body[5], Stmt::ArrayStore { .. }));
         assert!(matches!(
             m.body[6],
-            Stmt::Assign { dst: VarRef::Static(..), .. }
+            Stmt::Assign {
+                dst: VarRef::Static(..),
+                ..
+            }
         ));
         assert!(matches!(
             m.body[7],
-            Stmt::Assign { src: VarRef::Static(..), .. }
+            Stmt::Assign {
+                src: VarRef::Static(..),
+                ..
+            }
         ));
         assert!(matches!(m.body[8], Stmt::VirtualCall { dst: Some(_), .. }));
         assert!(matches!(m.body[9], Stmt::VirtualCall { dst: None, .. }));
@@ -536,8 +542,7 @@ mod error_tests {
 
     #[test]
     fn call_argument_restrictions() {
-        assert!(err("class A { method m(x: A) { call x.m(x.f); } }")
-            .contains("call arguments"));
+        assert!(err("class A { method m(x: A) { call x.m(x.f); } }").contains("call arguments"));
     }
 
     #[test]

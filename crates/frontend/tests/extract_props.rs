@@ -15,7 +15,9 @@ fn program_source(seed: u64, classes: usize, stmts: usize) -> String {
     let mut s = String::from("lib class Obj { }\n");
     let mut rng = seed;
     let mut next = move || {
-        rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        rng = rng
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (rng >> 33) as usize
     };
     for c in 0..classes {

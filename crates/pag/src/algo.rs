@@ -192,7 +192,11 @@ pub fn longest_path_through(n: usize, edges: &[(u32, u32)]) -> Vec<u64> {
             }
         }
     }
-    assert_eq!(order.len(), n, "longest_path_through requires a DAG (cycle)");
+    assert_eq!(
+        order.len(),
+        n,
+        "longest_path_through requires a DAG (cycle)"
+    );
 
     // longest_in via forward pass, longest_out via reverse pass.
     let mut lin = vec![0u64; n];

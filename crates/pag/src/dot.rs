@@ -22,7 +22,13 @@ pub fn to_dot(pag: &Pag) -> String {
         } else {
             info.name.clone()
         };
-        let _ = writeln!(out, "  {} [label=\"{}\", shape={}];", n.raw(), escape(&name), shape);
+        let _ = writeln!(
+            out,
+            "  {} [label=\"{}\", shape={}];",
+            n.raw(),
+            escape(&name),
+            shape
+        );
     }
     for e in pag.edges() {
         let _ = writeln!(

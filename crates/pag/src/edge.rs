@@ -43,10 +43,7 @@ impl EdgeKind {
     pub fn is_direct(self) -> bool {
         matches!(
             self,
-            EdgeKind::AssignLocal
-                | EdgeKind::AssignGlobal
-                | EdgeKind::Param(_)
-                | EdgeKind::Ret(_)
+            EdgeKind::AssignLocal | EdgeKind::AssignGlobal | EdgeKind::Param(_) | EdgeKind::Ret(_)
         )
     }
 
@@ -121,8 +118,14 @@ mod tests {
         assert_eq!(EdgeKind::Load(FieldId(4)).field(), Some(FieldId(4)));
         assert_eq!(EdgeKind::Store(FieldId(2)).field(), Some(FieldId(2)));
         assert_eq!(EdgeKind::New.field(), None);
-        assert_eq!(EdgeKind::Param(CallSiteId(9)).call_site(), Some(CallSiteId(9)));
-        assert_eq!(EdgeKind::Ret(CallSiteId(1)).call_site(), Some(CallSiteId(1)));
+        assert_eq!(
+            EdgeKind::Param(CallSiteId(9)).call_site(),
+            Some(CallSiteId(9))
+        );
+        assert_eq!(
+            EdgeKind::Ret(CallSiteId(1)).call_site(),
+            Some(CallSiteId(1))
+        );
         assert_eq!(EdgeKind::AssignLocal.call_site(), None);
     }
 

@@ -98,7 +98,8 @@ impl PagBuilder {
 
         // Deduplicate edges: duplicate statements add nothing to
         // reachability and only slow traversals down.
-        self.edges.sort_unstable_by_key(|e| (e.dst, e.src, edge_sort_key(e.kind)));
+        self.edges
+            .sort_unstable_by_key(|e| (e.dst, e.src, edge_sort_key(e.kind)));
         self.edges.dedup();
         let m = self.edges.len();
 
@@ -247,7 +248,9 @@ impl Pag {
     pub fn outgoing(&self, n: NodeId) -> impl Iterator<Item = &Edge> + '_ {
         let lo = self.out_start[n.index()] as usize;
         let hi = self.out_start[n.index() + 1] as usize;
-        self.out_edges[lo..hi].iter().map(move |&i| &self.edges[i as usize])
+        self.out_edges[lo..hi]
+            .iter()
+            .map(move |&i| &self.edges[i as usize])
     }
 
     /// All store edges on field `f`, as `(base, rhs)` pairs
@@ -346,10 +349,14 @@ mod tests {
         // x receives the allocation and the store x.f = p.
         assert_eq!(inc_x.len(), 2);
         assert!(inc_x.contains(&(o, EdgeKind::New)));
-        assert!(inc_x.iter().any(|&(s, k)| s == p && matches!(k, EdgeKind::Store(_))));
+        assert!(inc_x
+            .iter()
+            .any(|&(s, k)| s == p && matches!(k, EdgeKind::Store(_))));
         let inc_y: Vec<_> = g.incoming(y).to_vec();
         assert_eq!(inc_y.len(), 2);
-        assert!(inc_y.iter().any(|e| e.src == x && e.kind == EdgeKind::AssignLocal));
+        assert!(inc_y
+            .iter()
+            .any(|e| e.src == x && e.kind == EdgeKind::AssignLocal));
         let out_p: Vec<_> = g.outgoing(p).map(|e| e.kind).collect();
         assert_eq!(out_p.len(), 2);
         let out_o: Vec<_> = g.outgoing(o).collect();

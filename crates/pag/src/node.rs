@@ -81,9 +81,13 @@ mod tests {
 
     #[test]
     fn kind_predicates() {
-        let l = NodeKind::Local { method: MethodId(0) };
+        let l = NodeKind::Local {
+            method: MethodId(0),
+        };
         let g = NodeKind::Global;
-        let o = NodeKind::Object { method: MethodId(1) };
+        let o = NodeKind::Object {
+            method: MethodId(1),
+        };
         assert!(l.is_variable() && l.is_local() && !l.is_global() && !l.is_object());
         assert!(g.is_variable() && g.is_global() && !g.is_local() && !g.is_object());
         assert!(o.is_object() && !o.is_variable());
@@ -92,12 +96,18 @@ mod tests {
     #[test]
     fn owning_method() {
         assert_eq!(
-            NodeKind::Local { method: MethodId(3) }.method(),
+            NodeKind::Local {
+                method: MethodId(3)
+            }
+            .method(),
             Some(MethodId(3))
         );
         assert_eq!(NodeKind::Global.method(), None);
         assert_eq!(
-            NodeKind::Object { method: MethodId(5) }.method(),
+            NodeKind::Object {
+                method: MethodId(5)
+            }
+            .method(),
             Some(MethodId(5))
         );
     }

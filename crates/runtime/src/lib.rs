@@ -5,6 +5,12 @@
 //! deterministic virtual-time simulation) × thread count, against the
 //! sequential baseline [`run_seq`] (`SeqCFL`).
 //!
+//! One-shot entry points ([`run`], [`run_seq`]) build a fresh jmp store
+//! per call. Clients answering *several* batches over one PAG should hold
+//! an [`AnalysisSession`] instead: later batches warm-start from earlier
+//! batches' jmp edges, schedules are memoised, and store memory can be
+//! bounded (see [`session`]).
+//!
 //! ```
 //! use parcfl_runtime::{run, run_seq, Backend, Mode, RunConfig};
 //! use parcfl_core::SolverConfig;
@@ -22,15 +28,17 @@
 
 mod mode;
 mod seq;
+pub mod session;
 pub mod sim;
 mod stats;
 pub mod threaded;
 
 pub use mode::{Backend, Mode, RunConfig};
-pub use seq::run_seq;
-pub use sim::{run_simulated, run_simulated_with_store};
+pub use seq::{run_seq, run_seq_with_store};
+pub use session::AnalysisSession;
+pub use sim::{run_simulated, run_simulated_batch, run_simulated_with_store};
 pub use stats::{RunResult, RunStats};
-pub use threaded::run_threaded;
+pub use threaded::{run_threaded, run_threaded_batch};
 
 use parcfl_pag::{NodeId, Pag};
 use parcfl_sched::{build_schedule, Schedule, ScheduleOptions};
@@ -99,8 +107,16 @@ mod tests {
         let pag = build_pag(src).unwrap().pag;
         let qs = pag.application_locals();
         let seq = run_seq(&pag, &qs, &SolverConfig::default());
-        let sim = run(&pag, &qs, &RunConfig::new(Mode::Naive, 2, Backend::Simulated));
-        let thr = run(&pag, &qs, &RunConfig::new(Mode::Naive, 2, Backend::Threaded));
+        let sim = run(
+            &pag,
+            &qs,
+            &RunConfig::new(Mode::Naive, 2, Backend::Simulated),
+        );
+        let thr = run(
+            &pag,
+            &qs,
+            &RunConfig::new(Mode::Naive, 2, Backend::Threaded),
+        );
         assert_eq!(seq.sorted_answers(), sim.sorted_answers());
         assert_eq!(seq.sorted_answers(), thr.sorted_answers());
     }

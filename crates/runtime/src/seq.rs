@@ -2,27 +2,49 @@
 //! scheduling), queries processed in input order.
 
 use crate::stats::{RunResult, RunStats};
-use parcfl_core::{NoJmpStore, Solver, SolverConfig};
+use parcfl_core::{JmpStore, NoJmpStore, Solver, SolverConfig};
 use parcfl_pag::{NodeId, Pag};
 
 /// Runs every query sequentially with data sharing disabled.
 pub fn run_seq(pag: &Pag, queries: &[NodeId], solver_cfg: &SolverConfig) -> RunResult {
     let mut cfg = solver_cfg.clone();
     cfg.data_sharing = false;
-    let store = NoJmpStore;
-    let solver = Solver::new(pag, &cfg, &store);
+    run_seq_with_store(pag, queries, &cfg, &NoJmpStore, 0)
+}
+
+/// Sequential execution against a caller-owned jmp store.
+///
+/// The session building block for single-threaded batches: unlike
+/// [`run_seq`] it honours `solver_cfg.data_sharing`, so a warm store from
+/// earlier batches is consulted and extended. New publications are
+/// stamped `base`; hits on entries stamped `< base` count as warm hits.
+pub fn run_seq_with_store(
+    pag: &Pag,
+    queries: &[NodeId],
+    solver_cfg: &SolverConfig,
+    store: &dyn JmpStore,
+    base: u64,
+) -> RunResult {
+    let cfg = solver_cfg.clone().with_warm_floor(base);
+    let evictions_before = store.stats().evictions;
+    let solver = Solver::new(pag, &cfg, store);
 
     let start = std::time::Instant::now();
     let mut stats = RunStats::default();
     let mut answers = Vec::with_capacity(queries.len());
     for &q in queries {
-        let out = solver.points_to_query(q, 0);
+        let out = solver.points_to_query(q, base);
         stats.absorb(&out.stats, &out.answer);
         answers.push((q, out.answer));
     }
     stats.wall = start.elapsed();
     // Sequential virtual time is simply the total traversed work.
     stats.makespan = stats.traversed_steps;
+    stats.batches = 1;
+    stats.evictions = store.stats().evictions - evictions_before;
+    stats.store_entries = store.entry_count();
+    stats.jmp_edges = store.stats().total_edges();
+    stats.jmp_bytes = store.approx_bytes();
     stats.avg_group_size = 1.0;
     RunResult { answers, stats }
 }

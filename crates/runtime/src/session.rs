@@ -1,0 +1,450 @@
+//! The persistent analysis service: one [`AnalysisSession`] per PAG,
+//! answering successive query batches against a long-lived jmp store.
+//!
+//! The one-shot entry points ([`crate::run`], [`crate::run_seq`]) build a
+//! fresh store per call, so every invocation re-traverses everything. A
+//! session instead keeps three pieces of state warm across batches:
+//!
+//! * the **jmp store** — entries published by batch `i` serve batches
+//!   `> i` as shortcuts/early terminations from their very first step
+//!   (counted in [`RunStats::warm_hits`]);
+//! * the **schedule cache** — the per-type level table is computed once
+//!   per session, and repeated query sets reuse whole DQ schedules;
+//! * the **session virtual clock** — each batch starts just past the
+//!   previous batch's end, so simulated visibility stays faithful and the
+//!   warm/cold accounting boundary is exact.
+//!
+//! Memory stays bounded on demand: [`AnalysisSession::with_store_budget`]
+//! caps resident jmp entries, evicting per the policy in DESIGN.md §7
+//! (finished before unfinished, then least-recently-used, then
+//! least-saving). Eviction only discards *recomputable* shortcuts, so
+//! answers are unaffected — only the amount of reuse is.
+
+use crate::mode::{Backend, Mode, RunConfig};
+use crate::seq::run_seq_with_store;
+use crate::sim::run_simulated_batch;
+use crate::stats::{RunResult, RunStats};
+use crate::threaded::run_threaded_batch;
+use parcfl_core::{JmpStore, SharedJmpStore, SolverConfig};
+use parcfl_pag::{NodeId, Pag};
+use parcfl_sched::{Schedule, ScheduleCache, ScheduleOptions};
+
+/// A long-lived analysis service over one PAG.
+///
+/// ```
+/// use parcfl_runtime::{AnalysisSession, Backend, Mode};
+///
+/// let src = "class Obj { }
+///            class A { method m() { var x: Obj; var y: Obj;
+///              x = new Obj; y = x; } }";
+/// let pag = parcfl_frontend::build_pag(src).unwrap().pag;
+/// let queries = pag.application_locals();
+/// let mut session = AnalysisSession::new(&pag).with_threads(4);
+/// let first = session.submit(&queries, Mode::DataSharingSched, Backend::Simulated);
+/// let second = session.submit(&queries, Mode::DataSharingSched, Backend::Simulated);
+/// assert_eq!(first.sorted_answers(), second.sorted_answers());
+/// // The second batch reuses the first batch's jmp edges.
+/// assert!(second.stats.traversed_steps <= first.stats.traversed_steps);
+/// assert_eq!(session.cumulative().batches, 2);
+/// ```
+pub struct AnalysisSession<'p> {
+    pag: &'p Pag,
+    /// Master store handle: timestamped, so the simulated backend can use
+    /// it directly; the threaded/sequential backends take an
+    /// untimestamped view of the same entries.
+    store: SharedJmpStore,
+    cache: ScheduleCache,
+    /// Next batch's base virtual time (one past the previous batch's end).
+    vclock: u64,
+    cumulative: RunStats,
+    solver: SolverConfig,
+    threads: usize,
+    fetch_cost: u64,
+    group_cap: Option<usize>,
+}
+
+impl<'p> AnalysisSession<'p> {
+    /// A fresh session over `pag` with paper-default solver parameters,
+    /// one thread, and an unbounded store.
+    pub fn new(pag: &'p Pag) -> Self {
+        AnalysisSession {
+            pag,
+            store: SharedJmpStore::timestamped(),
+            cache: ScheduleCache::new(),
+            vclock: 0,
+            cumulative: RunStats::default(),
+            solver: SolverConfig::default(),
+            threads: 1,
+            fetch_cost: 1,
+            group_cap: None,
+        }
+    }
+
+    /// Overrides the base solver configuration (each batch's mode still
+    /// decides `data_sharing`; the session still owns `warm_floor`).
+    pub fn with_solver(mut self, solver: SolverConfig) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// Sets the worker-thread count (real or simulated).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Bounds the jmp store to at most `max` resident entries (LRU-style
+    /// eviction, DESIGN.md §7). Construction-time only: call it before the
+    /// first [`Self::submit`] — it replaces the (still empty) store.
+    pub fn with_store_budget(mut self, max: usize) -> Self {
+        debug_assert_eq!(
+            self.store.entry_count(),
+            0,
+            "set the budget before submitting"
+        );
+        self.store = SharedJmpStore::timestamped().with_max_entries(max);
+        self
+    }
+
+    /// Sets the simulated cost of one shared-work-list fetch.
+    pub fn with_fetch_cost(mut self, cost: u64) -> Self {
+        self.fetch_cost = cost;
+        self
+    }
+
+    /// Overrides the DQ schedule's group-size cap (see
+    /// [`crate::schedule_with_cap`]).
+    pub fn with_group_cap(mut self, cap: usize) -> Self {
+        self.group_cap = Some(cap);
+        self
+    }
+
+    /// Answers one batch of queries, warm-starting from every earlier
+    /// batch's jmp edges. Returns that batch's own result; the session's
+    /// running totals move to [`Self::cumulative`].
+    pub fn submit(&mut self, queries: &[NodeId], mode: Mode, backend: Backend) -> RunResult {
+        let cfg = self.run_config(mode, backend);
+        let schedule = self.schedule_for_batch(queries, mode);
+        let base = self.vclock;
+        let result = match backend {
+            Backend::Simulated => {
+                let (result, end) =
+                    run_simulated_batch(self.pag, &schedule, &cfg, &self.store, base);
+                self.vclock = end + 1;
+                result
+            }
+            Backend::Threaded => {
+                let view = self.store.untimestamped_view();
+                let result = run_threaded_batch(self.pag, &schedule, &cfg, &view, base);
+                self.vclock = base + result.stats.traversed_steps + 1;
+                result
+            }
+        };
+        self.cumulative.merge(&result.stats);
+        result
+    }
+
+    /// [`Self::submit`] for single-threaded in-order execution *with* the
+    /// session store active (unlike the cold baseline [`crate::run_seq`],
+    /// which never shares): the cheapest way to answer a small follow-up
+    /// batch that should still profit from — and feed — the warm store.
+    pub fn submit_seq(&mut self, queries: &[NodeId]) -> RunResult {
+        let solver_cfg = self.solver.clone().with_data_sharing();
+        let base = self.vclock;
+        let view = self.store.untimestamped_view();
+        let result = run_seq_with_store(self.pag, queries, &solver_cfg, &view, base);
+        self.vclock = base + result.stats.traversed_steps + 1;
+        self.cumulative.merge(&result.stats);
+        result
+    }
+
+    /// Running totals over every batch submitted so far. Counters are
+    /// sums; `jmp_edges`/`jmp_bytes`/`store_entries`/`avg_group_size` are
+    /// the latest batch's snapshot.
+    pub fn cumulative(&self) -> &RunStats {
+        &self.cumulative
+    }
+
+    /// Batches submitted so far.
+    pub fn batches(&self) -> usize {
+        self.cumulative.batches
+    }
+
+    /// The session's jmp store (timestamped master handle).
+    pub fn store(&self) -> &SharedJmpStore {
+        &self.store
+    }
+
+    /// Jmp entries currently resident.
+    pub fn store_entries(&self) -> usize {
+        self.store.entry_count()
+    }
+
+    /// Entries evicted over the session's lifetime (0 unless a budget was
+    /// set via [`Self::with_store_budget`]).
+    pub fn evictions(&self) -> u64 {
+        self.store.evictions()
+    }
+
+    /// The next batch's base virtual time.
+    pub fn virtual_clock(&self) -> u64 {
+        self.vclock
+    }
+
+    /// The session's schedule cache (hit/miss counters for diagnostics).
+    pub fn schedule_cache(&self) -> &ScheduleCache {
+        &self.cache
+    }
+
+    /// Forgets everything warm — store contents, memoised schedules,
+    /// virtual clock, cumulative stats — returning the session to its
+    /// just-constructed state (budget and configuration are kept).
+    pub fn reset(&mut self) {
+        self.store.clear();
+        self.cache.clear();
+        self.vclock = 0;
+        self.cumulative = RunStats::default();
+    }
+
+    fn run_config(&self, mode: Mode, backend: Backend) -> RunConfig {
+        RunConfig {
+            mode,
+            threads: self.threads,
+            backend,
+            solver: self.solver.clone(),
+            fetch_cost: self.fetch_cost,
+            group_cap: self.group_cap,
+        }
+    }
+
+    /// DQ batches pull their schedule from the session cache; the other
+    /// modes fetch single queries in input order (never worth caching).
+    fn schedule_for_batch(&self, queries: &[NodeId], mode: Mode) -> std::sync::Arc<Schedule> {
+        if mode.schedules_queries() {
+            let opts = ScheduleOptions {
+                rebalance: true,
+                max_group_size: Some(self.group_cap.unwrap_or(1)),
+            };
+            self.cache.schedule(self.pag, queries, &opts)
+        } else {
+            std::sync::Arc::new(Schedule::unscheduled(queries))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_seq;
+    use parcfl_frontend::build_pag;
+
+    const SRC: &str = "class Obj { }
+        class Box { field f: Obj; }
+        class A {
+          method mk(): Box {
+            var b: Box; var v: Obj;
+            b = new Box;
+            v = new Obj;
+            b.f = v;
+            return b;
+          }
+          method m() {
+            var p: Box; var q: Box; var x1: Obj; var x2: Obj; var x3: Obj;
+            p = call this.mk();
+            q = call this.mk();
+            x1 = p.f;
+            x2 = x1;
+            x3 = x2;
+          }
+        }";
+
+    fn solver() -> SolverConfig {
+        SolverConfig::default().without_tau_thresholds()
+    }
+
+    /// Several independent box chains: enough distinct traversal roots to
+    /// overflow a tiny store budget.
+    fn many_chains_src(n: usize) -> String {
+        let mut src = String::from("class Obj { } class Box { field f: Obj; }\nclass A {\n");
+        for i in 0..n {
+            src.push_str(&format!(
+                "method mk{i}(): Box {{ var b{i}: Box; var v{i}: Obj; \
+                 b{i} = new Box; v{i} = new Obj; b{i}.f = v{i}; return b{i}; }}\n"
+            ));
+        }
+        src.push_str("method m() {\n");
+        for i in 0..n {
+            src.push_str(&format!("var p{i}: Box; var x{i}: Obj; var y{i}: Obj;\n"));
+        }
+        for i in 0..n {
+            src.push_str(&format!(
+                "p{i} = call this.mk{i}(); x{i} = p{i}.f; y{i} = x{i};\n"
+            ));
+        }
+        src.push_str("} }\n");
+        src
+    }
+
+    #[test]
+    fn warm_batch_traverses_strictly_less() {
+        let pag = build_pag(SRC).unwrap().pag;
+        let queries = pag.application_locals();
+        let mut s = AnalysisSession::new(&pag)
+            .with_threads(4)
+            .with_solver(solver());
+        let cold = s.submit(&queries, Mode::DataSharingSched, Backend::Simulated);
+        let warm = s.submit(&queries, Mode::DataSharingSched, Backend::Simulated);
+        assert_eq!(cold.sorted_answers(), warm.sorted_answers());
+        assert!(
+            warm.stats.traversed_steps < cold.stats.traversed_steps,
+            "warm {} !< cold {}",
+            warm.stats.traversed_steps,
+            cold.stats.traversed_steps
+        );
+        assert!(
+            warm.stats.warm_hits > 0,
+            "second batch must hit warm entries"
+        );
+        assert_eq!(cold.stats.warm_hits, 0, "first batch has nothing warm");
+    }
+
+    #[test]
+    fn warm_answers_match_cold_seq_across_backends() {
+        let pag = build_pag(SRC).unwrap().pag;
+        let queries = pag.application_locals();
+        let seq = run_seq(&pag, &queries, &SolverConfig::default());
+        for backend in [Backend::Simulated, Backend::Threaded] {
+            let mut s = AnalysisSession::new(&pag)
+                .with_threads(2)
+                .with_solver(solver());
+            for _ in 0..3 {
+                let r = s.submit(&queries, Mode::DataSharingSched, backend);
+                assert_eq!(r.sorted_answers(), seq.sorted_answers(), "{backend:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn cumulative_stats_accumulate() {
+        let pag = build_pag(SRC).unwrap().pag;
+        let queries = pag.application_locals();
+        let mut s = AnalysisSession::new(&pag).with_solver(solver());
+        let a = s.submit(&queries, Mode::DataSharing, Backend::Simulated);
+        let b = s.submit(&queries, Mode::DataSharing, Backend::Simulated);
+        let cum = s.cumulative();
+        assert_eq!(cum.queries, a.stats.queries + b.stats.queries);
+        assert_eq!(
+            cum.traversed_steps,
+            a.stats.traversed_steps + b.stats.traversed_steps
+        );
+        assert_eq!(cum.warm_hits, a.stats.warm_hits + b.stats.warm_hits);
+        assert_eq!(cum.batches, 2);
+        assert_eq!(s.batches(), 2);
+        assert_eq!(cum.store_entries, s.store_entries());
+    }
+
+    #[test]
+    fn virtual_clock_advances_monotonically() {
+        let pag = build_pag(SRC).unwrap().pag;
+        let queries = pag.application_locals();
+        let mut s = AnalysisSession::new(&pag).with_solver(solver());
+        assert_eq!(s.virtual_clock(), 0);
+        s.submit(&queries, Mode::DataSharing, Backend::Simulated);
+        let after_one = s.virtual_clock();
+        assert!(after_one > 0);
+        s.submit(&queries, Mode::DataSharing, Backend::Threaded);
+        assert!(s.virtual_clock() > after_one);
+        // Every resident entry was created before the next batch's base.
+        let mut max_created = 0;
+        s.store()
+            .for_each(&mut |_, e| max_created = max_created.max(e.created_at()));
+        assert!(max_created < s.virtual_clock());
+    }
+
+    #[test]
+    fn bounded_session_respects_budget_and_keeps_answers() {
+        let src = many_chains_src(6);
+        let pag = build_pag(&src).unwrap().pag;
+        let queries = pag.application_locals();
+        let seq = run_seq(&pag, &queries, &SolverConfig::default());
+        let mut s = AnalysisSession::new(&pag)
+            .with_solver(solver())
+            .with_store_budget(2);
+        for _ in 0..3 {
+            let r = s.submit(&queries, Mode::DataSharingSched, Backend::Simulated);
+            assert_eq!(r.sorted_answers(), seq.sorted_answers());
+            assert!(
+                s.store_entries() <= 2,
+                "resident {} > budget",
+                s.store_entries()
+            );
+        }
+        assert!(s.evictions() > 0, "tiny budget must evict");
+        assert_eq!(s.cumulative().evictions, s.evictions());
+        // The same workload unbounded holds more than the budget: the cap
+        // is what kept residency down.
+        let mut unbounded = AnalysisSession::new(&pag).with_solver(solver());
+        unbounded.submit(&queries, Mode::DataSharingSched, Backend::Simulated);
+        assert!(unbounded.store_entries() > 2);
+        assert_eq!(unbounded.evictions(), 0);
+    }
+
+    #[test]
+    fn schedule_cache_hits_on_repeat_batches() {
+        let pag = build_pag(SRC).unwrap().pag;
+        let queries = pag.application_locals();
+        let mut s = AnalysisSession::new(&pag).with_solver(solver());
+        s.submit(&queries, Mode::DataSharingSched, Backend::Simulated);
+        s.submit(&queries, Mode::DataSharingSched, Backend::Simulated);
+        s.submit(&queries, Mode::DataSharingSched, Backend::Threaded);
+        assert_eq!(
+            s.schedule_cache().misses(),
+            1,
+            "one build for three batches"
+        );
+        assert_eq!(s.schedule_cache().hits(), 2);
+    }
+
+    #[test]
+    fn submit_seq_shares_through_the_session_store() {
+        let pag = build_pag(SRC).unwrap().pag;
+        let queries = pag.application_locals();
+        let seq = run_seq(&pag, &queries, &SolverConfig::default());
+        let mut s = AnalysisSession::new(&pag).with_solver(solver());
+        let cold = s.submit_seq(&queries);
+        let warm = s.submit_seq(&queries);
+        assert_eq!(cold.sorted_answers(), seq.sorted_answers());
+        assert_eq!(warm.sorted_answers(), seq.sorted_answers());
+        assert!(warm.stats.warm_hits > 0);
+        assert!(warm.stats.traversed_steps < cold.stats.traversed_steps);
+    }
+
+    #[test]
+    fn reset_returns_to_cold() {
+        let pag = build_pag(SRC).unwrap().pag;
+        let queries = pag.application_locals();
+        let mut s = AnalysisSession::new(&pag).with_solver(solver());
+        let cold = s.submit(&queries, Mode::DataSharingSched, Backend::Simulated);
+        s.reset();
+        assert_eq!(s.store_entries(), 0);
+        assert_eq!(s.virtual_clock(), 0);
+        assert_eq!(s.batches(), 0);
+        let again = s.submit(&queries, Mode::DataSharingSched, Backend::Simulated);
+        assert_eq!(again.stats.traversed_steps, cold.stats.traversed_steps);
+        assert_eq!(again.stats.warm_hits, 0);
+    }
+
+    #[test]
+    fn naive_batches_stay_cold() {
+        // Naive mode disables sharing: the session store never fills, so
+        // later batches cannot warm-start.
+        let pag = build_pag(SRC).unwrap().pag;
+        let queries = pag.application_locals();
+        let mut s = AnalysisSession::new(&pag).with_solver(solver());
+        let a = s.submit(&queries, Mode::Naive, Backend::Simulated);
+        let b = s.submit(&queries, Mode::Naive, Backend::Simulated);
+        assert_eq!(s.store_entries(), 0);
+        assert_eq!(b.stats.warm_hits, 0);
+        assert_eq!(a.stats.traversed_steps, b.stats.traversed_steps);
+    }
+}

@@ -30,6 +30,7 @@ use crate::schedule_with_cap;
 use crate::stats::{RunResult, RunStats};
 use parcfl_core::{JmpStore, SharedJmpStore, Solver};
 use parcfl_pag::{NodeId, Pag};
+use parcfl_sched::Schedule;
 
 /// Runs the configured analysis under the virtual-time simulator.
 pub fn run_simulated(pag: &Pag, queries: &[NodeId], cfg: &RunConfig) -> RunResult {
@@ -47,18 +48,39 @@ pub fn run_simulated_with_store(
     queries: &[NodeId],
     cfg: &RunConfig,
 ) -> (RunResult, SharedJmpStore) {
-    let solver_cfg = cfg.effective_solver();
     let store = SharedJmpStore::timestamped();
     let schedule = schedule_with_cap(pag, queries, cfg.mode, cfg.group_cap);
+    let (result, _end) = run_simulated_batch(pag, &schedule, cfg, &store, 0);
+    (result, store)
+}
+
+/// One simulated batch against a caller-owned (possibly warm) store.
+///
+/// The session building block: `store` may already hold jmp entries from
+/// earlier batches, all timestamped `< base`; every simulated clock starts
+/// at virtual time `base`, so those entries are visible from the first
+/// step and every hit on one counts as a warm hit. Returns the batch
+/// result (`makespan` is batch-relative: final clock minus `base`) and the
+/// absolute virtual end time — the owning session resumes its clock just
+/// past it.
+pub fn run_simulated_batch(
+    pag: &Pag,
+    schedule: &Schedule,
+    cfg: &RunConfig,
+    store: &SharedJmpStore,
+    base: u64,
+) -> (RunResult, u64) {
+    let solver_cfg = cfg.effective_solver().with_warm_floor(base);
+    let evictions_before = store.evictions();
     let start = std::time::Instant::now();
     let t = cfg.threads.max(1);
-    let mut clocks: Vec<u64> = vec![0; t];
+    let mut clocks: Vec<u64> = vec![base; t];
     let mut next_group = 0usize;
     let mut stats = RunStats::default();
-    let mut answers = Vec::with_capacity(queries.len());
-    let mut makespan = 0u64;
+    let mut answers = Vec::with_capacity(schedule.query_count());
+    let mut end = base;
     {
-        let solver = Solver::new(pag, &solver_cfg, &store);
+        let solver = Solver::new(pag, &solver_cfg, store);
         while next_group < schedule.groups.len() {
             let tid = (0..t).min_by_key(|&i| (clocks[i], i)).unwrap();
             let group = &schedule.groups[next_group];
@@ -71,15 +93,18 @@ pub fn run_simulated_with_store(
                 answers.push((q, out.answer));
             }
             clocks[tid] = v;
-            makespan = makespan.max(v);
+            end = end.max(v);
         }
     }
     stats.wall = start.elapsed();
-    stats.makespan = makespan;
+    stats.makespan = end - base;
+    stats.batches = 1;
+    stats.evictions = store.evictions() - evictions_before;
+    stats.store_entries = store.entry_count();
     stats.jmp_edges = store.stats().total_edges();
     stats.jmp_bytes = store.approx_bytes();
     stats.avg_group_size = schedule.avg_group_size;
-    (RunResult { answers, stats }, store)
+    (RunResult { answers, stats }, end)
 }
 
 #[cfg(test)]
@@ -164,8 +189,12 @@ mod tests {
         // stays) as threads grow.
         let pag = build_pag(SRC).unwrap().pag;
         let queries = pag.application_locals();
-        let m1 = run_simulated(&pag, &queries, &cfg(Mode::Naive, 1)).stats.makespan;
-        let m4 = run_simulated(&pag, &queries, &cfg(Mode::Naive, 4)).stats.makespan;
+        let m1 = run_simulated(&pag, &queries, &cfg(Mode::Naive, 1))
+            .stats
+            .makespan;
+        let m4 = run_simulated(&pag, &queries, &cfg(Mode::Naive, 4))
+            .stats
+            .makespan;
         assert!(m4 <= m1, "makespan {m4} vs {m1}");
     }
 
@@ -207,7 +236,11 @@ mod edge_case_tests {
     #[test]
     fn empty_query_set() {
         let pag = build_pag("class A { }").unwrap().pag;
-        let r = run_simulated(&pag, &[], &RunConfig::new(Mode::DataSharingSched, 4, Backend::Simulated));
+        let r = run_simulated(
+            &pag,
+            &[],
+            &RunConfig::new(Mode::DataSharingSched, 4, Backend::Simulated),
+        );
         assert_eq!(r.stats.queries, 0);
         assert_eq!(r.stats.makespan, 0);
         assert!(r.answers.is_empty());
@@ -215,13 +248,15 @@ mod edge_case_tests {
 
     #[test]
     fn more_threads_than_queries() {
-        let pag = build_pag(
-            "class Obj { } class A { method m() { var a: Obj; a = new Obj; } }",
-        )
-        .unwrap()
-        .pag;
+        let pag = build_pag("class Obj { } class A { method m() { var a: Obj; a = new Obj; } }")
+            .unwrap()
+            .pag;
         let qs = pag.application_locals();
-        let r = run_simulated(&pag, &qs, &RunConfig::new(Mode::Naive, 64, Backend::Simulated));
+        let r = run_simulated(
+            &pag,
+            &qs,
+            &RunConfig::new(Mode::Naive, 64, Backend::Simulated),
+        );
         assert_eq!(r.stats.queries, qs.len());
         // Makespan = the single most expensive query + one fetch.
         assert!(r.stats.makespan <= r.stats.traversed_steps + qs.len() as u64);
@@ -250,13 +285,15 @@ mod edge_case_tests {
 
     #[test]
     fn zero_threads_clamps_to_one() {
-        let pag = build_pag(
-            "class Obj { } class A { method m() { var a: Obj; a = new Obj; } }",
-        )
-        .unwrap()
-        .pag;
+        let pag = build_pag("class Obj { } class A { method m() { var a: Obj; a = new Obj; } }")
+            .unwrap()
+            .pag;
         let qs = pag.application_locals();
-        let r = run_simulated(&pag, &qs, &RunConfig::new(Mode::Naive, 0, Backend::Simulated));
+        let r = run_simulated(
+            &pag,
+            &qs,
+            &RunConfig::new(Mode::Naive, 0, Backend::Simulated),
+        );
         assert_eq!(r.stats.queries, qs.len());
     }
 }

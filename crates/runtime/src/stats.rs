@@ -25,6 +25,18 @@ pub struct RunStats {
     pub steps_saved: u64,
     /// Finished shortcuts taken.
     pub shortcuts_taken: u64,
+    /// Jmp-store hits served by entries published *before* this batch's
+    /// warm floor — cross-batch reuse inside an
+    /// [`crate::AnalysisSession`]. 0 for one-shot runs.
+    pub warm_hits: u64,
+    /// Entries evicted from the jmp store during this run (bounded-memory
+    /// sessions only; 0 for unbounded stores).
+    pub evictions: u64,
+    /// Entries resident in the jmp store at the end of the run.
+    pub store_entries: usize,
+    /// Batches folded into this accumulator (1 for a single run; the
+    /// session's cumulative stats count every submitted batch).
+    pub batches: usize,
     /// jmp edges in the store at the end (`#Jumps`).
     pub jmp_edges: usize,
     /// Approximate bytes held by the jmp store.
@@ -54,10 +66,18 @@ impl RunStats {
         self.traversed_steps += qs.traversed_steps;
         self.steps_saved += qs.steps_saved;
         self.shortcuts_taken += qs.shortcuts_taken;
+        self.warm_hits += qs.warm_hits;
         self.mem_items += qs.mem_items;
     }
 
-    /// Merges another accumulator (per-thread partials).
+    /// Merges another accumulator: per-thread partials within a run, or a
+    /// finished batch into a session's cumulative stats. Counters (and the
+    /// additive time measures `makespan`/`wall`/`batches`) sum; snapshot
+    /// fields (`jmp_edges`, `jmp_bytes`, `store_entries`,
+    /// `avg_group_size`) take `other`'s value when it is non-zero — the
+    /// most recent observation of shared state wins. Per-thread partials
+    /// carry zeros in every snapshot and time field, so intra-run merging
+    /// is a plain sum as before.
     pub fn merge(&mut self, other: &RunStats) {
         self.queries += other.queries;
         self.completed += other.completed;
@@ -67,7 +87,24 @@ impl RunStats {
         self.traversed_steps += other.traversed_steps;
         self.steps_saved += other.steps_saved;
         self.shortcuts_taken += other.shortcuts_taken;
+        self.warm_hits += other.warm_hits;
+        self.evictions += other.evictions;
         self.mem_items += other.mem_items;
+        self.makespan += other.makespan;
+        self.wall += other.wall;
+        self.batches += other.batches;
+        if other.jmp_edges != 0 {
+            self.jmp_edges = other.jmp_edges;
+        }
+        if other.jmp_bytes != 0 {
+            self.jmp_bytes = other.jmp_bytes;
+        }
+        if other.store_entries != 0 {
+            self.store_entries = other.store_entries;
+        }
+        if other.avg_group_size != 0.0 {
+            self.avg_group_size = other.avg_group_size;
+        }
     }
 
     /// `R_S` (Table I): steps saved per step traversed.
@@ -138,6 +175,78 @@ mod tests {
         assert_eq!(a.queries, 2);
         assert_eq!(a.charged_steps, 17);
         assert_eq!(a.early_terminations, 1);
+    }
+
+    #[test]
+    fn merge_counters_equal_sums_across_batches() {
+        // The session's cumulative accounting: merging batch stats must
+        // leave every counter equal to the sum over batches, and every
+        // snapshot field equal to the last batch's observation.
+        let batches = [
+            RunStats {
+                queries: 3,
+                completed: 2,
+                out_of_budget: 1,
+                early_terminations: 1,
+                charged_steps: 100,
+                traversed_steps: 80,
+                steps_saved: 20,
+                shortcuts_taken: 2,
+                warm_hits: 0,
+                evictions: 1,
+                store_entries: 5,
+                batches: 1,
+                jmp_edges: 7,
+                jmp_bytes: 700,
+                mem_items: 11,
+                makespan: 50,
+                wall: std::time::Duration::from_millis(3),
+                avg_group_size: 2.0,
+            },
+            RunStats {
+                queries: 2,
+                completed: 2,
+                out_of_budget: 0,
+                early_terminations: 0,
+                charged_steps: 40,
+                traversed_steps: 10,
+                steps_saved: 30,
+                shortcuts_taken: 3,
+                warm_hits: 4,
+                evictions: 2,
+                store_entries: 4,
+                batches: 1,
+                jmp_edges: 6,
+                jmp_bytes: 600,
+                mem_items: 5,
+                makespan: 9,
+                wall: std::time::Duration::from_millis(2),
+                avg_group_size: 1.5,
+            },
+        ];
+        let mut cum = RunStats::default();
+        for b in &batches {
+            cum.merge(b);
+        }
+        assert_eq!(cum.queries, 5);
+        assert_eq!(cum.completed, 4);
+        assert_eq!(cum.out_of_budget, 1);
+        assert_eq!(cum.early_terminations, 1);
+        assert_eq!(cum.charged_steps, 140);
+        assert_eq!(cum.traversed_steps, 90);
+        assert_eq!(cum.steps_saved, 50);
+        assert_eq!(cum.shortcuts_taken, 5);
+        assert_eq!(cum.warm_hits, 4);
+        assert_eq!(cum.evictions, 3);
+        assert_eq!(cum.mem_items, 16);
+        assert_eq!(cum.makespan, 59);
+        assert_eq!(cum.wall, std::time::Duration::from_millis(5));
+        assert_eq!(cum.batches, 2);
+        // Snapshots: latest batch wins.
+        assert_eq!(cum.store_entries, 4);
+        assert_eq!(cum.jmp_edges, 6);
+        assert_eq!(cum.jmp_bytes, 600);
+        assert_eq!(cum.avg_group_size, 1.5);
     }
 
     #[test]

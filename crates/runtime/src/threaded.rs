@@ -14,6 +14,7 @@ use crate::stats::{RunResult, RunStats};
 use parcfl_concurrent::SharedWorkList;
 use parcfl_core::{JmpStore, SharedJmpStore, Solver};
 use parcfl_pag::{NodeId, Pag};
+use parcfl_sched::Schedule;
 
 /// Worker stack size: the solver's mutual recursion can be deep on heap-
 /// heavy programs (bounded by `max_recursion_depth`, but each frame holds
@@ -22,9 +23,29 @@ const WORKER_STACK: usize = 64 * 1024 * 1024;
 
 /// Runs the configured analysis on real threads.
 pub fn run_threaded(pag: &Pag, queries: &[NodeId], cfg: &RunConfig) -> RunResult {
-    let solver_cfg = cfg.effective_solver();
     let store = SharedJmpStore::new();
     let schedule = schedule_with_cap(pag, queries, cfg.mode, cfg.group_cap);
+    run_threaded_batch(pag, &schedule, cfg, &store, 0)
+}
+
+/// One real-thread batch against a caller-owned (possibly warm) store.
+///
+/// The session building block. `store` should be an untimestamped handle
+/// ([`SharedJmpStore::untimestamped_view`] of the session's master): real
+/// threads must see every entry immediately, whatever its timestamp.
+/// Workers stamp new publications with `base`, so entries survive into the
+/// next batch with a creation time below its warm floor, and hits on
+/// entries stamped `< base` count as warm hits. `makespan` is the batch's
+/// own traversed-step total (real time is measured by `wall`).
+pub fn run_threaded_batch(
+    pag: &Pag,
+    schedule: &Schedule,
+    cfg: &RunConfig,
+    store: &SharedJmpStore,
+    base: u64,
+) -> RunResult {
+    let solver_cfg = cfg.effective_solver().with_warm_floor(base);
+    let evictions_before = store.evictions();
     let work: SharedWorkList<Vec<NodeId>> =
         SharedWorkList::with_items(schedule.groups.iter().cloned());
 
@@ -33,7 +54,6 @@ pub fn run_threaded(pag: &Pag, queries: &[NodeId], cfg: &RunConfig) -> RunResult
         let mut handles = Vec::with_capacity(cfg.threads);
         for _ in 0..cfg.threads.max(1) {
             let work = &work;
-            let store = &store;
             let solver_cfg = &solver_cfg;
             let handle = std::thread::Builder::new()
                 .stack_size(WORKER_STACK)
@@ -43,7 +63,7 @@ pub fn run_threaded(pag: &Pag, queries: &[NodeId], cfg: &RunConfig) -> RunResult
                     let mut local_answers = Vec::new();
                     while let Some(group) = work.pop() {
                         for q in group {
-                            let out = solver.points_to_query(q, 0);
+                            let out = solver.points_to_query(q, base);
                             local_stats.absorb(&out.stats, &out.answer);
                             local_answers.push((q, out.answer));
                         }
@@ -53,7 +73,7 @@ pub fn run_threaded(pag: &Pag, queries: &[NodeId], cfg: &RunConfig) -> RunResult
                 .expect("spawn worker");
             handles.push(handle);
         }
-        let mut answers = Vec::with_capacity(queries.len());
+        let mut answers = Vec::with_capacity(schedule.query_count());
         let mut stats = RunStats::default();
         for h in handles {
             let (a, s) = h.join().expect("worker panicked");
@@ -65,6 +85,9 @@ pub fn run_threaded(pag: &Pag, queries: &[NodeId], cfg: &RunConfig) -> RunResult
 
     stats.wall = start.elapsed();
     stats.makespan = stats.traversed_steps; // real time is measured by `wall`
+    stats.batches = 1;
+    stats.evictions = store.evictions() - evictions_before;
+    stats.store_entries = store.entry_count();
     stats.jmp_edges = store.stats().total_edges();
     stats.jmp_bytes = store.approx_bytes();
     stats.avg_group_size = schedule.avg_group_size;
@@ -127,7 +150,11 @@ mod tests {
         assert!(r.stats.jmp_edges > 0, "sharing must record jmp edges");
         assert!(r.stats.jmp_bytes > 0);
         // Naive mode records nothing.
-        let naive = run_threaded(&pag, &queries, &RunConfig::new(Mode::Naive, 2, Backend::Threaded));
+        let naive = run_threaded(
+            &pag,
+            &queries,
+            &RunConfig::new(Mode::Naive, 2, Backend::Threaded),
+        );
         assert_eq!(naive.stats.jmp_edges, 0);
     }
 }

@@ -1,0 +1,164 @@
+//! Reusable per-PAG scheduling metadata.
+//!
+//! Schedule construction has two cost classes: the per-type level table
+//! (`pag.types().levels()`, query-independent — one pass over the type
+//! hierarchy) and the per-query-set work (grouping, connection distances,
+//! ordering). A [`ScheduleCache`] computes the level table once, lazily,
+//! and memoises whole schedules keyed by the query set and options.
+//!
+//! Keying (DESIGN.md §7): the cache deliberately does **not** key on the
+//! PAG. A cache is owned by an analysis session, and a session pins
+//! exactly one `&Pag` for its lifetime — adding the PAG to the key would
+//! buy nothing and cost a hash of the graph per lookup. Callers that
+//! juggle multiple PAGs must use one cache per PAG.
+
+use crate::schedule::{build_schedule_with_levels, Schedule, ScheduleOptions};
+use parcfl_concurrent::FxHashMap;
+use parcfl_pag::{NodeId, Pag};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Memoisation key: the query set plus every option that affects the
+/// resulting schedule.
+type Key = (Vec<NodeId>, bool, Option<usize>);
+
+/// Caches scheduling metadata for one PAG: the type-level table (computed
+/// once) and fully-built schedules (keyed per query set + options).
+#[derive(Debug, Default)]
+pub struct ScheduleCache {
+    levels: OnceLock<Arc<Vec<u32>>>,
+    schedules: Mutex<FxHashMap<Key, Arc<Schedule>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ScheduleCache {
+    /// An empty cache. Bind it to one PAG: every [`Self::schedule`] call
+    /// must pass the same graph.
+    pub fn new() -> Self {
+        ScheduleCache::default()
+    }
+
+    /// The per-type level table, computed on first use.
+    pub fn levels(&self, pag: &Pag) -> Arc<Vec<u32>> {
+        self.levels
+            .get_or_init(|| Arc::new(pag.types().levels()))
+            .clone()
+    }
+
+    /// Returns the schedule for `queries` under `opts`, building it on
+    /// first request and serving the memoised copy afterwards.
+    pub fn schedule(&self, pag: &Pag, queries: &[NodeId], opts: &ScheduleOptions) -> Arc<Schedule> {
+        let key: Key = (queries.to_vec(), opts.rebalance, opts.max_group_size);
+        if let Some(hit) = self.schedules.lock().unwrap().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return hit.clone();
+        }
+        let levels = self.levels(pag);
+        let built = Arc::new(build_schedule_with_levels(pag, queries, opts, &levels));
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.schedules
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_insert(built)
+            .clone()
+    }
+
+    /// Memoised-schedule hits served so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Schedules built (cache misses) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct schedules currently memoised.
+    pub fn len(&self) -> usize {
+        self.schedules.lock().unwrap().len()
+    }
+
+    /// Whether no schedule has been memoised yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every memoised schedule (the level table is kept — it only
+    /// depends on the PAG).
+    pub fn clear(&self) {
+        self.schedules.lock().unwrap().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::build_schedule;
+    use parcfl_frontend::build_pag;
+
+    fn sample() -> Pag {
+        let src = "class Obj { }
+                   class A { method m() {
+                     var a: Obj; var b: Obj; var c: Obj; var d: Obj;
+                     a = new Obj; b = a; c = b;
+                     d = new Obj;
+                   } }";
+        build_pag(src).unwrap().pag
+    }
+
+    #[test]
+    fn cached_schedule_matches_direct_build() {
+        let pag = sample();
+        let queries = pag.application_locals();
+        let opts = ScheduleOptions::default();
+        let cache = ScheduleCache::new();
+        let cached = cache.schedule(&pag, &queries, &opts);
+        let direct = build_schedule(&pag, &queries, &opts);
+        assert_eq!(cached.groups, direct.groups);
+        assert_eq!(cached.avg_group_size, direct.avg_group_size);
+    }
+
+    #[test]
+    fn repeat_requests_hit() {
+        let pag = sample();
+        let queries = pag.application_locals();
+        let opts = ScheduleOptions::default();
+        let cache = ScheduleCache::new();
+        let a = cache.schedule(&pag, &queries, &opts);
+        let b = cache.schedule(&pag, &queries, &opts);
+        assert!(Arc::ptr_eq(&a, &b), "second request serves the same Arc");
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_build_distinct_schedules() {
+        let pag = sample();
+        let queries = pag.application_locals();
+        let cache = ScheduleCache::new();
+        let balanced = cache.schedule(&pag, &queries, &ScheduleOptions::default());
+        let raw = cache.schedule(
+            &pag,
+            &queries,
+            &ScheduleOptions {
+                rebalance: false,
+                max_group_size: None,
+            },
+        );
+        assert!(!Arc::ptr_eq(&balanced, &raw));
+        assert_eq!(cache.misses(), 2);
+        // Subset of the queries is its own key too.
+        let sub = cache.schedule(&pag, &queries[..2], &ScheduleOptions::default());
+        assert_eq!(sub.query_count(), 2);
+        assert_eq!(cache.len(), 3);
+        cache.clear();
+        assert!(cache.is_empty());
+        // The level table survives clear(): next build is still a miss but
+        // reuses the table.
+        cache.schedule(&pag, &queries, &ScheduleOptions::default());
+        assert_eq!(cache.misses(), 4);
+    }
+}

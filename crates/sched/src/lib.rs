@@ -13,12 +13,18 @@
 //!    order the groups themselves;
 //! 3. [`schedule`] — groups are rebalanced towards the mean size `M`
 //!    (split/merge) and emitted in increasing-DD order.
+//!
+//! Long-lived clients (analysis sessions answering many batches over one
+//! PAG) use [`cache::ScheduleCache`] to compute the query-independent
+//! metadata once and memoise whole schedules per query set.
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod groups;
 pub mod metrics;
 pub mod schedule;
 
+pub use cache::ScheduleCache;
 pub use groups::Groups;
-pub use schedule::{build_schedule, Schedule, ScheduleOptions};
+pub use schedule::{build_schedule, build_schedule_with_levels, Schedule, ScheduleOptions};

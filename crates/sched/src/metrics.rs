@@ -74,10 +74,21 @@ fn group_cds(pag: &Pag, nodes: &[NodeId]) -> Vec<(NodeId, u64)> {
 
 /// Type level `L(t)` for every query variable (0 for non-reference types).
 pub fn type_levels(pag: &Pag, queries: &[NodeId]) -> FxHashMap<NodeId, u32> {
-    let levels = pag.types().levels();
+    type_levels_from(&pag.types().levels(), pag, queries)
+}
+
+/// [`type_levels`] with the per-type level table precomputed. The table is
+/// query-independent (one `pag.types().levels()` pass per PAG), so callers
+/// issuing many schedules over one PAG — the schedule cache — compute it
+/// once and project per query set.
+pub fn type_levels_from(
+    all_levels: &[u32],
+    pag: &Pag,
+    queries: &[NodeId],
+) -> FxHashMap<NodeId, u32> {
     queries
         .iter()
-        .map(|&q| (q, levels[pag.node(q).ty.index()]))
+        .map(|&q| (q, all_levels[pag.node(q).ty.index()]))
         .collect()
 }
 

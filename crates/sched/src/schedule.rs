@@ -6,7 +6,7 @@
 //! work list.
 
 use crate::groups::Groups;
-use crate::metrics::{connection_distances, group_level, type_levels};
+use crate::metrics::{connection_distances, group_level, type_levels_from};
 use parcfl_pag::{NodeId, Pag};
 
 /// Options for schedule construction.
@@ -65,6 +65,18 @@ impl Schedule {
 
 /// Builds the paper's DQ schedule for `queries` over `pag`.
 pub fn build_schedule(pag: &Pag, queries: &[NodeId], opts: &ScheduleOptions) -> Schedule {
+    build_schedule_with_levels(pag, queries, opts, &pag.types().levels())
+}
+
+/// [`build_schedule`] with the per-type level table precomputed —
+/// the query-independent metadata a [`crate::cache::ScheduleCache`]
+/// computes once per PAG and reuses across batches.
+pub fn build_schedule_with_levels(
+    pag: &Pag,
+    queries: &[NodeId],
+    opts: &ScheduleOptions,
+    all_levels: &[u32],
+) -> Schedule {
     if queries.is_empty() {
         return Schedule {
             groups: Vec::new(),
@@ -73,7 +85,7 @@ pub fn build_schedule(pag: &Pag, queries: &[NodeId], opts: &ScheduleOptions) -> 
     }
     let groups = Groups::build(pag, queries);
     let cds = connection_distances(pag, &groups);
-    let levels = type_levels(pag, queries);
+    let levels = type_levels_from(all_levels, pag, queries);
 
     // Order members within each group by increasing CD (ties by node id for
     // determinism).
@@ -91,11 +103,19 @@ pub fn build_schedule(pag: &Pag, queries: &[NodeId], opts: &ScheduleOptions) -> 
     // Level-0 groups (primitives/opaque) sort last. Ties broken by smallest
     // member id for determinism.
     ordered.sort_by(|(la, ga), (lb, gb)| {
-        let key_a = if *la == 0 { u32::MAX } else { u32::MAX - 1 - la };
-        let key_b = if *lb == 0 { u32::MAX } else { u32::MAX - 1 - lb };
-        key_a.cmp(&key_b).then_with(|| {
-            ga.iter().min().cmp(&gb.iter().min())
-        })
+        let key_a = if *la == 0 {
+            u32::MAX
+        } else {
+            u32::MAX - 1 - la
+        };
+        let key_b = if *lb == 0 {
+            u32::MAX
+        } else {
+            u32::MAX - 1 - lb
+        };
+        key_a
+            .cmp(&key_b)
+            .then_with(|| ga.iter().min().cmp(&gb.iter().min()))
     });
 
     let group_count = ordered.len();

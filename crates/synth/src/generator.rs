@@ -256,9 +256,7 @@ impl<'p> Generator<'p> {
 
         // Application classes.
         for a in 0..self.p.app_classes {
-            let superclass = if a > 0
-                && self.rng.random_range(0..100) < self.p.subclass_percent
-            {
+            let superclass = if a > 0 && self.rng.random_range(0..100) < self.p.subclass_percent {
                 Some(names::app_class(self.rng.random_range(0..a)))
             } else {
                 None
@@ -608,7 +606,10 @@ impl<'p> Generator<'p> {
         for j in 0..depth {
             let bty = TypeRef::Class(names::box_class(j));
             let b = body.fresh(bty.clone());
-            body.push(Stmt::New { dst: lv(&b), ty: bty });
+            body.push(Stmt::New {
+                dst: lv(&b),
+                ty: bty,
+            });
             let arg = if j == 0 { lv(last) } else { lv(&boxes[j - 1]) };
             body.push(Stmt::VirtualCall {
                 dst: None,
@@ -704,8 +705,8 @@ mod tests {
     fn all_table1_profiles_generate_and_extract() {
         for p in table1_profiles() {
             let prog = generate(&p);
-            let e = extract(&prog)
-                .unwrap_or_else(|err| panic!("{} failed to extract: {err}", p.name));
+            let e =
+                extract(&prog).unwrap_or_else(|err| panic!("{} failed to extract: {err}", p.name));
             assert!(
                 e.warnings.is_empty(),
                 "{} warnings: {:?}",

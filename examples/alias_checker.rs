@@ -87,22 +87,38 @@ fn main() {
 
     // The interesting precision facts, asserted:
     assert_eq!(
-        may_alias(&solver, var(&pag, "in1@Worker.run"), var(&pag, "in2@Worker.run")),
+        may_alias(
+            &solver,
+            var(&pag, "in1@Worker.run"),
+            var(&pag, "in2@Worker.run")
+        ),
         Some(false),
         "distinct buffers never alias"
     );
     assert_eq!(
-        may_alias(&solver, var(&pag, "in1@Worker.run"), var(&pag, "shared@Worker.run")),
+        may_alias(
+            &solver,
+            var(&pag, "in1@Worker.run"),
+            var(&pag, "shared@Worker.run")
+        ),
         Some(true),
         "shared = in1 aliases"
     );
     assert_eq!(
-        may_alias(&solver, var(&pag, "out1@Worker.run"), var(&pag, "out2@Worker.run")),
+        may_alias(
+            &solver,
+            var(&pag, "out1@Worker.run"),
+            var(&pag, "out2@Worker.run")
+        ),
         Some(false),
         "context-sensitive drains stay separate"
     );
     assert_eq!(
-        may_alias(&solver, var(&pag, "out1@Worker.run"), var(&pag, "both@Worker.run")),
+        may_alias(
+            &solver,
+            var(&pag, "out1@Worker.run"),
+            var(&pag, "both@Worker.run")
+        ),
         Some(true),
         "draining the shared buffer returns v1's object too"
     );

@@ -4,17 +4,21 @@
 //! query scheduling.
 //!
 //! Generates a Table I-shaped synthetic benchmark, runs `SeqCFL` and
-//! `ParCFL` in its three configurations, and prints the speedup breakdown.
+//! `ParCFL` in its three configurations through a persistent
+//! [`AnalysisSession`], prints the speedup breakdown, then re-submits the
+//! batch to show what the warm jmp store saves a follow-up request.
 //!
 //! ```sh
 //! cargo run --release --example batch_analysis [benchmark-name]
 //! ```
 
-use parcfl::runtime::{run_seq, run_simulated, Backend, Mode, RunConfig};
+use parcfl::runtime::{run_seq, AnalysisSession, Backend, Mode};
 use parcfl::synth::{build_bench, table1_profiles};
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "_202_jess".into());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "_202_jess".into());
     let profile = table1_profiles()
         .into_iter()
         .find(|p| p.name == name)
@@ -39,10 +43,7 @@ fn main() {
     let seq = run_seq(&b.pag, &b.queries, &b.solver);
     println!(
         "\nSeqCFL: {} steps traversed, {} queries answered, {} out of budget ({:?} wall)",
-        seq.stats.traversed_steps,
-        seq.stats.completed,
-        seq.stats.out_of_budget,
-        seq.stats.wall
+        seq.stats.traversed_steps, seq.stats.completed, seq.stats.out_of_budget, seq.stats.wall
     );
 
     for (label, mode, threads) in [
@@ -50,9 +51,12 @@ fn main() {
         ("ParCFL(16, D)    ", Mode::DataSharing, 16),
         ("ParCFL(16, DQ)   ", Mode::DataSharingSched, 16),
     ] {
-        let mut cfg = RunConfig::new(mode, threads, Backend::Simulated);
-        cfg.solver = b.solver.clone();
-        let r = run_simulated(&b.pag, &b.queries, &cfg);
+        // One cold session per mode: each configuration starts from an
+        // empty jmp store, exactly like the paper's one-shot runs.
+        let mut session = AnalysisSession::new(&b.pag)
+            .with_threads(threads)
+            .with_solver(b.solver.clone());
+        let r = session.submit(&b.queries, mode, Backend::Simulated);
         assert_eq!(r.stats.queries, b.queries.len());
         println!(
             "{label}: speedup {:>6.1}x | traversed {:>10} | saved {:>10} | jmps {:>6} | ETs {}",
@@ -63,6 +67,28 @@ fn main() {
             r.stats.early_terminations,
         );
     }
+
+    // The service scenario: keep the DQ session alive and answer the same
+    // batch again — the warm store turns prior work into shortcuts.
+    let mut session = AnalysisSession::new(&b.pag)
+        .with_threads(16)
+        .with_solver(b.solver.clone());
+    let cold = session.submit(&b.queries, Mode::DataSharingSched, Backend::Simulated);
+    let warm = session.submit(&b.queries, Mode::DataSharingSched, Backend::Simulated);
+    assert_eq!(warm.sorted_answers(), cold.sorted_answers());
+    println!(
+        "\nwarm re-submit (DQ):  traversed {:>10} vs cold {:>10} | warm hits {:>6} | {} entries resident",
+        warm.stats.traversed_steps,
+        cold.stats.traversed_steps,
+        warm.stats.warm_hits,
+        session.store_entries(),
+    );
+    println!(
+        "session totals: {} batches, {} queries, {} steps traversed",
+        session.cumulative().batches,
+        session.cumulative().queries,
+        session.cumulative().traversed_steps,
+    );
     println!(
         "\n(simulated 16-thread virtual time; see DESIGN.md for the \
          single-core substitution argument)"

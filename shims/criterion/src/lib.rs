@@ -1,0 +1,144 @@
+//! Minimal `criterion` shim (see `shims/README.md`).
+//!
+//! A smoke harness, not a statistics engine: each `bench_function` runs
+//! the closure a handful of iterations and prints mean wall time. Keeps
+//! the workspace's `benches/` compiling and runnable offline; numbers
+//! are indicative only.
+
+use std::time::{Duration, Instant};
+
+/// Iterations per benchmark. The real criterion calibrates; the shim
+/// runs a small fixed count so `cargo bench` finishes quickly.
+const SHIM_ITERS: u32 = 10;
+
+/// Entry point handed to benchmark functions.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Reads CLI configuration (no-op in the shim; accepts and ignores
+    /// harness flags like `--bench`).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("group {name}");
+        BenchmarkGroup {}
+    }
+
+    /// Final-summary hook (no-op in the shim).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup {}
+
+impl BenchmarkGroup {
+    /// Sets the sample count (advisory; the shim runs a fixed count).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the target measurement time (advisory in the shim).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark and prints its mean iteration time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        let mean = if b.iters == 0 {
+            Duration::ZERO
+        } else {
+            b.total / b.iters
+        };
+        println!("  {name:<24} {mean:>12.2?}/iter ({} iters)", b.iters);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher {
+    total: Duration,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Times `routine` over the shim's fixed iteration count.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        for _ in 0..SHIM_ITERS {
+            let t = Instant::now();
+            std::hint::black_box(routine());
+            self.total += t.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    /// Times `routine` with a fresh untimed `setup` product per iteration.
+    pub fn iter_with_setup<S, R, Setup, F>(&mut self, mut setup: Setup, mut routine: F)
+    where
+        Setup: FnMut() -> S,
+        F: FnMut(S) -> R,
+    {
+        for _ in 0..SHIM_ITERS {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            self.total += t.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($target(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(5);
+        g.bench_function("add", |b| b.iter(|| 1u64 + 1));
+        g.bench_function("with_setup", |b| {
+            b.iter_with_setup(|| vec![1, 2, 3], |v| v.iter().sum::<i32>())
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,59 @@
+//! Minimal `crossbeam` shim (see `shims/README.md`).
+
+/// Subset of `crossbeam::utils`.
+pub mod utils {
+    use std::ops::{Deref, DerefMut};
+
+    /// Pads and aligns a value to (at least) a cache-line boundary so
+    /// adjacent values never share a line (false-sharing avoidance).
+    #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+    #[repr(align(128))]
+    pub struct CachePadded<T>(T);
+
+    impl<T> CachePadded<T> {
+        /// Wraps `value` in cache-line padding.
+        pub const fn new(value: T) -> Self {
+            CachePadded(value)
+        }
+
+        /// Unwraps the padded value.
+        pub fn into_inner(self) -> T {
+            self.0
+        }
+    }
+
+    impl<T> Deref for CachePadded<T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.0
+        }
+    }
+
+    impl<T> DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.0
+        }
+    }
+
+    impl<T> From<T> for CachePadded<T> {
+        fn from(value: T) -> Self {
+            CachePadded::new(value)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::utils::CachePadded;
+
+    #[test]
+    fn padded_is_aligned_and_transparent() {
+        let c = CachePadded::new(7u64);
+        assert_eq!(*c, 7);
+        assert_eq!(std::mem::align_of::<CachePadded<u64>>(), 128);
+        assert_eq!(c.into_inner(), 7);
+        let mut m = CachePadded::new(1u32);
+        *m += 1;
+        assert_eq!(*m, 2);
+    }
+}

@@ -1,0 +1,149 @@
+//! Minimal `rand` shim (see `shims/README.md`).
+//!
+//! Provides a deterministic splitmix64-based [`rngs::StdRng`] with the
+//! `seed_from_u64` / `random_range` / `random_bool` surface the workload
+//! generator uses. Not cryptographic; modulo sampling bias is irrelevant
+//! at the span sizes used here.
+
+use std::ops::{Bound, RangeBounds};
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Integer types [`RngExt::random_range`] can sample.
+pub trait UniformInt: Copy + PartialOrd {
+    /// Widening conversion used for span arithmetic.
+    fn to_i128(self) -> i128;
+    /// Narrowing conversion back (guaranteed in range by construction).
+    fn from_i128(v: i128) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            fn to_i128(self) -> i128 {
+                self as i128
+            }
+            fn from_i128(v: i128) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The sampling methods, blanket-implemented for every [`RngCore`]
+/// (mirrors rand 0.10's `Rng`/`RngExt` split).
+pub trait RngExt: RngCore {
+    /// A uniform sample from `range`. Panics on an empty range.
+    fn random_range<T: UniformInt, R: RangeBounds<T>>(&mut self, range: R) -> T {
+        let lo = match range.start_bound() {
+            Bound::Included(&x) => x.to_i128(),
+            Bound::Excluded(&x) => x.to_i128() + 1,
+            Bound::Unbounded => panic!("random_range requires a lower bound"),
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&x) => x.to_i128(),
+            Bound::Excluded(&x) => x.to_i128() - 1,
+            Bound::Unbounded => panic!("random_range requires an upper bound"),
+        };
+        assert!(lo <= hi, "cannot sample empty range");
+        let span = (hi - lo + 1) as u128;
+        let r = ((self.next_u64() as u128) % span) as i128;
+        T::from_i128(lo + r)
+    }
+
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        if p >= 1.0 {
+            // Guard the one-in-2^64 draw where the ratio below hits 1.0.
+            self.next_u64();
+            return true;
+        }
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+/// Standard generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A deterministic splitmix64 generator (stands in for rand's
+    /// `StdRng`; same trait surface, different — but stable — stream).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // splitmix64 (Vigna): passes BigCrush for this use.
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0usize..1000), b.random_range(0usize..1000));
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        let same = (0..20).all(|_| a.random_range(0u64..1 << 32) == c.random_range(0u64..1 << 32));
+        assert!(!same, "different seeds diverge");
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: usize = rng.random_range(3..7);
+            assert!((3..7).contains(&x));
+            let y: u32 = rng.random_range(0..=5);
+            assert!(y <= 5);
+            let z: i32 = rng.random_range(-4..=4);
+            assert!((-4..=4).contains(&z));
+        }
+        let w: usize = rng.random_range(2..3);
+        assert_eq!(w, 2, "singleton range");
+    }
+
+    #[test]
+    fn bool_probabilities_extreme() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(!(0..100).any(|_| rng.random_bool(0.0)));
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+        let heads = (0..10_000).filter(|_| rng.random_bool(0.5)).count();
+        assert!((4_000..6_000).contains(&heads), "fair-ish coin: {heads}");
+    }
+}

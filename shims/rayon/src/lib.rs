@@ -1,0 +1,159 @@
+//! Minimal `rayon` shim (see `shims/README.md`).
+//!
+//! Executes sequentially: every call site in this workspace is a bulk
+//! map whose output order rayon preserves anyway, so results are
+//! bit-identical. The evaluation host is single-core; the system's
+//! parallelism evaluation runs on the virtual-time simulator (DESIGN.md),
+//! not on rayon.
+
+/// The common imports, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParIter};
+}
+
+/// A "parallel" iterator — a thin wrapper over a sequential iterator
+/// providing the rayon combinators the workspace uses.
+pub struct ParIter<I>(I);
+
+impl<I: Iterator> ParIter<I> {
+    /// Maps each item (rayon's `map`).
+    pub fn map<R, F: FnMut(I::Item) -> R>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+        ParIter(self.0.map(f))
+    }
+
+    /// Flat-maps each item through a serial iterator (rayon's
+    /// `flat_map_iter`).
+    pub fn flat_map_iter<U, F>(self, f: F) -> ParIter<std::iter::FlatMap<I, U, F>>
+    where
+        U: IntoIterator,
+        F: FnMut(I::Item) -> U,
+    {
+        ParIter(self.0.flat_map(f))
+    }
+
+    /// Filters items (rayon's `filter`).
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<std::iter::Filter<I, F>> {
+        ParIter(self.0.filter(f))
+    }
+
+    /// Collects into any `FromIterator` container, preserving order.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    /// Sums the items.
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    /// Applies `f` to every item (rayon's `for_each`).
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+}
+
+/// `par_iter()` over a `&self` collection, mirroring
+/// `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'a> {
+    /// The borrowed item type.
+    type Item: 'a;
+    /// The underlying sequential iterator.
+    type Iter: Iterator<Item = Self::Item>;
+
+    /// Returns the (sequential) "parallel" iterator.
+    fn par_iter(&'a self) -> ParIter<Self::Iter>;
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = std::slice::Iter<'a, T>;
+    fn par_iter(&'a self) -> ParIter<Self::Iter> {
+        ParIter(self.iter())
+    }
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = std::slice::Iter<'a, T>;
+    fn par_iter(&'a self) -> ParIter<Self::Iter> {
+        ParIter(self.iter())
+    }
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error type of [`ThreadPoolBuilder::build`] (never produced).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error (shim; unreachable)")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder.
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Records the requested worker count (advisory in the shim).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the (sequential) pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            _num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A "pool" that runs closures on the calling thread.
+pub struct ThreadPool {
+    _num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` within the pool (here: inline).
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        f()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v = vec![1, 2, 3];
+        let out: Vec<i32> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn flat_map_iter_flattens() {
+        let v = vec![(1, 2), (3, 4)];
+        let out: Vec<i32> = v.par_iter().flat_map_iter(|&(a, b)| vec![a, b]).collect();
+        assert_eq!(out, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn pool_installs_inline() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        assert_eq!(pool.install(|| 41 + 1), 42);
+    }
+}

@@ -216,7 +216,9 @@ fn cmd_stats(args: &[String]) {
 
 fn cmd_dot(args: &[String]) {
     let (pag, _) = load(args);
-    let _ = std::io::stdout().lock().write_all(parcfl::pag::dot::to_dot(&pag).as_bytes());
+    let _ = std::io::stdout()
+        .lock()
+        .write_all(parcfl::pag::dot::to_dot(&pag).as_bytes());
 }
 
 fn cmd_gen(args: &[String]) {
@@ -256,7 +258,11 @@ fn cmd_why(args: &[String]) {
         }
         Some(objs) => {
             for (o, c) in objs {
-                outln!("--- {} may point to {} ---", pag.node(v).name, pag.node(*o).name);
+                outln!(
+                    "--- {} may point to {} ---",
+                    pag.node(v).name,
+                    pag.node(*o).name
+                );
                 match trace.witness(*o, c) {
                     Some(w) => outln!("{}", w.render(&pag)),
                     None => outln!("(no witness recorded)"),

@@ -4,6 +4,8 @@
 
 pub mod clients;
 
+pub use parcfl_runtime::AnalysisSession;
+
 pub use parcfl_andersen as andersen;
 pub use parcfl_concurrent as concurrent;
 pub use parcfl_core as core;

@@ -95,7 +95,10 @@ fn budget_monotonicity() {
         &SolverConfig::default().with_budget(5_000_000),
     );
     assert_eq!(hi.stats.out_of_budget, 0);
-    assert!(lo.stats.out_of_budget > 0, "test needs a binding low budget");
+    assert!(
+        lo.stats.out_of_budget > 0,
+        "test needs a binding low budget"
+    );
     for ((qa, a), (qb, h)) in lo.sorted_answers().iter().zip(hi.sorted_answers().iter()) {
         assert_eq!(qa, qb);
         if let Answer::Complete(_) = a {

@@ -135,7 +135,9 @@ fn flows_to_duality_on_the_example() {
     let queries: Vec<NodeId> = pag.application_locals();
     for &v in &queries {
         let pts = solver.points_to_query(v, 0);
-        let Some(objs) = pts.answer.nodes() else { continue };
+        let Some(objs) = pts.answer.nodes() else {
+            continue;
+        };
         for o in objs {
             let ft = solver.flows_to_query(o, 0);
             let vars = ft
@@ -163,5 +165,8 @@ fn fig2_statistics_are_sane() {
     assert!(stats.loads >= 3);
     assert!(stats.stores >= 2);
     // Sanity on helper used above.
-    assert!(object_of(&["o0@Vector.<init>".to_string()], "Vector.<init>"));
+    assert!(object_of(
+        &["o0@Vector.<init>".to_string()],
+        "Vector.<init>"
+    ));
 }

@@ -75,7 +75,10 @@ fn linked_list_recursive_heap_exhausts_budget_but_locals_resolve() {
     let got = pag.node_by_name("got@Main.main").unwrap();
     let out = solver.points_to_query(got, 0);
     assert_eq!(out.answer, parcfl::core::Answer::OutOfBudget);
-    assert!(out.stats.charged_steps > cfg.budget, "budget fully consumed");
+    assert!(
+        out.stats.charged_steps > cfg.budget,
+        "budget fully consumed"
+    );
 
     // The call-graph recursion (walk -> walk) was collapsed at extraction:
     // self-recursive param/ret edges became plain assignments.

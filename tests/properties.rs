@@ -4,9 +4,9 @@
 //! so each case exercises the full pipeline: generation → parse round-trip
 //! → extraction → analysis.
 
-use proptest::prelude::*;
 use parcfl::core::{Answer, NoJmpStore, SharedJmpStore, Solver, SolverConfig};
 use parcfl::synth::{generate, Profile};
+use proptest::prelude::*;
 
 fn small_profile(seed: u64, apps: usize, idioms: usize) -> Profile {
     Profile {

@@ -41,11 +41,7 @@ fn threaded_tight_budget_never_loses_queries() {
         // Completed answers, whenever they appear, are always the same as
         // a sequential run's (shared state cannot change results).
         let seq = parcfl::runtime::run_seq(&b.pag, &b.queries, &cfg.solver);
-        for ((qa, a), (qb, s)) in r
-            .sorted_answers()
-            .iter()
-            .zip(seq.sorted_answers().iter())
-        {
+        for ((qa, a), (qb, s)) in r.sorted_answers().iter().zip(seq.sorted_answers().iter()) {
             assert_eq!(qa, qb);
             if let (Answer::Complete(_), Answer::Complete(_)) = (a, s) {
                 assert_eq!(a, s);
