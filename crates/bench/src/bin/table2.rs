@@ -4,7 +4,9 @@
 //! parallelise) versus the demand-driven CFL analysis answering only the
 //! queries a client actually asks.
 
+use parcfl_bench::print_worker_table;
 use parcfl_core::{NoJmpStore, Solver};
+use parcfl_runtime::{run_threaded, Backend, Mode, RunConfig};
 
 struct Row {
     work: &'static str,
@@ -158,5 +160,27 @@ fn main() {
     println!(
         "Precision: CFL is context-sensitive; Andersen conflates call sites \
          (see tests/properties.rs::andersen_over_approximates_cfl)."
+    );
+
+    // Per-worker contention sidebar: the same threaded workload dispatched
+    // through the paper's mutex work list and through the work-stealing
+    // scheduler, with each worker's fetch/steal/idle/wait record.
+    println!("\n--- sidebar: threaded dispatch contention (mutex vs stealing, 4 workers) ---");
+    let base = RunConfig::new(Mode::DataSharingSched, 4, Backend::Threaded)
+        .with_solver(b.solver.clone().without_tau_thresholds());
+    let mutex = run_threaded(&b.pag, &b.queries, &base);
+    let stealing = run_threaded(&b.pag, &b.queries, &base.clone().with_stealing(true));
+    assert_eq!(
+        mutex.sorted_answers(),
+        stealing.sorted_answers(),
+        "dispatch discipline must not change answers"
+    );
+    print_worker_table("mutex", &mutex.stats);
+    print_worker_table("stealing", &stealing.stats);
+    println!(
+        "total lock wait: mutex {:?} vs stealing {:?} (stealing also waited {:?} on steals)",
+        mutex.stats.total_lock_wait(),
+        stealing.stats.total_lock_wait(),
+        stealing.stats.total_steal_wait(),
     );
 }

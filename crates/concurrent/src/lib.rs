@@ -9,6 +9,9 @@
 //!   first-writer-wins `try_insert` matching the paper's race rules;
 //! * [`worklist::SharedWorkList`] — the lock-protected shared query work
 //!   list of Section III-A;
+//! * [`stealing::StealQueues`] — the work-stealing successor to the shared
+//!   list: per-worker deques, steal-half, idle-count/final-sweep
+//!   termination, with per-worker observability ([`stealing::WorkerObs`]);
 //! * [`counters`] — cache-padded atomic statistics counters.
 
 #![warn(missing_docs)]
@@ -16,9 +19,11 @@
 pub mod counters;
 pub mod fxhash;
 pub mod sharded_map;
+pub mod stealing;
 pub mod worklist;
 
 pub use counters::{Counter, MaxTracker};
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use sharded_map::ShardedMap;
+pub use stealing::{StealQueues, WorkerObs};
 pub use worklist::SharedWorkList;

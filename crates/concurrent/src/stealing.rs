@@ -1,0 +1,484 @@
+//! Work-stealing query scheduler — the scalable successor to the paper's
+//! single lock-protected work list ([`crate::SharedWorkList`],
+//! Section III-A).
+//!
+//! Every worker owns a deque seeded round-robin with the schedule's query
+//! groups, each worker's share kept in schedule order (intra-group
+//! dependence order is untouched: a group is one indivisible work item).
+//! A worker pops from the *front* of its own deque — the LIFO end relative
+//! to [`StealQueues::push_local`], and the earliest-scheduled end for the
+//! seeds — so the global fetch order approximates the DQ schedule while
+//! freshly pushed work stays cache-hot. A worker whose deque runs dry
+//! becomes a thief: it visits victims by rotation (starting at its right
+//! neighbour) and steals *half* of a victim's deque from the back — the
+//! latest-scheduled groups, which the victim would reach last anyway.
+//!
+//! ## Termination protocol (idle count + final sweep)
+//!
+//! Workers that find every deque empty register themselves idle and spin
+//! on the per-deque length gauges (no locks). A worker observing
+//! `idle == workers` performs a final sweep, re-checking every deque under
+//! its lock; only when the sweep still finds nothing does it conclude the
+//! run. This is correct for any worker count from 1 to N *given the
+//! scheduler's workload model*: executing an item never enqueues new items
+//! (query groups are fixed up front), so once every deque is empty and
+//! every worker idle, no work can ever appear again. A worker that leaves
+//! with `None` stays counted idle, letting the remaining workers reach the
+//! same conclusion. The scheduler is one-shot: drain it, then drop it.
+//!
+//! Every fetch path is accounted in a caller-owned [`WorkerObs`], the
+//! per-worker observability record that `RunStats` aggregates and the
+//! `table2`/`warm_cache` benches print: contention is measured, not
+//! guessed.
+
+use crossbeam::utils::CachePadded;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Spins on the length gauges before an idle worker starts yielding its
+/// timeslice to the OS (essential on machines with fewer cores than
+/// workers).
+const SPINS_BEFORE_YIELD: u64 = 64;
+
+/// Per-worker scheduler observability: one record per worker per batch,
+/// filled by the fetch paths (pops, steals, idling, lock waits) and by the
+/// runtime's worker loop (queries answered, steps traversed).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WorkerObs {
+    /// Worker index within the batch.
+    pub worker: usize,
+    /// Items fetched from the worker's own deque (for the mutex backend:
+    /// fetches from the shared list).
+    pub local_pops: u64,
+    /// Steal attempts (victim visits), successful or not.
+    pub steals_attempted: u64,
+    /// Steal attempts that came back with at least one item.
+    pub steals_succeeded: u64,
+    /// Items moved by successful steals (≥ `steals_succeeded`: half the
+    /// victim's deque moves per steal).
+    pub items_stolen: u64,
+    /// Spins in the idle loop waiting for work to appear (or for the
+    /// termination protocol to conclude).
+    pub idle_spins: u64,
+    /// Queries this worker answered (filled by the runtime).
+    pub queries: u64,
+    /// Steps this worker traversed (filled by the runtime).
+    pub steps: u64,
+    /// Nanoseconds spent acquiring work-list/deque locks on the fetch
+    /// path (the mutex backend's contention measure).
+    pub lock_wait_ns: u64,
+    /// Nanoseconds spent inside steal attempts, victim locks included.
+    pub steal_wait_ns: u64,
+}
+
+impl WorkerObs {
+    /// A zeroed record for worker `worker`.
+    pub fn new(worker: usize) -> Self {
+        WorkerObs {
+            worker,
+            ..WorkerObs::default()
+        }
+    }
+
+    /// Lock wait as a [`Duration`].
+    pub fn lock_wait(&self) -> Duration {
+        Duration::from_nanos(self.lock_wait_ns)
+    }
+
+    /// Steal wait as a [`Duration`].
+    pub fn steal_wait(&self) -> Duration {
+        Duration::from_nanos(self.steal_wait_ns)
+    }
+
+    /// Folds another record's counters in (the owning `worker` index is
+    /// kept): sessions sum batch records per worker slot.
+    pub fn absorb(&mut self, other: &WorkerObs) {
+        self.local_pops += other.local_pops;
+        self.steals_attempted += other.steals_attempted;
+        self.steals_succeeded += other.steals_succeeded;
+        self.items_stolen += other.items_stolen;
+        self.idle_spins += other.idle_spins;
+        self.queries += other.queries;
+        self.steps += other.steps;
+        self.lock_wait_ns += other.lock_wait_ns;
+        self.steal_wait_ns += other.steal_wait_ns;
+    }
+}
+
+/// One worker's deque plus its lock-free length gauge (kept exact under
+/// the lock so idle workers can scan for work without touching any lock).
+struct WorkerQueue<T> {
+    items: Mutex<VecDeque<T>>,
+    len: AtomicUsize,
+}
+
+impl<T> WorkerQueue<T> {
+    fn new(seed: Vec<T>) -> Self {
+        let len = seed.len();
+        WorkerQueue {
+            items: Mutex::new(seed.into()),
+            len: AtomicUsize::new(len),
+        }
+    }
+}
+
+/// The work-stealing scheduler: per-worker deques with steal-half and the
+/// idle-count/final-sweep termination protocol (module docs).
+pub struct StealQueues<T> {
+    queues: Vec<CachePadded<WorkerQueue<T>>>,
+    /// Workers currently parked in the idle loop. Never decremented by a
+    /// worker that concluded termination, so stragglers reach the same
+    /// verdict.
+    idle: AtomicUsize,
+    /// Set by [`Self::abort`]: every fetch returns `None` immediately.
+    /// Essential when a worker dies mid-item — a panicked worker never
+    /// registers idle, so without abort its peers would wait forever for
+    /// `idle == workers`.
+    aborted: AtomicBool,
+}
+
+impl<T> StealQueues<T> {
+    /// Builds the scheduler from per-worker seed lists, each in that
+    /// worker's intended execution order (`seeds[w][0]` runs first).
+    /// Use [`Self::round_robin`] to derive the seeds from one ordered
+    /// work list.
+    pub fn new(seeds: Vec<Vec<T>>) -> Self {
+        assert!(!seeds.is_empty(), "at least one worker");
+        StealQueues {
+            queues: seeds
+                .into_iter()
+                .map(|s| CachePadded::new(WorkerQueue::new(s)))
+                .collect(),
+            idle: AtomicUsize::new(0),
+            aborted: AtomicBool::new(false),
+        }
+    }
+
+    /// Shuts the scheduler down: every in-flight and future fetch returns
+    /// `None` as soon as it observes the flag. Called by a worker that is
+    /// about to die (re-raising a panic) so its peers drain out instead of
+    /// idling forever; the remaining queue contents are abandoned.
+    pub fn abort(&self) {
+        self.aborted.store(true, Ordering::SeqCst);
+    }
+
+    /// Seeds `workers` deques round-robin from `items`, preserving the
+    /// items' relative order within each deque.
+    pub fn round_robin(workers: usize, items: impl IntoIterator<Item = T>) -> Self {
+        let workers = workers.max(1);
+        let mut seeds: Vec<Vec<T>> = (0..workers).map(|_| Vec::new()).collect();
+        for (i, item) in items.into_iter().enumerate() {
+            seeds[i % workers].push(item);
+        }
+        Self::new(seeds)
+    }
+
+    /// Number of worker deques.
+    pub fn worker_count(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Items currently queued across all deques (in-hand items being
+    /// executed are not counted).
+    pub fn queued(&self) -> usize {
+        self.queues
+            .iter()
+            .map(|q| q.len.load(Ordering::Acquire))
+            .sum()
+    }
+
+    /// Pushes an item onto `worker`'s own deque at the LIFO end (it will
+    /// be this worker's next pop). Must only be called by a worker that is
+    /// currently executing an item — the termination protocol assumes
+    /// idle workers never produce work.
+    pub fn push_local(&self, worker: usize, item: T) {
+        let q = &self.queues[worker];
+        let mut items = q.items.lock();
+        items.push_front(item);
+        q.len.store(items.len(), Ordering::Release);
+    }
+
+    /// Fetches `worker`'s next item: local LIFO pop, then rotation
+    /// stealing, then the idle protocol. Returns `None` only when the
+    /// whole scheduler is drained — after this, every other worker's
+    /// `next` also returns `None`. Fetch costs are recorded into `obs`.
+    pub fn next(&self, worker: usize, obs: &mut WorkerObs) -> Option<T> {
+        loop {
+            if self.aborted.load(Ordering::SeqCst) {
+                return None;
+            }
+            if let Some(item) = self.pop_local(worker, obs) {
+                return Some(item);
+            }
+            if let Some(item) = self.steal(worker, obs) {
+                return Some(item);
+            }
+            if !self.idle_until_work_or_drained(worker, obs) {
+                return None;
+            }
+        }
+    }
+
+    fn pop_local(&self, worker: usize, obs: &mut WorkerObs) -> Option<T> {
+        let q = &self.queues[worker];
+        if q.len.load(Ordering::Acquire) == 0 {
+            // Cheap miss: only thieves can refill us, and they hold the
+            // lock while doing so — skip the acquisition entirely.
+            return None;
+        }
+        let t0 = Instant::now();
+        let mut items = q.items.lock();
+        obs.lock_wait_ns += t0.elapsed().as_nanos() as u64;
+        let item = items.pop_front();
+        q.len.store(items.len(), Ordering::Release);
+        if item.is_some() {
+            obs.local_pops += 1;
+        }
+        item
+    }
+
+    /// One rotation over the victims: steal half of the first stealable
+    /// deque (from its back — the victim's farthest-future work), keep the
+    /// earliest stolen item and queue the rest locally. Deques holding a
+    /// single item are skipped outright: floor-half would take nothing,
+    /// and locking a busy victim over and over for an item its owner will
+    /// pop anyway is pure contention.
+    fn steal(&self, worker: usize, obs: &mut WorkerObs) -> Option<T> {
+        let n = self.queues.len();
+        for offset in 1..n {
+            let victim = (worker + offset) % n;
+            if self.queues[victim].len.load(Ordering::Acquire) < 2 {
+                continue;
+            }
+            obs.steals_attempted += 1;
+            let t0 = Instant::now();
+            let stolen = {
+                let vq = &self.queues[victim];
+                let mut vitems = vq.items.lock();
+                // Steal floor(len/2): the victim keeps the (larger) front
+                // half; a single remaining item is never stolen — its
+                // owner is the cheapest worker to run it.
+                let keep = vitems.len() - vitems.len() / 2;
+                let stolen: VecDeque<T> = vitems.split_off(keep);
+                vq.len.store(vitems.len(), Ordering::Release);
+                stolen
+            };
+            obs.steal_wait_ns += t0.elapsed().as_nanos() as u64;
+            if stolen.is_empty() {
+                continue; // raced with the victim draining itself
+            }
+            obs.steals_succeeded += 1;
+            obs.items_stolen += stolen.len() as u64;
+            let mut stolen = stolen;
+            let first = stolen.pop_front();
+            if !stolen.is_empty() {
+                let q = &self.queues[worker];
+                let mut items = q.items.lock();
+                // Our deque is empty (we only steal when drained); the
+                // stolen chunk becomes our new queue, order preserved.
+                items.extend(stolen);
+                q.len.store(items.len(), Ordering::Release);
+            }
+            return first;
+        }
+        None
+    }
+
+    /// The idle half of the termination protocol. Returns `true` when
+    /// work reappeared (retry fetching) and `false` when the scheduler is
+    /// drained for good.
+    fn idle_until_work_or_drained(&self, worker: usize, obs: &mut WorkerObs) -> bool {
+        let workers = self.queues.len();
+        self.idle.fetch_add(1, Ordering::SeqCst);
+        let mut spins: u64 = 0;
+        loop {
+            obs.idle_spins += 1;
+            if self.aborted.load(Ordering::SeqCst) {
+                return false;
+            }
+            // Wake only for work this worker can actually fetch: anything
+            // on its own deque, or a *stealable* (≥ 2 items) peer deque.
+            // A peer holding a single item would send us straight back
+            // here — its owner is the only one who can take it.
+            let fetchable = self.queues.iter().enumerate().any(|(i, q)| {
+                let len = q.len.load(Ordering::Acquire);
+                if i == worker {
+                    len > 0
+                } else {
+                    len >= 2
+                }
+            });
+            if fetchable {
+                self.idle.fetch_sub(1, Ordering::SeqCst);
+                return true;
+            }
+            if self.idle.load(Ordering::SeqCst) == workers {
+                // Final sweep: every worker idle, so nobody holds in-hand
+                // stolen items; verify emptiness under the locks.
+                if self.queues.iter().all(|q| q.items.lock().is_empty()) {
+                    // Stay counted idle so the other workers reach
+                    // `idle == workers` too.
+                    return false;
+                }
+            }
+            spins += 1;
+            if spins > SPINS_BEFORE_YIELD {
+                std::thread::yield_now();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn drain_all(queues: Arc<StealQueues<u32>>, workers: usize) -> Vec<Vec<u32>> {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let q = Arc::clone(&queues);
+                    scope.spawn(move || {
+                        let mut obs = WorkerObs::new(w);
+                        let mut got = Vec::new();
+                        while let Some(x) = q.next(w, &mut obs) {
+                            got.push(x);
+                        }
+                        got
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+    }
+
+    #[test]
+    fn round_robin_seeding_preserves_order() {
+        let q = StealQueues::round_robin(3, 0..7u32);
+        // Worker 0 gets 0,3,6; worker 1 gets 1,4; worker 2 gets 2,5 — each
+        // in order, popped front-first.
+        let mut obs = WorkerObs::new(0);
+        assert_eq!(q.next(0, &mut obs), Some(0));
+        assert_eq!(q.next(0, &mut obs), Some(3));
+        assert_eq!(q.next(0, &mut obs), Some(6));
+        assert_eq!(obs.local_pops, 3);
+        let mut obs1 = WorkerObs::new(1);
+        assert_eq!(q.next(1, &mut obs1), Some(1));
+        assert_eq!(q.next(1, &mut obs1), Some(4));
+    }
+
+    #[test]
+    fn push_local_is_lifo() {
+        let q = StealQueues::round_robin(1, [10u32]);
+        let mut obs = WorkerObs::new(0);
+        q.push_local(0, 20);
+        q.push_local(0, 30);
+        assert_eq!(q.next(0, &mut obs), Some(30));
+        assert_eq!(q.next(0, &mut obs), Some(20));
+        assert_eq!(q.next(0, &mut obs), Some(10));
+    }
+
+    #[test]
+    fn single_worker_drains_and_terminates() {
+        let q = Arc::new(StealQueues::round_robin(1, 0..100u32));
+        let got = drain_all(q, 1);
+        assert_eq!(got[0], (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn steal_takes_half_from_the_back() {
+        let q = StealQueues::round_robin(2, [0u32, 1, 2, 3, 4, 5]);
+        // Worker 0 owns 0,2,4; worker 1 owns 1,3,5. Drain worker 1, then
+        // make it steal: it should take half of worker 0's deque from the
+        // back (the latest-scheduled items) and run the earliest first.
+        let mut obs = WorkerObs::new(1);
+        assert_eq!(q.next(1, &mut obs), Some(1));
+        assert_eq!(q.next(1, &mut obs), Some(3));
+        assert_eq!(q.next(1, &mut obs), Some(5));
+        let stolen = q.next(1, &mut obs).unwrap();
+        assert_eq!(stolen, 4, "victim keeps 0,2; thief takes the back half");
+        assert_eq!(obs.steals_succeeded, 1);
+        assert_eq!(obs.items_stolen, 1);
+        // The victim still holds its front half.
+        let mut obs0 = WorkerObs::new(0);
+        assert_eq!(q.next(0, &mut obs0), Some(0));
+        assert_eq!(q.next(0, &mut obs0), Some(2));
+    }
+
+    #[test]
+    fn abort_releases_idle_workers() {
+        // Two workers configured, one thread fetching: with its peer's
+        // slot never registering idle, the lone fetcher would spin forever
+        // in the termination protocol — abort must release it.
+        let q = Arc::new(StealQueues::<u32>::round_robin(2, []));
+        let fetcher = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let mut obs = WorkerObs::new(0);
+                q.next(0, &mut obs)
+            })
+        };
+        q.abort();
+        assert_eq!(fetcher.join().unwrap(), None);
+        // Post-abort fetches refuse immediately, queued items included.
+        let q = StealQueues::round_robin(1, [7u32]);
+        q.abort();
+        assert_eq!(q.next(0, &mut WorkerObs::new(0)), None);
+    }
+
+    #[test]
+    fn concurrent_drain_is_exact_and_terminates() {
+        for workers in [1usize, 2, 4, 8] {
+            let q = Arc::new(StealQueues::round_robin(workers, 0..10_000u32));
+            let per_worker = drain_all(q, workers);
+            let mut all: Vec<u32> = per_worker.into_iter().flatten().collect();
+            all.sort_unstable();
+            assert_eq!(
+                all,
+                (0..10_000).collect::<Vec<_>>(),
+                "every item exactly once at {workers} workers"
+            );
+        }
+    }
+
+    #[test]
+    fn observability_accounts_every_fetch() {
+        let workers = 4usize;
+        let total = 1_000u32;
+        let q = Arc::new(StealQueues::round_robin(workers, 0..total));
+        let obs_all: Vec<WorkerObs> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let q = Arc::clone(&q);
+                    scope.spawn(move || {
+                        let mut obs = WorkerObs::new(w);
+                        while q.next(w, &mut obs).is_some() {}
+                        obs
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let pops: u64 = obs_all.iter().map(|o| o.local_pops).sum();
+        let direct_steals: u64 = obs_all.iter().map(|o| o.steals_succeeded).sum();
+        assert_eq!(
+            pops + direct_steals,
+            total as u64,
+            "every item is either popped locally or returned by a steal"
+        );
+        let stolen: u64 = obs_all.iter().map(|o| o.items_stolen).sum();
+        assert!(stolen >= direct_steals);
+    }
+
+    #[test]
+    fn empty_scheduler_terminates_immediately() {
+        for workers in [1usize, 3] {
+            let q = Arc::new(StealQueues::<u32>::round_robin(workers, []));
+            let got = drain_all(q, workers);
+            assert!(got.iter().all(|g| g.is_empty()));
+        }
+    }
+}

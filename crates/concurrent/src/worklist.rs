@@ -40,6 +40,17 @@ impl<T> SharedWorkList<T> {
         self.queue.lock().pop_front()
     }
 
+    /// [`Self::pop`] plus the nanoseconds spent acquiring the list's lock
+    /// — the contention measure the per-worker observability layer
+    /// aggregates (every worker pays this wait on *every* fetch; compare
+    /// [`crate::StealQueues`]).
+    pub fn pop_timed(&self) -> (Option<T>, u64) {
+        let t0 = std::time::Instant::now();
+        let mut q = self.queue.lock();
+        let wait = t0.elapsed().as_nanos() as u64;
+        (q.pop_front(), wait)
+    }
+
     /// Fetches up to `n` items in one lock acquisition.
     pub fn pop_batch(&self, n: usize) -> Vec<T> {
         let mut q = self.queue.lock();
@@ -79,6 +90,17 @@ mod tests {
         assert_eq!(w.pop(), Some(4));
         assert_eq!(w.pop(), None);
         assert!(w.is_empty());
+    }
+
+    #[test]
+    fn pop_timed_fetches_and_accounts() {
+        let w = SharedWorkList::with_items([1, 2]);
+        let (a, _) = w.pop_timed();
+        assert_eq!(a, Some(1));
+        let (b, _) = w.pop_timed();
+        assert_eq!(b, Some(2));
+        let (c, _) = w.pop_timed();
+        assert_eq!(c, None);
     }
 
     #[test]

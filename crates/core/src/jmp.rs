@@ -242,14 +242,21 @@ pub struct SharedJmpStore {
     /// When set, `lookup` enforces virtual-time visibility (the simulator
     /// backend); when clear, every entry is visible (the threaded backend).
     timestamped: bool,
+    /// Evictions performed *through this handle* (and its clones/views).
+    /// The store-wide counter misattributes when several batches or
+    /// sessions share one store — a batch reads its own scope instead
+    /// (see [`Self::scoped`]).
+    scope_evictions: Arc<AtomicU64>,
 }
 
 impl Clone for SharedJmpStore {
-    /// A handle to the same store (entries, accounting and budget shared).
+    /// A handle to the same store (entries, accounting, budget and
+    /// eviction scope shared).
     fn clone(&self) -> Self {
         SharedJmpStore {
             inner: Arc::clone(&self.inner),
             timestamped: self.timestamped,
+            scope_evictions: Arc::clone(&self.scope_evictions),
         }
     }
 }
@@ -265,6 +272,7 @@ impl SharedJmpStore {
                 lookup_hits: AtomicU64::new(0),
             }),
             timestamped,
+            scope_evictions: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -291,20 +299,43 @@ impl SharedJmpStore {
 
     /// A handle onto the same entries with virtual-time visibility OFF —
     /// what a session hands to the real-thread backend, whose workers must
-    /// see every entry regardless of timestamps.
+    /// see every entry regardless of timestamps. The eviction scope is
+    /// shared with `self`.
     pub fn untimestamped_view(&self) -> SharedJmpStore {
         SharedJmpStore {
             inner: Arc::clone(&self.inner),
             timestamped: false,
+            scope_evictions: Arc::clone(&self.scope_evictions),
         }
     }
 
     /// A handle onto the same entries with virtual-time visibility ON.
+    /// The eviction scope is shared with `self`.
     pub fn timestamped_view(&self) -> SharedJmpStore {
         SharedJmpStore {
             inner: Arc::clone(&self.inner),
             timestamped: true,
+            scope_evictions: Arc::clone(&self.scope_evictions),
         }
+    }
+
+    /// A handle onto the same entries with a *fresh* eviction scope:
+    /// [`Self::scope_evictions`] on the returned handle counts only the
+    /// evictions this handle's own publishes/retains trigger. Batch runs
+    /// take one scoped handle each, so concurrent batches (or an external
+    /// `evict_to_budget`) sharing the store never inflate each other's
+    /// per-batch eviction stats — the store-wide before/after delta did.
+    pub fn scoped(&self) -> SharedJmpStore {
+        SharedJmpStore {
+            inner: Arc::clone(&self.inner),
+            timestamped: self.timestamped,
+            scope_evictions: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Evictions attributed to this handle's scope (see [`Self::scoped`]).
+    pub fn scope_evictions(&self) -> u64 {
+        self.scope_evictions.load(Ordering::Relaxed)
     }
 
     /// Whether lookups on this handle enforce virtual-time visibility.
@@ -390,6 +421,8 @@ impl SharedJmpStore {
         let removed = self.inner.map.retain(|k, _| !victims.contains(k));
         self.inner
             .evictions
+            .fetch_add(removed as u64, Ordering::Relaxed);
+        self.scope_evictions
             .fetch_add(removed as u64, Ordering::Relaxed);
         removed
     }
@@ -495,6 +528,8 @@ impl JmpStore for SharedJmpStore {
         let removed = self.inner.map.retain(|k, st| f(k, &st.entry));
         self.inner
             .evictions
+            .fetch_add(removed as u64, Ordering::Relaxed);
+        self.scope_evictions
             .fetch_add(removed as u64, Ordering::Relaxed);
         removed
     }
@@ -715,5 +750,31 @@ mod tests {
         assert_eq!(s.entry_count(), 100);
         assert_eq!(s.evict_to_budget(), 0);
         assert_eq!(s.evictions(), 0);
+    }
+
+    #[test]
+    fn scoped_handles_attribute_their_own_evictions() {
+        let master = SharedJmpStore::new().with_max_entries(2);
+        let a = master.scoped();
+        let b = master.scoped();
+        // Batch A publishes three entries: one eviction, attributed to A.
+        for n in 0..3u32 {
+            a.publish_unfinished(key(n), 10, 0);
+        }
+        assert_eq!(a.scope_evictions(), 1);
+        assert_eq!(b.scope_evictions(), 0, "B did nothing yet");
+        // Batch B overflows twice more: attributed to B, not A.
+        b.publish_unfinished(key(10), 10, 0);
+        b.publish_unfinished(key(11), 10, 0);
+        assert_eq!(b.scope_evictions(), 2);
+        assert_eq!(a.scope_evictions(), 1, "A's scope unchanged");
+        // The store-wide total still sums everything.
+        assert_eq!(master.evictions(), 3);
+        // Clones and views share their parent's scope; `scoped` resets it.
+        let a2 = a.clone();
+        a2.publish_unfinished(key(12), 10, 0);
+        assert_eq!(a.scope_evictions(), 2, "clone shares A's scope");
+        assert_eq!(a.untimestamped_view().scope_evictions(), 2);
+        assert_eq!(a.scoped().scope_evictions(), 0);
     }
 }

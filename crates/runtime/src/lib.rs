@@ -34,6 +34,7 @@ mod stats;
 pub mod threaded;
 
 pub use mode::{Backend, Mode, RunConfig};
+pub use parcfl_concurrent::WorkerObs;
 pub use seq::{run_seq, run_seq_with_store};
 pub use session::AnalysisSession;
 pub use sim::{run_simulated, run_simulated_batch, run_simulated_with_store};

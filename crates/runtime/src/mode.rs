@@ -66,6 +66,12 @@ pub struct RunConfig {
     /// thread-aware cap). Used by ablation experiments to separate the
     /// effect of *ordering* (cap = 1) from *grouping*.
     pub group_cap: Option<usize>,
+    /// Threaded backend only: dispatch through the work-stealing
+    /// scheduler (per-worker deques, steal-half) instead of the paper's
+    /// single lock-protected work list. Answers are identical either way;
+    /// only contention changes — the paper-faithful mutex list stays the
+    /// default baseline.
+    pub stealing: bool,
 }
 
 impl RunConfig {
@@ -78,12 +84,19 @@ impl RunConfig {
             solver: SolverConfig::default(),
             fetch_cost: 1,
             group_cap: None,
+            stealing: false,
         }
     }
 
     /// Overrides the solver configuration.
     pub fn with_solver(mut self, solver: SolverConfig) -> Self {
         self.solver = solver;
+        self
+    }
+
+    /// Selects the work-stealing scheduler for the threaded backend.
+    pub fn with_stealing(mut self, stealing: bool) -> Self {
+        self.stealing = stealing;
         self
     }
 

@@ -61,6 +61,7 @@ pub struct AnalysisSession<'p> {
     threads: usize,
     fetch_cost: u64,
     group_cap: Option<usize>,
+    stealing: bool,
 }
 
 impl<'p> AnalysisSession<'p> {
@@ -77,6 +78,7 @@ impl<'p> AnalysisSession<'p> {
             threads: 1,
             fetch_cost: 1,
             group_cap: None,
+            stealing: false,
         }
     }
 
@@ -103,6 +105,14 @@ impl<'p> AnalysisSession<'p> {
             "set the budget before submitting"
         );
         self.store = SharedJmpStore::timestamped().with_max_entries(max);
+        self
+    }
+
+    /// Dispatches threaded batches through the work-stealing scheduler
+    /// instead of the paper's single mutex work list (see
+    /// [`RunConfig::stealing`]). Answers are identical either way.
+    pub fn with_stealing(mut self, stealing: bool) -> Self {
+        self.stealing = stealing;
         self
     }
 
@@ -214,6 +224,7 @@ impl<'p> AnalysisSession<'p> {
             solver: self.solver.clone(),
             fetch_cost: self.fetch_cost,
             group_cap: self.group_cap,
+            stealing: self.stealing,
         }
     }
 
@@ -322,6 +333,28 @@ mod tests {
                 assert_eq!(r.sorted_answers(), seq.sorted_answers(), "{backend:?}");
             }
         }
+    }
+
+    #[test]
+    fn stealing_session_matches_mutex_session() {
+        let pag = build_pag(SRC).unwrap().pag;
+        let queries = pag.application_locals();
+        let mut mutex = AnalysisSession::new(&pag)
+            .with_threads(4)
+            .with_solver(solver());
+        let mut stealing = AnalysisSession::new(&pag)
+            .with_threads(4)
+            .with_solver(solver())
+            .with_stealing(true);
+        for _ in 0..3 {
+            let m = mutex.submit(&queries, Mode::DataSharingSched, Backend::Threaded);
+            let s = stealing.submit(&queries, Mode::DataSharingSched, Backend::Threaded);
+            assert_eq!(m.sorted_answers(), s.sorted_answers());
+        }
+        // Stealing workers fetch locally; the mutex list never steals.
+        let obs = stealing.cumulative().obs_totals();
+        assert!(obs.local_pops + obs.steals_succeeded > 0);
+        assert_eq!(mutex.cumulative().obs_totals().steals_attempted, 0);
     }
 
     #[test]

@@ -28,6 +28,7 @@
 use crate::mode::RunConfig;
 use crate::schedule_with_cap;
 use crate::stats::{RunResult, RunStats};
+use parcfl_concurrent::WorkerObs;
 use parcfl_core::{JmpStore, SharedJmpStore, Solver};
 use parcfl_pag::{NodeId, Pag};
 use parcfl_sched::Schedule;
@@ -71,24 +72,28 @@ pub fn run_simulated_batch(
     base: u64,
 ) -> (RunResult, u64) {
     let solver_cfg = cfg.effective_solver().with_warm_floor(base);
-    let evictions_before = store.evictions();
+    let store = store.scoped();
     let start = std::time::Instant::now();
     let t = cfg.threads.max(1);
     let mut clocks: Vec<u64> = vec![base; t];
+    let mut workers: Vec<WorkerObs> = (0..t).map(WorkerObs::new).collect();
     let mut next_group = 0usize;
     let mut stats = RunStats::default();
     let mut answers = Vec::with_capacity(schedule.query_count());
     let mut end = base;
     {
-        let solver = Solver::new(pag, &solver_cfg, store);
+        let solver = Solver::new(pag, &solver_cfg, &store);
         while next_group < schedule.groups.len() {
             let tid = (0..t).min_by_key(|&i| (clocks[i], i)).unwrap();
             let group = &schedule.groups[next_group];
             next_group += 1;
+            workers[tid].local_pops += 1;
             let mut v = clocks[tid] + cfg.fetch_cost;
             for &q in group {
                 let out = solver.points_to_query(q, v);
                 v += out.stats.traversed_steps;
+                workers[tid].queries += 1;
+                workers[tid].steps += out.stats.traversed_steps;
                 stats.absorb(&out.stats, &out.answer);
                 answers.push((q, out.answer));
             }
@@ -99,7 +104,8 @@ pub fn run_simulated_batch(
     stats.wall = start.elapsed();
     stats.makespan = end - base;
     stats.batches = 1;
-    stats.evictions = store.evictions() - evictions_before;
+    stats.evictions = store.scope_evictions();
+    stats.workers = workers;
     stats.store_entries = store.entry_count();
     stats.jmp_edges = store.stats().total_edges();
     stats.jmp_bytes = store.approx_bytes();

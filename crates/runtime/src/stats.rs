@@ -1,6 +1,7 @@
 //! Aggregate run statistics — the raw material of Table I, Fig. 6 and
 //! Fig. 8.
 
+use parcfl_concurrent::WorkerObs;
 use parcfl_core::{Answer, QueryStats};
 use parcfl_pag::NodeId;
 
@@ -49,6 +50,12 @@ pub struct RunStats {
     pub wall: std::time::Duration,
     /// Average group size of the schedule (`S_g`; 1.0 when unscheduled).
     pub avg_group_size: f64,
+    /// Per-worker scheduler observability: one record per worker, filled
+    /// by the threaded backend (both the mutex work list and the
+    /// work-stealing scheduler) and, for the queries/steps columns, by
+    /// the simulator. Empty for sequential runs. Session merges sum the
+    /// records per worker slot across batches.
+    pub workers: Vec<WorkerObs>,
 }
 
 impl RunStats {
@@ -72,12 +79,18 @@ impl RunStats {
 
     /// Merges another accumulator: per-thread partials within a run, or a
     /// finished batch into a session's cumulative stats. Counters (and the
-    /// additive time measures `makespan`/`wall`/`batches`) sum; snapshot
-    /// fields (`jmp_edges`, `jmp_bytes`, `store_entries`,
-    /// `avg_group_size`) take `other`'s value when it is non-zero — the
-    /// most recent observation of shared state wins. Per-thread partials
-    /// carry zeros in every snapshot and time field, so intra-run merging
-    /// is a plain sum as before.
+    /// additive time measures `makespan`/`wall`/`batches`) sum — `warm_hits`
+    /// and `evictions` are true per-batch counters (warm hits are counted
+    /// per query; evictions are scoped per batch handle), so summing them
+    /// across batches is exact. Gauge fields (`jmp_edges`, `jmp_bytes`,
+    /// `store_entries`, `avg_group_size`) describe *current* shared state,
+    /// not accumulation: when `other` is a finished batch
+    /// (`other.batches > 0`) they take `other`'s observation verbatim —
+    /// including zero, which is a real residency report (an earlier
+    /// non-zero-only rule let a drained store keep reporting a stale
+    /// count). Per-thread partials within a run carry `batches == 0` and
+    /// no gauge observations, so intra-run merging leaves gauges alone.
+    /// Per-worker records sum slot-wise, growing the vector as needed.
     pub fn merge(&mut self, other: &RunStats) {
         self.queries += other.queries;
         self.completed += other.completed;
@@ -93,17 +106,17 @@ impl RunStats {
         self.makespan += other.makespan;
         self.wall += other.wall;
         self.batches += other.batches;
-        if other.jmp_edges != 0 {
+        if other.batches > 0 {
             self.jmp_edges = other.jmp_edges;
-        }
-        if other.jmp_bytes != 0 {
             self.jmp_bytes = other.jmp_bytes;
-        }
-        if other.store_entries != 0 {
             self.store_entries = other.store_entries;
-        }
-        if other.avg_group_size != 0.0 {
             self.avg_group_size = other.avg_group_size;
+        }
+        for (i, w) in other.workers.iter().enumerate() {
+            if self.workers.len() <= i {
+                self.workers.push(WorkerObs::new(i));
+            }
+            self.workers[i].absorb(w);
         }
     }
 
@@ -114,6 +127,26 @@ impl RunStats {
         } else {
             self.steps_saved as f64 / self.traversed_steps as f64
         }
+    }
+
+    /// Sum of the per-worker records — batch-wide scheduler totals (the
+    /// `worker` index of the returned record is meaningless).
+    pub fn obs_totals(&self) -> WorkerObs {
+        let mut total = WorkerObs::new(usize::MAX);
+        for w in &self.workers {
+            total.absorb(w);
+        }
+        total
+    }
+
+    /// Total time workers spent acquiring work-list/deque locks.
+    pub fn total_lock_wait(&self) -> std::time::Duration {
+        std::time::Duration::from_nanos(self.workers.iter().map(|w| w.lock_wait_ns).sum())
+    }
+
+    /// Total time workers spent inside steal attempts.
+    pub fn total_steal_wait(&self) -> std::time::Duration {
+        std::time::Duration::from_nanos(self.workers.iter().map(|w| w.steal_wait_ns).sum())
     }
 }
 
@@ -202,6 +235,7 @@ mod tests {
                 makespan: 50,
                 wall: std::time::Duration::from_millis(3),
                 avg_group_size: 2.0,
+                workers: vec![],
             },
             RunStats {
                 queries: 2,
@@ -222,6 +256,7 @@ mod tests {
                 makespan: 9,
                 wall: std::time::Duration::from_millis(2),
                 avg_group_size: 1.5,
+                workers: vec![],
             },
         ];
         let mut cum = RunStats::default();
@@ -247,6 +282,75 @@ mod tests {
         assert_eq!(cum.jmp_edges, 6);
         assert_eq!(cum.jmp_bytes, 600);
         assert_eq!(cum.avg_group_size, 1.5);
+    }
+
+    #[test]
+    fn merge_gauges_take_latest_even_when_zero() {
+        // Regression: `store_entries` (and the other gauges) report
+        // *current* residency. A batch that ends with a drained store must
+        // overwrite the previous batch's non-zero observation — summing
+        // (or keeping the stale non-zero value) inflates session stats.
+        let mut cum = RunStats::default();
+        cum.merge(&RunStats {
+            store_entries: 9,
+            jmp_edges: 12,
+            jmp_bytes: 300,
+            avg_group_size: 2.0,
+            batches: 1,
+            ..RunStats::default()
+        });
+        cum.merge(&RunStats {
+            store_entries: 0,
+            jmp_edges: 0,
+            jmp_bytes: 0,
+            avg_group_size: 0.0,
+            batches: 1,
+            ..RunStats::default()
+        });
+        assert_eq!(cum.store_entries, 0, "gauge follows the latest batch");
+        assert_eq!(cum.jmp_edges, 0);
+        assert_eq!(cum.jmp_bytes, 0);
+        assert_eq!(cum.avg_group_size, 0.0);
+        assert_eq!(cum.batches, 2);
+        // A per-thread partial (batches == 0) never clobbers gauges.
+        let mut batch = RunStats {
+            store_entries: 7,
+            batches: 1,
+            ..RunStats::default()
+        };
+        batch.merge(&RunStats::default());
+        assert_eq!(batch.store_entries, 7, "partials carry no observations");
+    }
+
+    #[test]
+    fn merge_sums_worker_records_per_slot() {
+        use parcfl_concurrent::WorkerObs;
+        let batch = |pops: u64, queries: u64| RunStats {
+            batches: 1,
+            workers: vec![
+                WorkerObs {
+                    worker: 0,
+                    local_pops: pops,
+                    queries,
+                    ..WorkerObs::default()
+                },
+                WorkerObs {
+                    worker: 1,
+                    steals_succeeded: 1,
+                    ..WorkerObs::new(1)
+                },
+            ],
+            ..RunStats::default()
+        };
+        let mut cum = RunStats::default();
+        cum.merge(&batch(3, 5));
+        cum.merge(&batch(4, 6));
+        assert_eq!(cum.workers.len(), 2);
+        assert_eq!(cum.workers[0].local_pops, 7);
+        assert_eq!(cum.workers[0].queries, 11);
+        assert_eq!(cum.workers[1].steals_succeeded, 2);
+        assert_eq!(cum.obs_totals().local_pops, 7);
+        assert_eq!(cum.obs_totals().steals_succeeded, 2);
     }
 
     #[test]

@@ -1,7 +1,19 @@
-//! The real-thread backend: `t` OS worker threads fetch query groups from
-//! the lock-protected shared work list (Section III-A) and answer them
+//! The real-thread backend: `t` OS worker threads answer query groups
 //! against the shared read-only PAG, publishing jmp edges into the shared
-//! concurrent store.
+//! concurrent store. Two dispatch disciplines are available:
+//!
+//! * the paper-faithful **mutex work list** (Section III-A): one
+//!   lock-protected shared queue every worker hits on every fetch — the
+//!   baseline, and the known scalability ceiling;
+//! * the **work-stealing scheduler** ([`RunConfig::stealing`]): per-worker
+//!   deques seeded round-robin with the schedule's groups, LIFO local
+//!   pops, steal-half from rotating victims, idle-count/final-sweep
+//!   termination (see `parcfl_concurrent::stealing`).
+//!
+//! Either way the answers are identical — dispatch order affects cost,
+//! never results — and every worker leaves a [`WorkerObs`] record (pops,
+//! steals, idle spins, lock/steal wait, queries, steps) in
+//! [`RunStats::workers`], so contention is measured rather than guessed.
 //!
 //! This is the production implementation — correct on any core count.
 //! (Wall-clock speedups require real cores; the evaluation harness uses the
@@ -11,10 +23,11 @@
 use crate::mode::RunConfig;
 use crate::schedule_with_cap;
 use crate::stats::{RunResult, RunStats};
-use parcfl_concurrent::SharedWorkList;
-use parcfl_core::{JmpStore, SharedJmpStore, Solver};
+use parcfl_concurrent::{SharedWorkList, StealQueues, WorkerObs};
+use parcfl_core::{Answer, JmpStore, SharedJmpStore, Solver, SolverConfig};
 use parcfl_pag::{NodeId, Pag};
 use parcfl_sched::Schedule;
+use std::panic::AssertUnwindSafe;
 
 /// Worker stack size: the solver's mutual recursion can be deep on heap-
 /// heavy programs (bounded by `max_recursion_depth`, but each frame holds
@@ -28,6 +41,119 @@ pub fn run_threaded(pag: &Pag, queries: &[NodeId], cfg: &RunConfig) -> RunResult
     run_threaded_batch(pag, &schedule, cfg, &store, 0)
 }
 
+/// What one worker thread hands back when it joins.
+type WorkerYield = (Vec<(NodeId, Answer)>, RunStats, WorkerObs);
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// The per-worker query loop, shared by both dispatch disciplines:
+/// `fetch` yields the next group (recording its costs into the worker's
+/// observability record) until the batch is drained.
+///
+/// A panic inside a query (budget-burn bugs, recursion-depth blowouts,
+/// malformed query ids) would otherwise surface as an opaque
+/// `std::thread::scope` abort; it is caught here and re-raised with the
+/// worker index, the offending query and its group attached, so crashes
+/// are diagnosable from the message alone.
+fn worker_loop(
+    pag: &Pag,
+    solver_cfg: &SolverConfig,
+    store: &SharedJmpStore,
+    base: u64,
+    worker: usize,
+    mut fetch: impl FnMut(&mut WorkerObs) -> Option<Vec<NodeId>>,
+    on_panic: impl Fn(),
+) -> WorkerYield {
+    let solver = Solver::new(pag, solver_cfg, store);
+    let mut stats = RunStats::default();
+    let mut answers = Vec::new();
+    let mut obs = WorkerObs::new(worker);
+    while let Some(group) = fetch(&mut obs) {
+        for &q in &group {
+            let attempt =
+                std::panic::catch_unwind(AssertUnwindSafe(|| solver.points_to_query(q, base)));
+            let out = match attempt {
+                Ok(out) => out,
+                Err(payload) => {
+                    // Release the peers first (a dead worker can never
+                    // satisfy the stealing termination protocol), then
+                    // re-raise with the context attached.
+                    on_panic();
+                    std::panic::panic_any(format!(
+                        "worker {worker} panicked answering query {q:?} of group {group:?}: {}",
+                        panic_message(payload.as_ref())
+                    ))
+                }
+            };
+            obs.queries += 1;
+            obs.steps += out.stats.traversed_steps;
+            stats.absorb(&out.stats, &out.answer);
+            answers.push((q, out.answer));
+        }
+    }
+    (answers, stats, obs)
+}
+
+/// Spawns `threads` workers running `make_fetch(worker)`-driven loops and
+/// joins them, re-raising any (context-enriched) worker panic.
+#[allow(clippy::too_many_arguments)]
+fn run_workers<F, G, P>(
+    pag: &Pag,
+    solver_cfg: &SolverConfig,
+    store: &SharedJmpStore,
+    base: u64,
+    threads: usize,
+    query_capacity: usize,
+    make_fetch: G,
+    on_panic: P,
+) -> (Vec<(NodeId, Answer)>, RunStats, Vec<WorkerObs>)
+where
+    F: FnMut(&mut WorkerObs) -> Option<Vec<NodeId>> + Send,
+    G: Fn(usize) -> F + Sync,
+    P: Fn() + Sync,
+{
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for w in 0..threads {
+            let make_fetch = &make_fetch;
+            let on_panic = &on_panic;
+            let handle = std::thread::Builder::new()
+                .stack_size(WORKER_STACK)
+                .spawn_scoped(scope, move || {
+                    worker_loop(pag, solver_cfg, store, base, w, make_fetch(w), on_panic)
+                })
+                .expect("spawn worker");
+            handles.push(handle);
+        }
+        let mut answers = Vec::with_capacity(query_capacity);
+        let mut stats = RunStats::default();
+        let mut workers = Vec::with_capacity(threads);
+        for h in handles {
+            match h.join() {
+                Ok((a, s, o)) => {
+                    answers.extend(a);
+                    stats.merge(&s);
+                    workers.push(o);
+                }
+                // The payload already carries worker/query/group context
+                // (see `worker_loop`); re-raise it instead of the opaque
+                // "a scoped thread panicked".
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+        (answers, stats, workers)
+    })
+}
+
 /// One real-thread batch against a caller-owned (possibly warm) store.
 ///
 /// The session building block. `store` should be an untimestamped handle
@@ -37,6 +163,11 @@ pub fn run_threaded(pag: &Pag, queries: &[NodeId], cfg: &RunConfig) -> RunResult
 /// next batch with a creation time below its warm floor, and hits on
 /// entries stamped `< base` count as warm hits. `makespan` is the batch's
 /// own traversed-step total (real time is measured by `wall`).
+///
+/// Eviction accounting is scoped per batch ([`SharedJmpStore::scoped`]):
+/// `stats.evictions` counts only evictions *this batch's* publishes
+/// triggered, even when other sessions or an external `evict_to_budget`
+/// hammer the same store concurrently.
 pub fn run_threaded_batch(
     pag: &Pag,
     schedule: &Schedule,
@@ -45,52 +176,58 @@ pub fn run_threaded_batch(
     base: u64,
 ) -> RunResult {
     let solver_cfg = cfg.effective_solver().with_warm_floor(base);
-    let evictions_before = store.evictions();
-    let work: SharedWorkList<Vec<NodeId>> =
-        SharedWorkList::with_items(schedule.groups.iter().cloned());
-
+    let store = store.scoped();
+    let threads = cfg.threads.max(1);
     let start = std::time::Instant::now();
-    let (answers, mut stats) = std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(cfg.threads);
-        for _ in 0..cfg.threads.max(1) {
-            let work = &work;
-            let solver_cfg = &solver_cfg;
-            let handle = std::thread::Builder::new()
-                .stack_size(WORKER_STACK)
-                .spawn_scoped(scope, move || {
-                    let solver = Solver::new(pag, solver_cfg, store);
-                    let mut local_stats = RunStats::default();
-                    let mut local_answers = Vec::new();
-                    while let Some(group) = work.pop() {
-                        for q in group {
-                            let out = solver.points_to_query(q, base);
-                            local_stats.absorb(&out.stats, &out.answer);
-                            local_answers.push((q, out.answer));
-                        }
+
+    let (answers, mut stats, workers) = if cfg.stealing {
+        let queues: StealQueues<Vec<NodeId>> = StealQueues::new(schedule.seed_round_robin(threads));
+        let queues = &queues;
+        run_workers(
+            pag,
+            &solver_cfg,
+            &store,
+            base,
+            threads,
+            schedule.query_count(),
+            |w| move |obs: &mut WorkerObs| queues.next(w, obs),
+            || queues.abort(),
+        )
+    } else {
+        let work: SharedWorkList<Vec<NodeId>> =
+            SharedWorkList::with_items(schedule.groups.iter().cloned());
+        let work = &work;
+        run_workers(
+            pag,
+            &solver_cfg,
+            &store,
+            base,
+            threads,
+            schedule.query_count(),
+            |_w| {
+                move |obs: &mut WorkerObs| {
+                    let (group, wait) = work.pop_timed();
+                    obs.lock_wait_ns += wait;
+                    if group.is_some() {
+                        obs.local_pops += 1;
                     }
-                    (local_answers, local_stats)
-                })
-                .expect("spawn worker");
-            handles.push(handle);
-        }
-        let mut answers = Vec::with_capacity(schedule.query_count());
-        let mut stats = RunStats::default();
-        for h in handles {
-            let (a, s) = h.join().expect("worker panicked");
-            answers.extend(a);
-            stats.merge(&s);
-        }
-        (answers, stats)
-    });
+                    group
+                }
+            },
+            // Mutex pops never block on peers: no abort needed.
+            || {},
+        )
+    };
 
     stats.wall = start.elapsed();
     stats.makespan = stats.traversed_steps; // real time is measured by `wall`
     stats.batches = 1;
-    stats.evictions = store.evictions() - evictions_before;
+    stats.evictions = store.scope_evictions();
     stats.store_entries = store.entry_count();
     stats.jmp_edges = store.stats().total_edges();
     stats.jmp_bytes = store.approx_bytes();
     stats.avg_group_size = schedule.avg_group_size;
+    stats.workers = workers;
     RunResult { answers, stats }
 }
 
@@ -128,14 +265,17 @@ mod tests {
         let seq = run_seq(&pag, &queries, &SolverConfig::default());
         for mode in [Mode::Naive, Mode::DataSharing, Mode::DataSharingSched] {
             for threads in [1, 4] {
-                let cfg = RunConfig::new(mode, threads, Backend::Threaded);
-                let par = run_threaded(&pag, &queries, &cfg);
-                assert_eq!(par.stats.queries, queries.len());
-                assert_eq!(
-                    par.sorted_answers(),
-                    seq.sorted_answers(),
-                    "{mode:?} x{threads} diverged"
-                );
+                for stealing in [false, true] {
+                    let cfg =
+                        RunConfig::new(mode, threads, Backend::Threaded).with_stealing(stealing);
+                    let par = run_threaded(&pag, &queries, &cfg);
+                    assert_eq!(par.stats.queries, queries.len());
+                    assert_eq!(
+                        par.sorted_answers(),
+                        seq.sorted_answers(),
+                        "{mode:?} x{threads} stealing={stealing} diverged"
+                    );
+                }
             }
         }
     }
@@ -156,5 +296,53 @@ mod tests {
             &RunConfig::new(Mode::Naive, 2, Backend::Threaded),
         );
         assert_eq!(naive.stats.jmp_edges, 0);
+    }
+
+    #[test]
+    fn worker_records_account_for_every_query_and_fetch() {
+        let pag = build_pag(SRC).unwrap().pag;
+        let queries = pag.application_locals();
+        for stealing in [false, true] {
+            let cfg = RunConfig::new(Mode::DataSharingSched, 3, Backend::Threaded)
+                .with_stealing(stealing);
+            let schedule = schedule_with_cap(&pag, &queries, cfg.mode, cfg.group_cap);
+            let r = run_threaded(&pag, &queries, &cfg);
+            assert_eq!(r.stats.workers.len(), 3);
+            let totals = r.stats.obs_totals();
+            assert_eq!(totals.queries as usize, queries.len());
+            assert_eq!(totals.steps, r.stats.traversed_steps);
+            // Every group is fetched exactly once: either a local pop or
+            // the in-hand item of a successful steal.
+            assert_eq!(
+                totals.local_pops + if stealing { totals.steals_succeeded } else { 0 },
+                schedule.groups.len() as u64,
+                "stealing={stealing}"
+            );
+        }
+    }
+
+    #[test]
+    fn worker_panic_carries_query_context() {
+        let pag = build_pag(SRC).unwrap().pag;
+        let mut queries = pag.application_locals();
+        // A query id no node backs: the solver's node lookup panics deep
+        // inside a worker. The batch must re-raise with context, not abort
+        // the scope opaquely.
+        let bogus = parcfl_pag::NodeId::new(u32::MAX - 1);
+        queries.push(bogus);
+        for stealing in [false, true] {
+            let cfg = RunConfig::new(Mode::Naive, 2, Backend::Threaded).with_stealing(stealing);
+            let caught =
+                std::panic::catch_unwind(AssertUnwindSafe(|| run_threaded(&pag, &queries, &cfg)))
+                    .expect_err("bogus query must panic");
+            let msg = caught
+                .downcast_ref::<String>()
+                .expect("enriched payload is a String");
+            assert!(
+                msg.contains("worker") && msg.contains("panicked answering query"),
+                "stealing={stealing}: missing context in {msg:?}"
+            );
+            assert!(msg.contains("group"), "group attached: {msg:?}");
+        }
     }
 }

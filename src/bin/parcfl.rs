@@ -66,8 +66,12 @@ USAGE:
       PAG statistics after extraction and cycle collapsing.
   parcfl dot <file.mj>
       Graphviz DOT of the PAG on stdout.
-  parcfl bench <name> [--threads N] [--mode naive|d|dq]
+  parcfl bench <name> [--threads N] [--mode naive|d|dq] [--threaded] [--stealing]
       Run one Table-I benchmark and report the speedup over SeqCFL.
+      --threaded uses real OS threads instead of the virtual-time
+      simulator; --stealing additionally dispatches through the
+      work-stealing scheduler (implies --threaded) and reports per-worker
+      contention.
   parcfl gen <name>
       Print a Table-I benchmark's generated mini-Java source on stdout
       (feed it back through `parcfl query`/`stats`/`dot`).
@@ -299,11 +303,22 @@ fn cmd_bench(args: &[String]) {
             exit(2);
         }
     };
+    let stealing = args.iter().any(|a| a == "--stealing");
+    let threaded = stealing || args.iter().any(|a| a == "--threaded");
     let b = parcfl::synth::build_bench(&profile);
     let seq = run_seq(&b.pag, &b.queries, &b.solver);
-    let mut cfg = RunConfig::new(mode, threads, Backend::Simulated);
+    let backend = if threaded {
+        Backend::Threaded
+    } else {
+        Backend::Simulated
+    };
+    let mut cfg = RunConfig::new(mode, threads, backend).with_stealing(stealing);
     cfg.solver = b.solver.clone();
-    let par = run_simulated(&b.pag, &b.queries, &cfg);
+    let par = if threaded {
+        parcfl::runtime::run_threaded(&b.pag, &b.queries, &cfg)
+    } else {
+        run_simulated(&b.pag, &b.queries, &cfg)
+    };
     outln!(
         "{name}: {} queries; SeqCFL {} steps; ParCFL({threads}, {}) speedup {:.1}x \
          (jmps {}, ETs {}, wall {:?})",
@@ -315,4 +330,18 @@ fn cmd_bench(args: &[String]) {
         par.stats.early_terminations,
         par.stats.wall
     );
+    if threaded {
+        let t = par.stats.obs_totals();
+        outln!(
+            "dispatch [{}]: {} local pops, {} steals ({} items), {} idle spins, \
+             lock wait {:?}, steal wait {:?}",
+            if stealing { "stealing" } else { "mutex" },
+            t.local_pops,
+            t.steals_succeeded,
+            t.items_stolen,
+            t.idle_spins,
+            t.lock_wait(),
+            t.steal_wait()
+        );
+    }
 }

@@ -1,0 +1,141 @@
+//! Property-based tests for the work-stealing threaded scheduler: across
+//! random benchmarks, both threaded dispatch disciplines (mutex work list
+//! and work stealing) must answer exactly what the sequential baseline
+//! answers — cold and warm, at every thread count — and the per-worker
+//! observability records must account for every query, step, and fetch.
+//!
+//! The CI stress job raises the sampling with `PROPTEST_CASES` and widens
+//! the sweep with `PARCFL_STRESS_THREADS` (comma-separated counts;
+//! default `1,2,4,8`).
+
+use parcfl::runtime::{run_seq, run_threaded, AnalysisSession, Backend, Mode, RunConfig};
+use parcfl::synth::{build_bench, Profile};
+use proptest::prelude::*;
+
+/// Case count: `PROPTEST_CASES` when set (the CI stress job raises it),
+/// else a small default suitable for tier-1 runs.
+fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4)
+}
+
+/// Thread counts to sweep: `PARCFL_STRESS_THREADS` (e.g. `"2"` for one
+/// matrix leg) or the full default ladder.
+fn thread_counts() -> Vec<usize> {
+    std::env::var("PARCFL_STRESS_THREADS")
+        .ok()
+        .map(|v| {
+            v.split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .collect::<Vec<usize>>()
+        })
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 2, 4, 8])
+}
+
+/// Ample budget so answers cannot depend on traversal order (a tight `B`
+/// legitimately flips out-of-budget verdicts between interleavings).
+fn bench_for(seed: u64) -> parcfl::synth::Bench {
+    let mut b = build_bench(&Profile::tiny(seed));
+    b.solver = b
+        .solver
+        .clone()
+        .with_budget(5_000_000)
+        .without_tau_thresholds();
+    b
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases()))]
+
+    /// Cold one-shot runs: mutex and stealing dispatch agree with the
+    /// sequential baseline in every mode, at every thread count.
+    #[test]
+    fn cold_threaded_matches_sequential(seed in 0u64..1_000) {
+        let b = bench_for(seed);
+        let seq = run_seq(&b.pag, &b.queries, &b.solver);
+        for mode in [Mode::Naive, Mode::DataSharing, Mode::DataSharingSched] {
+            for threads in thread_counts() {
+                for stealing in [false, true] {
+                    let cfg = RunConfig::new(mode, threads, Backend::Threaded)
+                        .with_solver(b.solver.clone())
+                        .with_stealing(stealing);
+                    let r = run_threaded(&b.pag, &b.queries, &cfg);
+                    prop_assert_eq!(
+                        r.sorted_answers(),
+                        seq.sorted_answers(),
+                        "{:?} x{} stealing={} seed {}", mode, threads, stealing, seed
+                    );
+                }
+            }
+        }
+    }
+
+    /// Warm two-batch sessions: the stealing backend's warm answers equal
+    /// the mutex backend's (and the cold sequential baseline's) at every
+    /// thread count.
+    #[test]
+    fn warm_stealing_matches_warm_mutex(seed in 0u64..1_000) {
+        let b = bench_for(seed);
+        let seq = run_seq(&b.pag, &b.queries, &b.solver);
+        let half = &b.queries[..b.queries.len() / 2];
+        for threads in thread_counts() {
+            let run_warm = |stealing: bool| {
+                let mut s = AnalysisSession::new(&b.pag)
+                    .with_threads(threads)
+                    .with_solver(b.solver.clone())
+                    .with_stealing(stealing);
+                s.submit(half, Mode::DataSharingSched, Backend::Threaded);
+                s.submit(&b.queries, Mode::DataSharingSched, Backend::Threaded)
+            };
+            let mutex = run_warm(false);
+            let stealing = run_warm(true);
+            prop_assert_eq!(
+                stealing.sorted_answers(),
+                mutex.sorted_answers(),
+                "x{} seed {}", threads, seed
+            );
+            prop_assert_eq!(
+                mutex.sorted_answers(),
+                seq.sorted_answers(),
+                "x{} seed {}", threads, seed
+            );
+        }
+    }
+
+    /// Per-worker observability closes the books: summed worker records
+    /// equal the batch totals, and every scheduled group is fetched exactly
+    /// once (a local pop, or the in-hand item of a successful steal).
+    #[test]
+    fn worker_records_sum_to_batch_totals(seed in 0u64..1_000) {
+        let b = bench_for(seed);
+        for threads in thread_counts() {
+            for stealing in [false, true] {
+                let cfg = RunConfig::new(Mode::DataSharingSched, threads, Backend::Threaded)
+                    .with_solver(b.solver.clone())
+                    .with_stealing(stealing);
+                let schedule = parcfl::runtime::schedule_with_cap(
+                    &b.pag, &b.queries, cfg.mode, cfg.group_cap,
+                );
+                let r = run_threaded(&b.pag, &b.queries, &cfg);
+                prop_assert_eq!(r.stats.workers.len(), threads.max(1));
+                let totals = r.stats.obs_totals();
+                prop_assert_eq!(totals.queries as usize, r.stats.queries);
+                prop_assert_eq!(totals.steps, r.stats.traversed_steps);
+                let fetched = totals.local_pops
+                    + if stealing { totals.steals_succeeded } else { 0 };
+                prop_assert_eq!(
+                    fetched,
+                    schedule.groups.len() as u64,
+                    "x{} stealing={} seed {}", threads, stealing, seed
+                );
+                if !stealing {
+                    prop_assert_eq!(totals.steals_attempted, 0);
+                    prop_assert_eq!(totals.steal_wait_ns, 0);
+                }
+            }
+        }
+    }
+}
