@@ -3,7 +3,7 @@
 //! jmp-store operation throughput.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use parcfl_core::{Ctx, Dir, JmpStore, SharedJmpStore, Solver, SolverConfig};
+use parcfl_core::{CtxId, Dir, JmpStore, SharedJmpStore, Solver, SolverConfig};
 use parcfl_pag::NodeId;
 use parcfl_synth::{build_bench, Profile};
 use std::sync::Arc;
@@ -43,12 +43,12 @@ fn bench_store_ops(c: &mut Criterion) {
     g.sample_size(50);
     g.bench_function("publish_lookup", |bench| {
         let store = SharedJmpStore::new();
-        let rch = Arc::new(vec![(NodeId::new(1), Ctx::empty())]);
+        let rch = Arc::new(vec![(NodeId::new(1), CtxId::EMPTY)]);
         let mut i = 0u32;
         bench.iter(|| {
             i = i.wrapping_add(1);
-            let key = (Dir::Bwd, NodeId::new(i % 4096), Ctx::empty());
-            store.publish_finished(key.clone(), 200, Arc::clone(&rch), 0);
+            let key = (Dir::Bwd, NodeId::new(i % 4096), CtxId::EMPTY);
+            store.publish_finished(key, 200, Arc::clone(&rch), 0);
             std::hint::black_box(store.lookup(&key, u64::MAX))
         })
     });

@@ -3,10 +3,19 @@
 //! Andersen substrate (whole-program, the algorithm all seven comparators
 //! parallelise) versus the demand-driven CFL analysis answering only the
 //! queries a client actually asks.
+//!
+//! Additionally emits a machine-readable `BENCH_solver.json` (per-bench
+//! makespan, traversed/charged steps, peak memoisation footprint, interner
+//! size) so CI and perf-tracking scripts can diff solver behaviour without
+//! scraping the human tables. `--smoke` restricts the run to the smallest
+//! synthetic profile and skips the wall-clock sidebars; `--json PATH`
+//! overrides the artifact location.
 
-use parcfl_bench::print_worker_table;
+use parcfl_bench::{print_worker_table, run_mode};
 use parcfl_core::{NoJmpStore, Solver};
-use parcfl_runtime::{run_threaded, Backend, Mode, RunConfig};
+use parcfl_runtime::{run_threaded, Backend, Mode, RunConfig, RunResult};
+use parcfl_synth::{build_bench, table1_profiles, Bench};
+use std::io::Write;
 
 struct Row {
     work: &'static str,
@@ -110,7 +119,79 @@ fn tick(b: bool) -> &'static str {
     }
 }
 
+/// JSON threads per-bench record (DataSharingSched, simulated).
+const JSON_THREADS: usize = 8;
+
+/// One `BENCH_solver.json` record, rendered by hand: the artifact must not
+/// cost a serde dependency, and every field is a scalar.
+fn json_record(b: &Bench, r: &RunResult) -> String {
+    let s = &r.stats;
+    format!(
+        concat!(
+            "{{\"bench\":\"{}\",\"queries\":{},\"completed\":{},",
+            "\"out_of_budget\":{},\"makespan\":{},\"traversed_steps\":{},",
+            "\"charged_steps\":{},\"steps_saved\":{},\"jmp_edges\":{},",
+            "\"store_entries\":{},\"peak_mem_items\":{},\"interner_ctxs\":{},",
+            "\"jmp_bytes\":{},\"wall_ms\":{:.3}}}"
+        ),
+        b.name,
+        s.queries,
+        s.completed,
+        s.out_of_budget,
+        s.makespan,
+        s.traversed_steps,
+        s.charged_steps,
+        s.steps_saved,
+        s.jmp_edges,
+        s.store_entries,
+        s.peak_mem_items,
+        s.interner_ctxs,
+        s.jmp_bytes,
+        s.wall.as_secs_f64() * 1e3,
+    )
+}
+
+/// Runs each bench under the headline configuration and writes the
+/// machine-readable artifact.
+fn emit_bench_json(path: &str, benches: &[Bench], smoke: bool) {
+    let mut records = Vec::with_capacity(benches.len());
+    for b in benches {
+        let r = run_mode(b, Mode::DataSharingSched, JSON_THREADS);
+        records.push(json_record(b, &r));
+    }
+    let body = format!(
+        concat!(
+            "{{\"schema\":\"parcfl-bench-solver/1\",\"mode\":\"DataSharingSched\",",
+            "\"threads\":{},\"backend\":\"simulated\",\"smoke\":{},\"benches\":[\n  {}\n]}}\n"
+        ),
+        JSON_THREADS,
+        smoke,
+        records.join(",\n  "),
+    );
+    let mut f = std::fs::File::create(path).expect("create bench json");
+    f.write_all(body.as_bytes()).expect("write bench json");
+    println!("\nwrote {path} ({} benches)", benches.len());
+}
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let json_path = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_solver.json".to_string());
+
+    if smoke {
+        // CI smoke: smallest synthetic profile only, no wall-clock
+        // sidebars — just prove the solver runs and the artifact lands.
+        let profiles = table1_profiles();
+        let b = build_bench(&profiles[0]);
+        emit_bench_json(&json_path, std::slice::from_ref(&b), true);
+        return;
+    }
+
     println!(
         "{:<18} {:<18} {:>9} {:>8} {:>6} {:>8} {:>6} {:>9}",
         "Analysis", "Algorithm", "On-demand", "Context", "Field", "Flow", "Lang", "Platform"
@@ -183,4 +264,6 @@ fn main() {
         stealing.stats.total_lock_wait(),
         stealing.stats.total_steal_wait(),
     );
+
+    emit_bench_json(&json_path, &suite, false);
 }

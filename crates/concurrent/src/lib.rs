@@ -7,6 +7,9 @@
 //! * [`sharded_map::ShardedMap`] — a sharded concurrent map, our equivalent
 //!   of the `ConcurrentHashMap` the paper uses to manage `jmp` edges, with
 //!   first-writer-wins `try_insert` matching the paper's race rules;
+//! * [`interner::CtxInterner`] — the hash-consed calling-context table:
+//!   contexts become `Copy` 32-bit [`interner::CtxId`]s with lock-free
+//!   resolve and sharded-lock first-time interning;
 //! * [`worklist::SharedWorkList`] — the lock-protected shared query work
 //!   list of Section III-A;
 //! * [`stealing::StealQueues`] — the work-stealing successor to the shared
@@ -18,12 +21,14 @@
 
 pub mod counters;
 pub mod fxhash;
+pub mod interner;
 pub mod sharded_map;
 pub mod stealing;
 pub mod worklist;
 
 pub use counters::{Counter, MaxTracker};
 pub use fxhash::{FxHashMap, FxHashSet};
+pub use interner::{CtxId, CtxInterner};
 pub use sharded_map::ShardedMap;
 pub use stealing::{StealQueues, WorkerObs};
 pub use worklist::SharedWorkList;

@@ -10,7 +10,15 @@
 //!
 //! Call-graph recursion cycles are collapsed before extraction, so stacks
 //! are bounded by the acyclic call depth of the program.
+//!
+//! `Ctx` is the *materialised* representation: what appears in answers,
+//! traces and display output, with lexicographic (bottom-to-top) ordering.
+//! The solver's hot loops do not manipulate `Ctx` values — they traverse
+//! `Copy` [`CtxId`]s hash-consed by a shared
+//! [`CtxInterner`](parcfl_concurrent::CtxInterner), and materialise back
+//! into `Ctx` only at the query boundary (see DESIGN.md §8).
 
+use parcfl_concurrent::{CtxId, CtxInterner};
 use parcfl_pag::CallSiteId;
 
 /// An immutable call-site stack. `push`/`pop` return new contexts.
@@ -81,6 +89,28 @@ impl Ctx {
     pub fn match_forward_ret(&self, site: CallSiteId) -> Option<Ctx> {
         self.match_backward_param(site)
     }
+
+    /// Builds a context from a bottom-to-top call-site stack.
+    pub fn from_stack(stack: Vec<u32>) -> Ctx {
+        Ctx { stack }
+    }
+
+    /// The bottom-to-top call-site stack.
+    pub fn as_slice(&self) -> &[u32] {
+        &self.stack
+    }
+
+    /// Interns this call string into `interner`, returning its `Copy` id.
+    pub fn intern(&self, interner: &CtxInterner) -> CtxId {
+        interner.intern_stack(&self.stack)
+    }
+
+    /// Materialises an interned id back into an owned call string.
+    pub fn materialize(interner: &CtxInterner, id: CtxId) -> Ctx {
+        Ctx {
+            stack: interner.stack_of(id),
+        }
+    }
 }
 
 impl std::fmt::Display for Ctx {
@@ -141,6 +171,23 @@ mod tests {
         assert_eq!(c.to_string(), "[1,2]");
         assert_eq!(Ctx::empty().to_string(), "[]");
         assert!(Ctx::empty() < c);
+    }
+
+    #[test]
+    fn intern_materialize_roundtrip() {
+        let t = CtxInterner::new();
+        let c = Ctx::empty()
+            .push(CallSiteId::new(4))
+            .push(CallSiteId::new(9));
+        let id = c.intern(&t);
+        assert_eq!(Ctx::materialize(&t, id), c);
+        assert_eq!(Ctx::empty().intern(&t), CtxId::EMPTY);
+        assert_eq!(Ctx::materialize(&t, CtxId::EMPTY), Ctx::empty());
+        // Interned push/pop agree with materialised push/pop.
+        assert_eq!(t.parent(id), c.pop().intern(&t));
+        assert_eq!(t.top(id), Some(9));
+        assert_eq!(Ctx::from_stack(vec![4, 9]), c);
+        assert_eq!(c.as_slice(), &[4, 9]);
     }
 
     #[test]

@@ -34,8 +34,7 @@
 //! early-termination evidence cannot be cheaply rediscovered. Eviction only
 //! ever *removes* shared information, so it can change cost, never answers.
 
-use crate::context::Ctx;
-use parcfl_concurrent::{FxHashSet, ShardedMap};
+use parcfl_concurrent::{CtxId, CtxInterner, FxHashSet, ShardedMap};
 use parcfl_pag::NodeId;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -54,13 +53,15 @@ pub enum Dir {
     Fwd,
 }
 
-/// Key of a jmp entry: direction, node and context of the `ReachableNodes`
-/// call.
-pub type JmpKey = (Dir, NodeId, Ctx);
+/// Key of a jmp entry: direction, node and (interned) context of the
+/// `ReachableNodes` call. Contexts are [`CtxId`]s from the store's own
+/// interner ([`SharedJmpStore::interner`]), so a key is a fixed-size
+/// ~12-byte tuple instead of owning a call string.
+pub type JmpKey = (Dir, NodeId, CtxId);
 
 /// The recorded reachable set of a finished `ReachableNodes(x, c)` call:
-/// `(y, c'')` pairs, shared immutably.
-pub type RchSet = Arc<Vec<(NodeId, Ctx)>>;
+/// `(y, c'')` pairs with interned contexts, shared immutably.
+pub type RchSet = Arc<Vec<(NodeId, CtxId)>>;
 
 /// One jmp entry.
 #[derive(Clone, Debug)]
@@ -178,6 +179,14 @@ pub trait JmpStore: Sync {
     fn evict_to_budget(&self) -> usize {
         0
     }
+
+    /// The context interner whose ids this store's keys and payloads use,
+    /// if it carries one. Solvers sharing a store must share its interner
+    /// (ids are only meaningful within one interner); a store without one
+    /// ([`NoJmpStore`]) lets each solver use a private interner.
+    fn ctx_interner(&self) -> Option<Arc<CtxInterner>> {
+        None
+    }
 }
 
 /// A store that never shares anything: `SeqCFL` and the naive parallel
@@ -221,6 +230,10 @@ struct Stored {
 /// The state shared by every handle (clone/view) of a [`SharedJmpStore`].
 struct StoreInner {
     map: ShardedMap<JmpKey, Stored>,
+    /// The interner giving meaning to every [`CtxId`] in keys and
+    /// payloads. Shared by every handle and every solver using the store;
+    /// survives [`SharedJmpStore::clear`] so resident ids stay valid.
+    interner: Arc<CtxInterner>,
     /// Logical access clock: ticks on every insert and visible lookup,
     /// giving `last_use` its LRU order.
     access_clock: AtomicU64,
@@ -266,6 +279,7 @@ impl SharedJmpStore {
         SharedJmpStore {
             inner: Arc::new(StoreInner {
                 map: ShardedMap::new(),
+                interner: Arc::new(CtxInterner::new()),
                 access_clock: AtomicU64::new(0),
                 max_entries,
                 evictions: AtomicU64::new(0),
@@ -343,6 +357,11 @@ impl SharedJmpStore {
         self.timestamped
     }
 
+    /// The store's context interner (shared by every handle and view).
+    pub fn interner(&self) -> &Arc<CtxInterner> {
+        &self.inner.interner
+    }
+
     /// The configured entry budget, if any.
     pub fn max_entries(&self) -> Option<usize> {
         self.inner.max_entries
@@ -412,7 +431,7 @@ impl SharedJmpStore {
                 !st.entry.is_finished(),
                 st.last_use.load(Ordering::Relaxed),
                 st.entry.steps(),
-                k.clone(),
+                *k,
             ));
         });
         candidates.sort_unstable_by(|a, b| (a.0, a.1, a.2, &a.3).cmp(&(b.0, b.1, b.2, &b.3)));
@@ -510,11 +529,12 @@ impl JmpStore for SharedJmpStore {
     }
 
     fn approx_bytes(&self) -> usize {
-        let mut bytes = self.inner.map.approx_bytes();
-        self.inner.map.for_each(|(_, _, c), st| {
-            bytes += c.depth() * 4;
+        // Keys are fixed-size now; only the finished payload vectors and
+        // the (shared, amortised) interner add to the per-entry cost.
+        let mut bytes = self.inner.map.approx_bytes() + self.inner.interner.approx_bytes();
+        self.inner.map.for_each(|_, st| {
             if let JmpEntry::Finished { rch, .. } = &st.entry {
-                bytes += rch.iter().map(|(_, c)| 24 + c.depth() * 4).sum::<usize>();
+                bytes += rch.len() * std::mem::size_of::<(NodeId, CtxId)>();
             }
         });
         bytes
@@ -537,6 +557,10 @@ impl JmpStore for SharedJmpStore {
     fn evict_to_budget(&self) -> usize {
         self.enforce_budget()
     }
+
+    fn ctx_interner(&self) -> Option<Arc<CtxInterner>> {
+        Some(Arc::clone(&self.inner.interner))
+    }
 }
 
 #[cfg(test)]
@@ -544,7 +568,7 @@ mod tests {
     use super::*;
 
     fn key(n: u32) -> JmpKey {
-        (Dir::Bwd, NodeId::new(n), Ctx::empty())
+        (Dir::Bwd, NodeId::new(n), CtxId::EMPTY)
     }
 
     #[test]
@@ -562,7 +586,7 @@ mod tests {
     #[test]
     fn finished_roundtrip_and_stats() {
         let s = SharedJmpStore::new();
-        let rch = Arc::new(vec![(NodeId::new(9), Ctx::empty())]);
+        let rch = Arc::new(vec![(NodeId::new(9), CtxId::EMPTY)]);
         assert!(s.publish_finished(key(1), 250, rch, 0));
         match s.lookup(&key(1), 0) {
             Some(JmpEntry::Finished {
@@ -634,15 +658,18 @@ mod tests {
     #[test]
     fn distinct_contexts_are_distinct_keys() {
         let s = SharedJmpStore::new();
-        let c1 = Ctx::empty().push(parcfl_pag::CallSiteId::new(1));
-        s.publish_unfinished((Dir::Bwd, NodeId::new(5), c1.clone()), 10, 0);
+        let c1 = s.interner().intern(CtxId::EMPTY, 1);
+        s.publish_unfinished((Dir::Bwd, NodeId::new(5), c1), 10, 0);
         assert!(s
-            .lookup(&(Dir::Bwd, NodeId::new(5), Ctx::empty()), 0)
+            .lookup(&(Dir::Bwd, NodeId::new(5), CtxId::EMPTY), 0)
             .is_none());
-        assert!(s
-            .lookup(&(Dir::Fwd, NodeId::new(5), c1.clone()), 0)
-            .is_none());
+        assert!(s.lookup(&(Dir::Fwd, NodeId::new(5), c1), 0).is_none());
         assert!(s.lookup(&(Dir::Bwd, NodeId::new(5), c1), 0).is_some());
+        // Hash-consing through the store's interner: re-interning the same
+        // call string addresses the same entry.
+        assert_eq!(s.interner().intern(CtxId::EMPTY, 1), c1);
+        assert!(s.ctx_interner().is_some());
+        assert!(NoJmpStore.ctx_interner().is_none());
     }
 
     #[test]
@@ -672,8 +699,8 @@ mod tests {
             s.lookup(&key(2), 0);
         }
         let mut meta = Vec::new();
-        s.for_each_with_meta(|k, _, hits, last_use| meta.push((k.clone(), hits, last_use)));
-        meta.sort_by_key(|(k, _, _)| k.clone());
+        s.for_each_with_meta(|k, _, hits, last_use| meta.push((*k, hits, last_use)));
+        meta.sort_by_key(|(k, _, _)| *k);
         assert_eq!(meta[0].1, 0, "key 1 never looked up");
         assert_eq!(meta[1].1, 3, "key 2 hit three times");
         assert!(meta[1].2 > meta[0].2, "key 2 more recently used");

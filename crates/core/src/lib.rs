@@ -39,6 +39,7 @@ pub mod witness;
 pub use config::SolverConfig;
 pub use context::Ctx;
 pub use jmp::{Dir, JmpEntry, JmpStore, NoJmpStore, SharedJmpStore};
+pub use parcfl_concurrent::{CtxId, CtxInterner};
 pub use solver::{CtxNode, Solver};
 pub use stats::{Answer, JmpHistogram, QueryOutput, QueryStats};
 pub use witness::{Trace, Via, Witness, WitnessStep};

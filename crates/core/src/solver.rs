@@ -26,31 +26,66 @@
 //! (Algorithm 2 line 5) without performing the traversal — the gap between
 //! *charged* and *traversed* steps is exactly the redundant work the paper's
 //! scheme eliminates.
+//!
+//! ## Interned contexts (DESIGN.md §8)
+//!
+//! Traversal states are `(NodeId, CtxId)`: contexts are hash-consed into
+//! a shared [`CtxInterner`], so push/pop/top are O(1) table operations,
+//! state equality/hash are integer ops, and visited/memo/jmp keys are
+//! fixed-size tuples — no call-string allocation anywhere in the hot loop.
+//! Everything that crosses the query boundary (answers, traces) is
+//! materialised back into [`Ctx`]. Because which *numeric* id a call
+//! string gets depends on interning order, any internal ordering exposed
+//! to the traversal (result sets iterated by nested calls) sorts by the
+//! materialised call string, never by raw id — this keeps traversal order,
+//! and with it every charged/traversed step count, identical to a
+//! Vec-backed run.
 
 use crate::config::SolverConfig;
 use crate::context::Ctx;
 use crate::jmp::{Dir, JmpEntry, JmpStore, RchSet};
 use crate::stats::{Answer, QueryOutput, QueryStats};
 use crate::witness::{Trace, Via};
-use parcfl_concurrent::{FxHashMap, FxHashSet};
+use parcfl_concurrent::{CtxId, CtxInterner, FxHashMap, FxHashSet};
 use parcfl_pag::{EdgeKind, NodeId, Pag};
 use std::sync::Arc;
 
-/// A `(node, context)` pair — the traversal state of Algorithm 1.
+/// A `(node, context)` pair in materialised form — the representation of
+/// Algorithm 1 states in answers and traces.
 pub type CtxNode = (NodeId, Ctx);
+
+/// An interned traversal state: what the solver actually pushes around.
+type IState = (NodeId, CtxId);
 
 /// The solver: immutable analysis state shared by every query.
 pub struct Solver<'a> {
     pag: &'a Pag,
     cfg: &'a SolverConfig,
     jmp: &'a dyn JmpStore,
+    /// The interner giving meaning to every `CtxId` this solver produces.
+    /// Taken from the jmp store when it carries one (all solvers sharing a
+    /// store must agree on ids); private to this solver otherwise.
+    interner: Arc<CtxInterner>,
 }
 
 impl<'a> Solver<'a> {
     /// Creates a solver over `pag` with the given configuration and jmp
     /// store (use [`crate::jmp::NoJmpStore`] when sharing is disabled).
     pub fn new(pag: &'a Pag, cfg: &'a SolverConfig, jmp: &'a dyn JmpStore) -> Self {
-        Solver { pag, cfg, jmp }
+        let interner = jmp
+            .ctx_interner()
+            .unwrap_or_else(|| Arc::new(CtxInterner::new()));
+        Solver {
+            pag,
+            cfg,
+            jmp,
+            interner,
+        }
+    }
+
+    /// The context interner this solver resolves `CtxId`s against.
+    pub fn interner(&self) -> &Arc<CtxInterner> {
+        &self.interner
     }
 
     /// Answers `PointsTo(l, ∅)`: the context-sensitive points-to set of
@@ -70,63 +105,24 @@ impl<'a> Solver<'a> {
     /// answer. Tracing covers the top-level traversal; heap hops appear as
     /// single `alias` steps.
     pub fn traced_points_to_query(&self, l: NodeId, vtime_base: u64) -> (QueryOutput, Trace) {
-        let mut q = QueryState::new(self.pag, self.cfg, self.jmp, vtime_base);
+        let mut q = QueryState::new(self.pag, self.cfg, self.jmp, &self.interner, vtime_base);
         q.trace = Some(Trace::default());
         if let Some(t) = q.trace.as_mut() {
             t.parent
                 .insert((l, Ctx::empty()), ((l, Ctx::empty()), Via::Root));
         }
-        let result = q.points_to(l, &Ctx::empty());
-        let answer = match result {
-            Ok(set) => {
-                let mut v: Vec<CtxNode> = set.as_ref().clone();
-                v.sort_unstable();
-                v.dedup();
-                Answer::Complete(v)
-            }
-            Err(_oob) => Answer::OutOfBudget,
-        };
-        q.stats.charged_steps = q.steps;
-        q.stats.traversed_steps = q.work;
-        q.stats.mem_items = q.work
-            + q.memo_pts.values().map(|v| v.len() as u64).sum::<u64>()
-            + q.memo_flows.values().map(|v| v.len() as u64).sum::<u64>()
-            + q.memo_rch.values().map(|v| v.len() as u64).sum::<u64>();
+        let result = q.points_to(l, CtxId::EMPTY);
         let trace = q.trace.take().unwrap_or_default();
-        (
-            QueryOutput {
-                answer,
-                stats: q.stats,
-            },
-            trace,
-        )
+        (q.finalize(result), trace)
     }
 
     fn run(&self, start: NodeId, vtime_base: u64, dir: Dir) -> QueryOutput {
-        let mut q = QueryState::new(self.pag, self.cfg, self.jmp, vtime_base);
+        let mut q = QueryState::new(self.pag, self.cfg, self.jmp, &self.interner, vtime_base);
         let result = match dir {
-            Dir::Bwd => q.points_to(start, &Ctx::empty()),
-            Dir::Fwd => q.flows_to(start, &Ctx::empty()),
+            Dir::Bwd => q.points_to(start, CtxId::EMPTY),
+            Dir::Fwd => q.flows_to(start, CtxId::EMPTY),
         };
-        let answer = match result {
-            Ok(set) => {
-                let mut v: Vec<CtxNode> = set.as_ref().clone();
-                v.sort_unstable();
-                v.dedup();
-                Answer::Complete(v)
-            }
-            Err(_oob) => Answer::OutOfBudget,
-        };
-        q.stats.charged_steps = q.steps;
-        q.stats.traversed_steps = q.work;
-        q.stats.mem_items = q.work
-            + q.memo_pts.values().map(|v| v.len() as u64).sum::<u64>()
-            + q.memo_flows.values().map(|v| v.len() as u64).sum::<u64>()
-            + q.memo_rch.values().map(|v| v.len() as u64).sum::<u64>();
-        QueryOutput {
-            answer,
-            stats: q.stats,
-        }
+        q.finalize(result)
     }
 }
 
@@ -134,34 +130,20 @@ impl<'a> Solver<'a> {
 #[derive(Debug)]
 struct Oob;
 
-/// Visited-state set keyed `node → contexts`, probing by reference so the
-/// hot traversal loops only clone a call-string when a state is genuinely
-/// new (duplicate hits — the common case on dense graphs — cost no
-/// allocation).
+/// Visited-state set keyed `node → interned contexts`. With hash-consed
+/// contexts an insert is a pure integer-set operation — no allocation on
+/// either the hit or the miss path.
 #[derive(Default)]
 struct VisitSet {
-    map: FxHashMap<NodeId, FxHashSet<Ctx>>,
+    map: FxHashMap<NodeId, FxHashSet<CtxId>>,
 }
 
 impl VisitSet {
     /// Records `(n, c)`; returns `true` iff the state was new.
     #[inline]
-    fn insert_ref(&mut self, n: NodeId, c: &Ctx) -> bool {
-        let set = self.map.entry(n).or_default();
-        if set.contains(c) {
-            false
-        } else {
-            set.insert(c.clone());
-            true
-        }
+    fn insert(&mut self, n: NodeId, c: CtxId) -> bool {
+        self.map.entry(n).or_default().insert(c)
     }
-}
-
-/// A successor produced by one edge: either the current context carries
-/// over unchanged, or a new context was computed (push/pop/clear).
-enum Step {
-    Same(NodeId),
-    New(NodeId, Ctx),
 }
 
 /// Query-local mutable state shared by every nested traversal.
@@ -169,6 +151,7 @@ struct QueryState<'a> {
     pag: &'a Pag,
     cfg: &'a SolverConfig,
     jmp: &'a dyn JmpStore,
+    ctxs: &'a CtxInterner,
     /// Steps charged against the budget (`steps` in the paper).
     steps: u64,
     /// Steps actually traversed (work-list pops performed).
@@ -176,19 +159,19 @@ struct QueryState<'a> {
     vtime_base: u64,
     /// The paper's `S`: in-progress `ReachableNodes` frames
     /// `(dir, x, c, s0)`, used by `OutOfBudget` to record unfinished jmps.
-    in_progress: Vec<(Dir, NodeId, Ctx, u64)>,
+    in_progress: Vec<(Dir, NodeId, CtxId, u64)>,
     /// Per-query memoisation of completed nested calls (ad-hoc caching, as
     /// in the baseline [18]).
-    memo_pts: FxHashMap<CtxNode, Arc<Vec<CtxNode>>>,
-    memo_flows: FxHashMap<CtxNode, Arc<Vec<CtxNode>>>,
-    memo_rch: FxHashMap<(Dir, NodeId, Ctx), RchSet>,
+    memo_pts: FxHashMap<IState, Arc<Vec<IState>>>,
+    memo_flows: FxHashMap<IState, Arc<Vec<IState>>>,
+    memo_rch: FxHashMap<(Dir, NodeId, CtxId), RchSet>,
     /// In-flight call detection: identical re-entrant calls would loop
     /// until the budget drained; we reach the same out-of-budget verdict
     /// immediately (see DESIGN.md). One set per call kind — `PointsTo(x,c)`
     /// legitimately invokes `ReachableNodes(x,c)`.
-    on_stack_pts: FxHashSet<CtxNode>,
-    on_stack_flows: FxHashSet<CtxNode>,
-    on_stack_rch: FxHashSet<(Dir, NodeId, Ctx)>,
+    on_stack_pts: FxHashSet<IState>,
+    on_stack_flows: FxHashSet<IState>,
+    on_stack_rch: FxHashSet<(Dir, NodeId, CtxId)>,
     depth: u32,
     stats: QueryStats,
     /// Discovery forest for witness reconstruction; recorded only for the
@@ -197,11 +180,18 @@ struct QueryState<'a> {
 }
 
 impl<'a> QueryState<'a> {
-    fn new(pag: &'a Pag, cfg: &'a SolverConfig, jmp: &'a dyn JmpStore, vtime_base: u64) -> Self {
+    fn new(
+        pag: &'a Pag,
+        cfg: &'a SolverConfig,
+        jmp: &'a dyn JmpStore,
+        ctxs: &'a CtxInterner,
+        vtime_base: u64,
+    ) -> Self {
         QueryState {
             pag,
             cfg,
             jmp,
+            ctxs,
             steps: 0,
             work: 0,
             vtime_base,
@@ -215,6 +205,49 @@ impl<'a> QueryState<'a> {
             depth: 0,
             stats: QueryStats::default(),
             trace: None,
+        }
+    }
+
+    /// Materialises an interned context (query-boundary/trace path only).
+    #[inline]
+    fn mat(&self, c: CtxId) -> Ctx {
+        Ctx::materialize(self.ctxs, c)
+    }
+
+    /// Sorts interned states by their materialised `(node, call string)`
+    /// key — the canonical order a Vec-backed run produces. Result sets
+    /// are iterated by nested traversals, so this ordering is what keeps
+    /// step counts independent of id-assignment order.
+    fn sort_canonical(&self, v: &mut [IState]) {
+        v.sort_by_cached_key(|&(n, c)| (n, self.ctxs.stack_of(c)));
+    }
+
+    /// Answer/stats finalisation shared by [`Solver::run`] and
+    /// [`Solver::traced_points_to_query`]: materialise the result set and
+    /// close out the cost accounting.
+    fn finalize(mut self, result: Result<Arc<Vec<IState>>, Oob>) -> QueryOutput {
+        let answer = match result {
+            Ok(set) => {
+                let mut v: Vec<CtxNode> = set.iter().map(|&(n, c)| (n, self.mat(c))).collect();
+                v.sort_unstable();
+                v.dedup();
+                Answer::Complete(v)
+            }
+            Err(_oob) => Answer::OutOfBudget,
+        };
+        self.stats.charged_steps = self.steps;
+        self.stats.traversed_steps = self.work;
+        self.stats.mem_items = self.work
+            + self.memo_pts.values().map(|v| v.len() as u64).sum::<u64>()
+            + self
+                .memo_flows
+                .values()
+                .map(|v| v.len() as u64)
+                .sum::<u64>()
+            + self.memo_rch.values().map(|v| v.len() as u64).sum::<u64>();
+        QueryOutput {
+            answer,
+            stats: self.stats,
         }
     }
 
@@ -289,15 +322,15 @@ impl<'a> QueryState<'a> {
 
     // ----- POINTSTO -----
 
-    fn points_to(&mut self, l: NodeId, c: &Ctx) -> Result<Arc<Vec<CtxNode>>, Oob> {
-        let key = (l, c.clone());
+    fn points_to(&mut self, l: NodeId, c: CtxId) -> Result<Arc<Vec<IState>>, Oob> {
+        let key = (l, c);
         if self.cfg.memoize {
             if let Some(r) = self.memo_pts.get(&key) {
                 return Ok(Arc::clone(r));
             }
         }
         self.enter()?;
-        if !self.on_stack_pts.insert(key.clone()) {
+        if !self.on_stack_pts.insert(key) {
             return Err(self.burn_remaining());
         }
         let out = self.points_to_inner(l, c)?;
@@ -310,14 +343,15 @@ impl<'a> QueryState<'a> {
         Ok(out)
     }
 
-    fn points_to_inner(&mut self, l: NodeId, c: &Ctx) -> Result<Vec<CtxNode>, Oob> {
+    fn points_to_inner(&mut self, l: NodeId, c: CtxId) -> Result<Vec<IState>, Oob> {
         let ctx_sens = self.cfg.context_sensitive;
+        let ctxs = self.ctxs;
         let mut pts_seen = VisitSet::default();
-        let mut pts: Vec<CtxNode> = Vec::new();
+        let mut pts: Vec<IState> = Vec::new();
         let mut visited = VisitSet::default();
-        let mut w: Vec<CtxNode> = Vec::new();
-        visited.insert_ref(l, c);
-        w.push((l, c.clone()));
+        let mut w: Vec<IState> = Vec::new();
+        visited.insert(l, c);
+        w.push((l, c));
 
         // Tracing is recorded for the outermost traversal only.
         let tracing = self.depth == 1 && self.trace.is_some();
@@ -325,42 +359,43 @@ impl<'a> QueryState<'a> {
             self.tick()?;
             let mut has_load = false;
             for e in self.pag.incoming(x) {
-                let step: Option<Step> = match e.kind {
+                let step: Option<IState> = match e.kind {
                     EdgeKind::New => {
-                        if pts_seen.insert_ref(e.src, &cx) {
-                            pts.push((e.src, cx.clone()));
+                        if pts_seen.insert(e.src, cx) {
+                            pts.push((e.src, cx));
                             if tracing {
+                                let mc = Ctx::materialize(ctxs, cx);
                                 if let Some(t) = self.trace.as_mut() {
                                     t.object_from
-                                        .entry((e.src, cx.clone()))
-                                        .or_insert_with(|| (x, cx.clone()));
+                                        .entry((e.src, mc.clone()))
+                                        .or_insert_with(|| (x, mc));
                                 }
                             }
                         }
                         None
                     }
-                    EdgeKind::AssignLocal => Some(Step::Same(e.src)),
+                    EdgeKind::AssignLocal => Some((e.src, cx)),
                     EdgeKind::AssignGlobal => {
                         if ctx_sens {
-                            Some(Step::New(e.src, Ctx::empty()))
+                            Some((e.src, CtxId::EMPTY))
                         } else {
-                            Some(Step::Same(e.src))
+                            Some((e.src, cx))
                         }
                     }
                     EdgeKind::Param(i) => {
                         if !ctx_sens || cx.is_empty() {
-                            Some(Step::Same(e.src))
-                        } else if cx.top() == Some(i) {
-                            Some(Step::New(e.src, cx.pop()))
+                            Some((e.src, cx))
+                        } else if ctxs.top(cx) == Some(i.raw()) {
+                            Some((e.src, ctxs.parent(cx)))
                         } else {
                             None
                         }
                     }
                     EdgeKind::Ret(i) => {
                         if ctx_sens {
-                            Some(Step::New(e.src, cx.push(i)))
+                            Some((e.src, ctxs.intern(cx, i.raw())))
                         } else {
-                            Some(Step::Same(e.src))
+                            Some((e.src, cx))
                         }
                     }
                     EdgeKind::Load(_) => {
@@ -370,58 +405,51 @@ impl<'a> QueryState<'a> {
                     // A store into `x.f` does not flow into `x` itself.
                     EdgeKind::Store(_) => None,
                 };
-                if let Some(step) = step {
-                    let (n2, cref): (NodeId, &Ctx) = match &step {
-                        Step::Same(n) => (*n, &cx),
-                        Step::New(n, c2) => (*n, c2),
-                    };
-                    if visited.insert_ref(n2, cref) {
+                if let Some((n2, c2)) = step {
+                    if visited.insert(n2, c2) {
                         if tracing {
                             let label = e.kind.label();
-                            let parent_key = (n2, cref.clone());
+                            let parent_key = (n2, Ctx::materialize(ctxs, c2));
+                            let from = (x, Ctx::materialize(ctxs, cx));
                             if let Some(t) = self.trace.as_mut() {
-                                t.parent
-                                    .insert(parent_key, ((x, cx.clone()), Via::Edge(label)));
+                                t.parent.insert(parent_key, (from, Via::Edge(label)));
                             }
                         }
-                        let owned = match step {
-                            Step::Same(_) => cx.clone(),
-                            Step::New(_, c2) => c2,
-                        };
-                        w.push((n2, owned));
+                        w.push((n2, c2));
                     }
                 }
             }
             if has_load {
-                let rch = self.reachable_nodes(x, &cx, Dir::Bwd)?;
-                for (n2, c2) in rch.iter() {
-                    if visited.insert_ref(*n2, c2) {
+                let rch = self.reachable_nodes(x, cx, Dir::Bwd)?;
+                for &(n2, c2) in rch.iter() {
+                    if visited.insert(n2, c2) {
                         if tracing {
+                            let parent_key = (n2, Ctx::materialize(ctxs, c2));
+                            let from = (x, Ctx::materialize(ctxs, cx));
                             if let Some(t) = self.trace.as_mut() {
-                                t.parent
-                                    .insert((*n2, c2.clone()), ((x, cx.clone()), Via::Alias));
+                                t.parent.insert(parent_key, (from, Via::Alias));
                             }
                         }
-                        w.push((*n2, c2.clone()));
+                        w.push((n2, c2));
                     }
                 }
             }
         }
-        pts.sort_unstable();
+        self.sort_canonical(&mut pts);
         Ok(pts)
     }
 
     // ----- FLOWSTO -----
 
-    fn flows_to(&mut self, o: NodeId, c: &Ctx) -> Result<Arc<Vec<CtxNode>>, Oob> {
-        let key = (o, c.clone());
+    fn flows_to(&mut self, o: NodeId, c: CtxId) -> Result<Arc<Vec<IState>>, Oob> {
+        let key = (o, c);
         if self.cfg.memoize {
             if let Some(r) = self.memo_flows.get(&key) {
                 return Ok(Arc::clone(r));
             }
         }
         self.enter()?;
-        if !self.on_stack_flows.insert(key.clone()) {
+        if !self.on_stack_flows.insert(key) {
             return Err(self.burn_remaining());
         }
         let out = self.flows_to_inner(o, c)?;
@@ -434,44 +462,45 @@ impl<'a> QueryState<'a> {
         Ok(out)
     }
 
-    fn flows_to_inner(&mut self, o: NodeId, c: &Ctx) -> Result<Vec<CtxNode>, Oob> {
+    fn flows_to_inner(&mut self, o: NodeId, c: CtxId) -> Result<Vec<IState>, Oob> {
         let ctx_sens = self.cfg.context_sensitive;
+        let ctxs = self.ctxs;
         // Every state is popped exactly once (pushes are gated by the
         // visited set), so reached variables can be collected in a Vec.
-        let mut reached: Vec<CtxNode> = Vec::new();
+        let mut reached: Vec<IState> = Vec::new();
         let mut visited = VisitSet::default();
-        let mut w: Vec<CtxNode> = Vec::new();
-        visited.insert_ref(o, c);
-        w.push((o, c.clone()));
+        let mut w: Vec<IState> = Vec::new();
+        visited.insert(o, c);
+        w.push((o, c));
 
         while let Some((n, cn)) = w.pop() {
             self.tick()?;
             if self.pag.kind(n).is_variable() {
-                reached.push((n, cn.clone()));
+                reached.push((n, cn));
             }
             let mut has_store = false;
             for e in self.pag.outgoing(n) {
-                let step: Option<Step> = match e.kind {
-                    EdgeKind::New | EdgeKind::AssignLocal => Some(Step::Same(e.dst)),
+                let step: Option<IState> = match e.kind {
+                    EdgeKind::New | EdgeKind::AssignLocal => Some((e.dst, cn)),
                     EdgeKind::AssignGlobal => {
                         if ctx_sens {
-                            Some(Step::New(e.dst, Ctx::empty()))
+                            Some((e.dst, CtxId::EMPTY))
                         } else {
-                            Some(Step::Same(e.dst))
+                            Some((e.dst, cn))
                         }
                     }
                     EdgeKind::Param(i) => {
                         if ctx_sens {
-                            Some(Step::New(e.dst, cn.push(i)))
+                            Some((e.dst, ctxs.intern(cn, i.raw())))
                         } else {
-                            Some(Step::Same(e.dst))
+                            Some((e.dst, cn))
                         }
                     }
                     EdgeKind::Ret(i) => {
                         if !ctx_sens || cn.is_empty() {
-                            Some(Step::Same(e.dst))
-                        } else if cn.top() == Some(i) {
-                            Some(Step::New(e.dst, cn.pop()))
+                            Some((e.dst, cn))
+                        } else if ctxs.top(cn) == Some(i.raw()) {
+                            Some((e.dst, ctxs.parent(cn)))
                         } else {
                             None
                         }
@@ -483,38 +512,30 @@ impl<'a> QueryState<'a> {
                     // A load `y = n.f` does not receive `n` itself.
                     EdgeKind::Load(_) => None,
                 };
-                if let Some(step) = step {
-                    let (n2, cref): (NodeId, &Ctx) = match &step {
-                        Step::Same(nn) => (*nn, &cn),
-                        Step::New(nn, c2) => (*nn, c2),
-                    };
-                    if visited.insert_ref(n2, cref) {
-                        let owned = match step {
-                            Step::Same(_) => cn.clone(),
-                            Step::New(_, c2) => c2,
-                        };
-                        w.push((n2, owned));
+                if let Some((n2, c2)) = step {
+                    if visited.insert(n2, c2) {
+                        w.push((n2, c2));
                     }
                 }
             }
             if has_store {
-                let rch = self.reachable_nodes(n, &cn, Dir::Fwd)?;
-                for (n2, c2) in rch.iter() {
-                    if visited.insert_ref(*n2, c2) {
-                        w.push((*n2, c2.clone()));
+                let rch = self.reachable_nodes(n, cn, Dir::Fwd)?;
+                for &(n2, c2) in rch.iter() {
+                    if visited.insert(n2, c2) {
+                        w.push((n2, c2));
                     }
                 }
             }
         }
-        reached.sort_unstable();
+        self.sort_canonical(&mut reached);
         reached.dedup();
         Ok(reached)
     }
 
     // ----- REACHABLENODES (Algorithm 2) -----
 
-    fn reachable_nodes(&mut self, x: NodeId, c: &Ctx, dir: Dir) -> Result<RchSet, Oob> {
-        let key = (dir, x, c.clone());
+    fn reachable_nodes(&mut self, x: NodeId, c: CtxId, dir: Dir) -> Result<RchSet, Oob> {
+        let key = (dir, x, c);
         if self.cfg.memoize {
             if let Some(r) = self.memo_rch.get(&key) {
                 return Ok(Arc::clone(r));
@@ -562,8 +583,8 @@ impl<'a> QueryState<'a> {
 
         // Lines 9–22: compute, tracking the frame for OutOfBudget.
         let s0 = self.steps;
-        self.in_progress.push((dir, x, c.clone(), s0));
-        if !self.on_stack_rch.insert(key.clone()) {
+        self.in_progress.push((dir, x, c, s0));
+        if !self.on_stack_rch.insert(key) {
             return Err(self.burn_remaining());
         }
         let out = match dir {
@@ -579,7 +600,7 @@ impl<'a> QueryState<'a> {
             if total >= self.cfg.tau_finished
                 && self
                     .jmp
-                    .publish_finished(key.clone(), total, Arc::clone(&rch), self.now())
+                    .publish_finished(key, total, Arc::clone(&rch), self.now())
             {
                 self.stats.finished_published += rch.len().max(1) as u64;
             }
@@ -592,8 +613,8 @@ impl<'a> QueryState<'a> {
 
     /// Backward: `x` has incoming loads `x ←ld(f)− p`; for every store
     /// `q ←st(f)− y` with `p alias q`, `(y, c'')` is reachable.
-    fn reachable_inner_bwd(&mut self, x: NodeId, c: &Ctx) -> Result<Vec<CtxNode>, Oob> {
-        let mut out: FxHashSet<CtxNode> = FxHashSet::default();
+    fn reachable_inner_bwd(&mut self, x: NodeId, c: CtxId) -> Result<Vec<IState>, Oob> {
+        let mut out: FxHashSet<IState> = FxHashSet::default();
         let loads: Vec<(NodeId, parcfl_pag::FieldId)> = self
             .pag
             .incoming(x)
@@ -608,31 +629,34 @@ impl<'a> QueryState<'a> {
                 continue;
             }
             // alias = ∪ FlowsTo(o, c') for (o, c') ∈ PointsTo(p, c).
-            let mut alias: FxHashMap<NodeId, Vec<Ctx>> = FxHashMap::default();
+            // Contexts per node are a set: interned ids dedup the repeats
+            // that distinct objects with overlapping flows-to sets produce,
+            // so the store/load match loop below never re-inserts.
+            let mut alias: FxHashMap<NodeId, FxHashSet<CtxId>> = FxHashMap::default();
             let pts = self.points_to(p, c)?;
-            for (o, c0) in pts.iter() {
-                let ft = self.flows_to(*o, c0)?;
-                for (q2, c2) in ft.iter() {
-                    alias.entry(*q2).or_default().push(c2.clone());
+            for &(o, c0) in pts.iter() {
+                let ft = self.flows_to(o, c0)?;
+                for &(q2, c2) in ft.iter() {
+                    alias.entry(q2).or_default().insert(c2);
                 }
             }
             for &(q, y) in self.pag.stores_of(f) {
                 if let Some(ctxs) = alias.get(&q) {
-                    for c2 in ctxs {
-                        out.insert((y, c2.clone()));
+                    for &c2 in ctxs {
+                        out.insert((y, c2));
                     }
                 }
             }
         }
-        let mut v: Vec<CtxNode> = out.into_iter().collect();
-        v.sort_unstable();
+        let mut v: Vec<IState> = out.into_iter().collect();
+        self.sort_canonical(&mut v);
         Ok(v)
     }
 
     /// Forward dual: `y` has outgoing stores `q ←st(f)− y`; for every load
     /// `x ←ld(f)− p` with `q alias p`, `(x, c'')` is reachable.
-    fn reachable_inner_fwd(&mut self, y: NodeId, c: &Ctx) -> Result<Vec<CtxNode>, Oob> {
-        let mut out: FxHashSet<CtxNode> = FxHashSet::default();
+    fn reachable_inner_fwd(&mut self, y: NodeId, c: CtxId) -> Result<Vec<IState>, Oob> {
+        let mut out: FxHashSet<IState> = FxHashSet::default();
         let stores: Vec<(NodeId, parcfl_pag::FieldId)> = self
             .pag
             .outgoing(y)
@@ -645,24 +669,24 @@ impl<'a> QueryState<'a> {
             if self.pag.loads_of(f).is_empty() {
                 continue;
             }
-            let mut alias: FxHashMap<NodeId, Vec<Ctx>> = FxHashMap::default();
+            let mut alias: FxHashMap<NodeId, FxHashSet<CtxId>> = FxHashMap::default();
             let pts = self.points_to(q, c)?;
-            for (o, c0) in pts.iter() {
-                let ft = self.flows_to(*o, c0)?;
-                for (p2, c2) in ft.iter() {
-                    alias.entry(*p2).or_default().push(c2.clone());
+            for &(o, c0) in pts.iter() {
+                let ft = self.flows_to(o, c0)?;
+                for &(p2, c2) in ft.iter() {
+                    alias.entry(p2).or_default().insert(c2);
                 }
             }
             for &(p, x) in self.pag.loads_of(f) {
                 if let Some(ctxs) = alias.get(&p) {
-                    for c2 in ctxs {
-                        out.insert((x, c2.clone()));
+                    for &c2 in ctxs {
+                        out.insert((x, c2));
                     }
                 }
             }
         }
-        let mut v: Vec<CtxNode> = out.into_iter().collect();
-        v.sort_unstable();
+        let mut v: Vec<IState> = out.into_iter().collect();
+        self.sort_canonical(&mut v);
         Ok(v)
     }
 }

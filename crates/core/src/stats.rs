@@ -129,6 +129,7 @@ mod tests {
     use super::*;
     use crate::context::Ctx;
     use crate::jmp::{Dir, SharedJmpStore};
+    use parcfl_concurrent::CtxId;
     use parcfl_pag::NodeId;
     use std::sync::Arc;
 
@@ -147,11 +148,11 @@ mod tests {
     fn histogram_of_store() {
         let s = SharedJmpStore::new();
         let rch = Arc::new(vec![
-            (NodeId::new(1), Ctx::empty()),
-            (NodeId::new(2), Ctx::empty()),
+            (NodeId::new(1), CtxId::EMPTY),
+            (NodeId::new(2), CtxId::EMPTY),
         ]);
-        s.publish_finished((Dir::Bwd, NodeId::new(0), Ctx::empty()), 130, rch, 0);
-        s.publish_unfinished((Dir::Bwd, NodeId::new(3), Ctx::empty()), 20_000, 0);
+        s.publish_finished((Dir::Bwd, NodeId::new(0), CtxId::EMPTY), 130, rch, 0);
+        s.publish_unfinished((Dir::Bwd, NodeId::new(3), CtxId::EMPTY), 20_000, 0);
         let h = JmpHistogram::of(&s);
         assert_eq!(h.finished_total(), 2, "two edges in one finished set");
         assert_eq!(h.unfinished_total(), 1);

@@ -46,6 +46,7 @@ pub fn run_seq_with_store(
     stats.jmp_edges = store.stats().total_edges();
     stats.jmp_bytes = store.approx_bytes();
     stats.avg_group_size = 1.0;
+    stats.interner_ctxs = solver.interner().len();
     RunResult { answers, stats }
 }
 

@@ -110,6 +110,7 @@ pub fn run_simulated_batch(
     stats.jmp_edges = store.stats().total_edges();
     stats.jmp_bytes = store.approx_bytes();
     stats.avg_group_size = schedule.avg_group_size;
+    stats.interner_ctxs = store.interner().len();
     (RunResult { answers, stats }, end)
 }
 

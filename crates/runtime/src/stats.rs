@@ -44,6 +44,12 @@ pub struct RunStats {
     pub jmp_bytes: usize,
     /// Allocation-volume proxy summed over queries (Section IV-D5).
     pub mem_items: u64,
+    /// Largest single-query `mem_items` seen — the peak-resident proxy
+    /// recorded in `BENCH_solver.json`.
+    pub peak_mem_items: u64,
+    /// Contexts resident in the run's shared interner at the end
+    /// (including the empty context); 0 when the store carries none.
+    pub interner_ctxs: usize,
     /// Virtual-time makespan (simulated backend) — the parallel "runtime".
     pub makespan: u64,
     /// Wall-clock duration of the run.
@@ -75,6 +81,7 @@ impl RunStats {
         self.shortcuts_taken += qs.shortcuts_taken;
         self.warm_hits += qs.warm_hits;
         self.mem_items += qs.mem_items;
+        self.peak_mem_items = self.peak_mem_items.max(qs.mem_items);
     }
 
     /// Merges another accumulator: per-thread partials within a run, or a
@@ -82,8 +89,9 @@ impl RunStats {
     /// additive time measures `makespan`/`wall`/`batches`) sum — `warm_hits`
     /// and `evictions` are true per-batch counters (warm hits are counted
     /// per query; evictions are scoped per batch handle), so summing them
-    /// across batches is exact. Gauge fields (`jmp_edges`, `jmp_bytes`,
-    /// `store_entries`, `avg_group_size`) describe *current* shared state,
+    /// across batches is exact; `peak_mem_items` takes the max. Gauge
+    /// fields (`jmp_edges`, `jmp_bytes`, `store_entries`,
+    /// `avg_group_size`, `interner_ctxs`) describe *current* shared state,
     /// not accumulation: when `other` is a finished batch
     /// (`other.batches > 0`) they take `other`'s observation verbatim —
     /// including zero, which is a real residency report (an earlier
@@ -103,6 +111,7 @@ impl RunStats {
         self.warm_hits += other.warm_hits;
         self.evictions += other.evictions;
         self.mem_items += other.mem_items;
+        self.peak_mem_items = self.peak_mem_items.max(other.peak_mem_items);
         self.makespan += other.makespan;
         self.wall += other.wall;
         self.batches += other.batches;
@@ -111,6 +120,7 @@ impl RunStats {
             self.jmp_bytes = other.jmp_bytes;
             self.store_entries = other.store_entries;
             self.avg_group_size = other.avg_group_size;
+            self.interner_ctxs = other.interner_ctxs;
         }
         for (i, w) in other.workers.iter().enumerate() {
             if self.workers.len() <= i {
@@ -232,6 +242,8 @@ mod tests {
                 jmp_edges: 7,
                 jmp_bytes: 700,
                 mem_items: 11,
+                peak_mem_items: 8,
+                interner_ctxs: 12,
                 makespan: 50,
                 wall: std::time::Duration::from_millis(3),
                 avg_group_size: 2.0,
@@ -253,6 +265,8 @@ mod tests {
                 jmp_edges: 6,
                 jmp_bytes: 600,
                 mem_items: 5,
+                peak_mem_items: 5,
+                interner_ctxs: 9,
                 makespan: 9,
                 wall: std::time::Duration::from_millis(2),
                 avg_group_size: 1.5,
@@ -274,6 +288,7 @@ mod tests {
         assert_eq!(cum.warm_hits, 4);
         assert_eq!(cum.evictions, 3);
         assert_eq!(cum.mem_items, 16);
+        assert_eq!(cum.peak_mem_items, 8, "peak takes the max across batches");
         assert_eq!(cum.makespan, 59);
         assert_eq!(cum.wall, std::time::Duration::from_millis(5));
         assert_eq!(cum.batches, 2);
@@ -282,6 +297,7 @@ mod tests {
         assert_eq!(cum.jmp_edges, 6);
         assert_eq!(cum.jmp_bytes, 600);
         assert_eq!(cum.avg_group_size, 1.5);
+        assert_eq!(cum.interner_ctxs, 9, "gauge follows the latest batch");
     }
 
     #[test]
