@@ -10,10 +10,17 @@
 //! scraping the human tables. `--smoke` restricts the run to the smallest
 //! synthetic profile and skips the wall-clock sidebars; `--json PATH`
 //! overrides the artifact location.
+//!
+//! `--trace-out PATH` additionally re-runs the first bench with
+//! `TraceLevel::Full` on the *simulated* backend (deterministic, so the
+//! CI artifact is reproducible) and writes the Chrome-trace JSON there —
+//! load it in `chrome://tracing` or Perfetto.
 
-use parcfl_bench::{print_worker_table, run_mode};
+use parcfl_bench::{cfg_for, print_worker_table, run_mode};
 use parcfl_core::{NoJmpStore, Solver};
-use parcfl_runtime::{run_threaded, Backend, Mode, RunConfig, RunResult};
+use parcfl_runtime::{
+    run_simulated, run_threaded, Backend, Mode, RunConfig, RunResult, TraceLevel,
+};
 use parcfl_synth::{build_bench, table1_profiles, Bench};
 use std::io::Write;
 
@@ -173,6 +180,21 @@ fn emit_bench_json(path: &str, benches: &[Bench], smoke: bool) {
     println!("\nwrote {path} ({} benches)", benches.len());
 }
 
+/// Re-runs `b` with full tracing on the deterministic simulated backend
+/// and writes the Chrome-trace JSON artifact.
+fn emit_trace(path: &str, b: &Bench) {
+    let cfg = cfg_for(b, Mode::DataSharingSched, JSON_THREADS).with_tracing(TraceLevel::Full);
+    let r = run_simulated(&b.pag, &b.queries, &cfg);
+    let trace = r.trace.expect("Full tracing yields a trace");
+    std::fs::write(path, trace.to_chrome_json()).expect("write chrome trace");
+    println!(
+        "wrote {path} ({} events across {} workers, {} dropped)",
+        trace.event_count(),
+        trace.workers.len(),
+        trace.dropped()
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
@@ -182,6 +204,11 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_solver.json".to_string());
+    let trace_path = args
+        .iter()
+        .position(|a| a == "--trace-out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
 
     if smoke {
         // CI smoke: smallest synthetic profile only, no wall-clock
@@ -189,6 +216,9 @@ fn main() {
         let profiles = table1_profiles();
         let b = build_bench(&profiles[0]);
         emit_bench_json(&json_path, std::slice::from_ref(&b), true);
+        if let Some(p) = &trace_path {
+            emit_trace(p, &b);
+        }
         return;
     }
 
@@ -266,4 +296,7 @@ fn main() {
     );
 
     emit_bench_json(&json_path, &suite, false);
+    if let Some(p) = &trace_path {
+        emit_trace(p, &suite[0]);
+    }
 }

@@ -24,10 +24,16 @@
 //! With `--stealing` the bench instead compares the two *threaded*
 //! dispatch disciplines (mutex work list vs work-stealing scheduler) on
 //! warm sessions: identical answers, strictly less total lock waiting.
+//!
+//! `--json [PATH]` additionally writes a machine-readable artifact
+//! (default `BENCH_warm.json`): per-bench cold/warm traversed steps, warm
+//! hits, and p50/p90/p99 of the warm batch's query-latency histogram
+//! (simulated backend, so latency is in *traversal steps*).
 
 use parcfl_bench::{cfg_for, print_worker_table};
 use parcfl_core::SolverConfig;
-use parcfl_runtime::{run_simulated, AnalysisSession, Backend, Mode};
+use parcfl_runtime::{run_simulated, AnalysisSession, Backend, Mode, RunResult};
+use std::io::Write;
 
 /// `--stealing`: the real-thread warm-session comparison instead of the
 /// simulated table. Every benchmark runs the same two-batch warm session
@@ -97,11 +103,53 @@ fn run_stealing_comparison() {
     );
 }
 
+/// One `BENCH_warm.json` record: warm-vs-cold step counts plus the warm
+/// batch's query-latency percentiles (histogram bucket upper bounds, in
+/// simulated traversal steps). Hand-rendered — every field is a scalar.
+fn warm_record(name: &str, cold: &RunResult, warm: &RunResult) -> String {
+    let h = &warm.stats.hists.query_latency;
+    format!(
+        concat!(
+            "{{\"bench\":\"{}\",\"cold_steps\":{},\"warm_steps\":{},",
+            "\"warm_hits\":{},\"latency_p50\":{},\"latency_p90\":{},",
+            "\"latency_p99\":{}}}"
+        ),
+        name,
+        cold.stats.traversed_steps,
+        warm.stats.traversed_steps,
+        warm.stats.warm_hits,
+        h.percentile(50.0),
+        h.percentile(90.0),
+        h.percentile(99.0),
+    )
+}
+
+/// Writes the `--json` artifact.
+fn emit_warm_json(path: &str, records: &[String]) {
+    let body = format!(
+        "{{\"schema\":\"parcfl-bench-warm/1\",\"latency_unit\":\"steps\",\"benches\":[\n  {}\n]}}\n",
+        records.join(",\n  "),
+    );
+    let mut f = std::fs::File::create(path).expect("create warm json");
+    f.write_all(body.as_bytes()).expect("write warm json");
+    println!("\nwrote {path} ({} benches)", records.len());
+}
+
 fn main() {
-    if std::env::args().any(|a| a == "--stealing") {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--stealing") {
         run_stealing_comparison();
         return;
     }
+    // `--json` takes an optional path operand; a following flag (or
+    // nothing) means "use the default artifact name".
+    let json_path = args.iter().position(|a| a == "--json").map(|i| {
+        args.get(i + 1)
+            .filter(|v| !v.starts_with("--"))
+            .cloned()
+            .unwrap_or_else(|| "BENCH_warm.json".to_string())
+    });
+    let mut records = Vec::new();
     println!(
         "{:<16} {:>10} {:>10} {:>7} {:>7} {:>6} {:>8} {:>8} {:>7}",
         "Benchmark", "ColdS", "WarmS", "Saved%", "WarmHit", "#Ent", "Budget", "BndEnt", "Evict"
@@ -158,6 +206,9 @@ fn main() {
             budget
         );
 
+        if json_path.is_some() {
+            records.push(warm_record(&b.name, &cold, &warm));
+        }
         let saved =
             100.0 * (1.0 - warm.stats.traversed_steps as f64 / cold.stats.traversed_steps as f64);
         println!(
@@ -176,4 +227,7 @@ fn main() {
     println!(
         "\nall benchmarks: warm < cold traversals, identical answers, bounded residency ≤ budget"
     );
+    if let Some(path) = &json_path {
+        emit_warm_json(path, &records);
+    }
 }

@@ -1,9 +1,13 @@
 //! Cache-padded atomic statistics counters aggregated across
 //! query-processing threads (steps traversed, jmp edges added, early
-//! terminations, …).
+//! terminations, …), plus the named-counter registry ([`CounterSet`]) the
+//! Prometheus exporter snapshots.
 
 use crossbeam::utils::CachePadded;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// A relaxed, cache-padded monotonic counter.
 #[derive(Default)]
@@ -71,10 +75,83 @@ impl MaxTracker {
     }
 }
 
+/// A named-counter registry: the single place a long-lived service (the
+/// session layer) accumulates its operational counters, and the thing the
+/// Prometheus exporter snapshots — replacing ad-hoc per-call-site counter
+/// plumbing with one registry handed around by reference.
+///
+/// Registration takes a write lock once per name; recording against a
+/// held [`Counter`] handle is the usual relaxed atomic add. Names are kept
+/// sorted (BTreeMap) so snapshots render deterministically.
+#[derive(Default)]
+pub struct CounterSet {
+    map: RwLock<BTreeMap<String, Arc<Counter>>>,
+}
+
+impl CounterSet {
+    /// An empty registry.
+    pub fn new() -> Self {
+        CounterSet::default()
+    }
+
+    /// The counter registered under `name`, creating it at zero on first
+    /// use. Hold the returned handle to record without re-hashing the
+    /// name.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        if let Some(c) = self.map.read().get(name) {
+            return Arc::clone(c);
+        }
+        let mut w = self.map.write();
+        Arc::clone(w.entry(name.to_string()).or_default())
+    }
+
+    /// Adds `n` to the counter named `name` (registering it if needed).
+    pub fn add(&self, name: &str, n: u64) {
+        self.counter(name).add(n);
+    }
+
+    /// Current value of `name` (0 if never registered).
+    pub fn get(&self, name: &str) -> u64 {
+        self.map.read().get(name).map_or(0, |c| c.get())
+    }
+
+    /// Registered counter names.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// Whether nothing has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.map.read().is_empty()
+    }
+
+    /// A point-in-time `(name, value)` listing, sorted by name — what the
+    /// Prometheus exporter renders.
+    pub fn snapshot(&self) -> Vec<(String, u64)> {
+        self.map
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+
+    /// Zeroes every registered counter (names stay registered).
+    pub fn reset(&self) {
+        for c in self.map.read().values() {
+            c.reset();
+        }
+    }
+}
+
+impl std::fmt::Debug for CounterSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_map().entries(self.snapshot()).finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
 
     #[test]
     fn counter_accumulates() {
@@ -104,6 +181,52 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(c.get(), 80_000);
+    }
+
+    #[test]
+    fn counter_set_registers_snapshots_and_resets() {
+        let set = CounterSet::new();
+        assert!(set.is_empty());
+        assert_eq!(set.get("missing"), 0);
+        set.add("parcfl_queries_total", 5);
+        set.add("parcfl_batches_total", 1);
+        set.add("parcfl_queries_total", 2);
+        let handle = set.counter("parcfl_queries_total");
+        handle.incr();
+        assert_eq!(set.get("parcfl_queries_total"), 8);
+        assert_eq!(set.len(), 2);
+        assert_eq!(
+            set.snapshot(),
+            vec![
+                ("parcfl_batches_total".to_string(), 1),
+                ("parcfl_queries_total".to_string(), 8),
+            ],
+            "sorted by name"
+        );
+        set.reset();
+        assert_eq!(set.get("parcfl_queries_total"), 0);
+        assert_eq!(set.len(), 2, "names survive a reset");
+        assert!(format!("{set:?}").contains("parcfl_batches_total"));
+    }
+
+    #[test]
+    fn counter_set_is_exact_under_contention() {
+        let set = Arc::new(CounterSet::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let set = Arc::clone(&set);
+                std::thread::spawn(move || {
+                    let c = set.counter("shared");
+                    for _ in 0..10_000 {
+                        c.incr();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(set.get("shared"), 80_000);
     }
 
     #[test]

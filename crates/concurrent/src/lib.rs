@@ -15,7 +15,9 @@
 //! * [`stealing::StealQueues`] — the work-stealing successor to the shared
 //!   list: per-worker deques, steal-half, idle-count/final-sweep
 //!   termination, with per-worker observability ([`stealing::WorkerObs`]);
-//! * [`counters`] — cache-padded atomic statistics counters.
+//! * [`counters`] — cache-padded atomic statistics counters and the
+//!   named-counter registry ([`counters::CounterSet`]) behind the
+//!   Prometheus exporter.
 
 #![warn(missing_docs)]
 
@@ -26,7 +28,7 @@ pub mod sharded_map;
 pub mod stealing;
 pub mod worklist;
 
-pub use counters::{Counter, MaxTracker};
+pub use counters::{Counter, CounterSet, MaxTracker};
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use interner::{CtxId, CtxInterner};
 pub use sharded_map::ShardedMap;

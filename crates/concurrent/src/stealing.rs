@@ -32,6 +32,7 @@
 //! guessed.
 
 use crossbeam::utils::CachePadded;
+use parcfl_obs::{EventKind, TraceRecorder};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -205,6 +206,18 @@ impl<T> StealQueues<T> {
     /// whole scheduler is drained — after this, every other worker's
     /// `next` also returns `None`. Fetch costs are recorded into `obs`.
     pub fn next(&self, worker: usize, obs: &mut WorkerObs) -> Option<T> {
+        self.next_traced(worker, obs, &TraceRecorder::disabled())
+    }
+
+    /// [`Self::next`] with an event recorder: steal attempts and
+    /// successes become `StealAttempt`/`StealSuccess` instants on the
+    /// thief's track (no-ops below [`parcfl_obs::TraceLevel::Full`]).
+    pub fn next_traced(
+        &self,
+        worker: usize,
+        obs: &mut WorkerObs,
+        rec: &TraceRecorder,
+    ) -> Option<T> {
         loop {
             if self.aborted.load(Ordering::SeqCst) {
                 return None;
@@ -212,7 +225,7 @@ impl<T> StealQueues<T> {
             if let Some(item) = self.pop_local(worker, obs) {
                 return Some(item);
             }
-            if let Some(item) = self.steal(worker, obs) {
+            if let Some(item) = self.steal(worker, obs, rec) {
                 return Some(item);
             }
             if !self.idle_until_work_or_drained(worker, obs) {
@@ -245,7 +258,7 @@ impl<T> StealQueues<T> {
     /// single item are skipped outright: floor-half would take nothing,
     /// and locking a busy victim over and over for an item its owner will
     /// pop anyway is pure contention.
-    fn steal(&self, worker: usize, obs: &mut WorkerObs) -> Option<T> {
+    fn steal(&self, worker: usize, obs: &mut WorkerObs, rec: &TraceRecorder) -> Option<T> {
         let n = self.queues.len();
         for offset in 1..n {
             let victim = (worker + offset) % n;
@@ -253,6 +266,7 @@ impl<T> StealQueues<T> {
                 continue;
             }
             obs.steals_attempted += 1;
+            rec.instant(EventKind::StealAttempt, 0, victim as u32, 0);
             let t0 = Instant::now();
             let stolen = {
                 let vq = &self.queues[victim];
@@ -271,6 +285,12 @@ impl<T> StealQueues<T> {
             }
             obs.steals_succeeded += 1;
             obs.items_stolen += stolen.len() as u64;
+            rec.instant(
+                EventKind::StealSuccess,
+                0,
+                victim as u32,
+                stolen.len() as u32,
+            );
             let mut stolen = stolen;
             let first = stolen.pop_front();
             if !stolen.is_empty() {
@@ -406,6 +426,35 @@ mod tests {
         let mut obs0 = WorkerObs::new(0);
         assert_eq!(q.next(0, &mut obs0), Some(0));
         assert_eq!(q.next(0, &mut obs0), Some(2));
+    }
+
+    #[test]
+    fn traced_steals_record_attempt_and_success_instants() {
+        use parcfl_obs::TraceLevel;
+        let q = StealQueues::round_robin(2, [0u32, 1, 2, 3, 4, 5]);
+        let rec = TraceRecorder::external(TraceLevel::Full);
+        let mut obs = WorkerObs::new(1);
+        assert_eq!(q.next_traced(1, &mut obs, &rec), Some(1));
+        assert_eq!(q.next_traced(1, &mut obs, &rec), Some(3));
+        assert_eq!(q.next_traced(1, &mut obs, &rec), Some(5));
+        assert_eq!(rec.len(), 0, "local pops record nothing");
+        assert_eq!(q.next_traced(1, &mut obs, &rec), Some(4));
+        let trace = rec.into_trace(1);
+        let kinds: Vec<EventKind> = trace.events.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![EventKind::StealAttempt, EventKind::StealSuccess]
+        );
+        assert_eq!(trace.events[0].a, 0, "victim index");
+        assert_eq!(trace.events[1].b, 1, "items stolen");
+        // Below Full, the same path records nothing.
+        let rec = TraceRecorder::external(TraceLevel::Spans);
+        let q = StealQueues::round_robin(2, [0u32, 1, 2, 3, 4, 5]);
+        let mut obs = WorkerObs::new(1);
+        for _ in 0..4 {
+            q.next_traced(1, &mut obs, &rec);
+        }
+        assert!(rec.is_empty());
     }
 
     #[test]

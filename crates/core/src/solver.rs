@@ -47,6 +47,7 @@ use crate::jmp::{Dir, JmpEntry, JmpStore, RchSet};
 use crate::stats::{Answer, QueryOutput, QueryStats};
 use crate::witness::{Trace, Via};
 use parcfl_concurrent::{CtxId, CtxInterner, FxHashMap, FxHashSet};
+use parcfl_obs::{EventKind, TraceRecorder};
 use parcfl_pag::{EdgeKind, NodeId, Pag};
 use std::sync::Arc;
 
@@ -66,6 +67,11 @@ pub struct Solver<'a> {
     /// Taken from the jmp store when it carries one (all solvers sharing a
     /// store must agree on ids); private to this solver otherwise.
     interner: Arc<CtxInterner>,
+    /// Per-worker event sink for hot-path instants (jmp hits/inserts, memo
+    /// hits, early terminations). `None` keeps the solver entirely free of
+    /// recording branches beyond one pointer test per site — the runtime
+    /// only attaches a recorder at `TraceLevel::Full`.
+    rec: Option<&'a TraceRecorder>,
 }
 
 impl<'a> Solver<'a> {
@@ -80,7 +86,17 @@ impl<'a> Solver<'a> {
             cfg,
             jmp,
             interner,
+            rec: None,
         }
+    }
+
+    /// Attaches a per-worker event recorder: nested-traversal instants
+    /// (`JmpHit`, `JmpInsert`, `MemoHit`, `EarlyTermination`) land in it,
+    /// timestamped with the query's virtual clock under an external-clock
+    /// recorder or wall time under a real one.
+    pub fn with_recorder(mut self, rec: &'a TraceRecorder) -> Self {
+        self.rec = Some(rec);
+        self
     }
 
     /// The context interner this solver resolves `CtxId`s against.
@@ -106,6 +122,7 @@ impl<'a> Solver<'a> {
     /// single `alias` steps.
     pub fn traced_points_to_query(&self, l: NodeId, vtime_base: u64) -> (QueryOutput, Trace) {
         let mut q = QueryState::new(self.pag, self.cfg, self.jmp, &self.interner, vtime_base);
+        q.rec = self.rec;
         q.trace = Some(Trace::default());
         if let Some(t) = q.trace.as_mut() {
             t.parent
@@ -118,6 +135,7 @@ impl<'a> Solver<'a> {
 
     fn run(&self, start: NodeId, vtime_base: u64, dir: Dir) -> QueryOutput {
         let mut q = QueryState::new(self.pag, self.cfg, self.jmp, &self.interner, vtime_base);
+        q.rec = self.rec;
         let result = match dir {
             Dir::Bwd => q.points_to(start, CtxId::EMPTY),
             Dir::Fwd => q.flows_to(start, CtxId::EMPTY),
@@ -177,6 +195,8 @@ struct QueryState<'a> {
     /// Discovery forest for witness reconstruction; recorded only for the
     /// top-level traversal (depth 1) and only when tracing is requested.
     trace: Option<Trace>,
+    /// Event sink for hot-path instants (see [`Solver::with_recorder`]).
+    rec: Option<&'a TraceRecorder>,
 }
 
 impl<'a> QueryState<'a> {
@@ -205,6 +225,27 @@ impl<'a> QueryState<'a> {
             depth: 0,
             stats: QueryStats::default(),
             trace: None,
+            rec: None,
+        }
+    }
+
+    /// Records a hot-path instant event, timestamped at the query's
+    /// virtual now (external-clock recorders keep it; real-clock recorders
+    /// stamp wall time instead). One pointer test when tracing is off; the
+    /// recording arm is outlined (`#[cold]`) so emit sites stay small
+    /// enough not to perturb inlining of the traversal fast paths.
+    #[inline(always)]
+    fn emit(&self, kind: EventKind, a: u32, b: u32) {
+        if self.rec.is_some() {
+            self.emit_cold(kind, a, b);
+        }
+    }
+
+    #[cold]
+    #[inline(never)]
+    fn emit_cold(&self, kind: EventKind, a: u32, b: u32) {
+        if let Some(rec) = self.rec {
+            rec.instant(kind, self.now(), a, b);
         }
     }
 
@@ -286,6 +327,7 @@ impl<'a> QueryState<'a> {
                     && self.jmp.publish_unfinished((dir, x, c), s_val, self.now())
                 {
                     self.stats.unfinished_published += 1;
+                    self.emit(EventKind::JmpInsert, x.raw(), 0);
                 }
             }
         }
@@ -326,7 +368,9 @@ impl<'a> QueryState<'a> {
         let key = (l, c);
         if self.cfg.memoize {
             if let Some(r) = self.memo_pts.get(&key) {
-                return Ok(Arc::clone(r));
+                let r = Arc::clone(r);
+                self.emit(EventKind::MemoHit, l.raw(), 0);
+                return Ok(r);
             }
         }
         self.enter()?;
@@ -445,7 +489,9 @@ impl<'a> QueryState<'a> {
         let key = (o, c);
         if self.cfg.memoize {
             if let Some(r) = self.memo_flows.get(&key) {
-                return Ok(Arc::clone(r));
+                let r = Arc::clone(r);
+                self.emit(EventKind::MemoHit, o.raw(), 0);
+                return Ok(r);
             }
         }
         self.enter()?;
@@ -538,7 +584,9 @@ impl<'a> QueryState<'a> {
         let key = (dir, x, c);
         if self.cfg.memoize {
             if let Some(r) = self.memo_rch.get(&key) {
-                return Ok(Arc::clone(r));
+                let r = Arc::clone(r);
+                self.emit(EventKind::MemoHit, x.raw(), 0);
+                return Ok(r);
             }
         }
 
@@ -554,6 +602,7 @@ impl<'a> QueryState<'a> {
                     if created_at < self.cfg.warm_floor {
                         self.stats.warm_hits += 1;
                     }
+                    self.emit(EventKind::EarlyTermination, x.raw(), 0);
                     return Err(self.out_of_budget(s, true));
                 }
                 Some(JmpEntry::Unfinished { .. }) => {}
@@ -569,6 +618,11 @@ impl<'a> QueryState<'a> {
                     self.work += 1;
                     self.stats.shortcuts_taken += 1;
                     self.stats.steps_saved += total_steps;
+                    self.emit(
+                        EventKind::JmpHit,
+                        x.raw(),
+                        u32::try_from(total_steps).unwrap_or(u32::MAX),
+                    );
                     if created_at < self.cfg.warm_floor {
                         self.stats.warm_hits += 1;
                     }
@@ -603,6 +657,7 @@ impl<'a> QueryState<'a> {
                     .publish_finished(key, total, Arc::clone(&rch), self.now())
             {
                 self.stats.finished_published += rch.len().max(1) as u64;
+                self.emit(EventKind::JmpInsert, x.raw(), 1);
             }
         }
         if self.cfg.memoize {

@@ -1,0 +1,133 @@
+//! The bounded per-worker event buffer.
+//!
+//! One ring per worker, owned by that worker for the whole batch: access
+//! is single-threaded by construction, so interior mutability is plain
+//! [`Cell`]/[`RefCell`] — no locks, no atomics, no synchronisation of any
+//! kind on the record path ("lock-free" the easy way). The buffer is
+//! allocated once up front and never grows; when it fills, new events are
+//! *dropped and counted* — recording must never block the solver and never
+//! reallocate mid-query.
+
+use crate::Event;
+use std::cell::{Cell, RefCell};
+
+/// Default ring capacity (events per worker per batch). At 24 bytes per
+/// event this is 1.5 MiB per worker — enough for every span of a
+/// smoke-scale batch and the instant traffic of much larger ones.
+pub const DEFAULT_RING_CAPACITY: usize = 1 << 16;
+
+/// A bounded, drop-counting, never-blocking event buffer.
+pub struct EventRing {
+    buf: RefCell<Vec<Event>>,
+    cap: usize,
+    dropped: Cell<u64>,
+}
+
+impl EventRing {
+    /// A ring holding at most `cap` events (allocated eagerly; capacity 0
+    /// allocates nothing and drops everything).
+    pub fn new(cap: usize) -> Self {
+        EventRing {
+            buf: RefCell::new(Vec::with_capacity(cap)),
+            cap,
+            dropped: Cell::new(0),
+        }
+    }
+
+    /// Records `e`, or counts it dropped when the ring is full. Never
+    /// blocks, never reallocates.
+    #[inline]
+    pub fn push(&self, e: Event) {
+        let mut buf = self.buf.borrow_mut();
+        if buf.len() < self.cap {
+            buf.push(e);
+        } else {
+            self.dropped.set(self.dropped.get() + 1);
+        }
+    }
+
+    /// Events recorded so far.
+    pub fn len(&self) -> usize {
+        self.buf.borrow().len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Capacity fixed at construction.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Events dropped because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.get()
+    }
+
+    /// Consumes the ring, yielding its events (record order) and the drop
+    /// count.
+    pub fn into_parts(self) -> (Vec<Event>, u64) {
+        (self.buf.into_inner(), self.dropped.get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EventKind;
+
+    fn ev(ts: u64) -> Event {
+        Event {
+            ts,
+            kind: EventKind::QueryStart,
+            a: ts as u32,
+            b: 0,
+        }
+    }
+
+    #[test]
+    fn records_in_order_until_full_then_counts_drops() {
+        let r = EventRing::new(3);
+        assert!(r.is_empty());
+        for i in 0..5 {
+            r.push(ev(i));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2, "overflow is counted, not silently lost");
+        let (events, dropped) = r.into_parts();
+        assert_eq!(dropped, 2);
+        assert_eq!(
+            events.iter().map(|e| e.ts).collect::<Vec<_>>(),
+            vec![0, 1, 2],
+            "record order preserved; newest events are the ones dropped"
+        );
+    }
+
+    #[test]
+    fn never_reallocates() {
+        let r = EventRing::new(128);
+        let ptr_before = r.buf.borrow().as_ptr();
+        for i in 0..1_000 {
+            r.push(ev(i));
+        }
+        assert_eq!(
+            r.buf.borrow().as_ptr(),
+            ptr_before,
+            "the buffer must stay where it was allocated"
+        );
+        assert_eq!(r.len(), 128);
+        assert_eq!(r.dropped(), 1_000 - 128);
+    }
+
+    #[test]
+    fn zero_capacity_drops_everything_without_allocating() {
+        let r = EventRing::new(0);
+        r.push(ev(1));
+        r.push(ev(2));
+        assert_eq!(r.len(), 0);
+        assert_eq!(r.dropped(), 2);
+        assert_eq!(r.capacity(), 0);
+    }
+}

@@ -34,8 +34,12 @@ mod stats;
 pub mod threaded;
 
 pub use mode::{Backend, Mode, RunConfig};
-pub use parcfl_concurrent::WorkerObs;
-pub use seq::{run_seq, run_seq_with_store};
+pub use parcfl_concurrent::{CounterSet, WorkerObs};
+pub use parcfl_obs::{
+    chrome_trace_json, Event, EventKind, LogHistogram, ObsHists, PromText, RunTrace, TraceLevel,
+    TraceRecorder, WorkerTrace,
+};
+pub use seq::{run_seq, run_seq_traced, run_seq_with_store};
 pub use session::AnalysisSession;
 pub use sim::{run_simulated, run_simulated_batch, run_simulated_with_store};
 pub use stats::{RunResult, RunStats};

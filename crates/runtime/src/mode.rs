@@ -1,6 +1,7 @@
 //! Run configuration: parallelisation strategy × execution backend.
 
 use parcfl_core::SolverConfig;
+use parcfl_obs::TraceLevel;
 
 /// The paper's three parallelisation strategies (Section III / IV-C).
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
@@ -72,6 +73,12 @@ pub struct RunConfig {
     /// only contention changes — the paper-faithful mutex list stays the
     /// default baseline.
     pub stealing: bool,
+    /// Event-tracing level (DESIGN.md §9). `Off` (the default) keeps the
+    /// whole pipeline free of recording work; `Spans` collects the
+    /// per-worker query/group timeline; `Full` adds hot-path instants
+    /// (steals, jmp traffic, evictions, memo hits). Answers and step
+    /// counts are identical at every level.
+    pub tracing: TraceLevel,
 }
 
 impl RunConfig {
@@ -85,6 +92,7 @@ impl RunConfig {
             fetch_cost: 1,
             group_cap: None,
             stealing: false,
+            tracing: TraceLevel::Off,
         }
     }
 
@@ -97,6 +105,12 @@ impl RunConfig {
     /// Selects the work-stealing scheduler for the threaded backend.
     pub fn with_stealing(mut self, stealing: bool) -> Self {
         self.stealing = stealing;
+        self
+    }
+
+    /// Sets the event-tracing level.
+    pub fn with_tracing(mut self, tracing: TraceLevel) -> Self {
+        self.tracing = tracing;
         self
     }
 

@@ -2,7 +2,8 @@
 //! scheduling), queries processed in input order.
 
 use crate::stats::{RunResult, RunStats};
-use parcfl_core::{JmpStore, NoJmpStore, Solver, SolverConfig};
+use parcfl_core::{Answer, JmpStore, NoJmpStore, Solver, SolverConfig};
+use parcfl_obs::{EventKind, RunTrace, TraceLevel, TraceRecorder};
 use parcfl_pag::{NodeId, Pag};
 
 /// Runs every query sequentially with data sharing disabled.
@@ -25,17 +26,48 @@ pub fn run_seq_with_store(
     store: &dyn JmpStore,
     base: u64,
 ) -> RunResult {
+    run_seq_traced(pag, queries, solver_cfg, store, base, TraceLevel::Off)
+}
+
+/// [`run_seq_with_store`] with event tracing: the single worker records a
+/// wall-clock `QueryStart`/`QueryEnd` timeline (track 0) and, at
+/// [`TraceLevel::Full`], the solver's hot-path instants. Answers and step
+/// counts are identical at every level.
+pub fn run_seq_traced(
+    pag: &Pag,
+    queries: &[NodeId],
+    solver_cfg: &SolverConfig,
+    store: &dyn JmpStore,
+    base: u64,
+    tracing: TraceLevel,
+) -> RunResult {
     let cfg = solver_cfg.clone().with_warm_floor(base);
     let evictions_before = store.stats().evictions;
-    let solver = Solver::new(pag, &cfg, store);
 
     let start = std::time::Instant::now();
+    let rec = TraceRecorder::real(tracing, start);
     let mut stats = RunStats::default();
     let mut answers = Vec::with_capacity(queries.len());
-    for &q in queries {
-        let out = solver.points_to_query(q, base);
-        stats.absorb(&out.stats, &out.answer);
-        answers.push((q, out.answer));
+    let interner_ctxs;
+    {
+        let mut solver = Solver::new(pag, &cfg, store);
+        if tracing.full() {
+            solver = solver.with_recorder(&rec);
+        }
+        for &q in queries {
+            rec.span(EventKind::QueryStart, 0, q.raw(), 0);
+            let t0 = std::time::Instant::now();
+            let out = solver.points_to_query(q, base);
+            stats
+                .hists
+                .query_latency
+                .record(t0.elapsed().as_nanos() as u64);
+            let complete = matches!(out.answer, Answer::Complete(_));
+            rec.span(EventKind::QueryEnd, 0, q.raw(), complete as u32);
+            stats.absorb(&out.stats, &out.answer);
+            answers.push((q, out.answer));
+        }
+        interner_ctxs = solver.interner().len();
     }
     stats.wall = start.elapsed();
     // Sequential virtual time is simply the total traversed work.
@@ -46,8 +78,16 @@ pub fn run_seq_with_store(
     stats.jmp_edges = store.stats().total_edges();
     stats.jmp_bytes = store.approx_bytes();
     stats.avg_group_size = 1.0;
-    stats.interner_ctxs = solver.interner().len();
-    RunResult { answers, stats }
+    stats.interner_ctxs = interner_ctxs;
+    let trace = tracing.enabled().then(|| RunTrace {
+        real_time: true,
+        workers: vec![rec.into_trace(0)],
+    });
+    RunResult {
+        answers,
+        stats,
+        trace,
+    }
 }
 
 #[cfg(test)]

@@ -21,11 +21,13 @@
 //! answers are unaffected — only the amount of reuse is.
 
 use crate::mode::{Backend, Mode, RunConfig};
-use crate::seq::run_seq_with_store;
+use crate::seq::run_seq_traced;
 use crate::sim::run_simulated_batch;
 use crate::stats::{RunResult, RunStats};
 use crate::threaded::run_threaded_batch;
+use parcfl_concurrent::CounterSet;
 use parcfl_core::{JmpStore, SharedJmpStore, SolverConfig};
+use parcfl_obs::{Event, EventKind, PromText, TraceLevel};
 use parcfl_pag::{NodeId, Pag};
 use parcfl_sched::{Schedule, ScheduleCache, ScheduleOptions};
 
@@ -62,6 +64,13 @@ pub struct AnalysisSession<'p> {
     fetch_cost: u64,
     group_cap: Option<usize>,
     stealing: bool,
+    tracing: TraceLevel,
+    /// Named operational counters, fed on every submit and rendered by
+    /// [`Self::metrics_snapshot`].
+    counters: CounterSet,
+    /// `BatchStart`/`BatchEnd` spans in session virtual time (recorded
+    /// only when tracing is enabled).
+    session_events: Vec<Event>,
 }
 
 impl<'p> AnalysisSession<'p> {
@@ -79,6 +88,9 @@ impl<'p> AnalysisSession<'p> {
             fetch_cost: 1,
             group_cap: None,
             stealing: false,
+            tracing: TraceLevel::Off,
+            counters: CounterSet::new(),
+            session_events: Vec::new(),
         }
     }
 
@@ -113,6 +125,15 @@ impl<'p> AnalysisSession<'p> {
     /// [`RunConfig::stealing`]). Answers are identical either way.
     pub fn with_stealing(mut self, stealing: bool) -> Self {
         self.stealing = stealing;
+        self
+    }
+
+    /// Sets the event-tracing level for every subsequent batch (see
+    /// [`RunConfig::tracing`]): batch results carry a
+    /// [`parcfl_obs::RunTrace`], and the session records
+    /// `BatchStart`/`BatchEnd` spans in virtual time.
+    pub fn with_tracing(mut self, tracing: TraceLevel) -> Self {
+        self.tracing = tracing;
         self
     }
 
@@ -151,6 +172,7 @@ impl<'p> AnalysisSession<'p> {
             }
         };
         self.cumulative.merge(&result.stats);
+        self.account_batch(base, &result.stats);
         result
     }
 
@@ -162,10 +184,112 @@ impl<'p> AnalysisSession<'p> {
         let solver_cfg = self.solver.clone().with_data_sharing();
         let base = self.vclock;
         let view = self.store.untimestamped_view();
-        let result = run_seq_with_store(self.pag, queries, &solver_cfg, &view, base);
+        let result = run_seq_traced(self.pag, queries, &solver_cfg, &view, base, self.tracing);
         self.vclock = base + result.stats.traversed_steps + 1;
         self.cumulative.merge(&result.stats);
+        self.account_batch(base, &result.stats);
         result
+    }
+
+    /// Post-batch bookkeeping shared by every submit path: feed the named
+    /// counters and (when tracing) record the batch's virtual-time span.
+    fn account_batch(&mut self, base: u64, stats: &RunStats) {
+        self.counters.add("parcfl_batches_total", 1);
+        self.counters
+            .add("parcfl_queries_total", stats.queries as u64);
+        self.counters
+            .add("parcfl_completed_total", stats.completed as u64);
+        self.counters
+            .add("parcfl_out_of_budget_total", stats.out_of_budget as u64);
+        self.counters.add(
+            "parcfl_early_terminations_total",
+            stats.early_terminations as u64,
+        );
+        self.counters
+            .add("parcfl_shortcuts_total", stats.shortcuts_taken);
+        self.counters.add("parcfl_warm_hits_total", stats.warm_hits);
+        self.counters
+            .add("parcfl_traversed_steps_total", stats.traversed_steps);
+        if self.tracing.enabled() {
+            let idx = self.cumulative.batches.saturating_sub(1) as u32;
+            self.session_events.push(Event {
+                ts: base,
+                kind: EventKind::BatchStart,
+                a: idx,
+                b: 0,
+            });
+            self.session_events.push(Event {
+                ts: self.vclock,
+                kind: EventKind::BatchEnd,
+                a: idx,
+                b: stats.queries as u32,
+            });
+        }
+    }
+
+    /// The session's `BatchStart`/`BatchEnd` spans in virtual time (empty
+    /// unless tracing was enabled via [`Self::with_tracing`]).
+    pub fn session_events(&self) -> &[Event] {
+        &self.session_events
+    }
+
+    /// Renders the session's operational metrics in Prometheus text
+    /// exposition format: the named batch/query counters, jmp-store
+    /// totals (lookup hits, inserts, evictions, residency), the
+    /// cumulative query-latency histogram, and per-worker steal counters.
+    pub fn metrics_snapshot(&self) -> String {
+        let mut p = PromText::new();
+        for (name, value) in self.counters.snapshot() {
+            p.counter(&name, "Session counter (summed over batches).", value);
+        }
+        p.counter(
+            "parcfl_jmp_lookup_hits_total",
+            "Jmp-store lookups answered by a resident entry.",
+            self.store.lookup_hits(),
+        );
+        p.counter(
+            "parcfl_jmp_inserts_total",
+            "Jmp entries published (finished + unfinished).",
+            self.cumulative.jmp_inserts,
+        );
+        p.counter(
+            "parcfl_evictions_total",
+            "Jmp entries evicted over the session's lifetime.",
+            self.store.evictions(),
+        );
+        p.gauge(
+            "parcfl_store_entries",
+            "Jmp entries currently resident.",
+            self.store.entry_count() as u64,
+        );
+        p.histogram(
+            "parcfl_query_latency",
+            "Per-query latency (ns real / steps simulated).",
+            &self.cumulative.hists.query_latency,
+        );
+        let series = |f: &dyn Fn(&parcfl_concurrent::WorkerObs) -> u64| -> Vec<(String, u64)> {
+            self.cumulative
+                .workers
+                .iter()
+                .map(|w| (format!("worker=\"{}\"", w.worker), f(w)))
+                .collect()
+        };
+        p.labeled_counter(
+            "parcfl_worker_steal_attempts_total",
+            "Steal attempts per worker.",
+            &series(&|w| w.steals_attempted),
+        );
+        p.labeled_counter(
+            "parcfl_worker_steals_total",
+            "Successful steals per worker.",
+            &series(&|w| w.steals_succeeded),
+        );
+        p.labeled_counter(
+            "parcfl_worker_local_pops_total",
+            "Local deque/work-list pops per worker.",
+            &series(&|w| w.local_pops),
+        );
+        p.finish()
     }
 
     /// Running totals over every batch submitted so far. Counters are
@@ -214,6 +338,8 @@ impl<'p> AnalysisSession<'p> {
         self.cache.clear();
         self.vclock = 0;
         self.cumulative = RunStats::default();
+        self.counters.reset();
+        self.session_events.clear();
     }
 
     fn run_config(&self, mode: Mode, backend: Backend) -> RunConfig {
@@ -225,6 +351,7 @@ impl<'p> AnalysisSession<'p> {
             fetch_cost: self.fetch_cost,
             group_cap: self.group_cap,
             stealing: self.stealing,
+            tracing: self.tracing,
         }
     }
 
@@ -479,5 +606,82 @@ mod tests {
         assert_eq!(s.store_entries(), 0);
         assert_eq!(b.stats.warm_hits, 0);
         assert_eq!(a.stats.traversed_steps, b.stats.traversed_steps);
+    }
+
+    #[test]
+    fn metrics_snapshot_renders_prometheus_text() {
+        let pag = build_pag(SRC).unwrap().pag;
+        let queries = pag.application_locals();
+        let mut s = AnalysisSession::new(&pag).with_solver(solver());
+        s.submit(&queries, Mode::DataSharingSched, Backend::Simulated);
+        s.submit(&queries, Mode::DataSharingSched, Backend::Simulated);
+        let text = s.metrics_snapshot();
+        assert!(text.contains("parcfl_batches_total 2\n"), "{text}");
+        assert!(
+            text.contains(&format!("parcfl_queries_total {}\n", queries.len() * 2)),
+            "{text}"
+        );
+        assert!(
+            text.contains("# TYPE parcfl_query_latency histogram"),
+            "{text}"
+        );
+        assert!(
+            text.contains("parcfl_query_latency_bucket{le=\"+Inf\"}"),
+            "{text}"
+        );
+        assert!(text.contains("parcfl_jmp_inserts_total"), "{text}");
+        assert!(text.contains("parcfl_evictions_total"), "{text}");
+        assert!(
+            text.contains("parcfl_worker_local_pops_total{worker=\"0\"}"),
+            "{text}"
+        );
+        // Every exposition line is a comment or `name[{labels}] value`.
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.rsplit_once(' ').is_some(),
+                "malformed line: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn session_events_bracket_batches_when_tracing() {
+        let pag = build_pag(SRC).unwrap().pag;
+        let queries = pag.application_locals();
+        let mut s = AnalysisSession::new(&pag)
+            .with_solver(solver())
+            .with_tracing(TraceLevel::Spans);
+        let r1 = s.submit(&queries, Mode::DataSharingSched, Backend::Simulated);
+        let r2 = s.submit(&queries, Mode::DataSharingSched, Backend::Simulated);
+        assert!(r1.trace.is_some() && r2.trace.is_some());
+        let evs = s.session_events();
+        let kinds: Vec<EventKind> = evs.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EventKind::BatchStart,
+                EventKind::BatchEnd,
+                EventKind::BatchStart,
+                EventKind::BatchEnd
+            ]
+        );
+        assert!(evs[0].ts <= evs[1].ts && evs[1].ts <= evs[2].ts && evs[2].ts <= evs[3].ts);
+        s.reset();
+        assert!(s.session_events().is_empty(), "reset clears session events");
+    }
+
+    #[test]
+    fn untraced_sessions_record_no_events_but_full_histograms() {
+        let pag = build_pag(SRC).unwrap().pag;
+        let queries = pag.application_locals();
+        let mut s = AnalysisSession::new(&pag).with_solver(solver());
+        let r = s.submit(&queries, Mode::DataSharingSched, Backend::Simulated);
+        assert!(r.trace.is_none());
+        assert!(s.session_events().is_empty());
+        // Latency histograms are unconditional: metrics work without tracing.
+        assert_eq!(
+            s.cumulative().hists.query_latency.count(),
+            queries.len() as u64
+        );
     }
 }

@@ -29,7 +29,8 @@ use crate::mode::RunConfig;
 use crate::schedule_with_cap;
 use crate::stats::{RunResult, RunStats};
 use parcfl_concurrent::WorkerObs;
-use parcfl_core::{JmpStore, SharedJmpStore, Solver};
+use parcfl_core::{Answer, JmpStore, SharedJmpStore, Solver};
+use parcfl_obs::{EventKind, RunTrace, TraceRecorder};
 use parcfl_pag::{NodeId, Pag};
 use parcfl_sched::Schedule;
 
@@ -81,22 +82,54 @@ pub fn run_simulated_batch(
     let mut stats = RunStats::default();
     let mut answers = Vec::with_capacity(schedule.query_count());
     let mut end = base;
+    // One external-clock recorder per simulated worker: events carry
+    // virtual timestamps, so the exported trace shows the simulated
+    // parallelism, not the sequential wall time of simulating it.
+    let recorders: Vec<TraceRecorder> = (0..t)
+        .map(|_| TraceRecorder::external(cfg.tracing))
+        .collect();
+    let mut ev_prev = store.scope_evictions();
     {
         let solver = Solver::new(pag, &solver_cfg, &store);
         while next_group < schedule.groups.len() {
             let tid = (0..t).min_by_key(|&i| (clocks[i], i)).unwrap();
+            let rec = &recorders[tid];
             let group = &schedule.groups[next_group];
             next_group += 1;
             workers[tid].local_pops += 1;
+            let fetch_start = clocks[tid];
             let mut v = clocks[tid] + cfg.fetch_cost;
+            rec.span(EventKind::GroupDequeued, fetch_start, group.len() as u32, 0);
             for &q in group {
-                let out = solver.points_to_query(q, v);
+                rec.span(EventKind::QueryStart, v, q.raw(), 0);
+                let out = if cfg.tracing.full() {
+                    // Rebind the (stateless) solver to this worker's
+                    // recorder so nested-traversal instants land on the
+                    // right track; the shared store keeps ids and
+                    // visibility identical to the untraced path.
+                    Solver::new(pag, &solver_cfg, &store)
+                        .with_recorder(rec)
+                        .points_to_query(q, v)
+                } else {
+                    solver.points_to_query(q, v)
+                };
                 v += out.stats.traversed_steps;
+                stats.hists.query_latency.record(out.stats.traversed_steps);
+                let complete = matches!(out.answer, Answer::Complete(_));
+                rec.span(EventKind::QueryEnd, v, q.raw(), complete as u32);
+                if cfg.tracing.full() {
+                    let ev_now = store.scope_evictions();
+                    if ev_now > ev_prev {
+                        rec.instant(EventKind::Eviction, v, (ev_now - ev_prev) as u32, 0);
+                        ev_prev = ev_now;
+                    }
+                }
                 workers[tid].queries += 1;
                 workers[tid].steps += out.stats.traversed_steps;
                 stats.absorb(&out.stats, &out.answer);
                 answers.push((q, out.answer));
             }
+            stats.hists.group_makespan.record(v - fetch_start);
             clocks[tid] = v;
             end = end.max(v);
         }
@@ -111,7 +144,22 @@ pub fn run_simulated_batch(
     stats.jmp_bytes = store.approx_bytes();
     stats.avg_group_size = schedule.avg_group_size;
     stats.interner_ctxs = store.interner().len();
-    (RunResult { answers, stats }, end)
+    let trace = cfg.tracing.enabled().then(|| RunTrace {
+        real_time: false,
+        workers: recorders
+            .into_iter()
+            .enumerate()
+            .map(|(w, r)| r.into_trace(w))
+            .collect(),
+    });
+    (
+        RunResult {
+            answers,
+            stats,
+            trace,
+        },
+        end,
+    )
 }
 
 #[cfg(test)]

@@ -3,6 +3,7 @@
 
 use parcfl_concurrent::WorkerObs;
 use parcfl_core::{Answer, QueryStats};
+use parcfl_obs::{ObsHists, RunTrace};
 use parcfl_pag::NodeId;
 
 /// Aggregated statistics of one analysis run (sequential or parallel).
@@ -62,6 +63,14 @@ pub struct RunStats {
     /// the simulator. Empty for sequential runs. Session merges sum the
     /// records per worker slot across batches.
     pub workers: Vec<WorkerObs>,
+    /// jmp entries published during this run (finished + unfinished
+    /// publications that won their race).
+    pub jmp_inserts: u64,
+    /// Latency histograms (query latency, steal wait, lock wait, group
+    /// makespan), merged slot-wise across workers and batches. Units are
+    /// nanoseconds under real execution, traversal steps under the
+    /// simulator.
+    pub hists: ObsHists,
 }
 
 impl RunStats {
@@ -82,6 +91,7 @@ impl RunStats {
         self.warm_hits += qs.warm_hits;
         self.mem_items += qs.mem_items;
         self.peak_mem_items = self.peak_mem_items.max(qs.mem_items);
+        self.jmp_inserts += qs.finished_published + qs.unfinished_published;
     }
 
     /// Merges another accumulator: per-thread partials within a run, or a
@@ -110,6 +120,8 @@ impl RunStats {
         self.shortcuts_taken += other.shortcuts_taken;
         self.warm_hits += other.warm_hits;
         self.evictions += other.evictions;
+        self.jmp_inserts += other.jmp_inserts;
+        self.hists.merge(&other.hists);
         self.mem_items += other.mem_items;
         self.peak_mem_items = self.peak_mem_items.max(other.peak_mem_items);
         self.makespan += other.makespan;
@@ -167,6 +179,10 @@ pub struct RunResult {
     pub answers: Vec<(NodeId, Answer)>,
     /// Aggregate statistics.
     pub stats: RunStats,
+    /// The event trace — `Some` when the run was configured with
+    /// `RunConfig::tracing` above `Off`, one [`parcfl_obs::WorkerTrace`]
+    /// per worker. Export with [`RunTrace::to_chrome_json`].
+    pub trace: Option<RunTrace>,
 }
 
 impl RunResult {
@@ -225,6 +241,13 @@ mod tests {
         // The session's cumulative accounting: merging batch stats must
         // leave every counter equal to the sum over batches, and every
         // snapshot field equal to the last batch's observation.
+        let hist_of = |vals: &[u64]| {
+            let mut h = ObsHists::default();
+            for &v in vals {
+                h.query_latency.record(v);
+            }
+            h
+        };
         let batches = [
             RunStats {
                 queries: 3,
@@ -248,6 +271,8 @@ mod tests {
                 wall: std::time::Duration::from_millis(3),
                 avg_group_size: 2.0,
                 workers: vec![],
+                jmp_inserts: 3,
+                hists: hist_of(&[10, 20]),
             },
             RunStats {
                 queries: 2,
@@ -271,6 +296,8 @@ mod tests {
                 wall: std::time::Duration::from_millis(2),
                 avg_group_size: 1.5,
                 workers: vec![],
+                jmp_inserts: 2,
+                hists: hist_of(&[30]),
             },
         ];
         let mut cum = RunStats::default();
@@ -287,6 +314,8 @@ mod tests {
         assert_eq!(cum.shortcuts_taken, 5);
         assert_eq!(cum.warm_hits, 4);
         assert_eq!(cum.evictions, 3);
+        assert_eq!(cum.jmp_inserts, 5);
+        assert_eq!(cum.hists, hist_of(&[10, 20, 30]), "histograms merge");
         assert_eq!(cum.mem_items, 16);
         assert_eq!(cum.peak_mem_items, 8, "peak takes the max across batches");
         assert_eq!(cum.makespan, 59);
@@ -382,6 +411,7 @@ mod tests {
                 (NodeId::new(1), Answer::Complete(vec![])),
             ],
             stats: RunStats::default(),
+            trace: None,
         };
         let s = r.sorted_answers();
         assert_eq!(s[0].0, NodeId::new(1));

@@ -25,9 +25,11 @@ use crate::schedule_with_cap;
 use crate::stats::{RunResult, RunStats};
 use parcfl_concurrent::{SharedWorkList, StealQueues, WorkerObs};
 use parcfl_core::{Answer, JmpStore, SharedJmpStore, Solver, SolverConfig};
+use parcfl_obs::{EventKind, RunTrace, TraceLevel, TraceRecorder, WorkerTrace};
 use parcfl_pag::{NodeId, Pag};
 use parcfl_sched::Schedule;
 use std::panic::AssertUnwindSafe;
+use std::time::Instant;
 
 /// Worker stack size: the solver's mutual recursion can be deep on heap-
 /// heavy programs (bounded by `max_recursion_depth`, but each frame holds
@@ -42,7 +44,17 @@ pub fn run_threaded(pag: &Pag, queries: &[NodeId], cfg: &RunConfig) -> RunResult
 }
 
 /// What one worker thread hands back when it joins.
-type WorkerYield = (Vec<(NodeId, Answer)>, RunStats, WorkerObs);
+type WorkerYield = (Vec<(NodeId, Answer)>, RunStats, WorkerObs, WorkerTrace);
+
+/// What [`run_workers`] hands back after the join: all answers, the merged
+/// stats, and the per-worker observability records and event traces in
+/// worker-index order.
+type JoinedWorkers = (
+    Vec<(NodeId, Answer)>,
+    RunStats,
+    Vec<WorkerObs>,
+    Vec<WorkerTrace>,
+);
 
 /// Best-effort extraction of a panic payload's message.
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -64,43 +76,97 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// `std::thread::scope` abort; it is caught here and re-raised with the
 /// worker index, the offending query and its group attached, so crashes
 /// are diagnosable from the message alone.
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     pag: &Pag,
     solver_cfg: &SolverConfig,
     store: &SharedJmpStore,
     base: u64,
     worker: usize,
-    mut fetch: impl FnMut(&mut WorkerObs) -> Option<Vec<NodeId>>,
+    tracing: TraceLevel,
+    epoch: Instant,
+    mut fetch: impl FnMut(&mut WorkerObs, &TraceRecorder) -> Option<Vec<NodeId>>,
     on_panic: impl Fn(),
 ) -> WorkerYield {
-    let solver = Solver::new(pag, solver_cfg, store);
+    // Per-worker eviction scope: this worker's publishes attribute their
+    // evictions here, so the batch total is an exact partition over the
+    // worker partials (`RunStats::merge` sums them).
+    let wstore = store.scoped();
+    let rec = TraceRecorder::real(tracing, epoch);
     let mut stats = RunStats::default();
     let mut answers = Vec::new();
     let mut obs = WorkerObs::new(worker);
-    while let Some(group) = fetch(&mut obs) {
-        for &q in &group {
-            let attempt =
-                std::panic::catch_unwind(AssertUnwindSafe(|| solver.points_to_query(q, base)));
-            let out = match attempt {
-                Ok(out) => out,
-                Err(payload) => {
-                    // Release the peers first (a dead worker can never
-                    // satisfy the stealing termination protocol), then
-                    // re-raise with the context attached.
-                    on_panic();
-                    std::panic::panic_any(format!(
-                        "worker {worker} panicked answering query {q:?} of group {group:?}: {}",
-                        panic_message(payload.as_ref())
-                    ))
+    let mut ev_prev = 0u64;
+    {
+        let mut solver = Solver::new(pag, solver_cfg, &wstore);
+        if tracing.full() {
+            solver = solver.with_recorder(&rec);
+        }
+        let mut lock_wait_prev = 0u64;
+        let mut steal_wait_prev = 0u64;
+        while let Some(group) = fetch(&mut obs, &rec) {
+            // Fetch-path contention, sampled per fetch from the obs deltas
+            // the schedulers maintain.
+            if obs.lock_wait_ns > lock_wait_prev {
+                stats
+                    .hists
+                    .lock_wait
+                    .record(obs.lock_wait_ns - lock_wait_prev);
+                lock_wait_prev = obs.lock_wait_ns;
+            }
+            if obs.steal_wait_ns > steal_wait_prev {
+                stats
+                    .hists
+                    .steal_wait
+                    .record(obs.steal_wait_ns - steal_wait_prev);
+                steal_wait_prev = obs.steal_wait_ns;
+            }
+            rec.span(EventKind::GroupDequeued, 0, group.len() as u32, 0);
+            let group_t0 = Instant::now();
+            for &q in &group {
+                rec.span(EventKind::QueryStart, 0, q.raw(), 0);
+                let t0 = Instant::now();
+                let attempt =
+                    std::panic::catch_unwind(AssertUnwindSafe(|| solver.points_to_query(q, base)));
+                let out = match attempt {
+                    Ok(out) => out,
+                    Err(payload) => {
+                        // Release the peers first (a dead worker can never
+                        // satisfy the stealing termination protocol), then
+                        // re-raise with the context attached.
+                        on_panic();
+                        std::panic::panic_any(format!(
+                            "worker {worker} panicked answering query {q:?} of group {group:?}: {}",
+                            panic_message(payload.as_ref())
+                        ))
+                    }
+                };
+                stats
+                    .hists
+                    .query_latency
+                    .record(t0.elapsed().as_nanos() as u64);
+                let complete = matches!(out.answer, Answer::Complete(_));
+                rec.span(EventKind::QueryEnd, 0, q.raw(), complete as u32);
+                if tracing.full() {
+                    let ev_now = wstore.scope_evictions();
+                    if ev_now > ev_prev {
+                        rec.instant(EventKind::Eviction, 0, (ev_now - ev_prev) as u32, 0);
+                        ev_prev = ev_now;
+                    }
                 }
-            };
-            obs.queries += 1;
-            obs.steps += out.stats.traversed_steps;
-            stats.absorb(&out.stats, &out.answer);
-            answers.push((q, out.answer));
+                obs.queries += 1;
+                obs.steps += out.stats.traversed_steps;
+                stats.absorb(&out.stats, &out.answer);
+                answers.push((q, out.answer));
+            }
+            stats
+                .hists
+                .group_makespan
+                .record(group_t0.elapsed().as_nanos() as u64);
         }
     }
-    (answers, stats, obs)
+    stats.evictions = wstore.scope_evictions();
+    (answers, stats, obs, rec.into_trace(worker))
 }
 
 /// Spawns `threads` workers running `make_fetch(worker)`-driven loops and
@@ -113,11 +179,13 @@ fn run_workers<F, G, P>(
     base: u64,
     threads: usize,
     query_capacity: usize,
+    tracing: TraceLevel,
+    epoch: Instant,
     make_fetch: G,
     on_panic: P,
-) -> (Vec<(NodeId, Answer)>, RunStats, Vec<WorkerObs>)
+) -> JoinedWorkers
 where
-    F: FnMut(&mut WorkerObs) -> Option<Vec<NodeId>> + Send,
+    F: FnMut(&mut WorkerObs, &TraceRecorder) -> Option<Vec<NodeId>> + Send,
     G: Fn(usize) -> F + Sync,
     P: Fn() + Sync,
 {
@@ -129,7 +197,17 @@ where
             let handle = std::thread::Builder::new()
                 .stack_size(WORKER_STACK)
                 .spawn_scoped(scope, move || {
-                    worker_loop(pag, solver_cfg, store, base, w, make_fetch(w), on_panic)
+                    worker_loop(
+                        pag,
+                        solver_cfg,
+                        store,
+                        base,
+                        w,
+                        tracing,
+                        epoch,
+                        make_fetch(w),
+                        on_panic,
+                    )
                 })
                 .expect("spawn worker");
             handles.push(handle);
@@ -137,12 +215,14 @@ where
         let mut answers = Vec::with_capacity(query_capacity);
         let mut stats = RunStats::default();
         let mut workers = Vec::with_capacity(threads);
+        let mut traces = Vec::with_capacity(threads);
         for h in handles {
             match h.join() {
-                Ok((a, s, o)) => {
+                Ok((a, s, o, t)) => {
                     answers.extend(a);
                     stats.merge(&s);
                     workers.push(o);
+                    traces.push(t);
                 }
                 // The payload already carries worker/query/group context
                 // (see `worker_loop`); re-raise it instead of the opaque
@@ -150,7 +230,7 @@ where
                 Err(payload) => std::panic::resume_unwind(payload),
             }
         }
-        (answers, stats, workers)
+        (answers, stats, workers, traces)
     })
 }
 
@@ -180,7 +260,7 @@ pub fn run_threaded_batch(
     let threads = cfg.threads.max(1);
     let start = std::time::Instant::now();
 
-    let (answers, mut stats, workers) = if cfg.stealing {
+    let (answers, mut stats, workers, traces) = if cfg.stealing {
         let queues: StealQueues<Vec<NodeId>> = StealQueues::new(schedule.seed_round_robin(threads));
         let queues = &queues;
         run_workers(
@@ -190,7 +270,9 @@ pub fn run_threaded_batch(
             base,
             threads,
             schedule.query_count(),
-            |w| move |obs: &mut WorkerObs| queues.next(w, obs),
+            cfg.tracing,
+            start,
+            |w| move |obs: &mut WorkerObs, rec: &TraceRecorder| queues.next_traced(w, obs, rec),
             || queues.abort(),
         )
     } else {
@@ -204,8 +286,10 @@ pub fn run_threaded_batch(
             base,
             threads,
             schedule.query_count(),
+            cfg.tracing,
+            start,
             |_w| {
-                move |obs: &mut WorkerObs| {
+                move |obs: &mut WorkerObs, _rec: &TraceRecorder| {
                     let (group, wait) = work.pop_timed();
                     obs.lock_wait_ns += wait;
                     if group.is_some() {
@@ -222,14 +306,24 @@ pub fn run_threaded_batch(
     stats.wall = start.elapsed();
     stats.makespan = stats.traversed_steps; // real time is measured by `wall`
     stats.batches = 1;
-    stats.evictions = store.scope_evictions();
+    // `stats.evictions` was summed from the per-worker scopes during the
+    // merge of worker partials — an exact partition of the batch's own
+    // eviction traffic.
     stats.store_entries = store.entry_count();
     stats.jmp_edges = store.stats().total_edges();
     stats.jmp_bytes = store.approx_bytes();
     stats.avg_group_size = schedule.avg_group_size;
     stats.interner_ctxs = store.interner().len();
     stats.workers = workers;
-    RunResult { answers, stats }
+    let trace = cfg.tracing.enabled().then_some(RunTrace {
+        real_time: true,
+        workers: traces,
+    });
+    RunResult {
+        answers,
+        stats,
+        trace,
+    }
 }
 
 #[cfg(test)]

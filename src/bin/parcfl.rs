@@ -11,7 +11,7 @@
 use parcfl::core::{NoJmpStore, Solver, SolverConfig};
 use parcfl::frontend::build_pag;
 use parcfl::pag::Pag;
-use parcfl::runtime::{run_seq, run_simulated, Backend, Mode, RunConfig};
+use parcfl::runtime::{run_seq, run_simulated, Backend, Mode, RunConfig, TraceLevel};
 use std::io::Write;
 use std::process::exit;
 
@@ -41,6 +41,7 @@ fn main() {
         "stats" => cmd_stats(&args[1..]),
         "dot" => cmd_dot(&args[1..]),
         "bench" => cmd_bench(&args[1..]),
+        "trace" => cmd_trace(&args[1..]),
         "gen" => cmd_gen(&args[1..]),
         "why" => cmd_why(&args[1..]),
         "--help" | "-h" | "help" => usage(),
@@ -72,6 +73,12 @@ USAGE:
       simulator; --stealing additionally dispatches through the
       work-stealing scheduler (implies --threaded) and reports per-worker
       contention.
+  parcfl trace <file.mj> [--out PATH] [--threads N] [--mode naive|d|dq]
+               [--level spans|full] [--threaded]
+      Answer every application-local query with event tracing on and
+      write a Chrome-trace JSON (default trace.json) for chrome://tracing
+      or Perfetto. The default virtual-time simulator gives a
+      deterministic trace; --threaded records real wall-clock spans.
   parcfl gen <name>
       Print a Table-I benchmark's generated mini-Java source on stdout
       (feed it back through `parcfl query`/`stats`/`dot`).
@@ -223,6 +230,59 @@ fn cmd_dot(args: &[String]) {
     let _ = std::io::stdout()
         .lock()
         .write_all(parcfl::pag::dot::to_dot(&pag).as_bytes());
+}
+
+fn cmd_trace(args: &[String]) {
+    let (pag, queries) = load(args);
+    let out_path = flag_value(args, "--out").unwrap_or_else(|| "trace.json".to_string());
+    let threads: usize = flag_value(args, "--threads")
+        .map(|t| t.parse().expect("--threads expects an integer"))
+        .unwrap_or(4);
+    let mode = match flag_value(args, "--mode").as_deref() {
+        None | Some("dq") => Mode::DataSharingSched,
+        Some("d") => Mode::DataSharing,
+        Some("naive") => Mode::Naive,
+        Some(other) => {
+            eprintln!("unknown mode `{other}` (naive|d|dq)");
+            exit(2);
+        }
+    };
+    let level = match flag_value(args, "--level").as_deref() {
+        None | Some("full") => TraceLevel::Full,
+        Some("spans") => TraceLevel::Spans,
+        Some(other) => {
+            eprintln!("unknown trace level `{other}` (spans|full)");
+            exit(2);
+        }
+    };
+    let threaded = args.iter().any(|a| a == "--threaded");
+    let backend = if threaded {
+        Backend::Threaded
+    } else {
+        Backend::Simulated
+    };
+    let mut cfg = RunConfig::new(mode, threads, backend).with_tracing(level);
+    cfg.solver = solver_config(args);
+    let r = if threaded {
+        parcfl::runtime::run_threaded(&pag, &queries, &cfg)
+    } else {
+        run_simulated(&pag, &queries, &cfg)
+    };
+    let trace = r.trace.expect("tracing enabled yields a trace");
+    std::fs::write(&out_path, trace.to_chrome_json()).unwrap_or_else(|e| {
+        eprintln!("cannot write {out_path}: {e}");
+        exit(1);
+    });
+    outln!(
+        "{}: {} queries, {} completed; {} events across {} workers ({} dropped) -> {}",
+        if threaded { "threaded" } else { "simulated" },
+        r.stats.queries,
+        r.stats.completed,
+        trace.event_count(),
+        trace.workers.len(),
+        trace.dropped(),
+        out_path
+    );
 }
 
 fn cmd_gen(args: &[String]) {

@@ -1,0 +1,126 @@
+//! Property-based tests for the observability layer: tracing must be
+//! *observation only*. Across random benchmarks, enabling
+//! [`TraceLevel::Spans`] or [`TraceLevel::Full`] must leave answers and
+//! the charged/traversed step accounting bit-identical to
+//! [`TraceLevel::Off`] on every backend — the recorder may watch the
+//! solver, never steer it.
+//!
+//! Determinism caveat: the sequential and simulated backends are fully
+//! deterministic, so *all* counters must match exactly. Real threads with
+//! a shared jmp store are not (publication timing legitimately shifts
+//! step counts between runs), so the threaded legs pin one worker for the
+//! exact-count comparison and check answers only at higher counts.
+
+use parcfl::core::NoJmpStore;
+use parcfl::runtime::{
+    run_seq_traced, run_simulated, run_threaded, Backend, Mode, RunConfig, TraceLevel,
+};
+use parcfl::synth::{build_bench, Profile};
+use proptest::prelude::*;
+
+/// Case count: `PROPTEST_CASES` when set (the CI stress job raises it),
+/// else a small default suitable for tier-1 runs.
+fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4)
+}
+
+/// Ample budget so answers cannot depend on traversal order (a tight `B`
+/// legitimately flips out-of-budget verdicts between interleavings).
+fn bench_for(seed: u64) -> parcfl::synth::Bench {
+    let mut b = build_bench(&Profile::tiny(seed));
+    b.solver = b
+        .solver
+        .clone()
+        .with_budget(5_000_000)
+        .without_tau_thresholds();
+    b
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases()))]
+
+    /// Sequential backend: every trace level answers exactly what Off
+    /// answers, with identical step accounting; Off yields no trace,
+    /// Spans and Full yield a single-worker trace with events.
+    #[test]
+    fn seq_tracing_is_observation_only(seed in 0u64..1_000) {
+        let b = bench_for(seed);
+        let off = run_seq_traced(&b.pag, &b.queries, &b.solver, &NoJmpStore, 0, TraceLevel::Off);
+        prop_assert!(off.trace.is_none(), "Off must not allocate a trace");
+        for level in [TraceLevel::Spans, TraceLevel::Full] {
+            let on = run_seq_traced(&b.pag, &b.queries, &b.solver, &NoJmpStore, 0, level);
+            prop_assert_eq!(on.sorted_answers(), off.sorted_answers(), "{:?} seed {}", level, seed);
+            prop_assert_eq!(on.stats.traversed_steps, off.stats.traversed_steps);
+            prop_assert_eq!(on.stats.charged_steps, off.stats.charged_steps);
+            prop_assert_eq!(on.stats.completed, off.stats.completed);
+            let trace = on.trace.expect("enabled level yields a trace");
+            prop_assert!(trace.real_time);
+            prop_assert_eq!(trace.workers.len(), 1);
+            prop_assert!(trace.event_count() > 0, "{:?} recorded nothing", level);
+        }
+    }
+
+    /// Simulated backend (fully deterministic): Full tracing reproduces
+    /// Off's makespan and step counts exactly, per mode, and the trace
+    /// carries one virtual-time track per simulated worker.
+    #[test]
+    fn simulated_tracing_is_observation_only(seed in 0u64..1_000) {
+        let b = bench_for(seed);
+        for mode in [Mode::Naive, Mode::DataSharing, Mode::DataSharingSched] {
+            let cfg = RunConfig::new(mode, 4, Backend::Simulated).with_solver(b.solver.clone());
+            let off = run_simulated(&b.pag, &b.queries, &cfg);
+            prop_assert!(off.trace.is_none());
+            let full = run_simulated(
+                &b.pag, &b.queries, &cfg.clone().with_tracing(TraceLevel::Full));
+            prop_assert_eq!(
+                full.sorted_answers(), off.sorted_answers(), "{:?} seed {}", mode, seed);
+            prop_assert_eq!(full.stats.makespan, off.stats.makespan);
+            prop_assert_eq!(full.stats.traversed_steps, off.stats.traversed_steps);
+            prop_assert_eq!(full.stats.charged_steps, off.stats.charged_steps);
+            let trace = full.trace.expect("Full yields a trace");
+            prop_assert!(!trace.real_time, "simulated traces use virtual time");
+            prop_assert_eq!(trace.workers.len(), 4);
+            prop_assert!(trace.event_count() > 0);
+        }
+    }
+
+    /// Threaded backend, both dispatch disciplines: with one worker the
+    /// run is deterministic, so Full must match Off's step counts
+    /// exactly; with four workers answers must still match and the trace
+    /// must carry one wall-clock track per worker.
+    #[test]
+    fn threaded_tracing_is_observation_only(seed in 0u64..1_000) {
+        let b = bench_for(seed);
+        for stealing in [false, true] {
+            let cfg1 = RunConfig::new(Mode::DataSharingSched, 1, Backend::Threaded)
+                .with_solver(b.solver.clone())
+                .with_stealing(stealing);
+            let off = run_threaded(&b.pag, &b.queries, &cfg1);
+            prop_assert!(off.trace.is_none());
+            let full = run_threaded(
+                &b.pag, &b.queries, &cfg1.clone().with_tracing(TraceLevel::Full));
+            prop_assert_eq!(
+                full.sorted_answers(), off.sorted_answers(),
+                "stealing={} seed {}", stealing, seed);
+            prop_assert_eq!(full.stats.traversed_steps, off.stats.traversed_steps);
+            prop_assert_eq!(full.stats.charged_steps, off.stats.charged_steps);
+            prop_assert!(full.trace.expect("Full yields a trace").event_count() > 0);
+
+            let cfg4 = RunConfig::new(Mode::DataSharingSched, 4, Backend::Threaded)
+                .with_solver(b.solver.clone())
+                .with_stealing(stealing)
+                .with_tracing(TraceLevel::Full);
+            let r4 = run_threaded(&b.pag, &b.queries, &cfg4);
+            prop_assert_eq!(
+                r4.sorted_answers(), off.sorted_answers(),
+                "stealing={} x4 seed {}", stealing, seed);
+            let trace = r4.trace.expect("Full yields a trace");
+            prop_assert!(trace.real_time);
+            prop_assert_eq!(trace.workers.len(), 4);
+            prop_assert!(trace.event_count() > 0);
+        }
+    }
+}
