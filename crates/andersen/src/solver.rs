@@ -36,6 +36,24 @@ impl AndersenResult {
     pub fn total_pts(&self) -> usize {
         self.pts.iter().map(|s| s.len()).sum()
     }
+
+    /// Whether `o ∈ pts(v)` (binary search over the sorted set).
+    pub fn pts_contains(&self, v: NodeId, o: NodeId) -> bool {
+        self.pts[v.index()].binary_search(&o).is_ok()
+    }
+
+    /// Size of `pts(v)`.
+    pub fn pts_len(&self, v: NodeId) -> usize {
+        self.pts[v.index()].len()
+    }
+
+    /// Whether `pts(v) ⊇ objs` — the soundness test a demand-driven
+    /// answer must pass (the inclusion-based solution over-approximates
+    /// every context-sensitive demand answer). Returns the first object
+    /// *not* covered, or `None` when the subset relation holds.
+    pub fn covers(&self, v: NodeId, objs: &[NodeId]) -> Option<NodeId> {
+        objs.iter().copied().find(|&o| !self.pts_contains(v, o))
+    }
 }
 
 /// The constraint system shared by the sequential and parallel solvers.

@@ -1,0 +1,329 @@
+//! The seeded schedule fuzzer: random scenarios, differential-checked.
+//!
+//! Each iteration derives an independent RNG stream from the base seed,
+//! samples a scenario — synthetic program (tiny/small profile), query
+//! subset, mode, backend, thread count, budget regime, τ thresholds,
+//! memoisation, context sensitivity, simulator perturbation, jmp-store
+//! cap — runs it, and checks every completed answer two ways:
+//!
+//! * **exactly** against the naive oracle ([`crate::diff`]);
+//! * **for soundness** against the Andersen whole-program solution
+//!   ([`crate::andersen_check`]).
+//!
+//! On the first failing iteration the scenario is (optionally) shrunk to
+//! a 1-minimal counterexample ([`crate::shrink`]) and returned along with
+//! its snapshot. Everything is reproducible from `(seed, iteration)`.
+
+use crate::andersen_check::check_soundness;
+use crate::diff::{diff_answers, OracleCache};
+use crate::oracle::OracleConfig;
+use crate::seed::derive;
+use crate::shrink::{shrink, ShrinkStats};
+use crate::snapshot::Scenario;
+use parcfl_core::SolverConfig;
+use parcfl_runtime::{Backend, Mode, SimPerturb};
+use parcfl_synth::{build_bench, Profile};
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+/// Fuzzer configuration.
+#[derive(Clone, Debug)]
+pub struct FuzzConfig {
+    /// Iterations to run (stops early at the first failure).
+    pub iters: u64,
+    /// Base seed; each iteration uses an independent derived stream.
+    pub seed: u64,
+    /// Shrink the first failing scenario before returning it.
+    pub shrink: bool,
+    /// Every `n`-th iteration runs on real threads instead of the
+    /// simulator (0 = simulator only).
+    pub threaded_every: u64,
+    /// Fault injection self-test: enable
+    /// `SolverConfig::chaos_jmp_ignore_ctx` and bias scenarios toward the
+    /// sharing modes that expose it. The fuzzer is expected to FAIL when
+    /// this is on — it proves the harness catches real sharing bugs.
+    pub chaos: bool,
+    /// Include `Profile::small` in the program pool (otherwise tiny only).
+    pub use_small: bool,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            iters: 25,
+            seed: crate::seed::DEFAULT_SEED,
+            shrink: true,
+            threaded_every: 10,
+            chaos: false,
+            use_small: true,
+        }
+    }
+}
+
+/// The first failing scenario found.
+#[derive(Clone, Debug)]
+pub struct FuzzFailure {
+    /// Iteration index (replay with the same base seed).
+    pub iteration: u64,
+    /// Base seed of the run.
+    pub seed: u64,
+    /// What disagreed.
+    pub detail: String,
+    /// The failing scenario, shrunk when shrinking was enabled.
+    pub scenario: Scenario,
+    /// Shrink statistics, when shrinking ran.
+    pub shrink_stats: Option<ShrinkStats>,
+}
+
+/// Aggregate fuzz outcome.
+#[derive(Clone, Debug, Default)]
+pub struct FuzzReport {
+    /// Iterations executed.
+    pub iters_run: u64,
+    /// Answers compared exactly against the oracle.
+    pub compared: u64,
+    /// Answers skipped (solver out of budget).
+    pub skipped_oob: u64,
+    /// Answers skipped (oracle step cap).
+    pub skipped_cap: u64,
+    /// Σ demand points-to sizes over soundness-checked answers.
+    pub demand_pts: u64,
+    /// Σ Andersen points-to sizes over the same answers.
+    pub inclusion_pts: u64,
+    /// The first failure, if any.
+    pub failure: Option<FuzzFailure>,
+}
+
+impl FuzzReport {
+    /// True when no iteration failed.
+    pub fn ok(&self) -> bool {
+        self.failure.is_none()
+    }
+
+    /// Demand/inclusion precision ratio over everything checked.
+    pub fn precision_ratio(&self) -> f64 {
+        if self.inclusion_pts == 0 {
+            1.0
+        } else {
+            self.demand_pts as f64 / self.inclusion_pts as f64
+        }
+    }
+}
+
+/// Oracle step cap for fuzzing and shrinking. Far above what any
+/// completed query on a fuzz-sized graph needs, far below the library
+/// default: the shrinker evaluates the failure predicate hundreds of
+/// times, and a candidate mutation that sends the naive oracle into a
+/// huge exact fixpoint must be rejected in bounded time (as a `StepCap`
+/// skip), not ground through.
+const FUZZ_STEP_CAP: u64 = 2_000_000;
+
+/// Whether `scenario` exhibits a failure (differential mismatch or
+/// soundness violation). Threaded scenarios are run three times — real
+/// interleavings vary — and fail if any run disagrees.
+pub fn scenario_fails(scenario: &Scenario) -> bool {
+    failure_detail(scenario).is_some()
+}
+
+/// Like [`scenario_fails`], with a description of the first disagreement.
+pub fn failure_detail(scenario: &Scenario) -> Option<String> {
+    let attempts = match scenario.backend {
+        Backend::Threaded => 3,
+        Backend::Simulated => 1,
+    };
+    let oracle_cfg = OracleConfig {
+        context_sensitive: scenario.solver.context_sensitive,
+        step_cap: FUZZ_STEP_CAP,
+        ..OracleConfig::default()
+    };
+    let mut oracle = OracleCache::new(&scenario.pag, oracle_cfg);
+    for _ in 0..attempts {
+        let result = scenario.run();
+        let diff = diff_answers(&result.answers, &mut oracle);
+        if let Some(m) = diff.mismatches.first() {
+            return Some(format!("query {}: {}", m.query, m.detail));
+        }
+        let sound = check_soundness(&scenario.pag, &result.answers);
+        if let Some(&(q, o)) = sound.violations.first() {
+            return Some(format!(
+                "soundness violation: demand pts({q}) contains {o}, Andersen's does not"
+            ));
+        }
+    }
+    None
+}
+
+/// Runs the fuzzer. Deterministic for a given configuration (modulo
+/// threaded-backend interleavings, which only widen what is caught).
+pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
+    let mut report = FuzzReport::default();
+    for i in 0..cfg.iters {
+        report.iters_run = i + 1;
+        let scenario = sample_scenario(cfg, i);
+        let oracle_cfg = OracleConfig {
+            context_sensitive: scenario.solver.context_sensitive,
+            step_cap: FUZZ_STEP_CAP,
+            ..OracleConfig::default()
+        };
+        let mut oracle = OracleCache::new(&scenario.pag, oracle_cfg);
+        let result = scenario.run();
+        let diff = diff_answers(&result.answers, &mut oracle);
+        report.compared += diff.compared as u64;
+        report.skipped_oob += diff.skipped_oob as u64;
+        report.skipped_cap += diff.skipped_cap as u64;
+        let sound = check_soundness(&scenario.pag, &result.answers);
+        report.demand_pts += sound.demand_pts as u64;
+        report.inclusion_pts += sound.inclusion_pts as u64;
+
+        let detail = if let Some(m) = diff.mismatches.first() {
+            Some(format!("query {}: {}", m.query, m.detail))
+        } else {
+            sound.violations.first().map(|&(q, o)| {
+                format!("soundness violation: demand pts({q}) contains {o}, Andersen's does not")
+            })
+        };
+        if let Some(detail) = detail {
+            let (scenario, shrink_stats) = if cfg.shrink {
+                let (s, st) = shrink(scenario, &scenario_fails);
+                (s, Some(st))
+            } else {
+                (scenario, None)
+            };
+            report.failure = Some(FuzzFailure {
+                iteration: i,
+                seed: cfg.seed,
+                detail,
+                scenario,
+                shrink_stats,
+            });
+            return report;
+        }
+    }
+    report
+}
+
+/// Samples iteration `i`'s scenario from the derived stream.
+fn sample_scenario(cfg: &FuzzConfig, i: u64) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(derive(cfg.seed, i));
+    let profile_seed = rng.random_range(0u64..1 << 32);
+    let profile = if cfg.chaos {
+        // Chaos runs exist to be shrunk: start from the smallest graphs
+        // that still exercise calls, containers and field access, so
+        // greedy delta-debugging lands near the true minimal core
+        // instead of a large local minimum.
+        Profile {
+            name: "chaos-micro".into(),
+            seed: profile_seed,
+            value_classes: 1,
+            box_classes: 1,
+            collections: 1,
+            app_classes: 1,
+            methods_per_class: 2,
+            idioms_per_method: 2,
+            idiom_weights: [1, 2, 2, 2, 1, 2, 3, 2, 0],
+            subclass_percent: 0,
+            budget: 75_000,
+        }
+    } else if cfg.use_small && rng.random_bool(0.3) {
+        Profile::small(profile_seed)
+    } else {
+        Profile::tiny(profile_seed)
+    };
+    let bench = build_bench(&profile);
+
+    // Bound per-iteration oracle cost: up to 16 queries, sampled without
+    // replacement, original order preserved.
+    let queries = sample_queries(&bench.queries, 16, &mut rng);
+
+    let mode = if cfg.chaos {
+        // The context-blind jmp key only corrupts answers when entries are
+        // shared, so bias to the sharing modes.
+        [Mode::DataSharing, Mode::DataSharingSched][rng.random_range(0usize..2)]
+    } else {
+        [Mode::Naive, Mode::DataSharing, Mode::DataSharingSched][rng.random_range(0usize..3)]
+    };
+    let backend = if !cfg.chaos && cfg.threaded_every > 0 && (i + 1).is_multiple_of(cfg.threaded_every) {
+        Backend::Threaded
+    } else {
+        Backend::Simulated
+    };
+
+    // Budget regime: ample (every query completes — maximal differential
+    // coverage) or tight (exercises OutOfBudget, unfinished jmps, early
+    // termination; completed answers must still be exact).
+    let ample = cfg.chaos || rng.random_bool(0.6);
+    let budget = if ample {
+        5_000_000
+    } else {
+        50 + rng.random_range(0u64..5_000)
+    };
+    // τ = 0 publishes every jmp entry (maximal sharing traffic); the
+    // chaos self-test needs that to poison reliably.
+    let zero_tau = cfg.chaos || rng.random_bool(0.5);
+    let (tau_finished, tau_unfinished) = if zero_tau { (0, 0) } else { (100, 100) };
+    let solver = SolverConfig {
+        budget,
+        tau_finished,
+        tau_unfinished,
+        context_sensitive: cfg.chaos || rng.random_bool(0.85),
+        memoize: rng.random_bool(0.25),
+        chaos_jmp_ignore_ctx: cfg.chaos,
+        ..SolverConfig::default()
+    };
+
+    let (perturb, store_cap) = if backend == Backend::Simulated {
+        let perturb = if rng.random_bool(0.8) {
+            Some(SimPerturb {
+                seed: rng.random_range(0u64..1 << 32),
+                fetch_jitter: rng.random_range(0u64..=4),
+                pick_window: rng.random_range(1usize..=4),
+                scramble_ties: rng.random_bool(0.5),
+                evict_period: if rng.random_bool(0.3) {
+                    rng.random_range(2u64..=12)
+                } else {
+                    0
+                },
+            })
+        } else {
+            None
+        };
+        let store_cap = if rng.random_bool(0.25) {
+            Some(rng.random_range(4usize..=64))
+        } else {
+            None
+        };
+        (perturb, store_cap)
+    } else {
+        (None, None)
+    };
+
+    Scenario {
+        pag: bench.pag,
+        queries,
+        mode,
+        backend,
+        threads: rng.random_range(1usize..=6),
+        solver,
+        fetch_cost: rng.random_range(0u64..=3),
+        perturb,
+        store_cap,
+    }
+}
+
+fn sample_queries(
+    all: &[parcfl_pag::NodeId],
+    max: usize,
+    rng: &mut StdRng,
+) -> Vec<parcfl_pag::NodeId> {
+    if all.len() <= max {
+        return all.to_vec();
+    }
+    // Partial Fisher–Yates over indices, then restore original order.
+    let mut idx: Vec<usize> = (0..all.len()).collect();
+    for k in 0..max {
+        let j = k + rng.random_range(0usize..idx.len() - k);
+        idx.swap(k, j);
+    }
+    let mut picked: Vec<usize> = idx[..max].to_vec();
+    picked.sort_unstable();
+    picked.into_iter().map(|k| all[k]).collect()
+}

@@ -1,0 +1,332 @@
+//! Counterexample shrinking: delta-debugging a failing [`Scenario`] down
+//! to a minimal graph and query set.
+//!
+//! The algorithm is greedy 1-minimal reduction, re-checking the failure
+//! predicate after every candidate removal:
+//!
+//! 1. **Canonicalise** the graph (scrub names/types/methods) so the
+//!    minimised scenario serialises losslessly — adopted only if the
+//!    failure survives canonicalisation (it always should: the solver
+//!    never looks at names).
+//! 2. **Simplify the configuration**: try threads → 1, simulated backend,
+//!    zero fetch cost, no perturbation, no store cap, simpler mode. This
+//!    is what makes structural shrinking effective: a failure that
+//!    depends on a 6-thread perturbed interleaving is fragile (removing
+//!    an unrelated edge shifts every virtual clock and masks it), while
+//!    the same data-sharing bug reproduced on one FIFO worker survives
+//!    edge removal robustly.
+//! 3. **Drop queries**, in reverse order, keeping each removal that still
+//!    fails. A smaller query set makes every later edge-removal check
+//!    cheaper.
+//! 4. **Drop edges**, repeated sweeps until a fixpoint: for each edge (in
+//!    reverse), rebuild the graph without it and keep the removal if the
+//!    failure persists. Node ids are stable under
+//!    [`rebuild_with_edges`](parcfl_synth::mutate::rebuild_with_edges), so
+//!    queries stay valid throughout.
+//! 5. **Weaken edge labels**: rewrite `param`/`ret`/`ld`/`st`/`assign_g`
+//!    labels the failure doesn't depend on to plain `assign_l`. Labelled
+//!    hops can't compose with each other, so without this step a chain
+//!    like `u →param_6→ v →ld(1)→ w` is contraction-proof even when the
+//!    labels are incidental.
+//! 6. **Contract chains**: bypass a non-query node by composing each
+//!    incoming/outgoing edge pair through a plain `assign_l` hop (`u
+//!    →ld(f)→ v →assign_l→ w` becomes `u →ld(f)→ w`, etc.). Pure edge
+//!    deletion cannot shorten a value-flow chain in which every hop is
+//!    load-bearing; contraction can, and 1-minimality is restored by
+//!    rerunning the edge sweep afterwards.
+//! 7. **Merge node pairs** on the now-small graph: redirect every edge
+//!    at one node onto another; duplicate edges and self-loops collapse.
+//!    Catches "two parallel copies of the same role" residue that
+//!    neither deletion nor contraction can reduce.
+//! 8. **Compact** away orphan nodes (remapping queries), adopted only if
+//!    the failure survives the id remap.
+//!
+//! Phases 2–6 repeat (bounded) until a full cycle adopts nothing, since
+//! a smaller graph can unlock further config simplification and vice
+//! versa.
+//!
+//! The predicate is re-evaluated from scratch on every candidate, so
+//! shrinking works for any deterministic failure — differential
+//! mismatches, soundness violations, panics caught by the caller's
+//! predicate — and degrades gracefully (keeps the larger scenario) on
+//! flaky ones.
+
+use crate::snapshot::Scenario;
+use parcfl_pag::{Edge, EdgeKind, NodeId, Pag};
+use parcfl_runtime::{Backend, Mode};
+use parcfl_synth::mutate::{canonicalize, compact, rebuild_with_edges};
+
+/// Statistics from one shrink run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ShrinkStats {
+    /// Failure-predicate evaluations performed.
+    pub checks: usize,
+    /// Edges in the original / shrunk scenario.
+    pub edges: (usize, usize),
+    /// Queries in the original / shrunk scenario.
+    pub queries: (usize, usize),
+}
+
+/// Shrinks `scenario` while `fails` keeps returning `true` for the
+/// candidate. `scenario` itself must fail (debug-asserted); the result is
+/// 1-minimal: removing any single remaining edge or query makes the
+/// failure disappear (or flake).
+pub fn shrink(scenario: Scenario, fails: &dyn Fn(&Scenario) -> bool) -> (Scenario, ShrinkStats) {
+    let mut stats = ShrinkStats {
+        edges: (scenario.pag.edge_count(), scenario.pag.edge_count()),
+        queries: (scenario.queries.len(), scenario.queries.len()),
+        ..ShrinkStats::default()
+    };
+    debug_assert!(fails(&scenario), "shrink called on a passing scenario");
+    let mut cur = scenario;
+
+    // 1. Canonicalise.
+    let mut candidate = cur.clone();
+    candidate.pag = canonicalize(&cur.pag);
+    stats.checks += 1;
+    if fails(&candidate) {
+        cur = candidate;
+    }
+
+    // 2–6. Config / query / edge reduction, cycled to a joint fixpoint.
+    for _cycle in 0..6 {
+        let mut adopted = false;
+
+        // 2. Configuration simplification.
+        type Step = fn(&mut Scenario);
+        let steps: [Step; 7] = [
+            |s| s.backend = Backend::Simulated,
+            |s| s.threads = 1,
+            |s| s.fetch_cost = 0,
+            |s| s.perturb = None,
+            |s| s.store_cap = None,
+            |s| s.solver.budget = s.solver.budget.min(200_000),
+            |s| {
+                s.mode = match s.mode {
+                    Mode::DataSharingSched => Mode::DataSharing,
+                    _ => Mode::Naive,
+                }
+            },
+        ];
+        for step in steps {
+            let mut candidate = cur.clone();
+            step(&mut candidate);
+            if candidate.backend == cur.backend
+                && candidate.threads == cur.threads
+                && candidate.fetch_cost == cur.fetch_cost
+                && candidate.perturb == cur.perturb
+                && candidate.store_cap == cur.store_cap
+                && candidate.solver.budget == cur.solver.budget
+                && candidate.mode == cur.mode
+            {
+                continue; // no-op for this scenario
+            }
+            stats.checks += 1;
+            if fails(&candidate) {
+                cur = candidate;
+                adopted = true;
+            }
+        }
+
+        // 3. Queries, reverse order.
+        let mut i = cur.queries.len();
+        while i > 0 {
+            i -= 1;
+            if cur.queries.len() == 1 {
+                break;
+            }
+            let mut candidate = cur.clone();
+            candidate.queries.remove(i);
+            stats.checks += 1;
+            if fails(&candidate) {
+                cur = candidate;
+                adopted = true;
+            }
+        }
+
+        // 4. Edges, sweeps to fixpoint.
+        loop {
+            let mut changed = false;
+            let mut j = cur.pag.edge_count();
+            while j > 0 {
+                j -= 1;
+                let mut edges = cur.pag.edges().to_vec();
+                edges.remove(j);
+                let mut candidate = cur.clone();
+                candidate.pag = rebuild_with_edges(&cur.pag, &edges);
+                stats.checks += 1;
+                if fails(&candidate) {
+                    cur = candidate;
+                    changed = true;
+                    adopted = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // 5. Weaken incidental labels to `assign_l`.
+        let mut j = cur.pag.edge_count();
+        while j > 0 {
+            j -= 1;
+            let mut edges = cur.pag.edges().to_vec();
+            if edges[j].kind == EdgeKind::AssignLocal {
+                continue;
+            }
+            edges[j].kind = EdgeKind::AssignLocal;
+            let mut candidate = cur.clone();
+            candidate.pag = rebuild_with_edges(&cur.pag, &edges);
+            stats.checks += 1;
+            if fails(&candidate) {
+                cur = candidate;
+                adopted = true;
+            }
+        }
+
+        // 6. Chain contraction; the next cycle's edge sweep restores
+        // 1-minimality over the composed edges.
+        loop {
+            let mut changed = false;
+            for v in cur.pag.node_ids() {
+                if cur.queries.contains(&v) {
+                    continue;
+                }
+                let Some(edges) = bypass_node(&cur.pag, v) else {
+                    continue;
+                };
+                let mut candidate = cur.clone();
+                candidate.pag = rebuild_with_edges(&cur.pag, &edges);
+                stats.checks += 1;
+                if fails(&candidate) {
+                    cur = candidate;
+                    changed = true;
+                    adopted = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        if !adopted {
+            break;
+        }
+    }
+
+    // 7. Merge node pairs on the (now small) graph: redirect every edge
+    // at `a` onto `b`; duplicates and self-loops collapse, so an adopted
+    // merge strictly shrinks the edge set. Quadratic in nodes, so gated
+    // on the graph already being small.
+    if cur.pag.node_count() <= 32 {
+        loop {
+            let mut changed = false;
+            'pairs: for a in cur.pag.node_ids() {
+                if cur.queries.contains(&a) {
+                    continue;
+                }
+                for b in cur.pag.node_ids() {
+                    if a == b {
+                        continue;
+                    }
+                    let Some(edges) = merge_nodes(&cur.pag, a, b) else {
+                        continue;
+                    };
+                    let mut candidate = cur.clone();
+                    candidate.pag = rebuild_with_edges(&cur.pag, &edges);
+                    stats.checks += 1;
+                    if fails(&candidate) {
+                        cur = candidate;
+                        changed = true;
+                        continue 'pairs;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    // 8. Compact orphans.
+    let (small, remapped) = compact(&cur.pag, &cur.queries);
+    if small.node_count() < cur.pag.node_count() {
+        let mut candidate = cur.clone();
+        candidate.pag = small;
+        candidate.queries = remapped;
+        stats.checks += 1;
+        if fails(&candidate) {
+            cur = candidate;
+        }
+    }
+
+    stats.edges.1 = cur.pag.edge_count();
+    stats.queries.1 = cur.queries.len();
+    (cur, stats)
+}
+
+/// An `assign_l` hop carries any other label through unchanged; no other
+/// pair of labels composes into a single edge.
+fn compose(k1: EdgeKind, k2: EdgeKind) -> Option<EdgeKind> {
+    match (k1, k2) {
+        (EdgeKind::AssignLocal, k) | (k, EdgeKind::AssignLocal) => Some(k),
+        _ => None,
+    }
+}
+
+/// The edge set with node `a` merged into `b`: every edge endpoint at
+/// `a` is redirected to `b`, then duplicates and self-loops are dropped.
+/// Returns `None` unless the result is strictly smaller (guaranteeing
+/// the merge sweep terminates).
+fn merge_nodes(pag: &Pag, a: NodeId, b: NodeId) -> Option<Vec<Edge>> {
+    let redirect = |n: NodeId| if n == a { b } else { n };
+    let mut edges: Vec<Edge> = Vec::with_capacity(pag.edge_count());
+    for e in pag.edges() {
+        let e2 = Edge {
+            src: redirect(e.src),
+            dst: redirect(e.dst),
+            kind: e.kind,
+        };
+        if e2.src == e2.dst {
+            continue;
+        }
+        if !edges.contains(&e2) {
+            edges.push(e2);
+        }
+    }
+    (edges.len() < pag.edge_count()).then_some(edges)
+}
+
+/// The edge set with node `v` bypassed: each incoming × outgoing pair
+/// replaced by its [`compose`]d edge. Only attempted when the result is
+/// strictly smaller (one side has a single edge), every pair composes,
+/// and `v` has no self-loop — otherwise returns `None` and the node is
+/// left for the plain edge sweep.
+fn bypass_node(pag: &Pag, v: NodeId) -> Option<Vec<Edge>> {
+    if pag.incoming(v).iter().any(|e| e.src == v) {
+        return None;
+    }
+    let inc = pag.incoming(v);
+    let out: Vec<Edge> = pag.outgoing(v).copied().collect();
+    if inc.is_empty() || out.is_empty() || inc.len().min(out.len()) != 1 {
+        return None;
+    }
+    let mut composed = Vec::with_capacity(inc.len() * out.len());
+    for a in inc {
+        for b in &out {
+            composed.push(Edge {
+                src: a.src,
+                dst: b.dst,
+                kind: compose(a.kind, b.kind)?,
+            });
+        }
+    }
+    let mut edges: Vec<Edge> = pag
+        .edges()
+        .iter()
+        .copied()
+        .filter(|e| e.src != v && e.dst != v)
+        .collect();
+    edges.extend(composed);
+    Some(edges)
+}

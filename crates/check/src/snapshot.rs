@@ -1,0 +1,443 @@
+//! Self-contained failing scenarios and their on-disk snapshot format.
+//!
+//! A [`Scenario`] bundles everything needed to replay one analysis run:
+//! the PAG, the query set, the mode/backend/thread configuration, the
+//! solver knobs and the optional simulator perturbation. The fuzzer turns
+//! a mismatching iteration into a `Scenario`, the shrinker minimises it,
+//! and [`Scenario::to_snapshot`] serialises the result as a small text
+//! file (conventionally `*.snap`) checked into `tests/corpus/`.
+//!
+//! ## Snapshot format v1
+//!
+//! Line-oriented text; `#` starts a comment. The graph is stored in the
+//! canonical form produced by `parcfl_synth::mutate::canonicalize` (node
+//! names, types and method identities scrubbed — only what the solver's
+//! semantics depend on survives), so parsing rebuilds a graph that is
+//! analysis-equivalent, not byte-equal, to the original.
+//!
+//! ```text
+//! # free-form comment
+//! run mode=dq backend=sim threads=3 fetch=1 budget=75000 tauf=100 tauu=100 ctx=1 memo=0 chaos=0
+//! perturb pseed=7 jitter=3 window=4 scramble=1 evict=0   (optional)
+//! store cap=64                                           (optional)
+//! counts nodes=5 fields=2 callsites=1
+//! node 0 local 1       # node <id> <local|global|obj> <is_application>
+//! node 1 obj 0
+//! edge 1 0 new         # edge <src> <dst> <kind> [<field or call-site id>]
+//! edge 0 2 ld 1
+//! query 0              # one per demand PointsTo query
+//! ```
+//!
+//! Edge kind tokens: `new`, `assign_l`, `assign_g`, `ld <field>`,
+//! `st <field>`, `param <site>`, `ret <site>`.
+
+use parcfl_core::SolverConfig;
+use parcfl_pag::{CallSiteId, EdgeKind, FieldId, NodeId, NodeInfo, NodeKind, Pag, PagBuilder};
+use parcfl_runtime::{
+    run_simulated_batch, run_threaded, schedule_with_cap, Backend, Mode, RunConfig, RunResult,
+    SimPerturb,
+};
+use parcfl_synth::mutate::canonical_types;
+use std::fmt::Write as _;
+
+/// A complete, replayable analysis run.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// The pointer-assignment graph under analysis.
+    pub pag: Pag,
+    /// Demand `PointsTo` query variables.
+    pub queries: Vec<NodeId>,
+    /// Parallelisation strategy.
+    pub mode: Mode,
+    /// Execution backend.
+    pub backend: Backend,
+    /// Worker count.
+    pub threads: usize,
+    /// Solver knobs (budget, τ, sensitivity, memoisation, fault
+    /// injection); `data_sharing` is overridden by `mode` at run time.
+    pub solver: SolverConfig,
+    /// Simulated cost of one work-list fetch.
+    pub fetch_cost: u64,
+    /// Seeded simulator perturbation (simulated backend only).
+    pub perturb: Option<SimPerturb>,
+    /// Jmp-store entry cap (simulated backend only; `None` = unbounded).
+    pub store_cap: Option<usize>,
+}
+
+impl Scenario {
+    /// The run configuration this scenario describes.
+    pub fn run_config(&self) -> RunConfig {
+        let mut cfg =
+            RunConfig::new(self.mode, self.threads, self.backend).with_solver(self.solver.clone());
+        cfg.fetch_cost = self.fetch_cost;
+        cfg.perturb = self.perturb;
+        cfg
+    }
+
+    /// Replays the scenario once and returns the answers.
+    pub fn run(&self) -> RunResult {
+        let cfg = self.run_config();
+        match self.backend {
+            Backend::Threaded => run_threaded(&self.pag, &self.queries, &cfg),
+            Backend::Simulated => {
+                let store = match self.store_cap {
+                    Some(cap) => parcfl_core::SharedJmpStore::timestamped().with_max_entries(cap),
+                    None => parcfl_core::SharedJmpStore::timestamped(),
+                };
+                let schedule = schedule_with_cap(&self.pag, &self.queries, self.mode, None);
+                run_simulated_batch(&self.pag, &schedule, &cfg, &store, 0).0
+            }
+        }
+    }
+
+    /// Serialises the scenario in snapshot format v1. The graph should
+    /// already be canonical (see module docs); serialisation stores only
+    /// canonical node attributes either way.
+    pub fn to_snapshot(&self) -> String {
+        let mut s = String::new();
+        s.push_str("# parcfl-check counterexample snapshot v1\n");
+        s.push_str("# Replay: parcfl check --replay <this file>\n");
+        let _ = writeln!(
+            s,
+            "run mode={} backend={} threads={} fetch={} budget={} tauf={} tauu={} ctx={} memo={} chaos={}",
+            match self.mode {
+                Mode::Naive => "naive",
+                Mode::DataSharing => "d",
+                Mode::DataSharingSched => "dq",
+            },
+            match self.backend {
+                Backend::Simulated => "sim",
+                Backend::Threaded => "threaded",
+            },
+            self.threads,
+            self.fetch_cost,
+            self.solver.budget,
+            self.solver.tau_finished,
+            self.solver.tau_unfinished,
+            self.solver.context_sensitive as u8,
+            self.solver.memoize as u8,
+            self.solver.chaos_jmp_ignore_ctx as u8,
+        );
+        if let Some(p) = self.perturb {
+            let _ = writeln!(
+                s,
+                "perturb pseed={} jitter={} window={} scramble={} evict={}",
+                p.seed, p.fetch_jitter, p.pick_window, p.scramble_ties as u8, p.evict_period
+            );
+        }
+        if let Some(cap) = self.store_cap {
+            let _ = writeln!(s, "store cap={cap}");
+        }
+        let _ = writeln!(
+            s,
+            "counts nodes={} fields={} callsites={}",
+            self.pag.node_count(),
+            self.pag.types().field_count(),
+            self.pag.call_site_count()
+        );
+        for n in self.pag.node_ids() {
+            let info = self.pag.node(n);
+            let kind = match info.kind {
+                NodeKind::Local { .. } => "local",
+                NodeKind::Global => "global",
+                NodeKind::Object { .. } => "obj",
+            };
+            let _ = writeln!(s, "node {} {} {}", n.raw(), kind, info.is_application as u8);
+        }
+        for e in self.pag.edges() {
+            let kind = match e.kind {
+                EdgeKind::New => "new".to_string(),
+                EdgeKind::AssignLocal => "assign_l".to_string(),
+                EdgeKind::AssignGlobal => "assign_g".to_string(),
+                EdgeKind::Load(f) => format!("ld {}", f.raw()),
+                EdgeKind::Store(f) => format!("st {}", f.raw()),
+                EdgeKind::Param(i) => format!("param {}", i.raw()),
+                EdgeKind::Ret(i) => format!("ret {}", i.raw()),
+            };
+            let _ = writeln!(s, "edge {} {} {}", e.src.raw(), e.dst.raw(), kind);
+        }
+        for q in &self.queries {
+            let _ = writeln!(s, "query {}", q.raw());
+        }
+        s
+    }
+
+    /// Parses snapshot format v1 back into a scenario.
+    pub fn from_snapshot(text: &str) -> Result<Scenario, String> {
+        let mut mode = Mode::Naive;
+        let mut backend = Backend::Simulated;
+        let mut threads = 1usize;
+        let mut fetch_cost = 1u64;
+        let mut solver = SolverConfig::default();
+        let mut perturb: Option<SimPerturb> = None;
+        let mut store_cap: Option<usize> = None;
+        let mut builder: Option<PagBuilder> = None;
+        let mut declared_nodes = 0usize;
+        let mut queries: Vec<NodeId> = Vec::new();
+        let mut edges: Vec<(NodeId, NodeId, EdgeKind)> = Vec::new();
+
+        for (ln, raw_line) in text.lines().enumerate() {
+            let line = raw_line.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let err = |m: String| format!("line {}: {m}", ln + 1);
+            let mut toks = line.split_whitespace();
+            match toks.next().unwrap() {
+                "run" => {
+                    for kv in toks {
+                        let (k, v) = kv
+                            .split_once('=')
+                            .ok_or_else(|| err(format!("bad run token `{kv}`")))?;
+                        match k {
+                            "mode" => {
+                                mode = match v {
+                                    "naive" => Mode::Naive,
+                                    "d" => Mode::DataSharing,
+                                    "dq" => Mode::DataSharingSched,
+                                    _ => return Err(err(format!("unknown mode `{v}`"))),
+                                }
+                            }
+                            "backend" => {
+                                backend = match v {
+                                    "sim" => Backend::Simulated,
+                                    "threaded" => Backend::Threaded,
+                                    _ => return Err(err(format!("unknown backend `{v}`"))),
+                                }
+                            }
+                            "threads" => threads = parse(v, &err)?,
+                            "fetch" => fetch_cost = parse(v, &err)?,
+                            "budget" => solver.budget = parse(v, &err)?,
+                            "tauf" => solver.tau_finished = parse(v, &err)?,
+                            "tauu" => solver.tau_unfinished = parse(v, &err)?,
+                            "ctx" => solver.context_sensitive = parse::<u8, _>(v, &err)? != 0,
+                            "memo" => solver.memoize = parse::<u8, _>(v, &err)? != 0,
+                            "chaos" => solver.chaos_jmp_ignore_ctx = parse::<u8, _>(v, &err)? != 0,
+                            _ => return Err(err(format!("unknown run key `{k}`"))),
+                        }
+                    }
+                }
+                "perturb" => {
+                    let mut p = SimPerturb::default();
+                    for kv in toks {
+                        let (k, v) = kv
+                            .split_once('=')
+                            .ok_or_else(|| err(format!("bad perturb token `{kv}`")))?;
+                        match k {
+                            "pseed" => p.seed = parse(v, &err)?,
+                            "jitter" => p.fetch_jitter = parse(v, &err)?,
+                            "window" => p.pick_window = parse(v, &err)?,
+                            "scramble" => p.scramble_ties = parse::<u8, _>(v, &err)? != 0,
+                            "evict" => p.evict_period = parse(v, &err)?,
+                            _ => return Err(err(format!("unknown perturb key `{k}`"))),
+                        }
+                    }
+                    perturb = Some(p);
+                }
+                "store" => {
+                    for kv in toks {
+                        let (k, v) = kv
+                            .split_once('=')
+                            .ok_or_else(|| err(format!("bad store token `{kv}`")))?;
+                        match k {
+                            "cap" => store_cap = Some(parse(v, &err)?),
+                            _ => return Err(err(format!("unknown store key `{k}`"))),
+                        }
+                    }
+                }
+                "counts" => {
+                    let mut nodes = 0usize;
+                    let mut fields = 1usize;
+                    let mut callsites = 0usize;
+                    for kv in toks {
+                        let (k, v) = kv
+                            .split_once('=')
+                            .ok_or_else(|| err(format!("bad counts token `{kv}`")))?;
+                        match k {
+                            "nodes" => nodes = parse(v, &err)?,
+                            "fields" => fields = parse(v, &err)?,
+                            "callsites" => callsites = parse(v, &err)?,
+                            _ => return Err(err(format!("unknown counts key `{k}`"))),
+                        }
+                    }
+                    let (types, _) = canonical_types(fields);
+                    let mut b = PagBuilder::with_types(types);
+                    b.add_method("m");
+                    for _ in 0..callsites {
+                        b.fresh_call_site();
+                    }
+                    declared_nodes = nodes;
+                    builder = Some(b);
+                }
+                "node" => {
+                    let b = builder
+                        .as_mut()
+                        .ok_or_else(|| err("node before counts".into()))?;
+                    let idx: u32 = parse(next(&mut toks, &err)?, &err)?;
+                    let kind_tok = next(&mut toks, &err)?;
+                    let app = parse::<u8, _>(next(&mut toks, &err)?, &err)? != 0;
+                    let m0 = parcfl_pag::MethodId::new(0);
+                    let kind = match kind_tok {
+                        "local" => NodeKind::Local { method: m0 },
+                        "global" => NodeKind::Global,
+                        "obj" => NodeKind::Object { method: m0 },
+                        _ => return Err(err(format!("unknown node kind `{kind_tok}`"))),
+                    };
+                    let got = b.add_node(NodeInfo {
+                        kind,
+                        ty: parcfl_pag::TypeId::new(0),
+                        name: format!("n{idx}"),
+                        is_application: app,
+                    });
+                    if got.raw() != idx {
+                        return Err(err(format!(
+                            "node ids must be dense and in order (expected {}, saw {idx})",
+                            got.raw()
+                        )));
+                    }
+                }
+                "edge" => {
+                    let src = NodeId::new(parse(next(&mut toks, &err)?, &err)?);
+                    let dst = NodeId::new(parse(next(&mut toks, &err)?, &err)?);
+                    let kind = match next(&mut toks, &err)? {
+                        "new" => EdgeKind::New,
+                        "assign_l" => EdgeKind::AssignLocal,
+                        "assign_g" => EdgeKind::AssignGlobal,
+                        "ld" => EdgeKind::Load(FieldId::new(parse(next(&mut toks, &err)?, &err)?)),
+                        "st" => EdgeKind::Store(FieldId::new(parse(next(&mut toks, &err)?, &err)?)),
+                        "param" => {
+                            EdgeKind::Param(CallSiteId::new(parse(next(&mut toks, &err)?, &err)?))
+                        }
+                        "ret" => {
+                            EdgeKind::Ret(CallSiteId::new(parse(next(&mut toks, &err)?, &err)?))
+                        }
+                        k => return Err(err(format!("unknown edge kind `{k}`"))),
+                    };
+                    edges.push((src, dst, kind));
+                }
+                "query" => {
+                    queries.push(NodeId::new(parse(next(&mut toks, &err)?, &err)?));
+                }
+                k => return Err(err(format!("unknown directive `{k}`"))),
+            }
+        }
+
+        let mut b = builder.ok_or("snapshot has no `counts` line")?;
+        for (src, dst, kind) in edges {
+            if src.index() >= declared_nodes || dst.index() >= declared_nodes {
+                return Err(format!("edge endpoint out of range ({src:?} -> {dst:?})"));
+            }
+            b.add_edge(src, dst, kind);
+        }
+        let pag = b.freeze();
+        if pag.node_count() != declared_nodes {
+            return Err(format!(
+                "declared {declared_nodes} nodes but parsed {}",
+                pag.node_count()
+            ));
+        }
+        for q in &queries {
+            if q.index() >= declared_nodes {
+                return Err(format!("query {q:?} out of range"));
+            }
+        }
+        Ok(Scenario {
+            pag,
+            queries,
+            mode,
+            backend,
+            threads,
+            solver,
+            fetch_cost,
+            perturb,
+            store_cap,
+        })
+    }
+}
+
+fn next<'t>(
+    toks: &mut impl Iterator<Item = &'t str>,
+    err: &impl Fn(String) -> String,
+) -> Result<&'t str, String> {
+    toks.next().ok_or_else(|| err("missing token".into()))
+}
+
+fn parse<T: std::str::FromStr, E: Fn(String) -> String>(v: &str, err: &E) -> Result<T, String> {
+    v.parse()
+        .map_err(|_| err(format!("cannot parse number `{v}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parcfl_synth::mutate::canonicalize;
+    use parcfl_synth::{build_bench, Profile};
+
+    fn sample_scenario() -> Scenario {
+        let b = build_bench(&Profile::tiny(5));
+        Scenario {
+            pag: canonicalize(&b.pag),
+            queries: b.queries[..4.min(b.queries.len())].to_vec(),
+            mode: Mode::DataSharingSched,
+            backend: Backend::Simulated,
+            threads: 3,
+            solver: SolverConfig {
+                budget: 12_345,
+                tau_finished: 0,
+                tau_unfinished: 0,
+                ..SolverConfig::default()
+            },
+            fetch_cost: 2,
+            perturb: Some(SimPerturb {
+                seed: 9,
+                fetch_jitter: 3,
+                pick_window: 4,
+                scramble_ties: true,
+                evict_period: 5,
+            }),
+            store_cap: Some(32),
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let sc = sample_scenario();
+        let text = sc.to_snapshot();
+        let back = Scenario::from_snapshot(&text).expect("parse");
+        assert_eq!(back.pag.node_count(), sc.pag.node_count());
+        assert_eq!(back.pag.edges(), sc.pag.edges());
+        assert_eq!(back.pag.call_site_count(), sc.pag.call_site_count());
+        assert_eq!(back.pag.types().field_count(), sc.pag.types().field_count());
+        assert_eq!(back.queries, sc.queries);
+        assert_eq!(back.mode, sc.mode);
+        assert_eq!(back.backend, sc.backend);
+        assert_eq!(back.threads, sc.threads);
+        assert_eq!(back.solver, sc.solver);
+        assert_eq!(back.fetch_cost, sc.fetch_cost);
+        assert_eq!(back.perturb, sc.perturb);
+        assert_eq!(back.store_cap, sc.store_cap);
+        // Serialising the parsed scenario reproduces the text exactly.
+        assert_eq!(back.to_snapshot(), text);
+    }
+
+    #[test]
+    fn round_trip_preserves_answers() {
+        let sc = sample_scenario();
+        let back = Scenario::from_snapshot(&sc.to_snapshot()).expect("parse");
+        let a = sc.run().sorted_answers();
+        let b = back.run().sorted_answers();
+        assert_eq!(a, b, "replay of a snapshot is bit-identical");
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(Scenario::from_snapshot("").is_err(), "no counts");
+        assert!(
+            Scenario::from_snapshot("counts nodes=1 fields=1 callsites=0\nnode 0 bogus 1").is_err()
+        );
+        assert!(Scenario::from_snapshot(
+            "counts nodes=1 fields=1 callsites=0\nnode 0 local 1\nedge 0 5 new"
+        )
+        .is_err());
+    }
+}

@@ -41,6 +41,14 @@ pub struct SolverConfig {
     /// same-batch and nothing counts as warm. Pure accounting — it never
     /// affects answers or visibility.
     pub warm_floor: u64,
+    /// **Fault injection, tests only.** Drops the context component from
+    /// jmp-store keys: shortcuts recorded for `ReachableNodes(x, c)` are
+    /// served to calls at *any* context of `x`, which is unsound whenever
+    /// the reachable sets differ per context. `parcfl-check` flips this to
+    /// prove its differential fuzzer catches (and its shrinker minimises)
+    /// real data-sharing bugs; nothing else may set it.
+    #[doc(hidden)]
+    pub chaos_jmp_ignore_ctx: bool,
 }
 
 impl Default for SolverConfig {
@@ -54,6 +62,7 @@ impl Default for SolverConfig {
             memoize: false,
             max_recursion_depth: 512,
             warm_floor: 0,
+            chaos_jmp_ignore_ctx: false,
         }
     }
 }

@@ -582,6 +582,14 @@ impl<'a> QueryState<'a> {
 
     fn reachable_nodes(&mut self, x: NodeId, c: CtxId, dir: Dir) -> Result<RchSet, Oob> {
         let key = (dir, x, c);
+        // Fault injection (tests only, see `SolverConfig::chaos_jmp_ignore_ctx`):
+        // share jmp entries under a context-blind key, so a finished set
+        // recorded at one context is served to every context of `x`.
+        let jmp_key = if self.cfg.chaos_jmp_ignore_ctx {
+            (dir, x, CtxId::EMPTY)
+        } else {
+            key
+        };
         if self.cfg.memoize {
             if let Some(r) = self.memo_rch.get(&key) {
                 let r = Arc::clone(r);
@@ -591,7 +599,7 @@ impl<'a> QueryState<'a> {
         }
 
         if self.cfg.data_sharing {
-            match self.jmp.lookup(&key, self.now()) {
+            match self.jmp.lookup(&jmp_key, self.now()) {
                 // Algorithm 2 lines 2–3: early termination when the
                 // remaining budget cannot cover the recorded lower bound.
                 // An unfinished entry with enough budget left falls through
@@ -654,7 +662,7 @@ impl<'a> QueryState<'a> {
             if total >= self.cfg.tau_finished
                 && self
                     .jmp
-                    .publish_finished(key, total, Arc::clone(&rch), self.now())
+                    .publish_finished(jmp_key, total, Arc::clone(&rch), self.now())
             {
                 self.stats.finished_published += rch.len().max(1) as u64;
                 self.emit(EventKind::JmpInsert, x.raw(), 1);

@@ -172,7 +172,7 @@ fn edge_sort_key(kind: EdgeKind) -> (u8, u32) {
 }
 
 /// The frozen, immutable Pointer Assignment Graph.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Pag {
     nodes: Vec<NodeInfo>,
     /// All edges, sorted by `dst` (this *is* the incoming-edge array).

@@ -33,7 +33,7 @@ pub mod sim;
 mod stats;
 pub mod threaded;
 
-pub use mode::{Backend, Mode, RunConfig};
+pub use mode::{Backend, Mode, RunConfig, SimPerturb};
 pub use parcfl_concurrent::{CounterSet, WorkerObs};
 pub use parcfl_obs::{
     chrome_trace_json, Event, EventKind, LogHistogram, ObsHists, PromText, RunTrace, TraceLevel,

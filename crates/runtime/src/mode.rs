@@ -47,6 +47,36 @@ pub enum Backend {
     Simulated,
 }
 
+/// Deterministic schedule-perturbation knobs for the simulated backend.
+///
+/// The default simulator is intentionally boring: lowest-clock worker
+/// wins ties, groups dispatch FIFO, fetches cost exactly `fetch_cost`.
+/// Real machines are not boring, and jmp-store visibility depends on the
+/// dispatch order, so `parcfl-check`'s fuzzer drives the simulator through
+/// seeded variations of all three choices. Every draw comes from one
+/// splitmix64 stream seeded with `seed`, so a perturbed run is exactly
+/// reproducible from its `SimPerturb` value. `RunConfig.perturb = None`
+/// (the default) keeps the classic deterministic behaviour bit-for-bit.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct SimPerturb {
+    /// Seed of the perturbation stream.
+    pub seed: u64,
+    /// Extra steps (uniform in `0..=fetch_jitter`) added to each group
+    /// fetch, modelling variable lock-acquisition latency.
+    pub fetch_jitter: u64,
+    /// Dispatch window: the next group is drawn uniformly from the first
+    /// `pick_window` pending groups instead of strictly FIFO (0 or 1 keeps
+    /// FIFO order).
+    pub pick_window: usize,
+    /// Break equal-clock worker ties pseudo-randomly instead of by lowest
+    /// worker index.
+    pub scramble_ties: bool,
+    /// Every `evict_period`-th group dispatch forces a jmp-store eviction
+    /// sweep (`evict_to_budget`), exercising eviction orderings mid-run on
+    /// bounded stores. 0 disables the forcing.
+    pub evict_period: u64,
+}
+
 /// A complete parallel-run configuration.
 #[derive(Clone, Debug)]
 pub struct RunConfig {
@@ -79,6 +109,10 @@ pub struct RunConfig {
     /// (steals, jmp traffic, evictions, memo hits). Answers and step
     /// counts are identical at every level.
     pub tracing: TraceLevel,
+    /// Simulated backend only: seeded perturbation of dispatch order,
+    /// fetch latency and eviction timing (see [`SimPerturb`]). `None`
+    /// (the default) is the classic deterministic simulator.
+    pub perturb: Option<SimPerturb>,
 }
 
 impl RunConfig {
@@ -93,6 +127,7 @@ impl RunConfig {
             group_cap: None,
             stealing: false,
             tracing: TraceLevel::Off,
+            perturb: None,
         }
     }
 
@@ -111,6 +146,12 @@ impl RunConfig {
     /// Sets the event-tracing level.
     pub fn with_tracing(mut self, tracing: TraceLevel) -> Self {
         self.tracing = tracing;
+        self
+    }
+
+    /// Enables seeded schedule perturbation on the simulated backend.
+    pub fn with_perturb(mut self, perturb: SimPerturb) -> Self {
+        self.perturb = Some(perturb);
         self
     }
 

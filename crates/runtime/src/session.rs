@@ -352,6 +352,7 @@ impl<'p> AnalysisSession<'p> {
             group_cap: self.group_cap,
             stealing: self.stealing,
             tracing: self.tracing,
+            perturb: None,
         }
     }
 

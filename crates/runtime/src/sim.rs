@@ -33,6 +33,8 @@ use parcfl_core::{Answer, JmpStore, SharedJmpStore, Solver};
 use parcfl_obs::{EventKind, RunTrace, TraceRecorder};
 use parcfl_pag::{NodeId, Pag};
 use parcfl_sched::Schedule;
+use rand::{rngs::StdRng, RngExt, SeedableRng};
+use std::collections::VecDeque;
 
 /// Runs the configured analysis under the virtual-time simulator.
 pub fn run_simulated(pag: &Pag, queries: &[NodeId], cfg: &RunConfig) -> RunResult {
@@ -78,7 +80,12 @@ pub fn run_simulated_batch(
     let t = cfg.threads.max(1);
     let mut clocks: Vec<u64> = vec![base; t];
     let mut workers: Vec<WorkerObs> = (0..t).map(WorkerObs::new).collect();
-    let mut next_group = 0usize;
+    // Seeded perturbation stream (None keeps the classic deterministic
+    // dispatch bit-for-bit: FIFO groups, lowest-index tie-break, fixed
+    // fetch cost).
+    let mut perturb = cfg.perturb.map(|p| (p, StdRng::seed_from_u64(p.seed)));
+    let mut pending: VecDeque<usize> = (0..schedule.groups.len()).collect();
+    let mut dispatched: u64 = 0;
     let mut stats = RunStats::default();
     let mut answers = Vec::with_capacity(schedule.query_count());
     let mut end = base;
@@ -91,14 +98,37 @@ pub fn run_simulated_batch(
     let mut ev_prev = store.scope_evictions();
     {
         let solver = Solver::new(pag, &solver_cfg, &store);
-        while next_group < schedule.groups.len() {
-            let tid = (0..t).min_by_key(|&i| (clocks[i], i)).unwrap();
+        while !pending.is_empty() {
+            let tid = match &mut perturb {
+                Some((p, rng)) if p.scramble_ties => {
+                    let min = (0..t).map(|i| clocks[i]).min().unwrap();
+                    let ties: Vec<usize> = (0..t).filter(|&i| clocks[i] == min).collect();
+                    ties[rng.random_range(0..ties.len())]
+                }
+                _ => (0..t).min_by_key(|&i| (clocks[i], i)).unwrap(),
+            };
+            let gi = match &mut perturb {
+                Some((p, rng)) if p.pick_window > 1 => {
+                    let w = p.pick_window.min(pending.len());
+                    pending.remove(rng.random_range(0..w)).unwrap()
+                }
+                _ => pending.pop_front().unwrap(),
+            };
+            dispatched += 1;
+            if let Some((p, _)) = &perturb {
+                if p.evict_period > 0 && dispatched.is_multiple_of(p.evict_period) {
+                    store.evict_to_budget();
+                }
+            }
             let rec = &recorders[tid];
-            let group = &schedule.groups[next_group];
-            next_group += 1;
+            let group = &schedule.groups[gi];
             workers[tid].local_pops += 1;
             let fetch_start = clocks[tid];
-            let mut v = clocks[tid] + cfg.fetch_cost;
+            let jitter = match &mut perturb {
+                Some((p, rng)) if p.fetch_jitter > 0 => rng.random_range(0..=p.fetch_jitter),
+                _ => 0,
+            };
+            let mut v = clocks[tid] + cfg.fetch_cost + jitter;
             rec.span(EventKind::GroupDequeued, fetch_start, group.len() as u32, 0);
             for &q in group {
                 rec.span(EventKind::QueryStart, v, q.raw(), 0);

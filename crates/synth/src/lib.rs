@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 
 pub mod generator;
+pub mod mutate;
 pub mod names;
 pub mod profile;
 pub mod suite;

@@ -1,0 +1,221 @@
+//! Shrink-friendly PAG mutation helpers.
+//!
+//! `parcfl-check`'s counterexample shrinker repeatedly asks "does the
+//! failure survive with this edge removed?", which requires rebuilding a
+//! frozen [`Pag`] from a mutated edge list. Node ids are assigned
+//! sequentially by [`PagBuilder::add_node`] and [`PagBuilder::freeze`]
+//! never reorders nodes, so a rebuild that re-adds every node in id order
+//! keeps all existing [`NodeId`]s (and therefore the query set) valid.
+
+use parcfl_pag::{types::TypeInfo, types::TypeTable, MethodId};
+use parcfl_pag::{Edge, NodeId, NodeInfo, NodeKind, Pag, PagBuilder, TypeId};
+
+/// Rebuilds `pag` with the same nodes, types, methods and call sites but
+/// only the given `edges`. Node ids are preserved, so queries against the
+/// original graph remain valid against the result.
+pub fn rebuild_with_edges(pag: &Pag, edges: &[Edge]) -> Pag {
+    let mut b = PagBuilder::with_types(pag.types().clone());
+    for m in 0..pag.method_count() {
+        b.add_method(pag.method_name(MethodId::from_usize(m)));
+    }
+    for _ in 0..pag.call_site_count() {
+        b.fresh_call_site();
+    }
+    for n in pag.node_ids() {
+        b.add_node(pag.node(n).clone());
+    }
+    for e in edges {
+        b.add_edge(e.src, e.dst, e.kind);
+    }
+    b.freeze()
+}
+
+/// Canonical scrubbed copy of `pag`: node names become `n<i>`, every node
+/// gets the single type `T`, every method-scoped node the single method
+/// `m`. Kinds, `is_application` flags, edges (with their field and
+/// call-site ids) and node ids are preserved — everything the solver's
+/// semantics depend on. The shrinker canonicalises *before* minimising so
+/// the graph it verifies is byte-identical to what a snapshot round-trip
+/// reconstructs (the snapshot format stores exactly this canonical form).
+pub fn canonicalize(pag: &Pag) -> Pag {
+    let mut types = TypeTable::new();
+    let t0 = types.add_type(TypeInfo {
+        name: "T".into(),
+        is_ref: true,
+        fields: Vec::new(),
+        supertype: None,
+    });
+    // Field id 0 is the builtin `arr`; re-intern the rest by count so
+    // every FieldId referenced by an edge stays in range.
+    for i in 1..pag.types().field_count() {
+        types.add_field(format!("f{i}"));
+    }
+    let mut b = PagBuilder::with_types(types);
+    let m0 = b.add_method("m");
+    for _ in 0..pag.call_site_count() {
+        b.fresh_call_site();
+    }
+    for n in pag.node_ids() {
+        let info = pag.node(n);
+        let kind = match info.kind {
+            NodeKind::Local { .. } => NodeKind::Local { method: m0 },
+            NodeKind::Global => NodeKind::Global,
+            NodeKind::Object { .. } => NodeKind::Object { method: m0 },
+        };
+        b.add_node(NodeInfo {
+            kind,
+            ty: t0,
+            name: format!("n{}", n.index()),
+            is_application: info.is_application,
+        });
+    }
+    for e in pag.edges() {
+        b.add_edge(e.src, e.dst, e.kind);
+    }
+    b.freeze()
+}
+
+/// Drops every node with no incident edge that is not in `pinned`,
+/// compacting node ids. Returns the compacted graph and `pinned` remapped
+/// to the new ids (order preserved). Used as the shrinker's final pass so
+/// serialized counterexamples do not carry orphan nodes.
+pub fn compact(pag: &Pag, pinned: &[NodeId]) -> (Pag, Vec<NodeId>) {
+    let mut used = vec![false; pag.node_count()];
+    for e in pag.edges() {
+        used[e.src.index()] = true;
+        used[e.dst.index()] = true;
+    }
+    for &n in pinned {
+        used[n.index()] = true;
+    }
+    let mut b = PagBuilder::with_types(pag.types().clone());
+    for m in 0..pag.method_count() {
+        b.add_method(pag.method_name(MethodId::from_usize(m)));
+    }
+    for _ in 0..pag.call_site_count() {
+        b.fresh_call_site();
+    }
+    let mut map: Vec<Option<NodeId>> = vec![None; pag.node_count()];
+    for n in pag.node_ids() {
+        if used[n.index()] {
+            map[n.index()] = Some(b.add_node(pag.node(n).clone()));
+        }
+    }
+    for e in pag.edges() {
+        b.add_edge(
+            map[e.src.index()].expect("edge endpoint is used"),
+            map[e.dst.index()].expect("edge endpoint is used"),
+            e.kind,
+        );
+    }
+    let remapped = pinned
+        .iter()
+        .map(|&n| map[n.index()].expect("pinned node is used"))
+        .collect();
+    (b.freeze(), remapped)
+}
+
+/// Builds a fresh single-type [`TypeTable`] with `field_count` interned
+/// fields (including the builtin `arr`) — the canonical table snapshot
+/// parsing reconstructs. Returns the table and the id of its one type.
+pub fn canonical_types(field_count: usize) -> (TypeTable, TypeId) {
+    let mut types = TypeTable::new();
+    let t0 = types.add_type(TypeInfo {
+        name: "T".into(),
+        is_ref: true,
+        fields: Vec::new(),
+        supertype: None,
+    });
+    for i in 1..field_count.max(1) {
+        types.add_field(format!("f{i}"));
+    }
+    (types, t0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::Profile;
+    use crate::suite::build_bench;
+    use parcfl_pag::EdgeKind;
+
+    #[test]
+    fn rebuild_with_all_edges_is_identity() {
+        let b = build_bench(&Profile::tiny(11));
+        let g2 = rebuild_with_edges(&b.pag, b.pag.edges());
+        assert_eq!(g2.node_count(), b.pag.node_count());
+        assert_eq!(g2.edge_count(), b.pag.edge_count());
+        assert_eq!(g2.edges(), b.pag.edges());
+        assert_eq!(g2.call_site_count(), b.pag.call_site_count());
+    }
+
+    #[test]
+    fn rebuild_can_drop_an_edge() {
+        let b = build_bench(&Profile::tiny(11));
+        let mut edges = b.pag.edges().to_vec();
+        edges.remove(0);
+        let g2 = rebuild_with_edges(&b.pag, &edges);
+        assert_eq!(g2.edge_count(), b.pag.edge_count() - 1);
+        assert_eq!(g2.node_count(), b.pag.node_count());
+    }
+
+    #[test]
+    fn canonicalize_preserves_structure() {
+        let b = build_bench(&Profile::tiny(3));
+        let c = canonicalize(&b.pag);
+        assert_eq!(c.node_count(), b.pag.node_count());
+        assert_eq!(c.edge_count(), b.pag.edge_count());
+        assert_eq!(c.edges(), b.pag.edges());
+        assert_eq!(c.types().field_count(), b.pag.types().field_count());
+        for n in b.pag.node_ids() {
+            assert_eq!(
+                c.kind(n).is_object(),
+                b.pag.kind(n).is_object(),
+                "kind class preserved"
+            );
+            assert_eq!(c.node(n).is_application, b.pag.node(n).is_application);
+        }
+        // Idempotent: canonical of canonical is identical in structure.
+        let cc = canonicalize(&c);
+        assert_eq!(cc.edges(), c.edges());
+    }
+
+    #[test]
+    fn compact_drops_orphans_and_remaps() {
+        let b = build_bench(&Profile::tiny(7));
+        // Keep only the first edge: almost every node becomes an orphan.
+        let e0 = b.pag.edges()[0];
+        let g = rebuild_with_edges(&b.pag, &[e0]);
+        let pinned = vec![e0.dst];
+        let (small, remapped) = compact(&g, &pinned);
+        assert!(small.node_count() <= 2);
+        assert_eq!(small.edge_count(), 1);
+        let e = small.edges()[0];
+        assert_eq!(remapped.len(), 1);
+        assert_eq!(e.dst, remapped[0]);
+        assert!(matches!(e.kind, k if k == e0.kind));
+    }
+
+    #[test]
+    fn canonical_types_interns_field_count() {
+        let (t, t0) = canonical_types(4);
+        assert_eq!(t.field_count(), 4);
+        assert_eq!(t.get(t0).name, "T");
+        let (t1, _) = canonical_types(0);
+        assert_eq!(t1.field_count(), 1, "builtin arr always present");
+    }
+
+    #[test]
+    fn rebuild_preserves_field_indexes() {
+        let b = build_bench(&Profile::tiny(5));
+        let g2 = rebuild_with_edges(&b.pag, b.pag.edges());
+        for e in b.pag.edges() {
+            if let EdgeKind::Load(f) = e.kind {
+                assert_eq!(g2.loads_of(f), b.pag.loads_of(f));
+            }
+            if let EdgeKind::Store(f) = e.kind {
+                assert_eq!(g2.stores_of(f), b.pag.stores_of(f));
+            }
+        }
+    }
+}

@@ -56,6 +56,27 @@ impl Profile {
         }
     }
 
+    /// A moderately larger profile than [`Profile::tiny`]: more classes,
+    /// methods and heap traffic, still small enough for the exhaustive
+    /// oracle solver of `parcfl-check` to answer every query exactly.
+    /// The differential fuzzer alternates between `tiny` and `small` so
+    /// counterexamples are found at the smallest scale that exhibits them.
+    pub fn small(seed: u64) -> Profile {
+        Profile {
+            name: "small".into(),
+            seed,
+            value_classes: 3,
+            box_classes: 3,
+            collections: 2,
+            app_classes: 4,
+            methods_per_class: 3,
+            idioms_per_method: 5,
+            idiom_weights: [2, 3, 3, 2, 1, 2, 4, 2, 1],
+            subclass_percent: 30,
+            budget: 75_000,
+        }
+    }
+
     /// A small default profile for tests.
     pub fn tiny(seed: u64) -> Profile {
         Profile {

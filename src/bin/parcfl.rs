@@ -6,6 +6,8 @@
 //! parcfl stats <file.mj>
 //! parcfl dot   <file.mj>
 //! parcfl bench <benchmark-name> [--threads N] [--mode naive|d|dq]
+//! parcfl check [--fuzz N] [--seed S] [--no-shrink] [--chaos] [--out PATH]
+//! parcfl check --replay <file.snap>
 //! ```
 
 use parcfl::core::{NoJmpStore, Solver, SolverConfig};
@@ -41,6 +43,7 @@ fn main() {
         "stats" => cmd_stats(&args[1..]),
         "dot" => cmd_dot(&args[1..]),
         "bench" => cmd_bench(&args[1..]),
+        "check" => cmd_check(&args[1..]),
         "trace" => cmd_trace(&args[1..]),
         "gen" => cmd_gen(&args[1..]),
         "why" => cmd_why(&args[1..]),
@@ -83,7 +86,18 @@ USAGE:
       Print a Table-I benchmark's generated mini-Java source on stdout
       (feed it back through `parcfl query`/`stats`/`dot`).
   parcfl why <file.mj> --var NAME [--budget N]
-      Explain each object in NAME's points-to set with a witness path."
+      Explain each object in NAME's points-to set with a witness path.
+  parcfl check [--fuzz N] [--seed S] [--no-shrink] [--chaos] [--out PATH]
+      Differential fuzzing: N seeded scenarios (default 25) across
+      modes/backends/schedules, each checked against the naive oracle and
+      the Andersen inclusion solution. On failure the counterexample is
+      shrunk (disable with --no-shrink), written to PATH (default
+      counterexample.snap) and the exit code is 1. --seed overrides
+      PARCFL_TEST_SEED; --chaos injects a context-blind jmp-store fault
+      to prove the harness catches real sharing bugs.
+  parcfl check --replay <file.snap>
+      Re-run a recorded counterexample snapshot exactly as captured and
+      report whether it still disagrees with the oracle."
     );
 }
 
@@ -403,5 +417,108 @@ fn cmd_bench(args: &[String]) {
             t.lock_wait(),
             t.steal_wait()
         );
+    }
+}
+
+fn cmd_check(args: &[String]) {
+    use parcfl::check::{failure_detail, run_fuzz, test_seed, FuzzConfig, Scenario};
+
+    if let Some(path) = flag_value(args, "--replay") {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            exit(1);
+        });
+        let scenario = Scenario::from_snapshot(&text).unwrap_or_else(|e| {
+            eprintln!("{path}: {e}");
+            exit(1);
+        });
+        outln!(
+            "{path}: {} nodes, {} edges, {} queries{}",
+            scenario.pag.node_count(),
+            scenario.pag.edge_count(),
+            scenario.queries.len(),
+            if scenario.solver.chaos_jmp_ignore_ctx {
+                " [chaos fault injected]"
+            } else {
+                ""
+            }
+        );
+        match failure_detail(&scenario) {
+            Some(detail) => {
+                outln!("still fails: {detail}");
+                exit(1);
+            }
+            None => outln!("replays clean: solver agrees with the oracle"),
+        }
+        return;
+    }
+
+    let iters: u64 = flag_value(args, "--fuzz")
+        .map(|n| {
+            n.parse().unwrap_or_else(|_| {
+                eprintln!("--fuzz expects an integer");
+                exit(2);
+            })
+        })
+        .unwrap_or(25);
+    let seed: u64 = match flag_value(args, "--seed") {
+        Some(s) => s.parse().unwrap_or_else(|_| {
+            eprintln!("--seed expects an integer");
+            exit(2);
+        }),
+        None => test_seed(),
+    };
+    let cfg = FuzzConfig {
+        iters,
+        seed,
+        shrink: !args.iter().any(|a| a == "--no-shrink"),
+        chaos: args.iter().any(|a| a == "--chaos"),
+        ..FuzzConfig::default()
+    };
+    let report = run_fuzz(&cfg);
+    outln!(
+        "fuzz: {} iterations, seed {seed}; {} answers compared, {} skipped \
+         (out of budget), {} skipped (oracle step cap)",
+        report.iters_run,
+        report.compared,
+        report.skipped_oob,
+        report.skipped_cap
+    );
+    outln!(
+        "soundness: every completed demand answer within the Andersen \
+         inclusion solution; precision {:.3} (demand {} / inclusion {} pts entries)",
+        report.precision_ratio(),
+        report.demand_pts,
+        report.inclusion_pts
+    );
+    match report.failure {
+        None => outln!("ok: no differential mismatches, no soundness violations"),
+        Some(f) => {
+            let out_path =
+                flag_value(args, "--out").unwrap_or_else(|| "counterexample.snap".to_string());
+            outln!(
+                "FAILURE at iteration {} (seed {}): {}",
+                f.iteration,
+                f.seed,
+                f.detail
+            );
+            if let Some(st) = f.shrink_stats {
+                outln!(
+                    "shrunk {} -> {} edges, {} -> {} queries in {} predicate checks",
+                    st.edges.0,
+                    st.edges.1,
+                    st.queries.0,
+                    st.queries.1,
+                    st.checks
+                );
+            }
+            std::fs::write(&out_path, f.scenario.to_snapshot()).unwrap_or_else(|e| {
+                eprintln!("cannot write {out_path}: {e}");
+                exit(1);
+            });
+            outln!("counterexample written to {out_path}");
+            outln!("reproduce: parcfl check --fuzz {iters} --seed {}", f.seed);
+            exit(1);
+        }
     }
 }

@@ -13,9 +13,10 @@
 
 use parcfl::core::NoJmpStore;
 use parcfl::runtime::{
-    run_seq_traced, run_simulated, run_threaded, Backend, Mode, RunConfig, TraceLevel,
+    run_seq_traced, run_simulated, run_threaded, Backend, LogHistogram, Mode, RunConfig, TraceLevel,
 };
 use parcfl::synth::{build_bench, Profile};
+use proptest::collection::vec;
 use proptest::prelude::*;
 
 /// Case count: `PROPTEST_CASES` when set (the CI stress job raises it),
@@ -122,5 +123,78 @@ proptest! {
             prop_assert_eq!(trace.workers.len(), 4);
             prop_assert!(trace.event_count() > 0);
         }
+    }
+}
+
+/// Records every value of `values` into a fresh histogram.
+fn hist_of(values: &[u64]) -> LogHistogram {
+    let mut h = LogHistogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+// The per-worker latency partials are folded into `RunStats` in whatever
+// order workers finish, so [`LogHistogram::merge`] must be a commutative
+// monoid and must agree with having recorded everything into one
+// histogram. Values stay below 2^40 so `sum` cannot saturate in a test.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases().max(32)))]
+
+    /// Merge is commutative and associative, preserves `count` and
+    /// `sum` exactly, and has the empty histogram as identity.
+    #[test]
+    fn log_histogram_merge_is_a_commutative_monoid(
+        a in vec(0u64..1 << 40, 0..64),
+        b in vec(0u64..1 << 40, 0..64),
+        c in vec(0u64..1 << 40, 0..64),
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(&ab, &ba, "merge must commute");
+
+        let mut ab_c = ab.clone();
+        ab_c.merge(&hc);
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut a_bc = ha;
+        a_bc.merge(&bc);
+        prop_assert_eq!(&ab_c, &a_bc, "merge must associate");
+
+        prop_assert_eq!(ab_c.count(), (a.len() + b.len() + c.len()) as u64);
+        prop_assert_eq!(ab_c.sum(), a.iter().chain(&b).chain(&c).sum::<u64>());
+
+        let mut with_empty = ab_c.clone();
+        with_empty.merge(&LogHistogram::new());
+        prop_assert_eq!(with_empty, ab_c, "empty histogram must be the identity");
+    }
+
+    /// Merging partials equals recording the concatenation, and the
+    /// reported quantiles of the merged histogram stay ordered.
+    #[test]
+    fn log_histogram_merge_matches_concatenation(
+        a in vec(0u64..1 << 40, 0..64),
+        b in vec(0u64..1 << 40, 1..64),
+    ) {
+        let mut merged = hist_of(&a);
+        merged.merge(&hist_of(&b));
+        let concat: Vec<u64> = a.iter().chain(&b).copied().collect();
+        prop_assert_eq!(&merged, &hist_of(&concat));
+
+        let p50 = merged.percentile(0.50);
+        let p90 = merged.percentile(0.90);
+        let p99 = merged.percentile(0.99);
+        prop_assert!(
+            p50 <= p90 && p90 <= p99,
+            "percentiles out of order: p50 {p50} p90 {p90} p99 {p99}"
+        );
+        // Each reported quantile is a bucket upper bound, so it must sit
+        // strictly above the smallest recorded value.
+        let min = *concat.iter().min().unwrap();
+        prop_assert!(p50 > min, "p50 {p50} not above min {min}");
     }
 }

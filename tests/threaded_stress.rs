@@ -2,14 +2,21 @@
 //! shared jmp store with a tight budget, repeated to shake out races.
 //! (This machine has one core, but the scheduler still interleaves
 //! threads preemptively.)
+//!
+//! Benchmark seeds derive from `PARCFL_TEST_SEED` (default fixed) and
+//! every failure message prints the seed, so a failing run is
+//! reproducible with `PARCFL_TEST_SEED=<n> cargo test`.
 
+use parcfl::check::seed::derive;
+use parcfl::check::test_seed;
 use parcfl::core::{Answer, SolverConfig};
 use parcfl::runtime::{run_threaded, Backend, Mode, RunConfig};
 use parcfl::synth::{build_bench, Profile};
 
 #[test]
 fn threaded_sharing_under_contention_is_safe_and_consistent() {
-    let b = build_bench(&Profile::tiny(99));
+    let seed = test_seed();
+    let b = build_bench(&Profile::tiny(derive(seed, 99)));
     // Ample budget: all runs must agree exactly, no matter the interleaving.
     let mut cfg = RunConfig::new(Mode::DataSharing, 8, Backend::Threaded);
     cfg.solver = SolverConfig::default().with_budget(5_000_000);
@@ -17,34 +24,39 @@ fn threaded_sharing_under_contention_is_safe_and_consistent() {
     cfg.solver.tau_unfinished = 0;
 
     let reference = run_threaded(&b.pag, &b.queries, &cfg).sorted_answers();
-    for _ in 0..5 {
+    for round in 0..5 {
         let r = run_threaded(&b.pag, &b.queries, &cfg);
-        assert_eq!(r.sorted_answers(), reference);
+        assert_eq!(
+            r.sorted_answers(),
+            reference,
+            "PARCFL_TEST_SEED={seed} round {round}"
+        );
     }
 }
 
 #[test]
 fn threaded_tight_budget_never_loses_queries() {
-    let b = build_bench(&Profile::tiny(7));
+    let seed = test_seed();
+    let b = build_bench(&Profile::tiny(derive(seed, 7)));
     let mut cfg = RunConfig::new(Mode::DataSharingSched, 6, Backend::Threaded);
     cfg.solver = SolverConfig::default().with_budget(50);
     cfg.solver.tau_unfinished = 0;
     for _ in 0..5 {
         let r = run_threaded(&b.pag, &b.queries, &cfg);
-        assert_eq!(r.stats.queries, b.queries.len());
-        assert_eq!(r.answers.len(), b.queries.len());
+        assert_eq!(r.stats.queries, b.queries.len(), "PARCFL_TEST_SEED={seed}");
+        assert_eq!(r.answers.len(), b.queries.len(), "PARCFL_TEST_SEED={seed}");
         assert_eq!(
             r.stats.completed + r.stats.out_of_budget,
             b.queries.len(),
-            "every query gets a verdict"
+            "every query gets a verdict (PARCFL_TEST_SEED={seed})"
         );
         // Completed answers, whenever they appear, are always the same as
         // a sequential run's (shared state cannot change results).
         let seq = parcfl::runtime::run_seq(&b.pag, &b.queries, &cfg.solver);
         for ((qa, a), (qb, s)) in r.sorted_answers().iter().zip(seq.sorted_answers().iter()) {
-            assert_eq!(qa, qb);
+            assert_eq!(qa, qb, "PARCFL_TEST_SEED={seed}");
             if let (Answer::Complete(_), Answer::Complete(_)) = (a, s) {
-                assert_eq!(a, s);
+                assert_eq!(a, s, "PARCFL_TEST_SEED={seed} query {qa}");
             }
         }
     }
@@ -52,7 +64,8 @@ fn threaded_tight_budget_never_loses_queries() {
 
 #[test]
 fn thread_count_does_not_change_ample_budget_results() {
-    let b = build_bench(&Profile::tiny(3));
+    let seed = test_seed();
+    let b = build_bench(&Profile::tiny(derive(seed, 3)));
     let solver = SolverConfig::default().with_budget(5_000_000);
     let mut reference = None;
     for threads in [1, 2, 4, 8, 16] {
@@ -61,7 +74,7 @@ fn thread_count_does_not_change_ample_budget_results() {
         let r = run_threaded(&b.pag, &b.queries, &cfg).sorted_answers();
         match &reference {
             None => reference = Some(r),
-            Some(expect) => assert_eq!(&r, expect, "t={threads}"),
+            Some(expect) => assert_eq!(&r, expect, "t={threads} PARCFL_TEST_SEED={seed}"),
         }
     }
 }
