@@ -4,12 +4,16 @@
 //! parallelise) versus the demand-driven CFL analysis answering only the
 //! queries a client actually asks.
 //!
-//! Additionally emits a machine-readable `BENCH_solver.json` (per-bench
-//! makespan, traversed/charged steps, peak memoisation footprint, interner
-//! size) so CI and perf-tracking scripts can diff solver behaviour without
-//! scraping the human tables. `--smoke` restricts the run to the smallest
-//! synthetic profile and skips the wall-clock sidebars; `--json PATH`
-//! overrides the artifact location.
+//! Additionally emits a machine-readable `BENCH_solver.json` (schema
+//! `parcfl-bench-solver/2`): per bench, the headline DQ simulated run
+//! plus sequential demand-dense / demand-hash / matrix rows with
+//! makespan, traversed/charged steps, peak memoisation footprint, peak
+//! dense-state words and the dense-vs-hash and matrix-vs-demand wall
+//! ratios, so CI and perf-tracking scripts can diff solver behaviour
+//! without scraping the human tables. `--smoke` restricts the run to the
+//! smallest synthetic profile and skips the wall-clock sidebars;
+//! `--json PATH` overrides the artifact location; `--only SUBSTR` keeps
+//! only benches whose name contains SUBSTR (fast A/B on one benchmark).
 //!
 //! `--trace-out PATH` additionally re-runs the first bench with
 //! `TraceLevel::Full` on the *simulated* backend (deterministic, so the
@@ -17,9 +21,10 @@
 //! load it in `chrome://tracing` or Perfetto.
 
 use parcfl_bench::{cfg_for, print_worker_table, run_mode};
-use parcfl_core::{NoJmpStore, Solver};
+use parcfl_core::{NoJmpStore, Solver, SolverConfig, StateBackend};
 use parcfl_runtime::{
-    run_simulated, run_threaded, Backend, Mode, RunConfig, RunResult, TraceLevel,
+    run_matrix, run_seq, run_simulated, run_threaded, Backend, Mode, RunConfig, RunResult,
+    TraceLevel,
 };
 use parcfl_synth::{build_bench, table1_profiles, Bench};
 use std::io::Write;
@@ -130,18 +135,23 @@ fn tick(b: bool) -> &'static str {
 const JSON_THREADS: usize = 8;
 
 /// One `BENCH_solver.json` record, rendered by hand: the artifact must not
-/// cost a serde dependency, and every field is a scalar.
-fn json_record(b: &Bench, r: &RunResult) -> String {
+/// cost a serde dependency, and every field is a scalar. `row` labels the
+/// configuration the record measured (engine × state × dispatch).
+fn json_record(b: &Bench, row: &str, engine: &str, state: &str, r: &RunResult) -> String {
     let s = &r.stats;
     format!(
         concat!(
-            "{{\"bench\":\"{}\",\"queries\":{},\"completed\":{},",
+            "{{\"bench\":\"{}\",\"row\":\"{}\",\"engine\":\"{}\",\"state\":\"{}\",",
+            "\"queries\":{},\"completed\":{},",
             "\"out_of_budget\":{},\"makespan\":{},\"traversed_steps\":{},",
             "\"charged_steps\":{},\"steps_saved\":{},\"jmp_edges\":{},",
-            "\"store_entries\":{},\"peak_mem_items\":{},\"interner_ctxs\":{},",
-            "\"jmp_bytes\":{},\"wall_ms\":{:.3}}}"
+            "\"store_entries\":{},\"peak_mem_items\":{},\"peak_state_words\":{},",
+            "\"interner_ctxs\":{},\"jmp_bytes\":{},\"wall_ms\":{:.3}}}"
         ),
         b.name,
+        row,
+        engine,
+        state,
         s.queries,
         s.completed,
         s.out_of_budget,
@@ -152,23 +162,62 @@ fn json_record(b: &Bench, r: &RunResult) -> String {
         s.jmp_edges,
         s.store_entries,
         s.peak_mem_items,
+        s.peak_state_words,
         s.interner_ctxs,
         s.jmp_bytes,
         s.wall.as_secs_f64() * 1e3,
     )
 }
 
-/// Runs each bench under the headline configuration and writes the
-/// machine-readable artifact.
+/// Runs each bench across the backend matrix (DESIGN.md §11) and writes
+/// the machine-readable artifact: the headline DQ simulated run plus
+/// sequential demand-dense, demand-hash and matrix rows, with the
+/// dense-vs-hash and matrix-vs-demand sequential wall-time ratios.
 fn emit_bench_json(path: &str, benches: &[Bench], smoke: bool) {
-    let mut records = Vec::with_capacity(benches.len());
+    let mut records = Vec::with_capacity(benches.len() * 4);
     for b in benches {
-        let r = run_mode(b, Mode::DataSharingSched, JSON_THREADS);
-        records.push(json_record(b, &r));
+        let headline = run_mode(b, Mode::DataSharingSched, JSON_THREADS);
+        records.push(json_record(b, "dq-sim", "demand", "dense", &headline));
+
+        let dense_cfg = SolverConfig {
+            state: StateBackend::Dense,
+            ..b.solver.clone()
+        };
+        let hash_cfg = SolverConfig {
+            state: StateBackend::Hash,
+            ..b.solver.clone()
+        };
+        let dense = run_seq(&b.pag, &b.queries, &dense_cfg);
+        let hash = run_seq(&b.pag, &b.queries, &hash_cfg);
+        let matrix = run_matrix(&b.pag, &b.queries, &dense_cfg);
+        assert_eq!(
+            dense.sorted_answers(),
+            hash.sorted_answers(),
+            "{}: state backends must be bit-identical",
+            b.name
+        );
+        let ratio = |num: &RunResult, den: &RunResult| {
+            let d = den.stats.wall.as_secs_f64();
+            if d == 0.0 {
+                1.0
+            } else {
+                num.stats.wall.as_secs_f64() / d
+            }
+        };
+        let dense_speedup = ratio(&hash, &dense);
+        let matrix_speedup = ratio(&dense, &matrix);
+        records.push(json_record(b, "seq-dense", "demand", "dense", &dense));
+        records.push(json_record(b, "seq-hash", "demand", "hash", &hash));
+        let mut m = json_record(b, "seq-matrix", "matrix", "dense", &matrix);
+        let extra = format!(
+            ",\"dense_vs_hash_speedup\":{dense_speedup:.3},\"matrix_vs_demand_speedup\":{matrix_speedup:.3}}}"
+        );
+        m.replace_range(m.len() - 1.., &extra);
+        records.push(m);
     }
     let body = format!(
         concat!(
-            "{{\"schema\":\"parcfl-bench-solver/1\",\"mode\":\"DataSharingSched\",",
+            "{{\"schema\":\"parcfl-bench-solver/2\",\"mode\":\"DataSharingSched\",",
             "\"threads\":{},\"backend\":\"simulated\",\"smoke\":{},\"benches\":[\n  {}\n]}}\n"
         ),
         JSON_THREADS,
@@ -177,7 +226,11 @@ fn emit_bench_json(path: &str, benches: &[Bench], smoke: bool) {
     );
     let mut f = std::fs::File::create(path).expect("create bench json");
     f.write_all(body.as_bytes()).expect("write bench json");
-    println!("\nwrote {path} ({} benches)", benches.len());
+    println!(
+        "\nwrote {path} ({} benches, {} rows)",
+        benches.len(),
+        records.len()
+    );
 }
 
 /// Re-runs `b` with full tracing on the deterministic simulated backend
@@ -209,6 +262,11 @@ fn main() {
         .position(|a| a == "--trace-out")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    let only = args
+        .iter()
+        .position(|a| a == "--only")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
 
     if smoke {
         // CI smoke: smallest synthetic profile only, no wall-clock
@@ -219,6 +277,18 @@ fn main() {
         if let Some(p) = &trace_path {
             emit_trace(p, &b);
         }
+        return;
+    }
+
+    if let Some(pat) = &only {
+        // Filtered A/B run: just the JSON rows for the matching benches,
+        // no paper table or sidebars.
+        let suite: Vec<Bench> = parcfl_synth::build_suite()
+            .into_iter()
+            .filter(|b| b.name.contains(pat.as_str()))
+            .collect();
+        assert!(!suite.is_empty(), "--only {pat} matched no benches");
+        emit_bench_json(&json_path, &suite, false);
         return;
     }
 

@@ -3,8 +3,9 @@
 //! Each iteration derives an independent RNG stream from the base seed,
 //! samples a scenario — synthetic program (tiny/small profile), query
 //! subset, mode, backend, thread count, budget regime, τ thresholds,
-//! memoisation, context sensitivity, simulator perturbation, jmp-store
-//! cap — runs it, and checks every completed answer two ways:
+//! memoisation, context sensitivity, state backend (hash/dense), solver
+//! engine (demand/matrix), simulator perturbation, jmp-store cap — runs
+//! it, and checks every completed answer two ways:
 //!
 //! * **exactly** against the naive oracle ([`crate::diff`]);
 //! * **for soundness** against the Andersen whole-program solution
@@ -20,8 +21,8 @@ use crate::oracle::OracleConfig;
 use crate::seed::derive;
 use crate::shrink::{shrink, ShrinkStats};
 use crate::snapshot::Scenario;
-use parcfl_core::SolverConfig;
-use parcfl_runtime::{Backend, Mode, SimPerturb};
+use parcfl_core::{SolverConfig, StateBackend};
+use parcfl_runtime::{Backend, Engine, Mode, SimPerturb};
 use parcfl_synth::{build_bench, Profile};
 use rand::{rngs::StdRng, RngExt, SeedableRng};
 
@@ -241,11 +242,12 @@ fn sample_scenario(cfg: &FuzzConfig, i: u64) -> Scenario {
     } else {
         [Mode::Naive, Mode::DataSharing, Mode::DataSharingSched][rng.random_range(0usize..3)]
     };
-    let backend = if !cfg.chaos && cfg.threaded_every > 0 && (i + 1).is_multiple_of(cfg.threaded_every) {
-        Backend::Threaded
-    } else {
-        Backend::Simulated
-    };
+    let backend =
+        if !cfg.chaos && cfg.threaded_every > 0 && (i + 1).is_multiple_of(cfg.threaded_every) {
+            Backend::Threaded
+        } else {
+            Backend::Simulated
+        };
 
     // Budget regime: ample (every query completes — maximal differential
     // coverage) or tight (exercises OutOfBudget, unfinished jmps, early
@@ -267,7 +269,25 @@ fn sample_scenario(cfg: &FuzzConfig, i: u64) -> Scenario {
         context_sensitive: cfg.chaos || rng.random_bool(0.85),
         memoize: rng.random_bool(0.25),
         chaos_jmp_ignore_ctx: cfg.chaos,
+        // Backend dimension: hash and dense must be indistinguishable in
+        // every differential and soundness check.
+        state: if rng.random_bool(0.5) {
+            StateBackend::Hash
+        } else {
+            StateBackend::Dense
+        },
         ..SolverConfig::default()
+    };
+
+    // Engine dimension: a quarter of non-chaos iterations answer on the
+    // whole-program matrix backend instead of the demand solver — its
+    // completed answers must match the oracle exactly, just like demand's.
+    // Chaos runs stay on demand: the matrix engine never touches the jmp
+    // store, so the injected sharing fault could not surface there.
+    let engine = if !cfg.chaos && rng.random_bool(0.25) {
+        Engine::Matrix
+    } else {
+        Engine::Demand
     };
 
     let (perturb, store_cap) = if backend == Backend::Simulated {
@@ -306,6 +326,7 @@ fn sample_scenario(cfg: &FuzzConfig, i: u64) -> Scenario {
         fetch_cost: rng.random_range(0u64..=3),
         perturb,
         store_cap,
+        engine,
     }
 }
 

@@ -488,6 +488,7 @@ impl<'a> Oracle<'a> {
         let stores: Vec<_> = self
             .pag
             .outgoing(key.0)
+            .iter()
             .filter_map(|e| match e.kind {
                 EdgeKind::Store(f) => Some((e.dst, f)),
                 _ => None,

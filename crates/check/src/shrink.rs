@@ -94,7 +94,7 @@ pub fn shrink(scenario: Scenario, fails: &dyn Fn(&Scenario) -> bool) -> (Scenari
 
         // 2. Configuration simplification.
         type Step = fn(&mut Scenario);
-        let steps: [Step; 7] = [
+        let steps: [Step; 9] = [
             |s| s.backend = Backend::Simulated,
             |s| s.threads = 1,
             |s| s.fetch_cost = 0,
@@ -107,6 +107,8 @@ pub fn shrink(scenario: Scenario, fails: &dyn Fn(&Scenario) -> bool) -> (Scenari
                     _ => Mode::Naive,
                 }
             },
+            |s| s.engine = parcfl_runtime::Engine::Demand,
+            |s| s.solver.state = parcfl_core::StateBackend::default(),
         ];
         for step in steps {
             let mut candidate = cur.clone();
@@ -118,6 +120,8 @@ pub fn shrink(scenario: Scenario, fails: &dyn Fn(&Scenario) -> bool) -> (Scenari
                 && candidate.store_cap == cur.store_cap
                 && candidate.solver.budget == cur.solver.budget
                 && candidate.mode == cur.mode
+                && candidate.engine == cur.engine
+                && candidate.solver.state == cur.solver.state
             {
                 continue; // no-op for this scenario
             }
@@ -307,7 +311,7 @@ fn bypass_node(pag: &Pag, v: NodeId) -> Option<Vec<Edge>> {
         return None;
     }
     let inc = pag.incoming(v);
-    let out: Vec<Edge> = pag.outgoing(v).copied().collect();
+    let out: Vec<Edge> = pag.outgoing(v).to_vec();
     if inc.is_empty() || out.is_empty() || inc.len().min(out.len()) != 1 {
         return None;
     }

@@ -17,7 +17,7 @@
 //!
 //! ```text
 //! # free-form comment
-//! run mode=dq backend=sim threads=3 fetch=1 budget=75000 tauf=100 tauu=100 ctx=1 memo=0 chaos=0
+//! run mode=dq backend=sim threads=3 fetch=1 budget=75000 tauf=100 tauu=100 ctx=1 memo=0 chaos=0 engine=demand state=dense
 //! perturb pseed=7 jitter=3 window=4 scramble=1 evict=0   (optional)
 //! store cap=64                                           (optional)
 //! counts nodes=5 fields=2 callsites=1
@@ -31,11 +31,11 @@
 //! Edge kind tokens: `new`, `assign_l`, `assign_g`, `ld <field>`,
 //! `st <field>`, `param <site>`, `ret <site>`.
 
-use parcfl_core::SolverConfig;
+use parcfl_core::{SolverConfig, StateBackend};
 use parcfl_pag::{CallSiteId, EdgeKind, FieldId, NodeId, NodeInfo, NodeKind, Pag, PagBuilder};
 use parcfl_runtime::{
-    run_simulated_batch, run_threaded, schedule_with_cap, Backend, Mode, RunConfig, RunResult,
-    SimPerturb,
+    run_matrix, run_simulated_batch, run_threaded, schedule_with_cap, Backend, Engine, Mode,
+    RunConfig, RunResult, SimPerturb,
 };
 use parcfl_synth::mutate::canonical_types;
 use std::fmt::Write as _;
@@ -62,6 +62,10 @@ pub struct Scenario {
     pub perturb: Option<SimPerturb>,
     /// Jmp-store entry cap (simulated backend only; `None` = unbounded).
     pub store_cap: Option<usize>,
+    /// Solver engine: the demand work-list solver (default) or the
+    /// whole-program matrix backend. `mode`/`backend`/`threads` are inert
+    /// under `Engine::Matrix`.
+    pub engine: Engine,
 }
 
 impl Scenario {
@@ -71,12 +75,16 @@ impl Scenario {
             RunConfig::new(self.mode, self.threads, self.backend).with_solver(self.solver.clone());
         cfg.fetch_cost = self.fetch_cost;
         cfg.perturb = self.perturb;
+        cfg.engine = self.engine;
         cfg
     }
 
     /// Replays the scenario once and returns the answers.
     pub fn run(&self) -> RunResult {
         let cfg = self.run_config();
+        if self.engine == Engine::Matrix {
+            return run_matrix(&self.pag, &self.queries, &cfg.solver);
+        }
         match self.backend {
             Backend::Threaded => run_threaded(&self.pag, &self.queries, &cfg),
             Backend::Simulated => {
@@ -99,7 +107,7 @@ impl Scenario {
         s.push_str("# Replay: parcfl check --replay <this file>\n");
         let _ = writeln!(
             s,
-            "run mode={} backend={} threads={} fetch={} budget={} tauf={} tauu={} ctx={} memo={} chaos={}",
+            "run mode={} backend={} threads={} fetch={} budget={} tauf={} tauu={} ctx={} memo={} chaos={} engine={} state={}",
             match self.mode {
                 Mode::Naive => "naive",
                 Mode::DataSharing => "d",
@@ -117,6 +125,8 @@ impl Scenario {
             self.solver.context_sensitive as u8,
             self.solver.memoize as u8,
             self.solver.chaos_jmp_ignore_ctx as u8,
+            self.engine.name(),
+            self.solver.state.name(),
         );
         if let Some(p) = self.perturb {
             let _ = writeln!(
@@ -169,6 +179,7 @@ impl Scenario {
         let mut threads = 1usize;
         let mut fetch_cost = 1u64;
         let mut solver = SolverConfig::default();
+        let mut engine = Engine::Demand;
         let mut perturb: Option<SimPerturb> = None;
         let mut store_cap: Option<usize> = None;
         let mut builder: Option<PagBuilder> = None;
@@ -213,6 +224,11 @@ impl Scenario {
                             "ctx" => solver.context_sensitive = parse::<u8, _>(v, &err)? != 0,
                             "memo" => solver.memoize = parse::<u8, _>(v, &err)? != 0,
                             "chaos" => solver.chaos_jmp_ignore_ctx = parse::<u8, _>(v, &err)? != 0,
+                            // `engine`/`state` are absent in pre-v2 corpus
+                            // files; missing keys keep the defaults
+                            // (demand engine, default state backend).
+                            "engine" => engine = v.parse::<Engine>().map_err(&err)?,
+                            "state" => solver.state = v.parse::<StateBackend>().map_err(&err)?,
                             _ => return Err(err(format!("unknown run key `{k}`"))),
                         }
                     }
@@ -351,6 +367,7 @@ impl Scenario {
             fetch_cost,
             perturb,
             store_cap,
+            engine,
         })
     }
 }
@@ -396,6 +413,7 @@ mod tests {
                 evict_period: 5,
             }),
             store_cap: Some(32),
+            engine: Engine::Demand,
         }
     }
 
@@ -416,8 +434,42 @@ mod tests {
         assert_eq!(back.fetch_cost, sc.fetch_cost);
         assert_eq!(back.perturb, sc.perturb);
         assert_eq!(back.store_cap, sc.store_cap);
+        assert_eq!(back.engine, sc.engine);
         // Serialising the parsed scenario reproduces the text exactly.
         assert_eq!(back.to_snapshot(), text);
+    }
+
+    #[test]
+    fn engine_and_state_keys_default_when_absent() {
+        // Pre-v2 snapshots carry no engine/state keys: they parse to the
+        // demand engine and the default state backend.
+        let sc = sample_scenario();
+        let legacy: String = sc
+            .to_snapshot()
+            .lines()
+            .map(|l| {
+                if l.starts_with("run ") {
+                    l.split_whitespace()
+                        .filter(|t| !t.starts_with("engine=") && !t.starts_with("state="))
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let back = Scenario::from_snapshot(&legacy).expect("legacy parse");
+        assert_eq!(back.engine, Engine::Demand);
+        assert_eq!(back.solver.state, SolverConfig::default().state);
+
+        // And the matrix engine round-trips through the run line.
+        let mut mat = sample_scenario();
+        mat.engine = Engine::Matrix;
+        mat.solver.state = StateBackend::Hash;
+        let back = Scenario::from_snapshot(&mat.to_snapshot()).expect("parse");
+        assert_eq!(back.engine, Engine::Matrix);
+        assert_eq!(back.solver.state, StateBackend::Hash);
     }
 
     #[test]

@@ -56,6 +56,15 @@ impl CtxId {
     pub fn raw(self) -> u32 {
         self.0
     }
+
+    /// Rebuilds a `CtxId` from a raw table index — the inverse of
+    /// [`CtxId::raw`], for code (bitset rows, wire formats) that stores
+    /// contexts as dense integers. The caller must have obtained `raw`
+    /// from the same interner this id will be resolved against.
+    #[inline]
+    pub fn from_raw(raw: u32) -> CtxId {
+        CtxId(raw)
+    }
 }
 
 impl std::fmt::Display for CtxId {

@@ -1,0 +1,650 @@
+//! Whole-program boolean-semiring backend: batched CFL-reachability as
+//! iterated sparse-matrix × bit-vector products (DESIGN.md §11).
+//!
+//! The demand solver answers one query by walking the PAG state-by-state
+//! with a work list. This backend answers a *batch* by repeatedly
+//! multiplying per-kind adjacency (the kind-major CSR sub-slices of
+//! [`Pag`]) into per-context node frontiers held as [`ChunkedBitset`]s:
+//! one sweep over a frontier applies a whole edge class to every set bit,
+//! which is exactly a boolean SpMV with the adjacency matrix of that
+//! class. Context transitions (`param` pops, `ret` pushes, `assign_g`
+//! resets) route bits between per-context rows instead of staying inside
+//! one product, so the iteration is a block-structured closure over the
+//! `(node, context)` state space — the same fixpoint the demand solver
+//! reaches, computed row-at-a-time instead of state-at-a-time.
+//!
+//! **Semantics are identical to the demand solver on completed queries.**
+//! Both compute the least fixpoint of the same transition relation, and
+//! completed answers are materialised and sorted the same way, so a query
+//! the demand solver completes is answered bit-identically here (the
+//! `dense_props` suite and `parcfl check --fuzz` enforce this
+//! differentially). Where the backends differ is *cost*: sub-query
+//! results (`PointsTo`/`FlowsTo`/`ReachableNodes` closures) are memoised
+//! **globally across the batch**, so high-fan-in programs where many
+//! queries share flow pay for each closure once. The per-query budget `B`
+//! still applies — it caps frontier-bit scans, the matrix analogue of
+//! work-list pops — and cyclically-dependent sub-queries abort the query
+//! the same way the demand solver's re-entrancy guard does, so
+//! `OutOfBudget` verdicts remain honest. Data sharing (jmp shortcuts) is
+//! inert on this backend: the global memo subsumes it within a batch.
+
+use crate::config::SolverConfig;
+use crate::context::Ctx;
+use crate::jmp::Dir;
+use crate::solver::CtxNode;
+use crate::stats::{Answer, QueryOutput, QueryStats};
+use parcfl_concurrent::{ChunkedBitset, CtxId, CtxInterner, FxHashMap, FxHashSet};
+use parcfl_pag::{EdgeClass, NodeId, Pag};
+use std::sync::Arc;
+
+/// An interned traversal state.
+type IState = (NodeId, CtxId);
+
+/// Marker error: the query hit its scan budget or a cyclic sub-query
+/// dependency — both surface as [`Answer::OutOfBudget`].
+#[derive(Debug)]
+struct Halt;
+
+/// The whole-program backend. One instance serves a batch of queries;
+/// sub-query closures are memoised across the whole batch.
+pub struct MatrixSolver<'a> {
+    pag: &'a Pag,
+    cfg: &'a SolverConfig,
+    /// Private interner: the matrix backend never shares a jmp store, so
+    /// it owns its context-id space.
+    ctxs: Arc<CtxInterner>,
+    /// Batch-global memo of completed closures. Only fixpoint (complete)
+    /// results are stored, so entries are valid for every later query
+    /// regardless of its budget.
+    memo_pts: FxHashMap<IState, Arc<Vec<IState>>>,
+    memo_flows: FxHashMap<IState, Arc<Vec<IState>>>,
+    memo_rch: FxHashMap<(Dir, NodeId, CtxId), Arc<Vec<IState>>>,
+    /// In-flight sub-query detection: a dependency cycle can never reach a
+    /// fixpoint, so it aborts the query — mirroring the demand solver,
+    /// which burns its remaining budget on the same cycles.
+    on_stack_pts: FxHashSet<IState>,
+    on_stack_flows: FxHashSet<IState>,
+    on_stack_rch: FxHashSet<(Dir, NodeId, CtxId)>,
+    depth: u32,
+    /// Frontier bits scanned by the current query (all nested closures
+    /// included) — charged against `cfg.budget`.
+    work: u64,
+    /// Recycled row bitsets; allocations persist across queries, so
+    /// [`QueryStats::state_words`] reports the resident row storage.
+    pool: Vec<ChunkedBitset>,
+}
+
+/// Per-context rows of one closure computation: for each context touched,
+/// a visited bitset (monotone) and a frontier bitset (bits not yet swept).
+#[derive(Default)]
+struct RowTable {
+    idx: FxHashMap<CtxId, usize>,
+    ctx_of: Vec<CtxId>,
+    visited: Vec<ChunkedBitset>,
+    frontier: Vec<ChunkedBitset>,
+    dirty: Vec<usize>,
+    is_dirty: Vec<bool>,
+}
+
+impl RowTable {
+    fn row(&mut self, c: CtxId, pool: &mut Vec<ChunkedBitset>) -> usize {
+        if let Some(&ri) = self.idx.get(&c) {
+            return ri;
+        }
+        let ri = self.ctx_of.len();
+        self.idx.insert(c, ri);
+        self.ctx_of.push(c);
+        self.visited.push(pool.pop().unwrap_or_default());
+        self.frontier.push(pool.pop().unwrap_or_default());
+        self.is_dirty.push(false);
+        ri
+    }
+
+    /// Adds state `(n, c)`; new states land in the context's frontier.
+    fn insert(&mut self, n: u32, c: CtxId, pool: &mut Vec<ChunkedBitset>) {
+        let ri = self.row(c, pool);
+        if self.visited[ri].insert(n) {
+            self.frontier[ri].insert(n);
+            if !self.is_dirty[ri] {
+                self.is_dirty[ri] = true;
+                self.dirty.push(ri);
+            }
+        }
+    }
+
+    fn pop_dirty(&mut self) -> Option<usize> {
+        let ri = self.dirty.pop()?;
+        self.is_dirty[ri] = false;
+        Some(ri)
+    }
+
+    /// Returns every row bitset to the pool (cleared, allocations kept).
+    fn release(&mut self, pool: &mut Vec<ChunkedBitset>) {
+        for mut b in self.visited.drain(..).chain(self.frontier.drain(..)) {
+            b.clear();
+            pool.push(b);
+        }
+        self.idx.clear();
+        self.ctx_of.clear();
+        self.dirty.clear();
+        self.is_dirty.clear();
+    }
+}
+
+impl<'a> MatrixSolver<'a> {
+    /// Creates a batch solver over `pag`. Of `cfg`, the backend honours
+    /// `budget`, `context_sensitive` and `max_recursion_depth`; the
+    /// sharing and memoisation toggles are inert (the batch memo is
+    /// always on, the jmp store never consulted).
+    pub fn new(pag: &'a Pag, cfg: &'a SolverConfig) -> Self {
+        MatrixSolver {
+            pag,
+            cfg,
+            ctxs: Arc::new(CtxInterner::new()),
+            memo_pts: FxHashMap::default(),
+            memo_flows: FxHashMap::default(),
+            memo_rch: FxHashMap::default(),
+            on_stack_pts: FxHashSet::default(),
+            on_stack_flows: FxHashSet::default(),
+            on_stack_rch: FxHashSet::default(),
+            depth: 0,
+            work: 0,
+            pool: Vec::new(),
+        }
+    }
+
+    /// The context interner this solver resolves `CtxId`s against.
+    pub fn interner(&self) -> &Arc<CtxInterner> {
+        &self.ctxs
+    }
+
+    /// Answers `PointsTo(l, ∅)`. Completed answers are bit-identical to
+    /// the demand solver's; the cost profile is the batch-memoised scan
+    /// count.
+    pub fn points_to_query(&mut self, l: NodeId) -> QueryOutput {
+        assert!(
+            (l.raw() as usize) < self.pag.node_count(),
+            "query node {} outside PAG universe of {} nodes",
+            l.raw(),
+            self.pag.node_count()
+        );
+        self.work = 0;
+        self.depth = 0;
+        // A halted query leaves its in-flight guards set; clear them so
+        // the next query starts clean (the memo holds only completed
+        // results and stays valid).
+        self.on_stack_pts.clear();
+        self.on_stack_flows.clear();
+        self.on_stack_rch.clear();
+        let result = self.pts_set(l, CtxId::EMPTY);
+        let mut stats = QueryStats::default();
+        stats.charged_steps = self.work;
+        stats.traversed_steps = self.work;
+        stats.state_words = self.pool.iter().map(ChunkedBitset::allocated_words).sum();
+        // Mirrors the demand solver's allocation proxy, except the memo
+        // is batch-resident: later queries report everything still held.
+        stats.mem_items = self.work + self.memo_items() + stats.state_words;
+        let answer = match result {
+            Ok(set) => {
+                let mut v: Vec<CtxNode> = set
+                    .iter()
+                    .map(|&(n, c)| (n, Ctx::materialize(&self.ctxs, c)))
+                    .collect();
+                v.sort_unstable();
+                v.dedup();
+                Answer::Complete(v)
+            }
+            Err(Halt) => {
+                stats.out_of_budget = true;
+                Answer::OutOfBudget
+            }
+        };
+        QueryOutput { answer, stats }
+    }
+
+    fn memo_items(&self) -> u64 {
+        self.memo_pts.values().map(|v| v.len() as u64).sum::<u64>()
+            + self
+                .memo_flows
+                .values()
+                .map(|v| v.len() as u64)
+                .sum::<u64>()
+            + self.memo_rch.values().map(|v| v.len() as u64).sum::<u64>()
+    }
+
+    /// Sorts interned states by materialised `(node, call string)` — the
+    /// same canonical order the demand solver uses, so memoised sets are
+    /// iterated identically by every consumer.
+    fn sort_canonical(&self, v: &mut [IState]) {
+        v.sort_by_cached_key(|&(n, c)| (n, self.ctxs.stack_of(c)));
+    }
+
+    /// Depth guard shared by the three closure kinds.
+    fn enter(&mut self) -> Result<(), Halt> {
+        self.depth += 1;
+        if self.depth > self.cfg.max_recursion_depth {
+            Err(Halt)
+        } else {
+            Ok(())
+        }
+    }
+
+    // ----- POINTSTO closure -----
+
+    fn pts_set(&mut self, l: NodeId, c: CtxId) -> Result<Arc<Vec<IState>>, Halt> {
+        let key = (l, c);
+        if let Some(r) = self.memo_pts.get(&key) {
+            return Ok(Arc::clone(r));
+        }
+        self.enter()?;
+        if !self.on_stack_pts.insert(key) {
+            return Err(Halt);
+        }
+        let out = self.pts_closure(l, c)?;
+        self.on_stack_pts.remove(&key);
+        self.depth -= 1;
+        let out = Arc::new(out);
+        self.memo_pts.insert(key, Arc::clone(&out));
+        Ok(out)
+    }
+
+    fn pts_closure(&mut self, l: NodeId, c: CtxId) -> Result<Vec<IState>, Halt> {
+        let mut rows = RowTable::default();
+        let mut pts_rows: FxHashMap<CtxId, ChunkedBitset> = FxHashMap::default();
+        let mut pending: Vec<IState> = Vec::new();
+        rows.insert(l.raw(), c, &mut self.pool);
+        let r = self.pts_fixpoint(&mut rows, &mut pts_rows, &mut pending);
+        let mut pts: Vec<IState> = Vec::new();
+        if r.is_ok() {
+            for (&cx, bits) in pts_rows.iter() {
+                pts.extend(bits.iter().map(|n| (NodeId::new(n), cx)));
+            }
+        }
+        rows.release(&mut self.pool);
+        for (_, mut b) in pts_rows.drain() {
+            b.clear();
+            self.pool.push(b);
+        }
+        r?;
+        self.sort_canonical(&mut pts);
+        Ok(pts)
+    }
+
+    fn pts_fixpoint(
+        &mut self,
+        rows: &mut RowTable,
+        pts_rows: &mut FxHashMap<CtxId, ChunkedBitset>,
+        pending: &mut Vec<IState>,
+    ) -> Result<(), Halt> {
+        loop {
+            self.pts_sweep(rows, pts_rows, pending)?;
+            // Edge propagation is drained; resolve one alias obligation
+            // and re-drain. Fixpoint order is irrelevant to the result.
+            let Some((x, cx)) = pending.pop() else {
+                return Ok(());
+            };
+            let rch = self.rch_set(x, cx, Dir::Bwd)?;
+            for &(n2, c2) in rch.iter() {
+                rows.insert(n2.raw(), c2, &mut self.pool);
+            }
+        }
+    }
+
+    /// Drains dirty frontiers: one pass per frontier applies every edge
+    /// class to all its set bits (the SpMV step), routing results into
+    /// per-context target rows.
+    fn pts_sweep(
+        &mut self,
+        rows: &mut RowTable,
+        pts_rows: &mut FxHashMap<CtxId, ChunkedBitset>,
+        pending: &mut Vec<IState>,
+    ) -> Result<(), Halt> {
+        let ctx_sens = self.cfg.context_sensitive;
+        let pag = self.pag;
+        while let Some(ri) = rows.pop_dirty() {
+            let frontier = std::mem::take(&mut rows.frontier[ri]);
+            let cx = rows.ctx_of[ri];
+            for xr in frontier.iter() {
+                self.work += 1;
+                if self.work > self.cfg.budget {
+                    return Err(Halt);
+                }
+                let x = NodeId::new(xr);
+                for e in pag.incoming_kind(x, EdgeClass::New) {
+                    pts_rows
+                        .entry(cx)
+                        .or_insert_with(|| self.pool.pop().unwrap_or_default())
+                        .insert(e.src.raw());
+                }
+                for e in pag.incoming_kind(x, EdgeClass::AssignLocal) {
+                    rows.insert(e.src.raw(), cx, &mut self.pool);
+                }
+                for e in pag.incoming_kind(x, EdgeClass::AssignGlobal) {
+                    let c2 = if ctx_sens { CtxId::EMPTY } else { cx };
+                    rows.insert(e.src.raw(), c2, &mut self.pool);
+                }
+                for e in pag.incoming_kind(x, EdgeClass::Param) {
+                    let i = e.kind.call_site().expect("param edge");
+                    let c2 = if !ctx_sens || cx.is_empty() {
+                        cx
+                    } else if self.ctxs.top(cx) == Some(i.raw()) {
+                        self.ctxs.parent(cx)
+                    } else {
+                        continue;
+                    };
+                    rows.insert(e.src.raw(), c2, &mut self.pool);
+                }
+                for e in pag.incoming_kind(x, EdgeClass::Ret) {
+                    let i = e.kind.call_site().expect("ret edge");
+                    let c2 = if ctx_sens {
+                        self.ctxs.intern(cx, i.raw())
+                    } else {
+                        cx
+                    };
+                    rows.insert(e.src.raw(), c2, &mut self.pool);
+                }
+                if !pag.incoming_kind(x, EdgeClass::Load).is_empty() {
+                    pending.push((x, cx));
+                }
+            }
+            let mut frontier = frontier;
+            frontier.clear();
+            self.pool.push(frontier);
+        }
+        Ok(())
+    }
+
+    // ----- FLOWSTO closure -----
+
+    fn flows_set(&mut self, o: NodeId, c: CtxId) -> Result<Arc<Vec<IState>>, Halt> {
+        let key = (o, c);
+        if let Some(r) = self.memo_flows.get(&key) {
+            return Ok(Arc::clone(r));
+        }
+        self.enter()?;
+        if !self.on_stack_flows.insert(key) {
+            return Err(Halt);
+        }
+        let out = self.flows_closure(o, c)?;
+        self.on_stack_flows.remove(&key);
+        self.depth -= 1;
+        let out = Arc::new(out);
+        self.memo_flows.insert(key, Arc::clone(&out));
+        Ok(out)
+    }
+
+    fn flows_closure(&mut self, o: NodeId, c: CtxId) -> Result<Vec<IState>, Halt> {
+        let mut rows = RowTable::default();
+        let mut pending: Vec<IState> = Vec::new();
+        rows.insert(o.raw(), c, &mut self.pool);
+        let r = self.flows_fixpoint(&mut rows, &mut pending);
+        let mut reached: Vec<IState> = Vec::new();
+        if r.is_ok() {
+            let pag = self.pag;
+            for ri in 0..rows.ctx_of.len() {
+                let cx = rows.ctx_of[ri];
+                reached.extend(
+                    rows.visited[ri]
+                        .iter()
+                        .map(NodeId::new)
+                        .filter(|&n| pag.kind(n).is_variable())
+                        .map(|n| (n, cx)),
+                );
+            }
+        }
+        rows.release(&mut self.pool);
+        r?;
+        self.sort_canonical(&mut reached);
+        Ok(reached)
+    }
+
+    fn flows_fixpoint(
+        &mut self,
+        rows: &mut RowTable,
+        pending: &mut Vec<IState>,
+    ) -> Result<(), Halt> {
+        loop {
+            self.flows_sweep(rows, pending)?;
+            let Some((y, cy)) = pending.pop() else {
+                return Ok(());
+            };
+            let rch = self.rch_set(y, cy, Dir::Fwd)?;
+            for &(n2, c2) in rch.iter() {
+                rows.insert(n2.raw(), c2, &mut self.pool);
+            }
+        }
+    }
+
+    /// The forward dual of [`MatrixSolver::pts_sweep`]: outgoing per-kind
+    /// slices, `param` pushes and `ret` pops, stores trigger aliasing.
+    fn flows_sweep(&mut self, rows: &mut RowTable, pending: &mut Vec<IState>) -> Result<(), Halt> {
+        let ctx_sens = self.cfg.context_sensitive;
+        let pag = self.pag;
+        while let Some(ri) = rows.pop_dirty() {
+            let frontier = std::mem::take(&mut rows.frontier[ri]);
+            let cn = rows.ctx_of[ri];
+            for nr in frontier.iter() {
+                self.work += 1;
+                if self.work > self.cfg.budget {
+                    return Err(Halt);
+                }
+                let n = NodeId::new(nr);
+                for e in pag.outgoing_kind(n, EdgeClass::New) {
+                    rows.insert(e.dst.raw(), cn, &mut self.pool);
+                }
+                for e in pag.outgoing_kind(n, EdgeClass::AssignLocal) {
+                    rows.insert(e.dst.raw(), cn, &mut self.pool);
+                }
+                for e in pag.outgoing_kind(n, EdgeClass::AssignGlobal) {
+                    let c2 = if ctx_sens { CtxId::EMPTY } else { cn };
+                    rows.insert(e.dst.raw(), c2, &mut self.pool);
+                }
+                for e in pag.outgoing_kind(n, EdgeClass::Param) {
+                    let i = e.kind.call_site().expect("param edge");
+                    let c2 = if ctx_sens {
+                        self.ctxs.intern(cn, i.raw())
+                    } else {
+                        cn
+                    };
+                    rows.insert(e.dst.raw(), c2, &mut self.pool);
+                }
+                for e in pag.outgoing_kind(n, EdgeClass::Ret) {
+                    let i = e.kind.call_site().expect("ret edge");
+                    let c2 = if !ctx_sens || cn.is_empty() {
+                        cn
+                    } else if self.ctxs.top(cn) == Some(i.raw()) {
+                        self.ctxs.parent(cn)
+                    } else {
+                        continue;
+                    };
+                    rows.insert(e.dst.raw(), c2, &mut self.pool);
+                }
+                if !pag.outgoing_kind(n, EdgeClass::Store).is_empty() {
+                    pending.push((n, cn));
+                }
+            }
+            let mut frontier = frontier;
+            frontier.clear();
+            self.pool.push(frontier);
+        }
+        Ok(())
+    }
+
+    // ----- REACHABLENODES -----
+
+    fn rch_set(&mut self, x: NodeId, c: CtxId, dir: Dir) -> Result<Arc<Vec<IState>>, Halt> {
+        let key = (dir, x, c);
+        if let Some(r) = self.memo_rch.get(&key) {
+            return Ok(Arc::clone(r));
+        }
+        self.enter()?;
+        if !self.on_stack_rch.insert(key) {
+            return Err(Halt);
+        }
+        let out = match dir {
+            Dir::Bwd => self.rch_bwd(x, c)?,
+            Dir::Fwd => self.rch_fwd(x, c)?,
+        };
+        self.on_stack_rch.remove(&key);
+        self.depth -= 1;
+        let out = Arc::new(out);
+        self.memo_rch.insert(key, Arc::clone(&out));
+        Ok(out)
+    }
+
+    /// Backward alias step, identical to the demand solver's: for each
+    /// incoming load on field `f`, `alias = ∪ FlowsTo(o, c')` over
+    /// `PointsTo(p, c)`, matched against the stores of `f`.
+    fn rch_bwd(&mut self, x: NodeId, c: CtxId) -> Result<Vec<IState>, Halt> {
+        let pag = self.pag;
+        let mut out: FxHashSet<IState> = FxHashSet::default();
+        for e in pag.incoming_kind(x, EdgeClass::Load) {
+            let (p, f) = (e.src, e.kind.field().expect("load edge"));
+            if pag.stores_of(f).is_empty() {
+                continue;
+            }
+            let mut alias: FxHashMap<u32, FxHashSet<CtxId>> = FxHashMap::default();
+            let pts = self.pts_set(p, c)?;
+            for &(o, c0) in pts.iter() {
+                let ft = self.flows_set(o, c0)?;
+                for &(q2, c2) in ft.iter() {
+                    alias.entry(q2.raw()).or_default().insert(c2);
+                }
+            }
+            for &(q, y) in pag.stores_of(f) {
+                if let Some(cs) = alias.get(&q.raw()) {
+                    out.extend(cs.iter().map(|&c2| (y, c2)));
+                }
+            }
+        }
+        let mut v: Vec<IState> = out.into_iter().collect();
+        self.sort_canonical(&mut v);
+        Ok(v)
+    }
+
+    /// Forward dual: outgoing stores matched against the loads of `f`.
+    fn rch_fwd(&mut self, y: NodeId, c: CtxId) -> Result<Vec<IState>, Halt> {
+        let pag = self.pag;
+        let mut out: FxHashSet<IState> = FxHashSet::default();
+        for e in pag.outgoing_kind(y, EdgeClass::Store) {
+            let (q, f) = (e.dst, e.kind.field().expect("store edge"));
+            if pag.loads_of(f).is_empty() {
+                continue;
+            }
+            let mut alias: FxHashMap<u32, FxHashSet<CtxId>> = FxHashMap::default();
+            let pts = self.pts_set(q, c)?;
+            for &(o, c0) in pts.iter() {
+                let ft = self.flows_set(o, c0)?;
+                for &(p2, c2) in ft.iter() {
+                    alias.entry(p2.raw()).or_default().insert(c2);
+                }
+            }
+            for &(p, x) in pag.loads_of(f) {
+                if let Some(cs) = alias.get(&p.raw()) {
+                    out.extend(cs.iter().map(|&c2| (x, c2)));
+                }
+            }
+        }
+        let mut v: Vec<IState> = out.into_iter().collect();
+        self.sort_canonical(&mut v);
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jmp::NoJmpStore;
+    use crate::solver::Solver;
+    use parcfl_frontend::build_pag;
+
+    fn demand_vs_matrix(src: &str) {
+        let pag = build_pag(src).unwrap().pag;
+        let cfg = SolverConfig::default();
+        let store = NoJmpStore;
+        let demand = Solver::new(&pag, &cfg, &store);
+        let mut matrix = MatrixSolver::new(&pag, &cfg);
+        for n in pag.node_ids() {
+            if !pag.kind(n).is_variable() {
+                continue;
+            }
+            let d = demand.points_to_query(n, 0);
+            let m = matrix.points_to_query(n);
+            assert_eq!(d.answer, m.answer, "query {n:?}");
+        }
+    }
+
+    #[test]
+    fn matrix_matches_demand_on_assignments() {
+        demand_vs_matrix(
+            "class Obj { }
+             class A { method m() {
+               var a: Obj; var b: Obj; var c: Obj;
+               a = new Obj; b = a; c = b;
+             } }",
+        );
+    }
+
+    #[test]
+    fn matrix_matches_demand_across_fields_and_calls() {
+        demand_vs_matrix(
+            "class Obj { }
+             class Box { field f: Obj;
+               method set(v: Obj) { this.f = v; }
+               method get(): Obj { var r: Obj; r = this.f; return r; }
+             }
+             class A { method m() {
+               var b: Box; var x: Obj; var y: Obj;
+               b = new Box; x = new Obj;
+               call b.set(x);
+               y = call b.get();
+             } }",
+        );
+    }
+
+    #[test]
+    fn matrix_respects_budget() {
+        let src = "class Obj { }
+                   class A { method m() {
+                     var a: Obj; var b: Obj;
+                     a = new Obj; b = a;
+                   } }";
+        let pag = build_pag(src).unwrap().pag;
+        let cfg = SolverConfig::default().with_budget(1);
+        let mut matrix = MatrixSolver::new(&pag, &cfg);
+        let b = pag.node_by_name("b@A.m").unwrap();
+        let out = matrix.points_to_query(b);
+        assert_eq!(out.answer, Answer::OutOfBudget);
+        assert!(out.stats.out_of_budget);
+    }
+
+    #[test]
+    fn batch_memo_amortises_shared_flow() {
+        let src = "class Obj { }
+                   class Box { field f: Obj;
+                     method set(v: Obj) { this.f = v; }
+                     method get(): Obj { var r: Obj; r = this.f; return r; }
+                   }
+                   class A { method m() {
+                     var b: Box; var x: Obj; var y: Obj; var z: Obj;
+                     b = new Box; x = new Obj;
+                     call b.set(x);
+                     y = call b.get(); z = call b.get();
+                   } }";
+        let pag = build_pag(src).unwrap().pag;
+        let cfg = SolverConfig::default();
+        let mut matrix = MatrixSolver::new(&pag, &cfg);
+        let y = pag.node_by_name("y@A.m").unwrap();
+        let z = pag.node_by_name("z@A.m").unwrap();
+        let first = matrix.points_to_query(y);
+        let second = matrix.points_to_query(z);
+        assert!(first.answer.complete().is_some());
+        assert!(second.answer.complete().is_some());
+        assert!(
+            second.stats.traversed_steps < first.stats.traversed_steps,
+            "second query rides the batch memo ({} vs {})",
+            second.stats.traversed_steps,
+            first.stats.traversed_steps
+        );
+    }
+}

@@ -41,14 +41,16 @@
 //! and with it every charged/traversed step count, identical to a
 //! Vec-backed run.
 
-use crate::config::SolverConfig;
+use crate::config::{SolverConfig, StateBackend};
 use crate::context::Ctx;
 use crate::jmp::{Dir, JmpEntry, JmpStore, RchSet};
 use crate::stats::{Answer, QueryOutput, QueryStats};
 use crate::witness::{Trace, Via};
-use parcfl_concurrent::{CtxId, CtxInterner, FxHashMap, FxHashSet};
+use parcfl_concurrent::{
+    CtxId, CtxInterner, DenseVisitSet, FxHashMap, FxHashSet, HashVisitSet, StateSet,
+};
 use parcfl_obs::{EventKind, TraceRecorder};
-use parcfl_pag::{EdgeKind, NodeId, Pag};
+use parcfl_pag::{EdgeClass, NodeId, Pag};
 use std::sync::Arc;
 
 /// A `(node, context)` pair in materialised form — the representation of
@@ -121,7 +123,21 @@ impl<'a> Solver<'a> {
     /// answer. Tracing covers the top-level traversal; heap hops appear as
     /// single `alias` steps.
     pub fn traced_points_to_query(&self, l: NodeId, vtime_base: u64) -> (QueryOutput, Trace) {
-        let mut q = QueryState::new(self.pag, self.cfg, self.jmp, &self.interner, vtime_base);
+        match self.cfg.state {
+            StateBackend::Hash => self.traced_with::<HashVisitSet>(l, vtime_base),
+            StateBackend::Dense => self.traced_with::<DenseVisitSet>(l, vtime_base),
+        }
+    }
+
+    fn traced_with<S: StateSet>(&self, l: NodeId, vtime_base: u64) -> (QueryOutput, Trace) {
+        assert!(
+            (l.raw() as usize) < self.pag.node_count(),
+            "query node {} outside PAG universe of {} nodes",
+            l.raw(),
+            self.pag.node_count()
+        );
+        let mut q: QueryState<'_, S> =
+            QueryState::new(self.pag, self.cfg, self.jmp, &self.interner, vtime_base);
         q.rec = self.rec;
         q.trace = Some(Trace::default());
         if let Some(t) = q.trace.as_mut() {
@@ -134,7 +150,27 @@ impl<'a> Solver<'a> {
     }
 
     fn run(&self, start: NodeId, vtime_base: u64, dir: Dir) -> QueryOutput {
-        let mut q = QueryState::new(self.pag, self.cfg, self.jmp, &self.interner, vtime_base);
+        // The state backend is a monomorphisation switch, not a branch in
+        // the hot loop: each backend gets its own fully-specialised
+        // traversal code. Both produce bit-identical outputs.
+        match self.cfg.state {
+            StateBackend::Hash => self.run_with::<HashVisitSet>(start, vtime_base, dir),
+            StateBackend::Dense => self.run_with::<DenseVisitSet>(start, vtime_base, dir),
+        }
+    }
+
+    fn run_with<S: StateSet>(&self, start: NodeId, vtime_base: u64, dir: Dir) -> QueryOutput {
+        // Reject out-of-universe ids before the dense table sizes itself by
+        // the raw node id; the hash backend would only trip on the first
+        // CSR lookup, after already seeding state.
+        assert!(
+            (start.raw() as usize) < self.pag.node_count(),
+            "query node {} outside PAG universe of {} nodes",
+            start.raw(),
+            self.pag.node_count()
+        );
+        let mut q: QueryState<'_, S> =
+            QueryState::new(self.pag, self.cfg, self.jmp, &self.interner, vtime_base);
         q.rec = self.rec;
         let result = match dir {
             Dir::Bwd => q.points_to(start, CtxId::EMPTY),
@@ -148,24 +184,15 @@ impl<'a> Solver<'a> {
 #[derive(Debug)]
 struct Oob;
 
-/// Visited-state set keyed `node → interned contexts`. With hash-consed
-/// contexts an insert is a pure integer-set operation — no allocation on
-/// either the hit or the miss path.
-#[derive(Default)]
-struct VisitSet {
-    map: FxHashMap<NodeId, FxHashSet<CtxId>>,
-}
-
-impl VisitSet {
-    /// Records `(n, c)`; returns `true` iff the state was new.
-    #[inline]
-    fn insert(&mut self, n: NodeId, c: CtxId) -> bool {
-        self.map.entry(n).or_default().insert(c)
-    }
-}
-
 /// Query-local mutable state shared by every nested traversal.
-struct QueryState<'a> {
+///
+/// Generic over the visited-state table `S` (hash or chunked-bitset, see
+/// [`StateBackend`]): the solver is monomorphised per backend, so insert
+/// sites compile down to the chosen representation with no dynamic
+/// dispatch. Tables are pooled ([`QueryState::acquire`]) — nested
+/// traversals reuse allocations instead of rebuilding them, which is what
+/// makes the dense backend's lazily-chunked rows pay off.
+struct QueryState<'a, S: StateSet> {
     pag: &'a Pag,
     cfg: &'a SolverConfig,
     jmp: &'a dyn JmpStore,
@@ -197,9 +224,13 @@ struct QueryState<'a> {
     trace: Option<Trace>,
     /// Event sink for hot-path instants (see [`Solver::with_recorder`]).
     rec: Option<&'a TraceRecorder>,
+    /// Pool of visited-state tables reused across nested traversals.
+    /// At `finalize` every table is back in the pool, so summing their
+    /// footprints gives the query's peak state memory.
+    pool: Vec<S>,
 }
 
-impl<'a> QueryState<'a> {
+impl<'a, S: StateSet> QueryState<'a, S> {
     fn new(
         pag: &'a Pag,
         cfg: &'a SolverConfig,
@@ -226,7 +257,23 @@ impl<'a> QueryState<'a> {
             stats: QueryStats::default(),
             trace: None,
             rec: None,
+            pool: Vec::new(),
         }
+    }
+
+    /// Takes a (reset) visited-state table from the pool, or creates one.
+    #[inline]
+    fn acquire(&mut self) -> S {
+        self.pool.pop().unwrap_or_default()
+    }
+
+    /// Returns a table to the pool. Reset happens here (dense tables reset
+    /// in O(1) via an epoch bump) so `acquire` hands out ready-to-use
+    /// tables.
+    #[inline]
+    fn release(&mut self, mut set: S) {
+        set.reset();
+        self.pool.push(set);
     }
 
     /// Records a hot-path instant event, timestamped at the query's
@@ -278,6 +325,12 @@ impl<'a> QueryState<'a> {
         };
         self.stats.charged_steps = self.steps;
         self.stats.traversed_steps = self.work;
+        // Every traversal returns its tables to the pool (release happens
+        // before `?` propagation), so the pool holds the query's full state
+        // footprint here. Dense tables report allocated bitset words
+        // exactly; hash tables report a per-entry estimate — see
+        // `StateSet::approx_words`.
+        self.stats.state_words = self.pool.iter().map(S::approx_words).sum();
         self.stats.mem_items = self.work
             + self.memo_pts.values().map(|v| v.len() as u64).sum::<u64>()
             + self
@@ -285,7 +338,8 @@ impl<'a> QueryState<'a> {
                 .values()
                 .map(|v| v.len() as u64)
                 .sum::<u64>()
-            + self.memo_rch.values().map(|v| v.len() as u64).sum::<u64>();
+            + self.memo_rch.values().map(|v| v.len() as u64).sum::<u64>()
+            + self.stats.state_words;
         QueryOutput {
             answer,
             stats: self.stats,
@@ -388,85 +442,98 @@ impl<'a> QueryState<'a> {
     }
 
     fn points_to_inner(&mut self, l: NodeId, c: CtxId) -> Result<Vec<IState>, Oob> {
+        let mut pts_seen = self.acquire();
+        let mut visited = self.acquire();
+        let mut pts: Vec<IState> = Vec::new();
+        let r = self.points_to_loop(l, c, &mut pts_seen, &mut visited, &mut pts);
+        self.release(pts_seen);
+        self.release(visited);
+        r?;
+        self.sort_canonical(&mut pts);
+        Ok(pts)
+    }
+
+    /// The `PointsTo` work loop, dispatching per kind-class sub-slice: one
+    /// tight loop per edge class instead of a per-edge `match`. Class order
+    /// (new, assign_l, assign_g, param, ret) follows the CSR's kind-major
+    /// layout, so pushes happen in storage order.
+    fn points_to_loop(
+        &mut self,
+        l: NodeId,
+        c: CtxId,
+        pts_seen: &mut S,
+        visited: &mut S,
+        pts: &mut Vec<IState>,
+    ) -> Result<(), Oob> {
         let ctx_sens = self.cfg.context_sensitive;
         let ctxs = self.ctxs;
-        let mut pts_seen = VisitSet::default();
-        let mut pts: Vec<IState> = Vec::new();
-        let mut visited = VisitSet::default();
+        let pag = self.pag;
         let mut w: Vec<IState> = Vec::new();
-        visited.insert(l, c);
+        visited.insert(l.raw(), c);
         w.push((l, c));
 
         // Tracing is recorded for the outermost traversal only.
         let tracing = self.depth == 1 && self.trace.is_some();
         while let Some((x, cx)) = w.pop() {
             self.tick()?;
-            let mut has_load = false;
-            for e in self.pag.incoming(x) {
-                let step: Option<IState> = match e.kind {
-                    EdgeKind::New => {
-                        if pts_seen.insert(e.src, cx) {
-                            pts.push((e.src, cx));
-                            if tracing {
-                                let mc = Ctx::materialize(ctxs, cx);
-                                if let Some(t) = self.trace.as_mut() {
-                                    t.object_from
-                                        .entry((e.src, mc.clone()))
-                                        .or_insert_with(|| (x, mc));
-                                }
-                            }
+            for e in pag.incoming_kind(x, EdgeClass::New) {
+                if pts_seen.insert(e.src.raw(), cx) {
+                    pts.push((e.src, cx));
+                    if tracing {
+                        let mc = Ctx::materialize(ctxs, cx);
+                        if let Some(t) = self.trace.as_mut() {
+                            t.object_from
+                                .entry((e.src, mc.clone()))
+                                .or_insert_with(|| (x, mc));
                         }
-                        None
-                    }
-                    EdgeKind::AssignLocal => Some((e.src, cx)),
-                    EdgeKind::AssignGlobal => {
-                        if ctx_sens {
-                            Some((e.src, CtxId::EMPTY))
-                        } else {
-                            Some((e.src, cx))
-                        }
-                    }
-                    EdgeKind::Param(i) => {
-                        if !ctx_sens || cx.is_empty() {
-                            Some((e.src, cx))
-                        } else if ctxs.top(cx) == Some(i.raw()) {
-                            Some((e.src, ctxs.parent(cx)))
-                        } else {
-                            None
-                        }
-                    }
-                    EdgeKind::Ret(i) => {
-                        if ctx_sens {
-                            Some((e.src, ctxs.intern(cx, i.raw())))
-                        } else {
-                            Some((e.src, cx))
-                        }
-                    }
-                    EdgeKind::Load(_) => {
-                        has_load = true;
-                        None
-                    }
-                    // A store into `x.f` does not flow into `x` itself.
-                    EdgeKind::Store(_) => None,
-                };
-                if let Some((n2, c2)) = step {
-                    if visited.insert(n2, c2) {
-                        if tracing {
-                            let label = e.kind.label();
-                            let parent_key = (n2, Ctx::materialize(ctxs, c2));
-                            let from = (x, Ctx::materialize(ctxs, cx));
-                            if let Some(t) = self.trace.as_mut() {
-                                t.parent.insert(parent_key, (from, Via::Edge(label)));
-                            }
-                        }
-                        w.push((n2, c2));
                     }
                 }
             }
-            if has_load {
+            for e in pag.incoming_kind(x, EdgeClass::AssignLocal) {
+                if visited.insert(e.src.raw(), cx) {
+                    self.trace_edge(tracing, e, (e.src, cx), (x, cx));
+                    w.push((e.src, cx));
+                }
+            }
+            for e in pag.incoming_kind(x, EdgeClass::AssignGlobal) {
+                let c2 = if ctx_sens { CtxId::EMPTY } else { cx };
+                if visited.insert(e.src.raw(), c2) {
+                    self.trace_edge(tracing, e, (e.src, c2), (x, cx));
+                    w.push((e.src, c2));
+                }
+            }
+            for e in pag.incoming_kind(x, EdgeClass::Param) {
+                let i = e.kind.call_site().expect("param edge");
+                let c2 = if !ctx_sens || cx.is_empty() {
+                    cx
+                } else if ctxs.top(cx) == Some(i.raw()) {
+                    ctxs.parent(cx)
+                } else {
+                    continue;
+                };
+                if visited.insert(e.src.raw(), c2) {
+                    self.trace_edge(tracing, e, (e.src, c2), (x, cx));
+                    w.push((e.src, c2));
+                }
+            }
+            for e in pag.incoming_kind(x, EdgeClass::Ret) {
+                let i = e.kind.call_site().expect("ret edge");
+                let c2 = if ctx_sens {
+                    ctxs.intern(cx, i.raw())
+                } else {
+                    cx
+                };
+                if visited.insert(e.src.raw(), c2) {
+                    self.trace_edge(tracing, e, (e.src, c2), (x, cx));
+                    w.push((e.src, c2));
+                }
+            }
+            // A store into `x.f` does not flow into `x` itself: the Store
+            // sub-slice is skipped entirely. Loads trigger the alias step.
+            if !pag.incoming_kind(x, EdgeClass::Load).is_empty() {
                 let rch = self.reachable_nodes(x, cx, Dir::Bwd)?;
                 for &(n2, c2) in rch.iter() {
-                    if visited.insert(n2, c2) {
+                    if visited.insert(n2.raw(), c2) {
                         if tracing {
                             let parent_key = (n2, Ctx::materialize(ctxs, c2));
                             let from = (x, Ctx::materialize(ctxs, cx));
@@ -479,8 +546,20 @@ impl<'a> QueryState<'a> {
                 }
             }
         }
-        self.sort_canonical(&mut pts);
-        Ok(pts)
+        Ok(())
+    }
+
+    /// Records a discovery-forest edge when tracing is on (cold path:
+    /// tracing only covers the top-level traversal of traced queries).
+    fn trace_edge(&mut self, tracing: bool, e: &parcfl_pag::Edge, to: IState, from: IState) {
+        if tracing {
+            let label = e.kind.label();
+            let parent_key = (to.0, Ctx::materialize(self.ctxs, to.1));
+            let from = (from.0, Ctx::materialize(self.ctxs, from.1));
+            if let Some(t) = self.trace.as_mut() {
+                t.parent.insert(parent_key, (from, Via::Edge(label)));
+            }
+        }
     }
 
     // ----- FLOWSTO -----
@@ -509,73 +588,92 @@ impl<'a> QueryState<'a> {
     }
 
     fn flows_to_inner(&mut self, o: NodeId, c: CtxId) -> Result<Vec<IState>, Oob> {
-        let ctx_sens = self.cfg.context_sensitive;
-        let ctxs = self.ctxs;
+        let mut visited = self.acquire();
         // Every state is popped exactly once (pushes are gated by the
         // visited set), so reached variables can be collected in a Vec.
         let mut reached: Vec<IState> = Vec::new();
-        let mut visited = VisitSet::default();
+        let r = self.flows_to_loop(o, c, &mut visited, &mut reached);
+        self.release(visited);
+        r?;
+        self.sort_canonical(&mut reached);
+        reached.dedup();
+        Ok(reached)
+    }
+
+    /// The `FlowsTo` work loop — the forward dual of
+    /// [`QueryState::points_to_loop`], again one tight loop per kind-class
+    /// sub-slice in storage order.
+    fn flows_to_loop(
+        &mut self,
+        o: NodeId,
+        c: CtxId,
+        visited: &mut S,
+        reached: &mut Vec<IState>,
+    ) -> Result<(), Oob> {
+        let ctx_sens = self.cfg.context_sensitive;
+        let ctxs = self.ctxs;
+        let pag = self.pag;
         let mut w: Vec<IState> = Vec::new();
-        visited.insert(o, c);
+        visited.insert(o.raw(), c);
         w.push((o, c));
 
         while let Some((n, cn)) = w.pop() {
             self.tick()?;
-            if self.pag.kind(n).is_variable() {
+            if pag.kind(n).is_variable() {
                 reached.push((n, cn));
             }
-            let mut has_store = false;
-            for e in self.pag.outgoing(n) {
-                let step: Option<IState> = match e.kind {
-                    EdgeKind::New | EdgeKind::AssignLocal => Some((e.dst, cn)),
-                    EdgeKind::AssignGlobal => {
-                        if ctx_sens {
-                            Some((e.dst, CtxId::EMPTY))
-                        } else {
-                            Some((e.dst, cn))
-                        }
-                    }
-                    EdgeKind::Param(i) => {
-                        if ctx_sens {
-                            Some((e.dst, ctxs.intern(cn, i.raw())))
-                        } else {
-                            Some((e.dst, cn))
-                        }
-                    }
-                    EdgeKind::Ret(i) => {
-                        if !ctx_sens || cn.is_empty() {
-                            Some((e.dst, cn))
-                        } else if ctxs.top(cn) == Some(i.raw()) {
-                            Some((e.dst, ctxs.parent(cn)))
-                        } else {
-                            None
-                        }
-                    }
-                    EdgeKind::Store(_) => {
-                        has_store = true;
-                        None
-                    }
-                    // A load `y = n.f` does not receive `n` itself.
-                    EdgeKind::Load(_) => None,
-                };
-                if let Some((n2, c2)) = step {
-                    if visited.insert(n2, c2) {
-                        w.push((n2, c2));
-                    }
+            for e in pag.outgoing_kind(n, EdgeClass::New) {
+                if visited.insert(e.dst.raw(), cn) {
+                    w.push((e.dst, cn));
                 }
             }
-            if has_store {
+            for e in pag.outgoing_kind(n, EdgeClass::AssignLocal) {
+                if visited.insert(e.dst.raw(), cn) {
+                    w.push((e.dst, cn));
+                }
+            }
+            for e in pag.outgoing_kind(n, EdgeClass::AssignGlobal) {
+                let c2 = if ctx_sens { CtxId::EMPTY } else { cn };
+                if visited.insert(e.dst.raw(), c2) {
+                    w.push((e.dst, c2));
+                }
+            }
+            for e in pag.outgoing_kind(n, EdgeClass::Param) {
+                let i = e.kind.call_site().expect("param edge");
+                let c2 = if ctx_sens {
+                    ctxs.intern(cn, i.raw())
+                } else {
+                    cn
+                };
+                if visited.insert(e.dst.raw(), c2) {
+                    w.push((e.dst, c2));
+                }
+            }
+            for e in pag.outgoing_kind(n, EdgeClass::Ret) {
+                let i = e.kind.call_site().expect("ret edge");
+                let c2 = if !ctx_sens || cn.is_empty() {
+                    cn
+                } else if ctxs.top(cn) == Some(i.raw()) {
+                    ctxs.parent(cn)
+                } else {
+                    continue;
+                };
+                if visited.insert(e.dst.raw(), c2) {
+                    w.push((e.dst, c2));
+                }
+            }
+            // A load `y = n.f` does not receive `n` itself: the Load
+            // sub-slice is skipped. Stores trigger the alias step.
+            if !pag.outgoing_kind(n, EdgeClass::Store).is_empty() {
                 let rch = self.reachable_nodes(n, cn, Dir::Fwd)?;
                 for &(n2, c2) in rch.iter() {
-                    if visited.insert(n2, c2) {
+                    if visited.insert(n2.raw(), c2) {
                         w.push((n2, c2));
                     }
                 }
             }
         }
-        self.sort_canonical(&mut reached);
-        reached.dedup();
-        Ok(reached)
+        Ok(())
     }
 
     // ----- REACHABLENODES (Algorithm 2) -----
@@ -677,79 +775,90 @@ impl<'a> QueryState<'a> {
     /// Backward: `x` has incoming loads `x ←ld(f)− p`; for every store
     /// `q ←st(f)− y` with `p alias q`, `(y, c'')` is reachable.
     fn reachable_inner_bwd(&mut self, x: NodeId, c: CtxId) -> Result<Vec<IState>, Oob> {
+        let mut alias = self.acquire();
         let mut out: FxHashSet<IState> = FxHashSet::default();
-        let loads: Vec<(NodeId, parcfl_pag::FieldId)> = self
-            .pag
-            .incoming(x)
-            .iter()
-            .filter_map(|e| match e.kind {
-                EdgeKind::Load(f) => Some((e.src, f)),
-                _ => None,
-            })
-            .collect();
-        for (p, f) in loads {
-            if self.pag.stores_of(f).is_empty() {
+        let r = self.reachable_bwd_loop(x, c, &mut alias, &mut out);
+        self.release(alias);
+        r?;
+        let mut v: Vec<IState> = out.into_iter().collect();
+        self.sort_canonical(&mut v);
+        Ok(v)
+    }
+
+    fn reachable_bwd_loop(
+        &mut self,
+        x: NodeId,
+        c: CtxId,
+        alias: &mut S,
+        out: &mut FxHashSet<IState>,
+    ) -> Result<(), Oob> {
+        let pag = self.pag;
+        for e in pag.incoming_kind(x, EdgeClass::Load) {
+            let (p, f) = (e.src, e.kind.field().expect("load edge"));
+            if pag.stores_of(f).is_empty() {
                 continue;
             }
             // alias = ∪ FlowsTo(o, c') for (o, c') ∈ PointsTo(p, c).
             // Contexts per node are a set: interned ids dedup the repeats
             // that distinct objects with overlapping flows-to sets produce,
             // so the store/load match loop below never re-inserts.
-            let mut alias: FxHashMap<NodeId, FxHashSet<CtxId>> = FxHashMap::default();
+            alias.reset();
             let pts = self.points_to(p, c)?;
             for &(o, c0) in pts.iter() {
                 let ft = self.flows_to(o, c0)?;
                 for &(q2, c2) in ft.iter() {
-                    alias.entry(q2).or_default().insert(c2);
+                    alias.insert(q2.raw(), c2);
                 }
             }
-            for &(q, y) in self.pag.stores_of(f) {
-                if let Some(ctxs) = alias.get(&q) {
-                    for &c2 in ctxs {
-                        out.insert((y, c2));
-                    }
-                }
+            for &(q, y) in pag.stores_of(f) {
+                alias.for_ctxs(q.raw(), |c2| {
+                    out.insert((y, c2));
+                });
             }
         }
-        let mut v: Vec<IState> = out.into_iter().collect();
-        self.sort_canonical(&mut v);
-        Ok(v)
+        Ok(())
     }
 
     /// Forward dual: `y` has outgoing stores `q ←st(f)− y`; for every load
     /// `x ←ld(f)− p` with `q alias p`, `(x, c'')` is reachable.
     fn reachable_inner_fwd(&mut self, y: NodeId, c: CtxId) -> Result<Vec<IState>, Oob> {
+        let mut alias = self.acquire();
         let mut out: FxHashSet<IState> = FxHashSet::default();
-        let stores: Vec<(NodeId, parcfl_pag::FieldId)> = self
-            .pag
-            .outgoing(y)
-            .filter_map(|e| match e.kind {
-                EdgeKind::Store(f) => Some((e.dst, f)),
-                _ => None,
-            })
-            .collect();
-        for (q, f) in stores {
-            if self.pag.loads_of(f).is_empty() {
+        let r = self.reachable_fwd_loop(y, c, &mut alias, &mut out);
+        self.release(alias);
+        r?;
+        let mut v: Vec<IState> = out.into_iter().collect();
+        self.sort_canonical(&mut v);
+        Ok(v)
+    }
+
+    fn reachable_fwd_loop(
+        &mut self,
+        y: NodeId,
+        c: CtxId,
+        alias: &mut S,
+        out: &mut FxHashSet<IState>,
+    ) -> Result<(), Oob> {
+        let pag = self.pag;
+        for e in pag.outgoing_kind(y, EdgeClass::Store) {
+            let (q, f) = (e.dst, e.kind.field().expect("store edge"));
+            if pag.loads_of(f).is_empty() {
                 continue;
             }
-            let mut alias: FxHashMap<NodeId, FxHashSet<CtxId>> = FxHashMap::default();
+            alias.reset();
             let pts = self.points_to(q, c)?;
             for &(o, c0) in pts.iter() {
                 let ft = self.flows_to(o, c0)?;
                 for &(p2, c2) in ft.iter() {
-                    alias.entry(p2).or_default().insert(c2);
+                    alias.insert(p2.raw(), c2);
                 }
             }
-            for &(p, x) in self.pag.loads_of(f) {
-                if let Some(ctxs) = alias.get(&p) {
-                    for &c2 in ctxs {
-                        out.insert((x, c2));
-                    }
-                }
+            for &(p, x) in pag.loads_of(f) {
+                alias.for_ctxs(p.raw(), |c2| {
+                    out.insert((x, c2));
+                });
             }
         }
-        let mut v: Vec<IState> = out.into_iter().collect();
-        self.sort_canonical(&mut v);
-        Ok(v)
+        Ok(())
     }
 }

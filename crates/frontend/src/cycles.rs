@@ -146,6 +146,7 @@ mod tests {
         assert!(c
             .pag
             .outgoing(merged)
+            .iter()
             .any(|e| e.kind == EdgeKind::AssignLocal && e.dst == c.remap[z.index()]));
     }
 

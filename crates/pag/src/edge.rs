@@ -34,7 +34,47 @@ pub enum EdgeKind {
     Ret(CallSiteId),
 }
 
+/// The payload-free discriminant of an [`EdgeKind`] — the unit the frozen
+/// CSR groups each node's edge range by. Variants are ordered exactly as
+/// the canonical edge sort lays them out, so `class as usize` indexes the
+/// per-kind sub-range table directly.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum EdgeClass {
+    /// Allocation edges.
+    New = 0,
+    /// Local assignments.
+    AssignLocal = 1,
+    /// Global assignments.
+    AssignGlobal = 2,
+    /// Field loads (any field).
+    Load = 3,
+    /// Field stores (any field).
+    Store = 4,
+    /// Parameter passing (any call site).
+    Param = 5,
+    /// Return-value flow (any call site).
+    Ret = 6,
+}
+
+/// Number of [`EdgeClass`] variants (size of the per-node sub-range table).
+pub const EDGE_CLASSES: usize = 7;
+
 impl EdgeKind {
+    /// The payload-free class of this kind (see [`EdgeClass`]).
+    #[inline]
+    pub fn class(self) -> EdgeClass {
+        match self {
+            EdgeKind::New => EdgeClass::New,
+            EdgeKind::AssignLocal => EdgeClass::AssignLocal,
+            EdgeKind::AssignGlobal => EdgeClass::AssignGlobal,
+            EdgeKind::Load(_) => EdgeClass::Load,
+            EdgeKind::Store(_) => EdgeClass::Store,
+            EdgeKind::Param(_) => EdgeClass::Param,
+            EdgeKind::Ret(_) => EdgeClass::Ret,
+        }
+    }
+
     /// Whether the edge participates in the `direct` relation used for query
     /// grouping (paper grammar (5)): assignments, parameters and returns,
     /// but *not* loads/stores (no direct reachability between their ends)

@@ -7,7 +7,7 @@
 //! are added on the fly during the analysis and live in the solver's
 //! concurrent jmp store, which overlays this read-only graph.
 
-use crate::edge::{Edge, EdgeKind};
+use crate::edge::{Edge, EdgeClass, EdgeKind, EDGE_CLASSES};
 use crate::ids::{FieldId, MethodId, NodeId};
 use crate::node::{NodeInfo, NodeKind};
 use crate::types::TypeTable;
@@ -93,15 +93,25 @@ impl PagBuilder {
 
     /// Freezes the builder into an immutable [`Pag`], deduplicating edges
     /// and constructing the traversal indexes.
+    ///
+    /// Both edge arrays are laid out *kind-major* within each node's CSR
+    /// range: all `new` edges first, then `assign_l`, and so on in
+    /// [`EdgeClass`] order. The per-class boundaries are recorded in a flat
+    /// `n × EDGE_CLASSES` offset table so [`Pag::incoming_kind`] /
+    /// [`Pag::outgoing_kind`] are plain sub-slice reads and the solver's
+    /// dispatch loops never branch on `EdgeKind` per edge.
     pub fn freeze(mut self) -> Pag {
         let n = self.nodes.len();
 
         // Deduplicate edges: duplicate statements add nothing to
-        // reachability and only slow traversals down.
-        self.edges
-            .sort_unstable_by_key(|e| (e.dst, e.src, edge_sort_key(e.kind)));
+        // reachability and only slow traversals down. The sort is the
+        // canonical incoming order: dst-major, kind-class within a node,
+        // then (src, payload) within a class.
+        self.edges.sort_unstable_by_key(|e| {
+            let (class, detail) = edge_sort_key(e.kind);
+            (e.dst, class, e.src, detail)
+        });
         self.edges.dedup();
-        let m = self.edges.len();
 
         // Incoming CSR (edges sorted by dst already).
         let mut in_start = vec![0u32; n + 1];
@@ -112,22 +122,25 @@ impl PagBuilder {
             in_start[i] += in_start[i - 1];
         }
         // self.edges is the in-order edge array itself.
+        let in_kind = kind_offsets(&self.edges, &in_start, |e| e.dst);
 
-        // Outgoing CSR: indices into `edges`, sorted by src.
-        let mut out_deg = vec![0u32; n + 1];
-        for e in &self.edges {
-            out_deg[e.src.index() + 1] += 1;
+        // Outgoing CSR: a second, materialised edge array sorted src-major
+        // (kind-class, then (dst, payload) within a class), so `outgoing`
+        // is a direct slice too — no index indirection on the forward hot
+        // path.
+        let mut out_edges = self.edges.clone();
+        out_edges.sort_unstable_by_key(|e| {
+            let (class, detail) = edge_sort_key(e.kind);
+            (e.src, class, e.dst, detail)
+        });
+        let mut out_start = vec![0u32; n + 1];
+        for e in &out_edges {
+            out_start[e.src.index() + 1] += 1;
         }
         for i in 1..=n {
-            out_deg[i] += out_deg[i - 1];
+            out_start[i] += out_start[i - 1];
         }
-        let out_start = out_deg.clone();
-        let mut cursor = out_deg;
-        let mut out_edges = vec![0u32; m];
-        for (idx, e) in self.edges.iter().enumerate() {
-            out_edges[cursor[e.src.index()] as usize] = idx as u32;
-            cursor[e.src.index()] += 1;
-        }
+        let out_kind = kind_offsets(&out_edges, &out_start, |e| e.src);
 
         // Field indexes for the alias-matching step of ReachableNodes.
         let nf = self.types.field_count();
@@ -147,8 +160,10 @@ impl PagBuilder {
             nodes: self.nodes,
             edges: self.edges,
             in_start,
+            in_kind,
             out_start,
             out_edges,
+            out_kind,
             loads_by_field,
             stores_by_field,
             types: self.types,
@@ -158,7 +173,9 @@ impl PagBuilder {
     }
 }
 
-/// Total order over edge kinds used for deterministic dedup.
+/// Total order over edge kinds used for deterministic dedup. The leading
+/// byte is the [`EdgeClass`] discriminant, so class grouping and dedup
+/// order agree by construction.
 fn edge_sort_key(kind: EdgeKind) -> (u8, u32) {
     match kind {
         EdgeKind::New => (0, 0),
@@ -171,15 +188,49 @@ fn edge_sort_key(kind: EdgeKind) -> (u8, u32) {
     }
 }
 
+/// Builds the flat `n × EDGE_CLASSES` table of per-class start offsets for
+/// a CSR whose edges are already grouped by `key(e)` and kind-class.
+/// Entry `[n * EDGE_CLASSES + k]` is the absolute edge index where class
+/// `k`'s run begins inside node `n`'s range; the run ends where the next
+/// class (or the node's range) begins.
+fn kind_offsets(edges: &[Edge], start: &[u32], key: impl Fn(&Edge) -> NodeId) -> Vec<u32> {
+    let n = start.len() - 1;
+    let mut table = vec![0u32; n * EDGE_CLASSES];
+    for node in 0..n {
+        let lo = start[node] as usize;
+        let hi = start[node + 1] as usize;
+        let mut cursor = lo;
+        for k in 0..EDGE_CLASSES {
+            table[node * EDGE_CLASSES + k] = cursor as u32;
+            while cursor < hi && key(&edges[cursor]).index() == node {
+                if edges[cursor].kind.class() as usize != k {
+                    break;
+                }
+                cursor += 1;
+            }
+        }
+        debug_assert_eq!(cursor, hi, "edges of node {node} not grouped by class");
+    }
+    table
+}
+
 /// The frozen, immutable Pointer Assignment Graph.
 #[derive(Clone, Debug)]
 pub struct Pag {
     nodes: Vec<NodeInfo>,
-    /// All edges, sorted by `dst` (this *is* the incoming-edge array).
+    /// All edges, sorted `(dst, class, src)` — this *is* the incoming-edge
+    /// array, kind-major within each node's range.
     edges: Vec<Edge>,
     in_start: Vec<u32>,
+    /// Per-node per-class start offsets into `edges`
+    /// (`n × EDGE_CLASSES`, see [`PagBuilder::freeze`]).
+    in_kind: Vec<u32>,
     out_start: Vec<u32>,
-    out_edges: Vec<u32>,
+    /// The same edge set materialised in `(src, class, dst)` order, so
+    /// outgoing ranges are direct slices as well.
+    out_edges: Vec<Edge>,
+    /// Per-node per-class start offsets into `out_edges`.
+    out_kind: Vec<u32>,
     loads_by_field: Vec<Vec<(NodeId, NodeId)>>,
     stores_by_field: Vec<Vec<(NodeId, NodeId)>>,
     types: TypeTable,
@@ -243,14 +294,43 @@ impl Pag {
         &self.edges[lo..hi]
     }
 
-    /// All edges flowing **out of** `n` (traversed by `FlowsTo`).
+    /// All edges flowing **out of** `n` (traversed by `FlowsTo`). A direct
+    /// CSR slice over the src-sorted edge array — no per-call indirection.
     #[inline]
-    pub fn outgoing(&self, n: NodeId) -> impl Iterator<Item = &Edge> + '_ {
+    pub fn outgoing(&self, n: NodeId) -> &[Edge] {
         let lo = self.out_start[n.index()] as usize;
         let hi = self.out_start[n.index() + 1] as usize;
-        self.out_edges[lo..hi]
-            .iter()
-            .map(move |&i| &self.edges[i as usize])
+        &self.out_edges[lo..hi]
+    }
+
+    /// The incoming edges of `n` whose kind belongs to `class`, as a direct
+    /// sub-slice of [`Pag::incoming`] (edges are kind-major per node).
+    #[inline]
+    pub fn incoming_kind(&self, n: NodeId, class: EdgeClass) -> &[Edge] {
+        let k = class as usize;
+        let base = n.index() * EDGE_CLASSES;
+        let lo = self.in_kind[base + k] as usize;
+        let hi = if k + 1 < EDGE_CLASSES {
+            self.in_kind[base + k + 1] as usize
+        } else {
+            self.in_start[n.index() + 1] as usize
+        };
+        &self.edges[lo..hi]
+    }
+
+    /// The outgoing edges of `n` whose kind belongs to `class`, as a direct
+    /// sub-slice of [`Pag::outgoing`].
+    #[inline]
+    pub fn outgoing_kind(&self, n: NodeId, class: EdgeClass) -> &[Edge] {
+        let k = class as usize;
+        let base = n.index() * EDGE_CLASSES;
+        let lo = self.out_kind[base + k] as usize;
+        let hi = if k + 1 < EDGE_CLASSES {
+            self.out_kind[base + k + 1] as usize
+        } else {
+            self.out_start[n.index() + 1] as usize
+        };
+        &self.out_edges[lo..hi]
     }
 
     /// All store edges on field `f`, as `(base, rhs)` pairs
@@ -357,11 +437,58 @@ mod tests {
         assert!(inc_y
             .iter()
             .any(|e| e.src == x && e.kind == EdgeKind::AssignLocal));
-        let out_p: Vec<_> = g.outgoing(p).map(|e| e.kind).collect();
+        let out_p: Vec<_> = g.outgoing(p).iter().map(|e| e.kind).collect();
         assert_eq!(out_p.len(), 2);
-        let out_o: Vec<_> = g.outgoing(o).collect();
+        let out_o = g.outgoing(o);
         assert_eq!(out_o.len(), 1);
         assert_eq!(out_o[0].dst, x);
+    }
+
+    #[test]
+    fn kind_slices_partition_the_range() {
+        let (g, ids) = mini();
+        let (o, x, y, p) = (ids[0], ids[1], ids[2], ids[3]);
+        // x receives a new edge from o and a store from p; nothing else.
+        assert_eq!(g.incoming_kind(x, EdgeClass::New).len(), 1);
+        assert_eq!(g.incoming_kind(x, EdgeClass::New)[0].src, o);
+        assert_eq!(g.incoming_kind(x, EdgeClass::Store).len(), 1);
+        assert!(g.incoming_kind(x, EdgeClass::AssignLocal).is_empty());
+        // y receives assign_l from x and load from p.
+        assert_eq!(g.incoming_kind(y, EdgeClass::AssignLocal).len(), 1);
+        assert_eq!(g.incoming_kind(y, EdgeClass::Load).len(), 1);
+        // p's outgoing: one load, one store.
+        assert_eq!(g.outgoing_kind(p, EdgeClass::Load).len(), 1);
+        assert_eq!(g.outgoing_kind(p, EdgeClass::Store).len(), 1);
+        assert!(g.outgoing_kind(p, EdgeClass::New).is_empty());
+        // For every node the per-class slices concatenate to the full range.
+        for n in g.node_ids() {
+            let mut concat_in = 0;
+            let mut concat_out = 0;
+            for k in 0..EDGE_CLASSES {
+                let class = match k {
+                    0 => EdgeClass::New,
+                    1 => EdgeClass::AssignLocal,
+                    2 => EdgeClass::AssignGlobal,
+                    3 => EdgeClass::Load,
+                    4 => EdgeClass::Store,
+                    5 => EdgeClass::Param,
+                    6 => EdgeClass::Ret,
+                    _ => unreachable!(),
+                };
+                for e in g.incoming_kind(n, class) {
+                    assert_eq!(e.kind.class(), class);
+                    assert_eq!(e.dst, n);
+                }
+                for e in g.outgoing_kind(n, class) {
+                    assert_eq!(e.kind.class(), class);
+                    assert_eq!(e.src, n);
+                }
+                concat_in += g.incoming_kind(n, class).len();
+                concat_out += g.outgoing_kind(n, class).len();
+            }
+            assert_eq!(concat_in, g.incoming(n).len());
+            assert_eq!(concat_out, g.outgoing(n).len());
+        }
     }
 
     #[test]

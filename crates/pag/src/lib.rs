@@ -31,7 +31,7 @@ mod node;
 pub mod stats;
 pub mod types;
 
-pub use edge::{Edge, EdgeKind};
+pub use edge::{Edge, EdgeClass, EdgeKind, EDGE_CLASSES};
 pub use graph::{Pag, PagBuilder};
 pub use ids::{CallSiteId, FieldId, MethodId, NodeId, TypeId};
 pub use node::{NodeInfo, NodeKind};

@@ -33,13 +33,13 @@ pub mod sim;
 mod stats;
 pub mod threaded;
 
-pub use mode::{Backend, Mode, RunConfig, SimPerturb};
+pub use mode::{Backend, Engine, Mode, RunConfig, SimPerturb};
 pub use parcfl_concurrent::{CounterSet, WorkerObs};
 pub use parcfl_obs::{
     chrome_trace_json, Event, EventKind, LogHistogram, ObsHists, PromText, RunTrace, TraceLevel,
     TraceRecorder, WorkerTrace,
 };
-pub use seq::{run_seq, run_seq_traced, run_seq_with_store};
+pub use seq::{run_matrix, run_seq, run_seq_traced, run_seq_with_store};
 pub use session::AnalysisSession;
 pub use sim::{run_simulated, run_simulated_batch, run_simulated_with_store};
 pub use stats::{RunResult, RunStats};
@@ -79,8 +79,28 @@ pub fn schedule_with_cap(
     }
 }
 
-/// Runs `queries` under `cfg`, dispatching to the configured backend.
+/// The `Engine::Auto` density heuristic (DESIGN.md §11): the matrix
+/// engine evaluates each sub-query closure once and reuses it across the
+/// whole batch, so it pays off when the batch is *dense* — many queries
+/// covering a large fraction of the program's variables. Small or sparse
+/// batches stay on the demand solver, whose per-query cost is lower.
+pub fn matrix_pays_off(pag: &Pag, queries: &[NodeId]) -> bool {
+    queries.len() >= 32 && queries.len() * 2 >= pag.application_locals().len()
+}
+
+/// Runs `queries` under `cfg`, dispatching to the configured engine and
+/// backend. `Engine::Matrix` (or an `Auto` batch that
+/// [`matrix_pays_off`]) answers on the whole-program backend; otherwise
+/// the demand solver runs on the configured `Backend`.
 pub fn run(pag: &Pag, queries: &[NodeId], cfg: &RunConfig) -> RunResult {
+    let matrix = match cfg.engine {
+        Engine::Matrix => true,
+        Engine::Demand => false,
+        Engine::Auto => matrix_pays_off(pag, queries),
+    };
+    if matrix {
+        return run_matrix(pag, queries, &cfg.solver);
+    }
     match cfg.backend {
         Backend::Threaded => run_threaded(pag, queries, cfg),
         Backend::Simulated => run_simulated(pag, queries, cfg),
@@ -124,5 +144,32 @@ mod tests {
         );
         assert_eq!(seq.sorted_answers(), sim.sorted_answers());
         assert_eq!(seq.sorted_answers(), thr.sorted_answers());
+    }
+
+    #[test]
+    fn run_dispatches_matrix_engine() {
+        let src = "class Obj { }
+                   class A { method m() { var a: Obj; var b: Obj; a = new Obj; b = a; } }";
+        let pag = build_pag(src).unwrap().pag;
+        let qs = pag.application_locals();
+        let seq = run_seq(&pag, &qs, &SolverConfig::default());
+        let mat = run(
+            &pag,
+            &qs,
+            &RunConfig::new(Mode::Naive, 2, Backend::Simulated).with_engine(Engine::Matrix),
+        );
+        assert_eq!(seq.sorted_answers(), mat.sorted_answers());
+        // A 2-query batch is far below the density threshold: Auto stays
+        // on the demand solver.
+        assert!(!matrix_pays_off(&pag, &qs));
+        let auto = run(
+            &pag,
+            &qs,
+            &RunConfig::new(Mode::Naive, 2, Backend::Simulated).with_engine(Engine::Auto),
+        );
+        assert_eq!(seq.sorted_answers(), auto.sorted_answers());
+        // Dense batch: every application local, repeated past the floor.
+        let dense: Vec<_> = qs.iter().cycle().take(64).copied().collect();
+        assert!(matrix_pays_off(&pag, &dense));
     }
 }

@@ -353,6 +353,7 @@ impl<'p> AnalysisSession<'p> {
             stealing: self.stealing,
             tracing: self.tracing,
             perturb: None,
+            engine: crate::Engine::Demand,
         }
     }
 

@@ -46,8 +46,14 @@ pub struct RunStats {
     /// Allocation-volume proxy summed over queries (Section IV-D5).
     pub mem_items: u64,
     /// Largest single-query `mem_items` seen — the peak-resident proxy
-    /// recorded in `BENCH_solver.json`.
+    /// recorded in `BENCH_solver.json`. Includes the physical
+    /// visited-state words (see `peak_state_words`), so dense-bitset and
+    /// hash state backends are compared honestly.
     pub peak_mem_items: u64,
+    /// Largest single-query [`QueryStats::state_words`] seen: peak
+    /// physical `u64` words held by visited-state tables (exact under the
+    /// dense backend, a per-entry estimate under hash — DESIGN.md §11).
+    pub peak_state_words: u64,
     /// Contexts resident in the run's shared interner at the end
     /// (including the empty context); 0 when the store carries none.
     pub interner_ctxs: usize,
@@ -91,6 +97,7 @@ impl RunStats {
         self.warm_hits += qs.warm_hits;
         self.mem_items += qs.mem_items;
         self.peak_mem_items = self.peak_mem_items.max(qs.mem_items);
+        self.peak_state_words = self.peak_state_words.max(qs.state_words);
         self.jmp_inserts += qs.finished_published + qs.unfinished_published;
     }
 
@@ -124,6 +131,7 @@ impl RunStats {
         self.hists.merge(&other.hists);
         self.mem_items += other.mem_items;
         self.peak_mem_items = self.peak_mem_items.max(other.peak_mem_items);
+        self.peak_state_words = self.peak_state_words.max(other.peak_state_words);
         self.makespan += other.makespan;
         self.wall += other.wall;
         self.batches += other.batches;
@@ -266,6 +274,7 @@ mod tests {
                 jmp_bytes: 700,
                 mem_items: 11,
                 peak_mem_items: 8,
+                peak_state_words: 6,
                 interner_ctxs: 12,
                 makespan: 50,
                 wall: std::time::Duration::from_millis(3),
@@ -291,6 +300,7 @@ mod tests {
                 jmp_bytes: 600,
                 mem_items: 5,
                 peak_mem_items: 5,
+                peak_state_words: 4,
                 interner_ctxs: 9,
                 makespan: 9,
                 wall: std::time::Duration::from_millis(2),
@@ -318,6 +328,7 @@ mod tests {
         assert_eq!(cum.hists, hist_of(&[10, 20, 30]), "histograms merge");
         assert_eq!(cum.mem_items, 16);
         assert_eq!(cum.peak_mem_items, 8, "peak takes the max across batches");
+        assert_eq!(cum.peak_state_words, 6, "state-word peak takes the max");
         assert_eq!(cum.makespan, 59);
         assert_eq!(cum.wall, std::time::Duration::from_millis(5));
         assert_eq!(cum.batches, 2);

@@ -10,10 +10,10 @@
 //! parcfl check --replay <file.snap>
 //! ```
 
-use parcfl::core::{NoJmpStore, Solver, SolverConfig};
+use parcfl::core::{MatrixSolver, NoJmpStore, Solver, SolverConfig};
 use parcfl::frontend::build_pag;
 use parcfl::pag::Pag;
-use parcfl::runtime::{run_seq, run_simulated, Backend, Mode, RunConfig, TraceLevel};
+use parcfl::runtime::{run_seq, run_simulated, Backend, Engine, Mode, RunConfig, TraceLevel};
 use std::io::Write;
 use std::process::exit;
 
@@ -62,8 +62,13 @@ fn usage() {
 
 USAGE:
   parcfl query <file.mj> [--var NAME]... [--budget N] [--insensitive]
+               [--state hash|dense] [--engine demand|matrix|auto]
       Print points-to sets (all application locals, or the named variables;
       names match the `local@Class.method` form, or any suffix of it).
+      --state picks the visited-state backend (default dense); --engine
+      answers on the demand solver (default), the whole-program matrix
+      backend, or picks per batch by density. All are bit-identical on
+      completed answers (DESIGN.md §11).
   parcfl alias <file.mj> --var A --var B [--budget N]
       May-alias verdict for two variables.
   parcfl stats <file.mj>
@@ -71,11 +76,13 @@ USAGE:
   parcfl dot <file.mj>
       Graphviz DOT of the PAG on stdout.
   parcfl bench <name> [--threads N] [--mode naive|d|dq] [--threaded] [--stealing]
+               [--state hash|dense] [--engine demand|matrix|auto]
       Run one Table-I benchmark and report the speedup over SeqCFL.
       --threaded uses real OS threads instead of the virtual-time
       simulator; --stealing additionally dispatches through the
       work-stealing scheduler (implies --threaded) and reports per-worker
-      contention.
+      contention. --state/--engine select the solver core as in `query`
+      (mode/threads are inert under the matrix engine).
   parcfl trace <file.mj> [--out PATH] [--threads N] [--mode naive|d|dq]
                [--level spans|full] [--threaded]
       Answer every application-local query with event tracing on and
@@ -154,7 +161,23 @@ fn solver_config(args: &[String]) -> SolverConfig {
     if args.iter().any(|a| a == "--insensitive") {
         cfg.context_sensitive = false;
     }
+    if let Some(s) = flag_value(args, "--state") {
+        cfg.state = s.parse().unwrap_or_else(|e| {
+            eprintln!("{e}");
+            exit(2);
+        });
+    }
     cfg
+}
+
+fn engine_flag(args: &[String]) -> Engine {
+    match flag_value(args, "--engine") {
+        Some(e) => e.parse().unwrap_or_else(|e| {
+            eprintln!("{e}");
+            exit(2);
+        }),
+        None => Engine::Demand,
+    }
 }
 
 fn resolve(pag: &Pag, name: &str) -> parcfl::pag::NodeId {
@@ -188,16 +211,25 @@ fn resolve(pag: &Pag, name: &str) -> parcfl::pag::NodeId {
 fn cmd_query(args: &[String]) {
     let (pag, all) = load(args);
     let cfg = solver_config(args);
-    let store = NoJmpStore;
-    let solver = Solver::new(&pag, &cfg, &store);
     let wanted = flag_values(args, "--var");
     let targets: Vec<_> = if wanted.is_empty() {
         all
     } else {
         wanted.iter().map(|w| resolve(&pag, w)).collect()
     };
+    let matrix = match engine_flag(args) {
+        Engine::Matrix => true,
+        Engine::Demand => false,
+        Engine::Auto => parcfl::runtime::matrix_pays_off(&pag, &targets),
+    };
+    let store = NoJmpStore;
+    let solver = Solver::new(&pag, &cfg, &store);
+    let mut matrix_solver = matrix.then(|| MatrixSolver::new(&pag, &cfg));
     for v in targets {
-        let out = solver.points_to_query(v, 0);
+        let out = match matrix_solver.as_mut() {
+            Some(m) => m.points_to_query(v),
+            None => solver.points_to_query(v, 0),
+        };
         match out.answer.nodes() {
             Some(objs) => {
                 let names: Vec<_> = objs.iter().map(|&o| pag.node(o).name.clone()).collect();
@@ -379,23 +411,29 @@ fn cmd_bench(args: &[String]) {
     };
     let stealing = args.iter().any(|a| a == "--stealing");
     let threaded = stealing || args.iter().any(|a| a == "--threaded");
+    let engine = engine_flag(args);
     let b = parcfl::synth::build_bench(&profile);
-    let seq = run_seq(&b.pag, &b.queries, &b.solver);
+    let mut seq_solver = b.solver.clone();
+    if let Some(s) = flag_value(args, "--state") {
+        seq_solver.state = s.parse().unwrap_or_else(|e| {
+            eprintln!("{e}");
+            exit(2);
+        });
+    }
+    let seq = run_seq(&b.pag, &b.queries, &seq_solver);
     let backend = if threaded {
         Backend::Threaded
     } else {
         Backend::Simulated
     };
-    let mut cfg = RunConfig::new(mode, threads, backend).with_stealing(stealing);
-    cfg.solver = b.solver.clone();
-    let par = if threaded {
-        parcfl::runtime::run_threaded(&b.pag, &b.queries, &cfg)
-    } else {
-        run_simulated(&b.pag, &b.queries, &cfg)
-    };
+    let mut cfg = RunConfig::new(mode, threads, backend)
+        .with_stealing(stealing)
+        .with_engine(engine);
+    cfg.solver = seq_solver;
+    let par = parcfl::runtime::run(&b.pag, &b.queries, &cfg);
     outln!(
-        "{name}: {} queries; SeqCFL {} steps; ParCFL({threads}, {}) speedup {:.1}x \
-         (jmps {}, ETs {}, wall {:?})",
+        "{name}: {} queries; SeqCFL {} steps; ParCFL({threads}, {}, engine={engine}) \
+         speedup {:.1}x (jmps {}, ETs {}, wall {:?})",
         b.queries.len(),
         seq.stats.makespan,
         mode.label(),
@@ -404,7 +442,7 @@ fn cmd_bench(args: &[String]) {
         par.stats.early_terminations,
         par.stats.wall
     );
-    if threaded {
+    if threaded && engine == Engine::Demand {
         let t = par.stats.obs_totals();
         outln!(
             "dispatch [{}]: {} local pops, {} steals ({} items), {} idle spins, \

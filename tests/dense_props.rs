@@ -1,0 +1,198 @@
+//! Backend-identity properties for the dense-state solver core
+//! (DESIGN.md §11): the hash and dense visited-state backends, and the
+//! demand and matrix engines, must be indistinguishable in every
+//! completed answer on seeded synthetic programs.
+//!
+//! All randomness derives from `PARCFL_TEST_SEED` (default fixed); every
+//! failure message prints the seed to replay with.
+
+use parcfl::check::seed::derive;
+use parcfl::check::{failure_detail, test_seed, Scenario};
+use parcfl::core::{Answer, MatrixSolver, SolverConfig, StateBackend};
+use parcfl::runtime::{run_matrix, run_seq, Backend, Engine, Mode};
+use parcfl::synth::mutate::canonicalize;
+use parcfl::synth::{build_bench, Profile};
+
+/// Hash and dense visited-state tables produce bit-identical runs on
+/// seeded synthetic graphs: same answers, same step counts, same
+/// publication-independent stats. The state backend is a layout choice,
+/// never a semantic one.
+#[test]
+fn hash_and_dense_runs_are_bit_identical() {
+    let seed = test_seed();
+    for i in 0..12u64 {
+        let profile_seed = derive(seed, 0xD0_0000 + i);
+        let profile = if i % 3 == 0 {
+            Profile::small(profile_seed)
+        } else {
+            Profile::tiny(profile_seed)
+        };
+        let bench = build_bench(&profile);
+        // Tight budgets on odd iterations: OutOfBudget decisions must
+        // also be backend-independent, not just completed answers.
+        let budget = if i % 2 == 0 {
+            5_000_000
+        } else {
+            2_000 + i * 997
+        };
+        let mk = |state: StateBackend| SolverConfig {
+            budget,
+            context_sensitive: i % 4 != 3,
+            memoize: i % 5 == 0,
+            state,
+            ..SolverConfig::default()
+        };
+        let hash = run_seq(&bench.pag, &bench.queries, &mk(StateBackend::Hash));
+        let dense = run_seq(&bench.pag, &bench.queries, &mk(StateBackend::Dense));
+        assert_eq!(
+            hash.sorted_answers(),
+            dense.sorted_answers(),
+            "PARCFL_TEST_SEED={seed} {} budget={budget}: answers diverge",
+            bench.name
+        );
+        assert_eq!(
+            hash.stats.traversed_steps, dense.stats.traversed_steps,
+            "PARCFL_TEST_SEED={seed} {}: traversal work diverges",
+            bench.name
+        );
+        assert_eq!(
+            hash.stats.completed, dense.stats.completed,
+            "PARCFL_TEST_SEED={seed} {}: completion counts diverge",
+            bench.name
+        );
+        assert_eq!(
+            hash.stats.out_of_budget, dense.stats.out_of_budget,
+            "PARCFL_TEST_SEED={seed} {}: OOB counts diverge",
+            bench.name
+        );
+    }
+}
+
+/// Under an ample budget, every query the demand solver completes the
+/// matrix engine also completes, with the identical answer — the
+/// engine-identity half of DESIGN.md §11's bit-identical claim.
+#[test]
+fn demand_complete_implies_matrix_complete_and_identical() {
+    let seed = test_seed();
+    for i in 0..8u64 {
+        let bench = build_bench(&Profile::tiny(derive(seed, 0x4DA7 + i)));
+        let cfg = SolverConfig {
+            budget: 5_000_000,
+            context_sensitive: i % 3 != 2,
+            ..SolverConfig::default()
+        };
+        let demand = run_seq(&bench.pag, &bench.queries, &cfg);
+        let matrix = run_matrix(&bench.pag, &bench.queries, &cfg);
+        let mut completed = 0usize;
+        for ((q, d), (qm, m)) in demand.answers.iter().zip(matrix.answers.iter()) {
+            assert_eq!(q, qm);
+            if let Answer::Complete(dp) = d {
+                let Answer::Complete(mp) = m else {
+                    panic!(
+                        "PARCFL_TEST_SEED={seed} {} query {q:?}: demand completed, matrix did not",
+                        bench.name
+                    );
+                };
+                assert_eq!(
+                    dp, mp,
+                    "PARCFL_TEST_SEED={seed} {} query {q:?}: points-to sets diverge",
+                    bench.name
+                );
+                completed += 1;
+            }
+        }
+        assert!(completed > 0, "nothing completed under ample budget");
+    }
+}
+
+/// The batch-global memo makes whole-batch matrix evaluation no more
+/// than, and typically far less than, per-query demand work on dense
+/// query sets that revisit the same flow structure.
+#[test]
+fn matrix_batch_memo_never_inflates_total_work() {
+    let seed = test_seed();
+    let bench = build_bench(&Profile::tiny(derive(seed, 0xBA7C)));
+    let cfg = SolverConfig {
+        budget: 5_000_000,
+        ..SolverConfig::default()
+    };
+    let mut solver = MatrixSolver::new(&bench.pag, &cfg);
+    let mut prev_total = 0u64;
+    let first_pass: u64 = bench
+        .queries
+        .iter()
+        .map(|&q| solver.points_to_query(q).stats.traversed_steps)
+        .sum();
+    prev_total += first_pass;
+    // A second pass over the same batch is answered from the memo alone:
+    // per-query closure evaluation never re-runs.
+    let second_pass: u64 = bench
+        .queries
+        .iter()
+        .map(|&q| solver.points_to_query(q).stats.traversed_steps)
+        .sum();
+    assert!(
+        second_pass <= first_pass,
+        "PARCFL_TEST_SEED={seed}: repeat batch did more work ({second_pass} > {first_pass})"
+    );
+    assert!(prev_total > 0, "first pass did no work");
+}
+
+/// ≥ 200 seeded matrix-engine scenarios through the parcfl-check
+/// differential harness: every completed matrix answer matches the naive
+/// oracle exactly and is sound against Andersen. Zero mismatches.
+#[test]
+fn matrix_differential_two_hundred_scenarios() {
+    let seed = test_seed();
+    let mut compared_scenarios = 0u32;
+    for i in 0..200u64 {
+        let s = derive(seed, 0x3A7_0000 + i);
+        let bench = build_bench(&Profile::tiny(s));
+        let n = bench.queries.len();
+        if n == 0 {
+            continue;
+        }
+        // Vary the query subset, budget regime, sensitivity and state
+        // backend across iterations; the engine is always Matrix.
+        let take = 1 + (s as usize % 8.min(n));
+        let start = (s >> 8) as usize % n;
+        let queries: Vec<_> = (0..take).map(|k| bench.queries[(start + k) % n]).collect();
+        let budget = if i % 4 == 0 {
+            400 + (s % 4_000)
+        } else {
+            5_000_000
+        };
+        let scenario = Scenario {
+            pag: canonicalize(&bench.pag),
+            queries,
+            mode: Mode::Naive,
+            backend: Backend::Simulated,
+            threads: 1,
+            solver: SolverConfig {
+                budget,
+                context_sensitive: i % 5 != 4,
+                state: if i % 2 == 0 {
+                    StateBackend::Dense
+                } else {
+                    StateBackend::Hash
+                },
+                ..SolverConfig::default()
+            },
+            fetch_cost: 0,
+            perturb: None,
+            store_cap: None,
+            engine: Engine::Matrix,
+        };
+        if let Some(detail) = failure_detail(&scenario) {
+            panic!(
+                "PARCFL_TEST_SEED={seed} matrix scenario {i}: {detail}\n{}",
+                scenario.to_snapshot()
+            );
+        }
+        compared_scenarios += 1;
+    }
+    assert!(
+        compared_scenarios >= 200,
+        "only {compared_scenarios} scenarios ran"
+    );
+}
