@@ -5,13 +5,16 @@
 //! queries a client actually asks.
 //!
 //! Additionally emits a machine-readable `BENCH_solver.json` (schema
-//! `parcfl-bench-solver/2`): per bench, the headline DQ simulated run
-//! plus sequential demand-dense / demand-hash / matrix rows with
+//! `parcfl-bench-solver/3`): per bench, the headline DQ simulated run
+//! plus sequential demand-dense / demand-hash rows, a one-worker
+//! `seq-matrix` row and a `par-matrix` row at 8 sweep workers, with
 //! makespan, traversed/charged steps, peak memoisation footprint, peak
-//! dense-state words and the dense-vs-hash and matrix-vs-demand wall
-//! ratios, so CI and perf-tracking scripts can diff solver behaviour
-//! without scraping the human tables. `--smoke` restricts the run to the
-//! smallest synthetic profile and skips the wall-clock sidebars;
+//! dense-state words, the engine each row actually dispatched to, the
+//! dense-vs-hash and matrix-vs-demand wall ratios, and the
+//! `matrix_par_speedup` makespan ratio of the parallel sweeps over the
+//! sequential matrix, so CI and perf-tracking scripts can diff solver
+//! behaviour without scraping the human tables. `--smoke` restricts the
+//! run to the smallest synthetic profile and skips the wall-clock sidebars;
 //! `--json PATH` overrides the artifact location; `--only SUBSTR` keeps
 //! only benches whose name contains SUBSTR (fast A/B on one benchmark).
 //!
@@ -136,12 +139,15 @@ const JSON_THREADS: usize = 8;
 
 /// One `BENCH_solver.json` record, rendered by hand: the artifact must not
 /// cost a serde dependency, and every field is a scalar. `row` labels the
-/// configuration the record measured (engine × state × dispatch).
+/// configuration the record measured (engine × state × dispatch);
+/// `engine_dispatched` reports the engine that actually ran it
+/// ([`parcfl_runtime::RunStats::engine_dispatched`]).
 fn json_record(b: &Bench, row: &str, engine: &str, state: &str, r: &RunResult) -> String {
     let s = &r.stats;
     format!(
         concat!(
-            "{{\"bench\":\"{}\",\"row\":\"{}\",\"engine\":\"{}\",\"state\":\"{}\",",
+            "{{\"bench\":\"{}\",\"row\":\"{}\",\"engine\":\"{}\",",
+            "\"engine_dispatched\":\"{}\",\"state\":\"{}\",",
             "\"queries\":{},\"completed\":{},",
             "\"out_of_budget\":{},\"makespan\":{},\"traversed_steps\":{},",
             "\"charged_steps\":{},\"steps_saved\":{},\"jmp_edges\":{},",
@@ -151,6 +157,7 @@ fn json_record(b: &Bench, row: &str, engine: &str, state: &str, r: &RunResult) -
         b.name,
         row,
         engine,
+        s.engine_dispatched.map_or("unknown", |e| e.name()),
         state,
         s.queries,
         s.completed,
@@ -171,10 +178,13 @@ fn json_record(b: &Bench, row: &str, engine: &str, state: &str, r: &RunResult) -
 
 /// Runs each bench across the backend matrix (DESIGN.md §11) and writes
 /// the machine-readable artifact: the headline DQ simulated run plus
-/// sequential demand-dense, demand-hash and matrix rows, with the
-/// dense-vs-hash and matrix-vs-demand sequential wall-time ratios.
+/// sequential demand-dense, demand-hash, one-worker `seq-matrix` and
+/// eight-worker `par-matrix` rows, with the dense-vs-hash and
+/// matrix-vs-demand sequential wall-time ratios and the
+/// `matrix_par_speedup` makespan ratio (sequential matrix span over
+/// parallel matrix span; both runs are asserted bit-identical first).
 fn emit_bench_json(path: &str, benches: &[Bench], smoke: bool) {
-    let mut records = Vec::with_capacity(benches.len() * 4);
+    let mut records = Vec::with_capacity(benches.len() * 5);
     for b in benches {
         let headline = run_mode(b, Mode::DataSharingSched, JSON_THREADS);
         records.push(json_record(b, "dq-sim", "demand", "dense", &headline));
@@ -189,11 +199,22 @@ fn emit_bench_json(path: &str, benches: &[Bench], smoke: bool) {
         };
         let dense = run_seq(&b.pag, &b.queries, &dense_cfg);
         let hash = run_seq(&b.pag, &b.queries, &hash_cfg);
-        let matrix = run_matrix(&b.pag, &b.queries, &dense_cfg);
+        let seq_matrix_cfg =
+            RunConfig::new(Mode::Naive, 1, Backend::Simulated).with_solver(dense_cfg.clone());
+        let par_matrix_cfg = RunConfig::new(Mode::Naive, JSON_THREADS, Backend::Simulated)
+            .with_solver(dense_cfg.clone());
+        let matrix = run_matrix(&b.pag, &b.queries, &seq_matrix_cfg);
+        let par_matrix = run_matrix(&b.pag, &b.queries, &par_matrix_cfg);
         assert_eq!(
             dense.sorted_answers(),
             hash.sorted_answers(),
             "{}: state backends must be bit-identical",
+            b.name
+        );
+        assert_eq!(
+            matrix.sorted_answers(),
+            par_matrix.sorted_answers(),
+            "{}: parallel matrix sweeps must be bit-identical to sequential",
             b.name
         );
         let ratio = |num: &RunResult, den: &RunResult| {
@@ -206,6 +227,10 @@ fn emit_bench_json(path: &str, benches: &[Bench], smoke: bool) {
         };
         let dense_speedup = ratio(&hash, &dense);
         let matrix_speedup = ratio(&dense, &matrix);
+        // Makespan is virtual span (critical path), so the parallel-sweep
+        // speedup is deterministic — independent of host load, unlike the
+        // wall ratios above.
+        let par_speedup = matrix.stats.makespan as f64 / par_matrix.stats.makespan.max(1) as f64;
         records.push(json_record(b, "seq-dense", "demand", "dense", &dense));
         records.push(json_record(b, "seq-hash", "demand", "hash", &hash));
         let mut m = json_record(b, "seq-matrix", "matrix", "dense", &matrix);
@@ -214,10 +239,14 @@ fn emit_bench_json(path: &str, benches: &[Bench], smoke: bool) {
         );
         m.replace_range(m.len() - 1.., &extra);
         records.push(m);
+        let mut p = json_record(b, "par-matrix", "matrix", "dense", &par_matrix);
+        let extra = format!(",\"matrix_par_speedup\":{par_speedup:.3}}}");
+        p.replace_range(p.len() - 1.., &extra);
+        records.push(p);
     }
     let body = format!(
         concat!(
-            "{{\"schema\":\"parcfl-bench-solver/2\",\"mode\":\"DataSharingSched\",",
+            "{{\"schema\":\"parcfl-bench-solver/3\",\"mode\":\"DataSharingSched\",",
             "\"threads\":{},\"backend\":\"simulated\",\"smoke\":{},\"benches\":[\n  {}\n]}}\n"
         ),
         JSON_THREADS,

@@ -25,6 +25,12 @@
 //! dispatch disciplines (mutex work list vs work-stealing scheduler) on
 //! warm sessions: identical answers, strictly less total lock waiting.
 //!
+//! With `--engine {demand|matrix|auto}` the bench instead submits each
+//! full batch through a session configured with that engine
+//! ([`AnalysisSession::with_engine`], 8 sweep workers for matrix) and
+//! prints which engine actually ran ([`parcfl_runtime::RunStats::engine_dispatched`]),
+//! asserting the answers stay identical to the demand path.
+//!
 //! `--json [PATH]` additionally writes a machine-readable artifact
 //! (default `BENCH_warm.json`): per-bench cold/warm traversed steps, warm
 //! hits, and p50/p90/p99 of the warm batch's query-latency histogram
@@ -32,7 +38,7 @@
 
 use parcfl_bench::{cfg_for, print_worker_table};
 use parcfl_core::SolverConfig;
-use parcfl_runtime::{run_simulated, AnalysisSession, Backend, Mode, RunResult};
+use parcfl_runtime::{run_simulated, AnalysisSession, Backend, Engine, Mode, RunResult};
 use std::io::Write;
 
 /// `--stealing`: the real-thread warm-session comparison instead of the
@@ -135,10 +141,58 @@ fn emit_warm_json(path: &str, records: &[String]) {
     println!("\nwrote {path} ({} benches)", records.len());
 }
 
+/// `--engine`: submits every bench's full batch through a session pinned
+/// to `engine` and through a demand session, asserting identical sorted
+/// answers and printing the engine each batch actually dispatched to.
+fn run_engine_comparison(engine: Engine) {
+    println!(
+        "{:<16} {:>9} {:>12} {:>12}",
+        "Benchmark", "Engine", "Makespan", "DemandMksp"
+    );
+    let suite = parcfl_synth::build_suite();
+    for b in &suite {
+        let solver: SolverConfig = b.solver.clone().without_tau_thresholds();
+        let mut demand_sess = AnalysisSession::new(&b.pag)
+            .with_threads(8)
+            .with_solver(solver.clone());
+        let demand = demand_sess.submit(&b.queries, Mode::DataSharingSched, Backend::Simulated);
+        let mut engine_sess = AnalysisSession::new(&b.pag)
+            .with_threads(8)
+            .with_solver(solver)
+            .with_engine(engine);
+        let run = engine_sess.submit(&b.queries, Mode::DataSharingSched, Backend::Simulated);
+        assert_eq!(
+            run.sorted_answers(),
+            demand.sorted_answers(),
+            "{}: {engine} session answers diverged from demand",
+            b.name
+        );
+        let dispatched = run
+            .stats
+            .engine_dispatched
+            .expect("session batches record their engine");
+        println!(
+            "{:<16} {:>9} {:>12} {:>12}",
+            b.name, dispatched, run.stats.makespan, demand.stats.makespan
+        );
+    }
+    println!("\nall benchmarks: {engine} session answers identical to demand");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--stealing") {
         run_stealing_comparison();
+        return;
+    }
+    if let Some(i) = args.iter().position(|a| a == "--engine") {
+        let engine = match args.get(i + 1).map(String::as_str) {
+            Some("demand") => Engine::Demand,
+            Some("matrix") => Engine::Matrix,
+            Some("auto") => Engine::Auto,
+            other => panic!("--engine expects demand|matrix|auto, got {other:?}"),
+        };
+        run_engine_comparison(engine);
         return;
     }
     // `--json` takes an optional path operand; a following flag (or

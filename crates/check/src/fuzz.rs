@@ -11,6 +11,11 @@
 //! * **for soundness** against the Andersen whole-program solution
 //!   ([`crate::andersen_check`]).
 //!
+//! Matrix-engine scenarios additionally replay at sweep worker counts
+//! 1/2/4/8 and must produce bit-identical answers, traversed-step totals
+//! and budget verdicts at every count (DESIGN.md §11) — on top of the
+//! oracle checks above.
+//!
 //! On the first failing iteration the scenario is (optionally) shrunk to
 //! a 1-minimal counterexample ([`crate::shrink`]) and returned along with
 //! its snapshot. Everything is reproducible from `(seed, iteration)`.
@@ -150,6 +155,42 @@ pub fn failure_detail(scenario: &Scenario) -> Option<String> {
             ));
         }
     }
+    matrix_worker_divergence(scenario)
+}
+
+/// The parallel-matrix dimension: replays a matrix scenario at sweep
+/// worker counts 1/2/4/8 and reports the first observable that differs
+/// from the scenario's own worker count — answers, total traversed
+/// steps, or out-of-budget verdicts must all be independent of the
+/// partition (DESIGN.md §11). `None` for demand scenarios.
+pub fn matrix_worker_divergence(scenario: &Scenario) -> Option<String> {
+    if scenario.engine != Engine::Matrix {
+        return None;
+    }
+    let base = scenario.run();
+    for workers in [1usize, 2, 4, 8] {
+        let mut v = scenario.clone();
+        v.threads = workers;
+        let r = v.run();
+        if r.sorted_answers() != base.sorted_answers() {
+            return Some(format!(
+                "matrix answers diverge at {workers} workers (base {} workers)",
+                scenario.threads
+            ));
+        }
+        if r.stats.traversed_steps != base.stats.traversed_steps {
+            return Some(format!(
+                "matrix traversed_steps {} at {workers} workers != {} at {} workers",
+                r.stats.traversed_steps, base.stats.traversed_steps, scenario.threads
+            ));
+        }
+        if r.stats.out_of_budget != base.stats.out_of_budget {
+            return Some(format!(
+                "matrix out_of_budget {} at {workers} workers != {} at {} workers",
+                r.stats.out_of_budget, base.stats.out_of_budget, scenario.threads
+            ));
+        }
+    }
     None
 }
 
@@ -177,10 +218,12 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
 
         let detail = if let Some(m) = diff.mismatches.first() {
             Some(format!("query {}: {}", m.query, m.detail))
+        } else if let Some(&(q, o)) = sound.violations.first() {
+            Some(format!(
+                "soundness violation: demand pts({q}) contains {o}, Andersen's does not"
+            ))
         } else {
-            sound.violations.first().map(|&(q, o)| {
-                format!("soundness violation: demand pts({q}) contains {o}, Andersen's does not")
-            })
+            matrix_worker_divergence(&scenario)
         };
         if let Some(detail) = detail {
             let (scenario, shrink_stats) = if cfg.shrink {
@@ -316,12 +359,20 @@ fn sample_scenario(cfg: &FuzzConfig, i: u64) -> Scenario {
         (None, None)
     };
 
+    // Matrix scenarios draw from the power-of-two worker ladder the
+    // cross-worker replay sweeps; demand threads stay 1..=6.
+    let threads = if engine == Engine::Matrix {
+        [1usize, 2, 4, 8][rng.random_range(0usize..4)]
+    } else {
+        rng.random_range(1usize..=6)
+    };
+
     Scenario {
         pag: bench.pag,
         queries,
         mode,
         backend,
-        threads: rng.random_range(1usize..=6),
+        threads,
         solver,
         fetch_cost: rng.random_range(0u64..=3),
         perturb,

@@ -63,8 +63,9 @@ pub struct Scenario {
     /// Jmp-store entry cap (simulated backend only; `None` = unbounded).
     pub store_cap: Option<usize>,
     /// Solver engine: the demand work-list solver (default) or the
-    /// whole-program matrix backend. `mode`/`backend`/`threads` are inert
-    /// under `Engine::Matrix`.
+    /// whole-program matrix backend. Under `Engine::Matrix`,
+    /// `mode`/`backend` are inert but `threads` sets the sweep worker
+    /// count (answers are bit-identical at every worker count).
     pub engine: Engine,
 }
 
@@ -83,7 +84,7 @@ impl Scenario {
     pub fn run(&self) -> RunResult {
         let cfg = self.run_config();
         if self.engine == Engine::Matrix {
-            return run_matrix(&self.pag, &self.queries, &cfg.solver);
+            return run_matrix(&self.pag, &self.queries, &cfg);
         }
         match self.backend {
             Backend::Threaded => run_threaded(&self.pag, &self.queries, &cfg),

@@ -21,9 +21,67 @@ use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::interner::CtxId;
 
 /// `u64` words per chunk: 8 words = 512 bits = one cache line.
-const CHUNK_WORDS: usize = 8;
+pub const CHUNK_WORDS: usize = 8;
 /// Ids covered by one chunk.
-const CHUNK_BITS: usize = CHUNK_WORDS * 64;
+pub const CHUNK_BITS: usize = CHUNK_WORDS * 64;
+
+/// One storage chunk: eight `u64` words = 512 bits = one cache line, and
+/// exactly one AVX-512 register (two NEON pair ops) for the kernels below.
+pub type Chunk = [u64; CHUNK_WORDS];
+
+/// Chunk kernels: straight-line u64×8 block ops with no data-dependent
+/// branches or early exits, so LLVM autovectorises each loop into a single
+/// full-width vector operation per chunk. These are the inner loops of the
+/// matrix engine's sweep-barrier merges (DESIGN.md §11) — per-worker
+/// scratch bitsets are differenced against the visited rows and unioned
+/// into the master table one whole chunk at a time.
+pub mod kernel {
+    use super::{Chunk, CHUNK_WORDS};
+
+    /// `dst |= src`; returns how many bits the union newly set.
+    #[inline]
+    pub fn union_into(dst: &mut Chunk, src: &Chunk) -> u32 {
+        let mut added = 0u32;
+        for w in 0..CHUNK_WORDS {
+            added += (src[w] & !dst[w]).count_ones();
+            dst[w] |= src[w];
+        }
+        added
+    }
+
+    /// `dst &= !src`; returns how many bits the difference cleared.
+    #[inline]
+    pub fn difference_into(dst: &mut Chunk, src: &Chunk) -> u32 {
+        let mut removed = 0u32;
+        for w in 0..CHUNK_WORDS {
+            removed += (dst[w] & src[w]).count_ones();
+            dst[w] &= !src[w];
+        }
+        removed
+    }
+
+    /// Whether any bit of the chunk is set (one OR-reduce, no early exit —
+    /// the branchless form is what keeps the sweep partitioner's
+    /// empty-chunk skip vectorisable over pooled, cleared-but-allocated
+    /// chunks).
+    #[inline]
+    pub fn any_set(c: &Chunk) -> bool {
+        c.iter().fold(0u64, |acc, w| acc | w) != 0
+    }
+
+    /// Population count of the whole chunk — the scan-cost figure the
+    /// sweep partitioner and the `Engine::Auto` heuristic weigh work by.
+    #[inline]
+    pub fn count_ones(c: &Chunk) -> u32 {
+        c.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// `dst = 0` (the retained-capacity clear).
+    #[inline]
+    pub fn zero(dst: &mut Chunk) {
+        dst.fill(0);
+    }
+}
 
 /// A lazily-allocated bitset over a dense `u32` id space.
 ///
@@ -88,12 +146,13 @@ impl ChunkedBitset {
     /// Empties the set, **retaining** chunk allocations for reuse.
     pub fn clear(&mut self) {
         for chunk in self.chunks.iter_mut().flatten() {
-            **chunk = [0u64; CHUNK_WORDS];
+            kernel::zero(chunk);
         }
         self.len = 0;
     }
 
-    /// Unions `other` into `self`.
+    /// Unions `other` into `self` — one [`kernel::union_into`] per
+    /// allocated source chunk.
     pub fn union_with(&mut self, other: &ChunkedBitset) {
         if other.chunks.len() > self.chunks.len() {
             self.chunks.resize_with(other.chunks.len(), || None);
@@ -101,12 +160,56 @@ impl ChunkedBitset {
         for (i, oc) in other.chunks.iter().enumerate() {
             let Some(oc) = oc else { continue };
             let sc = self.chunks[i].get_or_insert_with(|| Box::new([0u64; CHUNK_WORDS]));
-            for w in 0..CHUNK_WORDS {
-                let added = (oc[w] & !sc[w]).count_ones() as usize;
-                sc[w] |= oc[w];
-                self.len += added;
+            self.len += kernel::union_into(sc, oc) as usize;
+        }
+    }
+
+    /// Removes every member of `other` from `self` (`self ∖= other`) —
+    /// one [`kernel::difference_into`] per shared chunk. The sweep-barrier
+    /// primitive: a worker's scratch row differenced against the visited
+    /// row leaves exactly the fresh states.
+    pub fn difference_with(&mut self, other: &ChunkedBitset) {
+        for (i, sc) in self.chunks.iter_mut().enumerate() {
+            let Some(sc) = sc else { continue };
+            if let Some(Some(oc)) = other.chunks.get(i) {
+                self.len -= kernel::difference_into(sc, oc) as usize;
             }
         }
+    }
+
+    /// Recounts the members chunk-by-chunk with [`kernel::count_ones`].
+    /// Always equals [`ChunkedBitset::len`]; exists so the kernels (and
+    /// the incremental `len` bookkeeping) can be cross-checked.
+    pub fn count_ones(&self) -> usize {
+        self.chunks
+            .iter()
+            .flatten()
+            .map(|c| kernel::count_ones(c) as usize)
+            .sum()
+    }
+
+    /// Number of chunk slots (allocated or not) — the iteration bound for
+    /// [`ChunkedBitset::chunk`].
+    #[inline]
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// The `ci`-th chunk, or `None` if that slot was never touched. Chunk
+    /// `ci` covers ids `ci * CHUNK_BITS ..` — callers slicing sweeps by
+    /// chunk pair this with [`kernel::any_set`] / [`kernel::count_ones`].
+    #[inline]
+    pub fn chunk(&self, ci: usize) -> Option<&Chunk> {
+        self.chunks.get(ci).and_then(|c| c.as_deref())
+    }
+
+    /// Iterates the set ids inside chunk `ci` in ascending order.
+    pub fn iter_chunk(&self, ci: usize) -> impl Iterator<Item = u32> + '_ {
+        let base = (ci * CHUNK_BITS) as u32;
+        self.chunk(ci)
+            .map(|words| SetBits::new(words, base))
+            .into_iter()
+            .flatten()
     }
 
     /// Iterates the set ids in ascending order.
@@ -285,7 +388,11 @@ impl StateSet for DenseVisitSet {
         }
         let raw = ctx.raw();
         if row.spilled {
-            return row.spill.as_mut().expect("spilled row has bits").insert(raw);
+            return row
+                .spill
+                .as_mut()
+                .expect("spilled row has bits")
+                .insert(raw);
         }
         let n = row.len as usize;
         if row.inline[..n].contains(&raw) {
@@ -421,8 +528,75 @@ mod tests {
         assert_eq!(a.len(), 5);
     }
 
+    #[test]
+    fn chunk_kernels_match_scalar_semantics() {
+        let mut a: Chunk = [0; CHUNK_WORDS];
+        let mut b: Chunk = [0; CHUNK_WORDS];
+        assert!(!kernel::any_set(&a));
+        assert_eq!(kernel::count_ones(&a), 0);
+        a[0] = 0b1011;
+        a[7] = 1 << 63;
+        b[0] = 0b0110;
+        b[3] = 0xFF;
+        assert!(kernel::any_set(&a));
+        assert_eq!(kernel::count_ones(&a), 4);
+        // union adds exactly the bits of b missing from a
+        let mut u = a;
+        assert_eq!(kernel::union_into(&mut u, &b), 9);
+        assert_eq!(kernel::count_ones(&u), 13);
+        assert_eq!(u[0], 0b1111);
+        // difference removes exactly the shared bits
+        let mut d = u;
+        assert_eq!(kernel::difference_into(&mut d, &b), 10);
+        assert_eq!(d[0], 0b1001);
+        assert_eq!(d[3], 0);
+        assert_eq!(kernel::count_ones(&d), 3);
+        kernel::zero(&mut u);
+        assert!(!kernel::any_set(&u));
+    }
+
+    #[test]
+    fn bitset_difference() {
+        let mut a = ChunkedBitset::new();
+        let mut b = ChunkedBitset::new();
+        for i in [1u32, 5, 600, 2000] {
+            a.insert(i);
+        }
+        for i in [5u32, 600, 9999] {
+            b.insert(i);
+        }
+        a.difference_with(&b);
+        let got: Vec<u32> = a.iter().collect();
+        assert_eq!(got, vec![1, 2000]);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.count_ones(), 2);
+    }
+
+    #[test]
+    fn chunk_accessors_cover_iteration() {
+        let mut a = ChunkedBitset::new();
+        for i in [3u32, 511, 512, 1999] {
+            a.insert(i);
+        }
+        assert_eq!(a.chunk_count(), 4);
+        assert!(a.chunk(0).is_some());
+        assert!(a.chunk(2).is_none(), "untouched slot stays unallocated");
+        let per_chunk: usize = (0..a.chunk_count())
+            .map(|ci| a.iter_chunk(ci).count())
+            .sum();
+        assert_eq!(per_chunk, a.len());
+        let c0: Vec<u32> = a.iter_chunk(0).collect();
+        assert_eq!(c0, vec![3, 511]);
+        let c3: Vec<u32> = a.iter_chunk(3).collect();
+        assert_eq!(c3, vec![1999]);
+        // A cleared-but-allocated chunk is skipped by the any_set guard.
+        a.clear();
+        assert!(a.chunk(0).is_some());
+        assert!(!kernel::any_set(a.chunk(0).unwrap()));
+    }
+
     /// Deterministic model test: a cheap LCG drives interleaved
-    /// insert/contains/clear/union against a `BTreeSet` model.
+    /// insert/contains/clear/union/difference against a `BTreeSet` model.
     #[test]
     fn bitset_matches_btreeset_model() {
         use std::collections::BTreeSet;
@@ -439,7 +613,7 @@ mod tests {
         let mut other_model: BTreeSet<u32> = BTreeSet::new();
         for step in 0..20_000 {
             let id = rng() % 5000;
-            match rng() % 10 {
+            match rng() % 11 {
                 0..=5 => {
                     assert_eq!(b.insert(id), model.insert(id), "insert {id}");
                 }
@@ -449,6 +623,10 @@ mod tests {
                 8 => {
                     other.insert(id);
                     other_model.insert(id);
+                }
+                9 => {
+                    b.difference_with(&other);
+                    model.retain(|v| !other_model.contains(v));
                 }
                 _ => {
                     if step % 1000 == 999 {
@@ -461,6 +639,7 @@ mod tests {
                 }
             }
             assert_eq!(b.len(), model.len(), "len after step {step}");
+            assert_eq!(b.count_ones(), model.len(), "recount after step {step}");
         }
         let got: Vec<u32> = b.iter().collect();
         let want: Vec<u32> = model.into_iter().collect();

@@ -32,7 +32,7 @@ pub mod sharded_map;
 pub mod stealing;
 pub mod worklist;
 
-pub use bitset::{ChunkedBitset, DenseVisitSet, HashVisitSet, StateSet};
+pub use bitset::{kernel, Chunk, ChunkedBitset, DenseVisitSet, HashVisitSet, StateSet, CHUNK_BITS};
 pub use counters::{Counter, CounterSet, MaxTracker};
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use interner::{CtxId, CtxInterner};

@@ -33,17 +33,37 @@ use crate::context::Ctx;
 use crate::jmp::Dir;
 use crate::solver::CtxNode;
 use crate::stats::{Answer, QueryOutput, QueryStats};
-use parcfl_concurrent::{ChunkedBitset, CtxId, CtxInterner, FxHashMap, FxHashSet};
+use parcfl_concurrent::{kernel, ChunkedBitset, CtxId, CtxInterner, FxHashMap, FxHashSet};
 use parcfl_pag::{EdgeClass, NodeId, Pag};
+use std::ops::Range;
 use std::sync::Arc;
 
 /// An interned traversal state.
 type IState = (NodeId, CtxId);
 
+/// Waves below this many scans run on the calling thread even when the
+/// solver has workers: thread-spawn latency dwarfs a few hundred scans.
+/// Span accounting always uses the partition, so the answer *and* the
+/// reported virtual time are independent of whether threads were spawned.
+const SPAWN_MIN_SCANS: u64 = 2_048;
+
+/// Recycled-bitset pool cap for worker scratch rows (the row tables
+/// themselves recycle unbounded, as before): workers allocate scratch per
+/// wave, and without a cap the pool would grow with the worker count.
+const SCRATCH_POOL_CAP: usize = 512;
+
 /// Marker error: the query hit its scan budget or a cyclic sub-query
 /// dependency — both surface as [`Answer::OutOfBudget`].
 #[derive(Debug)]
 struct Halt;
+
+/// One memoised closure: the completed fixpoint plus the index of the
+/// query that computed it, so the batch scheduler knows which earlier
+/// query a memo hit shares work with.
+struct MemoEntry {
+    set: Arc<Vec<IState>>,
+    owner: u32,
+}
 
 /// The whole-program backend. One instance serves a batch of queries;
 /// sub-query closures are memoised across the whole batch.
@@ -56,9 +76,17 @@ pub struct MatrixSolver<'a> {
     /// Batch-global memo of completed closures. Only fixpoint (complete)
     /// results are stored, so entries are valid for every later query
     /// regardless of its budget.
-    memo_pts: FxHashMap<IState, Arc<Vec<IState>>>,
-    memo_flows: FxHashMap<IState, Arc<Vec<IState>>>,
-    memo_rch: FxHashMap<(Dir, NodeId, CtxId), Arc<Vec<IState>>>,
+    memo_pts: FxHashMap<IState, MemoEntry>,
+    memo_flows: FxHashMap<IState, MemoEntry>,
+    memo_rch: FxHashMap<(Dir, NodeId, CtxId), MemoEntry>,
+    /// Index of the query currently being evaluated
+    /// ([`MatrixSolver::set_query_index`]) — stamped as the owner of every
+    /// memo completed during it.
+    query_index: u32,
+    /// Owners of the memo entries the current query hit — the cross-query
+    /// sharing edges the batch scheduler turns into precedence
+    /// constraints ([`MatrixSolver::take_providers`]).
+    providers: FxHashSet<u32>,
     /// In-flight sub-query detection: a dependency cycle can never reach a
     /// fixpoint, so it aborts the query — mirroring the demand solver,
     /// which burns its remaining budget on the same cycles.
@@ -67,8 +95,17 @@ pub struct MatrixSolver<'a> {
     on_stack_rch: FxHashSet<(Dir, NodeId, CtxId)>,
     depth: u32,
     /// Frontier bits scanned by the current query (all nested closures
-    /// included) — charged against `cfg.budget`.
+    /// included) — charged against `cfg.budget`. Independent of the
+    /// worker count: every wave scans each fresh state exactly once.
     work: u64,
+    /// Parallel virtual time of the current query: per wave, the largest
+    /// worker share of the partition (the critical path). Equals `work`
+    /// at one worker.
+    span: u64,
+    /// Sweep worker count (≥ 1). Answers, scan counts and interner
+    /// contents are bit-identical for every value; only wall clock and
+    /// `span` change.
+    workers: usize,
     /// Recycled row bitsets; allocations persist across queries, so
     /// [`QueryStats::state_words`] reports the resident row storage.
     pool: Vec<ChunkedBitset>,
@@ -105,17 +142,15 @@ impl RowTable {
         let ri = self.row(c, pool);
         if self.visited[ri].insert(n) {
             self.frontier[ri].insert(n);
-            if !self.is_dirty[ri] {
-                self.is_dirty[ri] = true;
-                self.dirty.push(ri);
-            }
+            self.mark_dirty(ri);
         }
     }
 
-    fn pop_dirty(&mut self) -> Option<usize> {
-        let ri = self.dirty.pop()?;
-        self.is_dirty[ri] = false;
-        Some(ri)
+    fn mark_dirty(&mut self, ri: usize) {
+        if !self.is_dirty[ri] {
+            self.is_dirty[ri] = true;
+            self.dirty.push(ri);
+        }
     }
 
     /// Returns every row bitset to the pool (cleared, allocations kept).
@@ -129,6 +164,270 @@ impl RowTable {
         self.dirty.clear();
         self.is_dirty.clear();
     }
+}
+
+// ----- parallel frontier sweeps (DESIGN.md §11) -----
+//
+// A sweep drains the dirty frontiers in *waves*: the whole dirty set is
+// snapshotted (ascending row index), sliced into 512-bit chunk segments,
+// and the segments are partitioned contiguously across workers. Workers
+// only read — the PAG, the interner, the wave's frontier bits — and write
+// into private scratch; the barrier then replays worker outputs in
+// partition order. Because the partition is contiguous and the replay is
+// ordered, every observable (row-creation order, interner ids, pending
+// order, scan totals, Halt verdicts) is identical for every worker count,
+// including one: the parallel path *is* the sequential path.
+
+/// Which closure's transition relation a sweep applies.
+#[derive(Clone, Copy, PartialEq)]
+enum SweepKind {
+    /// `PointsTo`: incoming per-kind slices; `param` pops, `ret` pushes,
+    /// `new` edges land in the points-to rows, `load`s pend aliasing.
+    Pts,
+    /// `FlowsTo`: outgoing slices; `param` pushes, `ret` pops, `store`s
+    /// pend aliasing.
+    Flows,
+}
+
+/// One partition unit: `mask`'s set bits of one `u64` word
+/// (`chunk`/`word`) of wave row `fi` (`scans = mask.count_ones()`, the
+/// cost the partitioner balances). Sub-word masks — not whole 512-bit
+/// chunks or even whole words — are what keep small waves splittable:
+/// frontiers cluster in low node ids, so without them a wave's critical
+/// path floors at the fattest word and the measured makespan stalls well
+/// short of the worker count. Concatenating segments in (fi, chunk,
+/// word, ascending-bit) order reproduces the one-worker scan order
+/// exactly, whatever the split.
+struct Seg {
+    fi: u32,
+    chunk: u32,
+    word: u32,
+    mask: u64,
+    scans: u32,
+}
+
+/// Per-context scratch bitsets of one worker, kept in first-touch order
+/// so the barrier merge visits contexts in global scan order.
+#[derive(Default)]
+struct ScratchRows {
+    idx: FxHashMap<CtxId, usize>,
+    ctxs: Vec<CtxId>,
+    bits: Vec<ChunkedBitset>,
+}
+
+impl ScratchRows {
+    /// Inserts `n` under `c`; returns `true` iff this created the row.
+    fn insert(&mut self, n: u32, c: CtxId) -> bool {
+        if let Some(&i) = self.idx.get(&c) {
+            self.bits[i].insert(n);
+            return false;
+        }
+        let i = self.ctxs.len();
+        self.idx.insert(c, i);
+        self.ctxs.push(c);
+        let mut b = ChunkedBitset::default();
+        b.insert(n);
+        self.bits.push(b);
+        true
+    }
+
+    fn drain(&mut self) -> impl Iterator<Item = (CtxId, ChunkedBitset)> + '_ {
+        self.idx.clear();
+        self.ctxs.drain(..).zip(self.bits.drain(..))
+    }
+}
+
+/// Ordering-sensitive effects of one worker's scan, replayed at the
+/// barrier in partition order. Scratch bit *content* is order-free (sets
+/// merged with the chunk kernels); these ops carry everything whose order
+/// the run can observe.
+enum Op {
+    /// First touch of a known target context: creates the row, so row
+    /// indices are assigned in global scan order.
+    Touch(CtxId),
+    /// Context push (`ret` on the pts side, `param` on flows): interned at
+    /// the barrier, keeping the interner single-writer during sweeps and
+    /// id assignment identical to the one-worker run.
+    Push { n: u32, parent: CtxId, site: u32 },
+    /// Alias obligation (`load` on the pts side, `store` on flows).
+    Pend { n: u32, c: CtxId },
+}
+
+/// Everything one worker produces from its share of a wave.
+#[derive(Default)]
+struct SweepOut {
+    scans: u64,
+    /// Known-context insertions (same-context, `assign_g` resets, `param`/
+    /// `ret` pops) — merged into visited/frontier rows by chunk kernels.
+    scratch: ScratchRows,
+    /// `new`-edge hits: objects entering the points-to rows (pts sweeps
+    /// only). Pure set content, never creates closure rows.
+    pts: ScratchRows,
+    ops: Vec<Op>,
+}
+
+impl SweepOut {
+    #[inline]
+    fn ins(&mut self, n: u32, c: CtxId) {
+        if self.scratch.insert(n, c) {
+            self.ops.push(Op::Touch(c));
+        }
+    }
+}
+
+/// The shared-read state a sweep worker needs. Interner *reads*
+/// (`top`/`parent`) are lock-free and safe concurrently; interning
+/// (id allocation) is deferred to the barrier via [`Op::Push`].
+struct SweepEnv<'b> {
+    pag: &'b Pag,
+    ctxs: &'b CtxInterner,
+    ctx_sens: bool,
+}
+
+/// Scans one contiguous run of segments, in order, bits ascending — the
+/// exact order the one-worker sweep uses for the same slice.
+fn scan_part(
+    env: &SweepEnv<'_>,
+    kind: SweepKind,
+    fronts: &[(CtxId, ChunkedBitset)],
+    segs: &[Seg],
+) -> SweepOut {
+    let mut out = SweepOut::default();
+    for seg in segs {
+        let (cx, bits) = &fronts[seg.fi as usize];
+        let cx = *cx;
+        let chunk = bits.chunk(seg.chunk as usize).expect("segment has bits");
+        let base = seg.chunk * parcfl_concurrent::CHUNK_BITS as u32 + seg.word * 64;
+        let mut w = chunk[seg.word as usize] & seg.mask;
+        while w != 0 {
+            let nr = base + w.trailing_zeros();
+            w &= w - 1;
+            out.scans += 1;
+            match kind {
+                SweepKind::Pts => scan_bit_pts(env, nr, cx, &mut out),
+                SweepKind::Flows => scan_bit_flows(env, nr, cx, &mut out),
+            }
+        }
+    }
+    out
+}
+
+/// Applies every incoming edge class to state `(x, cx)` — one bit of the
+/// backward (points-to) SpMV.
+fn scan_bit_pts(env: &SweepEnv<'_>, xr: u32, cx: CtxId, out: &mut SweepOut) {
+    let pag = env.pag;
+    let x = NodeId::new(xr);
+    // pts rows are order-free set content; no Touch op needed.
+    for e in pag.incoming_kind(x, EdgeClass::New) {
+        out.pts.insert(e.src.raw(), cx);
+    }
+    for e in pag.incoming_kind(x, EdgeClass::AssignLocal) {
+        out.ins(e.src.raw(), cx);
+    }
+    for e in pag.incoming_kind(x, EdgeClass::AssignGlobal) {
+        let c2 = if env.ctx_sens { CtxId::EMPTY } else { cx };
+        out.ins(e.src.raw(), c2);
+    }
+    for e in pag.incoming_kind(x, EdgeClass::Param) {
+        let i = e.kind.call_site().expect("param edge");
+        let c2 = if !env.ctx_sens || cx.is_empty() {
+            cx
+        } else if env.ctxs.top(cx) == Some(i.raw()) {
+            env.ctxs.parent(cx)
+        } else {
+            continue;
+        };
+        out.ins(e.src.raw(), c2);
+    }
+    for e in pag.incoming_kind(x, EdgeClass::Ret) {
+        let i = e.kind.call_site().expect("ret edge");
+        if env.ctx_sens {
+            out.ops.push(Op::Push {
+                n: e.src.raw(),
+                parent: cx,
+                site: i.raw(),
+            });
+        } else {
+            out.ins(e.src.raw(), cx);
+        }
+    }
+    if !pag.incoming_kind(x, EdgeClass::Load).is_empty() {
+        out.ops.push(Op::Pend { n: xr, c: cx });
+    }
+}
+
+/// The forward dual: outgoing slices, `param` pushes, `ret` pops, stores
+/// pend aliasing.
+fn scan_bit_flows(env: &SweepEnv<'_>, nr: u32, cn: CtxId, out: &mut SweepOut) {
+    let pag = env.pag;
+    let n = NodeId::new(nr);
+    for e in pag.outgoing_kind(n, EdgeClass::New) {
+        out.ins(e.dst.raw(), cn);
+    }
+    for e in pag.outgoing_kind(n, EdgeClass::AssignLocal) {
+        out.ins(e.dst.raw(), cn);
+    }
+    for e in pag.outgoing_kind(n, EdgeClass::AssignGlobal) {
+        let c2 = if env.ctx_sens { CtxId::EMPTY } else { cn };
+        out.ins(e.dst.raw(), c2);
+    }
+    for e in pag.outgoing_kind(n, EdgeClass::Param) {
+        let i = e.kind.call_site().expect("param edge");
+        if env.ctx_sens {
+            out.ops.push(Op::Push {
+                n: e.dst.raw(),
+                parent: cn,
+                site: i.raw(),
+            });
+        } else {
+            out.ins(e.dst.raw(), cn);
+        }
+    }
+    for e in pag.outgoing_kind(n, EdgeClass::Ret) {
+        let i = e.kind.call_site().expect("ret edge");
+        let c2 = if !env.ctx_sens || cn.is_empty() {
+            cn
+        } else if env.ctxs.top(cn) == Some(i.raw()) {
+            env.ctxs.parent(cn)
+        } else {
+            continue;
+        };
+        out.ins(e.dst.raw(), c2);
+    }
+    if !pag.outgoing_kind(n, EdgeClass::Store).is_empty() {
+        out.ops.push(Op::Pend { n: nr, c: cn });
+    }
+}
+
+/// Cuts the segment list into ≤ `workers` contiguous ranges of roughly
+/// equal scan cost. Deterministic; contiguity is what makes the ordered
+/// barrier replay equal the one-worker scan order.
+fn partition_segs(segs: &[Seg], workers: usize) -> Vec<Range<usize>> {
+    if workers <= 1 || segs.len() <= 1 {
+        return std::iter::once(0..segs.len()).collect();
+    }
+    let total: u64 = segs.iter().map(|s| s.scans as u64).sum();
+    let mut parts = Vec::with_capacity(workers);
+    let mut start = 0usize;
+    let mut acc = 0u64;
+    let mut remaining = total;
+    for (i, s) in segs.iter().enumerate() {
+        acc += s.scans as u64;
+        // Re-derive the target from what is left so early oversized cuts
+        // (a fat segment straddling the boundary) shrink the shares that
+        // follow instead of starving the last worker.
+        let parts_left = (workers - parts.len()) as u64;
+        if acc * parts_left >= remaining && parts.len() + 1 < workers {
+            parts.push(start..i + 1);
+            start = i + 1;
+            remaining -= acc;
+            acc = 0;
+        }
+    }
+    if start < segs.len() {
+        parts.push(start..segs.len());
+    }
+    parts
 }
 
 impl<'a> MatrixSolver<'a> {
@@ -149,8 +448,40 @@ impl<'a> MatrixSolver<'a> {
             on_stack_rch: FxHashSet::default(),
             depth: 0,
             work: 0,
+            span: 0,
+            workers: 1,
+            query_index: 0,
+            providers: FxHashSet::default(),
             pool: Vec::new(),
         }
+    }
+
+    /// Declares which batch query the next evaluation belongs to. Memos
+    /// completed from here on are stamped with `i`; memo hits on entries
+    /// owned by *other* indices accumulate as providers.
+    pub fn set_query_index(&mut self, i: u32) {
+        self.query_index = i;
+    }
+
+    /// Drains the provider set of the last query: the (deduplicated,
+    /// ascending) indices of earlier queries whose memoised closures it
+    /// consumed. The batch scheduler treats each as a precedence edge —
+    /// in a parallel batch run the consumer blocks until its providers'
+    /// results are published.
+    pub fn take_providers(&mut self) -> Vec<u32> {
+        let mut v: Vec<u32> = self.providers.drain().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Sets the sweep worker count (default 1): each wave's frontier
+    /// chunks are partitioned across this many threads. Answers, scan
+    /// counts, Halt verdicts and interner contents are bit-identical for
+    /// every value — only wall clock and [`QueryStats::span_steps`]
+    /// change.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
     }
 
     /// The context interner this solver resolves `CtxId`s against.
@@ -169,7 +500,9 @@ impl<'a> MatrixSolver<'a> {
             self.pag.node_count()
         );
         self.work = 0;
+        self.span = 0;
         self.depth = 0;
+        self.providers.clear();
         // A halted query leaves its in-flight guards set; clear them so
         // the next query starts clean (the memo holds only completed
         // results and stays valid).
@@ -180,6 +513,7 @@ impl<'a> MatrixSolver<'a> {
         let mut stats = QueryStats::default();
         stats.charged_steps = self.work;
         stats.traversed_steps = self.work;
+        stats.span_steps = self.span;
         stats.state_words = self.pool.iter().map(ChunkedBitset::allocated_words).sum();
         // Mirrors the demand solver's allocation proxy, except the memo
         // is batch-resident: later queries report everything still held.
@@ -203,13 +537,29 @@ impl<'a> MatrixSolver<'a> {
     }
 
     fn memo_items(&self) -> u64 {
-        self.memo_pts.values().map(|v| v.len() as u64).sum::<u64>()
+        self.memo_pts
+            .values()
+            .map(|e| e.set.len() as u64)
+            .sum::<u64>()
             + self
                 .memo_flows
                 .values()
-                .map(|v| v.len() as u64)
+                .map(|e| e.set.len() as u64)
                 .sum::<u64>()
-            + self.memo_rch.values().map(|v| v.len() as u64).sum::<u64>()
+            + self
+                .memo_rch
+                .values()
+                .map(|e| e.set.len() as u64)
+                .sum::<u64>()
+    }
+
+    /// Records a memo hit on `owner`'s entry: cross-query hits become
+    /// provider (precedence) edges for the batch scheduler.
+    #[inline]
+    fn note_hit(providers: &mut FxHashSet<u32>, owner: u32, current: u32) {
+        if owner != current {
+            providers.insert(owner);
+        }
     }
 
     /// Sorts interned states by materialised `(node, call string)` — the
@@ -233,8 +583,9 @@ impl<'a> MatrixSolver<'a> {
 
     fn pts_set(&mut self, l: NodeId, c: CtxId) -> Result<Arc<Vec<IState>>, Halt> {
         let key = (l, c);
-        if let Some(r) = self.memo_pts.get(&key) {
-            return Ok(Arc::clone(r));
+        if let Some(e) = self.memo_pts.get(&key) {
+            Self::note_hit(&mut self.providers, e.owner, self.query_index);
+            return Ok(Arc::clone(&e.set));
         }
         self.enter()?;
         if !self.on_stack_pts.insert(key) {
@@ -244,7 +595,13 @@ impl<'a> MatrixSolver<'a> {
         self.on_stack_pts.remove(&key);
         self.depth -= 1;
         let out = Arc::new(out);
-        self.memo_pts.insert(key, Arc::clone(&out));
+        self.memo_pts.insert(
+            key,
+            MemoEntry {
+                set: Arc::clone(&out),
+                owner: self.query_index,
+            },
+        );
         Ok(out)
     }
 
@@ -277,7 +634,7 @@ impl<'a> MatrixSolver<'a> {
         pending: &mut Vec<IState>,
     ) -> Result<(), Halt> {
         loop {
-            self.pts_sweep(rows, pts_rows, pending)?;
+            self.sweep(SweepKind::Pts, rows, Some(pts_rows), pending)?;
             // Edge propagation is drained; resolve one alias obligation
             // and re-drain. Fixpoint order is irrelevant to the result.
             let Some((x, cx)) = pending.pop() else {
@@ -290,66 +647,158 @@ impl<'a> MatrixSolver<'a> {
         }
     }
 
-    /// Drains dirty frontiers: one pass per frontier applies every edge
-    /// class to all its set bits (the SpMV step), routing results into
-    /// per-context target rows.
-    fn pts_sweep(
+    /// Drains dirty frontiers in worker-partitioned waves: each wave
+    /// snapshots the dirty rows (ascending index), slices their frontiers
+    /// into 512-bit chunk segments, scans the contiguous partition on up
+    /// to `self.workers` threads, and replays worker outputs in partition
+    /// order at the barrier — scratch bitsets differenced/unioned into
+    /// the visited and frontier rows one whole chunk at a time.
+    fn sweep(
         &mut self,
+        kind: SweepKind,
         rows: &mut RowTable,
-        pts_rows: &mut FxHashMap<CtxId, ChunkedBitset>,
+        mut pts_rows: Option<&mut FxHashMap<CtxId, ChunkedBitset>>,
         pending: &mut Vec<IState>,
     ) -> Result<(), Halt> {
-        let ctx_sens = self.cfg.context_sensitive;
-        let pag = self.pag;
-        while let Some(ri) = rows.pop_dirty() {
-            let frontier = std::mem::take(&mut rows.frontier[ri]);
-            let cx = rows.ctx_of[ri];
-            for xr in frontier.iter() {
-                self.work += 1;
-                if self.work > self.cfg.budget {
-                    return Err(Halt);
-                }
-                let x = NodeId::new(xr);
-                for e in pag.incoming_kind(x, EdgeClass::New) {
-                    pts_rows
-                        .entry(cx)
-                        .or_insert_with(|| self.pool.pop().unwrap_or_default())
-                        .insert(e.src.raw());
-                }
-                for e in pag.incoming_kind(x, EdgeClass::AssignLocal) {
-                    rows.insert(e.src.raw(), cx, &mut self.pool);
-                }
-                for e in pag.incoming_kind(x, EdgeClass::AssignGlobal) {
-                    let c2 = if ctx_sens { CtxId::EMPTY } else { cx };
-                    rows.insert(e.src.raw(), c2, &mut self.pool);
-                }
-                for e in pag.incoming_kind(x, EdgeClass::Param) {
-                    let i = e.kind.call_site().expect("param edge");
-                    let c2 = if !ctx_sens || cx.is_empty() {
-                        cx
-                    } else if self.ctxs.top(cx) == Some(i.raw()) {
-                        self.ctxs.parent(cx)
-                    } else {
-                        continue;
-                    };
-                    rows.insert(e.src.raw(), c2, &mut self.pool);
-                }
-                for e in pag.incoming_kind(x, EdgeClass::Ret) {
-                    let i = e.kind.call_site().expect("ret edge");
-                    let c2 = if ctx_sens {
-                        self.ctxs.intern(cx, i.raw())
-                    } else {
-                        cx
-                    };
-                    rows.insert(e.src.raw(), c2, &mut self.pool);
-                }
-                if !pag.incoming_kind(x, EdgeClass::Load).is_empty() {
-                    pending.push((x, cx));
+        while !rows.dirty.is_empty() {
+            // Wave snapshot, deterministic order.
+            let mut wave = std::mem::take(&mut rows.dirty);
+            wave.sort_unstable();
+            let mut fronts: Vec<(CtxId, ChunkedBitset)> = Vec::with_capacity(wave.len());
+            for &ri in &wave {
+                rows.is_dirty[ri] = false;
+                fronts.push((rows.ctx_of[ri], std::mem::take(&mut rows.frontier[ri])));
+            }
+            // Sub-word segments, costed by population count. First pass
+            // totals the wave (the any_set guard skips pooled chunks that
+            // are allocated but cleared); the grain then aims for ~4
+            // segments per worker so the partitioner has slack to
+            // balance, and fat words are split into ascending-bit mask
+            // groups of at most `grain` scans.
+            let mut total: u64 = 0;
+            for (_, bits) in &fronts {
+                for ci in 0..bits.chunk_count() {
+                    if let Some(ch) = bits.chunk(ci) {
+                        total += kernel::count_ones(ch) as u64;
+                    }
                 }
             }
-            let mut frontier = frontier;
-            frontier.clear();
-            self.pool.push(frontier);
+            let grain = if self.workers <= 1 {
+                64
+            } else {
+                (total / (self.workers as u64 * 4)).clamp(1, 64) as u32
+            };
+            let mut segs: Vec<Seg> = Vec::new();
+            for (fi, (_, bits)) in fronts.iter().enumerate() {
+                for ci in 0..bits.chunk_count() {
+                    let Some(ch) = bits.chunk(ci) else { continue };
+                    if !kernel::any_set(ch) {
+                        continue;
+                    }
+                    for (wi, &w) in ch.iter().enumerate() {
+                        let mut rem = w;
+                        while rem != 0 {
+                            let mut mask = 0u64;
+                            let mut scans = 0u32;
+                            while rem != 0 && scans < grain {
+                                mask |= rem & rem.wrapping_neg();
+                                rem &= rem - 1;
+                                scans += 1;
+                            }
+                            segs.push(Seg {
+                                fi: fi as u32,
+                                chunk: ci as u32,
+                                word: wi as u32,
+                                mask,
+                                scans,
+                            });
+                        }
+                    }
+                }
+            }
+            let parts = partition_segs(&segs, self.workers);
+            let env = SweepEnv {
+                pag: self.pag,
+                ctxs: &self.ctxs,
+                ctx_sens: self.cfg.context_sensitive,
+            };
+            let outs: Vec<SweepOut> = if parts.len() <= 1 || total < SPAWN_MIN_SCANS {
+                parts
+                    .iter()
+                    .map(|p| scan_part(&env, kind, &fronts, &segs[p.clone()]))
+                    .collect()
+            } else {
+                std::thread::scope(|sc| {
+                    let fronts = &fronts;
+                    let segs = &segs[..];
+                    let env = &env;
+                    let handles: Vec<_> = parts
+                        .iter()
+                        .map(|p| {
+                            let part = &segs[p.clone()];
+                            sc.spawn(move || scan_part(env, kind, fronts, part))
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("sweep worker panicked"))
+                        .collect()
+                })
+            };
+            // Whole waves are charged and span-accounted from the
+            // partition, so both figures are execution-independent. The
+            // budget verdict matches bit-at-a-time charging: cumulative
+            // scans are the same in every order, so "exceeds the budget
+            // at some point" is the same predicate.
+            self.span += outs.iter().map(|o| o.scans).max().unwrap_or(0);
+            self.work += total;
+            for (_, mut b) in fronts {
+                b.clear();
+                self.pool.push(b);
+            }
+            if self.work > self.cfg.budget {
+                return Err(Halt);
+            }
+            // Barrier: ordered replay, then kernel merges.
+            for mut out in outs {
+                for op in out.ops.drain(..) {
+                    match op {
+                        Op::Touch(c) => {
+                            rows.row(c, &mut self.pool);
+                        }
+                        Op::Push { n, parent, site } => {
+                            let c2 = self.ctxs.intern(parent, site);
+                            rows.insert(n, c2, &mut self.pool);
+                        }
+                        Op::Pend { n, c } => pending.push((NodeId::new(n), c)),
+                    }
+                }
+                for (c, mut bits) in out.scratch.drain() {
+                    let ri = *rows.idx.get(&c).expect("touched row exists");
+                    bits.difference_with(&rows.visited[ri]);
+                    if !bits.is_empty() {
+                        rows.visited[ri].union_with(&bits);
+                        rows.frontier[ri].union_with(&bits);
+                        rows.mark_dirty(ri);
+                    }
+                    if self.pool.len() < SCRATCH_POOL_CAP {
+                        bits.clear();
+                        self.pool.push(bits);
+                    }
+                }
+                if let Some(pts) = pts_rows.as_deref_mut() {
+                    for (c, bits) in out.pts.drain() {
+                        pts.entry(c)
+                            .or_insert_with(|| self.pool.pop().unwrap_or_default())
+                            .union_with(&bits);
+                        if self.pool.len() < SCRATCH_POOL_CAP {
+                            let mut bits = bits;
+                            bits.clear();
+                            self.pool.push(bits);
+                        }
+                    }
+                }
+            }
         }
         Ok(())
     }
@@ -358,8 +807,9 @@ impl<'a> MatrixSolver<'a> {
 
     fn flows_set(&mut self, o: NodeId, c: CtxId) -> Result<Arc<Vec<IState>>, Halt> {
         let key = (o, c);
-        if let Some(r) = self.memo_flows.get(&key) {
-            return Ok(Arc::clone(r));
+        if let Some(e) = self.memo_flows.get(&key) {
+            Self::note_hit(&mut self.providers, e.owner, self.query_index);
+            return Ok(Arc::clone(&e.set));
         }
         self.enter()?;
         if !self.on_stack_flows.insert(key) {
@@ -369,7 +819,13 @@ impl<'a> MatrixSolver<'a> {
         self.on_stack_flows.remove(&key);
         self.depth -= 1;
         let out = Arc::new(out);
-        self.memo_flows.insert(key, Arc::clone(&out));
+        self.memo_flows.insert(
+            key,
+            MemoEntry {
+                set: Arc::clone(&out),
+                owner: self.query_index,
+            },
+        );
         Ok(out)
     }
 
@@ -404,7 +860,7 @@ impl<'a> MatrixSolver<'a> {
         pending: &mut Vec<IState>,
     ) -> Result<(), Halt> {
         loop {
-            self.flows_sweep(rows, pending)?;
+            self.sweep(SweepKind::Flows, rows, None, pending)?;
             let Some((y, cy)) = pending.pop() else {
                 return Ok(());
             };
@@ -415,67 +871,13 @@ impl<'a> MatrixSolver<'a> {
         }
     }
 
-    /// The forward dual of [`MatrixSolver::pts_sweep`]: outgoing per-kind
-    /// slices, `param` pushes and `ret` pops, stores trigger aliasing.
-    fn flows_sweep(&mut self, rows: &mut RowTable, pending: &mut Vec<IState>) -> Result<(), Halt> {
-        let ctx_sens = self.cfg.context_sensitive;
-        let pag = self.pag;
-        while let Some(ri) = rows.pop_dirty() {
-            let frontier = std::mem::take(&mut rows.frontier[ri]);
-            let cn = rows.ctx_of[ri];
-            for nr in frontier.iter() {
-                self.work += 1;
-                if self.work > self.cfg.budget {
-                    return Err(Halt);
-                }
-                let n = NodeId::new(nr);
-                for e in pag.outgoing_kind(n, EdgeClass::New) {
-                    rows.insert(e.dst.raw(), cn, &mut self.pool);
-                }
-                for e in pag.outgoing_kind(n, EdgeClass::AssignLocal) {
-                    rows.insert(e.dst.raw(), cn, &mut self.pool);
-                }
-                for e in pag.outgoing_kind(n, EdgeClass::AssignGlobal) {
-                    let c2 = if ctx_sens { CtxId::EMPTY } else { cn };
-                    rows.insert(e.dst.raw(), c2, &mut self.pool);
-                }
-                for e in pag.outgoing_kind(n, EdgeClass::Param) {
-                    let i = e.kind.call_site().expect("param edge");
-                    let c2 = if ctx_sens {
-                        self.ctxs.intern(cn, i.raw())
-                    } else {
-                        cn
-                    };
-                    rows.insert(e.dst.raw(), c2, &mut self.pool);
-                }
-                for e in pag.outgoing_kind(n, EdgeClass::Ret) {
-                    let i = e.kind.call_site().expect("ret edge");
-                    let c2 = if !ctx_sens || cn.is_empty() {
-                        cn
-                    } else if self.ctxs.top(cn) == Some(i.raw()) {
-                        self.ctxs.parent(cn)
-                    } else {
-                        continue;
-                    };
-                    rows.insert(e.dst.raw(), c2, &mut self.pool);
-                }
-                if !pag.outgoing_kind(n, EdgeClass::Store).is_empty() {
-                    pending.push((n, cn));
-                }
-            }
-            let mut frontier = frontier;
-            frontier.clear();
-            self.pool.push(frontier);
-        }
-        Ok(())
-    }
-
     // ----- REACHABLENODES -----
 
     fn rch_set(&mut self, x: NodeId, c: CtxId, dir: Dir) -> Result<Arc<Vec<IState>>, Halt> {
         let key = (dir, x, c);
-        if let Some(r) = self.memo_rch.get(&key) {
-            return Ok(Arc::clone(r));
+        if let Some(e) = self.memo_rch.get(&key) {
+            Self::note_hit(&mut self.providers, e.owner, self.query_index);
+            return Ok(Arc::clone(&e.set));
         }
         self.enter()?;
         if !self.on_stack_rch.insert(key) {
@@ -488,7 +890,13 @@ impl<'a> MatrixSolver<'a> {
         self.on_stack_rch.remove(&key);
         self.depth -= 1;
         let out = Arc::new(out);
-        self.memo_rch.insert(key, Arc::clone(&out));
+        self.memo_rch.insert(
+            key,
+            MemoEntry {
+                set: Arc::clone(&out),
+                owner: self.query_index,
+            },
+        );
         Ok(out)
     }
 
@@ -616,6 +1024,57 @@ mod tests {
         let out = matrix.points_to_query(b);
         assert_eq!(out.answer, Answer::OutOfBudget);
         assert!(out.stats.out_of_budget);
+    }
+
+    /// The wave partition/barrier machinery is the single code path for
+    /// every worker count, so answers, scan counts, Halt verdicts and
+    /// interner contents must match the one-worker run exactly.
+    #[test]
+    fn parallel_sweeps_bit_identical_across_worker_counts() {
+        let src = "class Obj { }
+                   class Box { field f: Obj;
+                     method set(v: Obj) { this.f = v; }
+                     method get(): Obj { var r: Obj; r = this.f; return r; }
+                   }
+                   class A { method m() {
+                     var b: Box; var c: Box; var x: Obj; var y: Obj; var z: Obj;
+                     b = new Box; c = b; x = new Obj;
+                     call b.set(x);
+                     y = call b.get(); z = call c.get();
+                   } }";
+        let pag = build_pag(src).unwrap().pag;
+        for budget in [u64::MAX, 10, 3] {
+            let cfg = SolverConfig::default().with_budget(budget);
+            let mut base = MatrixSolver::new(&pag, &cfg);
+            let baseline: Vec<_> = pag
+                .node_ids()
+                .filter(|&n| pag.kind(n).is_variable())
+                .map(|n| (n, base.points_to_query(n)))
+                .collect();
+            for w in [2usize, 4, 8] {
+                let mut par = MatrixSolver::new(&pag, &cfg).with_workers(w);
+                for (n, b) in &baseline {
+                    let p = par.points_to_query(*n);
+                    assert_eq!(
+                        b.answer, p.answer,
+                        "workers={w} budget={budget} query {n:?}"
+                    );
+                    assert_eq!(
+                        b.stats.traversed_steps, p.stats.traversed_steps,
+                        "workers={w} budget={budget} query {n:?}: scan counts diverge"
+                    );
+                    assert!(
+                        p.stats.span_steps <= p.stats.traversed_steps,
+                        "span never exceeds total scans"
+                    );
+                }
+                assert_eq!(
+                    base.interner().len(),
+                    par.interner().len(),
+                    "workers={w}: interned context count diverges"
+                );
+            }
+        }
     }
 
     #[test]

@@ -40,6 +40,12 @@ pub struct QueryStats {
     /// words: exact allocated bitset words under the dense backend, a
     /// two-words-per-entry estimate under the hash backend (DESIGN.md §11).
     pub state_words: u64,
+    /// Parallel virtual time of the query in traversal steps: the
+    /// critical-path scan count when frontier sweeps are partitioned
+    /// across workers (the matrix engine's per-wave `max` over worker
+    /// shares — DESIGN.md §11). Equals `traversed_steps` at one worker;
+    /// 0 for the demand solver, whose makespan the runners model instead.
+    pub span_steps: u64,
 }
 
 /// Result of one points-to (or flows-to) query.

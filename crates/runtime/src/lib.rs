@@ -79,19 +79,48 @@ pub fn schedule_with_cap(
     }
 }
 
-/// The `Engine::Auto` density heuristic (DESIGN.md §11): the matrix
-/// engine evaluates each sub-query closure once and reuses it across the
-/// whole batch, so it pays off when the batch is *dense* — many queries
-/// covering a large fraction of the program's variables. Small or sparse
-/// batches stay on the demand solver, whose per-query cost is lower.
+/// The `Engine::Auto` heuristic (DESIGN.md §11), tuned against the
+/// measured crossover in `BENCH_solver.json`: the matrix engine
+/// evaluates each sub-query closure once and reuses it across the whole
+/// batch, but its rows are bitsets over the *whole* node space, so its
+/// wall cost per traversed step grows with program size while the demand
+/// solver's stays flat. On the Table-I corpus every bench where the
+/// matrix engine beats demand wall-clock (`_200_check` 1.44×,
+/// `_201_compress` 1.30×, `_205_raytrace` 1.52×, `_209_db` 1.18×,
+/// `_227_mtrt` 1.02×, `_999_checkit` 1.36×) has ≤ 1399 PAG nodes and
+/// ≤ 479 call sites; every bench where it loses (worst: `_213_javac`
+/// 0.11×, `_202_jess` 0.17×) has ≥ 1456 nodes. The thresholds below sit
+/// in that measured gap (`crates/synth/examples/probe_features.rs` dumps
+/// the feature table). The batch itself must still be *dense* — many
+/// queries covering a large fraction of the program's variables — since
+/// sparse batches never amortise the whole-program closures.
 pub fn matrix_pays_off(pag: &Pag, queries: &[NodeId]) -> bool {
-    queries.len() >= 32 && queries.len() * 2 >= pag.application_locals().len()
+    /// Below this the batch cannot amortise the whole-program closures.
+    const MIN_BATCH: usize = 32;
+    /// Measured node-count crossover: largest winner 1399 (`_205_raytrace`),
+    /// smallest loser 1456 (`luindex`).
+    const MAX_NODES: usize = 1_400;
+    /// Context-explosion guard: interned-context counts track call-site
+    /// counts (~1.2–1.4×), and the worst matrix losses (`jess`, `javac`)
+    /// pair thousands of contexts with big node spaces. Largest winner:
+    /// 479 call sites (`_205_raytrace`).
+    const MAX_CALL_SITES: usize = 500;
+    let locals = pag.application_locals().len();
+    if queries.is_empty() || locals == 0 {
+        return false;
+    }
+    queries.len() >= MIN_BATCH
+        && queries.len() * 2 >= locals
+        && pag.node_count() <= MAX_NODES
+        && pag.call_site_count() < MAX_CALL_SITES
 }
 
 /// Runs `queries` under `cfg`, dispatching to the configured engine and
 /// backend. `Engine::Matrix` (or an `Auto` batch that
-/// [`matrix_pays_off`]) answers on the whole-program backend; otherwise
-/// the demand solver runs on the configured `Backend`.
+/// [`matrix_pays_off`]) answers on the whole-program backend with
+/// `cfg.threads` sweep workers; otherwise the demand solver runs on the
+/// configured `Backend`. The engine that actually ran is recorded in
+/// [`RunStats::engine_dispatched`].
 pub fn run(pag: &Pag, queries: &[NodeId], cfg: &RunConfig) -> RunResult {
     let matrix = match cfg.engine {
         Engine::Matrix => true,
@@ -99,7 +128,7 @@ pub fn run(pag: &Pag, queries: &[NodeId], cfg: &RunConfig) -> RunResult {
         Engine::Auto => matrix_pays_off(pag, queries),
     };
     if matrix {
-        return run_matrix(pag, queries, &cfg.solver);
+        return run_matrix(pag, queries, cfg);
     }
     match cfg.backend {
         Backend::Threaded => run_threaded(pag, queries, cfg),
@@ -171,5 +200,89 @@ mod tests {
         // Dense batch: every application local, repeated past the floor.
         let dense: Vec<_> = qs.iter().cycle().take(64).copied().collect();
         assert!(matrix_pays_off(&pag, &dense));
+    }
+
+    #[test]
+    fn run_records_dispatched_engine() {
+        let src = "class Obj { }
+                   class A { method m() { var a: Obj; var b: Obj; a = new Obj; b = a; } }";
+        let pag = build_pag(src).unwrap().pag;
+        let qs = pag.application_locals();
+        let mat = run(
+            &pag,
+            &qs,
+            &RunConfig::new(Mode::Naive, 2, Backend::Simulated).with_engine(Engine::Matrix),
+        );
+        assert_eq!(mat.stats.engine_dispatched, Some(Engine::Matrix));
+        let sim = run(
+            &pag,
+            &qs,
+            &RunConfig::new(Mode::Naive, 2, Backend::Simulated),
+        );
+        assert_eq!(sim.stats.engine_dispatched, Some(Engine::Demand));
+        let thr = run(
+            &pag,
+            &qs,
+            &RunConfig::new(Mode::Naive, 2, Backend::Threaded),
+        );
+        assert_eq!(thr.stats.engine_dispatched, Some(Engine::Demand));
+        // A 2-query Auto batch is sparse: the demand solver runs, and the
+        // stats say so rather than echoing the configured `Engine::Auto`.
+        let auto = run(
+            &pag,
+            &qs,
+            &RunConfig::new(Mode::Naive, 2, Backend::Simulated).with_engine(Engine::Auto),
+        );
+        assert_eq!(auto.stats.engine_dispatched, Some(Engine::Demand));
+    }
+
+    #[test]
+    fn matrix_pays_off_degenerate_cases() {
+        let src = "class Obj { }
+                   class A { method m() { var a: Obj; var b: Obj; a = new Obj; b = a; } }";
+        let pag = build_pag(src).unwrap().pag;
+        let qs = pag.application_locals();
+        // Empty batch: nothing to amortise.
+        assert!(!matrix_pays_off(&pag, &[]));
+        // A program with no application locals can never be "dense".
+        let bare = build_pag("class Obj { }").unwrap().pag;
+        assert!(bare.application_locals().is_empty());
+        let fake: Vec<_> = qs.iter().cycle().take(64).copied().collect();
+        assert!(!matrix_pays_off(&bare, &fake));
+    }
+
+    #[test]
+    fn matrix_pays_off_respects_size_crossover() {
+        // Tiny dense batch: well under the measured node/call-site
+        // crossover, so the matrix engine pays off.
+        let src = "class Obj { }
+                   class A { method m() { var a: Obj; var b: Obj; a = new Obj; b = a; } }";
+        let pag = build_pag(src).unwrap().pag;
+        assert!(pag.node_count() <= 1_400 && pag.call_site_count() < 500);
+        let dense: Vec<_> = pag
+            .application_locals()
+            .iter()
+            .cycle()
+            .take(64)
+            .copied()
+            .collect();
+        assert!(matrix_pays_off(&pag, &dense));
+        // Past the measured crossover the matrix engine loses wall-clock
+        // even on a fully dense batch: Auto must stay on demand. The
+        // smallest Table-I loser (`luindex`) has 1456 nodes.
+        let mut g = parcfl_pag::PagBuilder::new();
+        let m = g.add_method("big");
+        for i in 0..1_500 {
+            g.add_node(parcfl_pag::NodeInfo {
+                kind: parcfl_pag::NodeKind::Local { method: m },
+                ty: parcfl_pag::TypeId::from_usize(0),
+                name: format!("v{i}"),
+                is_application: true,
+            });
+        }
+        let big = g.freeze();
+        let qs = big.application_locals();
+        assert!(big.node_count() > 1_400);
+        assert!(!matrix_pays_off(&big, &qs));
     }
 }

@@ -40,9 +40,14 @@ impl Mode {
 ///
 /// Orthogonal to [`Backend`]: `Backend` picks how demand-solver queries
 /// are *dispatched* (threads vs. the virtual-time simulator), while
-/// `Engine` picks the solver itself. The matrix engine is inherently a
-/// whole-batch sequential evaluation, so `Mode`/`Backend`/thread-count
-/// are inert when it is selected.
+/// `Engine` picks the solver itself. The matrix engine evaluates the
+/// batch query-by-query but honours `RunConfig::threads` twice over
+/// (DESIGN.md §11): each frontier sweep is partitioned across that many
+/// workers, and the batch makespan is a deterministic list schedule of
+/// the queries over the same worker count, with memo-sharing edges as
+/// precedence constraints. `Mode`/`Backend`/`stealing` describe
+/// demand-solver scheduling and stay inert when the matrix engine is
+/// selected.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Hash)]
 pub enum Engine {
     /// The paper's demand-driven work-list solver (the default).

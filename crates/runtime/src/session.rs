@@ -64,6 +64,7 @@ pub struct AnalysisSession<'p> {
     fetch_cost: u64,
     group_cap: Option<usize>,
     stealing: bool,
+    engine: crate::Engine,
     tracing: TraceLevel,
     /// Named operational counters, fed on every submit and rendered by
     /// [`Self::metrics_snapshot`].
@@ -88,6 +89,7 @@ impl<'p> AnalysisSession<'p> {
             fetch_cost: 1,
             group_cap: None,
             stealing: false,
+            engine: crate::Engine::Demand,
             tracing: TraceLevel::Off,
             counters: CounterSet::new(),
             session_events: Vec::new(),
@@ -128,6 +130,19 @@ impl<'p> AnalysisSession<'p> {
         self
     }
 
+    /// Selects the solver engine for every subsequent batch (see
+    /// [`crate::Engine`]): `Matrix` routes batches to the whole-program
+    /// backend with `threads` sweep workers, `Auto` picks per batch via
+    /// [`crate::matrix_pays_off`]. Matrix batches answer from per-batch
+    /// whole-program closures — the session's jmp store is neither
+    /// consulted nor extended — but they still advance the virtual clock
+    /// and feed the cumulative stats, and their answers are bit-identical
+    /// to the demand engine's.
+    pub fn with_engine(mut self, engine: crate::Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
     /// Sets the event-tracing level for every subsequent batch (see
     /// [`RunConfig::tracing`]): batch results carry a
     /// [`parcfl_obs::RunTrace`], and the session records
@@ -153,8 +168,28 @@ impl<'p> AnalysisSession<'p> {
     /// Answers one batch of queries, warm-starting from every earlier
     /// batch's jmp edges. Returns that batch's own result; the session's
     /// running totals move to [`Self::cumulative`].
+    ///
+    /// When the session engine ([`Self::with_engine`]) resolves to the
+    /// matrix backend — `Engine::Matrix`, or an `Auto` batch that
+    /// [`crate::matrix_pays_off`] — the batch runs on
+    /// [`crate::run_matrix`] with `threads` sweep workers instead of the
+    /// demand scheduler; `mode`/`backend` are inert for such batches and
+    /// [`RunStats::engine_dispatched`] records what actually ran.
     pub fn submit(&mut self, queries: &[NodeId], mode: Mode, backend: Backend) -> RunResult {
         let cfg = self.run_config(mode, backend);
+        let matrix = match self.engine {
+            crate::Engine::Matrix => true,
+            crate::Engine::Demand => false,
+            crate::Engine::Auto => crate::matrix_pays_off(self.pag, queries),
+        };
+        if matrix {
+            let base = self.vclock;
+            let result = crate::run_matrix(self.pag, queries, &cfg);
+            self.vclock = base + result.stats.makespan + 1;
+            self.cumulative.merge(&result.stats);
+            self.account_batch(base, &result.stats);
+            return result;
+        }
         let schedule = self.schedule_for_batch(queries, mode);
         let base = self.vclock;
         let result = match backend {
@@ -353,7 +388,7 @@ impl<'p> AnalysisSession<'p> {
             stealing: self.stealing,
             tracing: self.tracing,
             perturb: None,
-            engine: crate::Engine::Demand,
+            engine: self.engine,
         }
     }
 
@@ -670,6 +705,51 @@ mod tests {
         assert!(evs[0].ts <= evs[1].ts && evs[1].ts <= evs[2].ts && evs[2].ts <= evs[3].ts);
         s.reset();
         assert!(s.session_events().is_empty(), "reset clears session events");
+    }
+
+    #[test]
+    fn matrix_session_matches_demand_session() {
+        let pag = build_pag(SRC).unwrap().pag;
+        let queries = pag.application_locals();
+        let mut demand = AnalysisSession::new(&pag)
+            .with_threads(4)
+            .with_solver(solver());
+        let mut matrix = AnalysisSession::new(&pag)
+            .with_threads(4)
+            .with_solver(solver())
+            .with_engine(crate::Engine::Matrix);
+        for _ in 0..2 {
+            let d = demand.submit(&queries, Mode::DataSharingSched, Backend::Simulated);
+            let m = matrix.submit(&queries, Mode::DataSharingSched, Backend::Simulated);
+            assert_eq!(d.sorted_answers(), m.sorted_answers());
+            assert_eq!(d.stats.engine_dispatched, Some(crate::Engine::Demand));
+            assert_eq!(m.stats.engine_dispatched, Some(crate::Engine::Matrix));
+        }
+        // Matrix batches bypass the jmp store but still advance the
+        // session clock and the cumulative totals.
+        assert_eq!(matrix.store_entries(), 0);
+        assert!(matrix.virtual_clock() > 0);
+        assert_eq!(matrix.batches(), 2);
+        assert_eq!(
+            matrix.cumulative().engine_dispatched,
+            Some(crate::Engine::Matrix)
+        );
+    }
+
+    #[test]
+    fn auto_session_dispatches_per_batch_density() {
+        let pag = build_pag(SRC).unwrap().pag;
+        let queries = pag.application_locals();
+        let mut s = AnalysisSession::new(&pag)
+            .with_solver(solver())
+            .with_engine(crate::Engine::Auto);
+        // Sparse batch: two queries stay on the demand solver.
+        let sparse = s.submit(&queries[..2], Mode::DataSharingSched, Backend::Simulated);
+        assert_eq!(sparse.stats.engine_dispatched, Some(crate::Engine::Demand));
+        // Dense batch past the floor: the matrix engine runs.
+        let dense: Vec<_> = queries.iter().cycle().take(64).copied().collect();
+        let d = s.submit(&dense, Mode::DataSharingSched, Backend::Simulated);
+        assert_eq!(d.stats.engine_dispatched, Some(crate::Engine::Matrix));
     }
 
     #[test]

@@ -59,6 +59,12 @@ pub struct RunStats {
     pub interner_ctxs: usize,
     /// Virtual-time makespan (simulated backend) — the parallel "runtime".
     pub makespan: u64,
+    /// The solver engine that actually answered this run — dispatch
+    /// transparency for `Engine::Auto` and for callers that configure an
+    /// engine a layer below them silently overrides. Every batch runner
+    /// records it (`None` only for empty/default accumulators); like the
+    /// other gauges, merging takes the latest batch's observation.
+    pub engine_dispatched: Option<crate::Engine>,
     /// Wall-clock duration of the run.
     pub wall: std::time::Duration,
     /// Average group size of the schedule (`S_g`; 1.0 when unscheduled).
@@ -141,6 +147,7 @@ impl RunStats {
             self.store_entries = other.store_entries;
             self.avg_group_size = other.avg_group_size;
             self.interner_ctxs = other.interner_ctxs;
+            self.engine_dispatched = other.engine_dispatched;
         }
         for (i, w) in other.workers.iter().enumerate() {
             if self.workers.len() <= i {
@@ -277,6 +284,7 @@ mod tests {
                 peak_state_words: 6,
                 interner_ctxs: 12,
                 makespan: 50,
+                engine_dispatched: Some(crate::Engine::Demand),
                 wall: std::time::Duration::from_millis(3),
                 avg_group_size: 2.0,
                 workers: vec![],
@@ -303,6 +311,7 @@ mod tests {
                 peak_state_words: 4,
                 interner_ctxs: 9,
                 makespan: 9,
+                engine_dispatched: Some(crate::Engine::Matrix),
                 wall: std::time::Duration::from_millis(2),
                 avg_group_size: 1.5,
                 workers: vec![],
@@ -338,6 +347,11 @@ mod tests {
         assert_eq!(cum.jmp_bytes, 600);
         assert_eq!(cum.avg_group_size, 1.5);
         assert_eq!(cum.interner_ctxs, 9, "gauge follows the latest batch");
+        assert_eq!(
+            cum.engine_dispatched,
+            Some(crate::Engine::Matrix),
+            "dispatched engine follows the latest batch"
+        );
     }
 
     #[test]

@@ -1,0 +1,18 @@
+fn main() {
+    for b in parcfl_synth::build_suite() {
+        let pag = &b.pag;
+        let locals = pag.application_locals().len();
+        println!(
+            "{} queries={} locals={} nodes={} edges={} call_sites={} methods={} e_per_n={:.2} cs_per_local={:.3}",
+            b.name,
+            b.queries.len(),
+            locals,
+            pag.node_count(),
+            pag.edge_count(),
+            pag.call_site_count(),
+            pag.method_count(),
+            pag.edge_count() as f64 / pag.node_count().max(1) as f64,
+            pag.call_site_count() as f64 / locals.max(1) as f64,
+        );
+    }
+}

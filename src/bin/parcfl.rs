@@ -431,8 +431,11 @@ fn cmd_bench(args: &[String]) {
         .with_engine(engine);
     cfg.solver = seq_solver;
     let par = parcfl::runtime::run(&b.pag, &b.queries, &cfg);
+    // Report the engine that actually ran (`Auto` resolves per batch),
+    // not the one configured.
+    let dispatched = par.stats.engine_dispatched.unwrap_or(engine);
     outln!(
-        "{name}: {} queries; SeqCFL {} steps; ParCFL({threads}, {}, engine={engine}) \
+        "{name}: {} queries; SeqCFL {} steps; ParCFL({threads}, {}, engine={dispatched}) \
          speedup {:.1}x (jmps {}, ETs {}, wall {:?})",
         b.queries.len(),
         seq.stats.makespan,
@@ -442,7 +445,7 @@ fn cmd_bench(args: &[String]) {
         par.stats.early_terminations,
         par.stats.wall
     );
-    if threaded && engine == Engine::Demand {
+    if threaded && dispatched == Engine::Demand {
         let t = par.stats.obs_totals();
         outln!(
             "dispatch [{}]: {} local pops, {} steals ({} items), {} idle spins, \

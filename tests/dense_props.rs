@@ -1,17 +1,93 @@
 //! Backend-identity properties for the dense-state solver core
 //! (DESIGN.md §11): the hash and dense visited-state backends, and the
 //! demand and matrix engines, must be indistinguishable in every
-//! completed answer on seeded synthetic programs.
+//! completed answer on seeded synthetic programs — and the matrix
+//! engine's parallel frontier sweeps must be bit-identical at every
+//! sweep worker count.
 //!
 //! All randomness derives from `PARCFL_TEST_SEED` (default fixed); every
-//! failure message prints the seed to replay with.
+//! failure message prints the seed to replay with. The CI stress job
+//! raises the proptest sampling with `PROPTEST_CASES` and pins the sweep
+//! worker counts with `PARCFL_STRESS_THREADS` (default `1,2,4,8`).
 
 use parcfl::check::seed::derive;
 use parcfl::check::{failure_detail, test_seed, Scenario};
 use parcfl::core::{Answer, MatrixSolver, SolverConfig, StateBackend};
-use parcfl::runtime::{run_matrix, run_seq, Backend, Engine, Mode};
+use parcfl::runtime::{run_matrix, run_seq, Backend, Engine, Mode, RunConfig};
 use parcfl::synth::mutate::canonicalize;
 use parcfl::synth::{build_bench, Profile};
+use proptest::prelude::*;
+
+/// A one-worker simulated-backend `RunConfig` wrapping `solver` — the
+/// sequential-matrix baseline configuration.
+fn matrix_cfg(solver: &SolverConfig) -> RunConfig {
+    RunConfig::new(Mode::Naive, 1, Backend::Simulated).with_solver(solver.clone())
+}
+
+/// Case count: `PROPTEST_CASES` when set (the CI stress job raises it),
+/// else a small default suitable for tier-1 runs.
+fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4)
+}
+
+/// Sweep worker counts: `PARCFL_STRESS_THREADS` (e.g. `"4"` for one
+/// matrix leg of the CI stress job) or the full default ladder.
+fn worker_counts() -> Vec<usize> {
+    std::env::var("PARCFL_STRESS_THREADS")
+        .ok()
+        .map(|v| {
+            v.split(',')
+                .filter_map(|t| t.trim().parse().ok())
+                .collect::<Vec<usize>>()
+        })
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 2, 4, 8])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases()))]
+
+    /// Random programs, budgets and sensitivity: the parallel matrix
+    /// engine is bit-identical to the one-worker matrix baseline at every
+    /// stress worker count (answers, scan totals, Halt verdicts), and
+    /// every demand-Complete answer matches the matrix answer exactly.
+    #[test]
+    fn prop_parallel_matrix_matches_sequential_and_demand(
+        seed in 0u64..1 << 32,
+        tight in any::<bool>(),
+        ctx in any::<bool>(),
+    ) {
+        let bench = build_bench(&Profile::tiny(seed));
+        let cfg = SolverConfig {
+            budget: if tight { 1_000 + seed % 4_000 } else { 5_000_000 },
+            context_sensitive: ctx,
+            ..SolverConfig::default()
+        };
+        let base = run_matrix(&bench.pag, &bench.queries, &matrix_cfg(&cfg));
+        for &workers in &worker_counts() {
+            let par_cfg = RunConfig::new(Mode::Naive, workers, Backend::Simulated)
+                .with_solver(cfg.clone());
+            let par = run_matrix(&bench.pag, &bench.queries, &par_cfg);
+            prop_assert_eq!(base.sorted_answers(), par.sorted_answers());
+            prop_assert_eq!(base.stats.traversed_steps, par.stats.traversed_steps);
+            prop_assert_eq!(base.stats.out_of_budget, par.stats.out_of_budget);
+            prop_assert!(par.stats.makespan <= base.stats.makespan);
+        }
+        // Demand-Complete answers are a lower bound the matrix engine
+        // must reproduce exactly (tight budgets may legitimately differ
+        // in *which* queries complete, never in a completed set's value).
+        let demand = run_seq(&bench.pag, &bench.queries, &cfg);
+        for ((q, d), (qm, m)) in demand.answers.iter().zip(base.answers.iter()) {
+            prop_assert_eq!(q, qm);
+            if let (Answer::Complete(dp), Answer::Complete(mp)) = (d, m) {
+                prop_assert_eq!(dp, mp);
+            }
+        }
+    }
+}
 
 /// Hash and dense visited-state tables produce bit-identical runs on
 /// seeded synthetic graphs: same answers, same step counts, same
@@ -82,7 +158,7 @@ fn demand_complete_implies_matrix_complete_and_identical() {
             ..SolverConfig::default()
         };
         let demand = run_seq(&bench.pag, &bench.queries, &cfg);
-        let matrix = run_matrix(&bench.pag, &bench.queries, &cfg);
+        let matrix = run_matrix(&bench.pag, &bench.queries, &matrix_cfg(&cfg));
         let mut completed = 0usize;
         for ((q, d), (qm, m)) in demand.answers.iter().zip(matrix.answers.iter()) {
             assert_eq!(q, qm);
@@ -138,9 +214,64 @@ fn matrix_batch_memo_never_inflates_total_work() {
     assert!(prev_total > 0, "first pass did no work");
 }
 
+/// Parallel frontier sweeps are a pure partition of the sequential
+/// sweeps (DESIGN.md §11): at every worker count the matrix engine
+/// produces bit-identical answers, identical total scan work and
+/// identical budget verdicts, while the critical path (`makespan`) only
+/// ever shrinks. Tight budgets are included: Halt decisions must not
+/// depend on the partition either.
+#[test]
+fn parallel_matrix_bit_identical_across_worker_counts() {
+    let seed = test_seed();
+    for i in 0..10u64 {
+        let bench = build_bench(&Profile::tiny(derive(seed, 0x9A_7000 + i)));
+        let cfg = SolverConfig {
+            budget: if i % 3 == 2 {
+                1_500 + i * 331
+            } else {
+                5_000_000
+            },
+            context_sensitive: i % 4 != 3,
+            ..SolverConfig::default()
+        };
+        let base = run_matrix(&bench.pag, &bench.queries, &matrix_cfg(&cfg));
+        for workers in [2usize, 4, 8] {
+            let par_cfg =
+                RunConfig::new(Mode::Naive, workers, Backend::Simulated).with_solver(cfg.clone());
+            let par = run_matrix(&bench.pag, &bench.queries, &par_cfg);
+            assert_eq!(
+                base.sorted_answers(),
+                par.sorted_answers(),
+                "PARCFL_TEST_SEED={seed} {} workers={workers}: answers diverge",
+                bench.name
+            );
+            assert_eq!(
+                base.stats.traversed_steps, par.stats.traversed_steps,
+                "PARCFL_TEST_SEED={seed} {} workers={workers}: scan totals diverge",
+                bench.name
+            );
+            assert_eq!(
+                base.stats.out_of_budget, par.stats.out_of_budget,
+                "PARCFL_TEST_SEED={seed} {} workers={workers}: Halt verdicts diverge",
+                bench.name
+            );
+            assert!(
+                par.stats.makespan <= base.stats.makespan,
+                "PARCFL_TEST_SEED={seed} {} workers={workers}: critical path grew \
+                 ({} > {})",
+                bench.name,
+                par.stats.makespan,
+                base.stats.makespan
+            );
+        }
+    }
+}
+
 /// ≥ 200 seeded matrix-engine scenarios through the parcfl-check
 /// differential harness: every completed matrix answer matches the naive
-/// oracle exactly and is sound against Andersen. Zero mismatches.
+/// oracle exactly and is sound against Andersen, and (via the harness's
+/// parallel-matrix dimension) every scenario replays bit-identically at
+/// sweep worker counts 1/2/4/8. Zero mismatches.
 #[test]
 fn matrix_differential_two_hundred_scenarios() {
     let seed = test_seed();
@@ -152,8 +283,10 @@ fn matrix_differential_two_hundred_scenarios() {
         if n == 0 {
             continue;
         }
-        // Vary the query subset, budget regime, sensitivity and state
-        // backend across iterations; the engine is always Matrix.
+        // Vary the query subset, budget regime, sensitivity, state
+        // backend and sweep worker count across iterations; the engine is
+        // always Matrix. `failure_detail` additionally replays each
+        // scenario at workers 1/2/4/8 and flags any divergence.
         let take = 1 + (s as usize % 8.min(n));
         let start = (s >> 8) as usize % n;
         let queries: Vec<_> = (0..take).map(|k| bench.queries[(start + k) % n]).collect();
@@ -167,7 +300,7 @@ fn matrix_differential_two_hundred_scenarios() {
             queries,
             mode: Mode::Naive,
             backend: Backend::Simulated,
-            threads: 1,
+            threads: [1usize, 2, 4, 8][(i % 4) as usize],
             solver: SolverConfig {
                 budget,
                 context_sensitive: i % 5 != 4,
