@@ -4,17 +4,19 @@
 //! samples a scenario — synthetic program (tiny/small profile), query
 //! subset, mode, backend, thread count, budget regime, τ thresholds,
 //! memoisation, context sensitivity, state backend (hash/dense), solver
-//! engine (demand/matrix), simulator perturbation, jmp-store cap — runs
-//! it, and checks every completed answer two ways:
+//! engine (demand/matrix), packed-adjacency scan path (on/off),
+//! simulator perturbation, jmp-store cap — runs it, and checks every
+//! completed answer two ways:
 //!
 //! * **exactly** against the naive oracle ([`crate::diff`]);
 //! * **for soundness** against the Andersen whole-program solution
 //!   ([`crate::andersen_check`]).
 //!
 //! Matrix-engine scenarios additionally replay at sweep worker counts
-//! 1/2/4/8 and must produce bit-identical answers, traversed-step totals
-//! and budget verdicts at every count (DESIGN.md §11) — on top of the
-//! oracle checks above.
+//! 1/2/4/8 — each count once with the sampled packed flag and once with
+//! it flipped — and must produce bit-identical answers, traversed-step
+//! totals and budget verdicts at every point of that grid (DESIGN.md
+//! §11) — on top of the oracle checks above.
 //!
 //! On the first failing iteration the scenario is (optionally) shrunk to
 //! a 1-minimal counterexample ([`crate::shrink`]) and returned along with
@@ -158,37 +160,50 @@ pub fn failure_detail(scenario: &Scenario) -> Option<String> {
     matrix_worker_divergence(scenario)
 }
 
-/// The parallel-matrix dimension: replays a matrix scenario at sweep
-/// worker counts 1/2/4/8 and reports the first observable that differs
-/// from the scenario's own worker count — answers, total traversed
-/// steps, or out-of-budget verdicts must all be independent of the
-/// partition (DESIGN.md §11). `None` for demand scenarios.
+/// The parallel-matrix dimension: replays a matrix scenario over the
+/// grid {1, 2, 4, 8} sweep workers × {packed, unpacked} adjacency and
+/// reports the first observable that differs from the scenario's own
+/// configuration — answers, total traversed steps, or out-of-budget
+/// verdicts must all be independent of both the partition and the scan
+/// representation (DESIGN.md §11). `None` for demand scenarios.
 pub fn matrix_worker_divergence(scenario: &Scenario) -> Option<String> {
     if scenario.engine != Engine::Matrix {
         return None;
     }
     let base = scenario.run();
     for workers in [1usize, 2, 4, 8] {
-        let mut v = scenario.clone();
-        v.threads = workers;
-        let r = v.run();
-        if r.sorted_answers() != base.sorted_answers() {
-            return Some(format!(
-                "matrix answers diverge at {workers} workers (base {} workers)",
-                scenario.threads
-            ));
-        }
-        if r.stats.traversed_steps != base.stats.traversed_steps {
-            return Some(format!(
-                "matrix traversed_steps {} at {workers} workers != {} at {} workers",
-                r.stats.traversed_steps, base.stats.traversed_steps, scenario.threads
-            ));
-        }
-        if r.stats.out_of_budget != base.stats.out_of_budget {
-            return Some(format!(
-                "matrix out_of_budget {} at {workers} workers != {} at {} workers",
-                r.stats.out_of_budget, base.stats.out_of_budget, scenario.threads
-            ));
+        for packed in [scenario.solver.packed, !scenario.solver.packed] {
+            let mut v = scenario.clone();
+            v.threads = workers;
+            v.solver.packed = packed;
+            let r = v.run();
+            if r.sorted_answers() != base.sorted_answers() {
+                return Some(format!(
+                    "matrix answers diverge at {workers} workers, packed={packed} \
+                     (base {} workers, packed={})",
+                    scenario.threads, scenario.solver.packed
+                ));
+            }
+            if r.stats.traversed_steps != base.stats.traversed_steps {
+                return Some(format!(
+                    "matrix traversed_steps {} at {workers} workers (packed={packed}) \
+                     != {} at {} workers (packed={})",
+                    r.stats.traversed_steps,
+                    base.stats.traversed_steps,
+                    scenario.threads,
+                    scenario.solver.packed
+                ));
+            }
+            if r.stats.out_of_budget != base.stats.out_of_budget {
+                return Some(format!(
+                    "matrix out_of_budget {} at {workers} workers (packed={packed}) \
+                     != {} at {} workers (packed={})",
+                    r.stats.out_of_budget,
+                    base.stats.out_of_budget,
+                    scenario.threads,
+                    scenario.solver.packed
+                ));
+            }
         }
     }
     None
@@ -319,6 +334,10 @@ fn sample_scenario(cfg: &FuzzConfig, i: u64) -> Scenario {
         } else {
             StateBackend::Dense
         },
+        // Packed dimension: matrix scenarios must be indistinguishable
+        // whether they scan bit-packed adjacency rows or the scalar CSR
+        // slices (the demand solver ignores the flag either way).
+        packed: rng.random_bool(0.5),
         ..SolverConfig::default()
     };
 

@@ -94,7 +94,7 @@ pub fn shrink(scenario: Scenario, fails: &dyn Fn(&Scenario) -> bool) -> (Scenari
 
         // 2. Configuration simplification.
         type Step = fn(&mut Scenario);
-        let steps: [Step; 9] = [
+        let steps: [Step; 10] = [
             |s| s.backend = Backend::Simulated,
             |s| s.threads = 1,
             |s| s.fetch_cost = 0,
@@ -109,6 +109,7 @@ pub fn shrink(scenario: Scenario, fails: &dyn Fn(&Scenario) -> bool) -> (Scenari
             },
             |s| s.engine = parcfl_runtime::Engine::Demand,
             |s| s.solver.state = parcfl_core::StateBackend::default(),
+            |s| s.solver.packed = true,
         ];
         for step in steps {
             let mut candidate = cur.clone();
@@ -122,6 +123,7 @@ pub fn shrink(scenario: Scenario, fails: &dyn Fn(&Scenario) -> bool) -> (Scenari
                 && candidate.mode == cur.mode
                 && candidate.engine == cur.engine
                 && candidate.solver.state == cur.solver.state
+                && candidate.solver.packed == cur.solver.packed
             {
                 continue; // no-op for this scenario
             }

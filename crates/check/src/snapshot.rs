@@ -17,7 +17,7 @@
 //!
 //! ```text
 //! # free-form comment
-//! run mode=dq backend=sim threads=3 fetch=1 budget=75000 tauf=100 tauu=100 ctx=1 memo=0 chaos=0 engine=demand state=dense
+//! run mode=dq backend=sim threads=3 fetch=1 budget=75000 tauf=100 tauu=100 ctx=1 memo=0 chaos=0 engine=demand state=dense packed=1
 //! perturb pseed=7 jitter=3 window=4 scramble=1 evict=0   (optional)
 //! store cap=64                                           (optional)
 //! counts nodes=5 fields=2 callsites=1
@@ -108,7 +108,7 @@ impl Scenario {
         s.push_str("# Replay: parcfl check --replay <this file>\n");
         let _ = writeln!(
             s,
-            "run mode={} backend={} threads={} fetch={} budget={} tauf={} tauu={} ctx={} memo={} chaos={} engine={} state={}",
+            "run mode={} backend={} threads={} fetch={} budget={} tauf={} tauu={} ctx={} memo={} chaos={} engine={} state={} packed={}",
             match self.mode {
                 Mode::Naive => "naive",
                 Mode::DataSharing => "d",
@@ -128,6 +128,7 @@ impl Scenario {
             self.solver.chaos_jmp_ignore_ctx as u8,
             self.engine.name(),
             self.solver.state.name(),
+            self.solver.packed as u8,
         );
         if let Some(p) = self.perturb {
             let _ = writeln!(
@@ -225,11 +226,13 @@ impl Scenario {
                             "ctx" => solver.context_sensitive = parse::<u8, _>(v, &err)? != 0,
                             "memo" => solver.memoize = parse::<u8, _>(v, &err)? != 0,
                             "chaos" => solver.chaos_jmp_ignore_ctx = parse::<u8, _>(v, &err)? != 0,
-                            // `engine`/`state` are absent in pre-v2 corpus
-                            // files; missing keys keep the defaults
-                            // (demand engine, default state backend).
+                            // `engine`/`state`/`packed` are absent in older
+                            // corpus files; missing keys keep the defaults
+                            // (demand engine, default state backend, packed
+                            // scans on).
                             "engine" => engine = v.parse::<Engine>().map_err(&err)?,
                             "state" => solver.state = v.parse::<StateBackend>().map_err(&err)?,
+                            "packed" => solver.packed = parse::<u8, _>(v, &err)? != 0,
                             _ => return Err(err(format!("unknown run key `{k}`"))),
                         }
                     }
@@ -442,8 +445,8 @@ mod tests {
 
     #[test]
     fn engine_and_state_keys_default_when_absent() {
-        // Pre-v2 snapshots carry no engine/state keys: they parse to the
-        // demand engine and the default state backend.
+        // Older snapshots carry no engine/state/packed keys: they parse to
+        // the demand engine, the default state backend and packed scans on.
         let sc = sample_scenario();
         let legacy: String = sc
             .to_snapshot()
@@ -451,7 +454,11 @@ mod tests {
             .map(|l| {
                 if l.starts_with("run ") {
                     l.split_whitespace()
-                        .filter(|t| !t.starts_with("engine=") && !t.starts_with("state="))
+                        .filter(|t| {
+                            !t.starts_with("engine=")
+                                && !t.starts_with("state=")
+                                && !t.starts_with("packed=")
+                        })
                         .collect::<Vec<_>>()
                         .join(" ")
                 } else {
@@ -463,14 +470,18 @@ mod tests {
         let back = Scenario::from_snapshot(&legacy).expect("legacy parse");
         assert_eq!(back.engine, Engine::Demand);
         assert_eq!(back.solver.state, SolverConfig::default().state);
+        assert!(back.solver.packed, "absent packed key defaults on");
 
-        // And the matrix engine round-trips through the run line.
+        // And the matrix engine round-trips through the run line, packed
+        // flag included.
         let mut mat = sample_scenario();
         mat.engine = Engine::Matrix;
         mat.solver.state = StateBackend::Hash;
+        mat.solver.packed = false;
         let back = Scenario::from_snapshot(&mat.to_snapshot()).expect("parse");
         assert_eq!(back.engine, Engine::Matrix);
         assert_eq!(back.solver.state, StateBackend::Hash);
+        assert!(!back.solver.packed, "packed=0 round-trips");
     }
 
     #[test]

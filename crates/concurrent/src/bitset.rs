@@ -81,6 +81,22 @@ pub mod kernel {
     pub fn zero(dst: &mut Chunk) {
         dst.fill(0);
     }
+
+    /// `dst[..src.len()] |= src` for a word-group prefix of one chunk
+    /// (`src.len() <= CHUNK_WORDS`); returns how many bits the union newly
+    /// set. The packed-adjacency gather primitive: a successor row's
+    /// chunk-aligned word group ORs into a scratch chunk in one
+    /// autovectorisable pass ([`crate::ChunkedBitset::union_words`]).
+    #[inline]
+    pub fn union_slice_into(dst: &mut Chunk, src: &[u64]) -> u32 {
+        debug_assert!(src.len() <= CHUNK_WORDS);
+        let mut added = 0u32;
+        for (d, &s) in dst.iter_mut().zip(src) {
+            added += (s & !*d).count_ones();
+            *d |= s;
+        }
+        added
+    }
 }
 
 /// A lazily-allocated bitset over a dense `u32` id space.
@@ -175,6 +191,28 @@ impl ChunkedBitset {
                 self.len -= kernel::difference_into(sc, oc) as usize;
             }
         }
+    }
+
+    /// Unions a flat word-indexed row into the set: `words[i]` covers ids
+    /// `i*64..` — the layout of `parcfl-pag`'s packed adjacency rows, which
+    /// is bit-compatible with the chunk layout here. One
+    /// [`kernel::union_slice_into`] per chunk-aligned word group, skipping
+    /// all-zero groups so sparse rows never allocate chunks. Returns how
+    /// many ids were newly inserted.
+    pub fn union_words(&mut self, words: &[u64]) -> usize {
+        let mut added = 0usize;
+        for (ci, group) in words.chunks(CHUNK_WORDS).enumerate() {
+            if group.iter().fold(0u64, |acc, &w| acc | w) == 0 {
+                continue;
+            }
+            if ci >= self.chunks.len() {
+                self.chunks.resize_with(ci + 1, || None);
+            }
+            let sc = self.chunks[ci].get_or_insert_with(|| Box::new([0u64; CHUNK_WORDS]));
+            added += kernel::union_slice_into(sc, group) as usize;
+        }
+        self.len += added;
+        added
     }
 
     /// Recounts the members chunk-by-chunk with [`kernel::count_ones`].
@@ -593,6 +631,50 @@ mod tests {
         a.clear();
         assert!(a.chunk(0).is_some());
         assert!(!kernel::any_set(a.chunk(0).unwrap()));
+    }
+
+    /// `union_words` must agree with per-bit inserts for any flat row,
+    /// including rows shorter/longer than a chunk and all-zero groups.
+    #[test]
+    fn union_words_matches_per_bit_inserts() {
+        let rows: [&[u64]; 5] = [
+            &[0b101],                           // short row, one word
+            &[0, 0, 0, 0, 0, 0, 0, 1 << 63],    // exactly one chunk, high bit
+            &[0; 8],                            // all-zero: no chunk allocated
+            &[0xFF, 0, 0, 0, 0, 0, 0, 0, 0b11], // spans two chunks
+            &[1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1], // 11 words
+        ];
+        for row in rows {
+            let mut via_words = ChunkedBitset::new();
+            via_words.insert(3); // pre-existing bits must be preserved
+            let added = via_words.union_words(row);
+            let mut via_bits = ChunkedBitset::new();
+            via_bits.insert(3);
+            let mut want_added = 0usize;
+            for (i, &w) in row.iter().enumerate() {
+                let mut w = w;
+                while w != 0 {
+                    let id = i as u32 * 64 + w.trailing_zeros();
+                    w &= w - 1;
+                    want_added += via_bits.insert(id) as usize;
+                }
+            }
+            assert_eq!(added, want_added);
+            let got: Vec<u32> = via_words.iter().collect();
+            let want: Vec<u32> = via_bits.iter().collect();
+            assert_eq!(got, want);
+            assert_eq!(via_words.len(), via_bits.len());
+            assert_eq!(via_words.count_ones(), via_words.len(), "len bookkeeping");
+        }
+        // All-zero groups allocate nothing.
+        let mut b = ChunkedBitset::new();
+        b.union_words(&[0; 16]);
+        assert_eq!(b.chunk_count(), 0);
+        // Idempotent re-union adds nothing.
+        let mut c = ChunkedBitset::new();
+        assert_eq!(c.union_words(&[0b111, 0, 0, 0, 0, 0, 0, 0, 1]), 4);
+        assert_eq!(c.union_words(&[0b111, 0, 0, 0, 0, 0, 0, 0, 1]), 0);
+        assert_eq!(c.len(), 4);
     }
 
     /// Deterministic model test: a cheap LCG drives interleaved

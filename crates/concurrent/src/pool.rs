@@ -1,0 +1,299 @@
+//! A persistent sweep worker pool: spawn once, park between waves, wake on
+//! a cheap epoch barrier (DESIGN.md §11).
+//!
+//! The matrix engine's frontier sweeps are short, frequent parallel
+//! regions — thousands of waves per batch, each a few thousand scans.
+//! Spawning OS threads per wave (`std::thread::scope`) costs more than
+//! most waves' work, which is why PR 7's span speedups did not show up on
+//! wall clock. This pool keeps `workers - 1` helper threads alive for the
+//! lifetime of a solver/session: between waves they park on a condvar, and
+//! dispatch is one mutex-protected epoch bump plus a `notify_all` — the
+//! persistent-pool/barrier discipline of Parallel Binary Code Analysis
+//! (PAPERS.md: arXiv 2001.10621).
+//!
+//! Parts are assigned by a fixed stride (helper `j` takes parts `j+1`,
+//! `j+1+W`, …; the caller takes `0`, `W`, …), so **which thread runs which
+//! part is deterministic** — and because the sweep barrier replays worker
+//! outputs in partition order anyway, answers are bit-identical whether a
+//! wave runs here, on scoped threads, or inline.
+//!
+//! # Safety
+//!
+//! [`SweepPool::run`] publishes a borrowed closure to the helpers through
+//! a lifetime-erased raw pointer. This is sound because `run` does not
+//! return until every helper has signalled completion under the lock, so
+//! the borrow outlives every dereference; helpers never touch the pointer
+//! outside a published epoch.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+/// One dispatched parallel region: the erased closure and its part count.
+struct Task {
+    f: *const (dyn Fn(usize) + Sync),
+    parts: usize,
+}
+
+// The pointer is only dereferenced while the owning `run` call blocks;
+// see the module-level safety note.
+unsafe impl Send for Task {}
+
+/// Barrier state shared between the caller and the helpers.
+struct State {
+    /// Bumped once per dispatched region; helpers run a task exactly once
+    /// per epoch they observe.
+    epoch: u64,
+    task: Option<Task>,
+    /// Helpers still working on the current epoch.
+    remaining: usize,
+    /// A helper's closure panicked this epoch; re-raised by the caller.
+    panicked: bool,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Helpers park here for the next epoch (or shutdown).
+    work_cv: Condvar,
+    /// The caller parks here until `remaining == 0`.
+    done_cv: Condvar,
+}
+
+/// A persistent pool of sweep helper threads (see the module docs).
+///
+/// Created once per `MatrixSolver` batch or once per `AnalysisSession` and
+/// reused across every wave, query and batch; [`SweepPool::spawns`] /
+/// [`SweepPool::wakes`] expose the reuse so run statistics can prove the
+/// per-wave thread churn is gone.
+pub struct SweepPool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    wakes: AtomicU64,
+}
+
+fn lock(m: &Mutex<State>) -> MutexGuard<'_, State> {
+    // A panicking closure is already recorded in `panicked`; poisoning
+    // carries no extra information here.
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn helper(shared: Arc<Shared>, index: usize, stride: usize) {
+    let mut seen = 0u64;
+    loop {
+        let (f, parts, epoch) = {
+            let mut st = lock(&shared.state);
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                match &st.task {
+                    Some(t) if st.epoch != seen => break (t.f, t.parts, st.epoch),
+                    _ => st = shared.work_cv.wait(st).unwrap_or_else(|e| e.into_inner()),
+                }
+            }
+        };
+        seen = epoch;
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // Safety: the dispatching `run` call blocks until we decrement
+            // `remaining` below, so the closure borrow is still live.
+            let f = unsafe { &*f };
+            let mut p = index + 1;
+            while p < parts {
+                f(p);
+                p += stride;
+            }
+        }));
+        let mut st = lock(&shared.state);
+        if run.is_err() {
+            st.panicked = true;
+        }
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+impl SweepPool {
+    /// Creates a pool serving `workers`-way parallelism: `workers - 1`
+    /// helper threads are spawned now (the caller of [`SweepPool::run`] is
+    /// the remaining worker) and live until the pool drops.
+    pub fn new(workers: usize) -> Self {
+        let helpers = workers.saturating_sub(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                epoch: 0,
+                task: None,
+                remaining: 0,
+                panicked: false,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let handles = (0..helpers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("parcfl-sweep-{i}"))
+                    .spawn(move || helper(shared, i, helpers + 1))
+                    .expect("spawn sweep helper")
+            })
+            .collect();
+        SweepPool {
+            shared,
+            handles,
+            wakes: AtomicU64::new(0),
+        }
+    }
+
+    /// Total workers this pool serves (helpers + the calling thread).
+    pub fn worker_count(&self) -> usize {
+        self.handles.len() + 1
+    }
+
+    /// Helper threads spawned over the pool's lifetime — constant after
+    /// construction (`workers - 1`), which is exactly what makes it a
+    /// useful reuse gauge: a session that reports `spawns == workers - 1`
+    /// after many batches provably spawned only once.
+    pub fn spawns(&self) -> u64 {
+        self.handles.len() as u64
+    }
+
+    /// Parallel regions dispatched to the helpers so far (park-and-wake
+    /// barriers, not thread spawns).
+    pub fn wakes(&self) -> u64 {
+        self.wakes.load(Ordering::Relaxed)
+    }
+
+    /// Runs `f(p)` for every part `p < parts`, the caller executing its
+    /// strided share alongside the helpers, and returns once **all** parts
+    /// are done. Single-part (or helper-less) calls run entirely inline
+    /// without touching the barrier.
+    pub fn run(&self, parts: usize, f: &(dyn Fn(usize) + Sync)) {
+        let helpers = self.handles.len();
+        if helpers == 0 || parts <= 1 {
+            for p in 0..parts {
+                f(p);
+            }
+            return;
+        }
+        self.wakes.fetch_add(1, Ordering::Relaxed);
+        // Erase the borrow's lifetime for the shared slot; see the
+        // module-level safety note.
+        let erased: &'static (dyn Fn(usize) + Sync) =
+            unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(f) };
+        {
+            let mut st = lock(&self.shared.state);
+            st.epoch += 1;
+            st.task = Some(Task { f: erased, parts });
+            st.remaining = helpers;
+            st.panicked = false;
+        }
+        self.shared.work_cv.notify_all();
+        let stride = helpers + 1;
+        let mut p = 0;
+        while p < parts {
+            f(p);
+            p += stride;
+        }
+        let mut st = lock(&self.shared.state);
+        while st.remaining != 0 {
+            st = self
+                .shared
+                .done_cv
+                .wait(st)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        st.task = None;
+        if st.panicked {
+            drop(st);
+            panic!("sweep worker panicked");
+        }
+    }
+}
+
+impl Drop for SweepPool {
+    fn drop(&mut self) {
+        {
+            let mut st = lock(&self.shared.state);
+            st.shutdown = true;
+        }
+        self.shared.work_cv.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn runs_every_part_exactly_once() {
+        let pool = SweepPool::new(4);
+        assert_eq!(pool.worker_count(), 4);
+        assert_eq!(pool.spawns(), 3);
+        for parts in [0usize, 1, 2, 3, 7, 64, 257] {
+            let hits: Vec<AtomicUsize> = (0..parts).map(|_| AtomicUsize::new(0)).collect();
+            pool.run(parts, &|p| {
+                hits[p].fetch_add(1, Ordering::SeqCst);
+            });
+            for (p, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::SeqCst), 1, "part {p} of {parts}");
+            }
+        }
+        // Spawn count never moves; small regions never wake the helpers.
+        assert_eq!(pool.spawns(), 3);
+        let wakes = pool.wakes();
+        pool.run(1, &|_| {});
+        assert_eq!(pool.wakes(), wakes, "single-part runs stay inline");
+        assert!(wakes >= 5, "multi-part runs dispatched to helpers");
+    }
+
+    #[test]
+    fn reused_across_many_regions_without_respawning() {
+        let pool = SweepPool::new(3);
+        let total = AtomicUsize::new(0);
+        for _ in 0..200 {
+            pool.run(5, &|p| {
+                total.fetch_add(p + 1, Ordering::SeqCst);
+            });
+        }
+        assert_eq!(total.load(Ordering::SeqCst), 200 * (1 + 2 + 3 + 4 + 5));
+        assert_eq!(pool.spawns(), 2, "spawned once, woken many times");
+        assert_eq!(pool.wakes(), 200);
+    }
+
+    #[test]
+    fn single_worker_pool_runs_inline() {
+        let pool = SweepPool::new(1);
+        assert_eq!(pool.spawns(), 0);
+        let mut order = Vec::new();
+        let cell = std::sync::Mutex::new(&mut order);
+        pool.run(4, &|p| cell.lock().unwrap().push(p));
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn helper_panic_propagates_to_caller() {
+        let pool = SweepPool::new(4);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(4, &|p| {
+                if p == 2 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(r.is_err(), "worker panic re-raised");
+        // The pool survives a panicked region.
+        let ok = AtomicUsize::new(0);
+        pool.run(4, &|_| {
+            ok.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(ok.load(Ordering::SeqCst), 4);
+    }
+}

@@ -93,6 +93,14 @@ pub struct SolverConfig {
     /// performance/memory choice: answers and costs are bit-identical
     /// across backends.
     pub state: StateBackend,
+    /// Whether the matrix engine scans through the PAG's bit-packed
+    /// adjacency rows (`parcfl_pag::PackedAdj`) where available, instead
+    /// of walking the scalar CSR slices per frontier bit. Default on; a
+    /// pure wall-clock choice — answers, scan counts and budget verdicts
+    /// are bit-identical either way (the `dense_props` proptests and the
+    /// fuzzer's `packed` dimension prove it), which is why it stays
+    /// selectable. The demand solver ignores it.
+    pub packed: bool,
     /// **Fault injection, tests only.** Drops the context component from
     /// jmp-store keys: shortcuts recorded for `ReachableNodes(x, c)` are
     /// served to calls at *any* context of `x`, which is unsound whenever
@@ -115,6 +123,7 @@ impl Default for SolverConfig {
             max_recursion_depth: 512,
             warm_floor: 0,
             state: StateBackend::default(),
+            packed: true,
             chaos_jmp_ignore_ctx: false,
         }
     }
@@ -157,6 +166,13 @@ impl SolverConfig {
         self.state = state;
         self
     }
+
+    /// Toggles the matrix engine's packed-adjacency scan path (see the
+    /// field docs; answers are identical either way).
+    pub fn with_packed(mut self, packed: bool) -> Self {
+        self.packed = packed;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -172,6 +188,7 @@ mod tests {
         assert!(!c.data_sharing);
         assert!(c.context_sensitive);
         assert!(!c.memoize);
+        assert!(c.packed, "packed adjacency defaults on");
     }
 
     #[test]

@@ -4,7 +4,9 @@
 //! The demand solver answers one query by walking the PAG state-by-state
 //! with a work list. This backend answers a *batch* by repeatedly
 //! multiplying per-kind adjacency (the kind-major CSR sub-slices of
-//! [`Pag`]) into per-context node frontiers held as [`ChunkedBitset`]s:
+//! [`Pag`], or — for the payload-free classes, when `cfg.packed` — the
+//! graph's bit-packed successor rows, gathered word-at-a-time) into
+//! per-context node frontiers held as [`ChunkedBitset`]s:
 //! one sweep over a frontier applies a whole edge class to every set bit,
 //! which is exactly a boolean SpMV with the adjacency matrix of that
 //! class. Context transitions (`param` pops, `ret` pushes, `assign_g`
@@ -33,10 +35,12 @@ use crate::context::Ctx;
 use crate::jmp::Dir;
 use crate::solver::CtxNode;
 use crate::stats::{Answer, QueryOutput, QueryStats};
-use parcfl_concurrent::{kernel, ChunkedBitset, CtxId, CtxInterner, FxHashMap, FxHashSet};
-use parcfl_pag::{EdgeClass, NodeId, Pag};
+use parcfl_concurrent::{
+    kernel, ChunkedBitset, CtxId, CtxInterner, FxHashMap, FxHashSet, SweepPool,
+};
+use parcfl_pag::{EdgeClass, NodeId, PackedAdj, PackedClass, Pag};
 use std::ops::Range;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// An interned traversal state.
 type IState = (NodeId, CtxId);
@@ -46,6 +50,11 @@ type IState = (NodeId, CtxId);
 /// Span accounting always uses the partition, so the answer *and* the
 /// reported virtual time are independent of whether threads were spawned.
 const SPAWN_MIN_SCANS: u64 = 2_048;
+
+/// The same gate when a persistent [`SweepPool`] is attached: a
+/// park-and-wake barrier costs microseconds, not a spawn, so much smaller
+/// waves are worth fanning out.
+const POOL_MIN_SCANS: u64 = 256;
 
 /// Recycled-bitset pool cap for worker scratch rows (the row tables
 /// themselves recycle unbounded, as before): workers allocate scratch per
@@ -106,6 +115,14 @@ pub struct MatrixSolver<'a> {
     /// contents are bit-identical for every value; only wall clock and
     /// `span` change.
     workers: usize,
+    /// The PAG's bit-packed adjacency rows, when `cfg.packed` — scanned
+    /// word-at-a-time instead of walking the scalar CSR slices. `None`
+    /// falls back to the CSR path everywhere (so does any individual
+    /// class the density heuristic left unpacked).
+    packed: Option<&'a PackedAdj>,
+    /// Persistent sweep workers ([`MatrixSolver::with_pool`]): waves fan
+    /// out via park-and-wake barriers instead of per-wave thread spawns.
+    sweep_pool: Option<Arc<SweepPool>>,
     /// Recycled row bitsets; allocations persist across queries, so
     /// [`QueryStats::state_words`] reports the resident row storage.
     pool: Vec<ChunkedBitset>,
@@ -231,6 +248,23 @@ impl ScratchRows {
         true
     }
 
+    /// Unions a packed successor row under `c` (word-level OR, the packed
+    /// counterpart of per-edge [`ScratchRows::insert`]); returns `true`
+    /// iff this created the row.
+    fn union_row(&mut self, words: &[u64], c: CtxId) -> bool {
+        if let Some(&i) = self.idx.get(&c) {
+            self.bits[i].union_words(words);
+            return false;
+        }
+        let i = self.ctxs.len();
+        self.idx.insert(c, i);
+        self.ctxs.push(c);
+        let mut b = ChunkedBitset::default();
+        b.union_words(words);
+        self.bits.push(b);
+        true
+    }
+
     fn drain(&mut self) -> impl Iterator<Item = (CtxId, ChunkedBitset)> + '_ {
         self.idx.clear();
         self.ctxs.drain(..).zip(self.bits.drain(..))
@@ -273,6 +307,18 @@ impl SweepOut {
             self.ops.push(Op::Touch(c));
         }
     }
+
+    /// Packed counterpart of [`SweepOut::ins`]: one whole successor row
+    /// under `c`. Callers only pass rows [`PackedClass::row`] returned
+    /// `Some` for (≥ 1 edge), so a `Touch` is emitted at exactly the same
+    /// point the per-edge path's first insert would emit it — row-creation
+    /// order, and with it every downstream observable, is unchanged.
+    #[inline]
+    fn ins_row(&mut self, words: &[u64], c: CtxId) {
+        if self.scratch.union_row(words, c) {
+            self.ops.push(Op::Touch(c));
+        }
+    }
 }
 
 /// The shared-read state a sweep worker needs. Interner *reads*
@@ -282,6 +328,22 @@ struct SweepEnv<'b> {
     pag: &'b Pag,
     ctxs: &'b CtxInterner,
     ctx_sens: bool,
+    /// Packed rows to gather from (`None`: CSR slices everywhere).
+    packed: Option<&'b PackedAdj>,
+}
+
+impl<'b> SweepEnv<'b> {
+    /// The packed incoming rows of `class`, if that class packed.
+    #[inline]
+    fn in_packed(&self, class: EdgeClass) -> Option<&'b PackedClass> {
+        self.packed.and_then(|p| p.in_packed(class))
+    }
+
+    /// The packed outgoing rows of `class`, if that class packed.
+    #[inline]
+    fn out_packed(&self, class: EdgeClass) -> Option<&'b PackedClass> {
+        self.packed.and_then(|p| p.out_packed(class))
+    }
 }
 
 /// Scans one contiguous run of segments, in order, bits ascending — the
@@ -313,20 +375,44 @@ fn scan_part(
 }
 
 /// Applies every incoming edge class to state `(x, cx)` — one bit of the
-/// backward (points-to) SpMV.
+/// backward (points-to) SpMV. The payload-free classes gather through the
+/// packed rows when available (`frontier-bit × successor-row → scratch`,
+/// one word-level OR per row); the CSR walk below each arm is both the
+/// fallback for unpacked classes and the reference the packed path must
+/// match bit-for-bit.
 fn scan_bit_pts(env: &SweepEnv<'_>, xr: u32, cx: CtxId, out: &mut SweepOut) {
     let pag = env.pag;
     let x = NodeId::new(xr);
-    // pts rows are order-free set content; no Touch op needed.
-    for e in pag.incoming_kind(x, EdgeClass::New) {
-        out.pts.insert(e.src.raw(), cx);
+    // pts rows are order-free set content; no Touch op needed. A `None`
+    // row on a packed class is a thin row (below `ROW_MIN_BITS`) — the
+    // scalar walk below each arm covers it.
+    if let Some(row) = env.in_packed(EdgeClass::New).and_then(|pc| pc.row(xr)) {
+        out.pts.union_row(row, cx);
+    } else {
+        for e in pag.incoming_kind(x, EdgeClass::New) {
+            out.pts.insert(e.src.raw(), cx);
+        }
     }
-    for e in pag.incoming_kind(x, EdgeClass::AssignLocal) {
-        out.ins(e.src.raw(), cx);
+    if let Some(row) = env
+        .in_packed(EdgeClass::AssignLocal)
+        .and_then(|pc| pc.row(xr))
+    {
+        out.ins_row(row, cx);
+    } else {
+        for e in pag.incoming_kind(x, EdgeClass::AssignLocal) {
+            out.ins(e.src.raw(), cx);
+        }
     }
-    for e in pag.incoming_kind(x, EdgeClass::AssignGlobal) {
-        let c2 = if env.ctx_sens { CtxId::EMPTY } else { cx };
-        out.ins(e.src.raw(), c2);
+    let cg = if env.ctx_sens { CtxId::EMPTY } else { cx };
+    if let Some(row) = env
+        .in_packed(EdgeClass::AssignGlobal)
+        .and_then(|pc| pc.row(xr))
+    {
+        out.ins_row(row, cg);
+    } else {
+        for e in pag.incoming_kind(x, EdgeClass::AssignGlobal) {
+            out.ins(e.src.raw(), cg);
+        }
     }
     for e in pag.incoming_kind(x, EdgeClass::Param) {
         let i = e.kind.call_site().expect("param edge");
@@ -357,19 +443,30 @@ fn scan_bit_pts(env: &SweepEnv<'_>, xr: u32, cx: CtxId, out: &mut SweepOut) {
 }
 
 /// The forward dual: outgoing slices, `param` pushes, `ret` pops, stores
-/// pend aliasing.
+/// pend aliasing. Packed rows gather `new`/`assign_l` (same target
+/// context) and `assign_g` exactly as in [`scan_bit_pts`].
 fn scan_bit_flows(env: &SweepEnv<'_>, nr: u32, cn: CtxId, out: &mut SweepOut) {
     let pag = env.pag;
     let n = NodeId::new(nr);
-    for e in pag.outgoing_kind(n, EdgeClass::New) {
-        out.ins(e.dst.raw(), cn);
+    for class in [EdgeClass::New, EdgeClass::AssignLocal] {
+        if let Some(row) = env.out_packed(class).and_then(|pc| pc.row(nr)) {
+            out.ins_row(row, cn);
+        } else {
+            for e in pag.outgoing_kind(n, class) {
+                out.ins(e.dst.raw(), cn);
+            }
+        }
     }
-    for e in pag.outgoing_kind(n, EdgeClass::AssignLocal) {
-        out.ins(e.dst.raw(), cn);
-    }
-    for e in pag.outgoing_kind(n, EdgeClass::AssignGlobal) {
-        let c2 = if env.ctx_sens { CtxId::EMPTY } else { cn };
-        out.ins(e.dst.raw(), c2);
+    let cg = if env.ctx_sens { CtxId::EMPTY } else { cn };
+    if let Some(row) = env
+        .out_packed(EdgeClass::AssignGlobal)
+        .and_then(|pc| pc.row(nr))
+    {
+        out.ins_row(row, cg);
+    } else {
+        for e in pag.outgoing_kind(n, EdgeClass::AssignGlobal) {
+            out.ins(e.dst.raw(), cg);
+        }
     }
     for e in pag.outgoing_kind(n, EdgeClass::Param) {
         let i = e.kind.call_site().expect("param edge");
@@ -450,6 +547,8 @@ impl<'a> MatrixSolver<'a> {
             work: 0,
             span: 0,
             workers: 1,
+            packed: cfg.packed.then(|| pag.packed()),
+            sweep_pool: None,
             query_index: 0,
             providers: FxHashSet::default(),
             pool: Vec::new(),
@@ -481,6 +580,16 @@ impl<'a> MatrixSolver<'a> {
     /// change.
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers.max(1);
+        self
+    }
+
+    /// Attaches a persistent [`SweepPool`]: parallel waves are dispatched
+    /// to its parked helpers (epoch barrier) instead of spawning a
+    /// `std::thread::scope` per wave. Purely a wall-clock change — the
+    /// partition, the ordered barrier replay and every observable are the
+    /// same with or without a pool, at any pool size.
+    pub fn with_pool(mut self, pool: Arc<SweepPool>) -> Self {
+        self.sweep_pool = Some(pool);
         self
     }
 
@@ -683,10 +792,23 @@ impl<'a> MatrixSolver<'a> {
                     }
                 }
             }
-            let grain = if self.workers <= 1 {
-                64
+            // A persistent pool makes fan-out a park-and-wake barrier, so
+            // the inline threshold drops; waves below the threshold take
+            // the exact single-worker segmentation (grain 64, one part),
+            // since fine grains would only add `Seg` bookkeeping to a
+            // wave that runs inline anyway. The partition (and with it
+            // every answer-observable) is fixed before dispatch either
+            // way; only `span_steps` and wall clock depend on it.
+            let min_scans = if self.sweep_pool.is_some() {
+                POOL_MIN_SCANS
             } else {
+                SPAWN_MIN_SCANS
+            };
+            let fan_out = self.workers > 1 && total >= min_scans;
+            let grain = if fan_out {
                 (total / (self.workers as u64 * 4)).clamp(1, 64) as u32
+            } else {
+                64
             };
             let mut segs: Vec<Seg> = Vec::new();
             for (fi, (_, bits)) in fronts.iter().enumerate() {
@@ -716,16 +838,32 @@ impl<'a> MatrixSolver<'a> {
                     }
                 }
             }
-            let parts = partition_segs(&segs, self.workers);
+            let parts = partition_segs(&segs, if fan_out { self.workers } else { 1 });
             let env = SweepEnv {
                 pag: self.pag,
                 ctxs: &self.ctxs,
                 ctx_sens: self.cfg.context_sensitive,
+                packed: self.packed,
             };
-            let outs: Vec<SweepOut> = if parts.len() <= 1 || total < SPAWN_MIN_SCANS {
+            let outs: Vec<SweepOut> = if parts.len() <= 1 {
                 parts
                     .iter()
                     .map(|p| scan_part(&env, kind, &fronts, &segs[p.clone()]))
+                    .collect()
+            } else if let Some(pool) = &self.sweep_pool {
+                let slots: Vec<Mutex<Option<SweepOut>>> =
+                    parts.iter().map(|_| Mutex::new(None)).collect();
+                pool.run(parts.len(), &|p| {
+                    let out = scan_part(&env, kind, &fronts, &segs[parts[p].clone()]);
+                    *slots[p].lock().expect("slot lock") = Some(out);
+                });
+                slots
+                    .into_iter()
+                    .map(|s| {
+                        s.into_inner()
+                            .expect("slot lock")
+                            .expect("every part scanned")
+                    })
                     .collect()
             } else {
                 std::thread::scope(|sc| {
@@ -1075,6 +1213,85 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// Packed-adjacency gathers and CSR slice walks are the same relation,
+    /// so flipping `cfg.packed` must not move any observable — answers,
+    /// scan counts, Halt verdicts, interner contents — at any worker count.
+    #[test]
+    fn packed_and_csr_scans_bit_identical() {
+        let src = "class Obj { }
+                   class Box { field f: Obj;
+                     method set(v: Obj) { this.f = v; }
+                     method get(): Obj { var r: Obj; r = this.f; return r; }
+                   }
+                   class A { method m() {
+                     var b: Box; var c: Box; var x: Obj; var y: Obj; var z: Obj;
+                     b = new Box; c = b; x = new Obj;
+                     call b.set(x);
+                     y = call b.get(); z = call c.get();
+                   } }";
+        let pag = build_pag(src).unwrap().pag;
+        assert!(
+            pag.packed().packed_class_count() >= 1,
+            "test graph dense enough to pack"
+        );
+        for budget in [u64::MAX, 10, 3] {
+            let csr_cfg = SolverConfig::default()
+                .with_budget(budget)
+                .with_packed(false);
+            let mut csr = MatrixSolver::new(&pag, &csr_cfg);
+            let baseline: Vec<_> = pag
+                .node_ids()
+                .filter(|&n| pag.kind(n).is_variable())
+                .map(|n| (n, csr.points_to_query(n)))
+                .collect();
+            for w in [1usize, 2, 4, 8] {
+                let packed_cfg = SolverConfig::default().with_budget(budget);
+                let mut packed = MatrixSolver::new(&pag, &packed_cfg).with_workers(w);
+                for (n, b) in &baseline {
+                    let p = packed.points_to_query(*n);
+                    assert_eq!(b.answer, p.answer, "packed w={w} budget={budget} {n:?}");
+                    assert_eq!(
+                        b.stats.traversed_steps, p.stats.traversed_steps,
+                        "packed w={w} budget={budget} {n:?}: scan counts diverge"
+                    );
+                }
+                assert_eq!(csr.interner().len(), packed.interner().len());
+            }
+        }
+    }
+
+    /// The persistent pool is a pure wall-clock substitute for per-wave
+    /// scoped threads: same partition, same barrier replay, same outputs.
+    #[test]
+    fn pooled_sweeps_bit_identical_and_reused() {
+        let src = "class Obj { }
+                   class Box { field f: Obj;
+                     method set(v: Obj) { this.f = v; }
+                     method get(): Obj { var r: Obj; r = this.f; return r; }
+                   }
+                   class A { method m() {
+                     var b: Box; var x: Obj; var y: Obj; var z: Obj;
+                     b = new Box; x = new Obj;
+                     call b.set(x);
+                     y = call b.get(); z = call b.get();
+                   } }";
+        let pag = build_pag(src).unwrap().pag;
+        let cfg = SolverConfig::default();
+        let mut base = MatrixSolver::new(&pag, &cfg);
+        let pool = Arc::new(SweepPool::new(4));
+        let mut pooled = MatrixSolver::new(&pag, &cfg)
+            .with_workers(4)
+            .with_pool(Arc::clone(&pool));
+        for n in pag.node_ids().filter(|&n| pag.kind(n).is_variable()) {
+            let b = base.points_to_query(n);
+            let p = pooled.points_to_query(n);
+            assert_eq!(b.answer, p.answer, "pooled query {n:?}");
+            assert_eq!(b.stats.traversed_steps, p.stats.traversed_steps);
+        }
+        assert_eq!(base.interner().len(), pooled.interner().len());
+        assert_eq!(pool.spawns(), 3, "helpers spawned once for the whole batch");
     }
 
     #[test]

@@ -169,6 +169,7 @@ impl PagBuilder {
             types: self.types,
             method_names: self.method_names,
             call_sites: self.call_sites,
+            packed: std::sync::Arc::new(std::sync::OnceLock::new()),
         }
     }
 }
@@ -236,6 +237,9 @@ pub struct Pag {
     types: TypeTable,
     method_names: Vec<String>,
     call_sites: u32,
+    /// Lazily-built bit-packed adjacency rows ([`Pag::packed`]). Behind an
+    /// `Arc` so clones share the one build.
+    packed: std::sync::Arc<std::sync::OnceLock<crate::packed::PackedAdj>>,
 }
 
 impl Pag {
@@ -367,6 +371,14 @@ impl Pag {
                 info.is_application && info.kind.is_local()
             })
             .collect()
+    }
+
+    /// The bit-packed adjacency rows of this graph (see [`crate::packed`]),
+    /// built on first use and cached — clones share the build. Always
+    /// coherent with the CSR slices: the graph is immutable once frozen.
+    pub fn packed(&self) -> &crate::packed::PackedAdj {
+        self.packed
+            .get_or_init(|| crate::packed::PackedAdj::build(self))
     }
 
     /// Looks up a node by name; linear scan, intended for tests and small

@@ -14,6 +14,9 @@
 //! * [`algo`] — graph utilities (iterative Tarjan SCC, DAG longest paths,
 //!   union-find) shared by the frontend and the scheduler;
 //! * [`stats::PagStats`] — structural statistics (Table I columns);
+//! * [`packed`] — lazily-built bit-packed successor rows for the matrix
+//!   engine's word-level sweep kernels (payload-free classes only, with a
+//!   density fallback to the CSR slices);
 //! * [`dot`] — Graphviz export.
 //!
 //! The `jmp` shortcut edges of the extended PAG (paper Fig. 4) are an
@@ -28,6 +31,7 @@ mod edge;
 mod graph;
 mod ids;
 mod node;
+pub mod packed;
 pub mod stats;
 pub mod types;
 
@@ -35,3 +39,4 @@ pub use edge::{Edge, EdgeClass, EdgeKind, EDGE_CLASSES};
 pub use graph::{Pag, PagBuilder};
 pub use ids::{CallSiteId, FieldId, MethodId, NodeId, TypeId};
 pub use node::{NodeInfo, NodeKind};
+pub use packed::{PackedAdj, PackedClass, ROW_MIN_BITS};

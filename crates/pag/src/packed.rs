@@ -1,0 +1,425 @@
+//! Bit-packed adjacency rows for the matrix engine's frontier sweeps
+//! (DESIGN.md §11).
+//!
+//! The whole-program backend applies one edge class to every set bit of a
+//! frontier. With the kind-major CSR that is a per-bit walk over a scalar
+//! edge slice; with a **packed row** it is a word-level OR: each node with
+//! at least one edge of the class owns a dense node-indexed bitset row
+//! (`words[i]` covers node ids `i*64..`, the same flat-word layout as
+//! `parcfl-concurrent`'s chunked bitsets), and applying the class to a
+//! frontier bit becomes `scratch |= row` — one branchless pass the chunk
+//! kernels consume directly.
+//!
+//! Only the **payload-free** classes pack (`new`, `assign_l`, `assign_g`):
+//! loads/stores carry a field and params/rets carry a call site, so their
+//! targets are not a plain successor set. The density heuristic is
+//! two-level. Per class, [`PackedAdj::should_pack`] keeps sparse classes
+//! and very large graphs on the CSR slices entirely (packing pays
+//! `node_count / 64` words per stored row). Per row, only nodes with at
+//! least [`ROW_MIN_BITS`] successors get a row: at the one-to-two edges
+//! per node typical of PAGs, a scalar insert beats ORing a whole
+//! `stride`-word row, so thin rows fall back to the slice walk and only
+//! genuinely fat rows (globals, factory allocation sites) gather.
+//! Either representation yields exactly the same successor sets — the
+//! `dense_props` proptests and the fuzzer's `packed` dimension enforce
+//! that bit-for-bit.
+
+use crate::edge::{EdgeClass, EDGE_CLASSES};
+use crate::graph::Pag;
+use crate::ids::NodeId;
+
+/// `row_of` marker for nodes with no edges of the class (no row storage).
+const NO_ROW: u32 = u32::MAX;
+
+/// Graphs beyond this many nodes never pack: a single row would span more
+/// than 64 cache lines, past the point where gather/OR beats the CSR walk
+/// for the edge counts the matrix engine dispatches on (`matrix_pays_off`
+/// caps nodes well below this anyway; the guard keeps direct
+/// `MatrixSolver` users on huge graphs safe from quadratic row storage).
+pub const MAX_PACKED_NODES: usize = 4096;
+
+/// A class packs when `edges * PACK_DENSITY >= node_count`: below one edge
+/// per `PACK_DENSITY` nodes, rows are mostly zero words and the scalar
+/// slice walk is already cheaper than touching the row.
+pub const PACK_DENSITY: usize = 8;
+
+/// The number of packable (payload-free) edge classes: `new`, `assign_l`,
+/// `assign_g` — [`EdgeClass`] discriminants 0..3.
+pub const PACKED_CLASSES: usize = 3;
+
+/// A row is stored only when it holds at least this many successors.
+/// Below it, gathering a `stride`-word row costs more than the handful of
+/// per-edge scalar inserts it replaces, so thin rows stay on the CSR walk
+/// (the scan falls back per row, not per class). Break-even sits around
+/// one 8-word kernel group of ORs per ~1 insert saved.
+pub const ROW_MIN_BITS: u32 = 4;
+
+/// Packed successor rows of one edge class in one direction.
+///
+/// Rows exist only for nodes with at least [`ROW_MIN_BITS`] successors of
+/// the class; thinner rows (and empty ones) report `None` from
+/// [`PackedClass::row`] and the scan walks the node's CSR slice instead.
+/// Either path produces identical scratch contents, so the per-row choice
+/// is invisible to every observable.
+#[derive(Debug)]
+pub struct PackedClass {
+    /// Words per row: `node_count.div_ceil(64)`.
+    stride: u32,
+    /// Node id → row index, or [`NO_ROW`].
+    row_of: Vec<u32>,
+    /// Row storage, `rows * stride` words; word `i` of a row covers node
+    /// ids `i*64 .. i*64+64`, bit `j` = id `i*64 + j`.
+    words: Vec<u64>,
+}
+
+impl PackedClass {
+    /// Builds one direction of one class: `edges_of` feeds the successor
+    /// ids of each node (ascending node order fixes the row order).
+    fn build(n: usize, mut edges_of: impl FnMut(NodeId, &mut dyn FnMut(u32))) -> PackedClass {
+        let stride = n.div_ceil(64).max(1);
+        let mut row_of = vec![NO_ROW; n];
+        let mut words: Vec<u64> = Vec::new();
+        for (node, row) in row_of.iter_mut().enumerate() {
+            let start = words.len();
+            let mut created = false;
+            edges_of(NodeId::from_usize(node), &mut |succ: u32| {
+                if !created {
+                    words.resize(start + stride, 0);
+                    created = true;
+                }
+                words[start + succ as usize / 64] |= 1u64 << (succ % 64);
+            });
+            if created {
+                let bits: u32 = words[start..].iter().map(|w| w.count_ones()).sum();
+                if bits >= ROW_MIN_BITS {
+                    *row = (start / stride) as u32;
+                } else {
+                    words.truncate(start);
+                }
+            }
+        }
+        PackedClass {
+            stride: stride as u32,
+            row_of,
+            words,
+        }
+    }
+
+    /// The packed successor row of node `n`, or `None` when `n` has fewer
+    /// than [`ROW_MIN_BITS`] successors of this class (thin and empty rows
+    /// are never stored — the caller walks the CSR slice). The slice is
+    /// `stride` words long; word `i` covers ids `i*64..`.
+    #[inline]
+    pub fn row(&self, n: u32) -> Option<&[u64]> {
+        let r = self.row_of[n as usize];
+        if r == NO_ROW {
+            return None;
+        }
+        let s = self.stride as usize;
+        let lo = r as usize * s;
+        Some(&self.words[lo..lo + s])
+    }
+
+    /// Words per row.
+    #[inline]
+    pub fn stride(&self) -> usize {
+        self.stride as usize
+    }
+
+    /// Total `u64` words of row storage.
+    #[inline]
+    pub fn word_count(&self) -> usize {
+        self.words.len()
+    }
+}
+
+/// The per-`Pag` packed adjacency: one optional [`PackedClass`] per
+/// packable class per direction. Built once (lazily) per graph via
+/// [`Pag::packed`] and shared read-only by every sweep worker.
+#[derive(Debug)]
+pub struct PackedAdj {
+    in_classes: [Option<PackedClass>; PACKED_CLASSES],
+    out_classes: [Option<PackedClass>; PACKED_CLASSES],
+}
+
+/// Slot of a packable class, or `None` for payload-carrying classes.
+#[inline]
+fn slot(class: EdgeClass) -> Option<usize> {
+    match class {
+        EdgeClass::New => Some(0),
+        EdgeClass::AssignLocal => Some(1),
+        EdgeClass::AssignGlobal => Some(2),
+        _ => None,
+    }
+}
+
+impl PackedAdj {
+    /// The density heuristic: whether a class with `edges` edges packs on
+    /// an `n`-node graph (see the module docs for the rationale).
+    #[inline]
+    pub fn should_pack(n: usize, edges: usize) -> bool {
+        n > 0 && n <= MAX_PACKED_NODES && edges * PACK_DENSITY >= n
+    }
+
+    /// Builds the packed rows for `pag`, packing each payload-free class
+    /// that passes [`PackedAdj::should_pack`] (both directions of a class
+    /// share the decision — they have the same edge count).
+    pub fn build(pag: &Pag) -> PackedAdj {
+        let n = pag.node_count();
+        let mut class_edges = [0usize; EDGE_CLASSES];
+        for e in pag.edges() {
+            class_edges[e.kind.class() as usize] += 1;
+        }
+        let mut adj = PackedAdj {
+            in_classes: [None, None, None],
+            out_classes: [None, None, None],
+        };
+        for class in [
+            EdgeClass::New,
+            EdgeClass::AssignLocal,
+            EdgeClass::AssignGlobal,
+        ] {
+            let k = slot(class).expect("packable class");
+            if !Self::should_pack(n, class_edges[class as usize]) {
+                continue;
+            }
+            adj.in_classes[k] = Some(PackedClass::build(n, |node, set| {
+                for e in pag.incoming_kind(node, class) {
+                    set(e.src.raw());
+                }
+            }));
+            adj.out_classes[k] = Some(PackedClass::build(n, |node, set| {
+                for e in pag.outgoing_kind(node, class) {
+                    set(e.dst.raw());
+                }
+            }));
+        }
+        adj
+    }
+
+    /// The packed **incoming** rows of `class` (successors = edge sources),
+    /// or `None` when the class is unpacked — payload-carrying, or too
+    /// sparse for the density heuristic — and callers must walk the CSR
+    /// slice instead.
+    #[inline]
+    pub fn in_packed(&self, class: EdgeClass) -> Option<&PackedClass> {
+        slot(class).and_then(|k| self.in_classes[k].as_ref())
+    }
+
+    /// The packed **outgoing** rows of `class` (successors = edge
+    /// destinations), or `None` when the class is unpacked.
+    #[inline]
+    pub fn out_packed(&self, class: EdgeClass) -> Option<&PackedClass> {
+        slot(class).and_then(|k| self.out_classes[k].as_ref())
+    }
+
+    /// Number of classes that packed (0..=[`PACKED_CLASSES`]).
+    pub fn packed_class_count(&self) -> usize {
+        self.in_classes.iter().flatten().count()
+    }
+
+    /// Total `u64` words of packed row storage, both directions — the
+    /// build cost `matrix_pays_off` amortises over the batch.
+    pub fn packed_words(&self) -> usize {
+        self.in_classes
+            .iter()
+            .chain(self.out_classes.iter())
+            .flatten()
+            .map(PackedClass::word_count)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::PagBuilder;
+    use crate::node::{NodeInfo, NodeKind};
+    use crate::types::TypeInfo;
+    use crate::EdgeKind;
+
+    fn decode(row: &[u64]) -> Vec<u32> {
+        let mut v = Vec::new();
+        for (i, &w) in row.iter().enumerate() {
+            let mut w = w;
+            while w != 0 {
+                v.push(i as u32 * 64 + w.trailing_zeros());
+                w &= w - 1;
+            }
+        }
+        v
+    }
+
+    fn sample() -> Pag {
+        let mut b = PagBuilder::new();
+        let m = b.add_method("main");
+        let t = b.types_mut().add_type(TypeInfo {
+            name: "T".into(),
+            is_ref: true,
+            fields: Vec::new(),
+            supertype: None,
+        });
+        let f = b.types_mut().add_field("f");
+        let cs = b.fresh_call_site();
+        let mk = |name: &str, kind: NodeKind| NodeInfo {
+            kind,
+            ty: t,
+            name: name.into(),
+            is_application: true,
+        };
+        // Enough nodes to cross a word boundary.
+        let nodes: Vec<_> = (0..70)
+            .map(|i| {
+                let kind = if i % 10 == 0 {
+                    NodeKind::Object { method: m }
+                } else {
+                    NodeKind::Local { method: m }
+                };
+                b.add_node(mk(&format!("n{i}"), kind))
+            })
+            .collect();
+        for i in 0..nodes.len() - 1 {
+            match i % 5 {
+                0 => b.add_edge(nodes[i], nodes[i + 1], EdgeKind::New),
+                1 | 2 => b.add_edge(nodes[i], nodes[i + 1], EdgeKind::AssignLocal),
+                3 => b.add_edge(nodes[i], nodes[i + 1], EdgeKind::Load(f)),
+                _ => b.add_edge(nodes[i], nodes[i + 1], EdgeKind::Param(cs)),
+            }
+        }
+        // A high-id successor to exercise the second row word.
+        b.add_edge(nodes[69], nodes[2], EdgeKind::AssignLocal);
+        // Fat rows (>= ROW_MIN_BITS successors) that actually pack: a
+        // factory-style allocation hub and an assignment fan-out.
+        for i in 30..38 {
+            b.add_edge(nodes[i], nodes[0], EdgeKind::New);
+        }
+        for i in 50..58 {
+            b.add_edge(nodes[5], nodes[i], EdgeKind::AssignLocal);
+        }
+        b.freeze()
+    }
+
+    #[test]
+    fn packed_rows_match_csr_slices() {
+        let pag = sample();
+        let adj = PackedAdj::build(&pag);
+        assert!(adj.packed_class_count() >= 1);
+        let mut fat_rows = 0;
+        let mut check = |pc: Option<&PackedClass>, n: NodeId, want: &[u32], what: &str| {
+            let Some(pc) = pc else { return };
+            let mut want = want.to_vec();
+            want.sort_unstable();
+            want.dedup();
+            match pc.row(n.raw()) {
+                Some(row) => {
+                    assert_eq!(decode(row), want, "{what} of {n:?}");
+                    assert!(want.len() >= ROW_MIN_BITS as usize, "thin row stored");
+                    fat_rows += 1;
+                }
+                None => assert!(
+                    want.len() < ROW_MIN_BITS as usize,
+                    "{what} of {n:?}: fat row dropped"
+                ),
+            }
+        };
+        for class in [
+            EdgeClass::New,
+            EdgeClass::AssignLocal,
+            EdgeClass::AssignGlobal,
+        ] {
+            for n in pag.node_ids() {
+                let want_in: Vec<u32> = pag
+                    .incoming_kind(n, class)
+                    .iter()
+                    .map(|e| e.src.raw())
+                    .collect();
+                let want_out: Vec<u32> = pag
+                    .outgoing_kind(n, class)
+                    .iter()
+                    .map(|e| e.dst.raw())
+                    .collect();
+                check(adj.in_packed(class), n, &want_in, "in");
+                check(adj.out_packed(class), n, &want_out, "out");
+            }
+        }
+        assert!(fat_rows >= 2, "hub rows should pack (got {fat_rows})");
+    }
+
+    #[test]
+    fn payload_classes_never_pack() {
+        let pag = sample();
+        let adj = PackedAdj::build(&pag);
+        for class in [
+            EdgeClass::Load,
+            EdgeClass::Store,
+            EdgeClass::Param,
+            EdgeClass::Ret,
+        ] {
+            assert!(adj.in_packed(class).is_none());
+            assert!(adj.out_packed(class).is_none());
+        }
+    }
+
+    #[test]
+    fn density_heuristic() {
+        assert!(!PackedAdj::should_pack(0, 0), "empty graph");
+        assert!(PackedAdj::should_pack(64, 8));
+        assert!(!PackedAdj::should_pack(64, 7), "too sparse");
+        assert!(
+            !PackedAdj::should_pack(MAX_PACKED_NODES + 1, 1 << 20),
+            "too big"
+        );
+        // A sparse class on a real graph falls back to CSR.
+        let mut b = PagBuilder::new();
+        let m = b.add_method("m");
+        let t = b.types_mut().add_type(TypeInfo {
+            name: "T".into(),
+            is_ref: true,
+            fields: Vec::new(),
+            supertype: None,
+        });
+        let nodes: Vec<_> = (0..100)
+            .map(|i| {
+                b.add_node(NodeInfo {
+                    kind: NodeKind::Local { method: m },
+                    ty: t,
+                    name: format!("v{i}"),
+                    is_application: true,
+                })
+            })
+            .collect();
+        // Dense assign_l (99 edges), sparse new (1 edge on 100 nodes).
+        for i in 0..99 {
+            b.add_edge(nodes[i], nodes[i + 1], EdgeKind::AssignLocal);
+        }
+        // One fat in-row so the packed class actually stores words.
+        for i in 10..10 + ROW_MIN_BITS as usize {
+            b.add_edge(nodes[i], nodes[0], EdgeKind::AssignLocal);
+        }
+        b.add_edge(nodes[0], nodes[1], EdgeKind::New);
+        let pag = b.freeze();
+        let adj = PackedAdj::build(&pag);
+        let al = adj.in_packed(EdgeClass::AssignLocal).expect("class packs");
+        assert!(
+            adj.in_packed(EdgeClass::New).is_none(),
+            "sparse class stays CSR"
+        );
+        assert!(adj.packed_words() > 0);
+        assert!(al.row(nodes[0].raw()).is_some(), "fat row packs");
+        assert!(al.row(nodes[1].raw()).is_none(), "thin chain row stays CSR");
+    }
+
+    #[test]
+    fn pag_packed_is_cached_and_shared_by_clones() {
+        let pag = sample();
+        let a = pag.packed() as *const PackedAdj;
+        let b = pag.packed() as *const PackedAdj;
+        assert_eq!(a, b, "built once");
+        let clone = pag.clone();
+        assert_eq!(
+            clone.packed() as *const PackedAdj,
+            a,
+            "clones share the cache"
+        );
+    }
+}

@@ -34,12 +34,12 @@ mod stats;
 pub mod threaded;
 
 pub use mode::{Backend, Engine, Mode, RunConfig, SimPerturb};
-pub use parcfl_concurrent::{CounterSet, WorkerObs};
+pub use parcfl_concurrent::{CounterSet, SweepPool, WorkerObs};
 pub use parcfl_obs::{
     chrome_trace_json, Event, EventKind, LogHistogram, ObsHists, PromText, RunTrace, TraceLevel,
     TraceRecorder, WorkerTrace,
 };
-pub use seq::{run_matrix, run_seq, run_seq_traced, run_seq_with_store};
+pub use seq::{run_matrix, run_matrix_pooled, run_seq, run_seq_traced, run_seq_with_store};
 pub use session::AnalysisSession;
 pub use sim::{run_simulated, run_simulated_batch, run_simulated_with_store};
 pub use stats::{RunResult, RunStats};
@@ -97,6 +97,14 @@ pub fn schedule_with_cap(
 pub fn matrix_pays_off(pag: &Pag, queries: &[NodeId]) -> bool {
     /// Below this the batch cannot amortise the whole-program closures.
     const MIN_BATCH: usize = 32;
+    /// The batch floor grows with program size: matrix rows are
+    /// whole-node-space bitsets and the packed adjacency is built once
+    /// per PAG (`probe_features` measures ≤ 0.3 ms even at `xalan`'s
+    /// 118k packed words), so a batch must bring roughly one query per
+    /// 24 nodes before those per-program costs amortise. At the
+    /// measured crossover (`_205_raytrace`, 1399 nodes) this asks for
+    /// 58 queries — comfortably under its 1085-query Table-I batch.
+    const NODES_PER_QUERY: usize = 24;
     /// Measured node-count crossover: largest winner 1399 (`_205_raytrace`),
     /// smallest loser 1456 (`luindex`).
     const MAX_NODES: usize = 1_400;
@@ -109,7 +117,7 @@ pub fn matrix_pays_off(pag: &Pag, queries: &[NodeId]) -> bool {
     if queries.is_empty() || locals == 0 {
         return false;
     }
-    queries.len() >= MIN_BATCH
+    queries.len() >= MIN_BATCH.max(pag.node_count() / NODES_PER_QUERY)
         && queries.len() * 2 >= locals
         && pag.node_count() <= MAX_NODES
         && pag.call_site_count() < MAX_CALL_SITES
@@ -284,5 +292,34 @@ mod tests {
         let qs = big.application_locals();
         assert!(big.node_count() > 1_400);
         assert!(!matrix_pays_off(&big, &qs));
+    }
+
+    #[test]
+    fn matrix_pays_off_batch_floor_scales_with_nodes() {
+        // 1200 nodes but only 80 application locals: under the node and
+        // call-site caps, yet the batch floor is 1200/24 = 50, not the
+        // flat 32 — a 40-query batch can't amortise whole-node-space
+        // rows (or the one-off packed build) on a graph this size.
+        let mut g = parcfl_pag::PagBuilder::new();
+        let m = g.add_method("wide");
+        for i in 0..1_200 {
+            g.add_node(parcfl_pag::NodeInfo {
+                kind: if i < 80 {
+                    parcfl_pag::NodeKind::Local { method: m }
+                } else {
+                    parcfl_pag::NodeKind::Object { method: m }
+                },
+                ty: parcfl_pag::TypeId::from_usize(0),
+                name: format!("v{i}"),
+                is_application: i < 80,
+            });
+        }
+        let wide = g.freeze();
+        let locals = wide.application_locals();
+        assert_eq!(locals.len(), 80);
+        let forty: Vec<_> = locals.iter().take(40).copied().collect();
+        assert!(!matrix_pays_off(&wide, &forty), "below the scaled floor");
+        let dense: Vec<_> = locals.iter().cycle().take(64).copied().collect();
+        assert!(matrix_pays_off(&wide, &dense), "past the scaled floor");
     }
 }

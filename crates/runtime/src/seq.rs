@@ -3,9 +3,11 @@
 //! matrix engine's batch driver, which shares its shape.
 
 use crate::stats::{RunResult, RunStats};
+use parcfl_concurrent::SweepPool;
 use parcfl_core::{Answer, JmpStore, MatrixSolver, NoJmpStore, Solver, SolverConfig};
 use parcfl_obs::{EventKind, RunTrace, TraceLevel, TraceRecorder};
 use parcfl_pag::{NodeId, Pag};
+use std::sync::Arc;
 
 /// Runs every query sequentially with data sharing disabled.
 pub fn run_seq(pag: &Pag, queries: &[NodeId], solver_cfg: &SolverConfig) -> RunResult {
@@ -104,12 +106,32 @@ pub fn run_seq_traced(
 /// are inert (the dispatch is recorded in
 /// [`RunStats::engine_dispatched`]).
 pub fn run_matrix(pag: &Pag, queries: &[NodeId], cfg: &crate::RunConfig) -> RunResult {
+    run_matrix_pooled(pag, queries, cfg, None)
+}
+
+/// [`run_matrix`] against a caller-owned persistent [`SweepPool`] — the
+/// session building block: an [`crate::AnalysisSession`] passes the same
+/// pool to every matrix batch, so sweep helpers are spawned once per
+/// session, not once per batch (let alone per wave). With `pool: None`, a
+/// transient pool is created for the batch when `cfg.threads > 1`. Either
+/// way [`RunStats::pool_spawns`] / [`RunStats::pool_wakes`] record the
+/// pool's end-of-batch counters.
+pub fn run_matrix_pooled(
+    pag: &Pag,
+    queries: &[NodeId],
+    cfg: &crate::RunConfig,
+    pool: Option<Arc<SweepPool>>,
+) -> RunResult {
     let start = std::time::Instant::now();
+    let pool = pool.or_else(|| (cfg.threads > 1).then(|| Arc::new(SweepPool::new(cfg.threads))));
     let mut stats = RunStats::default();
     let mut answers = Vec::with_capacity(queries.len());
     let mut durations = Vec::with_capacity(queries.len());
     let mut providers = Vec::with_capacity(queries.len());
     let mut solver = MatrixSolver::new(pag, &cfg.solver).with_workers(cfg.threads);
+    if let Some(p) = &pool {
+        solver = solver.with_pool(Arc::clone(p));
+    }
     for (i, &q) in queries.iter().enumerate() {
         let t0 = std::time::Instant::now();
         solver.set_query_index(i as u32);
@@ -129,6 +151,10 @@ pub fn run_matrix(pag: &Pag, queries: &[NodeId], cfg: &crate::RunConfig) -> RunR
     stats.avg_group_size = 1.0;
     stats.interner_ctxs = solver.interner().len();
     stats.engine_dispatched = Some(crate::Engine::Matrix);
+    if let Some(p) = &pool {
+        stats.pool_spawns = p.spawns();
+        stats.pool_wakes = p.wakes();
+    }
     RunResult {
         answers,
         stats,
@@ -215,6 +241,10 @@ mod tests {
         assert_eq!(mat.sorted_answers(), par.sorted_answers());
         assert_eq!(mat.stats.traversed_steps, par.stats.traversed_steps);
         assert!(par.stats.makespan <= mat.stats.makespan);
+        // Pool accounting: one thread needs no pool; four threads spawn
+        // exactly three helpers for the whole batch.
+        assert_eq!(mat.stats.pool_spawns, 0);
+        assert_eq!(par.stats.pool_spawns, 3);
     }
 
     #[test]

@@ -25,11 +25,12 @@ use crate::seq::run_seq_traced;
 use crate::sim::run_simulated_batch;
 use crate::stats::{RunResult, RunStats};
 use crate::threaded::run_threaded_batch;
-use parcfl_concurrent::CounterSet;
+use parcfl_concurrent::{CounterSet, SweepPool};
 use parcfl_core::{JmpStore, SharedJmpStore, SolverConfig};
 use parcfl_obs::{Event, EventKind, PromText, TraceLevel};
 use parcfl_pag::{NodeId, Pag};
 use parcfl_sched::{Schedule, ScheduleCache, ScheduleOptions};
+use std::sync::Arc;
 
 /// A long-lived analysis service over one PAG.
 ///
@@ -72,6 +73,11 @@ pub struct AnalysisSession<'p> {
     /// `BatchStart`/`BatchEnd` spans in session virtual time (recorded
     /// only when tracing is enabled).
     session_events: Vec<Event>,
+    /// The session's persistent sweep-worker pool, created lazily by the
+    /// first matrix batch that runs with `threads > 1` and reused by every
+    /// later one — helpers are spawned once per session, never per batch
+    /// ([`RunStats::pool_spawns`] stays at `threads - 1`).
+    sweep_pool: Option<Arc<SweepPool>>,
 }
 
 impl<'p> AnalysisSession<'p> {
@@ -93,6 +99,7 @@ impl<'p> AnalysisSession<'p> {
             tracing: TraceLevel::Off,
             counters: CounterSet::new(),
             session_events: Vec::new(),
+            sweep_pool: None,
         }
     }
 
@@ -184,7 +191,10 @@ impl<'p> AnalysisSession<'p> {
         };
         if matrix {
             let base = self.vclock;
-            let result = crate::run_matrix(self.pag, queries, &cfg);
+            if self.sweep_pool.is_none() && self.threads > 1 {
+                self.sweep_pool = Some(Arc::new(SweepPool::new(self.threads)));
+            }
+            let result = crate::run_matrix_pooled(self.pag, queries, &cfg, self.sweep_pool.clone());
             self.vclock = base + result.stats.makespan + 1;
             self.cumulative.merge(&result.stats);
             self.account_batch(base, &result.stats);
@@ -734,6 +744,37 @@ mod tests {
             matrix.cumulative().engine_dispatched,
             Some(crate::Engine::Matrix)
         );
+    }
+
+    #[test]
+    fn matrix_session_spawns_sweep_workers_at_most_once() {
+        let pag = build_pag(SRC).unwrap().pag;
+        let queries = pag.application_locals();
+        let mut s = AnalysisSession::new(&pag)
+            .with_threads(4)
+            .with_solver(solver())
+            .with_engine(crate::Engine::Matrix);
+        let mut last_wakes = 0;
+        for _ in 0..3 {
+            let r = s.submit(&queries, Mode::DataSharingSched, Backend::Simulated);
+            // One pool for the whole session: every batch reports the same
+            // three helper spawns, while the wake counter carries across
+            // batches (monotone — proof the same pool kept serving).
+            assert_eq!(r.stats.pool_spawns, 3);
+            assert!(r.stats.pool_wakes >= last_wakes);
+            last_wakes = r.stats.pool_wakes;
+        }
+        // `pool_spawns` merges as a gauge: the session total is still the
+        // one spawn wave, not 3 batches × 3 helpers.
+        assert_eq!(s.cumulative().pool_spawns, 3);
+
+        // A single-threaded matrix session never needs a pool at all.
+        let mut solo = AnalysisSession::new(&pag)
+            .with_solver(solver())
+            .with_engine(crate::Engine::Matrix);
+        let r = solo.submit(&queries, Mode::DataSharingSched, Backend::Simulated);
+        assert_eq!(r.stats.pool_spawns, 0);
+        assert_eq!(solo.cumulative().pool_spawns, 0);
     }
 
     #[test]

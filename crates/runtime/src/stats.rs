@@ -65,6 +65,20 @@ pub struct RunStats {
     /// records it (`None` only for empty/default accumulators); like the
     /// other gauges, merging takes the latest batch's observation.
     pub engine_dispatched: Option<crate::Engine>,
+    /// Sweep helper threads spawned by the matrix engine's persistent
+    /// worker pool over its lifetime, as observed at the end of the batch
+    /// (`workers - 1` for a live pool; 0 for demand engines or
+    /// single-threaded runs). A **gauge**: session merges take the latest
+    /// batch's observation, so a multi-batch session whose value stays at
+    /// `workers - 1` provably reused one pool instead of respawning per
+    /// batch (or, as before PR 8, per wave).
+    pub pool_spawns: u64,
+    /// Cumulative park-and-wake barriers the pool dispatched (parallel
+    /// waves fanned out to the helpers), observed at the end of the batch.
+    /// Also a gauge — it grows monotonically over a session while
+    /// `pool_spawns` stays flat, which is the reuse signature
+    /// `BENCH_solver.json` records per bench.
+    pub pool_wakes: u64,
     /// Wall-clock duration of the run.
     pub wall: std::time::Duration,
     /// Average group size of the schedule (`S_g`; 1.0 when unscheduled).
@@ -148,6 +162,8 @@ impl RunStats {
             self.avg_group_size = other.avg_group_size;
             self.interner_ctxs = other.interner_ctxs;
             self.engine_dispatched = other.engine_dispatched;
+            self.pool_spawns = other.pool_spawns;
+            self.pool_wakes = other.pool_wakes;
         }
         for (i, w) in other.workers.iter().enumerate() {
             if self.workers.len() <= i {
@@ -285,6 +301,8 @@ mod tests {
                 interner_ctxs: 12,
                 makespan: 50,
                 engine_dispatched: Some(crate::Engine::Demand),
+                pool_spawns: 0,
+                pool_wakes: 0,
                 wall: std::time::Duration::from_millis(3),
                 avg_group_size: 2.0,
                 workers: vec![],
@@ -312,6 +330,8 @@ mod tests {
                 interner_ctxs: 9,
                 makespan: 9,
                 engine_dispatched: Some(crate::Engine::Matrix),
+                pool_spawns: 7,
+                pool_wakes: 41,
                 wall: std::time::Duration::from_millis(2),
                 avg_group_size: 1.5,
                 workers: vec![],
@@ -352,6 +372,8 @@ mod tests {
             Some(crate::Engine::Matrix),
             "dispatched engine follows the latest batch"
         );
+        assert_eq!(cum.pool_spawns, 7, "pool gauges follow the latest batch");
+        assert_eq!(cum.pool_wakes, 41);
     }
 
     #[test]

@@ -1,9 +1,16 @@
+//! Dumps the per-bench feature table the `matrix_pays_off` thresholds
+//! are tuned against (node/edge/call-site counts plus the packed
+//! adjacency footprint and its one-off build cost).
+
 fn main() {
     for b in parcfl_synth::build_suite() {
         let pag = &b.pag;
         let locals = pag.application_locals().len();
+        let t0 = std::time::Instant::now();
+        let packed = pag.packed();
+        let build_us = t0.elapsed().as_micros();
         println!(
-            "{} queries={} locals={} nodes={} edges={} call_sites={} methods={} e_per_n={:.2} cs_per_local={:.3}",
+            "{} queries={} locals={} nodes={} edges={} call_sites={} methods={} e_per_n={:.2} cs_per_local={:.3} packed_classes={} packed_words={} packed_build_us={}",
             b.name,
             b.queries.len(),
             locals,
@@ -13,6 +20,9 @@ fn main() {
             pag.method_count(),
             pag.edge_count() as f64 / pag.node_count().max(1) as f64,
             pag.call_site_count() as f64 / locals.max(1) as f64,
+            packed.packed_class_count(),
+            packed.packed_words(),
+            build_us,
         );
     }
 }

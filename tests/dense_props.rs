@@ -13,10 +13,24 @@
 use parcfl::check::seed::derive;
 use parcfl::check::{failure_detail, test_seed, Scenario};
 use parcfl::core::{Answer, MatrixSolver, SolverConfig, StateBackend};
+use parcfl::pag::EdgeClass;
 use parcfl::runtime::{run_matrix, run_seq, Backend, Engine, Mode, RunConfig};
 use parcfl::synth::mutate::canonicalize;
 use parcfl::synth::{build_bench, Profile};
 use proptest::prelude::*;
+
+/// The node ids set in one packed adjacency row, ascending.
+fn row_bits(row: &[u64]) -> Vec<u32> {
+    let mut v = Vec::new();
+    for (wi, &word) in row.iter().enumerate() {
+        let mut w = word;
+        while w != 0 {
+            v.push(wi as u32 * 64 + w.trailing_zeros());
+            w &= w - 1;
+        }
+    }
+    v
+}
 
 /// A one-worker simulated-backend `RunConfig` wrapping `solver` — the
 /// sequential-matrix baseline configuration.
@@ -86,6 +100,143 @@ proptest! {
                 prop_assert_eq!(dp, mp);
             }
         }
+    }
+
+    /// Random programs: every stored bit-packed adjacency row enumerates
+    /// exactly the successor/predecessor set of the corresponding CSR
+    /// slice (a row is absent when the slice holds fewer than
+    /// `ROW_MIN_BITS` distinct successors — the scan then walks the
+    /// slice; a whole class is absent when the density heuristic kept it
+    /// on CSR), and matrix sweeps are bit-identical with packed scans on
+    /// and off at every stress worker count.
+    #[test]
+    fn prop_packed_rows_match_csr_and_sweeps_bit_identical(
+        seed in 0u64..1 << 32,
+        tight in any::<bool>(),
+        ctx in any::<bool>(),
+    ) {
+        let bench = build_bench(&Profile::tiny(seed));
+        let pag = &bench.pag;
+        let packed = pag.packed();
+        for class in [EdgeClass::New, EdgeClass::AssignLocal, EdgeClass::AssignGlobal] {
+            for incoming in [true, false] {
+                let pc = if incoming {
+                    packed.in_packed(class)
+                } else {
+                    packed.out_packed(class)
+                };
+                // A class the heuristic left unpacked is the sparse-kind
+                // CSR fallback: there is nothing to cross-check, the CSR
+                // slices stay the only representation.
+                let Some(pc) = pc else { continue };
+                for n in pag.node_ids() {
+                    let mut csr: Vec<u32> = if incoming {
+                        pag.incoming_kind(n, class).iter().map(|e| e.src.raw()).collect()
+                    } else {
+                        pag.outgoing_kind(n, class).iter().map(|e| e.dst.raw()).collect()
+                    };
+                    csr.sort_unstable();
+                    csr.dedup();
+                    match pc.row(n.raw()) {
+                        Some(row) => {
+                            prop_assert_eq!(
+                                row_bits(row), csr.clone(),
+                                "seed={} {:?} incoming={} node {}: packed row != CSR slice",
+                                seed, class, incoming, n.raw()
+                            );
+                            prop_assert!(
+                                csr.len() >= parcfl::pag::ROW_MIN_BITS as usize,
+                                "seed={} {:?} incoming={} node {}: thin row stored",
+                                seed, class, incoming, n.raw()
+                            );
+                        }
+                        None => prop_assert!(
+                            csr.len() < parcfl::pag::ROW_MIN_BITS as usize,
+                            "seed={} {:?} incoming={} node {}: fat row dropped \
+                             ({} successors)",
+                            seed, class, incoming, n.raw(), csr.len()
+                        ),
+                    }
+                }
+            }
+        }
+        // Sweep identity: packed on/off × worker ladder, one shared
+        // baseline (unpacked, one worker).
+        let cfg_off = SolverConfig {
+            budget: if tight { 1_200 + seed % 3_000 } else { 5_000_000 },
+            context_sensitive: ctx,
+            ..SolverConfig::default()
+        }
+        .with_packed(false);
+        let cfg_on = cfg_off.clone().with_packed(true);
+        let base = run_matrix(pag, &bench.queries, &matrix_cfg(&cfg_off));
+        for &workers in &worker_counts() {
+            for cfg in [&cfg_on, &cfg_off] {
+                let par_cfg = RunConfig::new(Mode::Naive, workers, Backend::Simulated)
+                    .with_solver(cfg.clone());
+                let par = run_matrix(pag, &bench.queries, &par_cfg);
+                prop_assert_eq!(base.sorted_answers(), par.sorted_answers(),
+                    "seed={} workers={} packed={}", seed, workers, cfg.packed);
+                prop_assert_eq!(base.stats.traversed_steps, par.stats.traversed_steps,
+                    "seed={} workers={} packed={}", seed, workers, cfg.packed);
+                prop_assert_eq!(base.stats.out_of_budget, par.stats.out_of_budget,
+                    "seed={} workers={} packed={}", seed, workers, cfg.packed);
+            }
+        }
+    }
+}
+
+/// Deterministic sparse-kind fallback: on a graph where `assign_l` is
+/// dense enough to pack but `new` is far too sparse, the packed build
+/// keeps `new` on CSR — and matrix runs stay bit-identical between
+/// packed and unpacked scans (the packed path reads `assign_l` rows, the
+/// CSR path everything).
+#[test]
+fn packed_sparse_kind_falls_back_to_csr_and_matches() {
+    use parcfl::pag::{EdgeKind, NodeInfo, NodeKind, PagBuilder, TypeId};
+    let mut b = PagBuilder::new();
+    let m = b.add_method("m");
+    let mut ids = Vec::new();
+    for i in 0..128u32 {
+        ids.push(b.add_node(NodeInfo {
+            kind: if i == 0 {
+                NodeKind::Object { method: m }
+            } else {
+                NodeKind::Local { method: m }
+            },
+            ty: TypeId::from_usize(0),
+            name: format!("v{i}"),
+            is_application: i != 0,
+        }));
+    }
+    // One `new` edge (1 × 8 < 128 nodes: stays on CSR) feeding a dense
+    // `assign_l` chain (127 × 8 ≥ 128: packs).
+    b.add_edge(ids[0], ids[1], EdgeKind::New);
+    for w in ids[1..].windows(2) {
+        b.add_edge(w[0], w[1], EdgeKind::AssignLocal);
+    }
+    let pag = b.freeze();
+    let packed = pag.packed();
+    assert!(packed.in_packed(EdgeClass::New).is_none(), "new stays CSR");
+    assert!(
+        packed.in_packed(EdgeClass::AssignLocal).is_some(),
+        "assign_l packs"
+    );
+    let queries = pag.application_locals();
+    let off = SolverConfig::default().with_packed(false);
+    let on = SolverConfig::default();
+    let base = run_matrix(&pag, &queries, &matrix_cfg(&off));
+    assert!(base.stats.completed > 0);
+    for workers in [1usize, 2, 4, 8] {
+        let par_cfg =
+            RunConfig::new(Mode::Naive, workers, Backend::Simulated).with_solver(on.clone());
+        let par = run_matrix(&pag, &queries, &par_cfg);
+        assert_eq!(
+            base.sorted_answers(),
+            par.sorted_answers(),
+            "workers={workers}: packed/fallback mix diverges from CSR"
+        );
+        assert_eq!(base.stats.traversed_steps, par.stats.traversed_steps);
     }
 }
 
@@ -284,9 +435,10 @@ fn matrix_differential_two_hundred_scenarios() {
             continue;
         }
         // Vary the query subset, budget regime, sensitivity, state
-        // backend and sweep worker count across iterations; the engine is
-        // always Matrix. `failure_detail` additionally replays each
-        // scenario at workers 1/2/4/8 and flags any divergence.
+        // backend, packed-adjacency flag and sweep worker count across
+        // iterations; the engine is always Matrix. `failure_detail`
+        // additionally replays each scenario over the workers 1/2/4/8 ×
+        // packed on/off grid and flags any divergence.
         let take = 1 + (s as usize % 8.min(n));
         let start = (s >> 8) as usize % n;
         let queries: Vec<_> = (0..take).map(|k| bench.queries[(start + k) % n]).collect();
@@ -309,6 +461,7 @@ fn matrix_differential_two_hundred_scenarios() {
                 } else {
                     StateBackend::Hash
                 },
+                packed: i % 3 != 2,
                 ..SolverConfig::default()
             },
             fetch_cost: 0,
