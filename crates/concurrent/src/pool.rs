@@ -21,10 +21,15 @@
 //!
 //! [`SweepPool::run`] publishes a borrowed closure to the helpers through
 //! a lifetime-erased raw pointer. This is sound because `run` does not
-//! return until every helper has signalled completion under the lock, so
-//! the borrow outlives every dereference; helpers never touch the pointer
-//! outside a published epoch.
+//! return **or unwind** until every helper has signalled completion under
+//! the lock, so the borrow outlives every dereference: both the helpers'
+//! shares and the caller's own strided share run under `catch_unwind`,
+//! and the caller always re-joins the barrier (clearing the task slot)
+//! before any panic is resumed. Helpers never touch the pointer outside a
+//! published epoch, and a dispatch mutex held for the whole region keeps
+//! a second `run` call from overwriting the barrier state mid-region.
 
+use std::any::Any;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
@@ -47,8 +52,9 @@ struct State {
     task: Option<Task>,
     /// Helpers still working on the current epoch.
     remaining: usize,
-    /// A helper's closure panicked this epoch; re-raised by the caller.
-    panicked: bool,
+    /// First helper panic payload this epoch; resumed by the caller so the
+    /// original message survives (fuzzer/proptest failures stay readable).
+    payload: Option<Box<dyn Any + Send>>,
     shutdown: bool,
 }
 
@@ -68,6 +74,12 @@ struct Shared {
 /// per-wave thread churn is gone.
 pub struct SweepPool {
     shared: Arc<Shared>,
+    /// Serializes whole regions: `run` takes `&self` and the pool is
+    /// shared behind `Arc`, so without this a second dispatcher could
+    /// overwrite `task`/`remaining` while helpers are mid-region on the
+    /// first closure — corrupting the barrier accounting and the borrowed
+    /// closure safety argument. Held for the full duration of `run`.
+    dispatch: Mutex<()>,
     handles: Vec<JoinHandle<()>>,
     wakes: AtomicU64,
 }
@@ -105,8 +117,10 @@ fn helper(shared: Arc<Shared>, index: usize, stride: usize) {
             }
         }));
         let mut st = lock(&shared.state);
-        if run.is_err() {
-            st.panicked = true;
+        if let Err(p) = run {
+            if st.payload.is_none() {
+                st.payload = Some(p);
+            }
         }
         st.remaining -= 1;
         if st.remaining == 0 {
@@ -126,7 +140,7 @@ impl SweepPool {
                 epoch: 0,
                 task: None,
                 remaining: 0,
-                panicked: false,
+                payload: None,
                 shutdown: false,
             }),
             work_cv: Condvar::new(),
@@ -143,6 +157,7 @@ impl SweepPool {
             .collect();
         SweepPool {
             shared,
+            dispatch: Mutex::new(()),
             handles,
             wakes: AtomicU64::new(0),
         }
@@ -179,6 +194,11 @@ impl SweepPool {
             }
             return;
         }
+        // Only one region may be in flight per pool; see the field docs.
+        let _region = self
+            .dispatch
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
         self.wakes.fetch_add(1, Ordering::Relaxed);
         // Erase the borrow's lifetime for the shared slot; see the
         // module-level safety note.
@@ -189,15 +209,20 @@ impl SweepPool {
             st.epoch += 1;
             st.task = Some(Task { f: erased, parts });
             st.remaining = helpers;
-            st.panicked = false;
+            st.payload = None;
         }
         self.shared.work_cv.notify_all();
         let stride = helpers + 1;
-        let mut p = 0;
-        while p < parts {
-            f(p);
-            p += stride;
-        }
+        // The caller's own share must not unwind past the barrier: the
+        // helpers still hold the erased borrow of `f` (and of everything it
+        // captures) until `remaining == 0`. Catch, join, then resume.
+        let caller = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut p = 0;
+            while p < parts {
+                f(p);
+                p += stride;
+            }
+        }));
         let mut st = lock(&self.shared.state);
         while st.remaining != 0 {
             st = self
@@ -207,9 +232,13 @@ impl SweepPool {
                 .unwrap_or_else(|e| e.into_inner());
         }
         st.task = None;
-        if st.panicked {
-            drop(st);
-            panic!("sweep worker panicked");
+        let helper_payload = st.payload.take();
+        drop(st);
+        if let Err(p) = caller {
+            std::panic::resume_unwind(p);
+        }
+        if let Some(p) = helper_payload {
+            std::panic::resume_unwind(p);
         }
     }
 }
@@ -295,5 +324,74 @@ mod tests {
             ok.fetch_add(1, Ordering::SeqCst);
         });
         assert_eq!(ok.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn helper_panic_payload_is_preserved() {
+        let pool = SweepPool::new(4);
+        // Part 2 lands on a helper (caller takes 0, helpers take 1, 2, 3).
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(4, &|p| {
+                if p == 2 {
+                    panic!("scan_part failed on part {p}");
+                }
+            });
+        }));
+        let payload = r.expect_err("helper panic re-raised");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("original payload type");
+        assert_eq!(msg, "scan_part failed on part 2");
+    }
+
+    #[test]
+    fn caller_share_panic_joins_barrier_before_unwinding() {
+        let pool = SweepPool::new(4);
+        // Part 0 is always the caller's; the borrowed counter below stands
+        // in for the sweep state the helpers keep dereferencing — the run
+        // must not unwind until they are done with it.
+        let hits = AtomicUsize::new(0);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(8, &|p| {
+                hits.fetch_add(1, Ordering::SeqCst);
+                if p == 0 {
+                    panic!("caller share boom");
+                }
+            });
+        }));
+        let payload = r.expect_err("caller panic re-raised");
+        assert_eq!(
+            payload.downcast_ref::<&str>(),
+            Some(&"caller share boom"),
+            "caller payload preserved"
+        );
+        // No helper is left mid-region: the task slot is cleared and the
+        // next region runs cleanly at the next epoch.
+        assert!(lock(&pool.shared.state).task.is_none());
+        let ok = AtomicUsize::new(0);
+        pool.run(4, &|_| {
+            ok.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(ok.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn concurrent_run_calls_are_serialized() {
+        let pool = SweepPool::new(3);
+        let total = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..50 {
+                        pool.run(5, &|p| {
+                            total.fetch_add(p + 1, Ordering::SeqCst);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 4 * 50 * (1 + 2 + 3 + 4 + 5));
+        assert_eq!(pool.spawns(), 2, "still spawned only once");
+        assert_eq!(pool.wakes(), 200);
     }
 }
