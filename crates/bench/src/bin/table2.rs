@@ -5,11 +5,12 @@
 //! queries a client actually asks.
 //!
 //! Additionally emits a machine-readable `BENCH_solver.json` (schema
-//! `parcfl-bench-solver/4`): per bench, the headline DQ simulated run
+//! `parcfl-bench-solver/5`): per bench, the headline DQ simulated run
 //! plus sequential demand-dense / demand-hash rows, a one-worker
 //! `seq-matrix` row and a `par-matrix` row at 8 sweep workers, with
 //! makespan, traversed/charged steps, peak memoisation footprint, peak
-//! dense-state words, sweep-pool spawn/wake gauges, the engine each row
+//! dense-state words, sweep-pool spawn/wake gauges, packed-gather and
+//! CSR-fallback row counters, the engine each row
 //! actually dispatched to, the dense-vs-hash and matrix-vs-demand wall
 //! ratios, the `matrix_par_speedup` makespan ratio of the parallel
 //! sweeps over the sequential matrix, and the `matrix_par_wall_speedup`
@@ -25,7 +26,11 @@
 //! `--trace-out PATH` additionally re-runs the first bench with
 //! `TraceLevel::Full` on the *simulated* backend (deterministic, so the
 //! CI artifact is reproducible) and writes the Chrome-trace JSON there —
-//! load it in `chrome://tracing` or Perfetto.
+//! load it in `chrome://tracing` or Perfetto. `--trace-engine matrix`
+//! makes that re-run a parallel matrix run instead (8 sweep workers,
+//! persistent pool): the artifact then carries one lane per sweep worker
+//! with `wave N` spans, `sweep_segment` instants and `pool_wake`/
+//! `pool_park` markers — the real sweep timeline of the engine.
 
 use parcfl_bench::{cfg_for, print_worker_table, run_mode};
 use parcfl_core::{NoJmpStore, Solver, SolverConfig, StateBackend};
@@ -165,7 +170,8 @@ fn json_record(
             "\"charged_steps\":{},\"steps_saved\":{},\"jmp_edges\":{},",
             "\"store_entries\":{},\"peak_mem_items\":{},\"peak_state_words\":{},",
             "\"interner_ctxs\":{},\"jmp_bytes\":{},",
-            "\"pool_spawns\":{},\"pool_wakes\":{},\"wall_ms\":{:.3}}}"
+            "\"pool_spawns\":{},\"pool_wakes\":{},",
+            "\"packed_gathers\":{},\"csr_fallback_rows\":{},\"wall_ms\":{:.3}}}"
         ),
         b.name,
         row,
@@ -187,6 +193,8 @@ fn json_record(
         s.jmp_bytes,
         s.pool_spawns,
         s.pool_wakes,
+        s.packed_gathers,
+        s.csr_fallback_rows,
         wall_ms,
     )
 }
@@ -333,7 +341,7 @@ fn emit_bench_json(path: &str, benches: &[Bench], smoke: bool, repeat: usize) {
     }
     let body = format!(
         concat!(
-            "{{\"schema\":\"parcfl-bench-solver/4\",\"mode\":\"DataSharingSched\",",
+            "{{\"schema\":\"parcfl-bench-solver/5\",\"mode\":\"DataSharingSched\",",
             "\"threads\":{},\"backend\":\"simulated\",\"smoke\":{},\"repeat\":{},\"benches\":[\n  {}\n]}}\n"
         ),
         JSON_THREADS,
@@ -350,15 +358,47 @@ fn emit_bench_json(path: &str, benches: &[Bench], smoke: bool, repeat: usize) {
     );
 }
 
-/// Re-runs `b` with full tracing on the deterministic simulated backend
-/// and writes the Chrome-trace JSON artifact.
-fn emit_trace(path: &str, b: &Bench) {
-    let cfg = cfg_for(b, Mode::DataSharingSched, JSON_THREADS).with_tracing(TraceLevel::Full);
-    let r = run_simulated(&b.pag, &b.queries, &cfg);
+/// Re-runs `b` with full tracing and writes the Chrome-trace JSON
+/// artifact. `"demand"` traces the headline DQ run on the deterministic
+/// simulated backend; `"matrix"` traces a parallel matrix run
+/// ([`JSON_THREADS`] sweep workers, packed kernels) of the same bench,
+/// whose per-worker lanes carry the wave spans, sweep-segment instants
+/// and pool wake/park markers — event *structure* (wave ids, widths,
+/// segment attribution) is deterministic, only the real-clock timestamps
+/// vary. Table-I frontiers stay below the engine's fan-out threshold
+/// (single-lane timelines), so `"matrix-stress"` instead traces
+/// [`parcfl_synth::sweep_stress_bench`], whose 512-bit waves dispatch
+/// across all [`JSON_THREADS`] workers — the multi-lane artifact CI
+/// validates pool wakes and packed/CSR gather markers against.
+fn emit_trace(path: &str, b: &Bench, engine: &str) {
+    let stress;
+    let (b, engine) = match engine {
+        "matrix-stress" => {
+            stress = parcfl_synth::sweep_stress_bench();
+            (&stress, "matrix")
+        }
+        e => (b, e),
+    };
+    let r = match engine {
+        "matrix" => {
+            let cfg = RunConfig::new(Mode::Naive, JSON_THREADS, Backend::Simulated)
+                .with_solver(SolverConfig {
+                    state: StateBackend::Dense,
+                    ..b.solver.clone()
+                })
+                .with_tracing(TraceLevel::Full);
+            run_matrix(&b.pag, &b.queries, &cfg)
+        }
+        _ => {
+            let cfg =
+                cfg_for(b, Mode::DataSharingSched, JSON_THREADS).with_tracing(TraceLevel::Full);
+            run_simulated(&b.pag, &b.queries, &cfg)
+        }
+    };
     let trace = r.trace.expect("Full tracing yields a trace");
     std::fs::write(path, trace.to_chrome_json()).expect("write chrome trace");
     println!(
-        "wrote {path} ({} events across {} workers, {} dropped)",
+        "wrote {path} ({engine} engine: {} events across {} workers, {} dropped)",
         trace.event_count(),
         trace.workers.len(),
         trace.dropped()
@@ -379,6 +419,16 @@ fn main() {
         .position(|a| a == "--trace-out")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    let trace_engine = args
+        .iter()
+        .position(|a| a == "--trace-engine")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "demand".to_string());
+    assert!(
+        matches!(trace_engine.as_str(), "demand" | "matrix" | "matrix-stress"),
+        "--trace-engine expects demand|matrix|matrix-stress"
+    );
     let only = args
         .iter()
         .position(|a| a == "--only")
@@ -399,7 +449,7 @@ fn main() {
         let b = build_bench(&profiles[0]);
         emit_bench_json(&json_path, std::slice::from_ref(&b), true, repeat);
         if let Some(p) = &trace_path {
-            emit_trace(p, &b);
+            emit_trace(p, &b, &trace_engine);
         }
         return;
     }
@@ -413,6 +463,9 @@ fn main() {
             .collect();
         assert!(!suite.is_empty(), "--only {pat} matched no benches");
         emit_bench_json(&json_path, &suite, false, repeat);
+        if let Some(p) = &trace_path {
+            emit_trace(p, &suite[0], &trace_engine);
+        }
         return;
     }
 
@@ -491,6 +544,6 @@ fn main() {
 
     emit_bench_json(&json_path, &suite, false, repeat);
     if let Some(p) = &trace_path {
-        emit_trace(p, &suite[0]);
+        emit_trace(p, &suite[0], &trace_engine);
     }
 }

@@ -1,0 +1,608 @@
+//! Bench-regression observatory: noise-aware diffing of two
+//! `BENCH_solver.json` artifacts (DESIGN.md §9).
+//!
+//! The artifact mixes two kinds of observables and the diff treats them
+//! differently:
+//!
+//! * **Deterministic counters** — `traversed_steps`, `makespan`,
+//!   `peak_state_words`, `packed_gathers`, … — are bit-reproducible for a
+//!   given bench × row configuration (virtual-time simulation, seeded
+//!   synthesis). Any drift is a behaviour change, so they gate with
+//!   **exact equality**: one ulp of difference fails the diff.
+//! * **Wall-clock observables** — `wall_ms` (a median over `--repeat`
+//!   runs) — are noisy on shared CI hosts, so they gate with a
+//!   **relative-delta threshold** ([`WALL_WARN_RATIO`]): regressions
+//!   beyond the threshold are reported as warnings by default and only
+//!   fail under [`GateMode::All`].
+//!
+//! `pool_wakes` is deliberately *not* in the deterministic set: the
+//! `par-matrix` row shares one persistent sweep pool across its repeats,
+//! so its wake gauge scales with `--repeat` rather than with solver
+//! behaviour.
+//!
+//! The parser is a ~hundred-line recursive-descent JSON reader: the
+//! artifact is hand-rendered (no serde anywhere in the workspace) so the
+//! diff side stays dependency-free too. Numeric scalars are kept as raw
+//! token text, which makes the exact-equality gate a string compare — no
+//! float round-tripping can mask or invent a drift.
+
+use std::fmt::Write as _;
+
+/// Relative `wall_ms` increase (current vs. baseline) beyond which a row
+/// earns a wall-regression warning. Medians over interleaved repeats are
+/// stable to well under this on an idle host; CI neighbours are not,
+/// hence warn-don't-fail by default.
+pub const WALL_WARN_RATIO: f64 = 0.30;
+
+/// Per-row counters that must be **bit-identical** between two runs of
+/// the same configuration. Everything here is derived from virtual time,
+/// seeded synthesis, or deterministic solver behaviour — never from the
+/// host clock. (`pool_wakes` is excluded: see the module docs.)
+pub const DETERMINISTIC_FIELDS: &[&str] = &[
+    "queries",
+    "completed",
+    "out_of_budget",
+    "makespan",
+    "traversed_steps",
+    "charged_steps",
+    "steps_saved",
+    "jmp_edges",
+    "store_entries",
+    "peak_state_words",
+    "interner_ctxs",
+    "pool_spawns",
+    "packed_gathers",
+    "csr_fallback_rows",
+];
+
+/// Which findings fail the diff (non-zero exit).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GateMode {
+    /// Report everything, fail nothing.
+    None,
+    /// Fail on deterministic-counter drift and missing rows (default).
+    Deterministic,
+    /// Additionally fail on wall-clock regressions beyond the threshold.
+    All,
+}
+
+impl std::str::FromStr for GateMode {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "none" => Ok(GateMode::None),
+            "deterministic" => Ok(GateMode::Deterministic),
+            "all" => Ok(GateMode::All),
+            other => Err(format!(
+                "unknown gate mode `{other}` (none|deterministic|all)"
+            )),
+        }
+    }
+}
+
+/// One scalar field of a bench row: strings keep their decoded text,
+/// every other JSON scalar (number, bool, null) keeps its **raw token
+/// text** so equality is exact by construction.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Scalar {
+    /// A JSON string (decoded).
+    Str(String),
+    /// A number/bool/null, as it appeared in the artifact.
+    Raw(String),
+}
+
+impl Scalar {
+    /// The field as `f64`, when it is a parseable number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Scalar::Raw(raw) => raw.parse().ok(),
+            Scalar::Str(_) => None,
+        }
+    }
+
+    fn render(&self) -> &str {
+        match self {
+            Scalar::Str(s) => s,
+            Scalar::Raw(r) => r,
+        }
+    }
+}
+
+/// One record of the artifact's `benches` array: a bench × row
+/// configuration and its flat scalar fields in artifact order.
+#[derive(Clone, Debug)]
+pub struct RowRecord {
+    /// Benchmark name (`"bench"` field).
+    pub bench: String,
+    /// Row label, e.g. `"par-matrix"` (`"row"` field).
+    pub row: String,
+    /// Every scalar field of the record, including `bench`/`row`.
+    pub fields: Vec<(String, Scalar)>,
+}
+
+impl RowRecord {
+    /// Looks up a field by name.
+    pub fn field(&self, name: &str) -> Option<&Scalar> {
+        self.fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    fn key(&self) -> String {
+        format!("{}/{}", self.bench, self.row)
+    }
+}
+
+/// A parsed `BENCH_solver.json` artifact.
+#[derive(Clone, Debug)]
+pub struct Artifact {
+    /// The artifact's `schema` tag (e.g. `parcfl-bench-solver/5`).
+    pub schema: String,
+    /// Every bench × row record, in artifact order.
+    pub rows: Vec<RowRecord>,
+}
+
+impl Artifact {
+    /// Parses an artifact from its JSON text.
+    pub fn parse(text: &str) -> Result<Artifact, String> {
+        let top = Parser::new(text).parse_document()?;
+        let Val::Obj(top) = top else {
+            return Err("artifact root is not a JSON object".into());
+        };
+        let schema = match top.iter().find(|(k, _)| k == "schema") {
+            Some((_, Val::Scalar(Scalar::Str(s)))) => s.clone(),
+            _ => return Err("artifact has no string `schema` field".into()),
+        };
+        let benches = match top.into_iter().find(|(k, _)| k == "benches") {
+            Some((_, Val::Arr(rows))) => rows,
+            _ => return Err("artifact has no `benches` array".into()),
+        };
+        let mut rows = Vec::with_capacity(benches.len());
+        for (i, rec) in benches.into_iter().enumerate() {
+            let Val::Obj(entries) = rec else {
+                return Err(format!("benches[{i}] is not an object"));
+            };
+            let mut fields = Vec::with_capacity(entries.len());
+            for (k, v) in entries {
+                let Val::Scalar(s) = v else {
+                    return Err(format!("benches[{i}].{k} is not a scalar"));
+                };
+                fields.push((k, s));
+            }
+            let get = |name: &str| {
+                fields.iter().find_map(|(k, v)| match v {
+                    Scalar::Str(s) if k == name => Some(s.clone()),
+                    _ => None,
+                })
+            };
+            let bench = get("bench").ok_or_else(|| format!("benches[{i}] has no `bench`"))?;
+            let row = get("row").ok_or_else(|| format!("benches[{i}] has no `row`"))?;
+            rows.push(RowRecord { bench, row, fields });
+        }
+        Ok(Artifact { schema, rows })
+    }
+}
+
+/// A parsed JSON value — only the shapes the artifact uses.
+enum Val {
+    Scalar(Scalar),
+    Arr(Vec<Val>),
+    Obj(Vec<(String, Val)>),
+}
+
+/// Minimal recursive-descent JSON parser over the artifact grammar.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn parse_document(&mut self) -> Result<Val, String> {
+        let v = self.parse_value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(self.err("trailing content after document"));
+        }
+        Ok(v)
+    }
+
+    fn err(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Val, String> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(b'{') => self.parse_obj(),
+            Some(b'[') => self.parse_arr(),
+            Some(b'"') => Ok(Val::Scalar(Scalar::Str(self.parse_string()?))),
+            Some(_) => self.parse_raw(),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn parse_obj(&mut self) -> Result<Val, String> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Val::Obj(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.expect(b':')?;
+            entries.push((key, self.parse_value()?));
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Val::Obj(entries));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn parse_arr(&mut self) -> Result<Val, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(Val::Arr(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Val::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        if self.bytes.get(self.pos) != Some(&b'"') {
+            return Err(self.err("expected string"));
+        }
+        self.pos += 1;
+        let start = self.pos;
+        let mut out = String::new();
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'"' => {
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| self.err("invalid utf-8 in string"))?,
+                    );
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                // The artifact renderer never escapes anything, but be
+                // tolerant of the basic escapes a hand edit could add.
+                b'\\' => return Err(self.err("escape sequences are not supported")),
+                _ => self.pos += 1,
+            }
+        }
+        Err(self.err("unterminated string"))
+    }
+
+    /// A number, `true`, `false`, or `null` — kept as raw token text.
+    fn parse_raw(&mut self) -> Result<Val, String> {
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b',' | b'}' | b']' | b' ' | b'\t' | b'\n' | b'\r') {
+                break;
+            }
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(self.err("empty scalar"));
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid utf-8 in scalar"))?;
+        Ok(Val::Scalar(Scalar::Raw(raw.to_string())))
+    }
+}
+
+/// The outcome of diffing two artifacts.
+#[derive(Clone, Debug, Default)]
+pub struct DiffReport {
+    /// Rows matched between the two artifacts.
+    pub compared: usize,
+    /// Deterministic-counter drift and missing rows — failures under
+    /// [`GateMode::Deterministic`] and [`GateMode::All`].
+    pub regressions: Vec<String>,
+    /// `wall_ms` increases beyond [`WALL_WARN_RATIO`] — warnings by
+    /// default, failures under [`GateMode::All`].
+    pub wall_regressions: Vec<String>,
+    /// Informational findings (schema drift, new rows, wall improvements).
+    pub notes: Vec<String>,
+}
+
+impl DiffReport {
+    /// Whether the report fails under `mode` (→ non-zero exit).
+    pub fn failed(&self, mode: GateMode) -> bool {
+        match mode {
+            GateMode::None => false,
+            GateMode::Deterministic => !self.regressions.is_empty(),
+            GateMode::All => !self.regressions.is_empty() || !self.wall_regressions.is_empty(),
+        }
+    }
+
+    /// Human-readable report, one finding per line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "bench-diff: {} rows compared", self.compared);
+        for r in &self.regressions {
+            let _ = writeln!(out, "  REGRESSION {r}");
+        }
+        for w in &self.wall_regressions {
+            let _ = writeln!(out, "  WALL       {w}");
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "  note       {n}");
+        }
+        if self.regressions.is_empty() && self.wall_regressions.is_empty() {
+            let _ = writeln!(
+                out,
+                "  deterministic counters identical, walls within threshold"
+            );
+        }
+        out
+    }
+}
+
+/// Diffs `current` against `baseline`: exact-equality gates on the
+/// [`DETERMINISTIC_FIELDS`] of every row present in both artifacts,
+/// relative-delta gate on `wall_ms`, missing-row detection.
+pub fn diff_artifacts(baseline: &Artifact, current: &Artifact) -> DiffReport {
+    let mut report = DiffReport::default();
+    if baseline.schema != current.schema {
+        report.notes.push(format!(
+            "schema drift: baseline {} vs current {} (fields absent on either side are skipped)",
+            baseline.schema, current.schema
+        ));
+    }
+    for base_row in &baseline.rows {
+        let key = base_row.key();
+        let Some(cur_row) = current
+            .rows
+            .iter()
+            .find(|r| r.bench == base_row.bench && r.row == base_row.row)
+        else {
+            report.regressions.push(format!(
+                "{key}: row present in baseline, missing in current"
+            ));
+            continue;
+        };
+        report.compared += 1;
+        for &field in DETERMINISTIC_FIELDS {
+            match (base_row.field(field), cur_row.field(field)) {
+                (Some(b), Some(c)) => {
+                    if b != c {
+                        report.regressions.push(format!(
+                            "{key}: {field} drifted {} -> {}",
+                            b.render(),
+                            c.render()
+                        ));
+                    }
+                }
+                (Some(b), None) => report.regressions.push(format!(
+                    "{key}: deterministic field {field} (baseline {}) missing in current",
+                    b.render()
+                )),
+                // Absent in the baseline: an older schema — nothing to gate.
+                (None, _) => {}
+            }
+        }
+        let walls = (
+            base_row.field("wall_ms").and_then(Scalar::as_f64),
+            cur_row.field("wall_ms").and_then(Scalar::as_f64),
+        );
+        if let (Some(b), Some(c)) = walls {
+            if b > 0.0 {
+                let rel = (c - b) / b;
+                if rel > WALL_WARN_RATIO {
+                    report.wall_regressions.push(format!(
+                        "{key}: wall_ms {b:.3} -> {c:.3} (+{:.0}%, threshold {:.0}%)",
+                        rel * 100.0,
+                        WALL_WARN_RATIO * 100.0
+                    ));
+                } else if rel < -WALL_WARN_RATIO {
+                    report
+                        .notes
+                        .push(format!("{key}: wall_ms improved {b:.3} -> {c:.3}"));
+                }
+            }
+        }
+    }
+    for cur_row in &current.rows {
+        if !baseline
+            .rows
+            .iter()
+            .any(|r| r.bench == cur_row.bench && r.row == cur_row.row)
+        {
+            report.notes.push(format!(
+                "{}: new row not in baseline (not gated)",
+                cur_row.key()
+            ));
+        }
+    }
+    report
+}
+
+/// Loads both artifacts from disk and diffs them. Errors name the
+/// offending path.
+pub fn diff_files(baseline: &str, current: &str) -> Result<DiffReport, String> {
+    let read =
+        |path: &str| std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"));
+    let base = Artifact::parse(&read(baseline)?).map_err(|e| format!("{baseline}: {e}"))?;
+    let cur = Artifact::parse(&read(current)?).map_err(|e| format!("{current}: {e}"))?;
+    Ok(diff_artifacts(&base, &cur))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn artifact(rows: &[(&str, &str, u64, f64)]) -> String {
+        let recs: Vec<String> = rows
+            .iter()
+            .map(|(bench, row, steps, wall)| {
+                format!(
+                    concat!(
+                        "{{\"bench\":\"{}\",\"row\":\"{}\",\"engine\":\"demand\",",
+                        "\"queries\":10,\"completed\":10,\"out_of_budget\":0,",
+                        "\"makespan\":100,\"traversed_steps\":{},\"charged_steps\":90,",
+                        "\"steps_saved\":5,\"jmp_edges\":3,\"store_entries\":2,",
+                        "\"peak_state_words\":64,\"interner_ctxs\":4,\"pool_spawns\":7,",
+                        "\"pool_wakes\":40,\"packed_gathers\":12,\"csr_fallback_rows\":1,",
+                        "\"wall_ms\":{:.3}}}"
+                    ),
+                    bench, row, steps, wall
+                )
+            })
+            .collect();
+        format!(
+            "{{\"schema\":\"parcfl-bench-solver/5\",\"threads\":8,\"benches\":[\n  {}\n]}}\n",
+            recs.join(",\n  ")
+        )
+    }
+
+    #[test]
+    fn parses_rows_and_fields() {
+        let a = Artifact::parse(&artifact(&[("jess", "dq-sim", 1234, 5.0)])).unwrap();
+        assert_eq!(a.schema, "parcfl-bench-solver/5");
+        assert_eq!(a.rows.len(), 1);
+        let r = &a.rows[0];
+        assert_eq!((r.bench.as_str(), r.row.as_str()), ("jess", "dq-sim"));
+        assert_eq!(
+            r.field("traversed_steps"),
+            Some(&Scalar::Raw("1234".into()))
+        );
+        assert_eq!(r.field("engine"), Some(&Scalar::Str("demand".into())));
+        assert_eq!(r.field("wall_ms").and_then(Scalar::as_f64), Some(5.0));
+        assert!(r.field("nope").is_none());
+    }
+
+    #[test]
+    fn parse_rejects_malformed_artifacts() {
+        assert!(Artifact::parse("[1,2]").is_err(), "root must be an object");
+        assert!(
+            Artifact::parse("{\"schema\":\"s\"}").is_err(),
+            "benches required"
+        );
+        assert!(Artifact::parse("{\"schema\":\"s\",\"benches\":[{\"row\":\"x\"}]}").is_err());
+        assert!(Artifact::parse("{\"schema\":\"s\",\"benches\":[]}")
+            .unwrap()
+            .rows
+            .is_empty());
+        assert!(Artifact::parse("{\"schema\":\"s\",\"benches\":[]} junk").is_err());
+    }
+
+    #[test]
+    fn identical_artifacts_pass_every_gate() {
+        let text = artifact(&[
+            ("jess", "dq-sim", 1234, 5.0),
+            ("jess", "par-matrix", 99, 2.0),
+        ]);
+        let a = Artifact::parse(&text).unwrap();
+        let report = diff_artifacts(&a, &a);
+        assert_eq!(report.compared, 2);
+        assert!(report.regressions.is_empty(), "{report:?}");
+        assert!(report.wall_regressions.is_empty());
+        assert!(!report.failed(GateMode::All));
+        assert!(report.render().contains("identical"));
+    }
+
+    #[test]
+    fn deterministic_drift_fails_the_default_gate() {
+        let base = Artifact::parse(&artifact(&[("jess", "dq-sim", 1234, 5.0)])).unwrap();
+        let cur = Artifact::parse(&artifact(&[("jess", "dq-sim", 1235, 5.0)])).unwrap();
+        let report = diff_artifacts(&base, &cur);
+        assert_eq!(report.regressions.len(), 1);
+        assert!(report.regressions[0].contains("traversed_steps drifted 1234 -> 1235"));
+        assert!(report.failed(GateMode::Deterministic));
+        assert!(!report.failed(GateMode::None));
+    }
+
+    #[test]
+    fn wall_noise_warns_but_only_gate_all_fails() {
+        let base = Artifact::parse(&artifact(&[("jess", "dq-sim", 1234, 5.0)])).unwrap();
+        let cur = Artifact::parse(&artifact(&[("jess", "dq-sim", 1234, 9.0)])).unwrap();
+        let report = diff_artifacts(&base, &cur);
+        assert!(report.regressions.is_empty());
+        assert_eq!(report.wall_regressions.len(), 1);
+        assert!(
+            !report.failed(GateMode::Deterministic),
+            "wall is warn-only by default"
+        );
+        assert!(report.failed(GateMode::All));
+        // Within-threshold jitter is not even a warning.
+        let cur2 = Artifact::parse(&artifact(&[("jess", "dq-sim", 1234, 6.0)])).unwrap();
+        assert!(diff_artifacts(&base, &cur2).wall_regressions.is_empty());
+    }
+
+    #[test]
+    fn missing_row_is_a_regression_and_new_row_is_a_note() {
+        let base = Artifact::parse(&artifact(&[("jess", "dq-sim", 1, 5.0)])).unwrap();
+        let cur = Artifact::parse(&artifact(&[("jess", "par-matrix", 1, 5.0)])).unwrap();
+        let report = diff_artifacts(&base, &cur);
+        assert_eq!(report.compared, 0);
+        assert!(report.regressions[0].contains("jess/dq-sim"), "{report:?}");
+        assert!(report.notes.iter().any(|n| n.contains("jess/par-matrix")));
+        assert!(report.failed(GateMode::Deterministic));
+    }
+
+    #[test]
+    fn missing_deterministic_field_in_current_is_a_regression() {
+        let base = Artifact::parse(&artifact(&[("jess", "dq-sim", 1, 5.0)])).unwrap();
+        let mut cur = base.clone();
+        cur.rows[0].fields.retain(|(k, _)| k != "packed_gathers");
+        let report = diff_artifacts(&base, &cur);
+        assert!(
+            report.regressions[0].contains("packed_gathers"),
+            "{report:?}"
+        );
+        // The other direction (field only in current) is schema growth, not a failure.
+        let report = diff_artifacts(&cur, &base);
+        assert!(report.regressions.is_empty(), "{report:?}");
+    }
+
+    #[test]
+    fn gate_mode_parses() {
+        assert_eq!("deterministic".parse(), Ok(GateMode::Deterministic));
+        assert_eq!("none".parse(), Ok(GateMode::None));
+        assert_eq!("all".parse(), Ok(GateMode::All));
+        assert!("warn".parse::<GateMode>().is_err());
+    }
+}

@@ -18,6 +18,8 @@
 
 #![warn(missing_docs)]
 
+pub mod diff;
+
 use parcfl_runtime::{run_simulated, Backend, Mode, RunConfig, RunResult, RunStats};
 use parcfl_synth::Bench;
 

@@ -29,7 +29,7 @@ use crate::seed::derive;
 use crate::shrink::{shrink, ShrinkStats};
 use crate::snapshot::Scenario;
 use parcfl_core::{SolverConfig, StateBackend};
-use parcfl_runtime::{Backend, Engine, Mode, SimPerturb};
+use parcfl_runtime::{Backend, Engine, Mode, SimPerturb, TraceLevel};
 use parcfl_synth::{build_bench, Profile};
 use rand::{rngs::StdRng, RngExt, SeedableRng};
 
@@ -386,6 +386,16 @@ fn sample_scenario(cfg: &FuzzConfig, i: u64) -> Scenario {
         rng.random_range(1usize..=6)
     };
 
+    // Trace dimension: tracing is observation-only by contract, so any
+    // level must leave every oracle comparison untouched. Half the
+    // iterations run with a recorder attached to hold that line.
+    let trace_level = [
+        TraceLevel::Off,
+        TraceLevel::Off,
+        TraceLevel::Spans,
+        TraceLevel::Full,
+    ][rng.random_range(0usize..4)];
+
     Scenario {
         pag: bench.pag,
         queries,
@@ -397,6 +407,7 @@ fn sample_scenario(cfg: &FuzzConfig, i: u64) -> Scenario {
         perturb,
         store_cap,
         engine,
+        trace_level,
     }
 }
 

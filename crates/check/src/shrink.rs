@@ -94,7 +94,7 @@ pub fn shrink(scenario: Scenario, fails: &dyn Fn(&Scenario) -> bool) -> (Scenari
 
         // 2. Configuration simplification.
         type Step = fn(&mut Scenario);
-        let steps: [Step; 10] = [
+        let steps: [Step; 11] = [
             |s| s.backend = Backend::Simulated,
             |s| s.threads = 1,
             |s| s.fetch_cost = 0,
@@ -110,6 +110,7 @@ pub fn shrink(scenario: Scenario, fails: &dyn Fn(&Scenario) -> bool) -> (Scenari
             |s| s.engine = parcfl_runtime::Engine::Demand,
             |s| s.solver.state = parcfl_core::StateBackend::default(),
             |s| s.solver.packed = true,
+            |s| s.trace_level = parcfl_runtime::TraceLevel::Off,
         ];
         for step in steps {
             let mut candidate = cur.clone();
@@ -124,6 +125,7 @@ pub fn shrink(scenario: Scenario, fails: &dyn Fn(&Scenario) -> bool) -> (Scenari
                 && candidate.engine == cur.engine
                 && candidate.solver.state == cur.solver.state
                 && candidate.solver.packed == cur.solver.packed
+                && candidate.trace_level == cur.trace_level
             {
                 continue; // no-op for this scenario
             }

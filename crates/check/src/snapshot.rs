@@ -17,7 +17,7 @@
 //!
 //! ```text
 //! # free-form comment
-//! run mode=dq backend=sim threads=3 fetch=1 budget=75000 tauf=100 tauu=100 ctx=1 memo=0 chaos=0 engine=demand state=dense packed=1
+//! run mode=dq backend=sim threads=3 fetch=1 budget=75000 tauf=100 tauu=100 ctx=1 memo=0 chaos=0 engine=demand state=dense packed=1 trace=off
 //! perturb pseed=7 jitter=3 window=4 scramble=1 evict=0   (optional)
 //! store cap=64                                           (optional)
 //! counts nodes=5 fields=2 callsites=1
@@ -35,7 +35,7 @@ use parcfl_core::{SolverConfig, StateBackend};
 use parcfl_pag::{CallSiteId, EdgeKind, FieldId, NodeId, NodeInfo, NodeKind, Pag, PagBuilder};
 use parcfl_runtime::{
     run_matrix, run_simulated_batch, run_threaded, schedule_with_cap, Backend, Engine, Mode,
-    RunConfig, RunResult, SimPerturb,
+    RunConfig, RunResult, SimPerturb, TraceLevel,
 };
 use parcfl_synth::mutate::canonical_types;
 use std::fmt::Write as _;
@@ -67,6 +67,10 @@ pub struct Scenario {
     /// `mode`/`backend` are inert but `threads` sets the sweep worker
     /// count (answers are bit-identical at every worker count).
     pub engine: Engine,
+    /// Trace recording level. Tracing is observation-only by contract,
+    /// so fuzzing this dimension checks that no recorder perturbs
+    /// answers or deterministic counters.
+    pub trace_level: TraceLevel,
 }
 
 impl Scenario {
@@ -77,6 +81,7 @@ impl Scenario {
         cfg.fetch_cost = self.fetch_cost;
         cfg.perturb = self.perturb;
         cfg.engine = self.engine;
+        cfg.tracing = self.trace_level;
         cfg
     }
 
@@ -108,7 +113,7 @@ impl Scenario {
         s.push_str("# Replay: parcfl check --replay <this file>\n");
         let _ = writeln!(
             s,
-            "run mode={} backend={} threads={} fetch={} budget={} tauf={} tauu={} ctx={} memo={} chaos={} engine={} state={} packed={}",
+            "run mode={} backend={} threads={} fetch={} budget={} tauf={} tauu={} ctx={} memo={} chaos={} engine={} state={} packed={} trace={}",
             match self.mode {
                 Mode::Naive => "naive",
                 Mode::DataSharing => "d",
@@ -129,6 +134,11 @@ impl Scenario {
             self.engine.name(),
             self.solver.state.name(),
             self.solver.packed as u8,
+            match self.trace_level {
+                TraceLevel::Off => "off",
+                TraceLevel::Spans => "spans",
+                TraceLevel::Full => "full",
+            },
         );
         if let Some(p) = self.perturb {
             let _ = writeln!(
@@ -182,6 +192,7 @@ impl Scenario {
         let mut fetch_cost = 1u64;
         let mut solver = SolverConfig::default();
         let mut engine = Engine::Demand;
+        let mut trace_level = TraceLevel::Off;
         let mut perturb: Option<SimPerturb> = None;
         let mut store_cap: Option<usize> = None;
         let mut builder: Option<PagBuilder> = None;
@@ -226,13 +237,17 @@ impl Scenario {
                             "ctx" => solver.context_sensitive = parse::<u8, _>(v, &err)? != 0,
                             "memo" => solver.memoize = parse::<u8, _>(v, &err)? != 0,
                             "chaos" => solver.chaos_jmp_ignore_ctx = parse::<u8, _>(v, &err)? != 0,
-                            // `engine`/`state`/`packed` are absent in older
-                            // corpus files; missing keys keep the defaults
-                            // (demand engine, default state backend, packed
-                            // scans on).
+                            // `engine`/`state`/`packed`/`trace` are absent
+                            // in older corpus files; missing keys keep the
+                            // defaults (demand engine, default state
+                            // backend, packed scans on, tracing off).
                             "engine" => engine = v.parse::<Engine>().map_err(&err)?,
                             "state" => solver.state = v.parse::<StateBackend>().map_err(&err)?,
                             "packed" => solver.packed = parse::<u8, _>(v, &err)? != 0,
+                            "trace" => {
+                                trace_level = TraceLevel::parse(v)
+                                    .ok_or_else(|| err(format!("unknown trace level `{v}`")))?
+                            }
                             _ => return Err(err(format!("unknown run key `{k}`"))),
                         }
                     }
@@ -372,6 +387,7 @@ impl Scenario {
             perturb,
             store_cap,
             engine,
+            trace_level,
         })
     }
 }
@@ -418,6 +434,7 @@ mod tests {
             }),
             store_cap: Some(32),
             engine: Engine::Demand,
+            trace_level: TraceLevel::Off,
         }
     }
 
@@ -439,14 +456,16 @@ mod tests {
         assert_eq!(back.perturb, sc.perturb);
         assert_eq!(back.store_cap, sc.store_cap);
         assert_eq!(back.engine, sc.engine);
+        assert_eq!(back.trace_level, sc.trace_level);
         // Serialising the parsed scenario reproduces the text exactly.
         assert_eq!(back.to_snapshot(), text);
     }
 
     #[test]
     fn engine_and_state_keys_default_when_absent() {
-        // Older snapshots carry no engine/state/packed keys: they parse to
-        // the demand engine, the default state backend and packed scans on.
+        // Older snapshots carry no engine/state/packed/trace keys: they
+        // parse to the demand engine, the default state backend, packed
+        // scans on and tracing off.
         let sc = sample_scenario();
         let legacy: String = sc
             .to_snapshot()
@@ -458,6 +477,7 @@ mod tests {
                             !t.starts_with("engine=")
                                 && !t.starts_with("state=")
                                 && !t.starts_with("packed=")
+                                && !t.starts_with("trace=")
                         })
                         .collect::<Vec<_>>()
                         .join(" ")
@@ -471,17 +491,25 @@ mod tests {
         assert_eq!(back.engine, Engine::Demand);
         assert_eq!(back.solver.state, SolverConfig::default().state);
         assert!(back.solver.packed, "absent packed key defaults on");
+        assert_eq!(back.trace_level, TraceLevel::Off, "absent trace key is off");
 
         // And the matrix engine round-trips through the run line, packed
-        // flag included.
+        // flag and trace level included.
         let mut mat = sample_scenario();
         mat.engine = Engine::Matrix;
         mat.solver.state = StateBackend::Hash;
         mat.solver.packed = false;
+        mat.trace_level = TraceLevel::Full;
         let back = Scenario::from_snapshot(&mat.to_snapshot()).expect("parse");
         assert_eq!(back.engine, Engine::Matrix);
         assert_eq!(back.solver.state, StateBackend::Hash);
         assert!(!back.solver.packed, "packed=0 round-trips");
+        assert_eq!(back.trace_level, TraceLevel::Full, "trace=full round-trips");
+
+        assert!(
+            Scenario::from_snapshot("run trace=loud\ncounts nodes=0 fields=1 callsites=0").is_err(),
+            "unknown trace level is rejected"
+        );
     }
 
     #[test]

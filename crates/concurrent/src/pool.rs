@@ -33,6 +33,7 @@ use std::any::Any;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// One dispatched parallel region: the erased closure and its part count.
 struct Task {
@@ -82,6 +83,10 @@ pub struct SweepPool {
     dispatch: Mutex<()>,
     handles: Vec<JoinHandle<()>>,
     wakes: AtomicU64,
+    /// Cumulative dispatch latency: nanoseconds from entering a
+    /// fanned-out [`SweepPool::run`] (region-lock acquisition included)
+    /// to the wake broadcast. Inline runs never touch it.
+    dispatch_ns: AtomicU64,
 }
 
 fn lock(m: &Mutex<State>) -> MutexGuard<'_, State> {
@@ -160,6 +165,7 @@ impl SweepPool {
             dispatch: Mutex::new(()),
             handles,
             wakes: AtomicU64::new(0),
+            dispatch_ns: AtomicU64::new(0),
         }
     }
 
@@ -182,6 +188,14 @@ impl SweepPool {
         self.wakes.load(Ordering::Relaxed)
     }
 
+    /// Cumulative nanoseconds spent dispatching fanned-out regions: from
+    /// entering [`SweepPool::run`] to the helper wake broadcast, summed
+    /// over every wake. Callers diff it around a `run` call to attribute
+    /// the park-and-wake barrier cost of one wave.
+    pub fn dispatch_ns(&self) -> u64 {
+        self.dispatch_ns.load(Ordering::Relaxed)
+    }
+
     /// Runs `f(p)` for every part `p < parts`, the caller executing its
     /// strided share alongside the helpers, and returns once **all** parts
     /// are done. Single-part (or helper-less) calls run entirely inline
@@ -194,11 +208,9 @@ impl SweepPool {
             }
             return;
         }
+        let t_dispatch = Instant::now();
         // Only one region may be in flight per pool; see the field docs.
-        let _region = self
-            .dispatch
-            .lock()
-            .unwrap_or_else(|e| e.into_inner());
+        let _region = self.dispatch.lock().unwrap_or_else(|e| e.into_inner());
         self.wakes.fetch_add(1, Ordering::Relaxed);
         // Erase the borrow's lifetime for the shared slot; see the
         // module-level safety note.
@@ -212,6 +224,8 @@ impl SweepPool {
             st.payload = None;
         }
         self.shared.work_cv.notify_all();
+        self.dispatch_ns
+            .fetch_add(t_dispatch.elapsed().as_nanos() as u64, Ordering::Relaxed);
         let stride = helpers + 1;
         // The caller's own share must not unwind past the barrier: the
         // helpers still hold the erased borrow of `f` (and of everything it

@@ -38,9 +38,16 @@ use crate::stats::{Answer, QueryOutput, QueryStats};
 use parcfl_concurrent::{
     kernel, ChunkedBitset, CtxId, CtxInterner, FxHashMap, FxHashSet, SweepPool,
 };
-use parcfl_pag::{EdgeClass, NodeId, PackedAdj, PackedClass, Pag};
+use parcfl_obs::{EventKind, ObsHists, TraceRecorder};
+use parcfl_pag::{EdgeClass, NodeId, PackedAdj, PackedClass, Pag, EDGE_CLASSES};
 use std::ops::Range;
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Payload-free classes the packed gather path covers (`New`,
+/// `AssignLocal`, `AssignGlobal` — discriminants 0..3). Indexes the
+/// per-wave packed/CSR row counters.
+const PACKED_CLASSES: usize = 3;
 
 /// An interned traversal state.
 type IState = (NodeId, CtxId);
@@ -126,6 +133,27 @@ pub struct MatrixSolver<'a> {
     /// Recycled row bitsets; allocations persist across queries, so
     /// [`QueryStats::state_words`] reports the resident row storage.
     pool: Vec<ChunkedBitset>,
+    /// Per-lane trace sinks ([`MatrixSolver::with_recorders`]): part `p`
+    /// of a wave lands in lane `p % rec.len()`, matching the pool's
+    /// strided part→helper assignment, so the Chrome export shows one
+    /// sweep track per worker. All emission happens on the barrier
+    /// thread; workers only stamp timestamps into their [`SweepOut`].
+    /// `None` (the default) keeps every emit to a single branch.
+    rec: Option<&'a [TraceRecorder]>,
+    /// Trace epoch: wave/segment timestamps are nanoseconds since this
+    /// instant. Set together with `rec`.
+    epoch: Option<Instant>,
+    /// Monotone wave counter, reset per query (`WaveStart.a`).
+    wave_id: u32,
+    /// Always-on sweep histograms (wave width, segments per wave, pool
+    /// dispatch latency), drained by [`MatrixSolver::take_hists`].
+    hists: ObsHists,
+    /// Per-query counter accumulators, reset by `points_to_query` and
+    /// surfaced through [`QueryStats`].
+    qc_packed: u64,
+    qc_csr: u64,
+    qc_dispatch_ns: u64,
+    qc_class: [u64; EDGE_CLASSES],
 }
 
 /// Per-context rows of one closure computation: for each context touched,
@@ -298,6 +326,20 @@ struct SweepOut {
     /// only). Pure set content, never creates closure rows.
     pts: ScratchRows,
     ops: Vec<Op>,
+    /// Trace timestamps (ns since the trace epoch) bracketing this part's
+    /// scan; 0 when no epoch is attached. Stamped by the worker, emitted
+    /// by the barrier thread into the part's lane.
+    t0_ns: u64,
+    t1_ns: u64,
+    /// Bit-packed rows gathered, per payload-free class (index = class
+    /// discriminant, `PACKED_CLASSES` wide).
+    packed_rows: [u64; PACKED_CLASSES],
+    /// Scalar CSR fallback walks of the payload-free classes (the class
+    /// was unpacked, or the row fell below the packing threshold).
+    csr_rows: [u64; PACKED_CLASSES],
+    /// Sweep step attribution per [`EdgeClass`]: +1 per CSR edge applied,
+    /// +1 per packed row gathered, +1 per alias obligation pended.
+    class_steps: [u64; EDGE_CLASSES],
 }
 
 impl SweepOut {
@@ -330,6 +372,9 @@ struct SweepEnv<'b> {
     ctx_sens: bool,
     /// Packed rows to gather from (`None`: CSR slices everywhere).
     packed: Option<&'b PackedAdj>,
+    /// Trace epoch for per-part timestamp stamping; `None` (tracing off)
+    /// skips every clock read.
+    epoch: Option<Instant>,
 }
 
 impl<'b> SweepEnv<'b> {
@@ -355,6 +400,9 @@ fn scan_part(
     segs: &[Seg],
 ) -> SweepOut {
     let mut out = SweepOut::default();
+    if let Some(e) = env.epoch {
+        out.t0_ns = e.elapsed().as_nanos() as u64;
+    }
     for seg in segs {
         let (cx, bits) = &fronts[seg.fi as usize];
         let cx = *cx;
@@ -370,6 +418,9 @@ fn scan_part(
                 SweepKind::Flows => scan_bit_flows(env, nr, cx, &mut out),
             }
         }
+    }
+    if let Some(e) = env.epoch {
+        out.t1_ns = e.elapsed().as_nanos() as u64;
     }
     out
 }
@@ -388,9 +439,13 @@ fn scan_bit_pts(env: &SweepEnv<'_>, xr: u32, cx: CtxId, out: &mut SweepOut) {
     // scalar walk below each arm covers it.
     if let Some(row) = env.in_packed(EdgeClass::New).and_then(|pc| pc.row(xr)) {
         out.pts.union_row(row, cx);
+        out.packed_rows[EdgeClass::New as usize] += 1;
+        out.class_steps[EdgeClass::New as usize] += 1;
     } else {
+        out.csr_rows[EdgeClass::New as usize] += 1;
         for e in pag.incoming_kind(x, EdgeClass::New) {
             out.pts.insert(e.src.raw(), cx);
+            out.class_steps[EdgeClass::New as usize] += 1;
         }
     }
     if let Some(row) = env
@@ -398,9 +453,13 @@ fn scan_bit_pts(env: &SweepEnv<'_>, xr: u32, cx: CtxId, out: &mut SweepOut) {
         .and_then(|pc| pc.row(xr))
     {
         out.ins_row(row, cx);
+        out.packed_rows[EdgeClass::AssignLocal as usize] += 1;
+        out.class_steps[EdgeClass::AssignLocal as usize] += 1;
     } else {
+        out.csr_rows[EdgeClass::AssignLocal as usize] += 1;
         for e in pag.incoming_kind(x, EdgeClass::AssignLocal) {
             out.ins(e.src.raw(), cx);
+            out.class_steps[EdgeClass::AssignLocal as usize] += 1;
         }
     }
     let cg = if env.ctx_sens { CtxId::EMPTY } else { cx };
@@ -409,12 +468,17 @@ fn scan_bit_pts(env: &SweepEnv<'_>, xr: u32, cx: CtxId, out: &mut SweepOut) {
         .and_then(|pc| pc.row(xr))
     {
         out.ins_row(row, cg);
+        out.packed_rows[EdgeClass::AssignGlobal as usize] += 1;
+        out.class_steps[EdgeClass::AssignGlobal as usize] += 1;
     } else {
+        out.csr_rows[EdgeClass::AssignGlobal as usize] += 1;
         for e in pag.incoming_kind(x, EdgeClass::AssignGlobal) {
             out.ins(e.src.raw(), cg);
+            out.class_steps[EdgeClass::AssignGlobal as usize] += 1;
         }
     }
     for e in pag.incoming_kind(x, EdgeClass::Param) {
+        out.class_steps[EdgeClass::Param as usize] += 1;
         let i = e.kind.call_site().expect("param edge");
         let c2 = if !env.ctx_sens || cx.is_empty() {
             cx
@@ -426,6 +490,7 @@ fn scan_bit_pts(env: &SweepEnv<'_>, xr: u32, cx: CtxId, out: &mut SweepOut) {
         out.ins(e.src.raw(), c2);
     }
     for e in pag.incoming_kind(x, EdgeClass::Ret) {
+        out.class_steps[EdgeClass::Ret as usize] += 1;
         let i = e.kind.call_site().expect("ret edge");
         if env.ctx_sens {
             out.ops.push(Op::Push {
@@ -438,6 +503,7 @@ fn scan_bit_pts(env: &SweepEnv<'_>, xr: u32, cx: CtxId, out: &mut SweepOut) {
         }
     }
     if !pag.incoming_kind(x, EdgeClass::Load).is_empty() {
+        out.class_steps[EdgeClass::Load as usize] += 1;
         out.ops.push(Op::Pend { n: xr, c: cx });
     }
 }
@@ -451,9 +517,13 @@ fn scan_bit_flows(env: &SweepEnv<'_>, nr: u32, cn: CtxId, out: &mut SweepOut) {
     for class in [EdgeClass::New, EdgeClass::AssignLocal] {
         if let Some(row) = env.out_packed(class).and_then(|pc| pc.row(nr)) {
             out.ins_row(row, cn);
+            out.packed_rows[class as usize] += 1;
+            out.class_steps[class as usize] += 1;
         } else {
+            out.csr_rows[class as usize] += 1;
             for e in pag.outgoing_kind(n, class) {
                 out.ins(e.dst.raw(), cn);
+                out.class_steps[class as usize] += 1;
             }
         }
     }
@@ -463,12 +533,17 @@ fn scan_bit_flows(env: &SweepEnv<'_>, nr: u32, cn: CtxId, out: &mut SweepOut) {
         .and_then(|pc| pc.row(nr))
     {
         out.ins_row(row, cg);
+        out.packed_rows[EdgeClass::AssignGlobal as usize] += 1;
+        out.class_steps[EdgeClass::AssignGlobal as usize] += 1;
     } else {
+        out.csr_rows[EdgeClass::AssignGlobal as usize] += 1;
         for e in pag.outgoing_kind(n, EdgeClass::AssignGlobal) {
             out.ins(e.dst.raw(), cg);
+            out.class_steps[EdgeClass::AssignGlobal as usize] += 1;
         }
     }
     for e in pag.outgoing_kind(n, EdgeClass::Param) {
+        out.class_steps[EdgeClass::Param as usize] += 1;
         let i = e.kind.call_site().expect("param edge");
         if env.ctx_sens {
             out.ops.push(Op::Push {
@@ -481,6 +556,7 @@ fn scan_bit_flows(env: &SweepEnv<'_>, nr: u32, cn: CtxId, out: &mut SweepOut) {
         }
     }
     for e in pag.outgoing_kind(n, EdgeClass::Ret) {
+        out.class_steps[EdgeClass::Ret as usize] += 1;
         let i = e.kind.call_site().expect("ret edge");
         let c2 = if !env.ctx_sens || cn.is_empty() {
             cn
@@ -492,6 +568,7 @@ fn scan_bit_flows(env: &SweepEnv<'_>, nr: u32, cn: CtxId, out: &mut SweepOut) {
         out.ins(e.dst.raw(), c2);
     }
     if !pag.outgoing_kind(n, EdgeClass::Store).is_empty() {
+        out.class_steps[EdgeClass::Store as usize] += 1;
         out.ops.push(Op::Pend { n: nr, c: cn });
     }
 }
@@ -552,6 +629,14 @@ impl<'a> MatrixSolver<'a> {
             query_index: 0,
             providers: FxHashSet::default(),
             pool: Vec::new(),
+            rec: None,
+            epoch: None,
+            wave_id: 0,
+            hists: ObsHists::default(),
+            qc_packed: 0,
+            qc_csr: 0,
+            qc_dispatch_ns: 0,
+            qc_class: [0; EDGE_CLASSES],
         }
     }
 
@@ -593,9 +678,102 @@ impl<'a> MatrixSolver<'a> {
         self
     }
 
+    /// Attaches per-lane trace recorders: part `p` of every fanned-out
+    /// wave is emitted into lane `p % recs.len()` (the pool's strided
+    /// part→helper map), lane 0 additionally carries the outer wave
+    /// spans, pool wake/park instants and the per-class gather instants.
+    /// Timestamps are nanoseconds since `epoch`. Purely observational —
+    /// no answer, scan count or interner observable moves.
+    pub fn with_recorders(mut self, recs: &'a [TraceRecorder], epoch: Instant) -> Self {
+        self.rec = (!recs.is_empty()).then_some(recs);
+        self.epoch = Some(epoch);
+        self
+    }
+
+    /// Drains the always-on sweep histograms (wave width, segments per
+    /// fanned-out wave, pool dispatch latency) accumulated since the last
+    /// call, for merging into run statistics.
+    pub fn take_hists(&mut self) -> ObsHists {
+        std::mem::take(&mut self.hists)
+    }
+
     /// The context interner this solver resolves `CtxId`s against.
     pub fn interner(&self) -> &Arc<CtxInterner> {
         &self.ctxs
+    }
+
+    /// Nanoseconds since the trace epoch (0 when no epoch is attached;
+    /// only called behind a `rec.is_some()` gate).
+    fn now_ns(&self) -> u64 {
+        self.epoch.map_or(0, |e| e.elapsed().as_nanos() as u64)
+    }
+
+    /// One-branch guard for the outer `WaveStart` span: the cold body
+    /// reads the clock and pushes into lane 0 only when recorders are
+    /// attached (the Off path is the `is_some` check alone).
+    #[inline(always)]
+    fn emit_wave_start(&self, wid: u32, width: u64) {
+        if self.rec.is_some() {
+            self.emit_wave_start_cold(wid, width);
+        }
+    }
+
+    #[cold]
+    #[inline(never)]
+    fn emit_wave_start_cold(&self, wid: u32, width: u64) {
+        if let Some(recs) = self.rec {
+            recs[0].span(
+                EventKind::WaveStart,
+                self.now_ns(),
+                wid,
+                width.min(u32::MAX as u64) as u32,
+            );
+        }
+    }
+
+    /// Emits every post-barrier event of one wave: pool wake/park, the
+    /// per-part `WaveStart`/`WaveEnd` spans and `SweepSegment` instants
+    /// (worker-stamped timestamps, one lane per part stride), the
+    /// aggregated packed/CSR gather instants, and the outer `WaveEnd`.
+    /// Cold-outlined; callers gate on `rec.is_some()`.
+    #[cold]
+    #[inline(never)]
+    fn emit_wave_events(
+        &self,
+        wid: u32,
+        outs: &[SweepOut],
+        pool_disp: Option<u64>,
+        wave_packed: &[u64; PACKED_CLASSES],
+        wave_csr: &[u64; PACKED_CLASSES],
+    ) {
+        let Some(recs) = self.rec else { return };
+        let sat = |v: u64| v.min(u32::MAX as u64) as u32;
+        let parts = outs.len() as u32;
+        if let Some(ns) = pool_disp {
+            // Stamped at the first part's start: ≥ the outer WaveStart,
+            // ≤ every part event, so lane 0 stays ts-monotone.
+            let ts = outs.first().map_or_else(|| self.now_ns(), |o| o.t0_ns);
+            recs[0].instant(EventKind::PoolWake, ts, parts, sat(ns));
+        }
+        for (p, out) in outs.iter().enumerate() {
+            let lane = &recs[p % recs.len()];
+            lane.span(EventKind::WaveStart, out.t0_ns, wid, sat(out.scans));
+            lane.instant(EventKind::SweepSegment, out.t1_ns, p as u32, sat(out.scans));
+            lane.span(EventKind::WaveEnd, out.t1_ns, wid, parts);
+        }
+        let now = self.now_ns();
+        if pool_disp.is_some() {
+            recs[0].instant(EventKind::PoolPark, now, parts, 0);
+        }
+        for k in 0..PACKED_CLASSES {
+            if wave_packed[k] > 0 {
+                recs[0].instant(EventKind::PackedGather, now, k as u32, sat(wave_packed[k]));
+            }
+            if wave_csr[k] > 0 {
+                recs[0].instant(EventKind::CsrFallback, now, k as u32, sat(wave_csr[k]));
+            }
+        }
+        recs[0].span(EventKind::WaveEnd, now, wid, parts);
     }
 
     /// Answers `PointsTo(l, ∅)`. Completed answers are bit-identical to
@@ -611,6 +789,11 @@ impl<'a> MatrixSolver<'a> {
         self.work = 0;
         self.span = 0;
         self.depth = 0;
+        self.wave_id = 0;
+        self.qc_packed = 0;
+        self.qc_csr = 0;
+        self.qc_dispatch_ns = 0;
+        self.qc_class = [0; EDGE_CLASSES];
         self.providers.clear();
         // A halted query leaves its in-flight guards set; clear them so
         // the next query starts clean (the memo holds only completed
@@ -624,6 +807,10 @@ impl<'a> MatrixSolver<'a> {
         stats.traversed_steps = self.work;
         stats.span_steps = self.span;
         stats.state_words = self.pool.iter().map(ChunkedBitset::allocated_words).sum();
+        stats.packed_gathers = self.qc_packed;
+        stats.csr_fallback_rows = self.qc_csr;
+        stats.pool_dispatch_ns = self.qc_dispatch_ns;
+        stats.sweep_class_steps = self.qc_class;
         // Mirrors the demand solver's allocation proxy, except the memo
         // is batch-resident: later queries report everything still held.
         stats.mem_items = self.work + self.memo_items() + stats.state_words;
@@ -792,6 +979,9 @@ impl<'a> MatrixSolver<'a> {
                     }
                 }
             }
+            let wid = self.wave_id;
+            self.wave_id = self.wave_id.wrapping_add(1);
+            self.emit_wave_start(wid, total);
             // A persistent pool makes fan-out a park-and-wake barrier, so
             // the inline threshold drops; waves below the threshold take
             // the exact single-worker segmentation (grain 64, one part),
@@ -844,19 +1034,23 @@ impl<'a> MatrixSolver<'a> {
                 ctxs: &self.ctxs,
                 ctx_sens: self.cfg.context_sensitive,
                 packed: self.packed,
+                epoch: self.epoch,
             };
+            let mut pool_disp: Option<u64> = None;
             let outs: Vec<SweepOut> = if parts.len() <= 1 {
                 parts
                     .iter()
                     .map(|p| scan_part(&env, kind, &fronts, &segs[p.clone()]))
                     .collect()
             } else if let Some(pool) = &self.sweep_pool {
+                let disp0 = pool.dispatch_ns();
                 let slots: Vec<Mutex<Option<SweepOut>>> =
                     parts.iter().map(|_| Mutex::new(None)).collect();
                 pool.run(parts.len(), &|p| {
                     let out = scan_part(&env, kind, &fronts, &segs[parts[p].clone()]);
                     *slots[p].lock().expect("slot lock") = Some(out);
                 });
+                pool_disp = Some(pool.dispatch_ns().saturating_sub(disp0));
                 slots
                     .into_iter()
                     .map(|s| {
@@ -890,6 +1084,35 @@ impl<'a> MatrixSolver<'a> {
             // at some point" is the same predicate.
             self.span += outs.iter().map(|o| o.scans).max().unwrap_or(0);
             self.work += total;
+            // Observation only — nothing below feeds back into the
+            // fixpoint. Placed before the budget check so halted waves
+            // still attribute their work; everything except the
+            // wall-clock-derived dispatch latency is deterministic per
+            // configuration (worker-count and pool invariant).
+            self.hists.wave_width.record(total);
+            if parts.len() > 1 {
+                self.hists.wave_segments.record(parts.len() as u64);
+            }
+            let mut wave_packed = [0u64; PACKED_CLASSES];
+            let mut wave_csr = [0u64; PACKED_CLASSES];
+            for out in &outs {
+                for k in 0..PACKED_CLASSES {
+                    wave_packed[k] += out.packed_rows[k];
+                    wave_csr[k] += out.csr_rows[k];
+                }
+                for k in 0..EDGE_CLASSES {
+                    self.qc_class[k] += out.class_steps[k];
+                }
+            }
+            self.qc_packed += wave_packed.iter().sum::<u64>();
+            self.qc_csr += wave_csr.iter().sum::<u64>();
+            if let Some(ns) = pool_disp {
+                self.hists.pool_dispatch.record(ns);
+                self.qc_dispatch_ns += ns;
+            }
+            if self.rec.is_some() {
+                self.emit_wave_events(wid, &outs, pool_disp, &wave_packed, &wave_csr);
+            }
             for (_, mut b) in fronts {
                 b.clear();
                 self.pool.push(b);
@@ -1292,6 +1515,85 @@ mod tests {
         }
         assert_eq!(base.interner().len(), pooled.interner().len());
         assert_eq!(pool.spawns(), 3, "helpers spawned once for the whole batch");
+    }
+
+    /// The observability layer is observation-only: the attribution
+    /// counters are identical at every worker count, attaching recorders
+    /// moves no answer observable, and lane 0 captures a ts-monotone
+    /// stream of wave spans with per-query-monotone wave ids.
+    #[test]
+    fn sweep_counters_and_trace_are_observation_only() {
+        use parcfl_obs::TraceLevel;
+        let src = "class Obj { }
+                   class Box { field f: Obj;
+                     method set(v: Obj) { this.f = v; }
+                     method get(): Obj { var r: Obj; r = this.f; return r; }
+                   }
+                   class A { method m() {
+                     var b: Box; var c: Box; var x: Obj; var y: Obj; var z: Obj;
+                     b = new Box; c = b; x = new Obj;
+                     call b.set(x);
+                     y = call b.get(); z = call c.get();
+                   } }";
+        let pag = build_pag(src).unwrap().pag;
+        let cfg = SolverConfig::default();
+        let mut base = MatrixSolver::new(&pag, &cfg);
+        let baseline: Vec<_> = pag
+            .node_ids()
+            .filter(|&n| pag.kind(n).is_variable())
+            .map(|n| (n, base.points_to_query(n)))
+            .collect();
+        let base_hists = base.take_hists();
+        assert!(!base_hists.wave_width.is_empty(), "every wave sampled");
+        assert!(
+            baseline
+                .iter()
+                .any(|(_, o)| o.stats.sweep_class_steps.iter().sum::<u64>() > 0),
+            "sweeps attribute steps to edge classes"
+        );
+        for w in [2usize, 4] {
+            let recs: Vec<TraceRecorder> = (0..w)
+                .map(|_| TraceRecorder::external(TraceLevel::Full))
+                .collect();
+            let mut par = MatrixSolver::new(&pag, &cfg)
+                .with_workers(w)
+                .with_recorders(&recs, Instant::now());
+            for (n, b) in &baseline {
+                let p = par.points_to_query(*n);
+                assert_eq!(b.answer, p.answer, "traced w={w} query {n:?}");
+                assert_eq!(b.stats.traversed_steps, p.stats.traversed_steps);
+                assert_eq!(b.stats.packed_gathers, p.stats.packed_gathers);
+                assert_eq!(b.stats.csr_fallback_rows, p.stats.csr_fallback_rows);
+                assert_eq!(b.stats.sweep_class_steps, p.stats.sweep_class_steps);
+            }
+            assert_eq!(base.interner().len(), par.interner().len());
+            drop(par);
+            let lane0 = recs.into_iter().next().unwrap().into_trace(0);
+            assert_eq!(lane0.dropped, 0);
+            assert!(
+                lane0.events.windows(2).all(|p| p[0].ts <= p[1].ts),
+                "lane 0 timestamps monotone"
+            );
+            let starts: Vec<_> = lane0
+                .events
+                .iter()
+                .filter(|e| e.kind == EventKind::WaveStart)
+                .collect();
+            let ends = lane0
+                .events
+                .iter()
+                .filter(|e| e.kind == EventKind::WaveEnd)
+                .count();
+            assert!(!starts.is_empty(), "wave spans recorded");
+            assert_eq!(starts.len(), ends, "every wave span closed");
+            // The outer wave spans restart at id 0 on each query; within
+            // the lane the id stream never skips forward.
+            let mut prev = 0u32;
+            for s in &starts {
+                assert!(s.a == 0 || s.a <= prev + 1, "wave ids monotone per query");
+                prev = s.a;
+            }
+        }
     }
 
     #[test]

@@ -25,6 +25,7 @@ const PID: u32 = 1;
 pub fn chrome_trace_json(trace: &RunTrace) -> String {
     // ns → µs for real clocks; 1 virtual step = 1 µs for simulated ones.
     let scale = if trace.real_time { 1e-3 } else { 1.0 };
+    let mut truncated_spans = 0usize;
     let mut events: Vec<(f64, String)> = Vec::with_capacity(trace.event_count() + 2);
     events.push((
         f64::NEG_INFINITY,
@@ -47,28 +48,35 @@ pub fn chrome_trace_json(trace: &RunTrace) -> String {
                 w.worker, w.worker
             ),
         ));
-        render_worker(w, scale, &mut events);
+        truncated_spans += render_worker(w, scale, &mut events);
     }
     // Emit in timestamp order so per-track timestamps are monotone in the
     // file (metadata first via the -inf sort key).
     events.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
     let body: Vec<String> = events.into_iter().map(|(_, e)| e).collect();
     format!(
-        "{{\"traceEvents\":[\n{}\n],\"displayTimeUnit\":\"ms\"}}\n",
+        "{{\"traceEvents\":[\n{}\n],\"truncated_spans\":{truncated_spans},\
+         \"displayTimeUnit\":\"ms\"}}\n",
         body.join(",\n")
     )
 }
 
-/// Pairs span events and renders one worker's track into `out`.
-fn render_worker(w: &WorkerTrace, scale: f64, out: &mut Vec<(f64, String)>) {
+/// Pairs span events and renders one worker's track into `out`. Returns
+/// the number of spans truncated by ring overwrite (their end events were
+/// lost, so a synthetic end was emitted at the track's last timestamp).
+fn render_worker(w: &WorkerTrace, scale: f64, out: &mut Vec<(f64, String)>) -> usize {
     let tid = w.worker;
     // Queries never nest within a worker and batches never nest within a
-    // session, but batches may enclose queries — one pending-start stack
-    // per span family keeps the pairing trivial.
+    // session, but batches may enclose queries (and waves nest inside
+    // queries) — one pending-start stack per span family keeps the
+    // pairing trivial.
     let mut open_queries: Vec<(f64, u32)> = Vec::new();
     let mut open_batches: Vec<(f64, u32)> = Vec::new();
+    let mut open_waves: Vec<(f64, u32)> = Vec::new();
+    let mut last_ts = 0.0f64;
     for e in &w.events {
         let ts = e.ts as f64 * scale;
+        last_ts = last_ts.max(ts);
         match e.kind {
             EventKind::QueryStart => open_queries.push((ts, e.a)),
             EventKind::QueryEnd => {
@@ -100,6 +108,21 @@ fn render_worker(w: &WorkerTrace, scale: f64, out: &mut Vec<(f64, String)>) {
                     ));
                 }
             }
+            EventKind::WaveStart => open_waves.push((ts, e.a)),
+            EventKind::WaveEnd => {
+                if let Some((t0, id)) = open_waves.pop() {
+                    out.push((
+                        t0,
+                        format!(
+                            "{{\"name\":\"wave {id}\",\"ph\":\"X\",\"pid\":{PID},\
+                             \"tid\":{tid},\"ts\":{t0:.3},\"dur\":{:.3},\
+                             \"args\":{{\"segments\":{}}}}}",
+                            (ts - t0).max(0.0),
+                            e.b
+                        ),
+                    ));
+                }
+            }
             kind => out.push((
                 ts,
                 format!(
@@ -112,26 +135,33 @@ fn render_worker(w: &WorkerTrace, scale: f64, out: &mut Vec<(f64, String)>) {
             )),
         }
     }
-    // A dropped end event (ring overflow) leaves its start unmatched:
-    // render it begin-only, which Perfetto shows as "did not finish".
-    for (t0, q) in open_queries {
+    // A dropped end event (ring overwrite) leaves its start unmatched.
+    // Emit a synthetic complete event that runs to the track's last
+    // timestamp — the span stays visible in the timeline instead of being
+    // silently lost — and report it as truncated.
+    let mut truncated = 0usize;
+    let mut synthesize = |t0: f64, name: String, out: &mut Vec<(f64, String)>| {
         out.push((
             t0,
             format!(
-                "{{\"name\":\"query n{q}\",\"ph\":\"B\",\"pid\":{PID},\
-                 \"tid\":{tid},\"ts\":{t0:.3}}}"
+                "{{\"name\":\"{name}\",\"ph\":\"X\",\"pid\":{PID},\
+                 \"tid\":{tid},\"ts\":{t0:.3},\"dur\":{:.3},\
+                 \"args\":{{\"truncated\":1}}}}",
+                (last_ts - t0).max(0.0)
             ),
         ));
+        truncated += 1;
+    };
+    for (t0, q) in open_queries {
+        synthesize(t0, format!("query n{q}"), out);
     }
     for (t0, idx) in open_batches {
-        out.push((
-            t0,
-            format!(
-                "{{\"name\":\"batch {idx}\",\"ph\":\"B\",\"pid\":{PID},\
-                 \"tid\":{tid},\"ts\":{t0:.3}}}"
-            ),
-        ));
+        synthesize(t0, format!("batch {idx}"), out);
     }
+    for (t0, id) in open_waves {
+        synthesize(t0, format!("wave {id}"), out);
+    }
+    truncated
 }
 
 #[cfg(test)]
@@ -184,15 +214,82 @@ mod tests {
     }
 
     #[test]
-    fn unmatched_start_renders_begin_only() {
+    fn unmatched_start_gets_synthetic_end() {
         let r = TraceRecorder::external(TraceLevel::Spans);
         r.span(EventKind::QueryStart, 1, 9, 0);
+        r.span(EventKind::QueryStart, 4, 11, 0);
+        r.span(EventKind::QueryEnd, 6, 11, 1);
         let t = RunTrace {
             real_time: false,
             workers: vec![r.into_trace(0)],
         };
         let json = t.to_chrome_json();
-        assert!(json.contains("\"name\":\"query n9\",\"ph\":\"B\""));
+        // The unmatched query span is closed at the track's last
+        // timestamp (6) instead of being rendered begin-only or dropped.
+        assert!(
+            !json.contains("\"ph\":\"B\""),
+            "no begin-only events: {json}"
+        );
+        assert!(
+            json.contains(
+                "\"name\":\"query n9\",\"ph\":\"X\",\"pid\":1,\
+                 \"tid\":0,\"ts\":1.000,\"dur\":5.000"
+            ),
+            "synthetic end at last ts: {json}"
+        );
+        assert!(json.contains("\"args\":{\"truncated\":1}"));
+        assert!(json.contains("\"truncated_spans\":1,"), "{json}");
+    }
+
+    #[test]
+    fn ring_overflowed_trace_counts_truncated_spans() {
+        // Capacity 2: the ring keeps the two starts and drops the two end
+        // events, leaving both spans unmatched — the regression this
+        // guards is those spans being silently lost from the export.
+        let r = TraceRecorder::with_capacity(TraceLevel::Spans, crate::TraceClock::External, 2);
+        r.span(EventKind::QueryStart, 0, 1, 0);
+        r.span(EventKind::WaveStart, 2, 0, 8);
+        r.span(EventKind::WaveEnd, 5, 0, 1);
+        r.span(EventKind::QueryEnd, 9, 1, 1);
+        let w = r.into_trace(0);
+        assert_eq!(w.dropped, 2, "both end events fell off the ring");
+        let t = RunTrace {
+            real_time: false,
+            workers: vec![w],
+        };
+        let json = t.to_chrome_json();
+        assert!(json.contains("\"truncated_spans\":2,"), "{json}");
+        assert!(!json.contains("\"ph\":\"B\""), "no begin-only leftovers");
+        assert!(
+            json.contains("\"name\":\"query n1\",\"ph\":\"X\""),
+            "the truncated query span survives as a complete event: {json}"
+        );
+        assert!(json.contains("\"name\":\"wave 0\",\"ph\":\"X\""));
+    }
+
+    #[test]
+    fn wave_spans_pair_into_complete_events() {
+        let r = TraceRecorder::external(TraceLevel::Spans);
+        r.span(EventKind::QueryStart, 0, 3, 0);
+        r.span(EventKind::WaveStart, 2, 0, 64);
+        r.span(EventKind::WaveEnd, 7, 0, 4);
+        r.span(EventKind::WaveStart, 8, 1, 16);
+        r.span(EventKind::WaveEnd, 11, 1, 1);
+        r.span(EventKind::QueryEnd, 12, 3, 1);
+        let t = RunTrace {
+            real_time: false,
+            workers: vec![r.into_trace(2)],
+        };
+        let json = t.to_chrome_json();
+        assert!(
+            json.contains(
+                "\"name\":\"wave 0\",\"ph\":\"X\",\"pid\":1,\
+                 \"tid\":2,\"ts\":2.000,\"dur\":5.000,\"args\":{\"segments\":4}"
+            ),
+            "{json}"
+        );
+        assert!(json.contains("\"name\":\"wave 1\",\"ph\":\"X\""));
+        assert!(json.contains("\"truncated_spans\":0,"));
     }
 
     #[test]

@@ -39,4 +39,5 @@ pub use edge::{Edge, EdgeClass, EdgeKind, EDGE_CLASSES};
 pub use graph::{Pag, PagBuilder};
 pub use ids::{CallSiteId, FieldId, MethodId, NodeId, TypeId};
 pub use node::{NodeInfo, NodeKind};
-pub use packed::{PackedAdj, PackedClass, ROW_MIN_BITS};
+pub use packed::{PackedAdj, PackedClass, MAX_PACKED_NODES, ROW_MIN_BITS};
+pub use types::TypeInfo;

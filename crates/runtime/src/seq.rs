@@ -123,16 +123,36 @@ pub fn run_matrix_pooled(
     pool: Option<Arc<SweepPool>>,
 ) -> RunResult {
     let start = std::time::Instant::now();
+    let tracing = cfg.tracing;
+    // One trace lane per sweep worker. The recorders use the external
+    // clock with explicit epoch-relative nanoseconds: the solver emits
+    // every event from the barrier thread (the recorders never cross
+    // threads), stamping part spans with the timestamps its workers
+    // recorded into their `SweepOut`s — so the lanes render as a real
+    // per-worker sweep timeline. At `Off` the recorders allocate nothing
+    // and every record call is one branch.
+    let recs: Vec<TraceRecorder> = (0..cfg.threads.max(1))
+        .map(|_| TraceRecorder::external(tracing))
+        .collect();
     let pool = pool.or_else(|| (cfg.threads > 1).then(|| Arc::new(SweepPool::new(cfg.threads))));
     let mut stats = RunStats::default();
     let mut answers = Vec::with_capacity(queries.len());
     let mut durations = Vec::with_capacity(queries.len());
     let mut providers = Vec::with_capacity(queries.len());
     let mut solver = MatrixSolver::new(pag, &cfg.solver).with_workers(cfg.threads);
+    if tracing.enabled() {
+        solver = solver.with_recorders(&recs, start);
+    }
     if let Some(p) = &pool {
         solver = solver.with_pool(Arc::clone(p));
     }
     for (i, &q) in queries.iter().enumerate() {
+        recs[0].span(
+            EventKind::QueryStart,
+            start.elapsed().as_nanos() as u64,
+            q.raw(),
+            0,
+        );
         let t0 = std::time::Instant::now();
         solver.set_query_index(i as u32);
         let out = solver.points_to_query(q);
@@ -140,11 +160,19 @@ pub fn run_matrix_pooled(
             .hists
             .query_latency
             .record(t0.elapsed().as_nanos() as u64);
+        let complete = matches!(out.answer, Answer::Complete(_));
+        recs[0].span(
+            EventKind::QueryEnd,
+            start.elapsed().as_nanos() as u64,
+            q.raw(),
+            complete as u32,
+        );
         durations.push(out.stats.traversed_steps);
         providers.push(solver.take_providers());
         stats.absorb(&out.stats, &out.answer);
         answers.push((q, out.answer));
     }
+    stats.hists.merge(&solver.take_hists());
     stats.wall = start.elapsed();
     stats.makespan = schedule_batch(&durations, &providers, cfg.threads);
     stats.batches = 1;
@@ -155,10 +183,22 @@ pub fn run_matrix_pooled(
         stats.pool_spawns = p.spawns();
         stats.pool_wakes = p.wakes();
     }
+    drop(solver);
+    let trace = tracing.enabled().then(|| RunTrace {
+        real_time: true,
+        // Lanes beyond worker 0 only fill when waves fan out; drop the
+        // ones that stayed empty so the export has no blank tracks.
+        workers: recs
+            .into_iter()
+            .enumerate()
+            .filter(|(i, r)| *i == 0 || !r.is_empty())
+            .map(|(i, r)| r.into_trace(i))
+            .collect(),
+    });
     RunResult {
         answers,
         stats,
-        trace: None,
+        trace,
     }
 }
 
@@ -245,6 +285,105 @@ mod tests {
         // exactly three helpers for the whole batch.
         assert_eq!(mat.stats.pool_spawns, 0);
         assert_eq!(par.stats.pool_spawns, 3);
+    }
+
+    /// Matrix tracing is observation-only and fills per-worker lanes:
+    /// lane 0 carries query and wave spans with monotone timestamps, the
+    /// sweep histograms flow into `RunStats` at every level, and an `Off`
+    /// run returns identical answers with no trace.
+    #[test]
+    fn matrix_trace_records_wave_lanes() {
+        let src = "class Obj { }
+                   class Box { field f: Obj;
+                     method set(v: Obj) { this.f = v; }
+                     method get(): Obj { var r: Obj; r = this.f; return r; }
+                   }
+                   class A { method m() {
+                     var b: Box; var c: Box; var x: Obj; var y: Obj; var z: Obj;
+                     b = new Box; c = b; x = new Obj;
+                     call b.set(x);
+                     y = call b.get(); z = call c.get();
+                   } }";
+        let pag = build_pag(src).unwrap().pag;
+        let queries = pag.application_locals();
+        let cfg = crate::RunConfig::new(crate::Mode::Naive, 4, crate::Backend::Simulated)
+            .with_tracing(TraceLevel::Full);
+        let traced = run_matrix(&pag, &queries, &cfg);
+        let off_cfg = crate::RunConfig::new(crate::Mode::Naive, 4, crate::Backend::Simulated);
+        let off = run_matrix(&pag, &queries, &off_cfg);
+        assert_eq!(
+            off.sorted_answers(),
+            traced.sorted_answers(),
+            "tracing is observation-only"
+        );
+        assert_eq!(off.stats.traversed_steps, traced.stats.traversed_steps);
+        assert_eq!(off.stats.packed_gathers, traced.stats.packed_gathers);
+        assert_eq!(off.stats.sweep_class_steps, traced.stats.sweep_class_steps);
+        assert!(off.trace.is_none(), "Off produces no trace");
+        assert!(
+            !off.stats.hists.wave_width.is_empty(),
+            "wave histograms are always on"
+        );
+        let trace = traced.trace.expect("trace present at Full");
+        assert!(trace.real_time);
+        let w0 = &trace.workers[0];
+        assert_eq!(w0.worker, 0);
+        assert!(w0.events.iter().any(|e| e.kind == EventKind::QueryStart));
+        assert!(w0.events.iter().any(|e| e.kind == EventKind::WaveStart));
+        assert!(w0.events.iter().any(|e| e.kind == EventKind::WaveEnd));
+        for w in &trace.workers {
+            assert!(
+                w.events.windows(2).all(|p| p[0].ts <= p[1].ts),
+                "lane {} timestamps monotone",
+                w.worker
+            );
+        }
+    }
+
+    /// The sweep-stress bench is engineered to cross the engine's
+    /// fan-out threshold: a parallel matrix run must wake the pool,
+    /// gather through packed rows *and* the CSR fallback, and fill
+    /// multiple trace lanes — all without perturbing the answers or the
+    /// deterministic counters of a one-worker run.
+    #[test]
+    fn sweep_stress_fans_out_across_lanes() {
+        let b = parcfl_synth::sweep_stress_bench();
+        let cfg = crate::RunConfig::new(crate::Mode::Naive, 8, crate::Backend::Simulated)
+            .with_solver(b.solver.clone())
+            .with_tracing(TraceLevel::Full);
+        let par = run_matrix(&b.pag, &b.queries, &cfg);
+        assert!(par.stats.pool_wakes > 0, "wide waves wake the sweep pool");
+        assert!(
+            par.stats.packed_gathers > 0,
+            "fat assign rows gather packed"
+        );
+        assert!(par.stats.csr_fallback_rows > 0, "thin new rows fall back");
+        let trace = par.trace.as_ref().expect("trace present at Full");
+        assert!(
+            trace.workers.len() > 1,
+            "fan-out fills lanes beyond worker 0 (got {})",
+            trace.workers.len()
+        );
+        assert!(trace
+            .workers
+            .iter()
+            .all(|w| w.events.iter().any(|e| e.kind == EventKind::WaveStart)));
+        assert!(trace.workers[0]
+            .events
+            .iter()
+            .any(|e| e.kind == EventKind::PoolWake));
+        assert!(trace.workers[0]
+            .events
+            .iter()
+            .any(|e| e.kind == EventKind::PackedGather));
+        let seq_cfg = crate::RunConfig::new(crate::Mode::Naive, 1, crate::Backend::Simulated)
+            .with_solver(b.solver.clone());
+        let seq = run_matrix(&b.pag, &b.queries, &seq_cfg);
+        assert_eq!(seq.sorted_answers(), par.sorted_answers());
+        assert_eq!(seq.stats.traversed_steps, par.stats.traversed_steps);
+        assert_eq!(seq.stats.packed_gathers, par.stats.packed_gathers);
+        assert_eq!(seq.stats.csr_fallback_rows, par.stats.csr_fallback_rows);
+        assert_eq!(seq.stats.sweep_class_steps, par.stats.sweep_class_steps);
     }
 
     #[test]

@@ -280,8 +280,11 @@ impl<'p> AnalysisSession<'p> {
 
     /// Renders the session's operational metrics in Prometheus text
     /// exposition format: the named batch/query counters, jmp-store
-    /// totals (lookup hits, inserts, evictions, residency), the
-    /// cumulative query-latency histogram, and per-worker steal counters.
+    /// totals (lookup hits, inserts, evictions, residency), matrix-sweep
+    /// counters (packed gathers, CSR fallbacks, pool dispatch time,
+    /// per-edge-class step attribution), pool/engine/state gauges, and
+    /// the cumulative latency, wave-width, wave-segment and pool-dispatch
+    /// histograms, plus per-worker steal counters.
     pub fn metrics_snapshot(&self) -> String {
         let mut p = PromText::new();
         for (name, value) in self.counters.snapshot() {
@@ -307,10 +310,76 @@ impl<'p> AnalysisSession<'p> {
             "Jmp entries currently resident.",
             self.store.entry_count() as u64,
         );
+        p.counter(
+            "parcfl_packed_gathers_total",
+            "Bit-packed adjacency rows gathered by matrix-engine sweeps.",
+            self.cumulative.packed_gathers,
+        );
+        p.counter(
+            "parcfl_csr_fallback_rows_total",
+            "Payload-free rows walked through the scalar CSR slices instead of a packed gather.",
+            self.cumulative.csr_fallback_rows,
+        );
+        p.counter(
+            "parcfl_pool_dispatch_ns_total",
+            "Nanoseconds spent dispatching pooled sweep waves (park-and-wake barrier cost).",
+            self.cumulative.pool_dispatch_ns,
+        );
+        let class_series: Vec<(String, u64)> = parcfl_pag::EdgeClass::all()
+            .iter()
+            .map(|&c| {
+                (
+                    format!("class=\"{}\"", c.name()),
+                    self.cumulative.sweep_class_steps[c as usize],
+                )
+            })
+            .collect();
+        p.labeled_counter(
+            "parcfl_sweep_class_steps_total",
+            "Matrix sweep steps attributed per PAG edge class.",
+            &class_series,
+        );
+        p.gauge(
+            "parcfl_pool_spawns",
+            "Sweep helper threads spawned by the persistent pool (flat across batches proves reuse).",
+            self.cumulative.pool_spawns,
+        );
+        p.gauge(
+            "parcfl_pool_wakes",
+            "Park-and-wake barriers the sweep pool has dispatched.",
+            self.cumulative.pool_wakes,
+        );
+        p.gauge(
+            "parcfl_peak_state_words",
+            "Peak u64 words held by any single query's visited-state tables.",
+            self.cumulative.peak_state_words,
+        );
+        if let Some(engine) = self.cumulative.engine_dispatched {
+            p.labeled_gauge(
+                "parcfl_engine_dispatched",
+                "Solver engine that answered the latest batch (1 = active variant).",
+                &[(format!("engine=\"{}\"", engine.name()), 1)],
+            );
+        }
         p.histogram(
             "parcfl_query_latency",
             "Per-query latency (ns real / steps simulated).",
             &self.cumulative.hists.query_latency,
+        );
+        p.histogram(
+            "parcfl_wave_width",
+            "Matrix-engine frontier wave width in dirty-row scans.",
+            &self.cumulative.hists.wave_width,
+        );
+        p.histogram(
+            "parcfl_wave_segments",
+            "Sweep segments per fanned-out matrix wave.",
+            &self.cumulative.hists.wave_segments,
+        );
+        p.histogram(
+            "parcfl_pool_dispatch_latency",
+            "Sweep-pool dispatch latency per pooled wave (ns).",
+            &self.cumulative.hists.pool_dispatch,
         );
         let series = |f: &dyn Fn(&parcfl_concurrent::WorkerObs) -> u64| -> Vec<(String, u64)> {
             self.cumulative
@@ -680,6 +749,41 @@ mod tests {
         assert!(text.contains("parcfl_evictions_total"), "{text}");
         assert!(
             text.contains("parcfl_worker_local_pops_total{worker=\"0\"}"),
+            "{text}"
+        );
+        // Matrix-sweep counters and gauges are always exposed (zero for
+        // demand batches), with HELP text and one series per edge class.
+        assert!(
+            text.contains("# HELP parcfl_packed_gathers_total"),
+            "{text}"
+        );
+        assert!(text.contains("parcfl_packed_gathers_total 0\n"), "{text}");
+        assert!(
+            text.contains("parcfl_csr_fallback_rows_total 0\n"),
+            "{text}"
+        );
+        assert!(text.contains("parcfl_pool_dispatch_ns_total 0\n"), "{text}");
+        assert!(
+            text.contains("parcfl_sweep_class_steps_total{class=\"assign_local\"} 0"),
+            "{text}"
+        );
+        assert!(
+            text.contains("parcfl_sweep_class_steps_total{class=\"ret\"} 0"),
+            "{text}"
+        );
+        assert!(text.contains("# TYPE parcfl_pool_spawns gauge"), "{text}");
+        assert!(text.contains("# HELP parcfl_pool_wakes"), "{text}");
+        assert!(text.contains("# HELP parcfl_peak_state_words"), "{text}");
+        assert!(
+            text.contains("parcfl_engine_dispatched{engine=\"demand\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("# TYPE parcfl_wave_width histogram"),
+            "{text}"
+        );
+        assert!(
+            text.contains("# TYPE parcfl_pool_dispatch_latency histogram"),
             "{text}"
         );
         // Every exposition line is a comment or `name[{labels}] value`.

@@ -92,6 +92,23 @@ pub struct RunStats {
     /// jmp entries published during this run (finished + unfinished
     /// publications that won their race).
     pub jmp_inserts: u64,
+    /// Bit-packed adjacency rows gathered by matrix-engine sweeps
+    /// (summed over queries; 0 for demand engines). Deterministic per
+    /// configuration — a `bench-diff` exact gate.
+    pub packed_gathers: u64,
+    /// Payload-free rows the matrix engine walked through the scalar CSR
+    /// slices instead of a packed gather. Deterministic like
+    /// `packed_gathers`.
+    pub csr_fallback_rows: u64,
+    /// Nanoseconds the matrix engine spent dispatching pooled sweep
+    /// waves, summed over queries. Wall-clock derived (noisy); 0 without
+    /// a pool.
+    pub pool_dispatch_ns: u64,
+    /// Sweep step attribution per [`parcfl_pag::EdgeClass`] (index =
+    /// `class as usize`), summed over queries: CSR edges, packed row
+    /// gathers and alias pends, broken out by edge class. All zero for
+    /// demand engines.
+    pub sweep_class_steps: [u64; parcfl_pag::EDGE_CLASSES],
     /// Latency histograms (query latency, steal wait, lock wait, group
     /// makespan), merged slot-wise across workers and batches. Units are
     /// nanoseconds under real execution, traversal steps under the
@@ -119,6 +136,16 @@ impl RunStats {
         self.peak_mem_items = self.peak_mem_items.max(qs.mem_items);
         self.peak_state_words = self.peak_state_words.max(qs.state_words);
         self.jmp_inserts += qs.finished_published + qs.unfinished_published;
+        self.packed_gathers += qs.packed_gathers;
+        self.csr_fallback_rows += qs.csr_fallback_rows;
+        self.pool_dispatch_ns += qs.pool_dispatch_ns;
+        for (acc, &v) in self
+            .sweep_class_steps
+            .iter_mut()
+            .zip(qs.sweep_class_steps.iter())
+        {
+            *acc += v;
+        }
     }
 
     /// Merges another accumulator: per-thread partials within a run, or a
@@ -148,6 +175,16 @@ impl RunStats {
         self.warm_hits += other.warm_hits;
         self.evictions += other.evictions;
         self.jmp_inserts += other.jmp_inserts;
+        self.packed_gathers += other.packed_gathers;
+        self.csr_fallback_rows += other.csr_fallback_rows;
+        self.pool_dispatch_ns += other.pool_dispatch_ns;
+        for (acc, &v) in self
+            .sweep_class_steps
+            .iter_mut()
+            .zip(other.sweep_class_steps.iter())
+        {
+            *acc += v;
+        }
         self.hists.merge(&other.hists);
         self.mem_items += other.mem_items;
         self.peak_mem_items = self.peak_mem_items.max(other.peak_mem_items);
@@ -307,6 +344,10 @@ mod tests {
                 avg_group_size: 2.0,
                 workers: vec![],
                 jmp_inserts: 3,
+                packed_gathers: 10,
+                csr_fallback_rows: 4,
+                pool_dispatch_ns: 100,
+                sweep_class_steps: [1, 2, 3, 4, 5, 6, 7],
                 hists: hist_of(&[10, 20]),
             },
             RunStats {
@@ -336,6 +377,10 @@ mod tests {
                 avg_group_size: 1.5,
                 workers: vec![],
                 jmp_inserts: 2,
+                packed_gathers: 5,
+                csr_fallback_rows: 1,
+                pool_dispatch_ns: 50,
+                sweep_class_steps: [10, 0, 0, 0, 0, 0, 1],
                 hists: hist_of(&[30]),
             },
         ];
@@ -354,6 +399,10 @@ mod tests {
         assert_eq!(cum.warm_hits, 4);
         assert_eq!(cum.evictions, 3);
         assert_eq!(cum.jmp_inserts, 5);
+        assert_eq!(cum.packed_gathers, 15, "sweep counters sum");
+        assert_eq!(cum.csr_fallback_rows, 5);
+        assert_eq!(cum.pool_dispatch_ns, 150);
+        assert_eq!(cum.sweep_class_steps, [11, 2, 3, 4, 5, 6, 8]);
         assert_eq!(cum.hists, hist_of(&[10, 20, 30]), "histograms merge");
         assert_eq!(cum.mem_items, 16);
         assert_eq!(cum.peak_mem_items, 8, "peak takes the max across batches");

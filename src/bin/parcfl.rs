@@ -6,6 +6,7 @@
 //! parcfl stats <file.mj>
 //! parcfl dot   <file.mj>
 //! parcfl bench <benchmark-name> [--threads N] [--mode naive|d|dq]
+//! parcfl bench-diff <baseline.json> <current.json> [--gate MODE] [--report PATH]
 //! parcfl check [--fuzz N] [--seed S] [--no-shrink] [--chaos] [--out PATH]
 //! parcfl check --replay <file.snap>
 //! ```
@@ -43,6 +44,7 @@ fn main() {
         "stats" => cmd_stats(&args[1..]),
         "dot" => cmd_dot(&args[1..]),
         "bench" => cmd_bench(&args[1..]),
+        "bench-diff" => cmd_bench_diff(&args[1..]),
         "check" => cmd_check(&args[1..]),
         "trace" => cmd_trace(&args[1..]),
         "gen" => cmd_gen(&args[1..]),
@@ -83,12 +85,25 @@ USAGE:
       work-stealing scheduler (implies --threaded) and reports per-worker
       contention. --state/--engine select the solver core as in `query`
       (mode/threads are inert under the matrix engine).
+  parcfl bench-diff <baseline.json> <current.json> [--gate none|deterministic|all]
+               [--report PATH]
+      Compare two BENCH_solver.json artifacts (table2 output). Exact
+      equality is required of every deterministic per-row counter
+      (traversed steps, makespan, peak state words, packed/CSR gather
+      counts, ...); wall_ms regressions beyond 30% are warnings. Exit 1
+      when the selected gate fails: --gate deterministic (default) fails
+      on counter drift, --gate all additionally on wall regressions,
+      --gate none never. --report also writes the findings to PATH.
   parcfl trace <file.mj> [--out PATH] [--threads N] [--mode naive|d|dq]
-               [--level spans|full] [--threaded]
+               [--level spans|full] [--threaded] [--engine demand|matrix]
       Answer every application-local query with event tracing on and
       write a Chrome-trace JSON (default trace.json) for chrome://tracing
       or Perfetto. The default virtual-time simulator gives a
       deterministic trace; --threaded records real wall-clock spans.
+      --engine matrix traces the whole-program matrix engine instead:
+      one lane per sweep worker (--threads) with wave spans,
+      sweep-segment instants and pool wake/park markers (mode and
+      --threaded are inert there; the lanes are real-clock).
   parcfl gen <name>
       Print a Table-I benchmark's generated mini-Java source on stdout
       (feed it back through `parcfl query`/`stats`/`dot`).
@@ -307,12 +322,19 @@ fn cmd_trace(args: &[String]) {
     } else {
         Backend::Simulated
     };
+    let engine = engine_flag(args);
     let mut cfg = RunConfig::new(mode, threads, backend).with_tracing(level);
     cfg.solver = solver_config(args);
-    let r = if threaded {
-        parcfl::runtime::run_threaded(&pag, &queries, &cfg)
-    } else {
-        run_simulated(&pag, &queries, &cfg)
+    let r = match engine {
+        Engine::Matrix => {
+            // Whole-program matrix engine: per-sweep-worker lanes with
+            // wave spans and pool wake/park instants, stamped on the
+            // real clock (mode/backend are inert under this engine).
+            cfg.solver.state = parcfl::core::StateBackend::Dense;
+            parcfl::runtime::run_matrix(&pag, &queries, &cfg)
+        }
+        _ if threaded => parcfl::runtime::run_threaded(&pag, &queries, &cfg),
+        _ => run_simulated(&pag, &queries, &cfg),
     };
     let trace = r.trace.expect("tracing enabled yields a trace");
     std::fs::write(&out_path, trace.to_chrome_json()).unwrap_or_else(|e| {
@@ -321,7 +343,11 @@ fn cmd_trace(args: &[String]) {
     });
     outln!(
         "{}: {} queries, {} completed; {} events across {} workers ({} dropped) -> {}",
-        if threaded { "threaded" } else { "simulated" },
+        match engine {
+            Engine::Matrix => "matrix",
+            _ if threaded => "threaded",
+            _ => "simulated",
+        },
         r.stats.queries,
         r.stats.completed,
         trace.event_count(),
@@ -329,6 +355,38 @@ fn cmd_trace(args: &[String]) {
         trace.dropped(),
         out_path
     );
+}
+
+fn cmd_bench_diff(args: &[String]) {
+    use parcfl::bench::diff::{diff_files, GateMode};
+
+    let paths: Vec<&String> = args.iter().take_while(|a| !a.starts_with("--")).collect();
+    let [baseline, current] = paths.as_slice() else {
+        eprintln!("bench-diff requires a baseline and a current artifact path");
+        exit(2);
+    };
+    let gate: GateMode = match flag_value(args, "--gate") {
+        Some(g) => g.parse().unwrap_or_else(|e| {
+            eprintln!("{e}");
+            exit(2);
+        }),
+        None => GateMode::Deterministic,
+    };
+    let report = diff_files(baseline, current).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        exit(1);
+    });
+    let rendered = report.render();
+    if let Some(path) = flag_value(args, "--report") {
+        std::fs::write(&path, &rendered).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            exit(1);
+        });
+    }
+    outln!("{}", rendered.trim_end());
+    if report.failed(gate) {
+        exit(1);
+    }
 }
 
 fn cmd_gen(args: &[String]) {

@@ -7,6 +7,7 @@ pub mod clients;
 pub use parcfl_runtime::AnalysisSession;
 
 pub use parcfl_andersen as andersen;
+pub use parcfl_bench as bench;
 pub use parcfl_check as check;
 pub use parcfl_concurrent as concurrent;
 pub use parcfl_core as core;

@@ -14,7 +14,7 @@ use parcfl::check::seed::derive;
 use parcfl::check::{failure_detail, test_seed, Scenario};
 use parcfl::core::{Answer, MatrixSolver, SolverConfig, StateBackend};
 use parcfl::pag::EdgeClass;
-use parcfl::runtime::{run_matrix, run_seq, Backend, Engine, Mode, RunConfig};
+use parcfl::runtime::{run_matrix, run_seq, Backend, Engine, Mode, RunConfig, TraceLevel};
 use parcfl::synth::mutate::canonicalize;
 use parcfl::synth::{build_bench, Profile};
 use proptest::prelude::*;
@@ -468,6 +468,9 @@ fn matrix_differential_two_hundred_scenarios() {
             perturb: None,
             store_cap: None,
             engine: Engine::Matrix,
+            // Cycle the trace ladder too: recording must never perturb
+            // the differential (tracing is observation-only).
+            trace_level: [TraceLevel::Off, TraceLevel::Spans, TraceLevel::Full][(i % 3) as usize],
         };
         if let Some(detail) = failure_detail(&scenario) {
             panic!(
