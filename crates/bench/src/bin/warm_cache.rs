@@ -38,10 +38,23 @@
 //! (default `BENCH_warm.json`): per-bench cold/warm traversed steps, warm
 //! hits, and p50/p90/p99 of the warm batch's query-latency histogram
 //! (simulated backend, so latency is in *traversal steps*).
+//!
+//! With `--delta [PATH]` the bench instead measures *incremental*
+//! analysis (DESIGN.md §12): each suite session answers its full batch,
+//! takes a seeded 3-op PAG edit script through
+//! [`AnalysisSession::apply_delta`] (selective jmp/memo/schedule
+//! invalidation), and re-queries warm. The warm re-query must answer
+//! bit-identically to a cold session on the edited graph, and across the
+//! suite selective invalidation must retain at least one warm entry (a
+//! full flush would also pass equality — retention is the point). The
+//! artifact (default `BENCH_incremental.json`) records cold/incremental
+//! re-query steps and the invalidation counters per bench.
 
 use parcfl_bench::{cfg_for, print_worker_table};
 use parcfl_core::{Answer, SolverConfig};
+use parcfl_pag::PagDelta;
 use parcfl_runtime::{run_simulated, AnalysisSession, Backend, Engine, Mode, RunResult};
+use parcfl_synth::mutate::sample_edits;
 use std::io::Write;
 
 /// `--stealing`: the real-thread warm-session comparison instead of the
@@ -205,10 +218,113 @@ fn run_engine_comparison(engine: Engine) {
     println!("\nall benchmarks: {engine} session completed answers identical to demand");
 }
 
+/// `--delta`: the incremental-analysis comparison. Each bench primes a
+/// session with its full batch, applies a seeded edit script, and
+/// re-queries warm; a cold session on the edited graph is the oracle and
+/// the step baseline. Writes the `BENCH_incremental.json` artifact.
+fn run_delta_comparison(json_path: &str) {
+    println!(
+        "{:<16} {:>10} {:>10} {:>7} {:>8} {:>8} {:>8} {:>6}",
+        "Benchmark", "ColdS", "IncrS", "Saved%", "InvJmp", "RetJmp", "InvMemo", "InvSch"
+    );
+    let suite = parcfl_synth::build_suite();
+    let mode = Mode::DataSharingSched;
+    let mut records = Vec::new();
+    let mut suite_retained = 0u64;
+    for (i, b) in suite.iter().enumerate() {
+        let solver: SolverConfig = b.solver.clone().without_tau_thresholds();
+        let mut session = AnalysisSession::new(&b.pag)
+            .with_threads(16)
+            .with_solver(solver.clone());
+        session.submit(&b.queries, mode, Backend::Simulated);
+
+        let mut delta = PagDelta::new();
+        // Seed by suite position so the artifact is reproducible run to
+        // run and distinct bench to bench.
+        for op in sample_edits(&b.pag, 0xD17A + i as u64, 3) {
+            delta.push(op);
+        }
+        let report = session.apply_delta(&delta);
+        let incr = session.submit(&b.queries, mode, Backend::Simulated);
+
+        let edited = session.pag().clone();
+        let mut cold_sess = AnalysisSession::new(&edited)
+            .with_threads(16)
+            .with_solver(solver);
+        let cold = cold_sess.submit(&b.queries, mode, Backend::Simulated);
+        assert_eq!(
+            incr.sorted_answers(),
+            cold.sorted_answers(),
+            "{}: incremental re-query diverged from cold on the edited graph",
+            b.name
+        );
+        suite_retained += report.retained_jmps + report.retained_memos;
+
+        let saved =
+            100.0 * (1.0 - incr.stats.traversed_steps as f64 / cold.stats.traversed_steps as f64);
+        println!(
+            "{:<16} {:>10} {:>10} {:>6.1}% {:>8} {:>8} {:>8} {:>6}",
+            b.name,
+            cold.stats.traversed_steps,
+            incr.stats.traversed_steps,
+            saved,
+            report.invalidated_jmps,
+            report.retained_jmps,
+            report.invalidated_memos,
+            report.invalidated_schedules,
+        );
+        records.push(format!(
+            concat!(
+                "{{\"bench\":\"{}\",\"edits\":{},\"cold_steps\":{},",
+                "\"incremental_steps\":{},\"warm_hits\":{},",
+                "\"invalidated_jmps\":{},\"retained_jmps\":{},",
+                "\"invalidated_memos\":{},\"retained_memos\":{},",
+                "\"invalidated_schedules\":{}}}"
+            ),
+            b.name,
+            delta.ops().len(),
+            cold.stats.traversed_steps,
+            incr.stats.traversed_steps,
+            incr.stats.warm_hits,
+            report.invalidated_jmps,
+            report.retained_jmps,
+            report.invalidated_memos,
+            report.retained_memos,
+            report.invalidated_schedules,
+        ));
+    }
+    assert!(
+        suite_retained > 0,
+        "selective invalidation retained nothing across the whole suite — \
+         equality alone would also hold for a full flush"
+    );
+    let body = format!(
+        "{{\"schema\":\"parcfl-bench-incremental/1\",\"step_unit\":\"traversal steps\",\
+         \"benches\":[\n  {}\n]}}\n",
+        records.join(",\n  "),
+    );
+    let mut f = std::fs::File::create(json_path).expect("create incremental json");
+    f.write_all(body.as_bytes())
+        .expect("write incremental json");
+    println!(
+        "\nall benchmarks: incremental == cold on edited graphs, {suite_retained} warm \
+         entries retained; wrote {json_path}"
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--stealing") {
         run_stealing_comparison();
+        return;
+    }
+    if let Some(i) = args.iter().position(|a| a == "--delta") {
+        let path = args
+            .get(i + 1)
+            .filter(|v| !v.starts_with("--"))
+            .cloned()
+            .unwrap_or_else(|| "BENCH_incremental.json".to_string());
+        run_delta_comparison(&path);
         return;
     }
     if let Some(i) = args.iter().position(|a| a == "--engine") {

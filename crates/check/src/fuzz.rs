@@ -18,6 +18,15 @@
 //! totals and budget verdicts at every point of that grid (DESIGN.md
 //! §11) — on top of the oracle checks above.
 //!
+//! A quarter of eligible iterations carry a mutate-then-requery edit
+//! script ([`Scenario::deltas`]): the run answers cold, applies each PAG
+//! delta with selective warm-state invalidation, and re-queries. All
+//! oracle/soundness checks then run against the *edited* graph
+//! ([`Scenario::final_pag`]), and [`incremental_divergence`] additionally
+//! replays the edited graph cold — warm incremental answers must be
+//! bit-identical. The `chaos_invalidation` self-test skips invalidation
+//! on purpose and expects the battery to fail.
+//!
 //! On the first failing iteration the scenario is (optionally) shrunk to
 //! a 1-minimal counterexample ([`crate::shrink`]) and returned along with
 //! its snapshot. Everything is reproducible from `(seed, iteration)`.
@@ -30,6 +39,7 @@ use crate::shrink::{shrink, ShrinkStats};
 use crate::snapshot::Scenario;
 use parcfl_core::{SolverConfig, StateBackend};
 use parcfl_runtime::{Backend, Engine, Mode, SimPerturb, TraceLevel};
+use parcfl_synth::mutate::sample_edits;
 use parcfl_synth::{build_bench, Profile};
 use rand::{rngs::StdRng, RngExt, SeedableRng};
 
@@ -52,6 +62,17 @@ pub struct FuzzConfig {
     pub chaos: bool,
     /// Include `Profile::small` in the program pool (otherwise tiny only).
     pub use_small: bool,
+    /// Force the mutate-then-requery dimension on: every eligible
+    /// (simulated, ample-budget) iteration carries an edit script
+    /// instead of one in four.
+    pub delta: bool,
+    /// Fault injection self-test for the incremental path: enable
+    /// `SolverConfig::chaos_skip_invalidation` (deltas swap the graph
+    /// but leave every warm jmp/memo entry stale) and bias scenarios
+    /// toward sharing modes, zero τ and ample budgets so the stale
+    /// state is re-served. The fuzzer is expected to FAIL when this is
+    /// on — it proves the battery catches broken invalidation.
+    pub chaos_invalidation: bool,
 }
 
 impl Default for FuzzConfig {
@@ -63,6 +84,8 @@ impl Default for FuzzConfig {
             threaded_every: 10,
             chaos: false,
             use_small: true,
+            delta: false,
+            chaos_invalidation: false,
         }
     }
 }
@@ -133,6 +156,12 @@ pub fn scenario_fails(scenario: &Scenario) -> bool {
 }
 
 /// Like [`scenario_fails`], with a description of the first disagreement.
+///
+/// Delta scenarios answer on the *edited* graph, so the oracle and the
+/// Andersen soundness check run against [`Scenario::final_pag`] — that
+/// is exactly what catches invalidation bugs: a stale warm entry served
+/// after an edit is a differential mismatch against the edited graph's
+/// truth.
 pub fn failure_detail(scenario: &Scenario) -> Option<String> {
     let attempts = match scenario.backend {
         Backend::Threaded => 3,
@@ -143,21 +172,59 @@ pub fn failure_detail(scenario: &Scenario) -> Option<String> {
         step_cap: FUZZ_STEP_CAP,
         ..OracleConfig::default()
     };
-    let mut oracle = OracleCache::new(&scenario.pag, oracle_cfg);
+    let final_pag;
+    let truth = if scenario.deltas.is_empty() {
+        &scenario.pag
+    } else {
+        final_pag = scenario.final_pag();
+        &final_pag
+    };
+    let mut oracle = OracleCache::new(truth, oracle_cfg);
     for _ in 0..attempts {
         let result = scenario.run();
         let diff = diff_answers(&result.answers, &mut oracle);
         if let Some(m) = diff.mismatches.first() {
             return Some(format!("query {}: {}", m.query, m.detail));
         }
-        let sound = check_soundness(&scenario.pag, &result.answers);
+        let sound = check_soundness(truth, &result.answers);
         if let Some(&(q, o)) = sound.violations.first() {
             return Some(format!(
                 "soundness violation: demand pts({q}) contains {o}, Andersen's does not"
             ));
         }
     }
-    matrix_worker_divergence(scenario)
+    matrix_worker_divergence(scenario).or_else(|| incremental_divergence(scenario))
+}
+
+/// The incremental dimension: replays a delta scenario's edited graph
+/// cold (fresh session, no warm state) and reports the first completed
+/// answer that differs from the warm incremental run. Only
+/// Complete-vs-Complete pairs are compared — warm stores legitimately
+/// move budget verdicts (fewer steps to the same fixpoint). `None` for
+/// scenarios without an edit script.
+pub fn incremental_divergence(scenario: &Scenario) -> Option<String> {
+    if scenario.deltas.is_empty() {
+        return None;
+    }
+    let (warm, _, _) = scenario.run_incremental();
+    let mut cold = scenario.clone();
+    cold.pag = scenario.final_pag();
+    cold.deltas.clear();
+    let cold = cold.run();
+    for ((qw, aw), (qc, ac)) in warm.sorted_answers().iter().zip(cold.sorted_answers()) {
+        debug_assert_eq!(*qw, qc);
+        if let (Some(w), Some(c)) = (aw.complete(), ac.complete()) {
+            if w != c {
+                return Some(format!(
+                    "incremental answer for query {qw} diverges from a cold run on the edited graph \
+                     (warm {} targets, cold {})",
+                    w.len(),
+                    c.len()
+                ));
+            }
+        }
+    }
+    None
 }
 
 /// The parallel-matrix dimension: replays a matrix scenario over the
@@ -221,13 +288,22 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
             step_cap: FUZZ_STEP_CAP,
             ..OracleConfig::default()
         };
-        let mut oracle = OracleCache::new(&scenario.pag, oracle_cfg);
+        // Delta scenarios answer on the edited graph: the oracle and the
+        // soundness check must be consulted against it.
+        let final_pag;
+        let truth = if scenario.deltas.is_empty() {
+            &scenario.pag
+        } else {
+            final_pag = scenario.final_pag();
+            &final_pag
+        };
+        let mut oracle = OracleCache::new(truth, oracle_cfg);
         let result = scenario.run();
         let diff = diff_answers(&result.answers, &mut oracle);
         report.compared += diff.compared as u64;
         report.skipped_oob += diff.skipped_oob as u64;
         report.skipped_cap += diff.skipped_cap as u64;
-        let sound = check_soundness(&scenario.pag, &result.answers);
+        let sound = check_soundness(truth, &result.answers);
         report.demand_pts += sound.demand_pts as u64;
         report.inclusion_pts += sound.inclusion_pts as u64;
 
@@ -238,7 +314,7 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
                 "soundness violation: demand pts({q}) contains {o}, Andersen's does not"
             ))
         } else {
-            matrix_worker_divergence(&scenario)
+            matrix_worker_divergence(&scenario).or_else(|| incremental_divergence(&scenario))
         };
         if let Some(detail) = detail {
             let (scenario, shrink_stats) = if cfg.shrink {
@@ -263,8 +339,12 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
 /// Samples iteration `i`'s scenario from the derived stream.
 fn sample_scenario(cfg: &FuzzConfig, i: u64) -> Scenario {
     let mut rng = StdRng::seed_from_u64(derive(cfg.seed, i));
+    // Both fault-injection self-tests want the same scenario shape:
+    // micro graphs (shrinkable), sharing modes (stale entries get
+    // re-served), ample budgets and zero τ (everything publishes).
+    let chaoslike = cfg.chaos || cfg.chaos_invalidation;
     let profile_seed = rng.random_range(0u64..1 << 32);
-    let profile = if cfg.chaos {
+    let profile = if chaoslike {
         // Chaos runs exist to be shrunk: start from the smallest graphs
         // that still exercise calls, containers and field access, so
         // greedy delta-debugging lands near the true minimal core
@@ -293,15 +373,16 @@ fn sample_scenario(cfg: &FuzzConfig, i: u64) -> Scenario {
     // replacement, original order preserved.
     let queries = sample_queries(&bench.queries, 16, &mut rng);
 
-    let mode = if cfg.chaos {
+    let mode = if chaoslike {
         // The context-blind jmp key only corrupts answers when entries are
-        // shared, so bias to the sharing modes.
+        // shared, so bias to the sharing modes. Skipped invalidation
+        // likewise only surfaces when stale entries are re-served.
         [Mode::DataSharing, Mode::DataSharingSched][rng.random_range(0usize..2)]
     } else {
         [Mode::Naive, Mode::DataSharing, Mode::DataSharingSched][rng.random_range(0usize..3)]
     };
     let backend =
-        if !cfg.chaos && cfg.threaded_every > 0 && (i + 1).is_multiple_of(cfg.threaded_every) {
+        if !chaoslike && cfg.threaded_every > 0 && (i + 1).is_multiple_of(cfg.threaded_every) {
             Backend::Threaded
         } else {
             Backend::Simulated
@@ -310,7 +391,7 @@ fn sample_scenario(cfg: &FuzzConfig, i: u64) -> Scenario {
     // Budget regime: ample (every query completes — maximal differential
     // coverage) or tight (exercises OutOfBudget, unfinished jmps, early
     // termination; completed answers must still be exact).
-    let ample = cfg.chaos || rng.random_bool(0.6);
+    let ample = chaoslike || rng.random_bool(0.6);
     let budget = if ample {
         5_000_000
     } else {
@@ -318,7 +399,7 @@ fn sample_scenario(cfg: &FuzzConfig, i: u64) -> Scenario {
     };
     // τ = 0 publishes every jmp entry (maximal sharing traffic); the
     // chaos self-test needs that to poison reliably.
-    let zero_tau = cfg.chaos || rng.random_bool(0.5);
+    let zero_tau = chaoslike || rng.random_bool(0.5);
     let (tau_finished, tau_unfinished) = if zero_tau { (0, 0) } else { (100, 100) };
     let solver = SolverConfig {
         budget,
@@ -327,6 +408,7 @@ fn sample_scenario(cfg: &FuzzConfig, i: u64) -> Scenario {
         context_sensitive: cfg.chaos || rng.random_bool(0.85),
         memoize: rng.random_bool(0.25),
         chaos_jmp_ignore_ctx: cfg.chaos,
+        chaos_skip_invalidation: cfg.chaos_invalidation,
         // Backend dimension: hash and dense must be indistinguishable in
         // every differential and soundness check.
         state: if rng.random_bool(0.5) {
@@ -346,13 +428,34 @@ fn sample_scenario(cfg: &FuzzConfig, i: u64) -> Scenario {
     // completed answers must match the oracle exactly, just like demand's.
     // Chaos runs stay on demand: the matrix engine never touches the jmp
     // store, so the injected sharing fault could not surface there.
-    let engine = if !cfg.chaos && rng.random_bool(0.25) {
+    let engine = if !chaoslike && rng.random_bool(0.25) {
         Engine::Matrix
     } else {
         Engine::Demand
     };
 
-    let (perturb, store_cap) = if backend == Backend::Simulated {
+    // Mutate-then-requery dimension: a quarter of eligible iterations
+    // (simulated backend, ample budget — the oracle must see completed
+    // answers on the edited graph) carry a 1–3 op edit script; `--delta`
+    // forces it, the invalidation self-test requires it. Ops may cancel
+    // to no-ops on purpose (the zero-invalidation path is a dimension
+    // too).
+    let deltas = if cfg.chaos_invalidation
+        || (!cfg.chaos
+            && backend == Backend::Simulated
+            && ample
+            && (cfg.delta || rng.random_bool(0.25)))
+    {
+        sample_edits(
+            &bench.pag,
+            rng.random_range(0u64..1 << 32),
+            rng.random_range(1usize..=3),
+        )
+    } else {
+        Vec::new()
+    };
+
+    let (mut perturb, store_cap) = if backend == Backend::Simulated {
         let perturb = if rng.random_bool(0.8) {
             Some(SimPerturb {
                 seed: rng.random_range(0u64..1 << 32),
@@ -377,6 +480,10 @@ fn sample_scenario(cfg: &FuzzConfig, i: u64) -> Scenario {
     } else {
         (None, None)
     };
+    if !deltas.is_empty() {
+        // The session replay path has no simulator perturbation hook.
+        perturb = None;
+    }
 
     // Matrix scenarios draw from the power-of-two worker ladder the
     // cross-worker replay sweeps; demand threads stay 1..=6.
@@ -408,6 +515,7 @@ fn sample_scenario(cfg: &FuzzConfig, i: u64) -> Scenario {
         store_cap,
         engine,
         trace_level,
+        deltas,
     }
 }
 

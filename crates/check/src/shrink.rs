@@ -17,7 +17,9 @@
 //!    edge removal robustly.
 //! 3. **Drop queries**, in reverse order, keeping each removal that still
 //!    fails. A smaller query set makes every later edge-removal check
-//!    cheaper.
+//!    cheaper. **Drop delta ops** the same way: a mutate-then-requery
+//!    failure usually hinges on one edit — the rest of the script (and
+//!    sometimes all of it, when the cold run already fails) goes.
 //! 4. **Drop edges**, repeated sweeps until a fixpoint: for each edge (in
 //!    reverse), rebuild the graph without it and keep the removal if the
 //!    failure persists. Node ids are stable under
@@ -52,7 +54,7 @@
 //! flaky ones.
 
 use crate::snapshot::Scenario;
-use parcfl_pag::{Edge, EdgeKind, NodeId, Pag};
+use parcfl_pag::{DeltaOp, Edge, EdgeKind, NodeId, Pag};
 use parcfl_runtime::{Backend, Mode};
 use parcfl_synth::mutate::{canonicalize, compact, rebuild_with_edges};
 
@@ -65,6 +67,8 @@ pub struct ShrinkStats {
     pub edges: (usize, usize),
     /// Queries in the original / shrunk scenario.
     pub queries: (usize, usize),
+    /// Delta ops in the original / shrunk scenario.
+    pub deltas: (usize, usize),
 }
 
 /// Shrinks `scenario` while `fails` keeps returning `true` for the
@@ -75,6 +79,7 @@ pub fn shrink(scenario: Scenario, fails: &dyn Fn(&Scenario) -> bool) -> (Scenari
     let mut stats = ShrinkStats {
         edges: (scenario.pag.edge_count(), scenario.pag.edge_count()),
         queries: (scenario.queries.len(), scenario.queries.len()),
+        deltas: (scenario.deltas.len(), scenario.deltas.len()),
         ..ShrinkStats::default()
     };
     debug_assert!(fails(&scenario), "shrink called on a passing scenario");
@@ -94,7 +99,7 @@ pub fn shrink(scenario: Scenario, fails: &dyn Fn(&Scenario) -> bool) -> (Scenari
 
         // 2. Configuration simplification.
         type Step = fn(&mut Scenario);
-        let steps: [Step; 11] = [
+        let steps: [Step; 13] = [
             |s| s.backend = Backend::Simulated,
             |s| s.threads = 1,
             |s| s.fetch_cost = 0,
@@ -111,6 +116,8 @@ pub fn shrink(scenario: Scenario, fails: &dyn Fn(&Scenario) -> bool) -> (Scenari
             |s| s.solver.state = parcfl_core::StateBackend::default(),
             |s| s.solver.packed = true,
             |s| s.trace_level = parcfl_runtime::TraceLevel::Off,
+            |s| s.deltas.clear(),
+            |s| s.solver.chaos_skip_invalidation = false,
         ];
         for step in steps {
             let mut candidate = cur.clone();
@@ -126,6 +133,8 @@ pub fn shrink(scenario: Scenario, fails: &dyn Fn(&Scenario) -> bool) -> (Scenari
                 && candidate.solver.state == cur.solver.state
                 && candidate.solver.packed == cur.solver.packed
                 && candidate.trace_level == cur.trace_level
+                && candidate.deltas == cur.deltas
+                && candidate.solver.chaos_skip_invalidation == cur.solver.chaos_skip_invalidation
             {
                 continue; // no-op for this scenario
             }
@@ -145,6 +154,20 @@ pub fn shrink(scenario: Scenario, fails: &dyn Fn(&Scenario) -> bool) -> (Scenari
             }
             let mut candidate = cur.clone();
             candidate.queries.remove(i);
+            stats.checks += 1;
+            if fails(&candidate) {
+                cur = candidate;
+                adopted = true;
+            }
+        }
+
+        // 3b. Delta ops, reverse order (may go to zero — unlike queries,
+        // an empty edit script is a valid, simpler scenario).
+        let mut i = cur.deltas.len();
+        while i > 0 {
+            i -= 1;
+            let mut candidate = cur.clone();
+            candidate.deltas.remove(i);
             stats.checks += 1;
             if fails(&candidate) {
                 cur = candidate;
@@ -256,12 +279,33 @@ pub fn shrink(scenario: Scenario, fails: &dyn Fn(&Scenario) -> bool) -> (Scenari
         }
     }
 
-    // 8. Compact orphans.
-    let (small, remapped) = compact(&cur.pag, &cur.queries);
+    // 8. Compact orphans. Delta-op endpoints are pinned alongside the
+    // queries so the id remap can be split back: queries first, then one
+    // (src, dst) pair per op.
+    let mut pinned = cur.queries.clone();
+    for op in &cur.deltas {
+        let e = op.edge();
+        pinned.push(e.src);
+        pinned.push(e.dst);
+    }
+    let (small, remapped) = compact(&cur.pag, &pinned);
     if small.node_count() < cur.pag.node_count() {
+        let qlen = cur.queries.len();
         let mut candidate = cur.clone();
         candidate.pag = small;
-        candidate.queries = remapped;
+        candidate.queries = remapped[..qlen].to_vec();
+        for (k, op) in candidate.deltas.iter_mut().enumerate() {
+            let e = op.edge();
+            let moved = Edge {
+                src: remapped[qlen + 2 * k],
+                dst: remapped[qlen + 2 * k + 1],
+                kind: e.kind,
+            };
+            *op = match op {
+                DeltaOp::AddEdge(_) => DeltaOp::AddEdge(moved),
+                DeltaOp::RemoveEdge(_) => DeltaOp::RemoveEdge(moved),
+            };
+        }
         stats.checks += 1;
         if fails(&candidate) {
             cur = candidate;
@@ -270,6 +314,7 @@ pub fn shrink(scenario: Scenario, fails: &dyn Fn(&Scenario) -> bool) -> (Scenari
 
     stats.edges.1 = cur.pag.edge_count();
     stats.queries.1 = cur.queries.len();
+    stats.deltas.1 = cur.deltas.len();
     (cur, stats)
 }
 

@@ -30,12 +30,31 @@
 //!
 //! Edge kind tokens: `new`, `assign_l`, `assign_g`, `ld <field>`,
 //! `st <field>`, `param <site>`, `ret <site>`.
+//!
+//! ## Incremental (mutate-then-requery) scenarios
+//!
+//! A scenario may carry an edit script: the run line then has a
+//! `delta=<n>` key declaring the op count and, after the query lines,
+//! one `delta add|del <src> <dst> <kind> [payload]` line per op (same
+//! kind tokens as `edge`). Replay runs the queries cold through an
+//! [`parcfl_runtime::AnalysisSession`], applies each op as its own
+//! [`PagDelta`] (selective invalidation), re-submits after each, and
+//! reports the final warm answers. The optional `chaosinval=1` run key
+//! enables [`SolverConfig::chaos_skip_invalidation`] — the fault
+//! injection that swaps the graph without invalidating warm state, which
+//! the differential battery must catch. Both keys are omitted when
+//! inactive so legacy snapshots stay byte-identical. The session path
+//! has no simulator perturbation hook, so `perturb` is ignored for
+//! delta scenarios (the fuzzer never samples both).
 
 use parcfl_core::{SolverConfig, StateBackend};
-use parcfl_pag::{CallSiteId, EdgeKind, FieldId, NodeId, NodeInfo, NodeKind, Pag, PagBuilder};
+use parcfl_pag::{
+    CallSiteId, DeltaOp, Edge, EdgeKind, FieldId, NodeId, NodeInfo, NodeKind, Pag, PagBuilder,
+    PagDelta,
+};
 use parcfl_runtime::{
-    run_matrix, run_simulated_batch, run_threaded, schedule_with_cap, Backend, Engine, Mode,
-    RunConfig, RunResult, SimPerturb, TraceLevel,
+    run_matrix, run_simulated_batch, run_threaded, schedule_with_cap, AnalysisSession, Backend,
+    DeltaReport, Engine, Mode, RunConfig, RunResult, SimPerturb, TraceLevel,
 };
 use parcfl_synth::mutate::canonical_types;
 use std::fmt::Write as _;
@@ -71,6 +90,11 @@ pub struct Scenario {
     /// so fuzzing this dimension checks that no recorder perturbs
     /// answers or deterministic counters.
     pub trace_level: TraceLevel,
+    /// Mutate-then-requery edit script. Empty means a plain one-shot
+    /// run; non-empty routes [`Self::run`] through an analysis session
+    /// that answers cold, applies each op as its own delta (selective
+    /// invalidation of jmp/memo/schedule state) and re-queries warm.
+    pub deltas: Vec<DeltaOp>,
 }
 
 impl Scenario {
@@ -85,8 +109,13 @@ impl Scenario {
         cfg
     }
 
-    /// Replays the scenario once and returns the answers.
+    /// Replays the scenario once and returns the answers. Scenarios
+    /// with an edit script return the final warm re-query result (see
+    /// [`Self::run_incremental`]).
     pub fn run(&self) -> RunResult {
+        if !self.deltas.is_empty() {
+            return self.run_incremental().0;
+        }
         let cfg = self.run_config();
         if self.engine == Engine::Matrix {
             return run_matrix(&self.pag, &self.queries, &cfg);
@@ -104,6 +133,50 @@ impl Scenario {
         }
     }
 
+    /// Replays the mutate-then-requery script: answers the query set
+    /// cold, then for each edit op applies a single-op [`PagDelta`]
+    /// through [`AnalysisSession::apply_delta`] (selective warm-state
+    /// invalidation) and re-submits the same queries. Returns the final
+    /// warm result, the edited graph, and one [`DeltaReport`] per op.
+    /// `perturb` has no session hook and is ignored here.
+    pub fn run_incremental(&self) -> (RunResult, Pag, Vec<DeltaReport>) {
+        let mut session = AnalysisSession::new(&self.pag)
+            .with_threads(self.threads)
+            .with_solver(self.solver.clone())
+            .with_engine(self.engine)
+            .with_tracing(self.trace_level)
+            .with_fetch_cost(self.fetch_cost);
+        if let Some(cap) = self.store_cap {
+            session = session.with_store_budget(cap);
+        }
+        let mut result = session.submit(&self.queries, self.mode, self.backend);
+        let mut reports = Vec::with_capacity(self.deltas.len());
+        for op in &self.deltas {
+            let mut delta = PagDelta::new();
+            delta.push(*op);
+            reports.push(session.apply_delta(&delta));
+            result = session.submit(&self.queries, self.mode, self.backend);
+        }
+        let pag = session.pag().clone();
+        (result, pag, reports)
+    }
+
+    /// The graph after the whole edit script: every op folded into one
+    /// [`PagDelta`] and applied from scratch. Ops apply in order to the
+    /// same edge set, so this equals the one-at-a-time application the
+    /// incremental replay performs — it is the graph cold-run oracles
+    /// must be consulted against.
+    pub fn final_pag(&self) -> Pag {
+        if self.deltas.is_empty() {
+            return self.pag.clone();
+        }
+        let mut delta = PagDelta::new();
+        for op in &self.deltas {
+            delta.push(*op);
+        }
+        self.pag.apply_delta(&delta).0
+    }
+
     /// Serialises the scenario in snapshot format v1. The graph should
     /// already be canonical (see module docs); serialisation stores only
     /// canonical node attributes either way.
@@ -111,7 +184,7 @@ impl Scenario {
         let mut s = String::new();
         s.push_str("# parcfl-check counterexample snapshot v1\n");
         s.push_str("# Replay: parcfl check --replay <this file>\n");
-        let _ = writeln!(
+        let _ = write!(
             s,
             "run mode={} backend={} threads={} fetch={} budget={} tauf={} tauu={} ctx={} memo={} chaos={} engine={} state={} packed={} trace={}",
             match self.mode {
@@ -140,6 +213,15 @@ impl Scenario {
                 TraceLevel::Full => "full",
             },
         );
+        // Both keys are omitted when inactive so pre-delta corpus files
+        // round-trip byte-identically.
+        if !self.deltas.is_empty() {
+            let _ = write!(s, " delta={}", self.deltas.len());
+        }
+        if self.solver.chaos_skip_invalidation {
+            s.push_str(" chaosinval=1");
+        }
+        s.push('\n');
         if let Some(p) = self.perturb {
             let _ = writeln!(
                 s,
@@ -167,19 +249,29 @@ impl Scenario {
             let _ = writeln!(s, "node {} {} {}", n.raw(), kind, info.is_application as u8);
         }
         for e in self.pag.edges() {
-            let kind = match e.kind {
-                EdgeKind::New => "new".to_string(),
-                EdgeKind::AssignLocal => "assign_l".to_string(),
-                EdgeKind::AssignGlobal => "assign_g".to_string(),
-                EdgeKind::Load(f) => format!("ld {}", f.raw()),
-                EdgeKind::Store(f) => format!("st {}", f.raw()),
-                EdgeKind::Param(i) => format!("param {}", i.raw()),
-                EdgeKind::Ret(i) => format!("ret {}", i.raw()),
-            };
-            let _ = writeln!(s, "edge {} {} {}", e.src.raw(), e.dst.raw(), kind);
+            let _ = writeln!(
+                s,
+                "edge {} {} {}",
+                e.src.raw(),
+                e.dst.raw(),
+                kind_token(e.kind)
+            );
         }
         for q in &self.queries {
             let _ = writeln!(s, "query {}", q.raw());
+        }
+        for op in &self.deltas {
+            let (verb, e) = match op {
+                DeltaOp::AddEdge(e) => ("add", e),
+                DeltaOp::RemoveEdge(e) => ("del", e),
+            };
+            let _ = writeln!(
+                s,
+                "delta {verb} {} {} {}",
+                e.src.raw(),
+                e.dst.raw(),
+                kind_token(e.kind)
+            );
         }
         s
     }
@@ -197,8 +289,10 @@ impl Scenario {
         let mut store_cap: Option<usize> = None;
         let mut builder: Option<PagBuilder> = None;
         let mut declared_nodes = 0usize;
+        let mut declared_deltas: Option<usize> = None;
         let mut queries: Vec<NodeId> = Vec::new();
         let mut edges: Vec<(NodeId, NodeId, EdgeKind)> = Vec::new();
+        let mut deltas: Vec<DeltaOp> = Vec::new();
 
         for (ln, raw_line) in text.lines().enumerate() {
             let line = raw_line.split('#').next().unwrap_or("").trim();
@@ -247,6 +341,13 @@ impl Scenario {
                             "trace" => {
                                 trace_level = TraceLevel::parse(v)
                                     .ok_or_else(|| err(format!("unknown trace level `{v}`")))?
+                            }
+                            // `delta`/`chaosinval` are absent in
+                            // pre-incremental corpus files: no edit
+                            // script, no fault injection.
+                            "delta" => declared_deltas = Some(parse(v, &err)?),
+                            "chaosinval" => {
+                                solver.chaos_skip_invalidation = parse::<u8, _>(v, &err)? != 0
                             }
                             _ => return Err(err(format!("unknown run key `{k}`"))),
                         }
@@ -334,24 +435,23 @@ impl Scenario {
                 "edge" => {
                     let src = NodeId::new(parse(next(&mut toks, &err)?, &err)?);
                     let dst = NodeId::new(parse(next(&mut toks, &err)?, &err)?);
-                    let kind = match next(&mut toks, &err)? {
-                        "new" => EdgeKind::New,
-                        "assign_l" => EdgeKind::AssignLocal,
-                        "assign_g" => EdgeKind::AssignGlobal,
-                        "ld" => EdgeKind::Load(FieldId::new(parse(next(&mut toks, &err)?, &err)?)),
-                        "st" => EdgeKind::Store(FieldId::new(parse(next(&mut toks, &err)?, &err)?)),
-                        "param" => {
-                            EdgeKind::Param(CallSiteId::new(parse(next(&mut toks, &err)?, &err)?))
-                        }
-                        "ret" => {
-                            EdgeKind::Ret(CallSiteId::new(parse(next(&mut toks, &err)?, &err)?))
-                        }
-                        k => return Err(err(format!("unknown edge kind `{k}`"))),
-                    };
+                    let kind = parse_kind(&mut toks, &err)?;
                     edges.push((src, dst, kind));
                 }
                 "query" => {
                     queries.push(NodeId::new(parse(next(&mut toks, &err)?, &err)?));
+                }
+                "delta" => {
+                    let verb = next(&mut toks, &err)?;
+                    let src = NodeId::new(parse(next(&mut toks, &err)?, &err)?);
+                    let dst = NodeId::new(parse(next(&mut toks, &err)?, &err)?);
+                    let kind = parse_kind(&mut toks, &err)?;
+                    let edge = Edge { src, dst, kind };
+                    deltas.push(match verb {
+                        "add" => DeltaOp::AddEdge(edge),
+                        "del" => DeltaOp::RemoveEdge(edge),
+                        v => return Err(err(format!("unknown delta verb `{v}`"))),
+                    });
                 }
                 k => return Err(err(format!("unknown directive `{k}`"))),
             }
@@ -376,6 +476,27 @@ impl Scenario {
                 return Err(format!("query {q:?} out of range"));
             }
         }
+        match declared_deltas {
+            Some(n) if n != deltas.len() => {
+                return Err(format!(
+                    "declared {n} delta ops but parsed {}",
+                    deltas.len()
+                ))
+            }
+            None if !deltas.is_empty() => {
+                return Err("delta lines without a `delta=` run key".into())
+            }
+            _ => {}
+        }
+        for op in &deltas {
+            let e = op.edge();
+            if e.src.index() >= declared_nodes || e.dst.index() >= declared_nodes {
+                return Err(format!(
+                    "delta endpoint out of range ({:?} -> {:?})",
+                    e.src, e.dst
+                ));
+            }
+        }
         Ok(Scenario {
             pag,
             queries,
@@ -388,8 +509,40 @@ impl Scenario {
             store_cap,
             engine,
             trace_level,
+            deltas,
         })
     }
+}
+
+/// The snapshot token for an edge kind (shared by `edge` and `delta`
+/// lines).
+fn kind_token(kind: EdgeKind) -> String {
+    match kind {
+        EdgeKind::New => "new".to_string(),
+        EdgeKind::AssignLocal => "assign_l".to_string(),
+        EdgeKind::AssignGlobal => "assign_g".to_string(),
+        EdgeKind::Load(f) => format!("ld {}", f.raw()),
+        EdgeKind::Store(f) => format!("st {}", f.raw()),
+        EdgeKind::Param(i) => format!("param {}", i.raw()),
+        EdgeKind::Ret(i) => format!("ret {}", i.raw()),
+    }
+}
+
+/// Parses an edge-kind token (plus payload where the kind takes one).
+fn parse_kind<'t>(
+    toks: &mut impl Iterator<Item = &'t str>,
+    err: &impl Fn(String) -> String,
+) -> Result<EdgeKind, String> {
+    Ok(match next(toks, err)? {
+        "new" => EdgeKind::New,
+        "assign_l" => EdgeKind::AssignLocal,
+        "assign_g" => EdgeKind::AssignGlobal,
+        "ld" => EdgeKind::Load(FieldId::new(parse(next(toks, err)?, err)?)),
+        "st" => EdgeKind::Store(FieldId::new(parse(next(toks, err)?, err)?)),
+        "param" => EdgeKind::Param(CallSiteId::new(parse(next(toks, err)?, err)?)),
+        "ret" => EdgeKind::Ret(CallSiteId::new(parse(next(toks, err)?, err)?)),
+        k => return Err(err(format!("unknown edge kind `{k}`"))),
+    })
 }
 
 fn next<'t>(
@@ -435,6 +588,7 @@ mod tests {
             store_cap: Some(32),
             engine: Engine::Demand,
             trace_level: TraceLevel::Off,
+            deltas: vec![],
         }
     }
 
@@ -510,6 +664,74 @@ mod tests {
             Scenario::from_snapshot("run trace=loud\ncounts nodes=0 fields=1 callsites=0").is_err(),
             "unknown trace level is rejected"
         );
+    }
+
+    #[test]
+    fn delta_script_round_trips_and_legacy_stays_clean() {
+        let mut sc = sample_scenario();
+        // Sessions have no perturbation hook; delta scenarios carry none.
+        sc.perturb = None;
+        sc.solver.chaos_skip_invalidation = true;
+        let e0 = sc.pag.edges()[0];
+        sc.deltas = vec![
+            DeltaOp::RemoveEdge(e0),
+            DeltaOp::AddEdge(Edge {
+                src: NodeId::new(0),
+                dst: NodeId::new(1),
+                kind: EdgeKind::AssignLocal,
+            }),
+        ];
+        let text = sc.to_snapshot();
+        assert!(text.contains(" delta=2"), "run line declares the op count");
+        assert!(text.contains(" chaosinval=1"), "fault key serialised");
+        let back = Scenario::from_snapshot(&text).expect("parse");
+        assert_eq!(back.deltas, sc.deltas);
+        assert!(back.solver.chaos_skip_invalidation);
+        assert_eq!(back.to_snapshot(), text, "byte-identical round trip");
+
+        // A scenario without edits emits neither key nor any delta line.
+        let plain = sample_scenario().to_snapshot();
+        assert!(!plain.contains("delta"));
+        assert!(!plain.contains("chaosinval"));
+
+        // Declared count must match, ops need the run key, endpoints
+        // must be in range, and the verb must be known.
+        let short = text.replace(" delta=2", " delta=3");
+        assert!(Scenario::from_snapshot(&short).is_err(), "count mismatch");
+        let keyless = text.replace(" delta=2", "");
+        assert!(Scenario::from_snapshot(&keyless).is_err(), "missing key");
+        assert!(Scenario::from_snapshot(
+            "run delta=1\ncounts nodes=1 fields=1 callsites=0\nnode 0 local 1\ndelta add 0 9 new"
+        )
+        .is_err());
+        assert!(Scenario::from_snapshot(
+            "run delta=1\ncounts nodes=1 fields=1 callsites=0\nnode 0 local 1\ndelta zap 0 0 new"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn incremental_replay_matches_cold_run_on_final_graph() {
+        let mut sc = sample_scenario();
+        sc.perturb = None;
+        sc.solver.budget = 5_000_000;
+        let e0 = sc.pag.edges()[0];
+        sc.deltas = vec![DeltaOp::RemoveEdge(e0)];
+        let (warm, edited, reports) = sc.run_incremental();
+        assert_eq!(reports.len(), 1);
+        assert!(!reports[0].noop, "removing a present edge is effective");
+        assert_eq!(edited.edge_count(), sc.pag.edge_count() - 1);
+        assert_eq!(edited.edges(), sc.final_pag().edges());
+        let mut cold = sc.clone();
+        cold.pag = sc.final_pag();
+        cold.deltas.clear();
+        assert_eq!(
+            warm.sorted_answers(),
+            cold.run().sorted_answers(),
+            "warm incremental answers equal a cold run on the edited graph"
+        );
+        // run() routes through the incremental path for delta scenarios.
+        assert_eq!(sc.run().sorted_answers(), warm.sorted_answers());
     }
 
     #[test]

@@ -101,6 +101,13 @@ pub struct SolverConfig {
     /// fuzzer's `packed` dimension prove it), which is why it stays
     /// selectable. The demand solver ignores it.
     pub packed: bool,
+    /// Whether traversals record reverse-dependency [`crate::Footprint`]s
+    /// alongside finished jmp publishes and matrix memo entries, enabling
+    /// selective invalidation after a `PagDelta` (DESIGN.md §12). Off by
+    /// default: one-shot runs pay nothing. Sessions that support
+    /// `apply_delta` force it on. Pure metadata — answers, step counts and
+    /// publication decisions are bit-identical either way.
+    pub record_footprints: bool,
     /// **Fault injection, tests only.** Drops the context component from
     /// jmp-store keys: shortcuts recorded for `ReachableNodes(x, c)` are
     /// served to calls at *any* context of `x`, which is unsound whenever
@@ -109,6 +116,13 @@ pub struct SolverConfig {
     /// real data-sharing bugs; nothing else may set it.
     #[doc(hidden)]
     pub chaos_jmp_ignore_ctx: bool,
+    /// **Fault injection, tests only.** Makes `apply_delta` swap the graph
+    /// *without* invalidating any jmp/memo/schedule entries, leaving stale
+    /// answers warm. `parcfl-check` flips this to prove the incremental
+    /// differential fuzzer catches (and its shrinker minimises) broken
+    /// invalidation; nothing else may set it.
+    #[doc(hidden)]
+    pub chaos_skip_invalidation: bool,
 }
 
 impl Default for SolverConfig {
@@ -124,7 +138,9 @@ impl Default for SolverConfig {
             warm_floor: 0,
             state: StateBackend::default(),
             packed: true,
+            record_footprints: false,
             chaos_jmp_ignore_ctx: false,
+            chaos_skip_invalidation: false,
         }
     }
 }
@@ -171,6 +187,13 @@ impl SolverConfig {
     /// field docs; answers are identical either way).
     pub fn with_packed(mut self, packed: bool) -> Self {
         self.packed = packed;
+        self
+    }
+
+    /// Enables reverse-dependency footprint recording (see the field
+    /// docs; answers are identical either way).
+    pub fn with_footprints(mut self) -> Self {
+        self.record_footprints = true;
         self
     }
 }

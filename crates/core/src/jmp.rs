@@ -34,6 +34,7 @@
 //! early-termination evidence cannot be cheaply rediscovered. Eviction only
 //! ever *removes* shared information, so it can change cost, never answers.
 
+use crate::footprint::{DirtySet, Footprint};
 use parcfl_concurrent::{CtxId, CtxInterner, FxHashSet, ShardedMap};
 use parcfl_pag::NodeId;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -152,6 +153,31 @@ pub trait JmpStore: Sync {
     /// writer wins. Returns `true` if stored.
     fn publish_unfinished(&self, key: JmpKey, s: u64, now: u64) -> bool;
 
+    /// [`JmpStore::publish_finished`] with an optional reverse-dependency
+    /// footprint for selective invalidation (DESIGN.md §12). The default
+    /// drops the footprint — stores that never invalidate don't pay to
+    /// keep it. Unfinished entries never carry footprints: their `s` bound
+    /// summarises an *aborted* traversal whose full read-set was never
+    /// seen, so they are unconditionally invalidated by every delta.
+    fn publish_finished_fp(
+        &self,
+        key: JmpKey,
+        total_steps: u64,
+        rch: RchSet,
+        now: u64,
+        _fp: Option<Arc<Footprint>>,
+    ) -> bool {
+        self.publish_finished(key, total_steps, rch, now)
+    }
+
+    /// [`JmpStore::lookup`] returning the entry's footprint too (`None`
+    /// when the store keeps none). Readers that are themselves recording a
+    /// footprint absorb the hit's footprint — or poison their own when the
+    /// hit has none.
+    fn lookup_fp(&self, key: &JmpKey, now: u64) -> Option<(JmpEntry, Option<Arc<Footprint>>)> {
+        self.lookup(key, now).map(|e| (e, None))
+    }
+
     /// Store-wide statistics.
     fn stats(&self) -> JmpStoreStats;
 
@@ -223,6 +249,13 @@ impl JmpStore for NoJmpStore {
 /// so lookups can bump them under the shard's *read* lock.
 struct Stored {
     entry: JmpEntry,
+    /// Reverse-dependency footprint of the recording traversal, when the
+    /// publisher recorded one ([`crate::SolverConfig::record_footprints`]).
+    /// Deliberately excluded from [`JmpStore::approx_bytes`]: it is
+    /// invalidation metadata, not answer payload, and keeping it out holds
+    /// the gated bench memory fields stable whether recording is on or
+    /// off.
+    fp: Option<Arc<Footprint>>,
     hits: AtomicU64,
     last_use: AtomicU64,
 }
@@ -400,12 +433,31 @@ impl SharedJmpStore {
         self.inner.access_clock.fetch_add(1, Ordering::Relaxed) + 1
     }
 
-    fn stored(&self, entry: JmpEntry) -> Stored {
+    fn stored(&self, entry: JmpEntry, fp: Option<Arc<Footprint>>) -> Stored {
         Stored {
             entry,
+            fp,
             hits: AtomicU64::new(0),
             last_use: AtomicU64::new(self.tick()),
         }
+    }
+
+    /// Selective invalidation after an applied delta (DESIGN.md §12):
+    /// drops every entry whose footprint is missing or intersects `dirty`,
+    /// returning `(invalidated, retained)`. Unfinished entries never carry
+    /// footprints, so they always go. Deliberately does **not** count as
+    /// eviction — evictions are a memory-pressure signal, invalidation a
+    /// correctness one, and conflating them would skew the eviction-policy
+    /// stats sessions tune on.
+    pub fn invalidate_delta(&self, dirty: &DirtySet) -> (u64, u64) {
+        let mut retained = 0u64;
+        let removed = self.inner.map.retain(|_, st| {
+            let keep =
+                st.entry.is_finished() && st.fp.as_ref().is_some_and(|fp| !fp.intersects(dirty));
+            retained += keep as u64;
+            keep
+        });
+        (removed as u64, retained)
     }
 
     /// Evicts down to the budget if over it. Victim order: finished
@@ -476,17 +528,31 @@ impl JmpStore for SharedJmpStore {
     }
 
     fn publish_finished(&self, key: JmpKey, total_steps: u64, rch: RchSet, now: u64) -> bool {
+        self.publish_finished_fp(key, total_steps, rch, now, None)
+    }
+
+    fn publish_finished_fp(
+        &self,
+        key: JmpKey,
+        total_steps: u64,
+        rch: RchSet,
+        now: u64,
+        fp: Option<Arc<Footprint>>,
+    ) -> bool {
         // First writer wins, regardless of kind: Algorithm 2 tests the
         // unfinished case *before* the finished one, so once an unfinished
         // edge exists at a key its finished branch is unreachable — the
         // paper's store keeps unfinished edges permanently (its Fig. 7
         // counts them in the final state). Replacing them here would
         // silently erase the early-termination evidence.
-        let stored = self.stored(JmpEntry::Finished {
-            total_steps,
-            rch,
-            created_at: now,
-        });
+        let stored = self.stored(
+            JmpEntry::Finished {
+                total_steps,
+                rch,
+                created_at: now,
+            },
+            fp,
+        );
         let inserted = self.inner.map.update_with(key, |cur| match cur {
             None => Some(stored),
             Some(_) => None,
@@ -497,10 +563,31 @@ impl JmpStore for SharedJmpStore {
         inserted
     }
 
+    fn lookup_fp(&self, key: &JmpKey, now: u64) -> Option<(JmpEntry, Option<Arc<Footprint>>)> {
+        let timestamped = self.timestamped;
+        let hit = self
+            .inner
+            .map
+            .with(key, |st| {
+                if timestamped && st.entry.created_at() > now {
+                    return None;
+                }
+                st.hits.fetch_add(1, Ordering::Relaxed);
+                st.last_use.store(
+                    self.inner.access_clock.fetch_add(1, Ordering::Relaxed) + 1,
+                    Ordering::Relaxed,
+                );
+                Some((st.entry.clone(), st.fp.clone()))
+            })
+            .flatten()?;
+        self.inner.lookup_hits.fetch_add(1, Ordering::Relaxed);
+        Some(hit)
+    }
+
     fn publish_unfinished(&self, key: JmpKey, s: u64, now: u64) -> bool {
         let inserted = self.inner.map.try_insert(
             key,
-            self.stored(JmpEntry::Unfinished { s, created_at: now }),
+            self.stored(JmpEntry::Unfinished { s, created_at: now }, None),
         );
         if inserted {
             self.enforce_budget();
@@ -777,6 +864,42 @@ mod tests {
         assert_eq!(s.entry_count(), 100);
         assert_eq!(s.evict_to_budget(), 0);
         assert_eq!(s.evictions(), 0);
+    }
+
+    #[test]
+    fn footprints_round_trip_and_gate_invalidation() {
+        use crate::footprint::{DirtySet, FpBuilder};
+        let s = SharedJmpStore::new();
+        let mut b = FpBuilder::new();
+        b.record_node(NodeId::new(42));
+        assert!(s.publish_finished_fp(key(1), 100, Arc::new(vec![]), 0, b.finish()));
+        // A footprint-less finished entry and an unfinished one.
+        assert!(s.publish_finished(key(2), 100, Arc::new(vec![]), 0));
+        assert!(s.publish_unfinished(key(3), 10_000, 0));
+        let (_, got) = s.lookup_fp(&key(1), 0).unwrap();
+        assert!(got.unwrap().touches_node(NodeId::new(42)));
+        assert!(s.lookup_fp(&key(2), 0).unwrap().1.is_none());
+        // Disjoint dirty set: the footprinted entry survives; the
+        // footprint-less and unfinished ones are unconditionally dropped.
+        let mut d = DirtySet::default();
+        d.insert_node(NodeId::new(9));
+        assert_eq!(s.invalidate_delta(&d), (2, 1));
+        assert!(s.lookup(&key(1), 0).is_some());
+        assert_eq!(s.evictions(), 0, "invalidation is not eviction");
+        // Dirtying a footprinted node takes the survivor too.
+        let mut d2 = DirtySet::default();
+        d2.insert_node(NodeId::new(42));
+        assert_eq!(s.invalidate_delta(&d2), (1, 0));
+        assert_eq!(s.entry_count(), 0);
+    }
+
+    #[test]
+    fn default_fp_methods_drop_footprints() {
+        // NoJmpStore exercises the trait's default publish_finished_fp /
+        // lookup_fp implementations.
+        let s = NoJmpStore;
+        assert!(!s.publish_finished_fp(key(1), 10, Arc::new(vec![]), 0, None));
+        assert!(s.lookup_fp(&key(1), 0).is_none());
     }
 
     #[test]

@@ -33,6 +33,7 @@
 
 pub mod config;
 pub mod context;
+pub mod footprint;
 pub mod jmp;
 pub mod matrix;
 pub mod solver;
@@ -41,8 +42,9 @@ pub mod witness;
 
 pub use config::{SolverConfig, StateBackend};
 pub use context::Ctx;
+pub use footprint::{DirtySet, Footprint, FpBuilder};
 pub use jmp::{Dir, JmpEntry, JmpStore, NoJmpStore, SharedJmpStore};
-pub use matrix::MatrixSolver;
+pub use matrix::{MatrixMemo, MatrixSolver};
 pub use parcfl_concurrent::{CtxId, CtxInterner};
 pub use solver::{CtxNode, Solver};
 pub use stats::{Answer, JmpHistogram, QueryOutput, QueryStats};

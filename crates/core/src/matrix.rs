@@ -32,6 +32,7 @@
 
 use crate::config::SolverConfig;
 use crate::context::Ctx;
+use crate::footprint::{DirtySet, Footprint, FpBuilder};
 use crate::jmp::Dir;
 use crate::solver::CtxNode;
 use crate::stats::{Answer, QueryOutput, QueryStats};
@@ -39,7 +40,7 @@ use parcfl_concurrent::{
     kernel, ChunkedBitset, CtxId, CtxInterner, FxHashMap, FxHashSet, SweepPool,
 };
 use parcfl_obs::{EventKind, ObsHists, TraceRecorder};
-use parcfl_pag::{EdgeClass, NodeId, PackedAdj, PackedClass, Pag, EDGE_CLASSES};
+use parcfl_pag::{EdgeClass, FieldId, NodeId, PackedAdj, PackedClass, Pag, EDGE_CLASSES};
 use std::ops::Range;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -73,12 +74,89 @@ const SCRATCH_POOL_CAP: usize = 512;
 #[derive(Debug)]
 struct Halt;
 
+/// Owner stamp of memo entries adopted from an earlier batch
+/// ([`MatrixSolver::with_memo`]): hits on them are warm cross-batch reuse,
+/// not intra-batch sharing, so they never become provider (precedence)
+/// edges. Real query indices are always below this.
+const ADOPTED: u32 = u32::MAX;
+
 /// One memoised closure: the completed fixpoint plus the index of the
 /// query that computed it, so the batch scheduler knows which earlier
 /// query a memo hit shares work with.
 struct MemoEntry {
     set: Arc<Vec<IState>>,
     owner: u32,
+    /// Reverse-dependency footprint of the closure's sweeps
+    /// (`record_footprints` only): the nodes/fields whose adjacency the
+    /// fixpoint consulted, for selective invalidation across batches
+    /// (DESIGN.md §12). `None` is always invalidated.
+    fp: Option<Arc<Footprint>>,
+}
+
+/// A batch-global memo detached from its solver for cross-batch reuse:
+/// the completed closures plus the interner giving their `CtxId`s
+/// meaning. An incremental session extracts it after a batch
+/// ([`MatrixSolver::take_memo`]), invalidates selectively on each delta
+/// ([`MatrixMemo::invalidate_delta`]) and hands the warm remainder to the
+/// next batch's solver ([`MatrixSolver::with_memo`]).
+#[derive(Default)]
+pub struct MatrixMemo {
+    ctxs: Option<Arc<CtxInterner>>,
+    memo_pts: FxHashMap<IState, MemoEntry>,
+    memo_flows: FxHashMap<IState, MemoEntry>,
+    memo_rch: FxHashMap<(Dir, NodeId, CtxId), MemoEntry>,
+}
+
+fn retain_valid<K: Eq + std::hash::Hash>(
+    m: &mut FxHashMap<K, MemoEntry>,
+    dirty: &DirtySet,
+    invalidated: &mut u64,
+    retained: &mut u64,
+) {
+    m.retain(|_, e| {
+        let keep = e.fp.as_ref().is_some_and(|fp| !fp.intersects(dirty));
+        if keep {
+            *retained += 1;
+        } else {
+            *invalidated += 1;
+        }
+        keep
+    });
+}
+
+impl MatrixMemo {
+    /// Memoised closures currently resident.
+    pub fn entry_count(&self) -> usize {
+        self.memo_pts.len() + self.memo_flows.len() + self.memo_rch.len()
+    }
+
+    /// The interner the memo's `CtxId`s resolve against (set once the
+    /// first batch ran).
+    pub fn interner(&self) -> Option<&Arc<CtxInterner>> {
+        self.ctxs.as_ref()
+    }
+
+    /// Selective invalidation after an applied delta: drops every entry
+    /// whose footprint is missing or intersects `dirty`, returning
+    /// `(invalidated, retained)`. Same law as the jmp store's
+    /// [`crate::SharedJmpStore::invalidate_delta`].
+    pub fn invalidate_delta(&mut self, dirty: &DirtySet) -> (u64, u64) {
+        let (mut invalidated, mut retained) = (0u64, 0u64);
+        retain_valid(&mut self.memo_pts, dirty, &mut invalidated, &mut retained);
+        retain_valid(&mut self.memo_flows, dirty, &mut invalidated, &mut retained);
+        retain_valid(&mut self.memo_rch, dirty, &mut invalidated, &mut retained);
+        (invalidated, retained)
+    }
+
+    /// Drops every entry (full cold restart of the memo; the interner is
+    /// kept so resident `CtxId`s elsewhere stay meaningful).
+    pub fn clear(&mut self) -> u64 {
+        let n = self.entry_count() as u64;
+        self.memo_pts.clear();
+        self.memo_flows.clear();
+        self.memo_rch.clear();
+        n
+    }
 }
 
 /// The whole-program backend. One instance serves a batch of queries;
@@ -154,6 +232,11 @@ pub struct MatrixSolver<'a> {
     qc_csr: u64,
     qc_dispatch_ns: u64,
     qc_class: [u64; EDGE_CLASSES],
+    /// Footprint recording frames (`cfg.record_footprints` only): one per
+    /// in-flight closure compute, child reads merging into the parent on
+    /// pop. Purely metadata — answers, scan counts and interner contents
+    /// are bit-identical with recording on or off.
+    fp_stack: Vec<FpBuilder>,
 }
 
 /// Per-context rows of one closure computation: for each context touched,
@@ -637,6 +720,40 @@ impl<'a> MatrixSolver<'a> {
             qc_csr: 0,
             qc_dispatch_ns: 0,
             qc_class: [0; EDGE_CLASSES],
+            fp_stack: Vec::new(),
+        }
+    }
+
+    /// Adopts a warm cross-batch memo ([`MatrixSolver::take_memo`] of an
+    /// earlier batch, selectively invalidated in between): its interner
+    /// replaces this solver's (the entries' `CtxId`s resolve against it)
+    /// and its entries are re-stamped [`ADOPTED`] so hits on them never
+    /// become precedence edges. Must be applied before the first query.
+    pub fn with_memo(mut self, memo: MatrixMemo) -> Self {
+        fn adopt<K>(mut m: FxHashMap<K, MemoEntry>) -> FxHashMap<K, MemoEntry> {
+            for e in m.values_mut() {
+                e.owner = ADOPTED;
+            }
+            m
+        }
+        if let Some(ctxs) = memo.ctxs {
+            self.ctxs = ctxs;
+        }
+        self.memo_pts = adopt(memo.memo_pts);
+        self.memo_flows = adopt(memo.memo_flows);
+        self.memo_rch = adopt(memo.memo_rch);
+        self
+    }
+
+    /// Detaches the batch memo (and a handle on the interner its ids
+    /// resolve against) for cross-batch reuse, leaving this solver's memo
+    /// empty. The incremental session calls this after every batch.
+    pub fn take_memo(&mut self) -> MatrixMemo {
+        MatrixMemo {
+            ctxs: Some(Arc::clone(&self.ctxs)),
+            memo_pts: std::mem::take(&mut self.memo_pts),
+            memo_flows: std::mem::take(&mut self.memo_flows),
+            memo_rch: std::mem::take(&mut self.memo_rch),
         }
     }
 
@@ -797,10 +914,12 @@ impl<'a> MatrixSolver<'a> {
         self.providers.clear();
         // A halted query leaves its in-flight guards set; clear them so
         // the next query starts clean (the memo holds only completed
-        // results and stays valid).
+        // results and stays valid). Halts likewise strand recording
+        // frames, and a halted query memoises nothing.
         self.on_stack_pts.clear();
         self.on_stack_flows.clear();
         self.on_stack_rch.clear();
+        self.fp_stack.clear();
         let result = self.pts_set(l, CtxId::EMPTY);
         let mut stats = QueryStats::default();
         stats.charged_steps = self.work;
@@ -850,11 +969,63 @@ impl<'a> MatrixSolver<'a> {
     }
 
     /// Records a memo hit on `owner`'s entry: cross-query hits become
-    /// provider (precedence) edges for the batch scheduler.
+    /// provider (precedence) edges for the batch scheduler. Adopted
+    /// entries ([`ADOPTED`]) are warm cross-batch state, not in-batch
+    /// sharing, so they never constrain the schedule.
     #[inline]
     fn note_hit(providers: &mut FxHashSet<u32>, owner: u32, current: u32) {
-        if owner != current {
+        if owner != current && owner != ADOPTED {
             providers.insert(owner);
+        }
+    }
+
+    // ----- footprint recording (cfg.record_footprints) -----
+
+    #[inline]
+    fn fp_on(&self) -> bool {
+        self.cfg.record_footprints
+    }
+
+    fn fp_push_frame(&mut self) {
+        self.fp_stack.push(FpBuilder::new());
+    }
+
+    /// Pops the current frame, merging its reads into the parent frame,
+    /// and returns the footprint to store with the completed entry.
+    fn fp_pop_frame(&mut self) -> Option<Arc<Footprint>> {
+        let child = self.fp_stack.pop().expect("fp frame pushed");
+        let fp = child.clone().finish();
+        if let Some(parent) = self.fp_stack.last_mut() {
+            parent.merge_child(child);
+        }
+        fp
+    }
+
+    #[inline]
+    fn fp_node(&mut self, n: NodeId) {
+        if let Some(f) = self.fp_stack.last_mut() {
+            f.record_node(n);
+        }
+    }
+
+    #[inline]
+    fn fp_field(&mut self, f: FieldId) {
+        if let Some(fr) = self.fp_stack.last_mut() {
+            fr.record_field(f);
+        }
+    }
+
+    #[inline]
+    fn fp_nodes(&mut self, bits: &ChunkedBitset) {
+        if let Some(fr) = self.fp_stack.last_mut() {
+            fr.record_node_set(bits);
+        }
+    }
+
+    #[inline]
+    fn fp_absorb(&mut self, dep: Option<&Footprint>) {
+        if let Some(fr) = self.fp_stack.last_mut() {
+            fr.absorb(dep);
         }
     }
 
@@ -881,21 +1052,35 @@ impl<'a> MatrixSolver<'a> {
         let key = (l, c);
         if let Some(e) = self.memo_pts.get(&key) {
             Self::note_hit(&mut self.providers, e.owner, self.query_index);
-            return Ok(Arc::clone(&e.set));
+            let set = Arc::clone(&e.set);
+            let fp = e.fp.clone();
+            if self.fp_on() {
+                self.fp_absorb(fp.as_deref());
+            }
+            return Ok(set);
         }
         self.enter()?;
         if !self.on_stack_pts.insert(key) {
             return Err(Halt);
         }
+        if self.fp_on() {
+            self.fp_push_frame();
+        }
         let out = self.pts_closure(l, c)?;
         self.on_stack_pts.remove(&key);
         self.depth -= 1;
+        let fp = if self.fp_on() {
+            self.fp_pop_frame()
+        } else {
+            None
+        };
         let out = Arc::new(out);
         self.memo_pts.insert(
             key,
             MemoEntry {
                 set: Arc::clone(&out),
                 owner: self.query_index,
+                fp,
             },
         );
         Ok(out)
@@ -911,6 +1096,15 @@ impl<'a> MatrixSolver<'a> {
         if r.is_ok() {
             for (&cx, bits) in pts_rows.iter() {
                 pts.extend(bits.iter().map(|n| (NodeId::new(n), cx)));
+            }
+            if self.fp_on() {
+                // At fixpoint every visited node's adjacency was swept
+                // exactly once, so the visited union *is* the closure's
+                // node read-set; alias sub-queries merged their own reads
+                // via their frames.
+                for bits in &rows.visited {
+                    self.fp_nodes(bits);
+                }
             }
         }
         rows.release(&mut self.pool);
@@ -1170,21 +1364,35 @@ impl<'a> MatrixSolver<'a> {
         let key = (o, c);
         if let Some(e) = self.memo_flows.get(&key) {
             Self::note_hit(&mut self.providers, e.owner, self.query_index);
-            return Ok(Arc::clone(&e.set));
+            let set = Arc::clone(&e.set);
+            let fp = e.fp.clone();
+            if self.fp_on() {
+                self.fp_absorb(fp.as_deref());
+            }
+            return Ok(set);
         }
         self.enter()?;
         if !self.on_stack_flows.insert(key) {
             return Err(Halt);
         }
+        if self.fp_on() {
+            self.fp_push_frame();
+        }
         let out = self.flows_closure(o, c)?;
         self.on_stack_flows.remove(&key);
         self.depth -= 1;
+        let fp = if self.fp_on() {
+            self.fp_pop_frame()
+        } else {
+            None
+        };
         let out = Arc::new(out);
         self.memo_flows.insert(
             key,
             MemoEntry {
                 set: Arc::clone(&out),
                 owner: self.query_index,
+                fp,
             },
         );
         Ok(out)
@@ -1207,6 +1415,11 @@ impl<'a> MatrixSolver<'a> {
                         .filter(|&n| pag.kind(n).is_variable())
                         .map(|n| (n, cx)),
                 );
+            }
+            if self.fp_on() {
+                for bits in &rows.visited {
+                    self.fp_nodes(bits);
+                }
             }
         }
         rows.release(&mut self.pool);
@@ -1238,11 +1451,19 @@ impl<'a> MatrixSolver<'a> {
         let key = (dir, x, c);
         if let Some(e) = self.memo_rch.get(&key) {
             Self::note_hit(&mut self.providers, e.owner, self.query_index);
-            return Ok(Arc::clone(&e.set));
+            let set = Arc::clone(&e.set);
+            let fp = e.fp.clone();
+            if self.fp_on() {
+                self.fp_absorb(fp.as_deref());
+            }
+            return Ok(set);
         }
         self.enter()?;
         if !self.on_stack_rch.insert(key) {
             return Err(Halt);
+        }
+        if self.fp_on() {
+            self.fp_push_frame();
         }
         let out = match dir {
             Dir::Bwd => self.rch_bwd(x, c)?,
@@ -1250,12 +1471,18 @@ impl<'a> MatrixSolver<'a> {
         };
         self.on_stack_rch.remove(&key);
         self.depth -= 1;
+        let fp = if self.fp_on() {
+            self.fp_pop_frame()
+        } else {
+            None
+        };
         let out = Arc::new(out);
         self.memo_rch.insert(
             key,
             MemoEntry {
                 set: Arc::clone(&out),
                 owner: self.query_index,
+                fp,
             },
         );
         Ok(out)
@@ -1266,9 +1493,15 @@ impl<'a> MatrixSolver<'a> {
     /// `PointsTo(p, c)`, matched against the stores of `f`.
     fn rch_bwd(&mut self, x: NodeId, c: CtxId) -> Result<Vec<IState>, Halt> {
         let pag = self.pag;
+        // `x`'s load slice is consulted even when empty, and each loaded
+        // field's store population even when the `is_empty` gate skips it
+        // — record both before any early-out so a delta that populates
+        // them invalidates this entry.
+        self.fp_node(x);
         let mut out: FxHashSet<IState> = FxHashSet::default();
         for e in pag.incoming_kind(x, EdgeClass::Load) {
             let (p, f) = (e.src, e.kind.field().expect("load edge"));
+            self.fp_field(f);
             if pag.stores_of(f).is_empty() {
                 continue;
             }
@@ -1294,9 +1527,11 @@ impl<'a> MatrixSolver<'a> {
     /// Forward dual: outgoing stores matched against the loads of `f`.
     fn rch_fwd(&mut self, y: NodeId, c: CtxId) -> Result<Vec<IState>, Halt> {
         let pag = self.pag;
+        self.fp_node(y);
         let mut out: FxHashSet<IState> = FxHashSet::default();
         for e in pag.outgoing_kind(y, EdgeClass::Store) {
             let (q, f) = (e.dst, e.kind.field().expect("store edge"));
+            self.fp_field(f);
             if pag.loads_of(f).is_empty() {
                 continue;
             }
@@ -1593,6 +1828,136 @@ mod tests {
                 assert!(s.a == 0 || s.a <= prev + 1, "wave ids monotone per query");
                 prev = s.a;
             }
+        }
+    }
+
+    /// Cross-batch memo adoption: the second batch answers bit-identically
+    /// to a cold solver, pays fewer scans on warm closures, and adopted
+    /// hits never surface as providers (they are not in-batch sharing).
+    #[test]
+    fn warm_memo_reuse_is_bit_identical_and_cheaper() {
+        let src = "class Obj { }
+                   class Box { field f: Obj;
+                     method set(v: Obj) { this.f = v; }
+                     method get(): Obj { var r: Obj; r = this.f; return r; }
+                   }
+                   class A { method m() {
+                     var b: Box; var x: Obj; var y: Obj; var z: Obj;
+                     b = new Box; x = new Obj;
+                     call b.set(x);
+                     y = call b.get(); z = call b.get();
+                   } }";
+        let pag = build_pag(src).unwrap().pag;
+        let cfg = SolverConfig::default().with_footprints();
+        let queries: Vec<NodeId> = pag
+            .node_ids()
+            .filter(|&n| pag.kind(n).is_variable())
+            .collect();
+        let mut cold = MatrixSolver::new(&pag, &cfg);
+        let baseline: Vec<_> = queries.iter().map(|&n| cold.points_to_query(n)).collect();
+        let memo = cold.take_memo();
+        assert!(memo.entry_count() > 0, "batch left memoised closures");
+        assert!(memo.interner().is_some());
+        let mut warm = MatrixSolver::new(&pag, &cfg).with_memo(memo);
+        for (i, (&n, b)) in queries.iter().zip(&baseline).enumerate() {
+            warm.set_query_index(i as u32);
+            let w = warm.points_to_query(n);
+            assert_eq!(b.answer, w.answer, "warm query {n:?}");
+            assert!(
+                w.stats.traversed_steps <= b.stats.traversed_steps,
+                "warm never scans more than cold ({} vs {})",
+                w.stats.traversed_steps,
+                b.stats.traversed_steps
+            );
+            assert!(
+                warm.take_providers().is_empty(),
+                "adopted hits are not providers"
+            );
+        }
+        assert!(
+            queries.iter().zip(&baseline).any(|(&n, b)| {
+                warm.points_to_query(n).stats.traversed_steps < b.stats.traversed_steps
+            }),
+            "at least one warm query is strictly cheaper"
+        );
+    }
+
+    /// Selective invalidation: a dirty node inside a closure's footprint
+    /// drops that closure (and its dependents); disjoint entries stay
+    /// warm, and requerying against the pruned memo stays bit-identical.
+    #[test]
+    fn memo_invalidation_is_selective_and_sound() {
+        let src = "class Obj { }
+                   class Box { field f: Obj;
+                     method set(v: Obj) { this.f = v; }
+                     method get(): Obj { var r: Obj; r = this.f; return r; }
+                   }
+                   class A { method m() {
+                     var b: Box; var x: Obj; var y: Obj;
+                     b = new Box; x = new Obj;
+                     call b.set(x);
+                     y = call b.get();
+                   }
+                   method lone() { var u: Obj; var v: Obj; u = new Obj; v = u; } }";
+        let pag = build_pag(src).unwrap().pag;
+        let cfg = SolverConfig::default().with_footprints();
+        let queries: Vec<NodeId> = pag
+            .node_ids()
+            .filter(|&n| pag.kind(n).is_variable())
+            .collect();
+        let mut cold = MatrixSolver::new(&pag, &cfg);
+        let baseline: Vec<_> = queries.iter().map(|&n| cold.points_to_query(n)).collect();
+        let mut memo = cold.take_memo();
+        let total = memo.entry_count() as u64;
+        // Dirty a node in `m`'s flow: everything `lone` computed is
+        // disjoint and must survive.
+        let mut dirty = DirtySet::default();
+        dirty.insert_node(pag.node_by_name("y@A.m").unwrap());
+        let (invalidated, retained) = memo.invalidate_delta(&dirty);
+        assert_eq!(invalidated + retained, total);
+        assert!(invalidated > 0, "the dirtied closure is dropped");
+        assert!(retained > 0, "disjoint closures stay warm");
+        assert_eq!(memo.entry_count() as u64, retained);
+        let mut warm = MatrixSolver::new(&pag, &cfg).with_memo(memo);
+        for (&n, b) in queries.iter().zip(&baseline) {
+            assert_eq!(b.answer, warm.points_to_query(n).answer, "pruned {n:?}");
+        }
+        // An empty dirty set invalidates nothing; clear() drops the rest.
+        let mut memo = warm.take_memo();
+        let before = memo.entry_count() as u64;
+        assert_eq!(memo.invalidate_delta(&DirtySet::default()), (0, before));
+        assert_eq!(memo.clear(), before);
+        assert_eq!(memo.entry_count(), 0);
+    }
+
+    /// Recording footprints is pure metadata: answers, scan counts and
+    /// interner contents match a non-recording run bit-for-bit.
+    #[test]
+    fn footprint_recording_moves_no_observable() {
+        let src = "class Obj { }
+                   class Box { field f: Obj;
+                     method set(v: Obj) { this.f = v; }
+                     method get(): Obj { var r: Obj; r = this.f; return r; }
+                   }
+                   class A { method m() {
+                     var b: Box; var c: Box; var x: Obj; var y: Obj; var z: Obj;
+                     b = new Box; c = b; x = new Obj;
+                     call b.set(x);
+                     y = call b.get(); z = call c.get();
+                   } }";
+        let pag = build_pag(src).unwrap().pag;
+        for budget in [u64::MAX, 10, 3] {
+            let plain_cfg = SolverConfig::default().with_budget(budget);
+            let rec_cfg = plain_cfg.clone().with_footprints();
+            let mut plain = MatrixSolver::new(&pag, &plain_cfg);
+            let mut rec = MatrixSolver::new(&pag, &rec_cfg);
+            for n in pag.node_ids().filter(|&n| pag.kind(n).is_variable()) {
+                let a = plain.points_to_query(n);
+                let b = rec.points_to_query(n);
+                assert_eq!(a.answer, b.answer, "budget={budget} {n:?}");
+                assert_eq!(a.stats.traversed_steps, b.stats.traversed_steps);
+            }
+            assert_eq!(plain.interner().len(), rec.interner().len());
         }
     }
 

@@ -43,6 +43,7 @@
 
 use crate::config::{SolverConfig, StateBackend};
 use crate::context::Ctx;
+use crate::footprint::{Footprint, FpBuilder};
 use crate::jmp::{Dir, JmpEntry, JmpStore, RchSet};
 use crate::stats::{Answer, QueryOutput, QueryStats};
 use crate::witness::{Trace, Via};
@@ -50,7 +51,7 @@ use parcfl_concurrent::{
     CtxId, CtxInterner, DenseVisitSet, FxHashMap, FxHashSet, HashVisitSet, StateSet,
 };
 use parcfl_obs::{EventKind, TraceRecorder};
-use parcfl_pag::{EdgeClass, NodeId, Pag};
+use parcfl_pag::{EdgeClass, FieldId, NodeId, Pag};
 use std::sync::Arc;
 
 /// A `(node, context)` pair in materialised form — the representation of
@@ -228,6 +229,22 @@ struct QueryState<'a, S: StateSet> {
     /// At `finalize` every table is back in the pool, so summing their
     /// footprints gives the query's peak state memory.
     pool: Vec<S>,
+    /// Reverse-dependency recording (`record_footprints` only, DESIGN.md
+    /// §12): one frame per in-flight footprinted computation. Reads are
+    /// recorded into the innermost frame; a popped frame folds into its
+    /// parent, so a published jmp/memo entry carries the union of its
+    /// whole subtree's reads. Empty when recording is off — every record
+    /// site is then a single `Vec::last_mut` miss. Recording is pure
+    /// metadata: answers, step counts and publication decisions are
+    /// bit-identical with it on or off.
+    fp_stack: Vec<FpBuilder>,
+    /// Footprints of memoised results, keyed in lockstep with the memo
+    /// maps (`None` = the recorded computation was poisoned): a memo hit
+    /// absorbs the stored footprint exactly as recomputing would have
+    /// recorded it.
+    memo_pts_fp: FxHashMap<IState, Option<Arc<Footprint>>>,
+    memo_flows_fp: FxHashMap<IState, Option<Arc<Footprint>>>,
+    memo_rch_fp: FxHashMap<(Dir, NodeId, CtxId), Option<Arc<Footprint>>>,
 }
 
 impl<'a, S: StateSet> QueryState<'a, S> {
@@ -258,7 +275,61 @@ impl<'a, S: StateSet> QueryState<'a, S> {
             trace: None,
             rec: None,
             pool: Vec::new(),
+            fp_stack: Vec::new(),
+            memo_pts_fp: FxHashMap::default(),
+            memo_flows_fp: FxHashMap::default(),
+            memo_rch_fp: FxHashMap::default(),
         }
+    }
+
+    // ----- footprint recording (record_footprints only) -----
+
+    /// Whether reverse-dependency recording is on.
+    #[inline]
+    fn fp_on(&self) -> bool {
+        self.cfg.record_footprints
+    }
+
+    /// Records a consulted node's adjacency into the innermost frame.
+    #[inline]
+    fn fp_node(&mut self, n: NodeId) {
+        if let Some(f) = self.fp_stack.last_mut() {
+            f.record_node(n);
+        }
+    }
+
+    /// Records a consulted field index into the innermost frame.
+    #[inline]
+    fn fp_field(&mut self, f: FieldId) {
+        if let Some(b) = self.fp_stack.last_mut() {
+            b.record_field(f);
+        }
+    }
+
+    /// Unions a dependency's footprint into the innermost frame (`None`
+    /// poisons it — the dependency's read-set is unknown).
+    #[inline]
+    fn fp_absorb(&mut self, dep: Option<&Footprint>) {
+        if let Some(b) = self.fp_stack.last_mut() {
+            b.absorb(dep);
+        }
+    }
+
+    /// Opens a recording frame (callers gate on [`Self::fp_on`]).
+    fn fp_push_frame(&mut self) {
+        self.fp_stack.push(FpBuilder::new());
+    }
+
+    /// Closes the innermost frame: returns its footprint (for the jmp/memo
+    /// entry it guards) and folds its reads — poison included — into the
+    /// parent frame.
+    fn fp_pop_frame(&mut self) -> Option<Arc<Footprint>> {
+        let child = self.fp_stack.pop().expect("unbalanced footprint frame");
+        let fp = child.clone().finish();
+        if let Some(parent) = self.fp_stack.last_mut() {
+            parent.merge_child(child);
+        }
+        fp
     }
 
     /// Takes a (reset) visited-state table from the pool, or creates one.
@@ -420,9 +491,18 @@ impl<'a, S: StateSet> QueryState<'a, S> {
 
     fn points_to(&mut self, l: NodeId, c: CtxId) -> Result<Arc<Vec<IState>>, Oob> {
         let key = (l, c);
+        // Per-call footprint frames are needed only when the result is
+        // memoised (a memo hit must replay the computation's reads);
+        // without memoisation the reads land directly in the enclosing
+        // `ReachableNodes` frame.
+        let track = self.fp_on() && self.cfg.memoize;
         if self.cfg.memoize {
             if let Some(r) = self.memo_pts.get(&key) {
                 let r = Arc::clone(r);
+                if track {
+                    let dep = self.memo_pts_fp.get(&key).cloned().flatten();
+                    self.fp_absorb(dep.as_deref());
+                }
                 self.emit(EventKind::MemoHit, l.raw(), 0);
                 return Ok(r);
             }
@@ -431,11 +511,18 @@ impl<'a, S: StateSet> QueryState<'a, S> {
         if !self.on_stack_pts.insert(key) {
             return Err(self.burn_remaining());
         }
+        if track {
+            self.fp_push_frame();
+        }
         let out = self.points_to_inner(l, c)?;
         self.on_stack_pts.remove(&key);
         self.depth -= 1;
         let out = Arc::new(out);
         if self.cfg.memoize {
+            if track {
+                let fp = self.fp_pop_frame();
+                self.memo_pts_fp.insert(key, fp);
+            }
             self.memo_pts.insert(key, Arc::clone(&out));
         }
         Ok(out)
@@ -476,6 +563,7 @@ impl<'a, S: StateSet> QueryState<'a, S> {
         let tracing = self.depth == 1 && self.trace.is_some();
         while let Some((x, cx)) = w.pop() {
             self.tick()?;
+            self.fp_node(x);
             for e in pag.incoming_kind(x, EdgeClass::New) {
                 if pts_seen.insert(e.src.raw(), cx) {
                     pts.push((e.src, cx));
@@ -566,9 +654,14 @@ impl<'a, S: StateSet> QueryState<'a, S> {
 
     fn flows_to(&mut self, o: NodeId, c: CtxId) -> Result<Arc<Vec<IState>>, Oob> {
         let key = (o, c);
+        let track = self.fp_on() && self.cfg.memoize;
         if self.cfg.memoize {
             if let Some(r) = self.memo_flows.get(&key) {
                 let r = Arc::clone(r);
+                if track {
+                    let dep = self.memo_flows_fp.get(&key).cloned().flatten();
+                    self.fp_absorb(dep.as_deref());
+                }
                 self.emit(EventKind::MemoHit, o.raw(), 0);
                 return Ok(r);
             }
@@ -577,11 +670,18 @@ impl<'a, S: StateSet> QueryState<'a, S> {
         if !self.on_stack_flows.insert(key) {
             return Err(self.burn_remaining());
         }
+        if track {
+            self.fp_push_frame();
+        }
         let out = self.flows_to_inner(o, c)?;
         self.on_stack_flows.remove(&key);
         self.depth -= 1;
         let out = Arc::new(out);
         if self.cfg.memoize {
+            if track {
+                let fp = self.fp_pop_frame();
+                self.memo_flows_fp.insert(key, fp);
+            }
             self.memo_flows.insert(key, Arc::clone(&out));
         }
         Ok(out)
@@ -619,6 +719,7 @@ impl<'a, S: StateSet> QueryState<'a, S> {
 
         while let Some((n, cn)) = w.pop() {
             self.tick()?;
+            self.fp_node(n);
             if pag.kind(n).is_variable() {
                 reached.push((n, cn));
             }
@@ -691,18 +792,30 @@ impl<'a, S: StateSet> QueryState<'a, S> {
         if self.cfg.memoize {
             if let Some(r) = self.memo_rch.get(&key) {
                 let r = Arc::clone(r);
+                if self.fp_on() {
+                    let dep = self.memo_rch_fp.get(&key).cloned().flatten();
+                    self.fp_absorb(dep.as_deref());
+                }
                 self.emit(EventKind::MemoHit, x.raw(), 0);
                 return Ok(r);
             }
         }
 
         if self.cfg.data_sharing {
-            match self.jmp.lookup(&jmp_key, self.now()) {
+            // When recording, the footprint rides along with the entry so
+            // a shortcut absorbs the recorded traversal's reads (an entry
+            // without one — warm pre-recording state — poisons the frame).
+            let hit = if self.fp_on() {
+                self.jmp.lookup_fp(&jmp_key, self.now())
+            } else {
+                self.jmp.lookup(&jmp_key, self.now()).map(|e| (e, None))
+            };
+            match hit {
                 // Algorithm 2 lines 2–3: early termination when the
                 // remaining budget cannot cover the recorded lower bound.
                 // An unfinished entry with enough budget left falls through
                 // to the recomputation below.
-                Some(JmpEntry::Unfinished { s, created_at })
+                Some((JmpEntry::Unfinished { s, created_at }, _))
                     if self.cfg.budget.saturating_sub(self.steps) < s =>
                 {
                     if created_at < self.cfg.warm_floor {
@@ -711,12 +824,15 @@ impl<'a, S: StateSet> QueryState<'a, S> {
                     self.emit(EventKind::EarlyTermination, x.raw(), 0);
                     return Err(self.out_of_budget(s, true));
                 }
-                Some(JmpEntry::Unfinished { .. }) => {}
-                Some(JmpEntry::Finished {
-                    total_steps,
-                    rch,
-                    created_at,
-                }) => {
+                Some((JmpEntry::Unfinished { .. }, _)) => {}
+                Some((
+                    JmpEntry::Finished {
+                        total_steps,
+                        rch,
+                        created_at,
+                    },
+                    fp,
+                )) => {
                     // Lines 4–8: take the shortcuts. The recorded cost is
                     // charged against the budget (precision argument in
                     // Section III-B2) but not traversed.
@@ -732,7 +848,13 @@ impl<'a, S: StateSet> QueryState<'a, S> {
                     if created_at < self.cfg.warm_floor {
                         self.stats.warm_hits += 1;
                     }
+                    if self.fp_on() {
+                        self.fp_absorb(fp.as_deref());
+                    }
                     if self.cfg.memoize {
+                        if self.fp_on() {
+                            self.memo_rch_fp.insert(key, fp);
+                        }
                         self.memo_rch.insert(key, Arc::clone(&rch));
                     }
                     return Ok(rch);
@@ -747,6 +869,9 @@ impl<'a, S: StateSet> QueryState<'a, S> {
         if !self.on_stack_rch.insert(key) {
             return Err(self.burn_remaining());
         }
+        if self.fp_on() {
+            self.fp_push_frame();
+        }
         let out = match dir {
             Dir::Bwd => self.reachable_inner_bwd(x, c)?,
             Dir::Fwd => self.reachable_inner_fwd(x, c)?,
@@ -755,18 +880,30 @@ impl<'a, S: StateSet> QueryState<'a, S> {
         self.in_progress.pop();
 
         let rch: RchSet = Arc::new(out);
+        let fp = if self.fp_on() {
+            self.fp_pop_frame()
+        } else {
+            None
+        };
         if self.cfg.data_sharing {
             let total = self.steps - s0;
             if total >= self.cfg.tau_finished
-                && self
-                    .jmp
-                    .publish_finished(jmp_key, total, Arc::clone(&rch), self.now())
+                && self.jmp.publish_finished_fp(
+                    jmp_key,
+                    total,
+                    Arc::clone(&rch),
+                    self.now(),
+                    fp.clone(),
+                )
             {
                 self.stats.finished_published += rch.len().max(1) as u64;
                 self.emit(EventKind::JmpInsert, x.raw(), 1);
             }
         }
         if self.cfg.memoize {
+            if self.fp_on() {
+                self.memo_rch_fp.insert(key, fp);
+            }
             self.memo_rch.insert(key, Arc::clone(&rch));
         }
         Ok(rch)
@@ -793,8 +930,13 @@ impl<'a, S: StateSet> QueryState<'a, S> {
         out: &mut FxHashSet<IState>,
     ) -> Result<(), Oob> {
         let pag = self.pag;
+        self.fp_node(x);
         for e in pag.incoming_kind(x, EdgeClass::Load) {
             let (p, f) = (e.src, e.kind.field().expect("load edge"));
+            // The field index is consulted before the emptiness gate, so
+            // record it before — a store added to a today-empty field must
+            // invalidate this traversal.
+            self.fp_field(f);
             if pag.stores_of(f).is_empty() {
                 continue;
             }
@@ -840,8 +982,10 @@ impl<'a, S: StateSet> QueryState<'a, S> {
         out: &mut FxHashSet<IState>,
     ) -> Result<(), Oob> {
         let pag = self.pag;
+        self.fp_node(y);
         for e in pag.outgoing_kind(y, EdgeClass::Store) {
             let (q, f) = (e.dst, e.kind.field().expect("store edge"));
+            self.fp_field(f);
             if pag.loads_of(f).is_empty() {
                 continue;
             }

@@ -1,0 +1,547 @@
+//! First-class program edits: [`PagDelta`] batches edge/node/method/call-
+//! site changes and [`Pag::apply_delta`] rebuilds the frozen graph —
+//! bit-identical to re-freezing the edited edge set from scratch, with the
+//! packed-adjacency rows rebuilt selectively (only the rows an effective
+//! edge change touches; untouched rows are copied from the previous
+//! build).
+//!
+//! The returned [`DeltaEffect`] records only the *effective* changes
+//! (adding an edge that already exists, or removing one that does not, is
+//! a no-op), which is what the incremental session layers key their
+//! selective jmp/memo/schedule invalidation on: the dirty node set is the
+//! endpoints of the effective edge changes, the dirty field set the fields
+//! of effective load/store changes. A delta whose effect
+//! [`DeltaEffect::is_noop`] leaves the revision counter untouched, so
+//! callers can skip invalidation entirely.
+
+use crate::edge::{Edge, EdgeKind};
+use crate::graph::{build_pag_tables, Pag};
+use crate::ids::{CallSiteId, FieldId, MethodId, NodeId};
+use crate::node::NodeInfo;
+use crate::packed::PackedAdj;
+use std::collections::HashSet;
+
+/// One atomic edge edit. Both directions are idempotent: adding a present
+/// edge and removing an absent one are no-ops (the frozen graph is a
+/// deduplicated edge *set*).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum DeltaOp {
+    /// Insert `edge` (no-op if already present).
+    AddEdge(Edge),
+    /// Remove `edge` (no-op if absent).
+    RemoveEdge(Edge),
+}
+
+impl DeltaOp {
+    /// The edge this op targets.
+    pub fn edge(&self) -> Edge {
+        match *self {
+            DeltaOp::AddEdge(e) | DeltaOp::RemoveEdge(e) => e,
+        }
+    }
+}
+
+/// A batch of program edits, applied atomically by [`Pag::apply_delta`].
+///
+/// Node/method/call-site spaces are append-only — existing ids never move,
+/// so every interned context, jmp-store key and cached answer keeps
+/// referring to the same entity across revisions. "Deleting" a call site
+/// ([`PagDelta::remove_call_site`]) removes its `param`/`ret` edges; the
+/// id itself (and any contexts interned over it) stays valid but
+/// unreachable.
+#[derive(Clone, Debug, Default)]
+pub struct PagDelta {
+    ops: Vec<DeltaOp>,
+    add_nodes: Vec<NodeInfo>,
+    add_methods: Vec<String>,
+    add_call_sites: u32,
+    remove_call_sites: Vec<CallSiteId>,
+}
+
+impl PagDelta {
+    /// An empty delta.
+    pub fn new() -> Self {
+        PagDelta::default()
+    }
+
+    /// Whether the delta carries no edits at all.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+            && self.add_nodes.is_empty()
+            && self.add_methods.is_empty()
+            && self.add_call_sites == 0
+            && self.remove_call_sites.is_empty()
+    }
+
+    /// Appends a raw edit op.
+    pub fn push(&mut self, op: DeltaOp) -> &mut Self {
+        self.ops.push(op);
+        self
+    }
+
+    /// Adds an edge. May reference nodes appended by this same delta.
+    pub fn add_edge(&mut self, src: NodeId, dst: NodeId, kind: EdgeKind) -> &mut Self {
+        self.push(DeltaOp::AddEdge(Edge { src, dst, kind }))
+    }
+
+    /// Removes an edge (no-op if absent).
+    pub fn remove_edge(&mut self, src: NodeId, dst: NodeId, kind: EdgeKind) -> &mut Self {
+        self.push(DeltaOp::RemoveEdge(Edge { src, dst, kind }))
+    }
+
+    /// Appends a node; its id will be the pre-delta node count plus the
+    /// number of nodes already appended by this delta.
+    pub fn add_node(&mut self, info: NodeInfo) -> &mut Self {
+        self.add_nodes.push(info);
+        self
+    }
+
+    /// Registers a new method name (id = pre-delta method count + offset).
+    pub fn add_method(&mut self, name: impl Into<String>) -> &mut Self {
+        self.add_methods.push(name.into());
+        self
+    }
+
+    /// Allocates `n` fresh call-site ids past the current count.
+    pub fn add_call_sites(&mut self, n: u32) -> &mut Self {
+        self.add_call_sites += n;
+        self
+    }
+
+    /// Removes every `param`/`ret` edge of call site `cs`. The id stays
+    /// allocated (contexts interned over it remain valid, just
+    /// unreachable).
+    pub fn remove_call_site(&mut self, cs: CallSiteId) -> &mut Self {
+        self.remove_call_sites.push(cs);
+        self
+    }
+
+    /// The raw edge ops, in application order.
+    pub fn ops(&self) -> &[DeltaOp] {
+        &self.ops
+    }
+}
+
+/// The *effective* changes one [`Pag::apply_delta`] call produced, after
+/// idempotent ops cancel out. This — not the delta itself — is what the
+/// invalidation layers consume.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DeltaEffect {
+    /// Edges present after but not before, in canonical order.
+    pub added_edges: Vec<Edge>,
+    /// Edges present before but not after, in canonical order.
+    pub removed_edges: Vec<Edge>,
+    /// Ids of nodes this delta appended.
+    pub added_nodes: Vec<NodeId>,
+    /// Ids of methods this delta appended.
+    pub added_methods: Vec<MethodId>,
+    /// The revision of the resulting graph (unchanged when the delta was
+    /// a no-op).
+    pub revision: u64,
+}
+
+impl DeltaEffect {
+    /// Whether the graph is unchanged (every op cancelled out and nothing
+    /// was appended). A no-op effect keeps the revision and requires zero
+    /// invalidation work.
+    pub fn is_noop(&self) -> bool {
+        self.added_edges.is_empty()
+            && self.removed_edges.is_empty()
+            && self.added_nodes.is_empty()
+            && self.added_methods.is_empty()
+    }
+
+    /// Every node an effective edge change touches (both endpoints, with
+    /// repeats). The invalidation layers union these into their dirty
+    /// bitsets.
+    pub fn dirty_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.added_edges
+            .iter()
+            .chain(self.removed_edges.iter())
+            .flat_map(|e| [e.src, e.dst])
+    }
+
+    /// Every field whose load/store population an effective edge change
+    /// altered.
+    pub fn dirty_fields(&self) -> impl Iterator<Item = FieldId> + '_ {
+        self.added_edges
+            .iter()
+            .chain(self.removed_edges.iter())
+            .filter_map(|e| e.kind.field())
+    }
+}
+
+/// Canonical presentation order for effect edge lists: the same
+/// `(dst, class, src, payload)` order the frozen incoming array uses.
+fn canonical_edge_order(edges: &mut [Edge]) {
+    edges.sort_unstable_by_key(|e| {
+        let (class, detail) = crate::graph::edge_sort_key(e.kind);
+        (e.dst, class, e.src, detail)
+    });
+}
+
+impl Pag {
+    /// The applied-revision counter: 0 for a freshly frozen graph,
+    /// incremented by every effective [`Pag::apply_delta`]. Cheap staleness
+    /// check for caches keyed on a graph snapshot.
+    pub fn revision(&self) -> u64 {
+        self.revision_counter()
+    }
+
+    /// Applies `delta`, returning the edited graph and the effective
+    /// changes. The result is **bit-identical** to freezing the edited
+    /// node/edge set from scratch (same CSR layout, same field indexes,
+    /// same packed rows); only the packed-adjacency build is incremental —
+    /// rows untouched by the dirty node set are copied from this graph's
+    /// build instead of being re-derived.
+    ///
+    /// Ops referencing out-of-range nodes are ignored (callers that fuzz
+    /// edit scripts shrink node sets independently of the scripts).
+    pub fn apply_delta(&self, delta: &PagDelta) -> (Pag, DeltaEffect) {
+        let (mut nodes, edges, types, mut method_names, mut call_sites) = self.clone_parts();
+        let old_rev = self.revision();
+
+        let mut effect = DeltaEffect {
+            revision: old_rev,
+            ..DeltaEffect::default()
+        };
+        for info in &delta.add_nodes {
+            effect.added_nodes.push(NodeId::from_usize(nodes.len()));
+            nodes.push(info.clone());
+        }
+        for name in &delta.add_methods {
+            effect
+                .added_methods
+                .push(MethodId::from_usize(method_names.len()));
+            method_names.push(name.clone());
+        }
+        call_sites += delta.add_call_sites;
+        let n = nodes.len();
+
+        let before: HashSet<Edge> = edges.iter().copied().collect();
+        let mut after = before.clone();
+        for op in &delta.ops {
+            let e = op.edge();
+            if e.src.index() >= n || e.dst.index() >= n {
+                continue;
+            }
+            match op {
+                DeltaOp::AddEdge(_) => {
+                    after.insert(e);
+                }
+                DeltaOp::RemoveEdge(_) => {
+                    after.remove(&e);
+                }
+            }
+        }
+        for &cs in &delta.remove_call_sites {
+            after.retain(|e| e.kind.call_site() != Some(cs));
+        }
+
+        effect.added_edges = after.difference(&before).copied().collect();
+        effect.removed_edges = before.difference(&after).copied().collect();
+        canonical_edge_order(&mut effect.added_edges);
+        canonical_edge_order(&mut effect.removed_edges);
+
+        if effect.is_noop() {
+            return (self.clone(), effect);
+        }
+        effect.revision = old_rev + 1;
+
+        let new_edges: Vec<Edge> = after.into_iter().collect();
+        let pag = build_pag_tables(
+            nodes,
+            new_edges,
+            types,
+            method_names,
+            call_sites,
+            effect.revision,
+        );
+
+        // Selective packed rebuild: when the node space is unchanged and
+        // this graph already paid for its packed build, re-derive only the
+        // rows a dirty endpoint touches and copy the rest. Falls back to
+        // the (lazy) full build otherwise; either way the rows are
+        // bit-identical to a from-scratch build.
+        if effect.added_nodes.is_empty() {
+            if let Some(old_adj) = self.packed_built() {
+                let dirty: HashSet<u32> = effect.dirty_nodes().map(NodeId::raw).collect();
+                pag.prime_packed(PackedAdj::rebuild_from(old_adj, &pag, &dirty));
+            }
+        }
+        (pag, effect)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::PagBuilder;
+    use crate::node::NodeKind;
+    use crate::types::TypeInfo;
+    use crate::{EdgeClass as EC, PackedClass};
+
+    fn sample() -> Pag {
+        let mut b = PagBuilder::new();
+        let m = b.add_method("main");
+        let t = b.types_mut().add_type(TypeInfo {
+            name: "T".into(),
+            is_ref: true,
+            fields: Vec::new(),
+            supertype: None,
+        });
+        let f = b.types_mut().add_field("f");
+        let cs = b.fresh_call_site();
+        let mk = |name: &str, kind: NodeKind| NodeInfo {
+            kind,
+            ty: t,
+            name: name.into(),
+            is_application: true,
+        };
+        let nodes: Vec<_> = (0..80)
+            .map(|i| {
+                let kind = if i % 7 == 0 {
+                    NodeKind::Object { method: m }
+                } else {
+                    NodeKind::Local { method: m }
+                };
+                b.add_node(mk(&format!("n{i}"), kind))
+            })
+            .collect();
+        for i in 0..nodes.len() - 1 {
+            match i % 5 {
+                0 => b.add_edge(nodes[i], nodes[i + 1], EdgeKind::New),
+                1 | 2 => b.add_edge(nodes[i], nodes[i + 1], EdgeKind::AssignLocal),
+                3 => b.add_edge(nodes[i], nodes[i + 1], EdgeKind::Load(f)),
+                _ => b.add_edge(nodes[i], nodes[i + 1], EdgeKind::Param(cs)),
+            }
+        }
+        for i in 30..40 {
+            b.add_edge(nodes[i], nodes[0], EdgeKind::AssignLocal);
+        }
+        b.freeze()
+    }
+
+    /// Field-for-field equality with a fresh freeze of the same edits.
+    fn assert_equals_fresh(edited: &Pag, fresh: &Pag) {
+        assert_eq!(edited.node_count(), fresh.node_count());
+        assert_eq!(edited.edges(), fresh.edges());
+        assert!(edited.revision() > 0);
+        for n in fresh.node_ids() {
+            assert_eq!(edited.incoming(n), fresh.incoming(n), "incoming {n:?}");
+            assert_eq!(edited.outgoing(n), fresh.outgoing(n), "outgoing {n:?}");
+            for class in [
+                EC::New,
+                EC::AssignLocal,
+                EC::AssignGlobal,
+                EC::Load,
+                EC::Store,
+                EC::Param,
+                EC::Ret,
+            ] {
+                assert_eq!(
+                    edited.incoming_kind(n, class),
+                    fresh.incoming_kind(n, class)
+                );
+                assert_eq!(
+                    edited.outgoing_kind(n, class),
+                    fresh.outgoing_kind(n, class)
+                );
+            }
+        }
+        for f in 0..fresh.types().field_count() {
+            let f = FieldId::from_usize(f);
+            assert_eq!(edited.loads_of(f), fresh.loads_of(f));
+            assert_eq!(edited.stores_of(f), fresh.stores_of(f));
+        }
+    }
+
+    fn rebuild_fresh(pag: &Pag) -> Pag {
+        let mut b = PagBuilder::with_types(pag.types().clone());
+        for n in pag.node_ids() {
+            b.add_node(pag.node(n).clone());
+        }
+        for _ in 0..pag.method_count() {
+            b.add_method("m");
+        }
+        for _ in 0..pag.call_site_count() {
+            b.fresh_call_site();
+        }
+        for e in pag.edges() {
+            b.add_edge(e.src, e.dst, e.kind);
+        }
+        b.freeze()
+    }
+
+    #[test]
+    fn add_and_remove_edges_match_fresh_freeze() {
+        let pag = sample();
+        assert_eq!(pag.revision(), 0);
+        let a = NodeId::new(3);
+        let b2 = NodeId::new(60);
+        let mut d = PagDelta::new();
+        d.add_edge(a, b2, EdgeKind::AssignLocal).remove_edge(
+            NodeId::new(0),
+            NodeId::new(1),
+            EdgeKind::New,
+        );
+        let (edited, effect) = pag.apply_delta(&d);
+        assert_eq!(edited.revision(), 1);
+        assert_eq!(effect.revision, 1);
+        assert_eq!(effect.added_edges.len(), 1);
+        assert_eq!(effect.removed_edges.len(), 1);
+        assert!(!effect.is_noop());
+        let fresh = rebuild_fresh(&edited);
+        assert_equals_fresh(&edited, &fresh);
+        // Chained deltas keep counting.
+        let mut d2 = PagDelta::new();
+        d2.add_edge(b2, a, EdgeKind::New);
+        let (edited2, effect2) = edited.apply_delta(&d2);
+        assert_eq!(edited2.revision(), 2);
+        assert_eq!(effect2.revision, 2);
+    }
+
+    #[test]
+    fn noop_delta_keeps_revision_and_reports_empty_effect() {
+        let pag = sample();
+        // Adding a present edge and removing an absent one cancel to
+        // nothing; so does an add+remove pair of the same new edge.
+        let present = pag.edges()[0];
+        let mut d = PagDelta::new();
+        d.push(DeltaOp::AddEdge(present))
+            .remove_edge(NodeId::new(70), NodeId::new(72), EdgeKind::New)
+            .add_edge(NodeId::new(12), NodeId::new(50), EdgeKind::AssignLocal)
+            .remove_edge(NodeId::new(12), NodeId::new(50), EdgeKind::AssignLocal);
+        let (same, effect) = pag.apply_delta(&d);
+        assert!(effect.is_noop());
+        assert_eq!(effect.revision, 0);
+        assert_eq!(same.revision(), 0);
+        assert_eq!(same.edges(), pag.edges());
+        assert!(effect.dirty_nodes().next().is_none());
+        // Empty delta is trivially a no-op too.
+        assert!(PagDelta::new().is_empty());
+        let (_, e2) = pag.apply_delta(&PagDelta::new());
+        assert!(e2.is_noop());
+    }
+
+    #[test]
+    fn remove_call_site_drops_its_param_ret_edges() {
+        let pag = sample();
+        let cs = CallSiteId::new(0);
+        let had: usize = pag
+            .edges()
+            .iter()
+            .filter(|e| e.kind.call_site() == Some(cs))
+            .count();
+        assert!(had > 0);
+        let mut d = PagDelta::new();
+        d.remove_call_site(cs);
+        let (edited, effect) = pag.apply_delta(&d);
+        assert_eq!(effect.removed_edges.len(), had);
+        assert_eq!(
+            edited
+                .edges()
+                .iter()
+                .filter(|e| e.kind.call_site() == Some(cs))
+                .count(),
+            0
+        );
+        // The id space is untouched: the site stays allocated.
+        assert_eq!(edited.call_site_count(), pag.call_site_count());
+        assert_equals_fresh(&edited, &rebuild_fresh(&edited));
+    }
+
+    #[test]
+    fn added_nodes_and_methods_get_fresh_ids() {
+        let pag = sample();
+        let n0 = pag.node_count();
+        let mut d = PagDelta::new();
+        d.add_node(NodeInfo {
+            kind: NodeKind::Local {
+                method: MethodId::new(0),
+            },
+            ty: crate::ids::TypeId::new(0),
+            name: "fresh".into(),
+            is_application: true,
+        })
+        .add_method("extra")
+        .add_call_sites(2);
+        d.add_edge(
+            NodeId::from_usize(n0),
+            NodeId::new(0),
+            EdgeKind::AssignLocal,
+        );
+        let (edited, effect) = pag.apply_delta(&d);
+        assert_eq!(effect.added_nodes, vec![NodeId::from_usize(n0)]);
+        assert_eq!(edited.node_count(), n0 + 1);
+        assert_eq!(edited.method_count(), pag.method_count() + 1);
+        assert_eq!(edited.call_site_count(), pag.call_site_count() + 2);
+        assert_eq!(edited.node_by_name("fresh"), Some(NodeId::from_usize(n0)));
+        assert_eq!(
+            edited.outgoing(NodeId::from_usize(n0)).len(),
+            1,
+            "edge to the appended node applies"
+        );
+        assert_equals_fresh(&edited, &rebuild_fresh(&edited));
+    }
+
+    #[test]
+    fn out_of_range_ops_are_ignored() {
+        let pag = sample();
+        let mut d = PagDelta::new();
+        d.add_edge(NodeId::new(9_999), NodeId::new(0), EdgeKind::New);
+        let (_, effect) = pag.apply_delta(&d);
+        assert!(effect.is_noop());
+    }
+
+    #[test]
+    fn selective_packed_rebuild_matches_full_build() {
+        let pag = sample();
+        // Force the old build so the delta path copies from it.
+        assert!(pag.packed().packed_class_count() >= 1);
+        let mut d = PagDelta::new();
+        d.add_edge(NodeId::new(2), NodeId::new(64), EdgeKind::AssignLocal)
+            .remove_edge(NodeId::new(30), NodeId::new(0), EdgeKind::AssignLocal)
+            .add_edge(NodeId::new(5), NodeId::new(6), EdgeKind::New);
+        let (edited, effect) = pag.apply_delta(&d);
+        assert!(!effect.is_noop());
+        let incremental = edited.packed();
+        let full = PackedAdj::build(&edited);
+        let row_eq = |a: Option<&PackedClass>, b: Option<&PackedClass>, what: &str| {
+            assert_eq!(a.is_some(), b.is_some(), "{what}: packing decision");
+            let (Some(a), Some(b)) = (a, b) else { return };
+            assert_eq!(a.stride(), b.stride(), "{what}: stride");
+            for n in 0..edited.node_count() as u32 {
+                assert_eq!(a.row(n), b.row(n), "{what}: row {n}");
+            }
+            assert_eq!(a.word_count(), b.word_count(), "{what}: storage layout");
+        };
+        for class in [EC::New, EC::AssignLocal, EC::AssignGlobal] {
+            row_eq(
+                incremental.in_packed(class),
+                full.in_packed(class),
+                "in rows",
+            );
+            row_eq(
+                incremental.out_packed(class),
+                full.out_packed(class),
+                "out rows",
+            );
+        }
+    }
+
+    #[test]
+    fn dirty_sets_cover_both_endpoints_and_fields() {
+        let pag = sample();
+        let f = FieldId::new(1);
+        let mut d = PagDelta::new();
+        d.add_edge(NodeId::new(10), NodeId::new(20), EdgeKind::Store(f))
+            .remove_edge(NodeId::new(3), NodeId::new(4), EdgeKind::Load(f));
+        let (_, effect) = pag.apply_delta(&d);
+        let nodes: HashSet<u32> = effect.dirty_nodes().map(NodeId::raw).collect();
+        assert!(nodes.contains(&10) && nodes.contains(&20));
+        assert!(nodes.contains(&3) && nodes.contains(&4));
+        let fields: Vec<FieldId> = effect.dirty_fields().collect();
+        assert_eq!(fields, vec![f, f]);
+    }
+}

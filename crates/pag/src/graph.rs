@@ -100,84 +100,107 @@ impl PagBuilder {
     /// `n × EDGE_CLASSES` offset table so [`Pag::incoming_kind`] /
     /// [`Pag::outgoing_kind`] are plain sub-slice reads and the solver's
     /// dispatch loops never branch on `EdgeKind` per edge.
-    pub fn freeze(mut self) -> Pag {
-        let n = self.nodes.len();
+    pub fn freeze(self) -> Pag {
+        build_pag_tables(
+            self.nodes,
+            self.edges,
+            self.types,
+            self.method_names,
+            self.call_sites,
+            0,
+        )
+    }
+}
 
-        // Deduplicate edges: duplicate statements add nothing to
-        // reachability and only slow traversals down. The sort is the
-        // canonical incoming order: dst-major, kind-class within a node,
-        // then (src, payload) within a class.
-        self.edges.sort_unstable_by_key(|e| {
-            let (class, detail) = edge_sort_key(e.kind);
-            (e.dst, class, e.src, detail)
-        });
-        self.edges.dedup();
+/// Freezes a node/edge set into the immutable CSR representation — the
+/// body of [`PagBuilder::freeze`], shared with [`Pag::apply_delta`] so an
+/// edited graph is bit-identical to re-freezing the edited edge set from
+/// scratch.
+pub(crate) fn build_pag_tables(
+    nodes: Vec<NodeInfo>,
+    mut edges: Vec<Edge>,
+    types: TypeTable,
+    method_names: Vec<String>,
+    call_sites: u32,
+    revision: u64,
+) -> Pag {
+    let n = nodes.len();
 
-        // Incoming CSR (edges sorted by dst already).
-        let mut in_start = vec![0u32; n + 1];
-        for e in &self.edges {
-            in_start[e.dst.index() + 1] += 1;
-        }
-        for i in 1..=n {
-            in_start[i] += in_start[i - 1];
-        }
-        // self.edges is the in-order edge array itself.
-        let in_kind = kind_offsets(&self.edges, &in_start, |e| e.dst);
+    // Deduplicate edges: duplicate statements add nothing to
+    // reachability and only slow traversals down. The sort is the
+    // canonical incoming order: dst-major, kind-class within a node,
+    // then (src, payload) within a class.
+    edges.sort_unstable_by_key(|e| {
+        let (class, detail) = edge_sort_key(e.kind);
+        (e.dst, class, e.src, detail)
+    });
+    edges.dedup();
 
-        // Outgoing CSR: a second, materialised edge array sorted src-major
-        // (kind-class, then (dst, payload) within a class), so `outgoing`
-        // is a direct slice too — no index indirection on the forward hot
-        // path.
-        let mut out_edges = self.edges.clone();
-        out_edges.sort_unstable_by_key(|e| {
-            let (class, detail) = edge_sort_key(e.kind);
-            (e.src, class, e.dst, detail)
-        });
-        let mut out_start = vec![0u32; n + 1];
-        for e in &out_edges {
-            out_start[e.src.index() + 1] += 1;
-        }
-        for i in 1..=n {
-            out_start[i] += out_start[i - 1];
-        }
-        let out_kind = kind_offsets(&out_edges, &out_start, |e| e.src);
+    // Incoming CSR (edges sorted by dst already).
+    let mut in_start = vec![0u32; n + 1];
+    for e in &edges {
+        in_start[e.dst.index() + 1] += 1;
+    }
+    for i in 1..=n {
+        in_start[i] += in_start[i - 1];
+    }
+    // `edges` is the in-order edge array itself.
+    let in_kind = kind_offsets(&edges, &in_start, |e| e.dst);
 
-        // Field indexes for the alias-matching step of ReachableNodes.
-        let nf = self.types.field_count();
-        let mut loads_by_field: Vec<Vec<(NodeId, NodeId)>> = vec![Vec::new(); nf];
-        let mut stores_by_field: Vec<Vec<(NodeId, NodeId)>> = vec![Vec::new(); nf];
-        for e in &self.edges {
-            match e.kind {
-                // Load dst = src.f: base is src.
-                EdgeKind::Load(f) => loads_by_field[f.index()].push((e.src, e.dst)),
-                // Store dst.f = src: base is dst.
-                EdgeKind::Store(f) => stores_by_field[f.index()].push((e.dst, e.src)),
-                _ => {}
-            }
-        }
+    // Outgoing CSR: a second, materialised edge array sorted src-major
+    // (kind-class, then (dst, payload) within a class), so `outgoing`
+    // is a direct slice too — no index indirection on the forward hot
+    // path.
+    let mut out_edges = edges.clone();
+    out_edges.sort_unstable_by_key(|e| {
+        let (class, detail) = edge_sort_key(e.kind);
+        (e.src, class, e.dst, detail)
+    });
+    let mut out_start = vec![0u32; n + 1];
+    for e in &out_edges {
+        out_start[e.src.index() + 1] += 1;
+    }
+    for i in 1..=n {
+        out_start[i] += out_start[i - 1];
+    }
+    let out_kind = kind_offsets(&out_edges, &out_start, |e| e.src);
 
-        Pag {
-            nodes: self.nodes,
-            edges: self.edges,
-            in_start,
-            in_kind,
-            out_start,
-            out_edges,
-            out_kind,
-            loads_by_field,
-            stores_by_field,
-            types: self.types,
-            method_names: self.method_names,
-            call_sites: self.call_sites,
-            packed: std::sync::Arc::new(std::sync::OnceLock::new()),
+    // Field indexes for the alias-matching step of ReachableNodes.
+    let nf = types.field_count();
+    let mut loads_by_field: Vec<Vec<(NodeId, NodeId)>> = vec![Vec::new(); nf];
+    let mut stores_by_field: Vec<Vec<(NodeId, NodeId)>> = vec![Vec::new(); nf];
+    for e in &edges {
+        match e.kind {
+            // Load dst = src.f: base is src.
+            EdgeKind::Load(f) => loads_by_field[f.index()].push((e.src, e.dst)),
+            // Store dst.f = src: base is dst.
+            EdgeKind::Store(f) => stores_by_field[f.index()].push((e.dst, e.src)),
+            _ => {}
         }
+    }
+
+    Pag {
+        nodes,
+        edges,
+        in_start,
+        in_kind,
+        out_start,
+        out_edges,
+        out_kind,
+        loads_by_field,
+        stores_by_field,
+        types,
+        method_names,
+        call_sites,
+        revision,
+        packed: std::sync::Arc::new(std::sync::OnceLock::new()),
     }
 }
 
 /// Total order over edge kinds used for deterministic dedup. The leading
 /// byte is the [`EdgeClass`] discriminant, so class grouping and dedup
 /// order agree by construction.
-fn edge_sort_key(kind: EdgeKind) -> (u8, u32) {
+pub(crate) fn edge_sort_key(kind: EdgeKind) -> (u8, u32) {
     match kind {
         EdgeKind::New => (0, 0),
         EdgeKind::AssignLocal => (1, 0),
@@ -237,6 +260,9 @@ pub struct Pag {
     types: TypeTable,
     method_names: Vec<String>,
     call_sites: u32,
+    /// Applied-revision counter: 0 when frozen, +1 per effective
+    /// [`Pag::apply_delta`] (see [`Pag::revision`]).
+    revision: u64,
     /// Lazily-built bit-packed adjacency rows ([`Pag::packed`]). Behind an
     /// `Arc` so clones share the one build.
     packed: std::sync::Arc<std::sync::OnceLock<crate::packed::PackedAdj>>,
@@ -379,6 +405,35 @@ impl Pag {
     pub fn packed(&self) -> &crate::packed::PackedAdj {
         self.packed
             .get_or_init(|| crate::packed::PackedAdj::build(self))
+    }
+
+    /// The raw revision counter (public face: [`Pag::revision`], defined
+    /// beside the delta API).
+    pub(crate) fn revision_counter(&self) -> u64 {
+        self.revision
+    }
+
+    /// Clones the mutable parts a delta rebuild starts from.
+    pub(crate) fn clone_parts(&self) -> (Vec<NodeInfo>, Vec<Edge>, TypeTable, Vec<String>, u32) {
+        (
+            self.nodes.clone(),
+            self.edges.clone(),
+            self.types.clone(),
+            self.method_names.clone(),
+            self.call_sites,
+        )
+    }
+
+    /// The packed adjacency, only if it has already been built — the delta
+    /// path copies untouched rows from it instead of re-deriving them.
+    pub(crate) fn packed_built(&self) -> Option<&crate::packed::PackedAdj> {
+        self.packed.get()
+    }
+
+    /// Pre-populates the packed-adjacency cache (delta rebuilds). A no-op
+    /// if something already built it.
+    pub(crate) fn prime_packed(&self, adj: crate::packed::PackedAdj) {
+        let _ = self.packed.set(adj);
     }
 
     /// Looks up a node by name; linear scan, intended for tests and small

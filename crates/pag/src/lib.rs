@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod algo;
+pub mod delta;
 pub mod dot;
 mod edge;
 mod graph;
@@ -35,6 +36,7 @@ pub mod packed;
 pub mod stats;
 pub mod types;
 
+pub use delta::{DeltaEffect, DeltaOp, PagDelta};
 pub use edge::{Edge, EdgeClass, EdgeKind, EDGE_CLASSES};
 pub use graph::{Pag, PagBuilder};
 pub use ids::{CallSiteId, FieldId, MethodId, NodeId, TypeId};

@@ -105,6 +105,55 @@ impl PackedClass {
         }
     }
 
+    /// Rebuilds one direction of one class after a delta: rows of nodes in
+    /// `dirty` are re-derived through `edges_of`, every other row is copied
+    /// verbatim from `old` (its edge set is unchanged, so the copied words
+    /// are exactly what a fresh build would produce). Appending in
+    /// ascending node order reproduces the fresh build's storage layout
+    /// bit-for-bit. `old` must come from a graph with the same node count.
+    fn rebuild_from(
+        old: &PackedClass,
+        n: usize,
+        dirty: &std::collections::HashSet<u32>,
+        mut edges_of: impl FnMut(NodeId, &mut dyn FnMut(u32)),
+    ) -> PackedClass {
+        let stride = n.div_ceil(64).max(1);
+        debug_assert_eq!(stride, old.stride as usize, "node space changed");
+        let mut row_of = vec![NO_ROW; n];
+        let mut words: Vec<u64> = Vec::new();
+        for (node, row) in row_of.iter_mut().enumerate() {
+            let start = words.len();
+            if !dirty.contains(&(node as u32)) {
+                if let Some(old_row) = old.row(node as u32) {
+                    words.extend_from_slice(old_row);
+                    *row = (start / stride) as u32;
+                }
+                continue;
+            }
+            let mut created = false;
+            edges_of(NodeId::from_usize(node), &mut |succ: u32| {
+                if !created {
+                    words.resize(start + stride, 0);
+                    created = true;
+                }
+                words[start + succ as usize / 64] |= 1u64 << (succ % 64);
+            });
+            if created {
+                let bits: u32 = words[start..].iter().map(|w| w.count_ones()).sum();
+                if bits >= ROW_MIN_BITS {
+                    *row = (start / stride) as u32;
+                } else {
+                    words.truncate(start);
+                }
+            }
+        }
+        PackedClass {
+            stride: stride as u32,
+            row_of,
+            words,
+        }
+    }
+
     /// The packed successor row of node `n`, or `None` when `n` has fewer
     /// than [`ROW_MIN_BITS`] successors of this class (thin and empty rows
     /// are never stored — the caller walks the CSR slice). The slice is
@@ -193,6 +242,56 @@ impl PackedAdj {
                     set(e.dst.raw());
                 }
             }));
+        }
+        adj
+    }
+
+    /// Rebuilds the packed rows for an edited `pag` (same node count),
+    /// re-deriving only the rows of `dirty` nodes and copying the rest
+    /// from `old` — bit-identical to [`PackedAdj::build`] on the edited
+    /// graph. A class whose packing decision flips, or that `old` never
+    /// packed, is built from scratch.
+    pub(crate) fn rebuild_from(
+        old: &PackedAdj,
+        pag: &Pag,
+        dirty: &std::collections::HashSet<u32>,
+    ) -> PackedAdj {
+        let n = pag.node_count();
+        let mut class_edges = [0usize; EDGE_CLASSES];
+        for e in pag.edges() {
+            class_edges[e.kind.class() as usize] += 1;
+        }
+        let mut adj = PackedAdj {
+            in_classes: [None, None, None],
+            out_classes: [None, None, None],
+        };
+        for class in [
+            EdgeClass::New,
+            EdgeClass::AssignLocal,
+            EdgeClass::AssignGlobal,
+        ] {
+            let k = slot(class).expect("packable class");
+            if !Self::should_pack(n, class_edges[class as usize]) {
+                continue;
+            }
+            let in_of = |node: NodeId, set: &mut dyn FnMut(u32)| {
+                for e in pag.incoming_kind(node, class) {
+                    set(e.src.raw());
+                }
+            };
+            let out_of = |node: NodeId, set: &mut dyn FnMut(u32)| {
+                for e in pag.outgoing_kind(node, class) {
+                    set(e.dst.raw());
+                }
+            };
+            adj.in_classes[k] = Some(match &old.in_classes[k] {
+                Some(oc) => PackedClass::rebuild_from(oc, n, dirty, in_of),
+                None => PackedClass::build(n, in_of),
+            });
+            adj.out_classes[k] = Some(match &old.out_classes[k] {
+                Some(oc) => PackedClass::rebuild_from(oc, n, dirty, out_of),
+                None => PackedClass::build(n, out_of),
+            });
         }
         adj
     }

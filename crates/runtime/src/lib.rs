@@ -39,8 +39,10 @@ pub use parcfl_obs::{
     chrome_trace_json, Event, EventKind, LogHistogram, ObsHists, PromText, RunTrace, TraceLevel,
     TraceRecorder, WorkerTrace,
 };
-pub use seq::{run_matrix, run_matrix_pooled, run_seq, run_seq_traced, run_seq_with_store};
-pub use session::AnalysisSession;
+pub use seq::{
+    run_matrix, run_matrix_pooled, run_matrix_session, run_seq, run_seq_traced, run_seq_with_store,
+};
+pub use session::{AnalysisSession, DeltaReport};
 pub use sim::{run_simulated, run_simulated_batch, run_simulated_with_store};
 pub use stats::{RunResult, RunStats};
 pub use threaded::{run_threaded, run_threaded_batch};

@@ -4,7 +4,7 @@
 
 use crate::stats::{RunResult, RunStats};
 use parcfl_concurrent::SweepPool;
-use parcfl_core::{Answer, JmpStore, MatrixSolver, NoJmpStore, Solver, SolverConfig};
+use parcfl_core::{Answer, JmpStore, MatrixMemo, MatrixSolver, NoJmpStore, Solver, SolverConfig};
 use parcfl_obs::{EventKind, RunTrace, TraceLevel, TraceRecorder};
 use parcfl_pag::{NodeId, Pag};
 use std::sync::Arc;
@@ -122,6 +122,24 @@ pub fn run_matrix_pooled(
     cfg: &crate::RunConfig,
     pool: Option<Arc<SweepPool>>,
 ) -> RunResult {
+    run_matrix_session(pag, queries, cfg, pool, MatrixMemo::default()).0
+}
+
+/// [`run_matrix_pooled`] against a caller-owned cross-batch
+/// [`MatrixMemo`]: the batch's solver adopts `memo`'s surviving closures
+/// (warm hits cost nothing and never become precedence edges) and the
+/// grown memo is handed back for the next batch. An
+/// [`crate::AnalysisSession`] passes its memo through every matrix batch
+/// and selectively invalidates it on
+/// [`crate::AnalysisSession::apply_delta`]. An empty default memo makes
+/// this identical to [`run_matrix_pooled`].
+pub fn run_matrix_session(
+    pag: &Pag,
+    queries: &[NodeId],
+    cfg: &crate::RunConfig,
+    pool: Option<Arc<SweepPool>>,
+    memo: MatrixMemo,
+) -> (RunResult, MatrixMemo) {
     let start = std::time::Instant::now();
     let tracing = cfg.tracing;
     // One trace lane per sweep worker. The recorders use the external
@@ -139,7 +157,9 @@ pub fn run_matrix_pooled(
     let mut answers = Vec::with_capacity(queries.len());
     let mut durations = Vec::with_capacity(queries.len());
     let mut providers = Vec::with_capacity(queries.len());
-    let mut solver = MatrixSolver::new(pag, &cfg.solver).with_workers(cfg.threads);
+    let mut solver = MatrixSolver::new(pag, &cfg.solver)
+        .with_workers(cfg.threads)
+        .with_memo(memo);
     if tracing.enabled() {
         solver = solver.with_recorders(&recs, start);
     }
@@ -183,6 +203,7 @@ pub fn run_matrix_pooled(
         stats.pool_spawns = p.spawns();
         stats.pool_wakes = p.wakes();
     }
+    let memo = solver.take_memo();
     drop(solver);
     let trace = tracing.enabled().then(|| RunTrace {
         real_time: true,
@@ -195,11 +216,14 @@ pub fn run_matrix_pooled(
             .map(|(i, r)| r.into_trace(i))
             .collect(),
     });
-    RunResult {
-        answers,
-        stats,
-        trace,
-    }
+    (
+        RunResult {
+            answers,
+            stats,
+            trace,
+        },
+        memo,
+    )
 }
 
 /// Virtual batch time of a matrix run: queries are list-scheduled onto

@@ -26,11 +26,37 @@ use crate::sim::run_simulated_batch;
 use crate::stats::{RunResult, RunStats};
 use crate::threaded::run_threaded_batch;
 use parcfl_concurrent::{CounterSet, SweepPool};
-use parcfl_core::{JmpStore, SharedJmpStore, SolverConfig};
+use parcfl_core::{DirtySet, JmpStore, MatrixMemo, SharedJmpStore, SolverConfig};
 use parcfl_obs::{Event, EventKind, PromText, TraceLevel};
-use parcfl_pag::{NodeId, Pag};
+use parcfl_pag::{NodeId, Pag, PagDelta};
 use parcfl_sched::{Schedule, ScheduleCache, ScheduleOptions};
+use std::borrow::Cow;
 use std::sync::Arc;
+
+/// Outcome of one [`AnalysisSession::apply_delta`]: the PAG revision now
+/// live plus exact selective-invalidation accounting. The invalidation
+/// law (DESIGN.md §12): a warm entry is dropped iff its recorded
+/// footprint is missing or intersects the delta's dirty node/field sets —
+/// everything else stays warm and keeps serving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DeltaReport {
+    /// The live graph's revision after the edit (unchanged for a no-op).
+    pub revision: u64,
+    /// Whether the delta had no effective change: nothing was swapped or
+    /// invalidated, and every warm entry survived untouched.
+    pub noop: bool,
+    /// Jmp-store entries dropped (footprint missing or dirty).
+    pub invalidated_jmps: u64,
+    /// Jmp-store entries kept warm.
+    pub retained_jmps: u64,
+    /// Matrix-memo closures dropped.
+    pub invalidated_memos: u64,
+    /// Matrix-memo closures kept warm.
+    pub retained_memos: u64,
+    /// Memoised DQ schedules dropped (their query set contains a dirty
+    /// node). Schedules never affect answers — this is reuse accounting.
+    pub invalidated_schedules: u64,
+}
 
 /// A long-lived analysis service over one PAG.
 ///
@@ -51,7 +77,11 @@ use std::sync::Arc;
 /// assert_eq!(session.cumulative().batches, 2);
 /// ```
 pub struct AnalysisSession<'p> {
-    pag: &'p Pag,
+    /// The live graph. Starts borrowed from the caller; the first
+    /// effective [`Self::apply_delta`] swaps in an owned edited revision
+    /// (node/method/call-site ids are append-only across revisions, so
+    /// every warm entry keyed on them stays meaningful).
+    pag: Cow<'p, Pag>,
     /// Master store handle: timestamped, so the simulated backend can use
     /// it directly; the threaded/sequential backends take an
     /// untimestamped view of the same entries.
@@ -78,6 +108,12 @@ pub struct AnalysisSession<'p> {
     /// later one — helpers are spawned once per session, never per batch
     /// ([`RunStats::pool_spawns`] stays at `threads - 1`).
     sweep_pool: Option<Arc<SweepPool>>,
+    /// The matrix engine's cross-batch closure memo: each matrix batch
+    /// adopts it, extends it, and hands it back, so later batches answer
+    /// repeated closures for free (answers stay bit-identical — adopted
+    /// hits are never precedence edges, so makespans are unconstrained).
+    /// [`Self::apply_delta`] selectively invalidates it by footprint.
+    matrix_memo: MatrixMemo,
 }
 
 impl<'p> AnalysisSession<'p> {
@@ -85,12 +121,15 @@ impl<'p> AnalysisSession<'p> {
     /// one thread, and an unbounded store.
     pub fn new(pag: &'p Pag) -> Self {
         AnalysisSession {
-            pag,
+            pag: Cow::Borrowed(pag),
             store: SharedJmpStore::timestamped(),
             cache: ScheduleCache::new(),
             vclock: 0,
             cumulative: RunStats::default(),
-            solver: SolverConfig::default(),
+            // Sessions always record footprints: [`Self::apply_delta`]'s
+            // selective invalidation needs them, and recording is pure
+            // metadata (answers/steps/contexts are bit-identical).
+            solver: SolverConfig::default().with_footprints(),
             threads: 1,
             fetch_cost: 1,
             group_cap: None,
@@ -100,13 +139,15 @@ impl<'p> AnalysisSession<'p> {
             counters: CounterSet::new(),
             session_events: Vec::new(),
             sweep_pool: None,
+            matrix_memo: MatrixMemo::default(),
         }
     }
 
     /// Overrides the base solver configuration (each batch's mode still
-    /// decides `data_sharing`; the session still owns `warm_floor`).
+    /// decides `data_sharing`; the session still owns `warm_floor` and
+    /// keeps footprint recording on — see [`Self::apply_delta`]).
     pub fn with_solver(mut self, solver: SolverConfig) -> Self {
-        self.solver = solver;
+        self.solver = solver.with_footprints();
         self
     }
 
@@ -187,14 +228,17 @@ impl<'p> AnalysisSession<'p> {
         let matrix = match self.engine {
             crate::Engine::Matrix => true,
             crate::Engine::Demand => false,
-            crate::Engine::Auto => crate::matrix_pays_off(self.pag, queries),
+            crate::Engine::Auto => crate::matrix_pays_off(&self.pag, queries),
         };
         if matrix {
             let base = self.vclock;
             if self.sweep_pool.is_none() && self.threads > 1 {
                 self.sweep_pool = Some(Arc::new(SweepPool::new(self.threads)));
             }
-            let result = crate::run_matrix_pooled(self.pag, queries, &cfg, self.sweep_pool.clone());
+            let memo = std::mem::take(&mut self.matrix_memo);
+            let (result, memo) =
+                crate::run_matrix_session(&self.pag, queries, &cfg, self.sweep_pool.clone(), memo);
+            self.matrix_memo = memo;
             self.vclock = base + result.stats.makespan + 1;
             self.cumulative.merge(&result.stats);
             self.account_batch(base, &result.stats);
@@ -205,13 +249,13 @@ impl<'p> AnalysisSession<'p> {
         let result = match backend {
             Backend::Simulated => {
                 let (result, end) =
-                    run_simulated_batch(self.pag, &schedule, &cfg, &self.store, base);
+                    run_simulated_batch(&self.pag, &schedule, &cfg, &self.store, base);
                 self.vclock = end + 1;
                 result
             }
             Backend::Threaded => {
                 let view = self.store.untimestamped_view();
-                let result = run_threaded_batch(self.pag, &schedule, &cfg, &view, base);
+                let result = run_threaded_batch(&self.pag, &schedule, &cfg, &view, base);
                 self.vclock = base + result.stats.traversed_steps + 1;
                 result
             }
@@ -229,7 +273,7 @@ impl<'p> AnalysisSession<'p> {
         let solver_cfg = self.solver.clone().with_data_sharing();
         let base = self.vclock;
         let view = self.store.untimestamped_view();
-        let result = run_seq_traced(self.pag, queries, &solver_cfg, &view, base, self.tracing);
+        let result = run_seq_traced(&self.pag, queries, &solver_cfg, &view, base, self.tracing);
         self.vclock = base + result.stats.traversed_steps + 1;
         self.cumulative.merge(&result.stats);
         self.account_batch(base, &result.stats);
@@ -444,12 +488,82 @@ impl<'p> AnalysisSession<'p> {
         &self.cache
     }
 
-    /// Forgets everything warm — store contents, memoised schedules,
-    /// virtual clock, cumulative stats — returning the session to its
-    /// just-constructed state (budget and configuration are kept).
+    /// The live graph the session currently answers against (the edited
+    /// revision once [`Self::apply_delta`] has run).
+    pub fn pag(&self) -> &Pag {
+        &self.pag
+    }
+
+    /// Matrix-memo closures currently warm (0 until a matrix batch ran).
+    pub fn matrix_memo_entries(&self) -> usize {
+        self.matrix_memo.entry_count()
+    }
+
+    /// Edits the live graph in place and selectively invalidates the warm
+    /// state, so the next [`Self::submit`] answers against the edited
+    /// program while still reusing every unaffected warm entry.
+    ///
+    /// Exactness (DESIGN.md §12): a jmp entry or matrix closure is dropped
+    /// iff its recorded traversal footprint is missing or intersects the
+    /// delta's *effective* dirty node/field sets; a memoised schedule is
+    /// dropped iff its query set contains a dirty node. A no-op delta
+    /// (every op cancelled out) invalidates nothing and does not touch the
+    /// graph. The per-call counts are returned in the [`DeltaReport`] and
+    /// accumulate into [`Self::cumulative`]
+    /// ([`RunStats::invalidated_jmps`] / [`RunStats::invalidated_memos`] /
+    /// [`RunStats::retained_warm`]). The virtual clock does not advance —
+    /// an edit is not a batch.
+    pub fn apply_delta(&mut self, delta: &PagDelta) -> DeltaReport {
+        let (new_pag, effect) = self.pag.apply_delta(delta);
+        if effect.is_noop() {
+            return DeltaReport {
+                revision: self.pag.revision(),
+                noop: true,
+                ..DeltaReport::default()
+            };
+        }
+        if self.solver.chaos_skip_invalidation {
+            // Fault injection (parcfl-check only): swap the graph but keep
+            // every stale warm entry — the differential battery must catch
+            // the divergence this causes.
+            self.pag = Cow::Owned(new_pag);
+            return DeltaReport {
+                revision: self.pag.revision(),
+                ..DeltaReport::default()
+            };
+        }
+        let dirty = DirtySet::from_effect(&effect);
+        let (invalidated_jmps, retained_jmps) = self.store.invalidate_delta(&dirty);
+        let (invalidated_memos, retained_memos) = self.matrix_memo.invalidate_delta(&dirty);
+        let dirty_nodes: Vec<NodeId> = effect.dirty_nodes().collect();
+        let invalidated_schedules = self.cache.invalidate_nodes(&dirty_nodes);
+        self.pag = Cow::Owned(new_pag);
+        self.cumulative.merge(&RunStats {
+            invalidated_jmps,
+            invalidated_memos,
+            retained_warm: retained_jmps + retained_memos,
+            ..RunStats::default()
+        });
+        DeltaReport {
+            revision: self.pag.revision(),
+            noop: false,
+            invalidated_jmps,
+            retained_jmps,
+            invalidated_memos,
+            retained_memos,
+            invalidated_schedules,
+        }
+    }
+
+    /// Forgets everything warm — store contents, matrix memo, memoised
+    /// schedules, virtual clock, cumulative stats — returning the session
+    /// to its just-constructed state (budget and configuration are kept,
+    /// and so is the *graph*: applied deltas are program state, not warm
+    /// state).
     pub fn reset(&mut self) {
         self.store.clear();
         self.cache.clear();
+        self.matrix_memo = MatrixMemo::default();
         self.vclock = 0;
         self.cumulative = RunStats::default();
         self.counters.reset();
@@ -479,7 +593,7 @@ impl<'p> AnalysisSession<'p> {
                 rebalance: true,
                 max_group_size: Some(self.group_cap.unwrap_or(1)),
             };
-            self.cache.schedule(self.pag, queries, &opts)
+            self.cache.schedule(&self.pag, queries, &opts)
         } else {
             std::sync::Arc::new(Schedule::unscheduled(queries))
         }
@@ -491,6 +605,7 @@ mod tests {
     use super::*;
     use crate::run_seq;
     use parcfl_frontend::build_pag;
+    use parcfl_pag::{DeltaOp, Edge, EdgeKind};
 
     const SRC: &str = "class Obj { }
         class Box { field f: Obj; }
@@ -895,6 +1010,147 @@ mod tests {
         let dense: Vec<_> = queries.iter().cycle().take(64).copied().collect();
         let d = s.submit(&dense, Mode::DataSharingSched, Backend::Simulated);
         assert_eq!(d.stats.engine_dispatched, Some(crate::Engine::Matrix));
+    }
+
+    /// The `y{i} = x{i}` local assignment of chain `i` (looked up as an
+    /// actual frozen edge, so removing it is guaranteed effective).
+    fn chain_assign_edge(pag: &Pag, i: usize) -> Edge {
+        let x = pag.node_by_name(&format!("x{i}@A.m")).unwrap();
+        let y = pag.node_by_name(&format!("y{i}@A.m")).unwrap();
+        *pag.edges()
+            .iter()
+            .find(|e| {
+                e.kind == EdgeKind::AssignLocal
+                    && ((e.src == x && e.dst == y) || (e.src == y && e.dst == x))
+            })
+            .expect("chain assignment exists")
+    }
+
+    #[test]
+    fn apply_delta_invalidates_selectively_and_requeries_match_cold() {
+        let src = many_chains_src(4);
+        let pag = build_pag(&src).unwrap().pag;
+        let queries = pag.application_locals();
+        let mut s = AnalysisSession::new(&pag).with_solver(solver());
+        s.submit(&queries, Mode::DataSharingSched, Backend::Simulated);
+        let resident = s.store_entries() as u64;
+        assert!(resident > 0);
+
+        let mut d = PagDelta::new();
+        d.push(DeltaOp::RemoveEdge(chain_assign_edge(&pag, 0)));
+        let report = s.apply_delta(&d);
+        assert!(!report.noop);
+        assert_eq!(report.revision, 1);
+        assert_eq!(s.pag().revision(), 1);
+        assert!(report.invalidated_jmps > 0, "entries touching chain 0 drop");
+        assert!(report.retained_jmps > 0, "independent chains stay warm");
+        assert_eq!(report.invalidated_jmps + report.retained_jmps, resident);
+        assert_eq!(s.store_entries() as u64, report.retained_jmps);
+        assert_eq!(
+            report.invalidated_schedules, 1,
+            "the memoised batch schedule contains a dirty query"
+        );
+        // The counters fold into the cumulative totals as sums.
+        assert_eq!(s.cumulative().invalidated_jmps, report.invalidated_jmps);
+        assert_eq!(s.cumulative().retained_warm, report.retained_jmps);
+        // A warm re-query over the edited graph matches a cold run exactly.
+        let warm = s.submit(&queries, Mode::DataSharingSched, Backend::Simulated);
+        let cold = run_seq(s.pag(), &queries, &SolverConfig::default());
+        assert_eq!(warm.sorted_answers(), cold.sorted_answers());
+    }
+
+    #[test]
+    fn noop_delta_invalidates_nothing_and_keeps_everything_warm() {
+        let pag = build_pag(SRC).unwrap().pag;
+        let queries = pag.application_locals();
+        let mut s = AnalysisSession::new(&pag).with_solver(solver());
+        let cold = s.submit(&queries, Mode::DataSharingSched, Backend::Simulated);
+        let resident = s.store_entries();
+        // Removing an absent edge cancels to a no-op.
+        let mut d = PagDelta::new();
+        d.remove_edge(queries[0], queries[0], EdgeKind::New);
+        let report = s.apply_delta(&d);
+        assert_eq!(
+            report,
+            DeltaReport {
+                revision: 0,
+                noop: true,
+                ..DeltaReport::default()
+            }
+        );
+        assert_eq!(s.pag().revision(), 0);
+        assert_eq!(s.store_entries(), resident, "nothing invalidated");
+        assert_eq!(s.cumulative().invalidated_jmps, 0);
+        assert_eq!(s.cumulative().retained_warm, 0);
+        // Everything stayed warm: the next batch re-solves nothing.
+        let warm = s.submit(&queries, Mode::DataSharingSched, Backend::Simulated);
+        assert_eq!(warm.sorted_answers(), cold.sorted_answers());
+        assert!(warm.stats.warm_hits > 0);
+        assert!(warm.stats.traversed_steps < cold.stats.traversed_steps);
+    }
+
+    #[test]
+    fn chaos_skip_invalidation_leaves_stale_warm_state() {
+        let pag = build_pag(SRC).unwrap().pag;
+        let queries = pag.application_locals();
+        let mut cfg = solver();
+        cfg.chaos_skip_invalidation = true;
+        let mut s = AnalysisSession::new(&pag).with_solver(cfg);
+        s.submit(&queries, Mode::DataSharingSched, Backend::Simulated);
+        let resident = s.store_entries();
+        assert!(resident > 0);
+        let mut d = PagDelta::new();
+        d.push(DeltaOp::RemoveEdge(pag.edges()[0]));
+        let report = s.apply_delta(&d);
+        assert!(!report.noop);
+        assert_eq!(report.revision, 1);
+        assert_eq!(s.pag().revision(), 1, "the graph still swaps");
+        assert_eq!(report.invalidated_jmps, 0);
+        assert_eq!(report.invalidated_memos, 0);
+        assert_eq!(
+            s.store_entries(),
+            resident,
+            "stale entries survive — the fault the differential battery must catch"
+        );
+    }
+
+    #[test]
+    fn matrix_memo_carries_across_batches_and_invalidates_by_footprint() {
+        let src = many_chains_src(4);
+        let pag = build_pag(&src).unwrap().pag;
+        let queries = pag.application_locals();
+        let mut s = AnalysisSession::new(&pag)
+            .with_threads(2)
+            .with_solver(solver())
+            .with_engine(crate::Engine::Matrix);
+        let cold = s.submit(&queries, Mode::DataSharingSched, Backend::Simulated);
+        assert!(s.matrix_memo_entries() > 0, "closures survive the batch");
+        let warm = s.submit(&queries, Mode::DataSharingSched, Backend::Simulated);
+        assert_eq!(cold.sorted_answers(), warm.sorted_answers());
+        assert!(
+            warm.stats.traversed_steps < cold.stats.traversed_steps,
+            "warm memo skips closure recomputation ({} !< {})",
+            warm.stats.traversed_steps,
+            cold.stats.traversed_steps
+        );
+
+        let entries = s.matrix_memo_entries() as u64;
+        let mut d = PagDelta::new();
+        d.push(DeltaOp::RemoveEdge(chain_assign_edge(&pag, 0)));
+        let report = s.apply_delta(&d);
+        assert!(report.invalidated_memos > 0, "chain-0 closures drop");
+        assert!(report.retained_memos > 0, "other chains' closures survive");
+        assert_eq!(report.invalidated_memos + report.retained_memos, entries);
+        assert_eq!(s.matrix_memo_entries() as u64, report.retained_memos);
+        assert_eq!(s.cumulative().invalidated_memos, report.invalidated_memos);
+        // Warm incremental answers over the edited graph == cold reference.
+        let requery = s.submit(&queries, Mode::DataSharingSched, Backend::Simulated);
+        let coldref = run_seq(s.pag(), &queries, &SolverConfig::default());
+        assert_eq!(requery.sorted_answers(), coldref.sorted_answers());
+        // reset() clears the warm memo but keeps the edited graph.
+        s.reset();
+        assert_eq!(s.matrix_memo_entries(), 0);
+        assert_eq!(s.pag().revision(), 1);
     }
 
     #[test]

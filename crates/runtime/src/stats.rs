@@ -109,6 +109,18 @@ pub struct RunStats {
     /// gathers and alias pends, broken out by edge class. All zero for
     /// demand engines.
     pub sweep_class_steps: [u64; parcfl_pag::EDGE_CLASSES],
+    /// Jmp entries dropped by selective invalidation across every
+    /// [`crate::AnalysisSession::apply_delta`] folded in. A **counter**
+    /// (sums across batches/deltas), not a gauge: each invalidation is a
+    /// distinct event, unlike `store_entries`' residency snapshots.
+    pub invalidated_jmps: u64,
+    /// Matrix-memo closures dropped by selective invalidation, summed the
+    /// same way as `invalidated_jmps`.
+    pub invalidated_memos: u64,
+    /// Warm entries (jmp + memo) that *survived* selective invalidation,
+    /// summed over deltas — the reuse the footprints bought. Also a
+    /// counter: an entry surviving two deltas is two retention events.
+    pub retained_warm: u64,
     /// Latency histograms (query latency, steal wait, lock wait, group
     /// makespan), merged slot-wise across workers and batches. Units are
     /// nanoseconds under real execution, traversal steps under the
@@ -178,6 +190,9 @@ impl RunStats {
         self.packed_gathers += other.packed_gathers;
         self.csr_fallback_rows += other.csr_fallback_rows;
         self.pool_dispatch_ns += other.pool_dispatch_ns;
+        self.invalidated_jmps += other.invalidated_jmps;
+        self.invalidated_memos += other.invalidated_memos;
+        self.retained_warm += other.retained_warm;
         for (acc, &v) in self
             .sweep_class_steps
             .iter_mut()
@@ -348,6 +363,9 @@ mod tests {
                 csr_fallback_rows: 4,
                 pool_dispatch_ns: 100,
                 sweep_class_steps: [1, 2, 3, 4, 5, 6, 7],
+                invalidated_jmps: 2,
+                invalidated_memos: 3,
+                retained_warm: 4,
                 hists: hist_of(&[10, 20]),
             },
             RunStats {
@@ -381,6 +399,9 @@ mod tests {
                 csr_fallback_rows: 1,
                 pool_dispatch_ns: 50,
                 sweep_class_steps: [10, 0, 0, 0, 0, 0, 1],
+                invalidated_jmps: 5,
+                invalidated_memos: 1,
+                retained_warm: 6,
                 hists: hist_of(&[30]),
             },
         ];
@@ -403,6 +424,9 @@ mod tests {
         assert_eq!(cum.csr_fallback_rows, 5);
         assert_eq!(cum.pool_dispatch_ns, 150);
         assert_eq!(cum.sweep_class_steps, [11, 2, 3, 4, 5, 6, 8]);
+        assert_eq!(cum.invalidated_jmps, 7, "invalidation counters sum");
+        assert_eq!(cum.invalidated_memos, 4);
+        assert_eq!(cum.retained_warm, 10);
         assert_eq!(cum.hists, hist_of(&[10, 20, 30]), "histograms merge");
         assert_eq!(cum.mem_items, 16);
         assert_eq!(cum.peak_mem_items, 8, "peak takes the max across batches");
@@ -423,6 +447,109 @@ mod tests {
         );
         assert_eq!(cum.pool_spawns, 7, "pool gauges follow the latest batch");
         assert_eq!(cum.pool_wakes, 41);
+    }
+
+    /// Pins the merge class of *every* `RunStats` field. The batch
+    /// literals name each field explicitly (no `..Default::default()`),
+    /// so adding a field without classifying it here fails to compile —
+    /// the guard that caught the invalidation counters being introduced
+    /// as latest-wins gauges when each delta's drops must sum.
+    #[test]
+    fn merge_class_of_every_field_is_pinned() {
+        use parcfl_concurrent::WorkerObs;
+        let hist_of = |v: u64| {
+            let mut h = ObsHists::default();
+            h.query_latency.record(v);
+            h
+        };
+        let batch = |k: u64| RunStats {
+            // Counters: sum across batches.
+            queries: k as usize,
+            completed: k as usize,
+            out_of_budget: k as usize,
+            early_terminations: k as usize,
+            charged_steps: k,
+            traversed_steps: k,
+            steps_saved: k,
+            shortcuts_taken: k,
+            warm_hits: k,
+            evictions: k,
+            jmp_inserts: k,
+            packed_gathers: k,
+            csr_fallback_rows: k,
+            pool_dispatch_ns: k,
+            sweep_class_steps: [k; parcfl_pag::EDGE_CLASSES],
+            invalidated_jmps: k,
+            invalidated_memos: k,
+            retained_warm: k,
+            mem_items: k,
+            // Additive time measures: sum.
+            makespan: k,
+            wall: std::time::Duration::from_nanos(k),
+            batches: 1,
+            // Peaks: max.
+            peak_mem_items: k,
+            peak_state_words: k,
+            // Gauges: latest batch's observation wins.
+            store_entries: k as usize,
+            jmp_edges: k as usize,
+            jmp_bytes: k as usize,
+            avg_group_size: k as f64,
+            interner_ctxs: k as usize,
+            engine_dispatched: Some(crate::Engine::Demand),
+            pool_spawns: k,
+            pool_wakes: k,
+            // Structured: workers sum slot-wise, hists merge.
+            workers: vec![WorkerObs {
+                worker: 0,
+                local_pops: k,
+                ..WorkerObs::default()
+            }],
+            hists: hist_of(k),
+        };
+        let mut cum = RunStats::default();
+        cum.merge(&batch(10));
+        cum.merge(&batch(3));
+        // Counters sum.
+        assert_eq!(cum.queries, 13);
+        assert_eq!(cum.completed, 13);
+        assert_eq!(cum.out_of_budget, 13);
+        assert_eq!(cum.early_terminations, 13);
+        assert_eq!(cum.charged_steps, 13);
+        assert_eq!(cum.traversed_steps, 13);
+        assert_eq!(cum.steps_saved, 13);
+        assert_eq!(cum.shortcuts_taken, 13);
+        assert_eq!(cum.warm_hits, 13);
+        assert_eq!(cum.evictions, 13);
+        assert_eq!(cum.jmp_inserts, 13);
+        assert_eq!(cum.packed_gathers, 13);
+        assert_eq!(cum.csr_fallback_rows, 13);
+        assert_eq!(cum.pool_dispatch_ns, 13);
+        assert_eq!(cum.sweep_class_steps, [13; parcfl_pag::EDGE_CLASSES]);
+        assert_eq!(cum.invalidated_jmps, 13, "invalidations SUM, not latest");
+        assert_eq!(cum.invalidated_memos, 13, "invalidations SUM, not latest");
+        assert_eq!(cum.retained_warm, 13, "retention events SUM, not latest");
+        assert_eq!(cum.mem_items, 13);
+        // Additive time.
+        assert_eq!(cum.makespan, 13);
+        assert_eq!(cum.wall, std::time::Duration::from_nanos(13));
+        assert_eq!(cum.batches, 2);
+        // Peaks max.
+        assert_eq!(cum.peak_mem_items, 10);
+        assert_eq!(cum.peak_state_words, 10);
+        // Gauges take the latest batch.
+        assert_eq!(cum.store_entries, 3);
+        assert_eq!(cum.jmp_edges, 3);
+        assert_eq!(cum.jmp_bytes, 3);
+        assert_eq!(cum.avg_group_size, 3.0);
+        assert_eq!(cum.interner_ctxs, 3);
+        assert_eq!(cum.engine_dispatched, Some(crate::Engine::Demand));
+        assert_eq!(cum.pool_spawns, 3);
+        assert_eq!(cum.pool_wakes, 3);
+        // Structured.
+        assert_eq!(cum.workers.len(), 1);
+        assert_eq!(cum.workers[0].local_pops, 13);
+        assert_eq!(cum.hists.query_latency.count(), 2);
     }
 
     #[test]

@@ -90,6 +90,23 @@ impl ScheduleCache {
     pub fn clear(&self) {
         self.schedules.lock().unwrap().clear();
     }
+
+    /// Selective invalidation after a PAG delta: drops exactly the
+    /// memoised schedules whose query set contains a dirty node (their
+    /// grouping/ordering may reflect edges that no longer exist), keeping
+    /// every other schedule warm. The level table survives — it depends
+    /// only on the type hierarchy, which edge edits never touch. Returns
+    /// the number of schedules dropped.
+    pub fn invalidate_nodes(&self, dirty: &[NodeId]) -> u64 {
+        if dirty.is_empty() {
+            return 0;
+        }
+        let dirty: parcfl_concurrent::FxHashSet<NodeId> = dirty.iter().copied().collect();
+        let mut map = self.schedules.lock().unwrap();
+        let before = map.len();
+        map.retain(|(queries, _, _), _| !queries.iter().any(|q| dirty.contains(q)));
+        (before - map.len()) as u64
+    }
 }
 
 #[cfg(test)]
@@ -160,5 +177,29 @@ mod tests {
         // reuses the table.
         cache.schedule(&pag, &queries, &ScheduleOptions::default());
         assert_eq!(cache.misses(), 4);
+    }
+
+    #[test]
+    fn invalidate_nodes_drops_only_containing_schedules() {
+        let pag = sample();
+        let queries = pag.application_locals();
+        let cache = ScheduleCache::new();
+        let opts = ScheduleOptions::default();
+        cache.schedule(&pag, &queries, &opts); // contains queries[0]
+        cache.schedule(&pag, &queries[1..], &opts); // does not
+        assert_eq!(cache.len(), 2);
+        // No dirty nodes: nothing moves.
+        assert_eq!(cache.invalidate_nodes(&[]), 0);
+        // A node outside every query set: nothing moves either.
+        let foreign = NodeId::new(u32::MAX - 1);
+        assert_eq!(cache.invalidate_nodes(&[foreign]), 0);
+        assert_eq!(cache.len(), 2);
+        // Dirtying queries[0] drops exactly the schedule containing it.
+        assert_eq!(cache.invalidate_nodes(&[queries[0]]), 1);
+        assert_eq!(cache.len(), 1);
+        // The survivor still serves hits.
+        let before = cache.hits();
+        cache.schedule(&pag, &queries[1..], &opts);
+        assert_eq!(cache.hits(), before + 1);
     }
 }

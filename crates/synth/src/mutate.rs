@@ -8,7 +8,12 @@
 //! keeps all existing [`NodeId`]s (and therefore the query set) valid.
 
 use parcfl_pag::{types::TypeInfo, types::TypeTable, MethodId};
-use parcfl_pag::{Edge, NodeId, NodeInfo, NodeKind, Pag, PagBuilder, TypeId};
+use parcfl_pag::{
+    CallSiteId, DeltaOp, Edge, EdgeKind, FieldId, NodeId, NodeInfo, NodeKind, Pag, PagBuilder,
+    TypeId,
+};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 
 /// Rebuilds `pag` with the same nodes, types, methods and call sites but
 /// only the given `edges`. Node ids are preserved, so queries against the
@@ -115,6 +120,191 @@ pub fn compact(pag: &Pag, pinned: &[NodeId]) -> (Pag, Vec<NodeId>) {
     (b.freeze(), remapped)
 }
 
+/// Strongly-connected-component ids (Kosaraju, iterative) for the
+/// directed graph `edges` over `n` nodes.
+fn scc_ids(n: usize, edges: &[Edge]) -> Vec<u32> {
+    let mut fwd = vec![Vec::new(); n];
+    let mut rev = vec![Vec::new(); n];
+    for e in edges {
+        fwd[e.src.index()].push(e.dst.index());
+        rev[e.dst.index()].push(e.src.index());
+    }
+    let mut seen = vec![false; n];
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let mut stack: Vec<(usize, usize)> = Vec::new();
+    for s in 0..n {
+        if seen[s] {
+            continue;
+        }
+        seen[s] = true;
+        stack.push((s, 0));
+        while let Some(top) = stack.last_mut() {
+            let (v, i) = *top;
+            if let Some(&w) = fwd[v].get(i) {
+                top.1 += 1;
+                if !seen[w] {
+                    seen[w] = true;
+                    stack.push((w, 0));
+                }
+            } else {
+                order.push(v);
+                stack.pop();
+            }
+        }
+    }
+    let mut comp = vec![u32::MAX; n];
+    let mut next = 0u32;
+    for &s in order.iter().rev() {
+        if comp[s] != u32::MAX {
+            continue;
+        }
+        comp[s] = next;
+        let mut dfs = vec![s];
+        while let Some(v) = dfs.pop() {
+            for &w in &rev[v] {
+                if comp[w] == u32::MAX {
+                    comp[w] = next;
+                    dfs.push(w);
+                }
+            }
+        }
+        next += 1;
+    }
+    comp
+}
+
+/// How many call-payload (param/ret) edges sit inside a directed cycle
+/// (both endpoints in one SCC). Each such edge is a context-push cycle:
+/// traversals re-enter it under ever-longer call strings, so the demand
+/// solver can only answer by burning its entire budget (superlinearly —
+/// per-step cost grows with context depth) and the naive oracle can only
+/// hit its step cap. Edit sampling refuses to create new ones.
+fn cyclic_call_edges(n: usize, edges: &[Edge]) -> usize {
+    let comp = scc_ids(n, edges);
+    edges
+        .iter()
+        .filter(|e| e.kind.call_site().is_some() && comp[e.src.index()] == comp[e.dst.index()])
+        .count()
+}
+
+/// Samples a deterministic `count`-op edit script over `pag` for the
+/// mutate-then-requery fuzz dimension: removals of edges the graph
+/// actually has (guaranteed-effective edits) interleaved with additions
+/// between existing nodes, payloads drawn in range. `New` edges are only
+/// added out of object nodes so the edited graph stays within the
+/// semantics both the solver and the naive oracle agree on. Ops may still
+/// cancel to no-ops (adding a present edge) — that exercises the
+/// zero-invalidation path on purpose.
+///
+/// One structural invariant is enforced: no sampled addition may put a
+/// param/ret edge inside a directed cycle (see [`cyclic_call_edges`]) —
+/// such graphs have unbounded context growth, which neither the budgeted
+/// solver nor the step-capped oracle can answer, so every comparison
+/// would degenerate to an OutOfBudget-vs-StepCap skip after minutes of
+/// grinding. Candidates that would create one are resampled; after 8
+/// tries the op falls back to a (always-safe) removal.
+pub fn sample_edits(pag: &Pag, seed: u64, count: usize) -> Vec<DeltaOp> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = pag.node_count();
+    let mut ops = Vec::with_capacity(count);
+    if n == 0 {
+        return ops;
+    }
+    let objects: Vec<NodeId> = pag
+        .node_ids()
+        .filter(|&v| pag.kind(v).is_object())
+        .collect();
+    // Working edge set tracking the script so far, for the cycle check.
+    let mut cur: Vec<Edge> = pag.edges().to_vec();
+    let mut cyclic = cyclic_call_edges(n, &cur);
+    let remove = |rng: &mut StdRng, cur: &mut Vec<Edge>, ops: &mut Vec<DeltaOp>| {
+        let e = pag.edges()[rng.random_range(0usize..pag.edge_count())];
+        if let Some(i) = cur.iter().position(|&c| c == e) {
+            cur.swap_remove(i);
+        }
+        ops.push(DeltaOp::RemoveEdge(e));
+    };
+    for _ in 0..count {
+        if pag.edge_count() > 0 && rng.random_bool(0.5) {
+            remove(&mut rng, &mut cur, &mut ops);
+            cyclic = cyclic_call_edges(n, &cur);
+            continue;
+        }
+        let mut accepted = false;
+        for _attempt in 0..8 {
+            let src = NodeId::from_usize(rng.random_range(0usize..n));
+            let dst = NodeId::from_usize(rng.random_range(0usize..n));
+            let fields = pag.types().field_count();
+            let sites = pag.call_site_count();
+            let candidate = match rng.random_range(0usize..6) {
+                0 if !objects.is_empty() => {
+                    // Allocation edges leave object nodes.
+                    let o = objects[rng.random_range(0usize..objects.len())];
+                    Edge {
+                        src: o,
+                        dst,
+                        kind: EdgeKind::New,
+                    }
+                }
+                1 if fields > 0 => Edge {
+                    src,
+                    dst,
+                    kind: EdgeKind::Load(FieldId::from_usize(rng.random_range(0usize..fields))),
+                },
+                2 if fields > 0 => Edge {
+                    src,
+                    dst,
+                    kind: EdgeKind::Store(FieldId::from_usize(rng.random_range(0usize..fields))),
+                },
+                3 if sites > 0 => Edge {
+                    src,
+                    dst,
+                    kind: EdgeKind::Param(CallSiteId::from_usize(rng.random_range(0usize..sites))),
+                },
+                4 if sites > 0 => Edge {
+                    src,
+                    dst,
+                    kind: EdgeKind::Ret(CallSiteId::from_usize(rng.random_range(0usize..sites))),
+                },
+                _ => Edge {
+                    src,
+                    dst,
+                    kind: EdgeKind::AssignLocal,
+                },
+            };
+            cur.push(candidate);
+            let now_cyclic = cyclic_call_edges(n, &cur);
+            if now_cyclic > cyclic {
+                cur.pop();
+                continue;
+            }
+            cyclic = now_cyclic;
+            ops.push(DeltaOp::AddEdge(candidate));
+            accepted = true;
+            break;
+        }
+        if !accepted {
+            if pag.edge_count() > 0 {
+                remove(&mut rng, &mut cur, &mut ops);
+                cyclic = cyclic_call_edges(n, &cur);
+            } else {
+                // Edgeless graph: a payload-free add cannot touch a call
+                // edge, so it is always safe.
+                let src = NodeId::from_usize(rng.random_range(0usize..n));
+                let dst = NodeId::from_usize(rng.random_range(0usize..n));
+                let e = Edge {
+                    src,
+                    dst,
+                    kind: EdgeKind::AssignLocal,
+                };
+                cur.push(e);
+                ops.push(DeltaOp::AddEdge(e));
+            }
+        }
+    }
+    ops
+}
+
 /// Builds a fresh single-type [`TypeTable`] with `field_count` interned
 /// fields (including the builtin `arr`) — the canonical table snapshot
 /// parsing reconstructs. Returns the table and the id of its one type.
@@ -194,6 +384,50 @@ mod tests {
         assert_eq!(remapped.len(), 1);
         assert_eq!(e.dst, remapped[0]);
         assert!(matches!(e.kind, k if k == e0.kind));
+    }
+
+    #[test]
+    fn sample_edits_is_deterministic_and_in_range() {
+        let b = build_bench(&Profile::tiny(9));
+        let a = sample_edits(&b.pag, 42, 8);
+        assert_eq!(a, sample_edits(&b.pag, 42, 8), "same seed, same script");
+        assert_eq!(a.len(), 8);
+        for op in &a {
+            let e = op.edge();
+            assert!(e.src.index() < b.pag.node_count());
+            assert!(e.dst.index() < b.pag.node_count());
+            if let DeltaOp::RemoveEdge(e) = op {
+                assert!(b.pag.edges().contains(e), "removals target real edges");
+            }
+            if let DeltaOp::AddEdge(e) = op {
+                if e.kind == EdgeKind::New {
+                    assert!(b.pag.kind(e.src).is_object(), "new edges leave objects");
+                }
+            }
+        }
+        assert_ne!(sample_edits(&b.pag, 43, 8), a, "seed moves the script");
+    }
+
+    /// No sampled script may put a param/ret edge inside a directed
+    /// cycle: such graphs have unbounded context growth, which turns
+    /// every downstream consumer (budgeted solver, step-capped oracle)
+    /// into a minutes-long burn with nothing comparable at the end.
+    #[test]
+    fn sample_edits_never_create_context_push_cycles() {
+        use parcfl_pag::PagDelta;
+        for seed in 0..24u64 {
+            let b = build_bench(&Profile::tiny(seed));
+            let base = cyclic_call_edges(b.pag.node_count(), b.pag.edges());
+            let mut delta = PagDelta::new();
+            for op in sample_edits(&b.pag, seed.wrapping_mul(31) + 7, 6) {
+                delta.push(op);
+            }
+            let (edited, _) = b.pag.apply_delta(&delta);
+            assert!(
+                cyclic_call_edges(edited.node_count(), edited.edges()) <= base,
+                "seed {seed}: edit script created a context-push cycle"
+            );
+        }
     }
 
     #[test]

@@ -7,7 +7,8 @@
 //! parcfl dot   <file.mj>
 //! parcfl bench <benchmark-name> [--threads N] [--mode naive|d|dq]
 //! parcfl bench-diff <baseline.json> <current.json> [--gate MODE] [--report PATH]
-//! parcfl check [--fuzz N] [--seed S] [--no-shrink] [--chaos] [--out PATH]
+//! parcfl check [--fuzz N] [--seed S] [--no-shrink] [--chaos] [--delta]
+//!              [--chaos-invalidation] [--out PATH]
 //! parcfl check --replay <file.snap>
 //! ```
 
@@ -109,14 +110,19 @@ USAGE:
       (feed it back through `parcfl query`/`stats`/`dot`).
   parcfl why <file.mj> --var NAME [--budget N]
       Explain each object in NAME's points-to set with a witness path.
-  parcfl check [--fuzz N] [--seed S] [--no-shrink] [--chaos] [--out PATH]
+  parcfl check [--fuzz N] [--seed S] [--no-shrink] [--chaos] [--delta]
+               [--chaos-invalidation] [--out PATH]
       Differential fuzzing: N seeded scenarios (default 25) across
       modes/backends/schedules, each checked against the naive oracle and
-      the Andersen inclusion solution. On failure the counterexample is
-      shrunk (disable with --no-shrink), written to PATH (default
-      counterexample.snap) and the exit code is 1. --seed overrides
-      PARCFL_TEST_SEED; --chaos injects a context-blind jmp-store fault
-      to prove the harness catches real sharing bugs.
+      the Andersen inclusion solution. A quarter of eligible iterations
+      mutate the PAG mid-session and re-query against warm state;
+      --delta forces that dimension on for every eligible iteration. On
+      failure the counterexample is shrunk (disable with --no-shrink),
+      written to PATH (default counterexample.snap) and the exit code is
+      1. --seed overrides PARCFL_TEST_SEED; --chaos injects a
+      context-blind jmp-store fault and --chaos-invalidation disables
+      delta invalidation entirely — both prove the harness catches the
+      corresponding real bugs (expected exit 1).
   parcfl check --replay <file.snap>
       Re-run a recorded counterexample snapshot exactly as captured and
       report whether it still disagrees with the oracle."
@@ -532,12 +538,18 @@ fn cmd_check(args: &[String]) {
             exit(1);
         });
         outln!(
-            "{path}: {} nodes, {} edges, {} queries{}",
+            "{path}: {} nodes, {} edges, {} queries, {} edits{}{}",
             scenario.pag.node_count(),
             scenario.pag.edge_count(),
             scenario.queries.len(),
+            scenario.deltas.len(),
             if scenario.solver.chaos_jmp_ignore_ctx {
                 " [chaos fault injected]"
+            } else {
+                ""
+            },
+            if scenario.solver.chaos_skip_invalidation {
+                " [invalidation disabled]"
             } else {
                 ""
             }
@@ -572,6 +584,8 @@ fn cmd_check(args: &[String]) {
         seed,
         shrink: !args.iter().any(|a| a == "--no-shrink"),
         chaos: args.iter().any(|a| a == "--chaos"),
+        delta: args.iter().any(|a| a == "--delta"),
+        chaos_invalidation: args.iter().any(|a| a == "--chaos-invalidation"),
         ..FuzzConfig::default()
     };
     let report = run_fuzz(&cfg);
@@ -603,11 +617,14 @@ fn cmd_check(args: &[String]) {
             );
             if let Some(st) = f.shrink_stats {
                 outln!(
-                    "shrunk {} -> {} edges, {} -> {} queries in {} predicate checks",
+                    "shrunk {} -> {} edges, {} -> {} queries, {} -> {} edits \
+                     in {} predicate checks",
                     st.edges.0,
                     st.edges.1,
                     st.queries.0,
                     st.queries.1,
+                    st.deltas.0,
+                    st.deltas.1,
                     st.checks
                 );
             }

@@ -22,8 +22,10 @@ fn corpus_snapshots_replay_clean() {
         let mut scenario = Scenario::from_snapshot(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
         // Counterexamples are committed as found — including injected
         // faults. Replay checks the production solver, so fault
-        // injection is cleared.
+        // injection (context-blind jmp keys, skipped delta
+        // invalidation) is cleared.
         scenario.solver.chaos_jmp_ignore_ctx = false;
+        scenario.solver.chaos_skip_invalidation = false;
         if let Some(detail) = failure_detail(&scenario) {
             panic!("{name}: replay disagrees with the oracle: {detail}");
         }

@@ -471,6 +471,7 @@ fn matrix_differential_two_hundred_scenarios() {
             // Cycle the trace ladder too: recording must never perturb
             // the differential (tracing is observation-only).
             trace_level: [TraceLevel::Off, TraceLevel::Spans, TraceLevel::Full][(i % 3) as usize],
+            deltas: vec![],
         };
         if let Some(detail) = failure_detail(&scenario) {
             panic!(

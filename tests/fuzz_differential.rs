@@ -59,6 +59,7 @@ fn fuzz_differential_zero_mismatches() {
         threaded_every: 10,
         chaos: false,
         use_small: true,
+        ..FuzzConfig::default()
     };
     let report = run_fuzz(&cfg);
     if let Some(f) = &report.failure {
@@ -132,6 +133,7 @@ fn chaos_bug_is_caught_and_shrinks_small() {
             threaded_every: 0,
             chaos: true,
             use_small: false,
+            ..FuzzConfig::default()
         };
         let report = run_fuzz(&cfg);
         if let Some(f) = report.failure {

@@ -1,0 +1,421 @@
+//! Incremental analysis properties (DESIGN.md §12): PAG deltas with
+//! selective jmp/memo/schedule invalidation must be indistinguishable
+//! from cold starts.
+//!
+//! Three layers of proof:
+//!
+//! 1. **Graph layer** — a [`Pag`] produced by `apply_delta` (selective
+//!    packed-row rebuild, table patching) behaves bit-identically to a
+//!    from-scratch frozen graph with the same edge set: answers *and*
+//!    deterministic step counters, across engine × state backend ×
+//!    sweep workers {1, 2, 4, 8} × packed on/off.
+//! 2. **Session layer** — warm re-queries after `apply_delta` (jmp
+//!    store, matrix memo and schedule cache selectively invalidated by
+//!    footprint) answer exactly like a cold session on the edited
+//!    graph, on both engines at every worker count.
+//! 3. **Battery layer** — a deliberately broken invalidation
+//!    (`chaos_skip_invalidation`) is caught by the differential fuzzer
+//!    and shrunk to a ≤ 10-edge, ≤ 3-edit counterexample that passes
+//!    once the fault is removed.
+
+use parcfl::check::seed::derive;
+use parcfl::check::{run_fuzz, scenario_fails, test_seed, FuzzConfig, Scenario};
+use parcfl::core::{SolverConfig, StateBackend};
+use parcfl::frontend::build_pag;
+use parcfl::pag::{DeltaOp, EdgeKind, NodeId, Pag, PagDelta};
+use parcfl::runtime::{run_matrix, run_seq, AnalysisSession, Backend, Engine, Mode, RunConfig};
+use parcfl::synth::mutate::{rebuild_with_edges, sample_edits};
+use parcfl::synth::{build_bench, Profile};
+
+fn ample(state: StateBackend, packed: bool) -> SolverConfig {
+    SolverConfig {
+        budget: 5_000_000,
+        tau_finished: 0,
+        tau_unfinished: 0,
+        state,
+        packed,
+        ..SolverConfig::default()
+    }
+}
+
+/// The `AssignLocal` edge between two named locals, in either direction.
+fn assign_edge_between(pag: &Pag, a: &str, b: &str) -> parcfl::pag::Edge {
+    let na = pag.node_by_name(a).expect("node a");
+    let nb = pag.node_by_name(b).expect("node b");
+    *pag.edges()
+        .iter()
+        .find(|e| {
+            e.kind == EdgeKind::AssignLocal
+                && ((e.src == na && e.dst == nb) || (e.src == nb && e.dst == na))
+        })
+        .expect("assign edge between the named locals")
+}
+
+/// Layer 1: `apply_delta` graphs are bit-identical to cold rebuilds.
+///
+/// For several seeded benches and edit scripts, apply the delta (which
+/// selectively patches packed adjacency rows and index tables), then
+/// rebuild a graph from scratch with the identical edge set. Every
+/// observable — answers and traversed-step totals — must match on the
+/// demand solver (both state backends, packed on/off) and on the matrix
+/// engine at 1/2/4/8 sweep workers.
+#[test]
+fn applied_delta_graph_is_bit_identical_to_cold_rebuild() {
+    let seed = test_seed();
+    let mut effective = 0u32;
+    for i in 0..3u64 {
+        let bench = build_bench(&Profile::tiny(derive(seed, 0xD0_0000 + i)));
+        let mut delta = PagDelta::new();
+        for op in sample_edits(&bench.pag, derive(seed, 0xD1_0000 + i), 4) {
+            delta.push(op);
+        }
+        let (edited, effect) = bench.pag.apply_delta(&delta);
+        if effect.is_noop() {
+            continue;
+        }
+        effective += 1;
+        let rebuilt = rebuild_with_edges(&edited, edited.edges());
+        assert_eq!(edited.edges(), rebuilt.edges(), "same canonical edge set");
+        let queries: Vec<NodeId> = bench.queries.iter().copied().take(8).collect();
+        for state in [StateBackend::Dense, StateBackend::Hash] {
+            for packed in [true, false] {
+                let solver = ample(state, packed);
+                let a = run_seq(&edited, &queries, &solver);
+                let b = run_seq(&rebuilt, &queries, &solver);
+                assert_eq!(
+                    a.sorted_answers(),
+                    b.sorted_answers(),
+                    "PARCFL_TEST_SEED={seed} i={i} {state:?} packed={packed}: demand answers"
+                );
+                assert_eq!(
+                    a.stats.traversed_steps, b.stats.traversed_steps,
+                    "PARCFL_TEST_SEED={seed} i={i} {state:?} packed={packed}: demand steps"
+                );
+                for workers in [1usize, 2, 4, 8] {
+                    let cfg = RunConfig::new(Mode::Naive, workers, Backend::Simulated)
+                        .with_solver(solver.clone());
+                    let ma = run_matrix(&edited, &queries, &cfg);
+                    let mb = run_matrix(&rebuilt, &queries, &cfg);
+                    assert_eq!(
+                        ma.sorted_answers(),
+                        mb.sorted_answers(),
+                        "PARCFL_TEST_SEED={seed} i={i} {state:?} packed={packed} \
+                         workers={workers}: matrix answers"
+                    );
+                    assert_eq!(
+                        ma.stats.traversed_steps, mb.stats.traversed_steps,
+                        "PARCFL_TEST_SEED={seed} i={i} {state:?} packed={packed} \
+                         workers={workers}: matrix steps"
+                    );
+                }
+            }
+        }
+    }
+    assert!(effective > 0, "every sampled edit script was a no-op");
+}
+
+/// Layer 2: warm incremental sessions equal cold sessions on the edited
+/// graph — both engines, workers {1, 2, 4, 8}, packed on/off, both
+/// state backends.
+#[test]
+fn incremental_session_equals_cold_session_across_grid() {
+    let seed = test_seed();
+    let bench = build_bench(&Profile::tiny(derive(seed, 0xD2_0000)));
+    let queries: Vec<NodeId> = bench.queries.iter().copied().take(8).collect();
+    // A guaranteed-effective script: remove a real edge, then a sampled op.
+    let mut edits = vec![DeltaOp::RemoveEdge(bench.pag.edges()[0])];
+    edits.extend(sample_edits(&bench.pag, derive(seed, 0xD3_0000), 1));
+    for engine in [Engine::Demand, Engine::Matrix] {
+        for workers in [1usize, 2, 4, 8] {
+            for packed in [true, false] {
+                let state = if workers % 3 == 0 {
+                    StateBackend::Hash
+                } else {
+                    StateBackend::Dense
+                };
+                let solver = ample(state, packed);
+                let mut warm_session = AnalysisSession::new(&bench.pag)
+                    .with_solver(solver.clone())
+                    .with_threads(workers)
+                    .with_engine(engine);
+                warm_session.submit(&queries, Mode::DataSharingSched, Backend::Simulated);
+                let mut warm = None;
+                for op in &edits {
+                    let mut d = PagDelta::new();
+                    d.push(*op);
+                    warm_session.apply_delta(&d);
+                    warm = Some(warm_session.submit(
+                        &queries,
+                        Mode::DataSharingSched,
+                        Backend::Simulated,
+                    ));
+                }
+                let edited = warm_session.pag().clone();
+                let mut cold_session = AnalysisSession::new(&edited)
+                    .with_solver(solver.clone())
+                    .with_threads(workers)
+                    .with_engine(engine);
+                let cold =
+                    cold_session.submit(&queries, Mode::DataSharingSched, Backend::Simulated);
+                assert_eq!(
+                    warm.expect("edit script is non-empty").sorted_answers(),
+                    cold.sorted_answers(),
+                    "PARCFL_TEST_SEED={seed} engine={engine:?} workers={workers} \
+                     packed={packed}: warm re-query diverges from cold session"
+                );
+            }
+        }
+    }
+}
+
+/// Two disjoint maker-call chains (`p{i} = call this.mk{i}(); x{i} =
+/// p{i}.f; y{i} = x{i}`): the shape whose field-load traversals populate
+/// the jmp store. Chain edits must invalidate only their own chain's
+/// entries.
+fn two_chains() -> Pag {
+    let src = "class Obj { } class Box { field f: Obj; }
+               class A {
+                 method mk0(): Box { var b0: Box; var v0: Obj;
+                   b0 = new Box; v0 = new Obj; b0.f = v0; return b0; }
+                 method mk1(): Box { var b1: Box; var v1: Obj;
+                   b1 = new Box; v1 = new Obj; b1.f = v1; return b1; }
+                 method m() {
+                   var p0: Box; var x0: Obj; var y0: Obj;
+                   var p1: Box; var x1: Obj; var y1: Obj;
+                   p0 = call this.mk0(); x0 = p0.f; y0 = x0;
+                   p1 = call this.mk1(); x1 = p1.f; y1 = x1;
+                 } }";
+    build_pag(src).unwrap().pag
+}
+
+/// Removing an edge in the middle of a traversal footprint invalidates
+/// the entries that walked it — and only those — and the warm re-query
+/// matches a cold run on the edited graph. The disjoint sibling chain's
+/// entries stay warm.
+#[test]
+fn removing_a_footprint_edge_invalidates_selectively() {
+    let pag = two_chains();
+    let queries = pag.application_locals();
+    let mut session = AnalysisSession::new(&pag)
+        .with_solver(ample(StateBackend::Dense, true))
+        .with_threads(2);
+    session.submit(&queries, Mode::DataSharing, Backend::Simulated);
+    let resident = session.store_entries() as u64;
+    assert!(resident > 0, "sharing run left warm entries");
+
+    // Cut x0 -> y0: dirty {x0, y0}. Entries whose footprints stay on
+    // chain 1 survive.
+    let e = assign_edge_between(&pag, "x0@A.m", "y0@A.m");
+    let mut delta = PagDelta::new();
+    delta.remove_edge(e.src, e.dst, e.kind);
+    let report = session.apply_delta(&delta);
+    assert!(!report.noop);
+    assert_eq!(report.revision, 1);
+    assert!(report.invalidated_jmps > 0, "footprint hit must invalidate");
+    assert!(report.retained_jmps > 0, "disjoint chain must stay warm");
+    assert_eq!(report.invalidated_jmps + report.retained_jmps, resident);
+
+    let warm = session.submit(&queries, Mode::DataSharing, Backend::Simulated);
+    let cold = run_seq(session.pag(), &queries, &ample(StateBackend::Dense, true));
+    assert_eq!(warm.sorted_answers(), cold.sorted_answers());
+    // The edit genuinely changed the answer: y0 no longer reaches the
+    // object mk0 boxes.
+    let y0 = session.pag().node_by_name("y0@A.m").unwrap();
+    let y0_pts = warm
+        .sorted_answers()
+        .iter()
+        .find(|(q, _)| *q == y0)
+        .and_then(|(_, ans)| ans.complete().map(<[_]>::len))
+        .expect("y0 completed");
+    assert_eq!(y0_pts, 0, "cut chain empties y0's points-to set");
+}
+
+/// Deleting a call site (whose interned contexts stay allocated) drops
+/// the param/ret flow; the warm re-query agrees with a cold run and the
+/// callee-routed answer disappears.
+#[test]
+fn deleting_a_call_site_invalidates_and_requeries_match() {
+    let pag = two_chains();
+    let queries = pag.application_locals();
+    let p0 = pag.node_by_name("p0@A.m").unwrap();
+    // Chain 0's call site: the one whose Ret edge lands in p0.
+    let cs = pag
+        .edges()
+        .iter()
+        .find_map(|e| match e.kind {
+            EdgeKind::Ret(cs) if e.dst == p0 => Some(cs),
+            _ => None,
+        })
+        .expect("the mk0 call produced a ret edge into p0");
+    let mut session = AnalysisSession::new(&pag)
+        .with_solver(ample(StateBackend::Dense, true))
+        .with_threads(1);
+    let before = session.submit(&queries, Mode::DataSharing, Backend::Simulated);
+    assert!(session.store_entries() > 0, "sharing run left warm entries");
+    let y0 = pag.node_by_name("y0@A.m").unwrap();
+    let pts_of = |r: &parcfl::runtime::RunResult, q: NodeId| {
+        r.sorted_answers()
+            .iter()
+            .find(|(n, _)| *n == q)
+            .and_then(|(_, ans)| ans.complete().map(<[_]>::len))
+            .expect("query completed")
+    };
+    assert_eq!(pts_of(&before, y0), 1, "call routes the boxed object to y0");
+
+    let mut delta = PagDelta::new();
+    delta.remove_call_site(cs);
+    let report = session.apply_delta(&delta);
+    assert!(!report.noop, "removing a live call site is effective");
+    assert!(report.invalidated_jmps > 0);
+    // The call-site id space is append-only: contexts interned over the
+    // removed site stay valid, the graph just no longer reaches them.
+    assert_eq!(session.pag().call_site_count(), pag.call_site_count());
+
+    let warm = session.submit(&queries, Mode::DataSharing, Backend::Simulated);
+    let cold = run_seq(session.pag(), &queries, &ample(StateBackend::Dense, true));
+    assert_eq!(warm.sorted_answers(), cold.sorted_answers());
+    assert_eq!(pts_of(&warm, y0), 0, "severed call empties y0's answer");
+}
+
+/// An edit whose dirty nodes cover a memoised schedule's whole query
+/// group drops exactly that schedule; schedules over untouched queries
+/// survive.
+#[test]
+fn edit_emptying_a_schedule_cache_group_drops_only_it() {
+    let src = "class Obj { }
+               class A { method m() {
+                 var a: Obj; var b: Obj; var c: Obj;
+                 var x: Obj; var y: Obj;
+                 a = new Obj; b = a; c = b;
+                 x = new Obj; y = x;
+               } }";
+    let pag = build_pag(src).unwrap().pag;
+    let c = pag.node_by_name("c@A.m").unwrap();
+    let y = pag.node_by_name("y@A.m").unwrap();
+    let mut session = AnalysisSession::new(&pag)
+        .with_solver(ample(StateBackend::Dense, true))
+        .with_threads(2);
+    // Two batches memoise two schedules: one entirely over the a/b/c
+    // chain, one entirely over x/y.
+    session.submit(&[c], Mode::DataSharingSched, Backend::Simulated);
+    session.submit(&[y], Mode::DataSharingSched, Backend::Simulated);
+    assert_eq!(session.schedule_cache().len(), 2);
+
+    let e = assign_edge_between(&pag, "b@A.m", "c@A.m");
+    let mut delta = PagDelta::new();
+    delta.remove_edge(e.src, e.dst, e.kind);
+    let report = session.apply_delta(&delta);
+    assert_eq!(
+        report.invalidated_schedules, 1,
+        "exactly the schedule whose group contains a dirty query drops"
+    );
+    assert_eq!(
+        session.schedule_cache().len(),
+        1,
+        "the x/y schedule survives"
+    );
+    let warm = session.submit(&[y], Mode::DataSharingSched, Backend::Simulated);
+    let cold = run_seq(session.pag(), &[y], &ample(StateBackend::Dense, true));
+    assert_eq!(warm.sorted_answers(), cold.sorted_answers());
+}
+
+/// A no-op edit (removing an absent edge, re-adding a present one)
+/// bumps nothing: no revision change, zero invalidation, the store
+/// untouched, and the next submit is served warm with identical answers.
+#[test]
+fn noop_edit_invalidates_nothing() {
+    let bench = build_bench(&Profile::tiny(7));
+    let queries: Vec<NodeId> = bench.queries.iter().copied().take(6).collect();
+    let mut session = AnalysisSession::new(&bench.pag)
+        .with_solver(ample(StateBackend::Dense, true))
+        .with_threads(1);
+    let first = session.submit(&queries, Mode::DataSharing, Backend::Simulated);
+    let resident = session.store_entries();
+
+    let e0 = bench.pag.edges()[0];
+    let mut delta = PagDelta::new();
+    // Removing an absent edge and re-adding a present one both cancel.
+    delta.remove_edge(NodeId::new(0), NodeId::new(0), EdgeKind::AssignLocal);
+    delta.add_edge(e0.src, e0.dst, e0.kind);
+    let report = session.apply_delta(&delta);
+    assert!(report.noop);
+    assert_eq!(report.revision, 0, "revision does not advance on a no-op");
+    assert_eq!(report.invalidated_jmps, 0);
+    assert_eq!(report.invalidated_memos, 0);
+    assert_eq!(report.invalidated_schedules, 0);
+    assert_eq!(session.store_entries(), resident, "store untouched");
+
+    let warm = session.submit(&queries, Mode::DataSharing, Backend::Simulated);
+    assert_eq!(warm.sorted_answers(), first.sorted_answers());
+    assert!(
+        warm.stats.warm_hits > 0,
+        "re-query after a no-op edit is served from the warm store"
+    );
+}
+
+/// Layer 3 (the battery proves itself): with invalidation deliberately
+/// skipped, the fuzzer's mutate-then-requery dimension must catch the
+/// stale-answer divergence and shrink it to ≤ 10 edges and ≤ 3 edits —
+/// and the shrunk counterexample must pass once the fault is removed.
+#[test]
+fn skipped_invalidation_is_caught_and_shrinks_small() {
+    let seed = test_seed();
+    let mut found: Option<parcfl::check::FuzzFailure> = None;
+    for attempt in 0..8u64 {
+        let cfg = FuzzConfig {
+            iters: 15,
+            seed: derive(seed, 0xDE17_A000 + attempt),
+            shrink: true,
+            threaded_every: 0,
+            chaos: false,
+            use_small: false,
+            delta: true,
+            chaos_invalidation: true,
+        };
+        let report = run_fuzz(&cfg);
+        if let Some(f) = report.failure {
+            let better = found
+                .as_ref()
+                .is_none_or(|b| f.scenario.pag.edge_count() < b.scenario.pag.edge_count());
+            if better {
+                found = Some(f);
+            }
+            let best = found.as_ref().unwrap();
+            if best.scenario.pag.edge_count() <= 10 && best.scenario.deltas.len() <= 3 {
+                break;
+            }
+        }
+    }
+    let f = found.unwrap_or_else(|| {
+        panic!("PARCFL_TEST_SEED={seed}: skipped invalidation was never caught")
+    });
+    let sc = &f.scenario;
+    assert!(
+        sc.pag.edge_count() <= 10,
+        "PARCFL_TEST_SEED={seed}: shrunk to {} edges (> 10)\n{}",
+        sc.pag.edge_count(),
+        sc.to_snapshot()
+    );
+    assert!(
+        sc.deltas.len() <= 3,
+        "PARCFL_TEST_SEED={seed}: shrunk to {} edits (> 3)",
+        sc.deltas.len()
+    );
+    assert!(
+        !sc.deltas.is_empty(),
+        "PARCFL_TEST_SEED={seed}: the counterexample must hinge on an edit"
+    );
+    // Round-trips through the snapshot format and still fails…
+    let back = Scenario::from_snapshot(&sc.to_snapshot()).expect("snapshot parses");
+    assert!(
+        scenario_fails(&back),
+        "PARCFL_TEST_SEED={seed}: round-tripped counterexample no longer fails"
+    );
+    // …and the failure is the injected fault, not the input.
+    let mut clean = back.clone();
+    clean.solver.chaos_skip_invalidation = false;
+    assert!(
+        !scenario_fails(&clean),
+        "PARCFL_TEST_SEED={seed}: scenario fails even with invalidation restored"
+    );
+}
